@@ -1,0 +1,202 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   1. the analytic DRAM-traffic model vs. the cache simulator (Module 2),
+//   2. the Module 4 cost constants: where does the brute/R-tree
+//      scalability story flip as the index's per-entry memory cost varies?
+//   3. the eager threshold: one protocol knob separating "works" from
+//      "deadlocks" for naive blocking code, and its latency effect,
+//   4. collective algorithm scaling: binomial bcast latency vs. world size.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "dataio/dataset.hpp"
+#include "minimpi/error.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/comm/module1.hpp"
+#include "modules/distmatrix/module2.hpp"
+#include "modules/rangequery/module4.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m1 = dipdc::modules::comm1;
+namespace m2 = dipdc::modules::distmatrix;
+namespace m4 = dipdc::modules::rangequery;
+namespace cs = dipdc::cachesim;
+namespace pm = dipdc::perfmodel;
+namespace sp = dipdc::spatial;
+using namespace dipdc::support;
+
+namespace {
+
+void ablation_traffic_model() {
+  std::printf("Ablation 1: analytic traffic model vs. cache simulator "
+              "(distance matrix, 64 rows x 1024 points x 90-D, 256 KiB "
+              "cache)\n\n");
+  const std::size_t n = 1024, dim = 90, rows = 64;
+  const auto d = dipdc::dataio::generate_uniform(n, dim, 0.0, 1.0, 1);
+  std::vector<double> out(rows * n);
+  const cs::CacheConfig cache{256 * 1024, 64, 8};
+  Table t;
+  t.set_header({"kernel", "simulated traffic", "analytic estimate",
+                "ratio"});
+  t.set_alignment({Align::kLeft});
+  for (const std::size_t tile : {0u, 32u, 128u, 320u, 1024u}) {
+    cs::CacheHierarchy h({cache});
+    cs::CacheTracer tracer(&h);
+    if (tile == 0) {
+      m2::distance_rows_rowwise(d.values(), dim, n, 0, rows,
+                                std::span<double>(out), tracer);
+    } else {
+      m2::distance_rows_tiled(d.values(), dim, n, 0, rows, tile,
+                              std::span<double>(out), tracer);
+    }
+    const auto measured = static_cast<double>(h.memory_traffic_bytes());
+    const double estimate =
+        tile == 0
+            ? m2::estimated_traffic_rowwise(rows, n, dim, cache.size_bytes)
+            : m2::estimated_traffic_tiled(rows, n, dim, tile,
+                                          cache.size_bytes);
+    t.add_row({tile == 0 ? "row-wise" : "tiled T=" + std::to_string(tile),
+               bytes(static_cast<std::uint64_t>(measured)),
+               bytes(static_cast<std::uint64_t>(estimate)),
+               fixed(estimate / measured, 2)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(the estimate tracks the simulator within ~2x across "
+              "regimes, which is what the\n machine model needs to "
+              "reproduce the module's shapes)\n\n");
+}
+
+void ablation_cost_constants() {
+  std::printf("Ablation 2: Module 4 index memory-cost constant.  R-tree "
+              "speedup at 32 ranks\n(one node) as bytes-per-entry varies — "
+              "the memory-bound story needs the index's\n poor locality, "
+              "not a particular constant:\n\n");
+  Xoshiro256 rng(2);
+  std::vector<sp::Point2> points(30000);
+  for (auto& p : points) {
+    p.x = rng.uniform(0.0, 100.0);
+    p.y = rng.uniform(0.0, 100.0);
+  }
+  const auto queries = m4::make_query_workload(512, 100.0, 8.0, 3);
+  Table t;
+  t.set_header({"bytes/entry (index)", "R-tree speedup @32",
+                "brute speedup @32", "R-tree still faster?"});
+  for (const double bpe : {4.0, 16.0, 48.0, 96.0}) {
+    auto time_at = [&](int p, m4::Engine engine) {
+      m4::Config cfg;
+      cfg.engine = engine;
+      cfg.costs.bytes_per_entry_index = bpe;
+      mpi::RuntimeOptions opts;
+      opts.machine = pm::MachineConfig::monsoon_like(1);
+      double tt = 0.0;
+      mpi::run(
+          p,
+          [&](mpi::Comm& comm) {
+            tt = m4::run_distributed(comm, points, queries, cfg).sim_time;
+          },
+          opts);
+      return tt;
+    };
+    const double r1 = time_at(1, m4::Engine::kRTree);
+    const double r32 = time_at(32, m4::Engine::kRTree);
+    const double b1 = time_at(1, m4::Engine::kBruteForce);
+    const double b32 = time_at(32, m4::Engine::kBruteForce);
+    t.add_row({fixed(bpe, 0), fixed(r1 / r32, 2), fixed(b1 / b32, 2),
+               r32 < b32 ? "yes" : "no"});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(with byte costs as low as a streaming scan the R-tree "
+              "would scale like the\n brute force — the saturation comes "
+              "from modelling pointer-chased nodes)\n\n");
+}
+
+void ablation_eager_threshold() {
+  std::printf("Ablation 3: the eager/rendezvous threshold\n\n");
+  Table t;
+  t.set_header({"threshold", "naive blocking ring (8 ranks, 4 KiB token)",
+                "ping-pong 4 KiB mean one-way"});
+  t.set_alignment({Align::kLeft});
+  for (const std::size_t threshold : {0u, 1024u, 65536u}) {
+    mpi::RuntimeOptions opts;
+    opts.eager_threshold = threshold;
+    std::string ring_outcome = "completed";
+    try {
+      mpi::run(
+          8,
+          [](mpi::Comm& comm) {
+            const int next = (comm.rank() + 1) % comm.size();
+            const int prev =
+                (comm.rank() - 1 + comm.size()) % comm.size();
+            std::vector<char> token(4096);
+            comm.send(std::span<const char>(token), next, 0);
+            comm.recv(std::span<char>(token), prev, 0);
+          },
+          opts);
+    } catch (const mpi::DeadlockError&) {
+      ring_outcome = "DEADLOCK detected";
+    }
+    double one_way = 0.0;
+    mpi::run(
+        2,
+        [&](mpi::Comm& comm) {
+          const auto r = m1::ping_pong(comm, 50, 4096);
+          if (comm.rank() == 0) one_way = r.mean_one_way;
+        },
+        opts);
+    t.add_row({bytes(threshold), ring_outcome, seconds(one_way)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(the same user code is correct or deadlocked depending on a "
+              "protocol constant —\n why MPI_Send's buffering must never "
+              "be relied upon, Module 1)\n\n");
+}
+
+void ablation_collective_scaling() {
+  std::printf("Ablation 4: binomial broadcast cost vs. world size "
+              "(64 KiB payload, intra-node)\n\n");
+  Table t;
+  t.set_header({"ranks", "bcast sim time", "time / ceil(log2 p)"});
+  for (const int p : {2, 4, 8, 16, 32, 64}) {
+    double tt = 0.0;
+    mpi::run(p, [&](mpi::Comm& comm) {
+      std::vector<char> buf(64 * 1024);
+      const double t0 = comm.wtime();
+      comm.bcast(std::span<char>(buf), 0);
+      const double el = comm.wtime() - t0;
+      if (comm.rank() == 0) tt = el;
+    });
+    int log2p = 0;
+    while ((1 << log2p) < p) ++log2p;
+    // The root finishes after sending log2(p) messages; leaf completion
+    // is the true depth cost.  Report the max across ranks instead.
+    double max_t = 0.0;
+    mpi::run(p, [&](mpi::Comm& comm) {
+      std::vector<char> buf(64 * 1024);
+      const double t0 = comm.wtime();
+      comm.bcast(std::span<char>(buf), 0);
+      comm.barrier();
+      const double el = comm.wtime() - t0;
+      if (comm.rank() == 0) max_t = el;
+    });
+    (void)tt;
+    t.add_row({std::to_string(p), seconds(max_t),
+               seconds(max_t / log2p)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(logarithmic depth: doubling the world adds roughly one "
+              "message time)\n");
+}
+
+}  // namespace
+
+int main() {
+  ablation_traffic_model();
+  ablation_cost_constants();
+  ablation_eager_threshold();
+  ablation_collective_scaling();
+  return 0;
+}

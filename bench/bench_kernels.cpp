@@ -1,0 +1,150 @@
+// Native (wall-clock) microbenchmarks of the computational kernels, via
+// google-benchmark.  The table/figure reproductions use *simulated* time;
+// this binary sanity-checks that the underlying kernels are real,
+// reasonably optimized code whose relative behaviour (e.g. tiled vs.
+// row-wise) also shows up on actual hardware.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "dataio/dataset.hpp"
+#include "index/rtree.hpp"
+#include "modules/distmatrix/module2.hpp"
+#include "support/rng.hpp"
+
+namespace m2 = dipdc::modules::distmatrix;
+namespace cs = dipdc::cachesim;
+namespace sp = dipdc::spatial;
+namespace io = dipdc::dataio;
+
+namespace {
+
+void BM_DistanceRowwise(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 90;
+  const auto d = io::generate_uniform(n, dim, 0.0, 1.0, 1);
+  std::vector<double> out(32 * n);
+  cs::NullTracer tracer;
+  for (auto _ : state) {
+    m2::distance_rows_rowwise(d.values(), dim, n, 0, 32,
+                              std::span<double>(out), tracer);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          32 * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DistanceRowwise)->Arg(1024)->Arg(4096);
+
+void BM_DistanceTiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 90;
+  const auto d = io::generate_uniform(n, dim, 0.0, 1.0, 1);
+  std::vector<double> out(32 * n);
+  cs::NullTracer tracer;
+  for (auto _ : state) {
+    m2::distance_rows_tiled(d.values(), dim, n, 0, 32, /*tile=*/128,
+                            std::span<double>(out), tracer);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          32 * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DistanceTiled)->Arg(1024)->Arg(4096);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  dipdc::support::Xoshiro256 rng(7);
+  std::vector<sp::Point2> pts(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : pts) {
+    p.x = rng.uniform(0.0, 100.0);
+    p.y = rng.uniform(0.0, 100.0);
+  }
+  const auto tree = sp::RTree::bulk_load(pts, 16);
+  std::vector<std::uint32_t> hits;
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    hits.clear();
+    const double x = static_cast<double>(qi % 90);
+    tree.query({x, x, x + 5.0, x + 5.0}, hits);
+    benchmark::DoNotOptimize(hits.data());
+    ++qi;
+  }
+}
+BENCHMARK(BM_RTreeQuery)->Arg(10000)->Arg(100000);
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  dipdc::support::Xoshiro256 rng(7);
+  std::vector<sp::Point2> pts(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : pts) {
+    p.x = rng.uniform(0.0, 100.0);
+    p.y = rng.uniform(0.0, 100.0);
+  }
+  std::vector<std::uint32_t> hits;
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    hits.clear();
+    const double x = static_cast<double>(qi % 90);
+    sp::brute_force_query(pts, {x, x, x + 5.0, x + 5.0}, hits);
+    benchmark::DoNotOptimize(hits.data());
+    ++qi;
+  }
+}
+BENCHMARK(BM_BruteForceQuery)->Arg(10000)->Arg(100000);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  dipdc::support::Xoshiro256 rng(9);
+  std::vector<sp::Point2> pts(static_cast<std::size_t>(state.range(0)));
+  for (auto& p : pts) {
+    p.x = rng.uniform(0.0, 100.0);
+    p.y = rng.uniform(0.0, 100.0);
+  }
+  for (auto _ : state) {
+    auto tree = sp::RTree::bulk_load(pts, 16);
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(100000);
+
+void BM_CacheSimAccess(benchmark::State& state) {
+  cs::CacheHierarchy h = cs::CacheHierarchy::typical();
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    h.access(addr);
+    addr += 64;
+    benchmark::DoNotOptimize(addr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheSimAccess);
+
+void BM_RngUniform(benchmark::State& state) {
+  dipdc::support::Xoshiro256 rng(1);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += rng.uniform();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_LocalSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = io::generate_uniform(n, 1, 0.0, 1.0, 5);
+  std::vector<double> work(d.values().begin(), d.values().end());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::copy(d.values().begin(), d.values().end(), work.begin());
+    state.ResumeTiming();
+    std::sort(work.begin(), work.end());
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LocalSort)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Module 1 experiments (paper §III-B): ping-pong latency/bandwidth,
+// ring circulation, the blocking-send deadlock, and the directed vs.
+// MPI_ANY_SOURCE random-communication comparison.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minimpi/error.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/comm/module1.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m1 = dipdc::modules::comm1;
+using namespace dipdc::support;
+
+int main() {
+  // --- Activity 1: ping-pong across message sizes. ---
+  std::printf("Activity 1: ping-pong (simulated time, intra-node "
+              "latency 0.8us, 20 GB/s)\n\n");
+  Table pp;
+  pp.set_header({"message size", "mean one-way latency",
+                 "effective bandwidth"});
+  for (const std::size_t size :
+       {0u, 64u, 1024u, 65536u, 1048576u, 16777216u}) {
+    m1::PingPongResult r;
+    mpi::run(2, [&](mpi::Comm& comm) {
+      const auto res = m1::ping_pong(comm, 50, size);
+      if (comm.rank() == 0) r = res;
+    });
+    const double bw = size > 0 ? static_cast<double>(size) / r.mean_one_way
+                               : 0.0;
+    pp.add_row({bytes(size), seconds(r.mean_one_way),
+                size > 0 ? bytes(static_cast<std::uint64_t>(bw)) + "/s"
+                         : "-"});
+  }
+  std::printf("%s\n", pp.render().c_str());
+
+  // --- Activity 2: ring, blocking vs. non-blocking, and the deadlock. ---
+  std::printf("Activity 2: communication in a ring (8 ranks, 64 rounds)\n\n");
+  Table ring;
+  ring.set_header({"variant", "protocol", "outcome", "sim time"});
+  ring.set_alignment({Align::kLeft, Align::kLeft, Align::kLeft});
+  for (const bool rendezvous : {false, true}) {
+    mpi::RuntimeOptions opts;
+    if (rendezvous) opts.eager_threshold = 0;
+    const char* proto = rendezvous ? "rendezvous (no buffering)" : "eager";
+    // Blocking send-then-recv.
+    try {
+      double t = 0.0;
+      mpi::run(
+          8,
+          [&](mpi::Comm& comm) {
+            const auto r = m1::ring_blocking(comm, 64);
+            if (comm.rank() == 0) t = r.sim_elapsed;
+          },
+          opts);
+      ring.add_row({"blocking send->recv", proto, "completed", seconds(t)});
+    } catch (const mpi::DeadlockError&) {
+      ring.add_row({"blocking send->recv", proto, "DEADLOCK detected", "-"});
+    }
+    // Non-blocking.
+    double t = 0.0;
+    mpi::run(
+        8,
+        [&](mpi::Comm& comm) {
+          const auto r = m1::ring_nonblocking(comm, 64);
+          if (comm.rank() == 0) t = r.sim_elapsed;
+        },
+        opts);
+    ring.add_row({"isend->recv->wait", proto, "completed", seconds(t)});
+  }
+  std::printf("%s", ring.render().c_str());
+  std::printf("(the blocking ring only works while the eager protocol "
+              "buffers sends —\n exactly the Module 1 deadlock lesson)\n\n");
+
+  // --- Activity 3: random communication, directed vs. ANY_SOURCE. ---
+  std::printf("Activity 3: random communication, 16 ranks x 64 messages\n\n");
+  Table rc;
+  rc.set_header({"variant", "messages", "p2p volume", "sim time (max rank)",
+                 "payloads ok"});
+  rc.set_alignment({Align::kLeft});
+  for (const bool any_source : {false, true}) {
+    std::uint64_t msgs = 0;
+    bool ok = true;
+    double t = 0.0;
+    const auto run = mpi::run(16, [&](mpi::Comm& comm) {
+      const auto r = any_source
+                         ? m1::random_comm_any_source(comm, 64, 2024)
+                         : m1::random_comm_directed(comm, 64, 2024);
+      ok = ok && r.payloads_consistent;
+      t = std::max(t, r.sim_elapsed);
+      if (comm.rank() == 0) msgs = 0;
+    });
+    msgs = run.total_stats().p2p_messages_sent;
+    rc.add_row({any_source ? "MPI_ANY_SOURCE" : "directed (counts first)",
+                std::to_string(msgs),
+                bytes(run.total_stats().p2p_bytes_sent), seconds(t),
+                ok ? "yes" : "NO"});
+  }
+  std::printf("%s", rc.render().c_str());
+  std::printf(
+      "(both move the same messages; the directed variant must first\n"
+      " circulate per-pair counts, the ANY_SOURCE variant is simpler to\n"
+      " program — the programmability/efficiency reflection of Module 1)\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Module 2 experiments (paper §III-C): row-wise vs. tiled distance matrix
+// on 90-dimensional points, measured cache-miss rates, the tile-size
+// trade-off, and compute-bound strong scaling.
+#include <cstdio>
+#include <string>
+
+#include "dataio/dataset.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/distmatrix/module2.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m2 = dipdc::modules::distmatrix;
+namespace io = dipdc::dataio;
+namespace pm = dipdc::perfmodel;
+using namespace dipdc::support;
+
+int main() {
+  // The module prescribes 90-dimensional feature vectors.
+  const std::size_t dim = 90;
+
+  // --- Tile-size sweep with the cache simulator (the module's
+  //     "performance tool"). ---
+  {
+    const std::size_t n = 1024;
+    const auto d = io::generate_uniform(n, dim, 0.0, 1.0, 90);
+    std::printf("Row-wise vs. tiled, N=%zu x %zu-D, 256 KiB cache, "
+                "4 ranks (cache-simulator traced)\n\n",
+                n, dim);
+    Table t;
+    t.set_header({"kernel", "L1 miss rate", "DRAM traffic/rank",
+                  "sim time", "vs row-wise"});
+    t.set_alignment({Align::kLeft});
+    double t_row = 0.0;
+    for (const std::size_t tile : {0u, 8u, 32u, 128u, 320u, 1024u}) {
+      m2::Config cfg;
+      cfg.tile = tile;
+      cfg.trace_cache = true;
+      cfg.cache = {256 * 1024, 64, 8};
+      mpi::RuntimeOptions opts;
+      opts.machine.node_mem_bandwidth = 20e9;  // bandwidth-constrained node
+      m2::Result r;
+      mpi::run(
+          4,
+          [&](mpi::Comm& comm) {
+            const auto res = m2::run_distributed(
+                comm, comm.rank() == 0 ? d : io::Dataset{}, cfg);
+            if (comm.rank() == 0) r = res;
+          },
+          opts);
+      if (tile == 0) t_row = r.sim_time;
+      const std::string name =
+          tile == 0 ? "row-wise" : "tiled T=" + std::to_string(tile);
+      t.add_row({name, percent(r.miss_rate),
+                 bytes(static_cast<std::uint64_t>(r.dram_bytes)),
+                 seconds(r.sim_time), fixed(t_row / r.sim_time, 2) + "x"});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("(tile of 320 x 90-D points = 225 KiB: about the cache "
+                "size — larger tiles thrash,\n tiny tiles re-stream the "
+                "row block per tile: the module's trade-off)\n\n");
+  }
+
+  // --- Strong scaling: the compute-bound workload of the curriculum. ---
+  {
+    const std::size_t n = 2048;
+    const auto d = io::generate_uniform(n, dim, 0.0, 1.0, 91);
+    std::printf("Strong scaling, N=%zu x %zu-D, tiled T=128, one "
+                "32-core node\n\n",
+                n, dim);
+    Table t;
+    t.set_header({"ranks", "sim time", "speedup", "parallel efficiency"});
+    std::vector<double> times;
+    const std::vector<int> ranks = {1, 2, 4, 8, 16, 32};
+    for (const int p : ranks) {
+      m2::Config cfg;
+      cfg.tile = 128;
+      mpi::RuntimeOptions opts;
+      opts.machine = pm::MachineConfig::monsoon_like(1);
+      double tt = 0.0;
+      mpi::run(
+          p,
+          [&](mpi::Comm& comm) {
+            tt = m2::run_distributed(comm,
+                                     comm.rank() == 0 ? d : io::Dataset{},
+                                     cfg)
+                     .sim_time;
+          },
+          opts);
+      times.push_back(tt);
+    }
+    const auto sp = pm::speedups(times);
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      t.add_row({std::to_string(ranks[i]), seconds(times[i]),
+                 fixed(sp[i], 2),
+                 percent(pm::parallel_efficiency(
+                     sp[i], ranks[i]))});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("(compute-bound: efficiency stays high — contrast with "
+                "bench_module3's\n memory-bound sort)\n\n");
+  }
+
+  // --- Extension (outcome 15): symmetric triangle + row distribution. ---
+  {
+    const std::size_t n = 1024;
+    const auto d = io::generate_uniform(n, dim, 0.0, 1.0, 92);
+    std::printf("Extension: exploit d(i,j)=d(j,i) — half the arithmetic, "
+                "but watch the balance (16 ranks)\n\n");
+    Table t;
+    t.set_header({"configuration", "sim time", "compute imbalance",
+                  "vs full/block"});
+    t.set_alignment({Align::kLeft});
+    struct Case {
+      const char* name;
+      bool symmetric;
+      m2::RowDistribution dist;
+    };
+    double base = 0.0;
+    for (const Case& c :
+         {Case{"full matrix, block rows", false,
+               m2::RowDistribution::kBlock},
+          Case{"triangle, block rows", true, m2::RowDistribution::kBlock},
+          Case{"triangle, cyclic rows", true,
+               m2::RowDistribution::kCyclic}}) {
+      m2::Config cfg;
+      cfg.symmetric = c.symmetric;
+      cfg.distribution = c.dist;
+      mpi::RuntimeOptions opts;
+      opts.machine = pm::MachineConfig::monsoon_like(1);
+      m2::Result r;
+      mpi::run(
+          16,
+          [&](mpi::Comm& comm) {
+            const auto res = m2::run_distributed(
+                comm, comm.rank() == 0 ? d : io::Dataset{}, cfg);
+            if (comm.rank() == 0) r = res;
+          },
+          opts);
+      if (base == 0.0) base = r.sim_time;
+      t.add_row({c.name, seconds(r.sim_time),
+                 fixed(r.compute_imbalance, 2),
+                 fixed(base / r.sim_time, 2) + "x"});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("(the triangle halves the work, but block rows leave rank 0 "
+                "holding the longest\n rows — cyclic distribution collects "
+                "the full ~2x: learning outcome 15)\n");
+  }
+  return 0;
+}

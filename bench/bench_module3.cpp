@@ -1,0 +1,178 @@
+// Module 3 experiments (paper §III-D): distribution sort across the three
+// activities (uniform/equal-width, exponential/equal-width,
+// exponential/histogram), per-rank load distribution, and memory-bound
+// strong scaling.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minimpi/ops.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/sort/module3.hpp"
+#include "perfmodel/machine.hpp"
+#include "support/ascii_chart.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m3 = dipdc::modules::distsort;
+namespace pm = dipdc::perfmodel;
+using namespace dipdc::support;
+
+namespace {
+
+std::vector<double> make_local(int rank, bool exponential, std::size_t n) {
+  auto rng = make_stream(exponential ? 21 : 20,
+                         static_cast<std::uint64_t>(rank));
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = exponential ? std::min(rng.exponential(1.0), 9.999)
+                    : rng.uniform(0.0, 10.0);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  const int ranks = 8;
+  const std::size_t per_rank = 200000;
+
+  struct Activity {
+    const char* name;
+    bool exponential;
+    m3::SplitterPolicy policy;
+  };
+  const Activity activities[] = {
+      {"activity 1: uniform, equal-width", false,
+       m3::SplitterPolicy::kEqualWidth},
+      {"activity 2: exponential, equal-width", true,
+       m3::SplitterPolicy::kEqualWidth},
+      {"activity 3: exponential, histogram", true,
+       m3::SplitterPolicy::kHistogram},
+      {"extension: exponential, regular sampling", true,
+       m3::SplitterPolicy::kSampling},
+  };
+
+  std::printf("Distribution sort: %d ranks x %zu keys in [0, 10)\n\n", ranks,
+              per_rank);
+  Table t;
+  t.set_header({"activity", "imbalance", "sim time", "vs activity 1",
+                "exchange volume"});
+  t.set_alignment({Align::kLeft});
+  double t_uniform = 0.0;
+  for (const Activity& a : activities) {
+    m3::Result r;
+    std::vector<std::size_t> bucket_sizes(ranks);
+    mpi::run(ranks, [&](mpi::Comm& comm) {
+      auto local = make_local(comm.rank(), a.exponential, per_rank);
+      m3::Config cfg;
+      cfg.policy = a.policy;
+      cfg.lo = 0.0;
+      cfg.hi = 10.0;
+      const auto res = m3::distributed_bucket_sort(comm, local, cfg);
+      const auto mine = static_cast<long long>(res.local_elements);
+      std::vector<long long> sizes(static_cast<std::size_t>(comm.size()));
+      comm.gather(std::span<const long long>(&mine, 1),
+                  std::span<long long>(sizes), 0);
+      if (comm.rank() == 0) {
+        r = res;
+        for (int i = 0; i < comm.size(); ++i) {
+          bucket_sizes[static_cast<std::size_t>(i)] =
+              static_cast<std::size_t>(sizes[static_cast<std::size_t>(i)]);
+        }
+      }
+    });
+    if (a.policy == m3::SplitterPolicy::kEqualWidth && !a.exponential) {
+      t_uniform = r.sim_time;
+    }
+    const std::uint64_t volume =
+        r.exchange_bytes * static_cast<std::uint64_t>(ranks);
+    t.add_row({a.name, fixed(r.imbalance, 2), seconds(r.sim_time),
+               fixed(r.sim_time / t_uniform, 2) + "x", bytes(volume)});
+
+    std::printf("per-rank bucket sizes, %s:\n", a.name);
+    std::vector<Bar> bars;
+    for (int i = 0; i < ranks; ++i) {
+      bars.push_back({"rank " + std::to_string(i),
+                      static_cast<double>(
+                          bucket_sizes[static_cast<std::size_t>(i)]),
+                      '#'});
+    }
+    std::printf("%s\n", bar_chart(bars, 0.0, 40).c_str());
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(shape: activity 2 is slowed by the overloaded first "
+              "buckets; activity 3 restores\n activity-1 performance — "
+              "paper §III-D)\n\n");
+
+  // --- Strong scaling: sorting is memory-bound, so efficiency drops. ---
+  std::printf("Strong scaling, 3.2M uniform keys total, one 32-core "
+              "node\n\n");
+  Table s;
+  s.set_header({"ranks", "sim time", "speedup", "parallel efficiency"});
+  std::vector<double> times;
+  const std::vector<int> rank_counts = {1, 2, 4, 8, 16, 32};
+  const std::size_t total_keys = 3200000;
+  for (const int p : rank_counts) {
+    double tt = 0.0;
+    mpi::RuntimeOptions opts;
+    opts.machine = pm::MachineConfig::monsoon_like(1);
+    mpi::run(
+        p,
+        [&](mpi::Comm& comm) {
+          auto local = make_local(comm.rank(), false,
+                                  total_keys / static_cast<std::size_t>(p));
+          m3::Config cfg;
+          cfg.lo = 0.0;
+          cfg.hi = 10.0;
+          const double v =
+              m3::distributed_bucket_sort(comm, local, cfg).sim_time;
+          if (comm.rank() == 0) tt = v;
+        },
+        opts);
+    times.push_back(tt);
+  }
+  const auto sp = pm::speedups(times);
+  for (std::size_t i = 0; i < rank_counts.size(); ++i) {
+    s.add_row({std::to_string(rank_counts[i]), seconds(times[i]),
+               fixed(sp[i], 2),
+               percent(pm::parallel_efficiency(sp[i], rank_counts[i]))});
+  }
+  std::printf("%s", s.render().c_str());
+  std::printf("(memory-bound: scalability is visibly below Module 2's "
+              "compute-bound distance\n matrix — the module's comparative "
+              "lesson)\n\n");
+
+  // --- Weak scaling: 400k keys per rank, one 32-core node. ---
+  std::printf("Weak scaling, 400k uniform keys PER RANK:\n\n");
+  Table w;
+  w.set_header({"ranks", "sim time", "weak efficiency"});
+  double t1 = 0.0;
+  for (const int p : {1, 2, 4, 8, 16, 32}) {
+    double tt = 0.0;
+    mpi::RuntimeOptions opts;
+    opts.machine = pm::MachineConfig::monsoon_like(1);
+    mpi::run(
+        p,
+        [&](mpi::Comm& comm) {
+          auto local = make_local(comm.rank(), false, 400000);
+          m3::Config cfg;
+          cfg.lo = 0.0;
+          cfg.hi = 10.0;
+          const double v =
+              m3::distributed_bucket_sort(comm, local, cfg).sim_time;
+          if (comm.rank() == 0) tt = v;
+        },
+        opts);
+    if (p == 1) t1 = tt;
+    w.add_row({std::to_string(p), seconds(tt),
+               percent(pm::weak_efficiency(t1, tt))});
+  }
+  std::printf("%s", w.render().c_str());
+  std::printf("(weak scaling exposes the shared memory bandwidth even more "
+              "starkly: per-rank\n work is constant but per-rank bandwidth "
+              "shrinks with every added rank)\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Module 4 experiments (paper §III-E): strong scaling of brute-force vs.
+// R-tree range queries (activities 1-2) and the resource-allocation
+// experiment (activity 3): p ranks on 1 node vs. 2 nodes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minimpi/runtime.hpp"
+#include "modules/rangequery/module4.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m4 = dipdc::modules::rangequery;
+namespace pm = dipdc::perfmodel;
+namespace sp = dipdc::spatial;
+using namespace dipdc::support;
+
+namespace {
+
+std::vector<sp::Point2> make_points(std::size_t n) {
+  Xoshiro256 rng(404);
+  std::vector<sp::Point2> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.uniform(0.0, 100.0);
+    p.y = rng.uniform(0.0, 100.0);
+  }
+  return pts;
+}
+
+double run_config(int ranks, m4::Engine engine,
+                  const std::vector<sp::Point2>& points,
+                  const std::vector<sp::Rect>& queries,
+                  const pm::MachineConfig& machine, m4::Result* out = nullptr) {
+  mpi::RuntimeOptions opts;
+  opts.machine = machine;
+  m4::Config cfg;
+  cfg.engine = engine;
+  double t = 0.0;
+  mpi::run(
+      ranks,
+      [&](mpi::Comm& comm) {
+        const auto r = m4::run_distributed(comm, points, queries, cfg);
+        t = r.sim_time;
+        if (out != nullptr && comm.rank() == 0) *out = r;
+      },
+      opts);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const auto points = make_points(50000);
+  const auto queries = m4::make_query_workload(1024, 100.0, 8.0, 41);
+  const auto one_node = pm::MachineConfig::monsoon_like(1);
+
+  // --- Activities 1 & 2: strong scaling, brute force vs. R-tree. ---
+  std::printf("Range queries: 50k points, 1024 box queries, one 32-core "
+              "node\n\n");
+  Table t;
+  t.set_header({"ranks", "brute time", "brute speedup", "R-tree time",
+                "R-tree speedup", "R-tree advantage"});
+  const std::vector<int> rank_counts = {1, 2, 4, 8, 16, 32};
+  std::vector<double> tb, tr;
+  m4::Result brute_res, rtree_res;
+  for (const int p : rank_counts) {
+    tb.push_back(run_config(p, m4::Engine::kBruteForce, points, queries,
+                            one_node, &brute_res));
+    tr.push_back(run_config(p, m4::Engine::kRTree, points, queries,
+                            one_node, &rtree_res));
+  }
+  const auto sb = pm::speedups(tb);
+  const auto sr = pm::speedups(tr);
+  for (std::size_t i = 0; i < rank_counts.size(); ++i) {
+    t.add_row({std::to_string(rank_counts[i]), seconds(tb[i]),
+               fixed(sb[i], 2), seconds(tr[i]), fixed(sr[i], 2),
+               fixed(tb[i] / tr[i], 1) + "x"});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("comparisons per engine (all ranks): brute %s, R-tree %s "
+              "(%s node visits)\n",
+              count(brute_res.entries_checked).c_str(),
+              count(rtree_res.entries_checked).c_str(),
+              count(rtree_res.nodes_visited).c_str());
+  std::printf(
+      "(shape: brute force scales almost linearly but the R-tree — with "
+      "its higher\n memory-access:distance-calculation ratio — saturates; "
+      "the R-tree is still\n absolutely faster at every rank count: "
+      "efficient algorithms often scale worse)\n\n");
+
+  // --- Activity 3: resource allocation — 1 node vs. 2 nodes. ---
+  std::printf("Activity 3: the same %d ranks placed on 1 vs. 2 nodes "
+              "(aggregate memory bandwidth)\n\n",
+              32);
+  Table a;
+  a.set_header({"engine", "32 ranks / 1 node", "32 ranks / 2 nodes",
+                "2-node gain"});
+  a.set_alignment({Align::kLeft});
+  const auto two_nodes = pm::MachineConfig::monsoon_like(2);
+  for (const auto engine : {m4::Engine::kRTree, m4::Engine::kBruteForce}) {
+    const double t1 =
+        run_config(32, engine, points, queries, one_node);
+    const double t2 =
+        run_config(32, engine, points, queries, two_nodes);
+    a.add_row({engine == m4::Engine::kRTree ? "R-tree (memory-bound)"
+                                            : "brute force (compute-bound)",
+               seconds(t1), seconds(t2), fixed(t1 / t2, 2) + "x"});
+  }
+  std::printf("%s", a.render().c_str());
+  std::printf("(the memory-bound R-tree gains from the second node's "
+              "bandwidth; the\n compute-bound brute force does not — "
+              "memory bandwidth is the key resource)\n\n");
+
+  // --- Bonus: the quad-tree alternative the paper cites. ---
+  std::printf("Index alternatives at 16 ranks:\n\n");
+  Table q;
+  q.set_header({"engine", "sim time", "entries checked"});
+  q.set_alignment({Align::kLeft});
+  for (const auto engine : {m4::Engine::kBruteForce, m4::Engine::kRTree,
+                            m4::Engine::kQuadTree, m4::Engine::kKdTree}) {
+    m4::Result r;
+    run_config(16, engine, points, queries, one_node, &r);
+    q.add_row({engine == m4::Engine::kBruteForce ? "brute force"
+               : engine == m4::Engine::kRTree    ? "R-tree"
+               : engine == m4::Engine::kQuadTree ? "quad-tree"
+                                                 : "k-d tree",
+               seconds(r.sim_time), count(r.entries_checked)});
+  }
+  std::printf("%s", q.render().c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Module 6 (extension) experiments: latency hiding via overlapped halo
+// exchange, and communication-avoiding deep halos — the paper's future
+// work item (i) ("increasing focus on communication and latency hiding").
+#include <cstdio>
+#include <string>
+
+#include "minimpi/runtime.hpp"
+#include "modules/stencil/module6.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m6 = dipdc::modules::stencil;
+namespace pm = dipdc::perfmodel;
+using namespace dipdc::support;
+
+namespace {
+
+m6::Result run_cfg(int ranks, const m6::Config& cfg,
+                   const pm::MachineConfig& machine) {
+  mpi::RuntimeOptions opts;
+  opts.machine = machine;
+  m6::Result out;
+  mpi::run(
+      ranks,
+      [&](mpi::Comm& comm) {
+        const auto r = m6::run_distributed(comm, cfg);
+        if (comm.rank() == 0) out = r;
+      },
+      opts);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int ranks = 16;
+  auto machine = pm::MachineConfig::monsoon_like(4);
+  machine.inter_latency = 2e-5;  // a deliberately slow interconnect
+
+  // --- Overlap vs. serialize across problem sizes. ---
+  std::printf("1-D Jacobi stencil, %d ranks on 4 nodes (inter-node latency "
+              "20 us), 64 sweeps\n\n",
+              ranks);
+  Table t;
+  t.set_header({"cells", "blocking", "overlapped", "overlap gain",
+                "comm share (blocking)"});
+  for (const std::size_t cells : {1u << 12, 1u << 15, 1u << 18, 1u << 21}) {
+    m6::Config blocking;
+    blocking.global_cells = cells;
+    blocking.iterations = 64;
+    blocking.exchange = m6::Exchange::kBlocking;
+    m6::Config overlapped = blocking;
+    overlapped.exchange = m6::Exchange::kOverlapped;
+    const auto rb = run_cfg(ranks, blocking, machine);
+    const auto ro = run_cfg(ranks, overlapped, machine);
+    t.add_row({std::to_string(cells), seconds(rb.sim_time),
+               seconds(ro.sim_time),
+               fixed(rb.sim_time / ro.sim_time, 2) + "x",
+               percent(rb.comm_time / (rb.comm_time + rb.compute_time))});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "(overlap pays off most where computation and communication are "
+      "comparable: on\n tiny grids there is no interior work to hide the "
+      "latency behind, and on huge\n grids communication is negligible "
+      "anyway — the classic overlap sweet spot)\n\n");
+
+  // --- Deep halos trade messages for redundant computation. ---
+  std::printf("Communication-avoiding halos, %u cells, 64 sweeps, "
+              "blocking exchange:\n\n",
+              1u << 14);
+  Table h;
+  h.set_header({"halo width", "exchanges", "halo messages/rank",
+                "sim time"});
+  for (const int w : {1, 2, 4, 8}) {
+    m6::Config cfg;
+    cfg.global_cells = 1 << 14;
+    cfg.iterations = 64;
+    cfg.halo_width = w;
+    const auto r = run_cfg(ranks, cfg, machine);
+    h.add_row({std::to_string(w), std::to_string(64 / w),
+               std::to_string(r.halo_messages), seconds(r.sim_time)});
+  }
+  std::printf("%s", h.render().c_str());
+  std::printf("(wider halos exchange less often at the cost of slightly "
+              "more computation —\n the communication-avoiding trade-off)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Module 7 (extension) experiments: MapReduce word count — combiner
+// effect, partitioning strategies under Zipf skew, and strong scaling.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dataio/dataset.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/mapreduce/module7.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m7 = dipdc::modules::mapreduce;
+namespace io = dipdc::dataio;
+namespace pm = dipdc::perfmodel;
+using namespace dipdc::support;
+
+namespace {
+
+std::vector<std::uint64_t> shard(const std::vector<std::uint64_t>& all,
+                                 int rank, int p) {
+  const auto parts =
+      io::block_partition(all.size(), static_cast<std::size_t>(p));
+  const auto [b, e] = parts[static_cast<std::size_t>(rank)];
+  return {all.begin() + static_cast<std::ptrdiff_t>(b),
+          all.begin() + static_cast<std::ptrdiff_t>(e)};
+}
+
+m7::Result run_cfg(int ranks, const std::vector<std::uint64_t>& all,
+                   const m7::Config& cfg) {
+  mpi::RuntimeOptions opts;
+  opts.machine = pm::MachineConfig::monsoon_like(2);
+  m7::Result out;
+  mpi::run(
+      ranks,
+      [&](mpi::Comm& comm) {
+        const auto mine = shard(all, comm.rank(), comm.size());
+        const auto r = m7::word_count(comm, mine, cfg);
+        if (comm.rank() == 0) out = r;
+      },
+      opts);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 2000000;
+  const std::uint64_t vocab = 1 << 15;
+  const auto tokens = io::generate_zipf_tokens(n, vocab, 1.1, 2021);
+
+  std::printf("MapReduce word count: %zu Zipf(1.1) tokens, vocabulary %llu, "
+              "16 ranks on 2 nodes\n\n",
+              n, static_cast<unsigned long long>(vocab));
+
+  // --- Combiner x partitioning matrix. ---
+  Table t;
+  t.set_header({"configuration", "shuffle tuples (rank 0)",
+                "reducer imbalance", "sim time"});
+  t.set_alignment({Align::kLeft});
+  for (const bool combine : {false, true}) {
+    for (const auto part :
+         {m7::Partitioning::kHash, m7::Partitioning::kRange}) {
+      m7::Config cfg;
+      cfg.map_side_combine = combine;
+      cfg.partitioning = part;
+      cfg.vocabulary = vocab;
+      const auto r = run_cfg(16, tokens, cfg);
+      std::string name = combine ? "combiner + " : "no combiner + ";
+      name += part == m7::Partitioning::kHash ? "hash" : "range";
+      t.add_row({name, std::to_string(r.shuffle_tuples_sent),
+                 fixed(r.reducer_imbalance, 2), seconds(r.sim_time)});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "(the combiner collapses the shuffle from O(tokens) to O(distinct "
+      "keys); range\n partitioning funnels the Zipf head to reducer 0 — "
+      "hash partitioning spreads it)\n\n");
+
+  // --- Strong scaling. ---
+  std::printf("Strong scaling (combiner + hash):\n\n");
+  Table s;
+  s.set_header({"ranks", "sim time", "speedup", "map", "shuffle", "reduce"});
+  std::vector<double> times;
+  const std::vector<int> rank_counts = {1, 2, 4, 8, 16, 32};
+  for (const int p : rank_counts) {
+    m7::Config cfg;
+    cfg.vocabulary = vocab;
+    const auto r = run_cfg(p, tokens, cfg);
+    times.push_back(r.sim_time);
+    s.add_row({std::to_string(p), seconds(r.sim_time),
+               fixed(times.front() / r.sim_time, 2), seconds(r.map_time),
+               seconds(r.shuffle_time), seconds(r.reduce_time)});
+  }
+  std::printf("%s", s.render().c_str());
+  std::printf("(the map phase scales with ranks; the shuffle and the "
+              "skew-bound reduce phase\n eventually dominate — the classic "
+              "MapReduce scaling profile)\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Reproduces the paper's evaluation artifacts:
+//   Table III — student demographics,
+//   Figure 2  — per-student pre/post quiz scores (ASCII bars),
+//   Table IV  — quiz statistics, recomputed from the reconstructed dataset
+//               and compared against the published values.
+#include <cstdio>
+#include <string>
+
+#include "eval/quizdata.hpp"
+#include "eval/quizstats.hpp"
+#include "eval/survey.hpp"
+#include "support/ascii_chart.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace ev = dipdc::eval;
+using namespace dipdc::support;
+
+namespace {
+
+void print_table3() {
+  Table t("TABLE III: demographics of the students in the course");
+  t.set_header({"Program", "Number", "Detail"});
+  t.set_alignment({Align::kLeft, Align::kRight, Align::kLeft});
+  int total = 0;
+  for (const auto& row : ev::demographics()) {
+    t.add_row({std::string(row.program), std::to_string(row.count),
+               std::string(row.detail)});
+    total += row.count;
+  }
+  t.add_rule();
+  t.add_row({"Total", std::to_string(total), ""});
+  std::printf("%s\n", t.render().c_str());
+}
+
+void print_figure2() {
+  std::printf("FIGURE 2: student quiz scores pre ('.') and post ('#') "
+              "module completion\n");
+  std::printf("(reconstructed dataset; '--' = excluded pair, see DESIGN.md)\n\n");
+  for (int q = 0; q < ev::kQuizzes; ++q) {
+    std::printf("Quiz %d (Module %d):\n", q + 1, q + 1);
+    std::vector<Bar> bars;
+    for (int s = 0; s < ev::kStudents; ++s) {
+      const auto score = ev::quiz_score(s, q);
+      const std::string label = "student " + std::to_string(s + 1);
+      if (!score) {
+        std::printf("%s   --\n", (label + "       ").substr(0, 11).c_str());
+        continue;
+      }
+      bars.push_back({label + " pre ", score->pre, '.'});
+      bars.push_back({label + " post", score->post, '#'});
+    }
+    std::printf("%s\n", bar_chart(bars, 100.0, 50).c_str());
+  }
+}
+
+void add_stat(Table& t, const std::string& name, const std::string& measured,
+              const std::string& paper) {
+  t.add_row({name, measured, paper,
+             measured == paper ? "match" : "MISMATCH"});
+}
+
+void print_table4() {
+  const auto pairs = ev::all_pairs();
+  const auto counts = ev::count_pairs(pairs);
+  const auto inc = ev::mean_relative_change(pairs, ev::Direction::kIncrease);
+  const auto dec = ev::mean_relative_change(pairs, ev::Direction::kDecrease);
+
+  Table t("TABLE IV: statistics derived from Figure 2 (measured vs. paper)");
+  t.set_header({"Statistic", "Measured", "Paper", "Verdict"});
+  t.set_alignment({Align::kLeft});
+  add_stat(t, "Total Pre & Post Quiz Pairs", std::to_string(counts.total),
+           "42");
+  add_stat(t, "Pre & Post: Equal in Score", std::to_string(counts.equal),
+           "17");
+  add_stat(t, "Pre & Post: Increase in Score (i)",
+           std::to_string(counts.increased), "19");
+  add_stat(t, "Pre & Post: Decrease in Score (d)",
+           std::to_string(counts.decreased), "6");
+  add_stat(t, "Mean Relative Performance Increase",
+           percent(inc.relative_to_pre), "47.86%");
+  add_stat(t, "Mean Relative Performance Decrease",
+           percent(dec.relative_to_pre), "27.30%");
+  const char* expect[ev::kQuizzes][2] = {{"88.89%", "98.15%"},
+                                         {"82.22%", "88.89%"},
+                                         {"69.50%", "77.78%"},
+                                         {"60.71%", "67.86%"},
+                                         {"80.21%", "79.17%"}};
+  for (int q = 0; q < ev::kQuizzes; ++q) {
+    const auto m = ev::quiz_means(pairs, q);
+    add_stat(t,
+             "Mean Quiz " + std::to_string(q + 1) + " Grade Pre (Post)",
+             percent(m.pre / 100.0) + " (" + percent(m.post / 100.0) + ")",
+             std::string(expect[q][0]) + " (" + expect[q][1] + ")");
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf(
+      "Formula note: the paper writes the relative change as |a-b|/b with\n"
+      "'a and b the pre and post scores'; normalizing by the post score is\n"
+      "inconsistent with the published per-quiz means (see EXPERIMENTS.md),\n"
+      "so Table IV above uses the conventional baseline-relative change\n"
+      "|pre-post|/pre.  For reference, the literal /post reading gives:\n"
+      "  increase %s, decrease %s\n\n",
+      percent(inc.relative_to_post).c_str(),
+      percent(dec.relative_to_post).c_str());
+
+  const auto who = ev::students_with_decrease(pairs);
+  std::printf("Students with at least one decreasing pair:");
+  for (const int s : who) std::printf(" #%d", s + 1);
+  std::printf("  (paper: #1, 3, 4, 7)\n");
+}
+
+}  // namespace
+
+void print_survey() {
+  std::printf("\nSurvey results (paper SIV-D):\n\n");
+  Table d("Perceived difficulty vs. other graduate courses");
+  d.set_header({"report", "students"});
+  d.set_alignment({Align::kLeft});
+  for (const auto& row : ev::difficulty_reports()) {
+    d.add_row({std::string(row.level), std::to_string(row.students)});
+  }
+  std::printf("%s\n", d.render().c_str());
+
+  Table v("Module votes");
+  v.set_header({"question", "M1", "M2", "M3", "M4", "M5"});
+  v.set_alignment({Align::kLeft});
+  auto add = [&](const char* q, const ev::ModuleVotes& mv) {
+    std::vector<std::string> row{q};
+    for (const int x : mv.votes) row.push_back(std::to_string(x));
+    v.add_row(std::move(row));
+  };
+  add("favorite module", ev::favorite_module_votes());
+  add("least favorite", ev::least_favorite_votes());
+  add("most challenging", ev::most_challenging_votes());
+  std::printf("%s\n", v.render().c_str());
+
+  std::printf("Selected free responses:\n");
+  for (const auto& q : ev::quoted_responses()) {
+    std::printf("  - \"%.*s\"\n", static_cast<int>(q.size()), q.data());
+  }
+}
+
+int main() {
+  print_table3();
+  print_figure2();
+  print_table4();
+  print_survey();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Reproduces the paper's Table I (student learning outcomes x modules,
+// Bloom levels) and Table II (MPI primitive usage x modules).  Table II is
+// not just printed from metadata: every module's reference solution runs
+// under the instrumented runtime and the *measured* primitive usage is
+// shown next to the paper's R/N markings, with a verdict per module that
+// all Required primitives were actually invoked.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dataio/dataset.hpp"
+#include "eval/tables.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/comm/module1.hpp"
+#include "modules/distmatrix/module2.hpp"
+#include "modules/kmeans/module5.hpp"
+#include "modules/rangequery/module4.hpp"
+#include "modules/sort/module3.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace ev = dipdc::eval;
+namespace mpi = dipdc::minimpi;
+using namespace dipdc::support;
+
+namespace {
+
+void print_table1() {
+  Table t("TABLE I: student learning outcomes per module "
+          "(A-apply, E-evaluate, C-create)");
+  t.set_header({"#", "Student Learning Outcome", "M1", "M2", "M3", "M4",
+                "M5"});
+  t.set_alignment({Align::kRight, Align::kLeft});
+  int i = 0;
+  for (const auto& row : ev::learning_outcomes()) {
+    std::vector<std::string> cells{std::to_string(++i),
+                                   std::string(row.description)};
+    for (const auto level : row.levels) {
+      cells.emplace_back(1, static_cast<char>(level));
+    }
+    t.add_row(std::move(cells));
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+/// Runs module `m`'s reference solution on 4 ranks and returns aggregated
+/// communication statistics.
+mpi::CommStats run_module(int m) {
+  using dipdc::dataio::Dataset;
+  mpi::RunResult result;
+  switch (m) {
+    case 0:
+      result = mpi::run(4, [](mpi::Comm& comm) {
+        dipdc::modules::comm1::ping_pong(comm, 10, 256);
+        dipdc::modules::comm1::ring_nonblocking(comm, comm.size());
+        dipdc::modules::comm1::random_comm_directed(comm, 6, 1);
+        dipdc::modules::comm1::random_comm_any_source(comm, 6, 2);
+      });
+      break;
+    case 1: {
+      const auto d = dipdc::dataio::generate_uniform(128, 16, 0.0, 1.0, 3);
+      result = mpi::run(4, [&](mpi::Comm& comm) {
+        dipdc::modules::distmatrix::Config cfg;
+        cfg.tile = 32;
+        dipdc::modules::distmatrix::run_distributed(
+            comm, comm.rank() == 0 ? d : Dataset{}, cfg);
+      });
+      break;
+    }
+    case 2:
+      result = mpi::run(4, [](mpi::Comm& comm) {
+        auto rng = dipdc::support::make_stream(
+            4, static_cast<std::uint64_t>(comm.rank()));
+        std::vector<double> local(2000);
+        for (auto& v : local) v = rng.uniform();
+        dipdc::modules::distsort::Config cfg;
+        dipdc::modules::distsort::distributed_bucket_sort(comm, local, cfg);
+      });
+      break;
+    case 3: {
+      std::vector<dipdc::spatial::Point2> pts(2000);
+      auto rng = dipdc::support::Xoshiro256(5);
+      for (auto& p : pts) {
+        p.x = rng.uniform(0.0, 10.0);
+        p.y = rng.uniform(0.0, 10.0);
+      }
+      const auto queries =
+          dipdc::modules::rangequery::make_query_workload(32, 10.0, 1.0, 6);
+      result = mpi::run(4, [&](mpi::Comm& comm) {
+        dipdc::modules::rangequery::Config cfg;
+        cfg.engine = dipdc::modules::rangequery::Engine::kRTree;
+        dipdc::modules::rangequery::run_distributed(comm, pts, queries, cfg);
+      });
+      break;
+    }
+    case 4: {
+      const auto d =
+          dipdc::dataio::generate_clusters(1000, 2, 4, 0.3, 0.0, 10.0, 7);
+      result = mpi::run(4, [&](mpi::Comm& comm) {
+        dipdc::modules::kmeans::Config cfg;
+        cfg.k = 4;
+        dipdc::modules::kmeans::distributed(
+            comm, comm.rank() == 0 ? d.data : Dataset{}, cfg);
+      });
+      break;
+    }
+    default:
+      break;
+  }
+  return result.total_stats();
+}
+
+void print_table2() {
+  std::vector<mpi::CommStats> stats;
+  stats.reserve(ev::kModules);
+  for (int m = 0; m < ev::kModules; ++m) stats.push_back(run_module(m));
+
+  Table t("TABLE II: MPI primitive use per module — paper marking "
+          "(R/N/-) vs. measured calls of this repo's reference solutions");
+  t.set_header({"MPI Primitive", "M1", "M2", "M3", "M4", "M5"});
+  t.set_alignment({Align::kLeft});
+  for (const auto& row : ev::primitive_usage()) {
+    std::vector<std::string> cells{std::string(row.label)};
+    for (int m = 0; m < ev::kModules; ++m) {
+      const char marking =
+          static_cast<char>(row.usage[static_cast<std::size_t>(m)]);
+      const auto calls =
+          ev::family_calls(row, stats[static_cast<std::size_t>(m)]);
+      cells.push_back(std::string(1, marking) + "/" +
+                      std::to_string(calls));
+    }
+    t.add_row(std::move(cells));
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(cells are <paper marking>/<measured call count over 4 "
+              "ranks>; families group\n variants, e.g. Scatterv counts as "
+              "MPI_Scatter and Probe as MPI_Get_count)\n\n");
+
+  Table v("Verification: every R-marked primitive observed?");
+  v.set_header({"Module", "verdict"});
+  v.set_alignment({Align::kLeft, Align::kLeft});
+  for (int m = 0; m < ev::kModules; ++m) {
+    v.add_row({"Module " + std::to_string(m + 1),
+               ev::required_primitives_used(
+                   m, stats[static_cast<std::size_t>(m)])
+                   ? "PASS"
+                   : "FAIL"});
+  }
+  std::printf("%s\n", v.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_table1();
+  print_table2();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// The paper's own motivating example for Module 4 (§III-E):
+//
+//   "Return all asteroids with a light curve amplitude between 0.2-1.0
+//    and a rotation period between 30-100 hours."
+//
+// We synthesize an asteroid catalogue (light-curve amplitude in magnitudes
+// vs. rotation period in hours, with the long-period tail real surveys
+// show), run the paper's query plus a batch of survey queries with the
+// brute-force scan and the R-tree, and print the efficiency/scalability
+// trade-off the module teaches.
+#include <cstdio>
+#include <vector>
+
+#include "index/geometry.hpp"
+#include "index/rtree.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/rangequery/module4.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m4 = dipdc::modules::rangequery;
+namespace sp = dipdc::spatial;
+using namespace dipdc::support;
+
+namespace {
+
+/// Synthetic asteroid catalogue: x = rotation period (hours, log-normal-ish
+/// with a long tail), y = light-curve amplitude (mag, exponential-ish).
+std::vector<sp::Point2> make_catalogue(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<sp::Point2> asteroids(n);
+  for (auto& a : asteroids) {
+    a.x = std::min(1000.0, std::exp(rng.normal(1.8, 1.1)));  // period
+    a.y = std::min(2.5, rng.exponential(3.0));               // amplitude
+  }
+  return asteroids;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 200000;
+  const auto catalogue = make_catalogue(n, 2021);
+
+  std::printf("Asteroid catalogue: %zu objects "
+              "(rotation period [h] x light-curve amplitude [mag])\n\n",
+              n);
+
+  // --- The paper's example query, answered three ways. ---
+  const sp::Rect paper_query{30.0, 0.2, 100.0, 1.0};
+  std::vector<std::uint32_t> hits;
+  sp::QueryStats brute_stats, rtree_stats;
+  sp::brute_force_query(catalogue, paper_query, hits, &brute_stats);
+  const std::size_t matches = hits.size();
+  hits.clear();
+  const sp::RTree tree = sp::RTree::bulk_load(catalogue, 16);
+  tree.query(paper_query, hits, &rtree_stats);
+
+  std::printf("Query: amplitude 0.2-1.0 mag AND period 30-100 h\n");
+  Table t("  (entries checked = point/rectangle comparisons performed)");
+  t.set_header({"engine", "matches", "entries checked", "nodes visited"});
+  t.set_alignment({Align::kLeft});
+  t.add_row({"brute-force scan", std::to_string(matches),
+             std::to_string(brute_stats.entries_checked), "0"});
+  t.add_row({"R-tree", std::to_string(hits.size()),
+             std::to_string(rtree_stats.entries_checked),
+             std::to_string(rtree_stats.nodes_visited)});
+  std::printf("%s\n", t.render().c_str());
+
+  // --- A survey workload, distributed over MPI ranks. ---
+  const auto queries = m4::make_query_workload(512, 200.0, 15.0, 77);
+  std::printf("Survey workload: %zu box queries over 8 ranks\n",
+              queries.size());
+  Table s;
+  s.set_header({"engine", "total matches", "sim time", "speedup vs brute"});
+  s.set_alignment({Align::kLeft});
+  double t_brute = 0.0;
+  for (const auto engine :
+       {m4::Engine::kBruteForce, m4::Engine::kRTree, m4::Engine::kQuadTree}) {
+    m4::Config cfg;
+    cfg.engine = engine;
+    m4::Result r;
+    mpi::run(8, [&](mpi::Comm& comm) {
+      r = m4::run_distributed(comm, catalogue, queries, cfg);
+    });
+    if (engine == m4::Engine::kBruteForce) t_brute = r.sim_time;
+    const char* name = engine == m4::Engine::kBruteForce ? "brute force"
+                       : engine == m4::Engine::kRTree    ? "R-tree"
+                                                         : "quad-tree";
+    s.add_row({name, std::to_string(r.total_matches),
+               seconds(r.sim_time), fixed(t_brute / r.sim_time, 1) + "x"});
+  }
+  std::printf("%s\n", s.render().c_str());
+  std::printf("Lesson (Module 4): the index is far more *efficient*, even\n"
+              "though the brute-force scan is more *scalable* — see\n"
+              "bench_module4 for the full scaling experiment.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Module 3's three activities as one pipeline: sort uniform data with
+// equal-width buckets, watch exponential data break the balance, and fix
+// it with histogram-derived splitters.
+#include <cstdio>
+#include <vector>
+
+#include "minimpi/runtime.hpp"
+#include "modules/sort/module3.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m3 = dipdc::modules::distsort;
+using namespace dipdc::support;
+
+namespace {
+
+std::vector<double> make_local(int rank, bool exponential, std::size_t n) {
+  auto rng = make_stream(exponential ? 11 : 10,
+                         static_cast<std::uint64_t>(rank));
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = exponential ? std::min(rng.exponential(1.0), 9.999)
+                    : rng.uniform(0.0, 10.0);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  const int ranks = 8;
+  const std::size_t per_rank = 100000;
+  std::printf("Distributed bucket sort: %d ranks x %zu elements\n\n", ranks,
+              per_rank);
+
+  struct Activity {
+    const char* name;
+    bool exponential;
+    m3::SplitterPolicy policy;
+  };
+  const Activity activities[] = {
+      {"1: uniform data, equal-width buckets", false,
+       m3::SplitterPolicy::kEqualWidth},
+      {"2: exponential data, equal-width buckets", true,
+       m3::SplitterPolicy::kEqualWidth},
+      {"3: exponential data, histogram splitters", true,
+       m3::SplitterPolicy::kHistogram},
+  };
+
+  Table t;
+  t.set_header({"activity", "sorted?", "imbalance (max/avg)", "sim time",
+                "exchange", "local sort"});
+  t.set_alignment({Align::kLeft});
+  for (const Activity& a : activities) {
+    m3::Result r;
+    mpi::run(ranks, [&](mpi::Comm& comm) {
+      auto local = make_local(comm.rank(), a.exponential, per_rank);
+      m3::Config cfg;
+      cfg.policy = a.policy;
+      cfg.lo = 0.0;
+      cfg.hi = 10.0;
+      const auto res = m3::distributed_bucket_sort(comm, local, cfg);
+      if (comm.rank() == 0) r = res;
+    });
+    t.add_row({a.name, r.globally_sorted ? "yes" : "NO",
+               fixed(r.imbalance, 2), seconds(r.sim_time),
+               seconds(r.exchange_time), seconds(r.sort_time)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Lesson (Module 3): skewed data overloads the ranks owning the dense\n"
+      "key range; histogram-based splitters restore activity-1 behaviour.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Distributed k-means on a 2-D dataset, with the ASCII visualization that
+// made Module 5 the students' favourite ("it was satisfying to see the
+// data cluster correctly" — paper §IV-D).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dataio/dataset.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/kmeans/module5.hpp"
+#include "support/format.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m5 = dipdc::modules::kmeans;
+namespace io = dipdc::dataio;
+using namespace dipdc::support;
+
+namespace {
+
+/// Renders points as a character grid; each point is drawn with the glyph
+/// of its nearest centroid, centroids themselves as '#'.
+void draw(const io::Dataset& data, const std::vector<double>& centroids,
+          std::size_t k, int width, int height) {
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    xmin = std::min(xmin, data.point(i)[0]);
+    xmax = std::max(xmax, data.point(i)[0]);
+    ymin = std::min(ymin, data.point(i)[1]);
+    ymax = std::max(ymax, data.point(i)[1]);
+  }
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  auto cell = [&](double x, double y) {
+    const int cx = std::min(width - 1, static_cast<int>((x - xmin) /
+                                                        (xmax - xmin) *
+                                                        (width - 1)));
+    const int cy = std::min(height - 1, static_cast<int>((y - ymin) /
+                                                         (ymax - ymin) *
+                                                         (height - 1)));
+    return std::pair<int, int>{cx, height - 1 - cy};
+  };
+  const char glyphs[] = "oxv*+.sz";
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double x = data.point(i)[0], y = data.point(i)[1];
+    std::size_t best = 0;
+    double bd = 1e300;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double dx = x - centroids[c * 2];
+      const double dy = y - centroids[c * 2 + 1];
+      if (dx * dx + dy * dy < bd) {
+        bd = dx * dx + dy * dy;
+        best = c;
+      }
+    }
+    const auto [cx, cy] = cell(x, y);
+    grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] =
+        glyphs[best % 8];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto [cx, cy] = cell(centroids[c * 2], centroids[c * 2 + 1]);
+    grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = '#';
+  }
+  for (const auto& row : grid) std::printf("|%s|\n", row.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t k = 5;
+  const auto dataset = io::generate_clusters(4000, 2, k, 2.0, 0.0, 100.0,
+                                             424242);
+  std::printf("k-means on %zu 2-D points, k=%zu, 4 MPI ranks\n\n",
+              dataset.data.size(), k);
+
+  for (const auto strategy :
+       {m5::Strategy::kWeightedMeans, m5::Strategy::kExplicitAssignments}) {
+    m5::Config cfg;
+    cfg.k = k;
+    cfg.strategy = strategy;
+    m5::Result r;
+    mpi::run(4, [&](mpi::Comm& comm) {
+      r = m5::distributed(comm, comm.rank() == 0 ? dataset.data
+                                                 : io::Dataset{}, cfg);
+    });
+    std::printf("strategy %-22s: %2d iterations, inertia %.1f, "
+                "loop comm volume %s\n",
+                strategy == m5::Strategy::kWeightedMeans
+                    ? "weighted means"
+                    : "explicit assignments",
+                r.iterations, r.inertia, bytes(r.comm_bytes).c_str());
+    if (strategy == m5::Strategy::kWeightedMeans) {
+      std::printf("\nclustered data ('#' = centroid):\n");
+      draw(dataset.data, r.centroids, k, 72, 24);
+      std::printf("\n");
+    }
+  }
+  std::printf("\nBoth strategies find the same clusters; the weighted-means\n"
+              "option communicates O(k*d) per iteration instead of O(N).\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// The ancillary warm-up exercises as a runnable in-class session.
+#include <cstdio>
+
+#include "minimpi/runtime.hpp"
+#include "modules/warmup/warmup.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace wu = dipdc::modules::warmup;
+
+int main() {
+  std::printf("MPI warm-up exercises (ancillary module), 8 ranks:\n\n");
+  mpi::run(8, [](mpi::Comm& comm) {
+    const auto reports = wu::run_all(comm);
+    if (comm.rank() == 0) {
+      for (const auto& r : reports) {
+        std::printf("  [%s] %-16s %s\n", r.passed ? "PASS" : "FAIL",
+                    r.name.c_str(), r.detail.c_str());
+      }
+    }
+  });
+  std::printf("\n(each exercise checks itself — see "
+              "src/modules/warmup/warmup.hpp)\n");
+  return 0;
+}

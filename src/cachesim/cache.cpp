@@ -1,0 +1,93 @@
+#include "cachesim/cache.hpp"
+
+#include "support/error.hpp"
+
+namespace dipdc::cachesim {
+
+CacheLevel::CacheLevel(CacheConfig config) : config_(config) {
+  DIPDC_REQUIRE(config.line_bytes > 0, "cache line size must be positive");
+  DIPDC_REQUIRE(config.associativity > 0,
+                "cache associativity must be positive");
+  DIPDC_REQUIRE(
+      config.size_bytes % (config.line_bytes * config.associativity) == 0,
+      "cache size must be a whole number of sets");
+  nsets_ = config.sets();
+  DIPDC_REQUIRE(nsets_ > 0, "cache must have at least one set");
+  ways_.assign(nsets_ * config.associativity, Way{});
+}
+
+bool CacheLevel::access(std::uint64_t addr) {
+  ++accesses_;
+  ++tick_;
+  const std::uint64_t line = addr / config_.line_bytes;
+  const std::size_t set = static_cast<std::size_t>(line % nsets_);
+  const std::uint64_t tag = line / nsets_;
+
+  Way* base = &ways_[set * config_.associativity];
+  Way* victim = base;
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = tick_;
+  return false;
+}
+
+void CacheLevel::reset() {
+  ways_.assign(nsets_ * config_.associativity, Way{});
+  tick_ = 0;
+  accesses_ = 0;
+  hits_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheConfig> levels) {
+  DIPDC_REQUIRE(!levels.empty(), "hierarchy needs at least one level");
+  levels_.reserve(levels.size());
+  for (const CacheConfig& cfg : levels) {
+    levels_.emplace_back(cfg);
+  }
+}
+
+CacheHierarchy CacheHierarchy::typical() {
+  return CacheHierarchy({
+      CacheConfig{32 * 1024, 64, 8},
+      CacheConfig{1024 * 1024, 64, 16},
+  });
+}
+
+void CacheHierarchy::access(std::uint64_t addr) {
+  for (CacheLevel& level : levels_) {
+    if (level.access(addr)) return;
+  }
+}
+
+void CacheHierarchy::access_range(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const std::size_t line = levels_.front().config().line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + bytes - 1) / line;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    access(l * line);
+  }
+}
+
+std::uint64_t CacheHierarchy::memory_traffic_bytes() const {
+  return levels_.back().misses() * levels_.back().config().line_bytes;
+}
+
+void CacheHierarchy::reset() {
+  for (CacheLevel& level : levels_) level.reset();
+}
+
+}  // namespace dipdc::cachesim

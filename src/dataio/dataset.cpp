@@ -1,0 +1,140 @@
+#include "dataio/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dipdc::dataio {
+
+Dataset::Dataset(std::size_t dim, std::vector<double> values)
+    : dim_(dim), values_(std::move(values)) {
+  DIPDC_REQUIRE(dim > 0, "dataset dimensionality must be positive");
+  DIPDC_REQUIRE(values_.size() % dim == 0,
+                "value count must be a multiple of the dimensionality");
+}
+
+Dataset generate_uniform(std::size_t n, std::size_t dim, double lo, double hi,
+                         std::uint64_t seed) {
+  DIPDC_REQUIRE(lo < hi, "uniform range must be non-empty");
+  support::Xoshiro256 rng(seed);
+  std::vector<double> values(n * dim);
+  for (double& v : values) v = rng.uniform(lo, hi);
+  return {dim, std::move(values)};
+}
+
+Dataset generate_exponential(std::size_t n, std::size_t dim, double rate,
+                             std::uint64_t seed) {
+  DIPDC_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  support::Xoshiro256 rng(seed);
+  std::vector<double> values(n * dim);
+  for (double& v : values) v = rng.exponential(rate);
+  return {dim, std::move(values)};
+}
+
+ClusteredDataset generate_clusters(std::size_t n, std::size_t dim,
+                                   std::size_t k, double stddev, double lo,
+                                   double hi, std::uint64_t seed) {
+  DIPDC_REQUIRE(k > 0, "need at least one cluster");
+  DIPDC_REQUIRE(lo < hi, "center range must be non-empty");
+  support::Xoshiro256 rng(seed);
+
+  std::vector<double> centers(k * dim);
+  for (double& c : centers) c = rng.uniform(lo, hi);
+
+  std::vector<double> values(n * dim);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = rng.uniform_index(k);
+    labels[i] = c;
+    for (std::size_t d = 0; d < dim; ++d) {
+      values[i * dim + d] = rng.normal(centers[c * dim + d], stddev);
+    }
+  }
+  return {Dataset(dim, std::move(values)), Dataset(dim, std::move(centers)),
+          std::move(labels)};
+}
+
+std::vector<std::uint64_t> generate_zipf_tokens(std::size_t n,
+                                                std::size_t vocab, double s,
+                                                std::uint64_t seed) {
+  DIPDC_REQUIRE(vocab > 0, "vocabulary must be non-empty");
+  DIPDC_REQUIRE(s >= 0.0, "Zipf exponent must be non-negative");
+  support::Xoshiro256 rng(seed);
+  // Inverse-CDF sampling over the (normalized) cumulative Zipf weights.
+  std::vector<double> cdf(vocab);
+  double total = 0.0;
+  for (std::size_t k = 0; k < vocab; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) c /= total;
+  std::vector<std::uint64_t> tokens(n);
+  for (auto& t : tokens) {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    t = static_cast<std::uint64_t>(it - cdf.begin());
+  }
+  return tokens;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> block_partition(
+    std::size_t n, std::size_t parts) {
+  DIPDC_REQUIRE(parts > 0, "need at least one partition");
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(parts);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = base + (p < extra ? 1 : 0);
+    out.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return out;
+}
+
+void write_csv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  DIPDC_REQUIRE(out.good(), "cannot open CSV file for writing: " + path);
+  out.precision(17);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto p = dataset.point(i);
+    for (std::size_t d = 0; d < p.size(); ++d) {
+      if (d > 0) out << ',';
+      out << p[d];
+    }
+    out << '\n';
+  }
+  DIPDC_REQUIRE(out.good(), "error while writing CSV file: " + path);
+}
+
+Dataset read_csv(const std::string& path) {
+  std::ifstream in(path);
+  DIPDC_REQUIRE(in.good(), "cannot open CSV file for reading: " + path);
+  std::vector<double> values;
+  std::size_t dim = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    std::size_t row_dim = 0;
+    while (std::getline(ls, cell, ',')) {
+      values.push_back(std::stod(cell));
+      ++row_dim;
+    }
+    if (dim == 0) {
+      dim = row_dim;
+    } else {
+      DIPDC_REQUIRE(row_dim == dim, "ragged CSV row in " + path);
+    }
+  }
+  DIPDC_REQUIRE(dim > 0, "empty CSV file: " + path);
+  return {dim, std::move(values)};
+}
+
+}  // namespace dipdc::dataio

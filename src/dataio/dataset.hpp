@@ -1,0 +1,88 @@
+// Dataset representation and the synthetic generators the modules use.
+//
+// Module 2 computes distance matrices on 90-dimensional feature vectors;
+// Module 3 sorts uniformly and exponentially distributed values; Module 4
+// queries 2-D points (e.g. asteroid light-curve amplitude x rotation
+// period); Module 5 clusters a 2-D dataset.  All of those inputs come from
+// the generators here, seeded deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dipdc::dataio {
+
+/// A dense row-major collection of `dim`-dimensional points.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::size_t dim, std::vector<double> values);
+
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] std::size_t size() const {
+    return dim_ == 0 ? 0 : values_.size() / dim_;
+  }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  [[nodiscard]] std::span<const double> point(std::size_t i) const {
+    return {values_.data() + i * dim_, dim_};
+  }
+  [[nodiscard]] std::span<double> point(std::size_t i) {
+    return {values_.data() + i * dim_, dim_};
+  }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::span<double> values() { return values_; }
+
+  /// Rows [begin, end) as a contiguous span of raw values.
+  [[nodiscard]] std::span<const double> rows(std::size_t begin,
+                                             std::size_t end) const {
+    return {values_.data() + begin * dim_, (end - begin) * dim_};
+  }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<double> values_;
+};
+
+/// n points uniform in [lo, hi)^dim.
+Dataset generate_uniform(std::size_t n, std::size_t dim, double lo, double hi,
+                         std::uint64_t seed);
+
+/// n points with each coordinate Exp(rate)-distributed (the skewed input of
+/// Module 3's second activity).
+Dataset generate_exponential(std::size_t n, std::size_t dim, double rate,
+                             std::uint64_t seed);
+
+/// A Gaussian-mixture dataset with ground truth, for k-means.
+struct ClusteredDataset {
+  Dataset data;
+  Dataset true_centers;          // k x dim
+  std::vector<std::size_t> labels;  // generating component of each point
+};
+
+ClusteredDataset generate_clusters(std::size_t n, std::size_t dim,
+                                   std::size_t k, double stddev, double lo,
+                                   double hi, std::uint64_t seed);
+
+/// n tokens drawn from a vocabulary of `vocab` ids with Zipf(s) frequencies
+/// (id 0 is the most frequent).  The skewed input of the Module 7 extension
+/// (MapReduce word count): real text is Zipf-distributed, which is what
+/// makes naive range partitioning collapse onto one reducer.
+std::vector<std::uint64_t> generate_zipf_tokens(std::size_t n,
+                                                std::size_t vocab, double s,
+                                                std::uint64_t seed);
+
+/// Block partition of n items over `parts` owners: returns [begin, end) per
+/// part, sizes differing by at most one.
+std::vector<std::pair<std::size_t, std::size_t>> block_partition(
+    std::size_t n, std::size_t parts);
+
+/// CSV round trip (plain doubles, comma separated, one point per row).
+void write_csv(const Dataset& dataset, const std::string& path);
+Dataset read_csv(const std::string& path);
+
+}  // namespace dipdc::dataio

@@ -1,0 +1,82 @@
+#include "eval/quizdata.hpp"
+
+#include "support/error.hpp"
+
+namespace dipdc::eval {
+
+namespace {
+
+constexpr double kAbsent = -1.0;
+
+// Scores are stored in quiz points and converted to percentages on access,
+// so point-granular quizzes keep full precision (5/6 = 83.333...%).
+// Quiz maxima: Q1 out of 6, Q2 out of 5, Q3 recorded directly as percent
+// (one decimal), Q4 out of 4, Q5 out of 12.
+constexpr double kQuizMax[kQuizzes] = {6.0, 5.0, 100.0, 4.0, 12.0};
+
+// Participation: students 1-7 completed everything; student 8 missed
+// quizzes 1 and 4; student 9 missed 2, 4 and 5; student 10 missed 3, 4, 5.
+constexpr double kPre[kStudents][kQuizzes] = {
+    {6, 5, 74.3, 4, 10},            // student 1
+    {6, 5, 31.8, 1, 9},             // student 2
+    {6, 5, 45.0, 1, 12},            // student 3
+    {6, 5, 79.9, 3, 9},             // student 4
+    {6, 3, 80.0, 2, 9},             // student 5
+    {6, 4, 81.7, 3, 11},            // student 6
+    {6, 5, 70.3, 3, 9},             // student 7
+    {kAbsent, 2, 81.8, kAbsent, 8},  // student 8
+    {3, kAbsent, 80.7, kAbsent, kAbsent},   // student 9
+    {3, 3, kAbsent, kAbsent, kAbsent},      // student 10
+};
+
+constexpr double kPost[kStudents][kQuizzes] = {
+    {5, 5, 59.2, 4, 10},            // student 1
+    {6, 5, 90.0, 2, 10},            // student 2
+    {6, 5, 75.0, 2, 8},             // student 3
+    {6, 4, 86.0, 3, 9},             // student 4
+    {6, 4, 86.0, 3, 10},            // student 5
+    {6, 5, 88.0, 3, 12},            // student 6
+    {6, 5, 42.1, 2, 9},             // student 7
+    {kAbsent, 3, 88.0, kAbsent, 8},  // student 8
+    {6, kAbsent, 85.7, kAbsent, kAbsent},   // student 9
+    {6, 4, kAbsent, kAbsent, kAbsent},      // student 10
+};
+
+}  // namespace
+
+std::optional<QuizPair> quiz_score(int student, int quiz) {
+  DIPDC_REQUIRE(student >= 0 && student < kStudents, "student out of range");
+  DIPDC_REQUIRE(quiz >= 0 && quiz < kQuizzes, "quiz out of range");
+  const double pre = kPre[student][quiz];
+  const double post = kPost[student][quiz];
+  if (pre < 0.0 || post < 0.0) return std::nullopt;
+  const double scale = 100.0 / kQuizMax[quiz];
+  return QuizPair{pre * scale, post * scale};
+}
+
+std::vector<ScoredPair> all_pairs() {
+  std::vector<ScoredPair> out;
+  out.reserve(42);
+  for (int s = 0; s < kStudents; ++s) {
+    for (int q = 0; q < kQuizzes; ++q) {
+      if (const auto p = quiz_score(s, q)) {
+        out.push_back(ScoredPair{s, q, *p});
+      }
+    }
+  }
+  return out;
+}
+
+const std::array<DemographicRow, 5>& demographics() {
+  static const std::array<DemographicRow, 5> rows = {{
+      {"Computer Science (BS)", 1, ""},
+      {"Computer Science (MS)", 1, ""},
+      {"Electrical Engineering (MS)", 2, ""},
+      {"Astronomy & Planetary Science (PhD)", 1, ""},
+      {"Informatics & Computing (PhD)", 5,
+       "1x bioinformatics, 1x CS, 1x ecoinformatics, 2x EE"},
+  }};
+  return rows;
+}
+
+}  // namespace dipdc::eval

@@ -1,0 +1,75 @@
+#include "eval/quizstats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dipdc::eval {
+
+Direction classify(const QuizPair& pair) {
+  if (pair.post > pair.pre) return Direction::kIncrease;
+  if (pair.post < pair.pre) return Direction::kDecrease;
+  return Direction::kEqual;
+}
+
+PairCounts count_pairs(const std::vector<ScoredPair>& pairs) {
+  PairCounts counts;
+  counts.total = static_cast<int>(pairs.size());
+  for (const ScoredPair& sp : pairs) {
+    switch (classify(sp.pair)) {
+      case Direction::kEqual: ++counts.equal; break;
+      case Direction::kIncrease: ++counts.increased; break;
+      case Direction::kDecrease: ++counts.decreased; break;
+    }
+  }
+  return counts;
+}
+
+RelativeChange mean_relative_change(const std::vector<ScoredPair>& pairs,
+                                    Direction direction) {
+  RelativeChange out;
+  double sum_pre = 0.0;
+  double sum_post = 0.0;
+  for (const ScoredPair& sp : pairs) {
+    if (classify(sp.pair) != direction) continue;
+    const double delta = std::fabs(sp.pair.pre - sp.pair.post);
+    if (sp.pair.pre > 0.0) sum_pre += delta / sp.pair.pre;
+    if (sp.pair.post > 0.0) sum_post += delta / sp.pair.post;
+    ++out.pairs;
+  }
+  if (out.pairs > 0) {
+    out.relative_to_pre = sum_pre / out.pairs;
+    out.relative_to_post = sum_post / out.pairs;
+  }
+  return out;
+}
+
+QuizMeans quiz_means(const std::vector<ScoredPair>& pairs, int quiz) {
+  QuizMeans means;
+  for (const ScoredPair& sp : pairs) {
+    if (sp.quiz != quiz) continue;
+    means.pre += sp.pair.pre;
+    means.post += sp.pair.post;
+    ++means.students;
+  }
+  if (means.students > 0) {
+    means.pre /= means.students;
+    means.post /= means.students;
+  }
+  return means;
+}
+
+std::vector<int> students_with_decrease(
+    const std::vector<ScoredPair>& pairs) {
+  std::vector<int> out;
+  for (const ScoredPair& sp : pairs) {
+    if (classify(sp.pair) == Direction::kDecrease) {
+      if (std::find(out.begin(), out.end(), sp.student) == out.end()) {
+        out.push_back(sp.student);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dipdc::eval

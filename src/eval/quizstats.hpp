@@ -1,0 +1,59 @@
+// Statistical analysis of the pre/post quiz scores — the computations
+// behind the paper's Table IV.
+//
+// On the relative-change formula: the paper writes the mean relative
+// increase/decrease as (1/i) * sum |a_j - b_j| / b_j "where a_j and b_j
+// refer to pre and post quiz scores".  Read literally that normalizes by
+// the *post* score, but that direction is provably inconsistent with the
+// published per-quiz means (the quiz-3 mean gap bounds the achievable
+// ratio sum below 47.86%), so the intended statistic must be the
+// conventional one — change relative to the *pre* (baseline) score.  We
+// implement both; `relative_to_pre` reproduces the published 47.86%/27.30%
+// and is what Table IV reports.
+#pragma once
+
+#include <vector>
+
+#include "eval/quizdata.hpp"
+
+namespace dipdc::eval {
+
+enum class Direction { kEqual, kIncrease, kDecrease };
+
+Direction classify(const QuizPair& pair);
+
+struct PairCounts {
+  int total = 0;
+  int equal = 0;
+  int increased = 0;
+  int decreased = 0;
+};
+
+PairCounts count_pairs(const std::vector<ScoredPair>& pairs);
+
+struct RelativeChange {
+  /// Mean of |pre-post|/pre over the selected pairs (the paper's numbers).
+  double relative_to_pre = 0.0;
+  /// Mean of |pre-post|/post (the formula's literal reading; reported for
+  /// the ambiguity discussion).
+  double relative_to_post = 0.0;
+  int pairs = 0;
+};
+
+/// Mean relative change over pairs moving in `direction`.
+RelativeChange mean_relative_change(const std::vector<ScoredPair>& pairs,
+                                    Direction direction);
+
+struct QuizMeans {
+  double pre = 0.0;
+  double post = 0.0;
+  int students = 0;
+};
+
+/// Per-quiz pre/post means (quiz is 0-based).
+QuizMeans quiz_means(const std::vector<ScoredPair>& pairs, int quiz);
+
+/// Students (0-based) with at least one decreasing pair.
+std::vector<int> students_with_decrease(const std::vector<ScoredPair>& pairs);
+
+}  // namespace dipdc::eval

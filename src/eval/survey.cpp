@@ -1,0 +1,61 @@
+#include "eval/survey.hpp"
+
+namespace dipdc::eval {
+
+const std::array<DifficultyReport, 3>& difficulty_reports() {
+  static const std::array<DifficultyReport, 3> reports = {{
+      {"easier", 1},
+      {"more difficult", 5},
+      {"much more difficult", 4},
+  }};
+  return reports;
+}
+
+int ModuleVotes::total() const {
+  int t = 0;
+  for (const int v : votes) t += v;
+  return t;
+}
+
+const ModuleVotes& favorite_module_votes() {
+  // "Four students reported that they liked Module 5 (k-means)."  The
+  // paper names no other favorites explicitly.
+  static const ModuleVotes votes{{0, 0, 0, 0, 4}};
+  return votes;
+}
+
+const ModuleVotes& least_favorite_votes() {
+  // "2, 1, 1, 2, and 1 students found that modules 1, 2, 3, 4, and 5 were
+  // their least favorite, respectively."
+  static const ModuleVotes votes{{2, 1, 1, 2, 1}};
+  return votes;
+}
+
+const ModuleVotes& most_challenging_votes() {
+  // "Four students reported that Module 2 was the most difficult."
+  static const ModuleVotes votes{{0, 4, 0, 0, 0}};
+  return votes;
+}
+
+const std::vector<std::string_view>& quoted_responses() {
+  static const std::vector<std::string_view> quotes = {
+      "Building a coding environment on my laptop and dealing with how the "
+      "cluster works took more effort than I thought.",
+      "... designing a parallel algorithm and working with the cluster were "
+      "challenging.",
+      "I was a bit overwhelmed in the beginning with trying new code and "
+      "dealing with the cluster.",
+      "It was a great course, which taught me a new skill.",
+      "Of my classes this seemed like the most practical... And learning "
+      "how to use Monsoon will help me in other courses. HPC will only "
+      "grow in importance.",
+      "... it is really good to be able to apply parallel programming "
+      "approaches to speedup an algorithm... This knowledge will really "
+      "help us in our academic life.",
+      "I like that all of the examples span a broad number of subjects and "
+      "topics.",
+  };
+  return quotes;
+}
+
+}  // namespace dipdc::eval

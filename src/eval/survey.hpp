@@ -1,0 +1,37 @@
+// The anonymous free-response survey results of paper §IV-D, as structured
+// metadata: reported difficulty, favorite/least-favorite/most-challenging
+// module counts, and the quoted free responses.
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+namespace dipdc::eval {
+
+struct DifficultyReport {
+  std::string_view level;
+  int students;
+};
+
+/// "Students were asked if they found the course easier or more difficult
+/// than other graduate level courses."
+const std::array<DifficultyReport, 3>& difficulty_reports();
+
+struct ModuleVotes {
+  /// votes[m] = students naming module m+1.
+  std::array<int, 5> votes;
+  int total() const;
+};
+
+/// Four students named Module 5 (k-means) their favorite.
+const ModuleVotes& favorite_module_votes();
+/// Least-favorite votes were inconsistent: 2,1,1,2,1.
+const ModuleVotes& least_favorite_votes();
+/// Four students found Module 2 the most challenging.
+const ModuleVotes& most_challenging_votes();
+
+/// Selected quoted responses (edited in the paper for spelling/brevity).
+const std::vector<std::string_view>& quoted_responses();
+
+}  // namespace dipdc::eval

@@ -1,0 +1,112 @@
+#include "eval/tables.hpp"
+
+namespace dipdc::eval {
+
+namespace {
+
+constexpr Bloom A = Bloom::kApply;
+constexpr Bloom E = Bloom::kEvaluate;
+constexpr Bloom C = Bloom::kCreate;
+constexpr Bloom N = Bloom::kNone;
+
+constexpr Usage R_ = Usage::kRequired;
+constexpr Usage N_ = Usage::kOptional;
+constexpr Usage U_ = Usage::kUnused;
+
+using P = minimpi::Primitive;
+constexpr P kEnd = P::kCount;
+
+}  // namespace
+
+const std::array<OutcomeRow, 15>& learning_outcomes() {
+  static const std::array<OutcomeRow, 15> rows = {{
+      {"Implement several canonical MPI communication patterns.",
+       {A, N, N, N, N}},
+      {"Understand blocking and non-blocking message passing.",
+       {A, N, N, N, N}},
+      {"Examine how blocking message passing may lead to deadlock.",
+       {A, N, N, N, N}},
+      {"Understand MPI collective communication primitives.",
+       {N, A, E, E, E}},
+      {"Understand how data locality can be exploited to improve "
+       "performance through the use of tiling.",
+       {N, E, N, N, N}},
+      {"Understand the performance trade-offs between small and large tile "
+       "sizes.",
+       {N, E, N, N, N}},
+      {"Utilize a performance tool to measure cache misses.",
+       {N, A, N, N, N}},
+      {"Understand how various algorithm components scale as a function of "
+       "the number of process ranks.",
+       {N, E, E, E, C}},
+      {"Understand how different input data distributions may impact load "
+       "balancing.",
+       {N, N, E, N, N}},
+      {"Discover how compute-bound and memory-bound algorithms vary in "
+       "their scalability.",
+       {N, E, E, E, E}},
+      {"Understand common patterns in distributed-memory programs (e.g., "
+       "alternating phases of computation and communication).",
+       {A, A, E, A, C}},
+      {"Reason about performance based on algorithm characteristics (i.e., "
+       "beyond asymptotic performance).",
+       {N, N, E, E, E}},
+      {"Reason about performance based on communication patterns and "
+       "volumes.",
+       {N, N, E, N, E}},
+      {"Reason about resource allocation alternatives.", {N, N, A, E, C}},
+      {"Reason about how the algorithms can be improved beyond the scope "
+       "of the module.",
+       {N, N, C, C, C}},
+  }};
+  return rows;
+}
+
+const std::array<PrimitiveRow, 10>& primitive_usage() {
+  static const std::array<PrimitiveRow, 10> rows = {{
+      {"MPI_Send", {P::kSend, kEnd, kEnd, kEnd}, {R_, U_, N_, U_, U_}},
+      {"MPI_Recv", {P::kRecv, kEnd, kEnd, kEnd}, {R_, U_, N_, U_, U_}},
+      {"MPI_Isend", {P::kIsend, kEnd, kEnd, kEnd}, {R_, U_, U_, U_, U_}},
+      {"MPI_Wait", {P::kWait, kEnd, kEnd, kEnd}, {R_, U_, U_, U_, U_}},
+      {"MPI_Bcast", {P::kBcast, kEnd, kEnd, kEnd}, {N_, U_, U_, U_, U_}},
+      {"MPI_Send and MPI_Recv variants",
+       {P::kIrecv, P::kSendrecv, P::kAlltoall, P::kAlltoallv},
+       {N_, U_, N_, U_, U_}},
+      {"MPI_Scatter",
+       {P::kScatter, P::kScatterv, kEnd, kEnd},
+       {U_, R_, U_, U_, N_}},
+      {"MPI_Reduce",
+       {P::kReduce, kEnd, kEnd, kEnd},
+       {U_, R_, R_, R_, U_}},
+      {"MPI_Get_count",
+       {P::kProbe, kEnd, kEnd, kEnd},
+       {U_, U_, N_, U_, U_}},
+      {"MPI_Allreduce",
+       {P::kAllreduce, kEnd, kEnd, kEnd},
+       {U_, U_, U_, U_, N_}},
+  }};
+  return rows;
+}
+
+std::uint64_t family_calls(const PrimitiveRow& row,
+                           const minimpi::CommStats& stats) {
+  std::uint64_t total = 0;
+  for (const P p : row.family) {
+    if (p == kEnd) break;
+    total += stats.calls_to(p);
+  }
+  return total;
+}
+
+bool required_primitives_used(int module_index,
+                              const minimpi::CommStats& stats) {
+  for (const PrimitiveRow& row : primitive_usage()) {
+    if (row.usage[static_cast<std::size_t>(module_index)] != Usage::kRequired) {
+      continue;
+    }
+    if (family_calls(row, stats) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dipdc::eval

@@ -1,0 +1,60 @@
+// Metadata for the paper's Table I (student learning outcomes x modules,
+// with Bloom levels) and Table II (MPI primitive usage x modules), plus the
+// machinery that *verifies* Table II against what the instrumented
+// reference solutions actually call.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "minimpi/stats.hpp"
+
+namespace dipdc::eval {
+
+inline constexpr int kModules = 5;
+
+/// Bloom taxonomy level assigned to an outcome within a module.
+enum class Bloom : char {
+  kNone = '-',
+  kApply = 'A',
+  kEvaluate = 'E',
+  kCreate = 'C',
+};
+
+struct OutcomeRow {
+  std::string_view description;
+  std::array<Bloom, kModules> levels;
+};
+
+/// The 15 rows of Table I.
+const std::array<OutcomeRow, 15>& learning_outcomes();
+
+/// Table II cell: Required, Not-required-but-may-be-used, or unused.
+enum class Usage : char {
+  kUnused = '-',
+  kRequired = 'R',
+  kOptional = 'N',
+};
+
+/// A row of Table II groups related primitives into a family so that the
+/// measured counters (which distinguish e.g. Scatter from Scatterv) can be
+/// compared against the paper's coarser rows.
+struct PrimitiveRow {
+  std::string_view label;  // as printed in the paper
+  /// Primitives whose calls count toward this row (terminated by kCount).
+  std::array<minimpi::Primitive, 4> family;
+  std::array<Usage, kModules> usage;
+};
+
+const std::array<PrimitiveRow, 10>& primitive_usage();
+
+/// Calls observed for `row` in `stats`.
+std::uint64_t family_calls(const PrimitiveRow& row,
+                           const minimpi::CommStats& stats);
+
+/// True when every R-marked primitive family of `module_index` (0-based)
+/// has at least one observed call in `stats`.
+bool required_primitives_used(int module_index,
+                              const minimpi::CommStats& stats);
+
+}  // namespace dipdc::eval

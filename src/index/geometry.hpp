@@ -1,0 +1,76 @@
+// 2-D geometry primitives shared by the spatial indexes and Module 4.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dipdc::spatial {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2&, const Point2&) = default;
+};
+
+/// Closed axis-aligned rectangle [xmin, xmax] x [ymin, ymax].
+struct Rect {
+  double xmin = 0.0;
+  double ymin = 0.0;
+  double xmax = 0.0;
+  double ymax = 0.0;
+
+  static Rect of_point(Point2 p) { return {p.x, p.y, p.x, p.y}; }
+
+  /// The degenerate "empty" rectangle that unites as the identity.
+  static Rect empty();
+
+  [[nodiscard]] bool valid() const { return xmin <= xmax && ymin <= ymax; }
+  [[nodiscard]] bool contains(Point2 p) const {
+    return p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax;
+  }
+  [[nodiscard]] bool contains(const Rect& o) const {
+    return o.xmin >= xmin && o.xmax <= xmax && o.ymin >= ymin &&
+           o.ymax <= ymax;
+  }
+  [[nodiscard]] bool intersects(const Rect& o) const {
+    return o.xmin <= xmax && o.xmax >= xmin && o.ymin <= ymax &&
+           o.ymax >= ymin;
+  }
+  [[nodiscard]] double area() const {
+    return valid() ? (xmax - xmin) * (ymax - ymin) : 0.0;
+  }
+  [[nodiscard]] Rect united(const Rect& o) const {
+    return {std::min(xmin, o.xmin), std::min(ymin, o.ymin),
+            std::max(xmax, o.xmax), std::max(ymax, o.ymax)};
+  }
+  /// Area growth if this rectangle were extended to cover `o`
+  /// (Guttman's least-enlargement heuristic).
+  [[nodiscard]] double enlargement(const Rect& o) const {
+    return united(o).area() - area();
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Counters a range query fills in; Module 4's reasoning about the
+/// memory-access:distance-calculation ratio is grounded in these.
+struct QueryStats {
+  std::uint64_t nodes_visited = 0;    // index nodes touched
+  std::uint64_t entries_checked = 0;  // rect/point comparisons performed
+
+  QueryStats& operator+=(const QueryStats& o) {
+    nodes_visited += o.nodes_visited;
+    entries_checked += o.entries_checked;
+    return *this;
+  }
+};
+
+/// Baseline: scan every point (the Module 4 activity-1 algorithm).
+void brute_force_query(std::span<const Point2> points, const Rect& window,
+                       std::vector<std::uint32_t>& out,
+                       QueryStats* stats = nullptr);
+
+}  // namespace dipdc::spatial

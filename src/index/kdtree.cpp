@@ -1,0 +1,95 @@
+#include "index/kdtree.hpp"
+
+#include <algorithm>
+
+namespace dipdc::spatial {
+
+KdTree KdTree::build(std::span<const Point2> points) {
+  KdTree tree;
+  if (points.empty()) return tree;
+  std::vector<std::pair<Point2, std::uint32_t>> items;
+  items.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    items.emplace_back(points[i], static_cast<std::uint32_t>(i));
+  }
+  tree.nodes_.reserve(points.size());
+  tree.root_ = tree.build_recursive(items, 0, items.size(), 0);
+  return tree;
+}
+
+std::int32_t KdTree::build_recursive(
+    std::vector<std::pair<Point2, std::uint32_t>>& items, std::size_t begin,
+    std::size_t end, int depth) {
+  if (begin >= end) return -1;
+  const std::uint8_t axis = static_cast<std::uint8_t>(depth % 2);
+  const std::size_t mid = begin + (end - begin) / 2;
+  std::nth_element(
+      items.begin() + static_cast<std::ptrdiff_t>(begin),
+      items.begin() + static_cast<std::ptrdiff_t>(mid),
+      items.begin() + static_cast<std::ptrdiff_t>(end),
+      [axis](const auto& a, const auto& b) {
+        return axis == 0 ? a.first.x < b.first.x : a.first.y < b.first.y;
+      });
+  const auto index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{items[mid].first, items[mid].second, -1, -1, axis});
+  // Recurse after the push; note nodes_ may reallocate, so assign through
+  // the index, not a stale reference.
+  const std::int32_t left = build_recursive(items, begin, mid, depth + 1);
+  const std::int32_t right = build_recursive(items, mid + 1, end, depth + 1);
+  nodes_[static_cast<std::size_t>(index)].left = left;
+  nodes_[static_cast<std::size_t>(index)].right = right;
+  return index;
+}
+
+void KdTree::query(const Rect& window, std::vector<std::uint32_t>& out,
+                   QueryStats* stats) const {
+  query_node(root_, window, out, stats);
+}
+
+void KdTree::query_node(std::int32_t node, const Rect& window,
+                        std::vector<std::uint32_t>& out,
+                        QueryStats* stats) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (stats != nullptr) {
+    ++stats->nodes_visited;
+    ++stats->entries_checked;
+  }
+  if (window.contains(n.point)) out.push_back(n.id);
+  const double coord = n.axis == 0 ? n.point.x : n.point.y;
+  const double lo = n.axis == 0 ? window.xmin : window.ymin;
+  const double hi = n.axis == 0 ? window.xmax : window.ymax;
+  if (lo <= coord) query_node(n.left, window, out, stats);
+  if (hi >= coord) query_node(n.right, window, out, stats);
+}
+
+int KdTree::height() const { return depth_of(root_); }
+
+int KdTree::depth_of(std::int32_t node) const {
+  if (node < 0) return 0;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  return 1 + std::max(depth_of(n.left), depth_of(n.right));
+}
+
+bool KdTree::check_invariants() const {
+  constexpr double kInf = 1e300;
+  return check_node(root_, Rect{-kInf, -kInf, kInf, kInf});
+}
+
+bool KdTree::check_node(std::int32_t node, Rect bounds) const {
+  if (node < 0) return true;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (!bounds.contains(n.point)) return false;
+  Rect left = bounds;
+  Rect right = bounds;
+  if (n.axis == 0) {
+    left.xmax = n.point.x;
+    right.xmin = n.point.x;
+  } else {
+    left.ymax = n.point.y;
+    right.ymin = n.point.y;
+  }
+  return check_node(n.left, left) && check_node(n.right, right);
+}
+
+}  // namespace dipdc::spatial

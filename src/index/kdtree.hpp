@@ -1,0 +1,56 @@
+// 2-D k-d tree (Bentley 1975) — the third spatial index the paper cites
+// alongside the R-tree and quad-tree (§III-E).  Built once over a point
+// set (median-split, balanced); supports rectangular range queries with
+// the same QueryStats instrumentation as the other indexes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/geometry.hpp"
+
+namespace dipdc::spatial {
+
+class KdTree {
+ public:
+  KdTree() = default;
+
+  /// Builds a balanced tree over `points` (ids are positions).
+  static KdTree build(std::span<const Point2> points);
+
+  /// All ids whose point lies inside `window`, appended to `out`.
+  void query(const Rect& window, std::vector<std::uint32_t>& out,
+             QueryStats* stats = nullptr) const;
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  /// Depth of the deepest node (0 for an empty tree).
+  [[nodiscard]] int height() const;
+
+  /// Structural invariants for property tests: at every node, the left
+  /// subtree's points lie on the splitting coordinate's low side and the
+  /// right subtree's on the high side.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Node {
+    Point2 point;
+    std::uint32_t id = 0;
+    std::int32_t left = -1;   // index into nodes_, -1 = none
+    std::int32_t right = -1;
+    std::uint8_t axis = 0;    // 0 = x, 1 = y
+  };
+
+  std::int32_t build_recursive(
+      std::vector<std::pair<Point2, std::uint32_t>>& items,
+      std::size_t begin, std::size_t end, int depth);
+  void query_node(std::int32_t node, const Rect& window,
+                  std::vector<std::uint32_t>& out, QueryStats* stats) const;
+  bool check_node(std::int32_t node, Rect bounds) const;
+  int depth_of(std::int32_t node) const;
+
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace dipdc::spatial

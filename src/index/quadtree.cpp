@@ -1,0 +1,85 @@
+#include "index/quadtree.hpp"
+
+#include "support/error.hpp"
+
+namespace dipdc::spatial {
+
+QuadTree::QuadTree(Rect bounds, std::size_t node_capacity, int max_depth)
+    : bounds_(bounds),
+      capacity_(node_capacity),
+      max_depth_(max_depth),
+      root_(std::make_unique<Node>()) {
+  DIPDC_REQUIRE(bounds.valid(), "quad-tree bounds must be a valid rectangle");
+  DIPDC_REQUIRE(node_capacity > 0, "node capacity must be positive");
+  DIPDC_REQUIRE(max_depth > 0, "max depth must be positive");
+}
+
+int QuadTree::quadrant_of(const Rect& r, Point2 p) {
+  const double cx = (r.xmin + r.xmax) / 2.0;
+  const double cy = (r.ymin + r.ymax) / 2.0;
+  return (p.x >= cx ? 1 : 0) | (p.y >= cy ? 2 : 0);
+}
+
+Rect QuadTree::child_rect(const Rect& r, int quadrant) {
+  const double cx = (r.xmin + r.xmax) / 2.0;
+  const double cy = (r.ymin + r.ymax) / 2.0;
+  switch (quadrant) {
+    case 0: return {r.xmin, r.ymin, cx, cy};
+    case 1: return {cx, r.ymin, r.xmax, cy};
+    case 2: return {r.xmin, cy, cx, r.ymax};
+    default: return {cx, cy, r.xmax, r.ymax};
+  }
+}
+
+bool QuadTree::insert(Point2 p, std::uint32_t id) {
+  if (!bounds_.contains(p)) return false;
+  insert_into(root_.get(), bounds_, Item{p, id}, 1);
+  ++size_;
+  return true;
+}
+
+void QuadTree::insert_into(Node* node, const Rect& r, Item item, int depth) {
+  while (!node->leaf()) {
+    const int q = quadrant_of(r, item.point);
+    Node* child = node->children[q].get();
+    insert_into(child, child_rect(r, q), item, depth + 1);
+    return;
+  }
+  node->items.push_back(item);
+  if (node->items.size() > capacity_ && depth < max_depth_) {
+    for (auto& child : node->children) child = std::make_unique<Node>();
+    std::vector<Item> items = std::move(node->items);
+    node->items.clear();
+    for (const Item& it : items) {
+      const int q = quadrant_of(r, it.point);
+      insert_into(node->children[q].get(), child_rect(r, q), it, depth + 1);
+    }
+  }
+}
+
+void QuadTree::query_node(const Node* node, const Rect& r, const Rect& window,
+                          std::vector<std::uint32_t>& out,
+                          QueryStats* stats) {
+  if (stats != nullptr) ++stats->nodes_visited;
+  if (node->leaf()) {
+    for (const Item& it : node->items) {
+      if (stats != nullptr) ++stats->entries_checked;
+      if (window.contains(it.point)) out.push_back(it.id);
+    }
+    return;
+  }
+  for (int q = 0; q < 4; ++q) {
+    if (stats != nullptr) ++stats->entries_checked;
+    const Rect cr = child_rect(r, q);
+    if (window.intersects(cr)) {
+      query_node(node->children[q].get(), cr, window, out, stats);
+    }
+  }
+}
+
+void QuadTree::query(const Rect& window, std::vector<std::uint32_t>& out,
+                     QueryStats* stats) const {
+  query_node(root_.get(), bounds_, window, out, stats);
+}
+
+}  // namespace dipdc::spatial

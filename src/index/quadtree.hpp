@@ -1,0 +1,53 @@
+// Point-region quad-tree: the alternative spatial index the paper mentions
+// alongside the R-tree (Finkel & Bentley 1974).  Used as a second baseline
+// in the Module 4 experiments and ablations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/geometry.hpp"
+
+namespace dipdc::spatial {
+
+class QuadTree {
+ public:
+  /// All inserted points must fall inside `bounds`.
+  explicit QuadTree(Rect bounds, std::size_t node_capacity = 16,
+                    int max_depth = 32);
+
+  /// Returns false (and ignores the point) if it lies outside the bounds.
+  bool insert(Point2 p, std::uint32_t id);
+
+  void query(const Rect& window, std::vector<std::uint32_t>& out,
+             QueryStats* stats = nullptr) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] Rect bounds() const { return bounds_; }
+
+ private:
+  struct Item {
+    Point2 point;
+    std::uint32_t id;
+  };
+  struct Node {
+    std::vector<Item> items;                    // leaf payload
+    std::unique_ptr<Node> children[4];          // null in leaves
+    [[nodiscard]] bool leaf() const { return children[0] == nullptr; }
+  };
+
+  static int quadrant_of(const Rect& r, Point2 p);
+  static Rect child_rect(const Rect& r, int quadrant);
+  void insert_into(Node* node, const Rect& r, Item item, int depth);
+  static void query_node(const Node* node, const Rect& r, const Rect& window,
+                         std::vector<std::uint32_t>& out, QueryStats* stats);
+
+  Rect bounds_;
+  std::size_t capacity_;
+  int max_depth_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dipdc::spatial

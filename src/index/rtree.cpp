@@ -1,0 +1,340 @@
+#include "index/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace dipdc::spatial {
+
+Rect Rect::empty() {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  return {inf, inf, -inf, -inf};
+}
+
+void brute_force_query(std::span<const Point2> points, const Rect& window,
+                       std::vector<std::uint32_t>& out, QueryStats* stats) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (stats != nullptr) ++stats->entries_checked;
+    if (window.contains(points[i])) {
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+Rect RTree::Node::bounds() const {
+  Rect r = Rect::empty();
+  for (const Entry& e : entries) r = r.united(e.rect);
+  return r;
+}
+
+RTree::RTree(std::size_t max_entries) : max_entries_(max_entries) {
+  DIPDC_REQUIRE(max_entries >= 4, "R-tree fan-out must be at least 4");
+}
+
+Rect RTree::bounds() const {
+  return root_ ? root_->bounds() : Rect::empty();
+}
+
+int RTree::height() const { return root_ ? leaf_depth_of(root_.get()) : 0; }
+
+int RTree::leaf_depth_of(const Node* node) {
+  int depth = 1;
+  while (!node->leaf) {
+    node = node->entries.front().child.get();
+    ++depth;
+  }
+  return depth;
+}
+
+RTree::Node* RTree::choose_leaf(Node* node, const Rect& rect,
+                                std::vector<Node*>& path) const {
+  while (!node->leaf) {
+    path.push_back(node);
+    Entry* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (Entry& e : node->entries) {
+      const double grow = e.rect.enlargement(rect);
+      const double area = e.rect.area();
+      if (grow < best_enlargement ||
+          (grow == best_enlargement && area < best_area)) {
+        best = &e;
+        best_enlargement = grow;
+        best_area = area;
+      }
+    }
+    node = best->child.get();
+  }
+  return node;
+}
+
+std::unique_ptr<RTree::Node> RTree::split_node(Node* node) {
+  std::vector<Entry> pool = std::move(node->entries);
+  node->entries.clear();
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  // Quadratic PickSeeds: the pair wasting the most area together.
+  std::size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      const double waste = pool[i].rect.united(pool[j].rect).area() -
+                           pool[i].rect.area() - pool[j].rect.area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Rect rect_a = pool[seed_a].rect;
+  Rect rect_b = pool[seed_b].rect;
+  node->entries.push_back(std::move(pool[seed_a]));
+  sibling->entries.push_back(std::move(pool[seed_b]));
+  // Erase the higher index first so the lower stays valid.
+  pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(
+                                std::max(seed_a, seed_b)));
+  pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(seed_a, seed_b)));
+
+  const std::size_t min_fill = min_entries();
+  while (!pool.empty()) {
+    // If one group must take everything to reach minimum fill, give it all.
+    if (node->entries.size() + pool.size() == min_fill) {
+      for (Entry& e : pool) {
+        rect_a = rect_a.united(e.rect);
+        node->entries.push_back(std::move(e));
+      }
+      pool.clear();
+      break;
+    }
+    if (sibling->entries.size() + pool.size() == min_fill) {
+      for (Entry& e : pool) {
+        rect_b = rect_b.united(e.rect);
+        sibling->entries.push_back(std::move(e));
+      }
+      pool.clear();
+      break;
+    }
+
+    // PickNext: the entry with the strongest group preference.
+    std::size_t pick = 0;
+    double best_diff = -1.0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const double da = rect_a.enlargement(pool[i].rect);
+      const double db = rect_b.enlargement(pool[i].rect);
+      const double diff = std::fabs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+      }
+    }
+    Entry e = std::move(pool[pick]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    const double da = rect_a.enlargement(e.rect);
+    const double db = rect_b.enlargement(e.rect);
+    const bool to_a =
+        da < db || (da == db && (rect_a.area() < rect_b.area() ||
+                                 (rect_a.area() == rect_b.area() &&
+                                  node->entries.size() <=
+                                      sibling->entries.size())));
+    if (to_a) {
+      rect_a = rect_a.united(e.rect);
+      node->entries.push_back(std::move(e));
+    } else {
+      rect_b = rect_b.united(e.rect);
+      sibling->entries.push_back(std::move(e));
+    }
+  }
+  return sibling;
+}
+
+void RTree::adjust_tree(std::vector<Node*>& path, Node* node,
+                        std::unique_ptr<Node> sibling) {
+  while (!path.empty()) {
+    Node* parent = path.back();
+    path.pop_back();
+    // Refresh the parent entry covering `node`.
+    for (Entry& e : parent->entries) {
+      if (e.child.get() == node) {
+        e.rect = node->bounds();
+        break;
+      }
+    }
+    if (sibling) {
+      Entry e;
+      e.rect = sibling->bounds();
+      e.child = std::move(sibling);
+      parent->entries.push_back(std::move(e));
+      if (parent->entries.size() > max_entries_) {
+        sibling = split_node(parent);
+      } else {
+        sibling = nullptr;
+      }
+    }
+    node = parent;
+  }
+  if (sibling) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    Entry left;
+    left.rect = root_->bounds();
+    left.child = std::move(root_);
+    Entry right;
+    right.rect = sibling->bounds();
+    right.child = std::move(sibling);
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+  }
+}
+
+void RTree::insert(Point2 p, std::uint32_t id) {
+  const Rect rect = Rect::of_point(p);
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+  }
+  std::vector<Node*> path;
+  Node* leaf = choose_leaf(root_.get(), rect, path);
+  Entry e;
+  e.rect = rect;
+  e.id = id;
+  leaf->entries.push_back(std::move(e));
+  std::unique_ptr<Node> sibling;
+  if (leaf->entries.size() > max_entries_) {
+    sibling = split_node(leaf);
+  }
+  adjust_tree(path, leaf, std::move(sibling));
+  ++size_;
+}
+
+RTree RTree::bulk_load(std::span<const Point2> points,
+                       std::size_t max_entries) {
+  RTree tree(max_entries);
+  tree.size_ = points.size();
+  if (points.empty()) return tree;
+
+  // Leaf level: STR packing of (rect, id) records.
+  struct Record {
+    Rect rect;
+    double cx, cy;
+    std::unique_ptr<Node> child;  // null at the leaf level
+    std::uint32_t id;
+  };
+  std::vector<Record> records;
+  records.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    records.push_back({Rect::of_point(points[i]), points[i].x, points[i].y,
+                       nullptr, static_cast<std::uint32_t>(i)});
+  }
+
+  bool leaf_level = true;
+  const double m = static_cast<double>(max_entries);
+  while (records.size() > max_entries || leaf_level) {
+    const std::size_t n = records.size();
+    const auto nnodes =
+        static_cast<std::size_t>(std::ceil(static_cast<double>(n) / m));
+    const auto slabs = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(nnodes))));
+    const std::size_t slab_size =
+        (n + slabs - 1) / slabs;  // records per vertical slab
+
+    std::sort(records.begin(), records.end(),
+              [](const Record& a, const Record& b) { return a.cx < b.cx; });
+    std::vector<Record> parents;
+    parents.reserve(nnodes);
+    for (std::size_t s = 0; s < n; s += slab_size) {
+      const std::size_t slab_end = std::min(n, s + slab_size);
+      std::sort(records.begin() + static_cast<std::ptrdiff_t>(s),
+                records.begin() + static_cast<std::ptrdiff_t>(slab_end),
+                [](const Record& a, const Record& b) { return a.cy < b.cy; });
+      for (std::size_t b = s; b < slab_end; b += max_entries) {
+        const std::size_t e = std::min(slab_end, b + max_entries);
+        auto node = std::make_unique<Node>();
+        node->leaf = leaf_level;
+        Rect nr = Rect::empty();
+        for (std::size_t i = b; i < e; ++i) {
+          Entry entry;
+          entry.rect = records[i].rect;
+          entry.id = records[i].id;
+          entry.child = std::move(records[i].child);
+          nr = nr.united(entry.rect);
+          node->entries.push_back(std::move(entry));
+        }
+        parents.push_back({nr, (nr.xmin + nr.xmax) / 2.0,
+                           (nr.ymin + nr.ymax) / 2.0, std::move(node), 0});
+      }
+    }
+    records = std::move(parents);
+    leaf_level = false;
+  }
+
+  if (records.size() == 1) {
+    tree.root_ = std::move(records.front().child);
+  } else {
+    auto root = std::make_unique<Node>();
+    root->leaf = false;
+    for (Record& r : records) {
+      Entry e;
+      e.rect = r.rect;
+      e.child = std::move(r.child);
+      root->entries.push_back(std::move(e));
+    }
+    tree.root_ = std::move(root);
+  }
+  return tree;
+}
+
+void RTree::query_node(const Node* node, const Rect& window,
+                       std::vector<std::uint32_t>& out, QueryStats* stats) {
+  if (stats != nullptr) ++stats->nodes_visited;
+  for (const Entry& e : node->entries) {
+    if (stats != nullptr) ++stats->entries_checked;
+    if (!window.intersects(e.rect)) continue;
+    if (node->leaf) {
+      out.push_back(e.id);
+    } else {
+      query_node(e.child.get(), window, out, stats);
+    }
+  }
+}
+
+void RTree::query(const Rect& window, std::vector<std::uint32_t>& out,
+                  QueryStats* stats) const {
+  if (!root_) return;
+  query_node(root_.get(), window, out, stats);
+}
+
+bool RTree::check_node(const Node* node, std::size_t max_entries,
+                       std::size_t /*min_entries*/, bool is_root, int depth,
+                       int leaf_depth) {
+  if (node->entries.empty()) return false;
+  if (node->entries.size() > max_entries) return false;
+  if (!is_root && node->entries.size() < 1) return false;
+  if (node->leaf) {
+    return depth == leaf_depth;
+  }
+  for (const Entry& e : node->entries) {
+    if (e.child == nullptr) return false;
+    // Parent rectangles must tightly bound their children.
+    if (!(e.rect == e.child->bounds())) return false;
+    if (!check_node(e.child.get(), max_entries, 0, false, depth + 1,
+                    leaf_depth)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RTree::check_invariants() const {
+  if (!root_) return size_ == 0;
+  return check_node(root_.get(), max_entries_, min_entries(), true, 1,
+                    leaf_depth_of(root_.get()));
+}
+
+}  // namespace dipdc::spatial

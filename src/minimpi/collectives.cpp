@@ -1,0 +1,401 @@
+// Collective operations, implemented on top of the point-to-point transport
+// so that their simulated cost emerges from the same message model students
+// reason about.  Algorithms: binomial trees for Bcast/Reduce, dissemination
+// for Barrier, linear root loops for Scatter(v)/Gather(v) (adequate at
+// teaching scale and easy to reason about), pairwise exchange for
+// Alltoall(v), and a linear chain for Scan.
+//
+// All ranks must invoke the same collectives in the same order; each
+// invocation consumes one internal tag from a per-communicator sequence so
+// that consecutive collectives can never exchange each other's messages.
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/error.hpp"
+
+namespace dipdc::minimpi {
+
+namespace {
+
+/// First tag value available to collectives; user tags are >= 0, kAnyTag
+/// and kAnySource are -1, so internal tags start below -1.
+constexpr int kInternalTagBase = -2;
+
+void require(bool ok, const char* what) {
+  if (!ok) throw MpiError(what);
+}
+
+/// memcpy-based span copy; avoids GCC's spurious stringop-overflow warning
+/// on std::copy over runtime-sized byte spans.
+void copy_bytes(std::span<std::byte> dst, std::span<const std::byte> src) {
+  require(src.size() <= dst.size(), "internal: copy_bytes overflow");
+  const std::size_t n = src.size();
+  // The explicit upper-bound check is unreachable but lets GCC prove the
+  // memcpy bound is finite (silences a spurious -Wstringop-overflow).
+  if (n == 0 || n > (static_cast<std::size_t>(-1) >> 1)) return;
+  std::memcpy(dst.data(), src.data(), n);
+}
+
+}  // namespace
+
+int Comm::next_collective_tag() {
+  return kInternalTagBase - (collective_seq_++);
+}
+
+Comm Comm::split(int color, int key) {
+  require(color >= 0, "split: colors must be non-negative");
+
+  struct Entry {
+    int color;
+    int key;
+    int world;
+    int parent_rank;
+  };
+  const Entry mine{color, key, world_rank_, rank_};
+  std::vector<Entry> all(static_cast<std::size_t>(size()));
+  allgather_bytes(std::as_bytes(std::span<const Entry>(&mine, 1)),
+                  std::as_writable_bytes(std::span<Entry>(all)));
+
+  // Agree on context ids: parent rank 0 reserves one id per distinct
+  // color and broadcasts the base; colors map to ids in sorted order.
+  std::vector<int> colors;
+  colors.reserve(all.size());
+  for (const Entry& e : all) colors.push_back(e.color);
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+  int base = 0;
+  if (rank_ == 0) {
+    base = runtime_->allocate_contexts(static_cast<int>(colors.size()));
+  }
+  bcast_bytes(std::as_writable_bytes(std::span<int>(&base, 1)), 0);
+  const auto color_index = static_cast<int>(
+      std::lower_bound(colors.begin(), colors.end(), color) -
+      colors.begin());
+  const int context = base + color_index;
+
+  // My group: members of my color ordered by (key, parent rank).
+  std::vector<Entry> members;
+  for (const Entry& e : all) {
+    if (e.color == color) members.push_back(e);
+  }
+  std::sort(members.begin(), members.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.key != b.key ? a.key < b.key
+                                    : a.parent_rank < b.parent_rank;
+            });
+  std::vector<int> group;
+  group.reserve(members.size());
+  int my_rank = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    group.push_back(members[i].world);
+    if (members[i].world == world_rank_) my_rank = static_cast<int>(i);
+  }
+  return Comm(runtime_, world_rank_, my_rank, std::move(group), context);
+}
+
+void Comm::barrier() {
+  count_call(Primitive::kBarrier);
+  const double t0 = wtime();
+  const int tag = next_collective_tag();
+  const int p = size();
+  for (int k = 1; k < p; k <<= 1) {
+    const int dest = (rank_ + k) % p;
+    const int source = (rank_ - k + p) % p;
+    Request sreq = isend_bytes({}, dest, tag, /*internal=*/true);
+    recv_bytes({}, source, tag, /*internal=*/true);
+    wait_nocount(sreq);
+  }
+  trace_end(Primitive::kBarrier, -1, 0, 0, t0);
+}
+
+void Comm::bcast_bytes(std::span<std::byte> data, int root) {
+  validate_peer(root, "bcast");
+  const int tag = next_collective_tag();
+  const int p = size();
+  if (p == 1) return;
+  const int vrank = (rank_ - root + p) % p;
+
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      int source = rank_ - mask;
+      if (source < 0) source += p;
+      recv_bytes(data, source, tag, /*internal=*/true);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      int dest = rank_ + mask;
+      if (dest >= p) dest -= p;
+      send_bytes(data, dest, tag, /*internal=*/true);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::scatter_bytes(std::span<const std::byte> send,
+                         std::span<std::byte> recv, int root) {
+  validate_peer(root, "scatter");
+  const int tag = next_collective_tag();
+  const int p = size();
+  const std::size_t chunk = recv.size();
+  if (rank_ == root) {
+    require(send.size() == chunk * static_cast<std::size_t>(p),
+            "scatter: root send buffer must be size() * chunk bytes");
+    for (int i = 0; i < p; ++i) {
+      const auto piece = send.subspan(static_cast<std::size_t>(i) * chunk,
+                                      chunk);
+      if (i == root) {
+        copy_bytes(recv, piece);
+      } else {
+        send_bytes(piece, i, tag, /*internal=*/true);
+      }
+    }
+  } else {
+    recv_bytes(recv, root, tag, /*internal=*/true);
+  }
+}
+
+void Comm::scatterv_bytes(std::span<const std::byte> send,
+                          std::span<const std::size_t> counts,
+                          std::span<const std::size_t> displs,
+                          std::span<std::byte> recv, std::size_t elem_size,
+                          int root) {
+  validate_peer(root, "scatterv");
+  const int tag = next_collective_tag();
+  const int p = size();
+  if (rank_ == root) {
+    require(counts.size() == static_cast<std::size_t>(p),
+            "scatterv: need one count per rank at the root");
+    require(displs.size() == static_cast<std::size_t>(p),
+            "scatterv: need one displacement per rank at the root");
+    for (int i = 0; i < p; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i);
+      const std::size_t offset = displs[idx] * elem_size;
+      const std::size_t nbytes = counts[idx] * elem_size;
+      require(offset + nbytes <= send.size(),
+              "scatterv: count/displacement outside the send buffer");
+      const auto piece = send.subspan(offset, nbytes);
+      if (i == root) {
+        require(recv.size() >= nbytes,
+                "scatterv: root receive buffer too small");
+        copy_bytes(recv, piece);
+      } else {
+        send_bytes(piece, i, tag, /*internal=*/true);
+      }
+    }
+  } else {
+    recv_bytes(recv, root, tag, /*internal=*/true);
+  }
+}
+
+void Comm::gather_bytes(std::span<const std::byte> send,
+                        std::span<std::byte> recv, int root) {
+  validate_peer(root, "gather");
+  const int tag = next_collective_tag();
+  const int p = size();
+  const std::size_t chunk = send.size();
+  if (rank_ == root) {
+    require(recv.size() == chunk * static_cast<std::size_t>(p),
+            "gather: root receive buffer must be size() * chunk bytes");
+    for (int i = 0; i < p; ++i) {
+      auto slot = recv.subspan(static_cast<std::size_t>(i) * chunk, chunk);
+      if (i == root) {
+        copy_bytes(slot, send);
+      } else {
+        const Status st = recv_bytes(slot, i, tag, /*internal=*/true);
+        require(st.bytes == chunk,
+                "gather: a rank contributed an unexpected number of bytes");
+      }
+    }
+  } else {
+    send_bytes(send, root, tag, /*internal=*/true);
+  }
+}
+
+void Comm::gatherv_bytes(std::span<const std::byte> send,
+                         std::span<const std::size_t> counts,
+                         std::span<const std::size_t> displs,
+                         std::span<std::byte> recv, std::size_t elem_size,
+                         int root) {
+  validate_peer(root, "gatherv");
+  const int tag = next_collective_tag();
+  const int p = size();
+  if (rank_ == root) {
+    require(counts.size() == static_cast<std::size_t>(p),
+            "gatherv: need one count per rank at the root");
+    require(displs.size() == static_cast<std::size_t>(p),
+            "gatherv: need one displacement per rank at the root");
+    for (int i = 0; i < p; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i);
+      const std::size_t offset = displs[idx] * elem_size;
+      const std::size_t nbytes = counts[idx] * elem_size;
+      require(offset + nbytes <= recv.size(),
+              "gatherv: count/displacement outside the receive buffer");
+      auto slot = recv.subspan(offset, nbytes);
+      if (i == root) {
+        require(send.size() == nbytes,
+                "gatherv: root contribution does not match its count");
+        copy_bytes(slot, send);
+      } else {
+        const Status st = recv_bytes(slot, i, tag, /*internal=*/true);
+        require(st.bytes == nbytes,
+                "gatherv: a rank contributed an unexpected number of bytes");
+      }
+    }
+  } else {
+    send_bytes(send, root, tag, /*internal=*/true);
+  }
+}
+
+void Comm::allgather_bytes(std::span<const std::byte> send,
+                           std::span<std::byte> recv) {
+  gather_bytes(send, recv, /*root=*/0);
+  bcast_bytes(recv, /*root=*/0);
+}
+
+void Comm::reduce_bytes(std::span<const std::byte> send,
+                        std::span<std::byte> recv, std::size_t elem_size,
+                        const ReduceFn& op, int root) {
+  validate_peer(root, "reduce");
+  require(elem_size > 0, "reduce: element size must be positive");
+  require(send.size() % elem_size == 0,
+          "reduce: buffer size must be a multiple of the element size");
+  const int tag = next_collective_tag();
+  const int p = size();
+  const std::size_t nelems = send.size() / elem_size;
+
+  std::vector<std::byte> accum(send.begin(), send.end());
+  std::vector<std::byte> incoming(send.size());
+  const int vrank = (rank_ - root + p) % p;
+
+  // Binomial combine: ranks whose relative id has the current bit clear
+  // receive from the partner with the bit set; the others send their
+  // partial accumulation upward and leave.  Requires a commutative,
+  // associative operator (all operators in ops.hpp qualify).
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((vrank & mask) == 0) {
+      const int partner_v = vrank | mask;
+      if (partner_v < p) {
+        const int partner = (partner_v + root) % p;
+        recv_bytes(incoming, partner, tag, /*internal=*/true);
+        op(incoming.data(), accum.data(), nelems, elem_size);
+      }
+    } else {
+      const int partner = ((vrank & ~mask) + root) % p;
+      send_bytes(accum, partner, tag, /*internal=*/true);
+      break;
+    }
+  }
+  if (rank_ == root) {
+    require(recv.size() == send.size(),
+            "reduce: root receive buffer must match the send buffer size");
+    copy_bytes(recv, accum);
+  }
+}
+
+void Comm::scan_bytes(std::span<const std::byte> send,
+                      std::span<std::byte> recv, std::size_t elem_size,
+                      const ReduceFn& op) {
+  require(elem_size > 0, "scan: element size must be positive");
+  require(send.size() % elem_size == 0,
+          "scan: buffer size must be a multiple of the element size");
+  require(recv.size() == send.size(),
+          "scan: receive buffer must match the send buffer size");
+  const int tag = next_collective_tag();
+  const int p = size();
+  const std::size_t nelems = send.size() / elem_size;
+
+  std::vector<std::byte> accum(send.begin(), send.end());
+  if (rank_ > 0) {
+    std::vector<std::byte> prefix(send.size());
+    recv_bytes(prefix, rank_ - 1, tag, /*internal=*/true);
+    op(prefix.data(), accum.data(), nelems, elem_size);
+  }
+  if (rank_ + 1 < p) {
+    send_bytes(accum, rank_ + 1, tag, /*internal=*/true);
+  }
+  copy_bytes(recv, accum);
+}
+
+void Comm::alltoall_bytes(std::span<const std::byte> send,
+                          std::span<std::byte> recv) {
+  const int p = size();
+  require(send.size() == recv.size(),
+          "alltoall: send and receive buffers must match in size");
+  require(send.size() % static_cast<std::size_t>(p) == 0,
+          "alltoall: buffer size must be a multiple of the world size");
+  const int tag = next_collective_tag();
+  const std::size_t chunk = send.size() / static_cast<std::size_t>(p);
+
+  const std::size_t self = static_cast<std::size_t>(rank_) * chunk;
+  copy_bytes(recv.subspan(self, chunk), send.subspan(self, chunk));
+  for (int shift = 1; shift < p; ++shift) {
+    const int dest = (rank_ + shift) % p;
+    const int source = (rank_ - shift + p) % p;
+    Request sreq = isend_bytes(
+        send.subspan(static_cast<std::size_t>(dest) * chunk, chunk), dest,
+        tag, /*internal=*/true);
+    recv_bytes(recv.subspan(static_cast<std::size_t>(source) * chunk, chunk),
+               source, tag, /*internal=*/true);
+    wait_nocount(sreq);
+  }
+}
+
+void Comm::alltoallv_bytes(std::span<const std::byte> send,
+                           std::span<const std::size_t> send_counts,
+                           std::span<const std::size_t> send_displs,
+                           std::span<std::byte> recv,
+                           std::span<const std::size_t> recv_counts,
+                           std::span<const std::size_t> recv_displs,
+                           std::size_t elem_size) {
+  const int p = size();
+  const auto np = static_cast<std::size_t>(p);
+  require(send_counts.size() == np && send_displs.size() == np &&
+              recv_counts.size() == np && recv_displs.size() == np,
+          "alltoallv: need counts and displacements for every rank");
+  const int tag = next_collective_tag();
+
+  auto send_piece = [&](int i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    const std::size_t offset = send_displs[idx] * elem_size;
+    const std::size_t nbytes = send_counts[idx] * elem_size;
+    require(offset + nbytes <= send.size(),
+            "alltoallv: send count/displacement outside the buffer");
+    return send.subspan(offset, nbytes);
+  };
+  auto recv_piece = [&](int i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    const std::size_t offset = recv_displs[idx] * elem_size;
+    const std::size_t nbytes = recv_counts[idx] * elem_size;
+    require(offset + nbytes <= recv.size(),
+            "alltoallv: receive count/displacement outside the buffer");
+    return recv.subspan(offset, nbytes);
+  };
+
+  {
+    const auto src = send_piece(rank_);
+    auto dst = recv_piece(rank_);
+    require(src.size() == dst.size(),
+            "alltoallv: self counts disagree between send and receive sides");
+    copy_bytes(dst, src);
+  }
+  for (int shift = 1; shift < p; ++shift) {
+    const int dest = (rank_ + shift) % p;
+    const int source = (rank_ - shift + p) % p;
+    Request sreq = isend_bytes(send_piece(dest), dest, tag, /*internal=*/true);
+    auto dst = recv_piece(source);
+    const Status st = recv_bytes(dst, source, tag, /*internal=*/true);
+    require(st.bytes == dst.size(),
+            "alltoallv: a rank contributed an unexpected number of bytes");
+    wait_nocount(sreq);
+  }
+}
+
+}  // namespace dipdc::minimpi

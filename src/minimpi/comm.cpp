@@ -1,0 +1,418 @@
+// Point-to-point transport: the byte-level operations behind the typed API.
+#include "minimpi/comm.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "minimpi/error.hpp"
+
+namespace dipdc::minimpi {
+
+namespace {
+
+std::shared_ptr<detail::Envelope> make_envelope(
+    int source, int world_dest, int tag, int context,
+    std::span<const std::byte> data, bool internal, bool rendezvous) {
+  auto env = std::make_shared<detail::Envelope>();
+  env->source = source;
+  env->dest = world_dest;
+  env->tag = tag;
+  env->context = context;
+  env->payload.assign(data.begin(), data.end());
+  env->internal = internal;
+  env->rendezvous = rendezvous;
+  return env;
+}
+
+}  // namespace
+
+void Comm::validate_peer(int peer, const char* what) const {
+  if (peer < 0 || peer >= size()) {
+    std::ostringstream os;
+    os << what << ": peer rank " << peer << " outside communicator of size "
+       << size();
+    throw MpiError(os.str());
+  }
+}
+
+void Comm::validate_user_tag(int tag, const char* what) const {
+  if (tag < 0) {
+    std::ostringstream os;
+    os << what << ": user tags must be non-negative (got " << tag
+       << "); negative tags are reserved for collectives";
+    throw MpiError(os.str());
+  }
+}
+
+void Comm::sim_compute(double flops, double mem_bytes) {
+  const double dt = cost_model().kernel_time(world_rank_, flops, mem_bytes);
+  state().clock += dt;
+  state().stats.sim_compute_seconds += dt;
+}
+
+void Comm::sim_advance(double seconds) {
+  DIPDC_REQUIRE(seconds >= 0.0, "cannot advance the clock backwards");
+  state().clock += seconds;
+  state().stats.sim_compute_seconds += seconds;
+}
+
+void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
+                      bool internal) {
+  validate_peer(dest, "send");
+  if (!internal) validate_user_tag(tag, "send");
+  const int wdest = to_world(dest);
+  // Collective-internal messages are always eager: real MPI collectives
+  // never deadlock, and the linear root loops must not serialize on
+  // rendezvous handshakes.
+  const bool rendezvous =
+      !internal && data.size() > runtime_->options().eager_threshold;
+  auto env = make_envelope(rank_, wdest, tag, context_, data, internal,
+                           rendezvous);
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  detail::RankState& st = state();
+  const double alpha = cost_model().message_time(world_rank_, wdest, 0);
+  const double overhead = cost_model().send_overhead();
+  env->arrival_head = st.clock + alpha;
+  env->byte_time =
+      cost_model().message_time(world_rank_, wdest, data.size()) - alpha;
+  st.stats.transport_bytes_sent += data.size();
+  ++st.stats.transport_messages_sent;
+  if (!internal) {
+    st.stats.p2p_bytes_sent += data.size();
+    ++st.stats.p2p_messages_sent;
+  }
+  runtime_->deliver_locked(env);
+  if (rendezvous) {
+    runtime_->blocking_wait(lock, world_rank_, "Send (rendezvous)",
+                            [&env] { return env->matched; });
+    const double completion = std::max(st.clock, env->completion_time);
+    st.stats.sim_comm_seconds += completion - st.clock;
+    st.clock = completion;
+  } else {
+    // The eager sender only pays its local injection overhead (LogP "o");
+    // the wire latency is experienced by the receiver.
+    st.clock += overhead;
+    st.stats.sim_comm_seconds += overhead;
+  }
+}
+
+Status Comm::recv_bytes(std::span<std::byte> data, int source, int tag,
+                        bool internal) {
+  if (source != kAnySource) validate_peer(source, "recv");
+  if (!internal && tag != kAnyTag) validate_user_tag(tag, "recv");
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  detail::RankState& st = state();
+  detail::Mailbox& mb = runtime_->mailbox(world_rank_);
+
+  // Fast path: a matching message already arrived.
+  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
+    detail::Envelope& env = **it;
+    if (!detail::filters_match(source, tag, context_, internal, env)) {
+      continue;
+    }
+    if (env.payload.size() > data.size()) {
+      std::ostringstream os;
+      os << "message truncation: recv buffer holds " << data.size()
+         << " bytes but rank " << env.source << " sent "
+         << env.payload.size() << " bytes (tag " << env.tag << ")";
+      throw MpiError(os.str());
+    }
+    std::copy(env.payload.begin(), env.payload.end(), data.data());
+    const Status status{env.source, env.tag, env.payload.size()};
+    const double completion =
+        std::max({st.clock, env.arrival_head, mb.link_busy_until}) +
+        env.byte_time;
+    mb.link_busy_until = completion;
+    env.completion_time = completion;
+    env.matched = true;
+    st.stats.sim_comm_seconds += completion - st.clock;
+    st.clock = completion;
+    if (!internal) {
+      st.stats.p2p_bytes_received += env.payload.size();
+      ++st.stats.p2p_messages_received;
+    }
+    mb.unexpected.erase(it);
+    runtime_->condvar().notify_all();  // a rendezvous sender may be waiting
+    return status;
+  }
+
+  // Slow path: post the receive and block until a sender matches it.
+  auto req = std::make_shared<detail::RequestState>();
+  req->kind = detail::RequestState::Kind::kRecv;
+  req->buffer = data.data();
+  req->capacity = data.size();
+  req->source_filter = source;
+  req->tag_filter = tag;
+  req->context = context_;
+  req->internal = internal;
+  req->post_time = st.clock;
+  mb.posted.push_back(req);
+
+  runtime_->blocking_wait(lock, world_rank_, "Recv",
+                          [&req] { return req->done; });
+  if (!req->error.empty()) throw MpiError(req->error);
+  const double completion = std::max(st.clock, req->completion_time);
+  st.stats.sim_comm_seconds += completion - st.clock;
+  st.clock = completion;
+  if (!internal) {
+    st.stats.p2p_bytes_received += req->status.bytes;
+    ++st.stats.p2p_messages_received;
+  }
+  return req->status;
+}
+
+Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
+                          bool internal) {
+  validate_peer(dest, "isend");
+  if (!internal) validate_user_tag(tag, "isend");
+  const int wdest = to_world(dest);
+  const bool rendezvous =
+      !internal && data.size() > runtime_->options().eager_threshold;
+  auto env = make_envelope(rank_, wdest, tag, context_, data, internal,
+                           rendezvous);
+
+  auto req = std::make_shared<detail::RequestState>();
+  req->kind = detail::RequestState::Kind::kSend;
+  req->envelope = env;
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  detail::RankState& st = state();
+  const double alpha = cost_model().message_time(world_rank_, wdest, 0);
+  env->arrival_head = st.clock + alpha;
+  env->byte_time =
+      cost_model().message_time(world_rank_, wdest, data.size()) - alpha;
+  st.stats.transport_bytes_sent += data.size();
+  ++st.stats.transport_messages_sent;
+  if (!internal) {
+    st.stats.p2p_bytes_sent += data.size();
+    ++st.stats.p2p_messages_sent;
+  }
+  runtime_->deliver_locked(env);
+  // The non-blocking send itself only pays injection overhead; a rendezvous
+  // Isend defers the synchronization to wait().
+  st.clock += cost_model().send_overhead();
+  st.stats.sim_comm_seconds += cost_model().send_overhead();
+  if (!rendezvous) {
+    req->done = true;
+    req->completion_time = st.clock;
+  }
+  return Request(req);
+}
+
+Request Comm::irecv_bytes(std::span<std::byte> data, int source, int tag,
+                          bool internal) {
+  if (source != kAnySource) validate_peer(source, "irecv");
+  if (!internal && tag != kAnyTag) validate_user_tag(tag, "irecv");
+
+  auto req = std::make_shared<detail::RequestState>();
+  req->kind = detail::RequestState::Kind::kRecv;
+  req->buffer = data.data();
+  req->capacity = data.size();
+  req->source_filter = source;
+  req->tag_filter = tag;
+  req->context = context_;
+  req->internal = internal;
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  detail::RankState& st = state();
+  req->post_time = st.clock;
+  detail::Mailbox& mb = runtime_->mailbox(world_rank_);
+  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
+    detail::Envelope& env = **it;
+    if (!detail::filters_match(source, tag, context_, internal, env)) {
+      continue;
+    }
+    if (env.payload.size() > req->capacity) {
+      std::ostringstream os;
+      os << "message truncation: irecv buffer holds " << req->capacity
+         << " bytes but rank " << env.source << " sent "
+         << env.payload.size() << " bytes (tag " << env.tag << ")";
+      req->error = os.str();
+    } else {
+      std::copy(env.payload.begin(), env.payload.end(), req->buffer);
+    }
+    req->status = Status{env.source, env.tag, env.payload.size()};
+    const double completion =
+        std::max({req->post_time, env.arrival_head, mb.link_busy_until}) +
+        env.byte_time;
+    mb.link_busy_until = completion;
+    req->completion_time = completion;
+    env.completion_time = completion;
+    env.matched = true;
+    req->done = true;
+    mb.unexpected.erase(it);
+    runtime_->condvar().notify_all();
+    return Request(req);
+  }
+  mb.posted.push_back(req);
+  return Request(req);
+}
+
+void Comm::trace_end(Primitive op, int peer, int tag, std::size_t bytes,
+                     double t0) {
+  if (!runtime_->options().record_trace) return;
+  // The trace vector belongs to this rank's RankState and is only touched
+  // by the owner thread, so no lock is needed.
+  state().trace.push_back(
+      TraceEvent{world_rank_, op, peer, tag, bytes, t0, state().clock});
+}
+
+Status Comm::wait(Request& request) {
+  count_call(Primitive::kWait);
+  const double t0 = wtime();
+  const Status st = wait_nocount(request);
+  trace_end(Primitive::kWait, st.source, st.tag, st.bytes, t0);
+  return st;
+}
+
+Status Comm::wait_nocount(Request& request) {
+  if (!request.valid()) throw MpiError("wait on an empty Request");
+  auto rs = request.state_;
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  detail::RankState& st = state();
+  if (rs->kind == detail::RequestState::Kind::kSend) {
+    const auto& env = rs->envelope;
+    if (env->rendezvous && !rs->done) {
+      runtime_->blocking_wait(lock, world_rank_, "Wait (Isend rendezvous)",
+                              [&env] { return env->matched; });
+      rs->done = true;
+      rs->completion_time = env->completion_time;
+    }
+    const double completion = std::max(st.clock, rs->completion_time);
+    st.stats.sim_comm_seconds += completion - st.clock;
+    st.clock = completion;
+    return Status{};
+  }
+
+  runtime_->blocking_wait(lock, world_rank_, "Wait (Irecv)",
+                          [&rs] { return rs->done; });
+  if (!rs->error.empty()) throw MpiError(rs->error);
+  const double completion = std::max(st.clock, rs->completion_time);
+  st.stats.sim_comm_seconds += completion - st.clock;
+  st.clock = completion;
+  if (!rs->internal && !rs->consumed) {
+    st.stats.p2p_bytes_received += rs->status.bytes;
+    ++st.stats.p2p_messages_received;
+  }
+  rs->consumed = true;
+  return rs->status;
+}
+
+std::size_t Comm::wait_any(std::span<Request> requests, Status* status) {
+  count_call(Primitive::kWait);
+  if (requests.empty()) throw MpiError("wait_any on an empty request list");
+  for (const Request& r : requests) {
+    if (!r.valid()) throw MpiError("wait_any on an empty Request");
+  }
+  auto request_done = [](const Request& r) {
+    const auto& rs = r.state_;
+    return rs->kind == detail::RequestState::Kind::kSend
+               ? (rs->done || rs->envelope->matched)
+               : rs->done;
+  };
+
+  std::size_t which = requests.size();
+  {
+    std::unique_lock<std::mutex> lock(runtime_->mutex());
+    runtime_->blocking_wait(lock, world_rank_, "Waitany", [&] {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (request_done(requests[i])) {
+          which = i;
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+  // Complete the found request (adopts clocks/counters idempotently).
+  const Status st = wait_nocount(requests[which]);
+  if (status != nullptr) *status = st;
+  return which;
+}
+
+bool Comm::test(Request& request, Status* status) {
+  if (!request.valid()) throw MpiError("test on an empty Request");
+  auto rs = request.state_;
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  detail::RankState& st = state();
+  const bool done = rs->kind == detail::RequestState::Kind::kSend
+                        ? (rs->done || rs->envelope->matched)
+                        : rs->done;
+  if (!done) return false;
+  if (!rs->error.empty()) throw MpiError(rs->error);
+  if (rs->kind == detail::RequestState::Kind::kSend &&
+      rs->envelope->rendezvous && !rs->done) {
+    rs->done = true;
+    rs->completion_time = rs->envelope->completion_time;
+  }
+  const double completion = std::max(st.clock, rs->completion_time);
+  st.stats.sim_comm_seconds += completion - st.clock;
+  st.clock = completion;
+  if (rs->kind == detail::RequestState::Kind::kRecv && !rs->internal &&
+      !rs->consumed) {
+    st.stats.p2p_bytes_received += rs->status.bytes;
+    ++st.stats.p2p_messages_received;
+  }
+  rs->consumed = true;
+  if (status != nullptr) *status = rs->status;
+  return true;
+}
+
+void Comm::wait_all(std::span<Request> requests) {
+  for (Request& r : requests) {
+    if (r.valid()) wait(r);
+  }
+}
+
+Status Comm::probe(int source, int tag) {
+  count_call(Primitive::kProbe);
+  const double t_begin = wtime();
+  if (source != kAnySource) validate_peer(source, "probe");
+  if (tag != kAnyTag) validate_user_tag(tag, "probe");
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  detail::RankState& st = state();
+  detail::Mailbox& mb = runtime_->mailbox(world_rank_);
+  const detail::Envelope* found = nullptr;
+  auto find_match = [&]() -> bool {
+    for (const auto& env : mb.unexpected) {
+      if (detail::filters_match(source, tag, context_, /*internal=*/false,
+                                *env)) {
+        found = env.get();
+        return true;
+      }
+    }
+    return false;
+  };
+  runtime_->blocking_wait(lock, world_rank_, "Probe", find_match);
+  // Probing reveals the envelope metadata once the message head arrives;
+  // the payload itself is ingested by the subsequent receive.
+  const double completion = std::max(st.clock, found->arrival_head);
+  st.stats.sim_comm_seconds += completion - st.clock;
+  st.clock = completion;
+  lock.unlock();
+  trace_end(Primitive::kProbe, found->source, found->tag,
+            found->payload.size(), t_begin);
+  return Status{found->source, found->tag, found->payload.size()};
+}
+
+std::optional<Status> Comm::iprobe(int source, int tag) {
+  if (source != kAnySource) validate_peer(source, "iprobe");
+  if (tag != kAnyTag) validate_user_tag(tag, "iprobe");
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  detail::Mailbox& mb = runtime_->mailbox(world_rank_);
+  for (const auto& env : mb.unexpected) {
+    if (detail::filters_match(source, tag, context_, /*internal=*/false,
+                              *env)) {
+      return Status{env->source, env->tag, env->payload.size()};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dipdc::minimpi

@@ -1,0 +1,473 @@
+// The per-rank communicator: the public face of minimpi.
+//
+// The typed template methods in this header are thin wrappers over the
+// byte-level operations implemented in comm.cpp / collectives.cpp.  All
+// message types must be trivially copyable (they travel as raw bytes, as
+// with MPI datatypes over contiguous buffers).
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "minimpi/detail.hpp"
+#include "minimpi/error.hpp"
+#include "minimpi/runtime.hpp"
+#include "minimpi/stats.hpp"
+#include "minimpi/types.hpp"
+
+namespace dipdc::minimpi {
+
+template <typename T>
+concept Trivial = std::is_trivially_copyable_v<T>;
+
+/// Handle to a pending non-blocking operation.  Complete it with
+/// Comm::wait()/test()/wait_all(); destroying an incomplete Request is
+/// allowed (the transfer still happens, like a forgotten MPI request leak).
+class Request {
+ public:
+  Request() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  /// Receive status; meaningful after wait()/test() returned success.
+  [[nodiscard]] const Status& status() const { return state_->status; }
+
+ private:
+  friend class Comm;
+  explicit Request(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+class Comm {
+ public:
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+  Comm(Comm&&) = default;
+  Comm& operator=(Comm&&) = default;
+
+  /// Rank within this communicator.
+  [[nodiscard]] int rank() const { return rank_; }
+  /// Number of ranks in this communicator.
+  [[nodiscard]] int size() const {
+    return group_.empty() ? runtime_->nranks()
+                          : static_cast<int>(group_.size());
+  }
+  /// The underlying world rank (stable across split()).
+  [[nodiscard]] int world_rank() const { return world_rank_; }
+
+  /// Simulated wall-clock (seconds since the world started), analogous to
+  /// MPI_Wtime under the configured machine model.  Shared across all
+  /// communicators of this rank.
+  [[nodiscard]] double wtime() const { return state().clock; }
+
+  /// Advances this rank's simulated clock through the machine model's
+  /// roofline cost for a kernel of `flops` operations touching `mem_bytes`
+  /// bytes of DRAM traffic.
+  void sim_compute(double flops, double mem_bytes);
+
+  /// Advances this rank's simulated clock by a fixed duration (accounted as
+  /// compute time).
+  void sim_advance(double seconds);
+
+  [[nodiscard]] const CommStats& stats() const { return state().stats; }
+  [[nodiscard]] const perfmodel::CostModel& cost_model() const {
+    return runtime_->cost();
+  }
+
+  // ---- Point-to-point ----------------------------------------------------
+
+  template <Trivial T>
+  void send(std::span<const T> data, int dest, int tag = 0) {
+    count_call(Primitive::kSend);
+    const double t0 = wtime();
+    send_bytes(as_bytes(data), dest, tag, /*internal=*/false);
+    trace_end(Primitive::kSend, dest, tag, data.size_bytes(), t0);
+  }
+
+  template <Trivial T>
+  void send_value(const T& value, int dest, int tag = 0) {
+    send(std::span<const T>(&value, 1), dest, tag);
+  }
+
+  /// Receives into `data`; the message may be shorter than the buffer (the
+  /// status reports the actual size) but must not be longer.
+  template <Trivial T>
+  Status recv(std::span<T> data, int source = kAnySource, int tag = kAnyTag) {
+    count_call(Primitive::kRecv);
+    const double t0 = wtime();
+    const Status st = recv_bytes(as_writable_bytes(data), source, tag,
+                                 /*internal=*/false);
+    trace_end(Primitive::kRecv, st.source, st.tag, st.bytes, t0);
+    return st;
+  }
+
+  template <Trivial T>
+  T recv_value(int source = kAnySource, int tag = kAnyTag) {
+    T value{};
+    const Status st = recv(std::span<T>(&value, 1), source, tag);
+    if (st.bytes != sizeof(T)) {
+      throw MpiError("recv_value: message size does not match value type");
+    }
+    return value;
+  }
+
+  /// Probes for the next matching message and receives exactly it,
+  /// whatever its length (the MPI_Probe + MPI_Get_count + MPI_Recv idiom
+  /// Module 3 teaches).
+  template <Trivial T>
+  std::vector<T> recv_vector(int source = kAnySource, int tag = kAnyTag) {
+    const Status st = probe(source, tag);
+    std::vector<T> data(st.count<T>());
+    recv(std::span<T>(data), st.source, st.tag);
+    return data;
+  }
+
+  template <Trivial T>
+  Request isend(std::span<const T> data, int dest, int tag = 0) {
+    count_call(Primitive::kIsend);
+    const double t0 = wtime();
+    Request req = isend_bytes(as_bytes(data), dest, tag, /*internal=*/false);
+    trace_end(Primitive::kIsend, dest, tag, data.size_bytes(), t0);
+    return req;
+  }
+
+  template <Trivial T>
+  Request isend_value(const T& value, int dest, int tag = 0) {
+    return isend(std::span<const T>(&value, 1), dest, tag);
+  }
+
+  /// Posts a non-blocking receive; `data` must stay alive until completion.
+  template <Trivial T>
+  Request irecv(std::span<T> data, int source = kAnySource,
+                int tag = kAnyTag) {
+    count_call(Primitive::kIrecv);
+    const double t0 = wtime();
+    Request req = irecv_bytes(as_writable_bytes(data), source, tag,
+                              /*internal=*/false);
+    trace_end(Primitive::kIrecv, source, tag, data.size_bytes(), t0);
+    return req;
+  }
+
+  /// Blocks until the request completes; returns the receive status.
+  Status wait(Request& request);
+  /// Blocks until at least one request completes; returns its index and
+  /// fills `status` for receives (MPI_Waitany).
+  std::size_t wait_any(std::span<Request> requests,
+                       Status* status = nullptr);
+  /// Non-blocking completion check; fills `status` when true.
+  bool test(Request& request, Status* status = nullptr);
+  void wait_all(std::span<Request> requests);
+
+  /// Blocks until a matching message is available; the message is left in
+  /// place for a subsequent recv.
+  Status probe(int source = kAnySource, int tag = kAnyTag);
+  /// Non-blocking probe.
+  std::optional<Status> iprobe(int source = kAnySource, int tag = kAnyTag);
+
+  /// Combined send+receive that is deadlock-safe (internally isend+recv),
+  /// as MPI_Sendrecv is.
+  template <Trivial T>
+  Status sendrecv(std::span<const T> send_data, int dest, int send_tag,
+                  std::span<T> recv_data, int source = kAnySource,
+                  int recv_tag = kAnyTag) {
+    count_call(Primitive::kSendrecv);
+    const double t0 = wtime();
+    Request sreq = isend_bytes(as_bytes(send_data), dest, send_tag,
+                               /*internal=*/false);
+    const Status st = recv_bytes(as_writable_bytes(recv_data), source,
+                                 recv_tag, /*internal=*/false);
+    wait_nocount(sreq);
+    trace_end(Primitive::kSendrecv, dest, send_tag,
+              send_data.size_bytes() + st.bytes, t0);
+    return st;
+  }
+
+  // ---- Collectives ---------------------------------------------------------
+  // All ranks must call the same collective in the same order; collective
+  // payloads are matched by an internal per-communicator sequence number,
+  // never by user tags.
+
+  void barrier();
+
+  /// Splits this communicator (MPI_Comm_split): ranks passing the same
+  /// non-negative `color` form a new communicator, ordered by (key, rank).
+  /// Collective over this communicator.
+  [[nodiscard]] Comm split(int color, int key = 0);
+
+  template <Trivial T>
+  void bcast(std::span<T> data, int root) {
+    count_call(Primitive::kBcast);
+    const double t0 = wtime();
+    bcast_bytes(as_writable_bytes(data), root);
+    trace_end(Primitive::kBcast, root, 0, data.size_bytes(), t0);
+  }
+
+  template <Trivial T>
+  T bcast_value(T value, int root) {
+    bcast(std::span<T>(&value, 1), root);
+    return value;
+  }
+
+  /// Root's `send_data` (size() * chunk elements) is split into equal
+  /// chunks, one per rank, received in `recv_data` (chunk elements).
+  template <Trivial T>
+  void scatter(std::span<const T> send_data, std::span<T> recv_data,
+               int root) {
+    count_call(Primitive::kScatter);
+    const double t0 = wtime();
+    scatter_bytes(as_bytes(send_data), as_writable_bytes(recv_data), root);
+    trace_end(Primitive::kScatter, root, 0, recv_data.size_bytes(), t0);
+  }
+
+  /// Variable-size scatter: rank i receives send_counts[i] elements
+  /// starting at displacement displs[i] of root's buffer.
+  template <Trivial T>
+  void scatterv(std::span<const T> send_data,
+                std::span<const std::size_t> send_counts,
+                std::span<const std::size_t> displs, std::span<T> recv_data,
+                int root) {
+    count_call(Primitive::kScatterv);
+    const double t0 = wtime();
+    scatterv_bytes(as_bytes(send_data), send_counts, displs,
+                   as_writable_bytes(recv_data), sizeof(T), root);
+    trace_end(Primitive::kScatterv, root, 0, recv_data.size_bytes(), t0);
+  }
+
+  template <Trivial T>
+  void gather(std::span<const T> send_data, std::span<T> recv_data,
+              int root) {
+    count_call(Primitive::kGather);
+    const double t0 = wtime();
+    gather_bytes(as_bytes(send_data), as_writable_bytes(recv_data), root);
+    trace_end(Primitive::kGather, root, 0, send_data.size_bytes(), t0);
+  }
+
+  template <Trivial T>
+  void gatherv(std::span<const T> send_data,
+               std::span<const std::size_t> recv_counts,
+               std::span<const std::size_t> displs, std::span<T> recv_data,
+               int root) {
+    count_call(Primitive::kGatherv);
+    const double t0 = wtime();
+    gatherv_bytes(as_bytes(send_data), recv_counts, displs,
+                  as_writable_bytes(recv_data), sizeof(T), root);
+    trace_end(Primitive::kGatherv, root, 0, send_data.size_bytes(), t0);
+  }
+
+  template <Trivial T>
+  void allgather(std::span<const T> send_data, std::span<T> recv_data) {
+    count_call(Primitive::kAllgather);
+    const double t0 = wtime();
+    allgather_bytes(as_bytes(send_data), as_writable_bytes(recv_data));
+    trace_end(Primitive::kAllgather, -1, 0, recv_data.size_bytes(), t0);
+  }
+
+  /// Variable-size allgather: rank i contributes recv_counts[i] elements,
+  /// gathered at displs[i]; everyone receives everything.
+  template <Trivial T>
+  void allgatherv(std::span<const T> send_data,
+                  std::span<const std::size_t> recv_counts,
+                  std::span<const std::size_t> displs,
+                  std::span<T> recv_data) {
+    count_call(Primitive::kAllgather);
+    const double t0 = wtime();
+    gatherv_bytes(as_bytes(send_data), recv_counts, displs,
+                  as_writable_bytes(recv_data), sizeof(T), 0);
+    bcast_bytes(as_writable_bytes(recv_data), 0);
+    trace_end(Primitive::kAllgather, -1, 0, recv_data.size_bytes(), t0);
+  }
+
+  template <Trivial T, typename Op>
+  void reduce(std::span<const T> send_data, std::span<T> recv_data, Op op,
+              int root) {
+    count_call(Primitive::kReduce);
+    const double t0 = wtime();
+    reduce_bytes(as_bytes(send_data),
+                 root == rank_ ? as_writable_bytes(recv_data)
+                               : std::span<std::byte>{},
+                 sizeof(T), make_reduce_fn<T>(op), root);
+    trace_end(Primitive::kReduce, root, 0, send_data.size_bytes(), t0);
+  }
+
+  template <Trivial T, typename Op>
+  void allreduce(std::span<const T> send_data, std::span<T> recv_data,
+                 Op op) {
+    count_call(Primitive::kAllreduce);
+    const double t0 = wtime();
+    reduce_bytes(as_bytes(send_data),
+                 rank_ == 0 ? as_writable_bytes(recv_data)
+                            : std::span<std::byte>{},
+                 sizeof(T), make_reduce_fn<T>(op), /*root=*/0);
+    bcast_bytes(as_writable_bytes(recv_data), /*root=*/0);
+    trace_end(Primitive::kAllreduce, -1, 0, send_data.size_bytes(), t0);
+  }
+
+  template <Trivial T, typename Op>
+  T allreduce_value(const T& value, Op op) {
+    T out{};
+    allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+
+  /// Inclusive prefix reduction over ranks (MPI_Scan).
+  template <Trivial T, typename Op>
+  void scan(std::span<const T> send_data, std::span<T> recv_data, Op op) {
+    count_call(Primitive::kScan);
+    const double t0 = wtime();
+    scan_bytes(as_bytes(send_data), as_writable_bytes(recv_data), sizeof(T),
+               make_reduce_fn<T>(op));
+    trace_end(Primitive::kScan, -1, 0, send_data.size_bytes(), t0);
+  }
+
+  /// Equal-size all-to-all: rank i's chunk j goes to rank j's chunk i.
+  template <Trivial T>
+  void alltoall(std::span<const T> send_data, std::span<T> recv_data) {
+    count_call(Primitive::kAlltoall);
+    const double t0 = wtime();
+    alltoall_bytes(as_bytes(send_data), as_writable_bytes(recv_data));
+    trace_end(Primitive::kAlltoall, -1, 0, send_data.size_bytes(), t0);
+  }
+
+  /// Variable-size all-to-all (MPI_Alltoallv); counts/displs in elements.
+  template <Trivial T>
+  void alltoallv(std::span<const T> send_data,
+                 std::span<const std::size_t> send_counts,
+                 std::span<const std::size_t> send_displs,
+                 std::span<T> recv_data,
+                 std::span<const std::size_t> recv_counts,
+                 std::span<const std::size_t> recv_displs) {
+    count_call(Primitive::kAlltoallv);
+    const double t0 = wtime();
+    alltoallv_bytes(as_bytes(send_data), send_counts, send_displs,
+                    as_writable_bytes(recv_data), recv_counts, recv_displs,
+                    sizeof(T));
+    trace_end(Primitive::kAlltoallv, -1, 0, send_data.size_bytes(), t0);
+  }
+
+ private:
+  friend RunResult run(int, const std::function<void(Comm&)>&,
+                       RuntimeOptions);
+
+  using ReduceFn =
+      std::function<void(const std::byte* in, std::byte* inout,
+                         std::size_t elems, std::size_t elem_size)>;
+
+  /// World communicator for one rank.
+  Comm(detail_runtime::Runtime* runtime, int rank)
+      : runtime_(runtime), world_rank_(rank), rank_(rank) {}
+
+  /// Split communicator: `group` maps comm ranks to world ranks.
+  Comm(detail_runtime::Runtime* runtime, int world_rank, int comm_rank,
+       std::vector<int> group, int context)
+      : runtime_(runtime),
+        world_rank_(world_rank),
+        rank_(comm_rank),
+        group_(std::move(group)),
+        context_(context) {}
+
+  [[nodiscard]] detail::RankState& state() const {
+    return runtime_->rank_state(world_rank_);
+  }
+  /// World rank of communicator rank `peer`.
+  [[nodiscard]] int to_world(int peer) const {
+    return group_.empty() ? peer
+                          : group_[static_cast<std::size_t>(peer)];
+  }
+
+  template <Trivial T>
+  static std::span<const std::byte> as_bytes(std::span<const T> s) {
+    return std::as_bytes(s);
+  }
+  template <Trivial T>
+  static std::span<std::byte> as_writable_bytes(std::span<T> s) {
+    return std::as_writable_bytes(s);
+  }
+
+  /// Wraps a typed binary operator into the byte-level reduction functor.
+  /// Elements are copied in and out with memcpy, so the payload buffers
+  /// need no alignment guarantees.
+  template <Trivial T, typename Op>
+  static ReduceFn make_reduce_fn(Op op) {
+    return [op](const std::byte* in, std::byte* inout, std::size_t elems,
+                std::size_t elem_size) {
+      for (std::size_t i = 0; i < elems; ++i) {
+        T a;
+        T b;
+        std::memcpy(&a, in + i * elem_size, sizeof(T));
+        std::memcpy(&b, inout + i * elem_size, sizeof(T));
+        const T r = op(b, a);  // inout = op(inout, in)
+        std::memcpy(inout + i * elem_size, &r, sizeof(T));
+      }
+    };
+  }
+
+  void count_call(Primitive p) {
+    ++state().stats.calls[static_cast<std::size_t>(p)];
+  }
+
+  /// Records a user-level operation spanning [t0, now] when tracing is on
+  /// (comm.cpp; no-op otherwise).
+  void trace_end(Primitive op, int peer, int tag, std::size_t bytes,
+                 double t0);
+
+  // Byte-level transport (comm.cpp).
+  void send_bytes(std::span<const std::byte> data, int dest, int tag,
+                  bool internal);
+  Status recv_bytes(std::span<std::byte> data, int source, int tag,
+                    bool internal);
+  Request isend_bytes(std::span<const std::byte> data, int dest, int tag,
+                      bool internal);
+  Request irecv_bytes(std::span<std::byte> data, int source, int tag,
+                      bool internal);
+  Status wait_nocount(Request& request);
+  void validate_peer(int peer, const char* what) const;
+  void validate_user_tag(int tag, const char* what) const;
+
+  // Collective building blocks (collectives.cpp).
+  int next_collective_tag();
+  void bcast_bytes(std::span<std::byte> data, int root);
+  void scatter_bytes(std::span<const std::byte> send,
+                     std::span<std::byte> recv, int root);
+  void scatterv_bytes(std::span<const std::byte> send,
+                      std::span<const std::size_t> counts,
+                      std::span<const std::size_t> displs,
+                      std::span<std::byte> recv, std::size_t elem_size,
+                      int root);
+  void gather_bytes(std::span<const std::byte> send, std::span<std::byte> recv,
+                    int root);
+  void gatherv_bytes(std::span<const std::byte> send,
+                     std::span<const std::size_t> counts,
+                     std::span<const std::size_t> displs,
+                     std::span<std::byte> recv, std::size_t elem_size,
+                     int root);
+  void allgather_bytes(std::span<const std::byte> send,
+                       std::span<std::byte> recv);
+  void reduce_bytes(std::span<const std::byte> send, std::span<std::byte> recv,
+                    std::size_t elem_size, const ReduceFn& op, int root);
+  void scan_bytes(std::span<const std::byte> send, std::span<std::byte> recv,
+                  std::size_t elem_size, const ReduceFn& op);
+  void alltoall_bytes(std::span<const std::byte> send,
+                      std::span<std::byte> recv);
+  void alltoallv_bytes(std::span<const std::byte> send,
+                       std::span<const std::size_t> send_counts,
+                       std::span<const std::size_t> send_displs,
+                       std::span<std::byte> recv,
+                       std::span<const std::size_t> recv_counts,
+                       std::span<const std::size_t> recv_displs,
+                       std::size_t elem_size);
+
+  detail_runtime::Runtime* runtime_;
+  int world_rank_;
+  int rank_;               // rank within this communicator
+  std::vector<int> group_;  // comm rank -> world rank; empty = world comm
+  int context_ = 0;
+  int collective_seq_ = 0;
+};
+
+}  // namespace dipdc::minimpi

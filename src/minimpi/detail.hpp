@@ -1,0 +1,95 @@
+// Internal message-transport structures.  Nothing in this header is part of
+// the public API; it is included by comm.hpp only because Request hands out
+// a shared handle to a RequestState.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minimpi/stats.hpp"
+#include "minimpi/trace.hpp"
+#include "minimpi/types.hpp"
+
+namespace dipdc::minimpi::detail {
+
+/// One in-flight message.  Created by the sender under the runtime lock;
+/// consumed by the receiver (or matched against a posted receive by the
+/// sending thread itself).
+struct Envelope {
+  int source = 0;   // sender's rank *within the communicator* (context)
+  int dest = 0;     // destination *world* rank (mailbox index)
+  int tag = 0;
+  int context = 0;  // communicator id: 0 = world, >0 = split comms
+  std::vector<std::byte> payload;
+  bool rendezvous = false;  // sender blocks until matched
+  bool matched = false;     // receiver has consumed the payload
+  bool internal = false;    // collective-internal traffic
+  /// Simulated time at which the head of the message reaches the
+  /// destination (sender clock at send + latency).
+  double arrival_head = 0.0;
+  /// Payload serialization time at the destination link (bytes/bandwidth).
+  /// The receiver ingests messages one at a time, so a rank that is sent
+  /// many messages at once pays for their combined volume.
+  double byte_time = 0.0;
+  /// Receiver clock immediately after the matching receive; a rendezvous
+  /// sender synchronises its own clock to this value.
+  double completion_time = 0.0;
+};
+
+/// State behind a Request handle: a posted non-blocking receive, or the
+/// sender side of an Isend.
+struct RequestState {
+  enum class Kind { kSend, kRecv };
+  Kind kind = Kind::kRecv;
+
+  bool done = false;
+  bool consumed = false;  // wait()/test() already accounted for completion
+  Status status{};
+  double completion_time = 0.0;
+  std::string error;  // non-empty => wait() throws MpiError
+
+  // Posted-receive fields.
+  std::byte* buffer = nullptr;
+  std::size_t capacity = 0;
+  int source_filter = kAnySource;
+  int tag_filter = kAnyTag;
+  int context = 0;
+  bool internal = false;
+  double post_time = 0.0;
+
+  // Send fields.
+  std::shared_ptr<Envelope> envelope;
+};
+
+/// Does envelope `e` satisfy posted-receive (or blocking-receive) filters?
+inline bool filters_match(int source_filter, int tag_filter, int context,
+                          bool internal, const Envelope& e) {
+  if (e.context != context) return false;
+  if (e.internal != internal) return false;
+  if (source_filter != kAnySource && source_filter != e.source) return false;
+  if (tag_filter != kAnyTag && tag_filter != e.tag) return false;
+  return true;
+}
+
+/// Per-world-rank simulation state, shared by every communicator the rank
+/// participates in (the world communicator and any split() descendants).
+struct RankState {
+  double clock = 0.0;
+  CommStats stats{};
+  std::vector<TraceEvent> trace;  // populated when record_trace is on
+};
+
+/// Per-rank mailbox: messages not yet matched by a receive, and receives
+/// not yet matched by a message.
+struct Mailbox {
+  std::deque<std::shared_ptr<Envelope>> unexpected;
+  std::deque<std::shared_ptr<RequestState>> posted;
+  /// Simulated time until which this rank's ingress link is occupied by
+  /// previously received payloads (receiver-side serialization).
+  double link_busy_until = 0.0;
+};
+
+}  // namespace dipdc::minimpi::detail

@@ -1,0 +1,30 @@
+// Errors raised by the minimpi runtime.
+#pragma once
+
+#include "support/error.hpp"
+
+namespace dipdc::minimpi {
+
+/// Base class for all minimpi errors (bad arguments, truncation, ...).
+class MpiError : public support::Error {
+ public:
+  using support::Error::Error;
+};
+
+/// Thrown in *every* blocked rank when the runtime proves that no rank can
+/// make progress (e.g. a ring of rendezvous sends — the deadlock scenario
+/// Module 1 teaches).  The message names each blocked rank and the
+/// operation it is stuck in.
+class DeadlockError : public MpiError {
+ public:
+  using MpiError::MpiError;
+};
+
+/// Thrown in blocked ranks when another rank aborted with an exception, so
+/// that all threads unwind and join instead of hanging.
+class AbortError : public MpiError {
+ public:
+  using MpiError::MpiError;
+};
+
+}  // namespace dipdc::minimpi

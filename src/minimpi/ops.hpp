@@ -1,0 +1,50 @@
+// Reduction operators for Reduce / Allreduce / Scan.
+#pragma once
+
+#include <algorithm>
+
+namespace dipdc::minimpi::ops {
+
+struct Sum {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+};
+
+struct Prod {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a * b;
+  }
+};
+
+struct Min {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return std::min(a, b);
+  }
+};
+
+struct Max {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return std::max(a, b);
+  }
+};
+
+struct LogicalAnd {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return static_cast<T>(a && b);
+  }
+};
+
+struct LogicalOr {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return static_cast<T>(a || b);
+  }
+};
+
+}  // namespace dipdc::minimpi::ops

@@ -1,0 +1,35 @@
+// Runtime configuration.
+#pragma once
+
+#include <cstddef>
+
+#include "perfmodel/machine.hpp"
+
+namespace dipdc::minimpi {
+
+struct RuntimeOptions {
+  /// Messages of at most this many payload bytes are sent eagerly: the
+  /// sender buffers and returns immediately (like MPI's eager protocol).
+  /// Larger messages use a rendezvous: the sender blocks until the receiver
+  /// has matched the message.  Set to 0 to force rendezvous everywhere —
+  /// that is how Module 1 demonstrates that blocking sends can deadlock.
+  std::size_t eager_threshold = 64 * 1024;
+
+  /// When every live rank is blocked and no pending operation can complete,
+  /// throw DeadlockError in all of them instead of hanging.
+  bool detect_deadlock = true;
+
+  /// Machine model for simulated time.  The default models a single node
+  /// whose core count equals the rank count; experiments override this with
+  /// multi-node configurations.
+  perfmodel::MachineConfig machine{};
+
+  /// Rank-to-node placement under `machine`.
+  perfmodel::Placement placement{};
+
+  /// Record a TraceEvent for every user-level operation (see trace.hpp);
+  /// RunResult::trace carries the merged log.
+  bool record_trace = false;
+};
+
+}  // namespace dipdc::minimpi

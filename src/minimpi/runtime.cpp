@@ -1,0 +1,217 @@
+#include "minimpi/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <thread>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/error.hpp"
+#include "support/error.hpp"
+
+namespace dipdc::minimpi {
+
+double RunResult::max_sim_time() const {
+  double m = 0.0;
+  for (const double t : sim_times) m = std::max(m, t);
+  return m;
+}
+
+CommStats RunResult::total_stats() const {
+  CommStats total{};
+  for (const CommStats& s : rank_stats) total += s;
+  return total;
+}
+
+namespace detail_runtime {
+
+namespace {
+
+/// Builds the machine model bound to this world.  If the caller left the
+/// default single-node config, size the node's core count to the rank count
+/// so that default runs model "one rank per core on one node".
+perfmodel::CostModel make_cost_model(const RuntimeOptions& options,
+                                     int nranks) {
+  perfmodel::MachineConfig machine = options.machine;
+  if (machine.nodes == 1 && machine.cores_per_node < nranks) {
+    machine.cores_per_node = nranks;
+  }
+  return {machine, options.placement, nranks};
+}
+
+}  // namespace
+
+Runtime::Runtime(int nranks, RuntimeOptions options)
+    : options_(std::move(options)),
+      cost_(make_cost_model(options_, nranks)),
+      nranks_(nranks),
+      alive_(nranks),
+      mailboxes_(static_cast<std::size_t>(nranks)),
+      rank_states_(static_cast<std::size_t>(nranks)) {
+  DIPDC_REQUIRE(nranks > 0, "world size must be positive");
+}
+
+void Runtime::deliver_locked(const std::shared_ptr<detail::Envelope>& env) {
+  detail::Mailbox& mb = mailbox(env->dest);
+  for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
+    detail::RequestState& req = **it;
+    if (!detail::filters_match(req.source_filter, req.tag_filter,
+                               req.context, req.internal, *env)) {
+      continue;
+    }
+    if (env->payload.size() > req.capacity) {
+      std::ostringstream os;
+      os << "message truncation: rank " << env->dest << " posted a "
+         << req.capacity << "-byte receive but rank " << env->source
+         << " sent " << env->payload.size() << " bytes (tag " << env->tag
+         << ")";
+      req.error = os.str();
+    } else {
+      std::copy(env->payload.begin(), env->payload.end(), req.buffer);
+    }
+    req.status = Status{env->source, env->tag, env->payload.size()};
+    // Receiver-side link serialization: the payload streams in only after
+    // the receive is posted, the head arrives, and the ingress link is
+    // free from earlier messages.
+    const double start = std::max({req.post_time, env->arrival_head,
+                                   mb.link_busy_until});
+    const double completion = start + env->byte_time;
+    mb.link_busy_until = completion;
+    req.completion_time = completion;
+    env->completion_time = completion;
+    env->matched = true;
+    req.done = true;
+    mb.posted.erase(it);
+    cv_.notify_all();
+    return;
+  }
+  mb.unexpected.push_back(env);
+  cv_.notify_all();
+}
+
+void Runtime::blocking_wait(std::unique_lock<std::mutex>& lock, int rank,
+                            const char* what,
+                            const std::function<bool()>& pred) {
+  DIPDC_REQUIRE(lock.owns_lock(), "blocking_wait requires the runtime lock");
+  Waiter waiter{rank, what, &pred};
+  waiters_.push_back(&waiter);
+  // Ensure the waiter is deregistered on every exit path (including the
+  // exceptions thrown below).
+  struct Guard {
+    std::vector<Waiter*>& waiters;
+    Waiter* self;
+    ~Guard() { std::erase(waiters, self); }
+  } guard{waiters_, &waiter};
+
+  while (!pred()) {
+    if (aborted_) {
+      if (deadlocked_) throw DeadlockError(abort_reason_);
+      throw AbortError(abort_reason_);
+    }
+    if (options_.detect_deadlock &&
+        static_cast<int>(waiters_.size()) >= alive_) {
+      // Throws DeadlockError if no waiter can make progress; otherwise it
+      // has notified the runnable waiter(s) and we sleep until notified
+      // again.
+      check_deadlock_locked();
+    }
+    cv_.wait(lock);
+  }
+}
+
+void Runtime::check_deadlock_locked() {
+  for (const Waiter* w : waiters_) {
+    if ((*w->pred)()) {
+      // Someone can make progress; wake everyone so they notice.
+      cv_.notify_all();
+      return;
+    }
+  }
+  std::ostringstream os;
+  os << "global deadlock: every live rank is blocked and no pending "
+        "operation can complete.";
+  for (const Waiter* w : waiters_) {
+    os << " [rank " << w->rank << " in " << w->what << "]";
+  }
+  const int exited = nranks_ - alive_;
+  if (exited > 0) {
+    os << " (" << exited << " rank(s) already finished)";
+  }
+  deadlocked_ = true;
+  aborted_ = true;
+  abort_reason_ = os.str();
+  cv_.notify_all();
+  throw DeadlockError(abort_reason_);
+}
+
+void Runtime::rank_exited(bool by_exception, const std::string& why) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --alive_;
+  if (by_exception && !aborted_) {
+    aborted_ = true;
+    abort_reason_ = "a rank aborted with an exception: " + why;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace detail_runtime
+
+RunResult run(int nranks, const std::function<void(Comm&)>& fn,
+              RuntimeOptions options) {
+  DIPDC_REQUIRE(nranks > 0, "world size must be positive");
+  detail_runtime::Runtime runtime(nranks, std::move(options));
+
+  std::vector<std::unique_ptr<Comm>> comms;
+  comms.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    comms.push_back(std::unique_ptr<Comm>(new Comm(&runtime, r)));
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm& comm = *comms[static_cast<std::size_t>(r)];
+      try {
+        fn(comm);
+        runtime.rank_exited(false, {});
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        runtime.rank_exited(true, e.what());
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        runtime.rank_exited(true, "unknown exception");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Prefer the root cause: the first exception that is not the secondary
+  // AbortError raised in ranks unblocked by someone else's failure.
+  std::exception_ptr first_abort;
+  for (const std::exception_ptr& ep : errors) {
+    if (!ep) continue;
+    try {
+      std::rethrow_exception(ep);
+    } catch (const AbortError&) {
+      if (!first_abort) first_abort = ep;
+    } catch (...) {
+      std::rethrow_exception(ep);
+    }
+  }
+  if (first_abort) std::rethrow_exception(first_abort);
+
+  RunResult result;
+  result.rank_stats.reserve(static_cast<std::size_t>(nranks));
+  result.sim_times.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    result.rank_stats.push_back(comms[static_cast<std::size_t>(r)]->stats());
+    result.sim_times.push_back(comms[static_cast<std::size_t>(r)]->wtime());
+    const auto& trace = runtime.rank_state(r).trace;
+    result.trace.insert(result.trace.end(), trace.begin(), trace.end());
+  }
+  return result;
+}
+
+}  // namespace dipdc::minimpi

@@ -1,0 +1,120 @@
+// The minimpi runtime: rank threads, mailboxes, deadlock detection, and the
+// run() entry point.
+//
+// Usage:
+//   auto result = minimpi::run(4, [](minimpi::Comm& comm) {
+//     if (comm.rank() == 0) comm.send_value(42, /*dest=*/1);
+//     if (comm.rank() == 1) int v = comm.recv_value<int>();
+//   });
+//
+// run() blocks until every rank returns, then reports per-rank statistics
+// and simulated completion times.  If any rank throws, all other ranks are
+// unblocked with AbortError and the first "real" exception is rethrown to
+// the caller.  If the runtime proves a global deadlock (every live rank
+// blocked, no operation able to complete), every blocked rank receives a
+// DeadlockError naming the stuck operations.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "minimpi/detail.hpp"
+#include "minimpi/options.hpp"
+#include "minimpi/stats.hpp"
+#include "perfmodel/machine.hpp"
+
+namespace dipdc::minimpi {
+
+class Comm;
+
+/// Aggregate outcome of one run().
+struct RunResult {
+  std::vector<CommStats> rank_stats;
+  std::vector<double> sim_times;  // final simulated clock per rank
+  /// All ranks' trace events (only when RuntimeOptions::record_trace).
+  std::vector<TraceEvent> trace;
+
+  /// Simulated makespan: the slowest rank's clock.
+  [[nodiscard]] double max_sim_time() const;
+  /// Element-wise sum of all rank statistics.
+  [[nodiscard]] CommStats total_stats() const;
+};
+
+namespace detail_runtime {
+
+/// Shared state of one running world.  Public API users never touch this;
+/// Comm methods (comm.cpp / collectives.cpp) do, under the global lock.
+class Runtime {
+ public:
+  Runtime(int nranks, RuntimeOptions options);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] const RuntimeOptions& options() const { return options_; }
+  [[nodiscard]] const perfmodel::CostModel& cost() const { return cost_; }
+
+  /// Delivers an envelope: matches a posted receive if possible, otherwise
+  /// queues it as unexpected.  Lock must be held.
+  void deliver_locked(const std::shared_ptr<detail::Envelope>& env);
+
+  /// Blocks `rank` until pred() holds.  Lock must be held (and is released
+  /// while sleeping).  Throws DeadlockError/AbortError on global failure.
+  void blocking_wait(std::unique_lock<std::mutex>& lock, int rank,
+                     const char* what, const std::function<bool()>& pred);
+
+  /// Marks a rank's user function as finished (normally or by exception).
+  void rank_exited(bool by_exception, const std::string& why);
+
+  std::mutex& mutex() { return mu_; }
+  std::condition_variable& condvar() { return cv_; }
+  detail::Mailbox& mailbox(int rank) {
+    return mailboxes_[static_cast<std::size_t>(rank)];
+  }
+  detail::RankState& rank_state(int world_rank) {
+    return rank_states_[static_cast<std::size_t>(world_rank)];
+  }
+
+  /// Reserves `n` consecutive communicator context ids (for split()).
+  int allocate_contexts(int n) { return next_context_.fetch_add(n); }
+
+ private:
+  struct Waiter {
+    int rank;
+    const char* what;
+    const std::function<bool()>* pred;
+  };
+
+  /// With every live rank blocked, decides whether any waiter can still
+  /// make progress; if not, flags a deadlock.  Lock must be held.
+  void check_deadlock_locked();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  RuntimeOptions options_;
+  perfmodel::CostModel cost_;
+  int nranks_;
+  int alive_;
+  std::vector<detail::Mailbox> mailboxes_;
+  std::vector<detail::RankState> rank_states_;
+  std::atomic<int> next_context_{1};
+  std::vector<Waiter*> waiters_;
+  bool aborted_ = false;
+  bool deadlocked_ = false;
+  std::string abort_reason_;
+};
+
+}  // namespace detail_runtime
+
+/// Runs `fn` on `nranks` ranks (one thread each) and returns per-rank
+/// statistics and simulated times.  Rethrows the first rank exception.
+RunResult run(int nranks, const std::function<void(Comm&)>& fn,
+              RuntimeOptions options = {});
+
+}  // namespace dipdc::minimpi

@@ -1,0 +1,20 @@
+#include "minimpi/stats.hpp"
+
+namespace dipdc::minimpi {
+
+CommStats& CommStats::operator+=(const CommStats& other) {
+  for (std::size_t i = 0; i < kPrimitiveCount; ++i) {
+    calls[i] += other.calls[i];
+  }
+  p2p_bytes_sent += other.p2p_bytes_sent;
+  p2p_messages_sent += other.p2p_messages_sent;
+  p2p_bytes_received += other.p2p_bytes_received;
+  p2p_messages_received += other.p2p_messages_received;
+  transport_bytes_sent += other.transport_bytes_sent;
+  transport_messages_sent += other.transport_messages_sent;
+  sim_compute_seconds += other.sim_compute_seconds;
+  sim_comm_seconds += other.sim_comm_seconds;
+  return *this;
+}
+
+}  // namespace dipdc::minimpi

@@ -1,0 +1,46 @@
+// Per-rank instrumentation of communication behaviour.
+//
+// The modules ask students to "reason about performance based on
+// communication patterns and volumes" (learning outcome 13); these counters
+// are the measured ground truth the benches print, and they also verify the
+// paper's Table II (which primitives each module uses).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "minimpi/types.hpp"
+
+namespace dipdc::minimpi {
+
+struct CommStats {
+  /// User-level primitive invocation counts.
+  std::array<std::uint64_t, kPrimitiveCount> calls{};
+
+  /// Point-to-point payload bytes / messages from user-level Send/Isend
+  /// (and the matching receives).
+  std::uint64_t p2p_bytes_sent = 0;
+  std::uint64_t p2p_messages_sent = 0;
+  std::uint64_t p2p_bytes_received = 0;
+  std::uint64_t p2p_messages_received = 0;
+
+  /// Transport-level traffic including collective-internal messages; this
+  /// is the honest "wire volume" measure used in the Module 5 comparison of
+  /// the two k-means communication strategies.
+  std::uint64_t transport_bytes_sent = 0;
+  std::uint64_t transport_messages_sent = 0;
+
+  /// Simulated time (seconds) spent in compute kernels vs. blocked in or
+  /// advancing through communication.
+  double sim_compute_seconds = 0.0;
+  double sim_comm_seconds = 0.0;
+
+  [[nodiscard]] std::uint64_t calls_to(Primitive p) const {
+    return calls[static_cast<std::size_t>(p)];
+  }
+
+  /// Element-wise sum, used to aggregate across ranks.
+  CommStats& operator+=(const CommStats& other);
+};
+
+}  // namespace dipdc::minimpi

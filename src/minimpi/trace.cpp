@@ -1,0 +1,80 @@
+#include "minimpi/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/format.hpp"
+
+namespace dipdc::minimpi {
+
+namespace {
+
+char glyph_of(Primitive op) {
+  switch (op) {
+    case Primitive::kSend: return 's';
+    case Primitive::kIsend: return 'S';
+    case Primitive::kRecv: return 'r';
+    case Primitive::kIrecv: return 'R';
+    case Primitive::kWait: return 'w';
+    case Primitive::kProbe: return 'p';
+    default: return 'C';  // collectives
+  }
+}
+
+}  // namespace
+
+std::string render_timeline(const std::vector<TraceEvent>& events,
+                            int nranks, double t_max, int width) {
+  if (t_max <= 0.0) t_max = 1.0;
+  std::vector<std::string> rows(
+      static_cast<std::size_t>(nranks),
+      std::string(static_cast<std::size_t>(width), '.'));
+  for (const TraceEvent& e : events) {
+    if (e.rank < 0 || e.rank >= nranks) continue;
+    auto col = [&](double t) {
+      const double f = std::clamp(t / t_max, 0.0, 1.0);
+      return std::min(width - 1, static_cast<int>(f * width));
+    };
+    const int c0 = col(e.t_start);
+    const int c1 = std::max(c0, col(e.t_end));
+    for (int c = c0; c <= c1; ++c) {
+      rows[static_cast<std::size_t>(e.rank)][static_cast<std::size_t>(c)] =
+          glyph_of(e.op);
+    }
+  }
+  std::ostringstream os;
+  os << "time 0 .. " << support::seconds(t_max)
+     << "   (s/S send, r/R recv, w wait, p probe, C collective, . "
+        "compute/idle)\n";
+  for (int r = 0; r < nranks; ++r) {
+    os << "rank " << r << (r < 10 ? " " : "") << " |"
+       << rows[static_cast<std::size_t>(r)] << "|\n";
+  }
+  return os.str();
+}
+
+std::string render_log(const std::vector<TraceEvent>& events,
+                       std::size_t max_events) {
+  std::vector<TraceEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t_start < b.t_start;
+                   });
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const TraceEvent& e : sorted) {
+    if (shown++ >= max_events) {
+      os << "... (" << sorted.size() - max_events << " more)\n";
+      break;
+    }
+    os << "[" << support::seconds(e.t_start) << " - "
+       << support::seconds(e.t_end) << "] rank " << e.rank << " "
+       << primitive_name(e.op);
+    if (e.peer >= 0) os << " peer " << e.peer;
+    if (e.bytes > 0) os << " " << support::bytes(e.bytes);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dipdc::minimpi

@@ -1,0 +1,40 @@
+// Communication tracing: an optional per-rank event log (what the modules'
+// "utilize a performance tool" outcome looks like for communication).
+//
+// Enable with RuntimeOptions::record_trace; every user-level operation
+// (sends, receives, waits, probes and collectives) is recorded with its
+// simulated start/end time, peer, tag and payload size.  RunResult carries
+// the merged log, and render_timeline() draws a per-rank ASCII Gantt chart
+// of communication activity — a miniature Vampir/Paraver.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "minimpi/types.hpp"
+
+namespace dipdc::minimpi {
+
+struct TraceEvent {
+  int rank = 0;
+  Primitive op = Primitive::kSend;
+  /// Peer rank for point-to-point ops; -1 for collectives/wildcards.
+  int peer = -1;
+  int tag = 0;
+  std::size_t bytes = 0;
+  double t_start = 0.0;  // simulated seconds
+  double t_end = 0.0;
+};
+
+/// Renders events as a per-rank timeline of `width` columns covering
+/// [0, t_max].  Glyphs: s/S send/isend, r/R recv/irecv, w wait, p probe,
+/// C collective; '.' = computing or idle.
+std::string render_timeline(const std::vector<TraceEvent>& events,
+                            int nranks, double t_max, int width = 72);
+
+/// One-line-per-event textual log (sorted by start time).
+std::string render_log(const std::vector<TraceEvent>& events,
+                       std::size_t max_events = 50);
+
+}  // namespace dipdc::minimpi

@@ -1,0 +1,158 @@
+#include "modules/comm/module1.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dipdc::modules::comm1 {
+
+namespace mpi = minimpi;
+
+PingPongResult ping_pong(mpi::Comm& comm, int iterations, std::size_t bytes) {
+  DIPDC_REQUIRE(comm.size() >= 2, "ping-pong needs at least two ranks");
+  DIPDC_REQUIRE(iterations > 0, "need at least one iteration");
+  PingPongResult result;
+  result.iterations = iterations;
+  result.message_bytes = bytes;
+  if (comm.rank() > 1) return result;
+
+  std::vector<std::uint8_t> buffer(bytes, 0xAB);
+  const double start = comm.wtime();
+  for (int i = 0; i < iterations; ++i) {
+    if (comm.rank() == 0) {
+      comm.send(std::span<const std::uint8_t>(buffer), 1, 0);
+      comm.recv(std::span<std::uint8_t>(buffer), 1, 0);
+    } else {
+      comm.recv(std::span<std::uint8_t>(buffer), 0, 0);
+      comm.send(std::span<const std::uint8_t>(buffer), 0, 0);
+    }
+  }
+  result.sim_elapsed = comm.wtime() - start;
+  result.mean_one_way = result.sim_elapsed / (2.0 * iterations);
+  return result;
+}
+
+namespace {
+
+template <typename SendFn>
+RingResult ring_impl(mpi::Comm& comm, int rounds, SendFn&& exchange) {
+  DIPDC_REQUIRE(rounds > 0, "need at least one round");
+  const int p = comm.size();
+  const int next = (comm.rank() + 1) % p;
+  const int prev = (comm.rank() - 1 + p) % p;
+
+  RingResult result;
+  result.rounds = rounds;
+  // The token starts as the rank id; each round it moves one step around
+  // the ring and the receiver adds its own rank.  After exactly p rounds a
+  // token has visited every rank once, so it ends as r + sum(0..p-1).
+  long long token = comm.rank();
+  const double start = comm.wtime();
+  if (p > 1) {
+    for (int round = 0; round < rounds; ++round) {
+      token = exchange(comm, token, next, prev);
+      token += comm.rank();
+    }
+  }
+  result.token = token;
+  result.sim_elapsed = comm.wtime() - start;
+  return result;
+}
+
+}  // namespace
+
+RingResult ring_blocking(mpi::Comm& comm, int rounds) {
+  return ring_impl(comm, rounds,
+                   [](mpi::Comm& c, long long token, int next, int prev) {
+                     c.send_value(token, next, 11);
+                     return c.recv_value<long long>(prev, 11);
+                   });
+}
+
+RingResult ring_nonblocking(mpi::Comm& comm, int rounds) {
+  return ring_impl(comm, rounds,
+                   [](mpi::Comm& c, long long token, int next, int prev) {
+                     mpi::Request req = c.isend_value(token, next, 11);
+                     const auto got = c.recv_value<long long>(prev, 11);
+                     c.wait(req);
+                     return got;
+                   });
+}
+
+namespace {
+
+RandomCommResult random_comm_impl(mpi::Comm& comm, int messages_per_rank,
+                                  std::uint64_t seed, bool any_source) {
+  DIPDC_REQUIRE(messages_per_rank >= 0, "message count cannot be negative");
+  const int p = comm.size();
+  const int r = comm.rank();
+  auto rng = support::make_stream(seed, static_cast<std::uint64_t>(r));
+
+  // Draw destinations and count messages per destination.
+  std::vector<int> sends_to(static_cast<std::size_t>(p), 0);
+  for (int m = 0; m < messages_per_rank; ++m) {
+    const int dst =
+        static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(p)));
+    ++sends_to[static_cast<std::size_t>(dst)];
+  }
+
+  RandomCommResult result;
+  result.used_any_source = any_source;
+  const double start = comm.wtime();
+
+  // Circulate the message counts: this is exactly how the module has
+  // students solve "receive from an unknown sender without ANY_SOURCE".
+  std::vector<int> recv_counts(static_cast<std::size_t>(p), 0);
+  comm.alltoall(std::span<const int>(sends_to), std::span<int>(recv_counts));
+
+  // Fire all sends without blocking so no send/recv ordering can deadlock.
+  std::vector<mpi::Request> send_reqs;
+  for (int dst = 0; dst < p; ++dst) {
+    for (int m = 0; m < sends_to[static_cast<std::size_t>(dst)]; ++m) {
+      send_reqs.push_back(comm.isend_value(r, dst, 21));
+      ++result.messages_sent;
+    }
+  }
+
+  if (any_source) {
+    std::uint64_t expected = 0;
+    for (const int c : recv_counts) {
+      expected += static_cast<std::uint64_t>(c);
+    }
+    for (std::uint64_t m = 0; m < expected; ++m) {
+      int payload = -1;
+      const mpi::Status st =
+          comm.recv(std::span<int>(&payload, 1), mpi::kAnySource, 21);
+      if (payload != st.source) result.payloads_consistent = false;
+      ++result.messages_received;
+    }
+  } else {
+    for (int src = 0; src < p; ++src) {
+      for (int m = 0; m < recv_counts[static_cast<std::size_t>(src)]; ++m) {
+        const int payload = comm.recv_value<int>(src, 21);
+        if (payload != src) result.payloads_consistent = false;
+        ++result.messages_received;
+      }
+    }
+  }
+  comm.wait_all(std::span<mpi::Request>(send_reqs));
+  result.sim_elapsed = comm.wtime() - start;
+  return result;
+}
+
+}  // namespace
+
+RandomCommResult random_comm_directed(mpi::Comm& comm, int messages_per_rank,
+                                      std::uint64_t seed) {
+  return random_comm_impl(comm, messages_per_rank, seed,
+                          /*any_source=*/false);
+}
+
+RandomCommResult random_comm_any_source(mpi::Comm& comm,
+                                        int messages_per_rank,
+                                        std::uint64_t seed) {
+  return random_comm_impl(comm, messages_per_rank, seed, /*any_source=*/true);
+}
+
+}  // namespace dipdc::modules::comm1

@@ -1,0 +1,73 @@
+// Module 1 — MPI Communication (paper §III-B).
+//
+// Reference solutions for the module's three activities: ping-pong
+// communication, communication in a ring, and random communication.  The
+// random-communication activity exists in the two variants the module
+// contrasts: receiving from unknown senders *without* MPI_ANY_SOURCE
+// (senders' message counts are circulated first, then every receive names
+// its source) and the simpler variant using MPI_ANY_SOURCE.  The ring
+// exists in a deliberately deadlock-prone blocking form (run it with
+// eager_threshold = 0 to watch the runtime detect the deadlock Module 1
+// teaches) and a non-blocking form that is safe under any protocol.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "minimpi/comm.hpp"
+
+namespace dipdc::modules::comm1 {
+
+struct PingPongResult {
+  int iterations = 0;
+  std::size_t message_bytes = 0;
+  /// Simulated seconds for the whole exchange, measured on rank 0.
+  double sim_elapsed = 0.0;
+  /// Mean simulated one-way latency per message.
+  double mean_one_way = 0.0;
+};
+
+/// Activity 1: ranks 0 and 1 bounce a `bytes`-sized message back and forth
+/// `iterations` times.  Other ranks idle.  Collective-free.
+PingPongResult ping_pong(minimpi::Comm& comm, int iterations,
+                         std::size_t bytes);
+
+struct RingResult {
+  int rounds = 0;
+  /// The token after circulation: sum of all ranks, `rounds` times.
+  long long token = 0;
+  double sim_elapsed = 0.0;
+};
+
+/// Activity 2, naive version: every rank does send(next) *then* recv(prev).
+/// Correct with eager buffering; deadlocks (and is detected) when every
+/// send is a rendezvous.
+RingResult ring_blocking(minimpi::Comm& comm, int rounds);
+
+/// Activity 2, robust version: isend(next), recv(prev), wait — the fix the
+/// module asks students to discover.
+RingResult ring_nonblocking(minimpi::Comm& comm, int rounds);
+
+struct RandomCommResult {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  bool used_any_source = false;
+  double sim_elapsed = 0.0;
+  /// Every received payload carried its sender's rank (self-check).
+  bool payloads_consistent = true;
+};
+
+/// Activity 3 without MPI_ANY_SOURCE: each rank draws `messages_per_rank`
+/// random destinations (seeded), the per-pair message counts are exchanged
+/// with Alltoall, and every receive then names its exact source.
+RandomCommResult random_comm_directed(minimpi::Comm& comm,
+                                      int messages_per_rank,
+                                      std::uint64_t seed);
+
+/// Activity 3 with MPI_ANY_SOURCE: only the expected total is derived from
+/// the count exchange; receives are wildcarded.
+RandomCommResult random_comm_any_source(minimpi::Comm& comm,
+                                        int messages_per_rank,
+                                        std::uint64_t seed);
+
+}  // namespace dipdc::modules::comm1

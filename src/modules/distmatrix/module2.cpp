@@ -1,0 +1,262 @@
+#include "modules/distmatrix/module2.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "minimpi/ops.hpp"
+#include "support/error.hpp"
+
+namespace dipdc::modules::distmatrix {
+
+namespace mpi = minimpi;
+
+double block_flops(std::size_t rows, std::size_t n, std::size_t dim) {
+  return static_cast<double>(rows) * static_cast<double>(n) *
+         (3.0 * static_cast<double>(dim) + 1.0);
+}
+
+namespace {
+
+/// An LRU cache effectively retains slightly less than its capacity of a
+/// mixed working set (the output stores and loop state evict a few lines).
+constexpr double kEffectiveCapacity = 0.9;
+
+double point_bytes(std::size_t dim) {
+  return static_cast<double>(dim) * sizeof(double);
+}
+
+}  // namespace
+
+double estimated_traffic_rowwise(std::size_t rows, std::size_t n,
+                                 std::size_t dim, std::size_t cache_bytes) {
+  const double dataset = static_cast<double>(n) * point_bytes(dim);
+  const double effective =
+      kEffectiveCapacity * static_cast<double>(cache_bytes);
+  if (dataset <= effective) {
+    // Everything stays resident after the first pass.
+    return dataset + static_cast<double>(rows) * point_bytes(dim);
+  }
+  // Each of the `rows` passes streams the full dataset from DRAM.
+  return static_cast<double>(rows) * dataset;
+}
+
+double estimated_traffic_tiled(std::size_t rows, std::size_t n,
+                               std::size_t dim, std::size_t tile,
+                               std::size_t cache_bytes) {
+  DIPDC_REQUIRE(tile > 0, "tile size must be positive");
+  const double effective =
+      kEffectiveCapacity * static_cast<double>(cache_bytes);
+  const double tile_bytes = static_cast<double>(tile) * point_bytes(dim);
+  const double rows_bytes = static_cast<double>(rows) * point_bytes(dim);
+  if (tile_bytes > effective) {
+    // The tile itself thrashes: no reuse, row-wise behaviour.
+    return estimated_traffic_rowwise(rows, n, dim, cache_bytes);
+  }
+  if (tile_bytes + rows_bytes <= effective) {
+    // Both the tile and the whole row block stay resident: every point
+    // loads from DRAM exactly once.
+    return static_cast<double>(n) * point_bytes(dim) + rows_bytes;
+  }
+  // Per tile pass: the tile loads once and stays resident while all `rows`
+  // row points stream through the remaining capacity.
+  const double ntiles =
+      std::ceil(static_cast<double>(n) / static_cast<double>(tile));
+  return ntiles * (tile_bytes + rows_bytes);
+}
+
+Result run_distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
+                       const Config& config) {
+  const int p = comm.size();
+  const int r = comm.rank();
+
+  // Geometry travels from the root so only rank 0 needs the real dataset.
+  std::size_t shape[2] = {dataset.size(), dataset.dim()};
+  comm.bcast(std::span<std::size_t>(shape, 2), 0);
+  const std::size_t n = shape[0];
+  const std::size_t dim = shape[1];
+  DIPDC_REQUIRE(n > 0 && dim > 0, "dataset must be non-empty");
+
+  Result result;
+  result.n = n;
+  result.dim = dim;
+
+  // The extension path (symmetric triangle and/or cyclic rows) shares the
+  // broadcast but assigns rows by index list and skips the block scatter.
+  if (config.symmetric || config.distribution == RowDistribution::kCyclic) {
+    const double t0x = comm.wtime();
+    std::vector<double> all(n * dim);
+    if (r == 0) {
+      std::copy(dataset.values().begin(), dataset.values().end(),
+                all.begin());
+    }
+    comm.bcast(std::span<double>(all), 0);
+    const double t_commx = comm.wtime();
+
+    std::vector<std::size_t> my_rows;
+    if (config.distribution == RowDistribution::kCyclic) {
+      for (std::size_t i = static_cast<std::size_t>(r); i < n;
+           i += static_cast<std::size_t>(p)) {
+        my_rows.push_back(i);
+      }
+    } else {
+      const auto parts =
+          dataio::block_partition(n, static_cast<std::size_t>(p));
+      for (std::size_t i = parts[static_cast<std::size_t>(r)].first;
+           i < parts[static_cast<std::size_t>(r)].second; ++i) {
+        my_rows.push_back(i);
+      }
+    }
+
+    std::vector<double> block(my_rows.size() * n, 0.0);
+    cachesim::NullTracer tracer;
+    distance_rows_list(std::span<const double>(all), dim, n,
+                       std::span<const std::size_t>(my_rows),
+                       config.symmetric, config.tile,
+                       std::span<double>(block), tracer);
+
+    // Cost: pairs actually computed, with the locality estimate scaled by
+    // the fraction of the full row sweep each row performs.
+    double pairs = 0.0;
+    for (const std::size_t i : my_rows) {
+      pairs += static_cast<double>(config.symmetric ? n - i : n);
+    }
+    const double full_pairs =
+        static_cast<double>(my_rows.size()) * static_cast<double>(n);
+    const double full_traffic =
+        config.tile == 0
+            ? estimated_traffic_rowwise(my_rows.size(), n, dim,
+                                        config.cache.size_bytes)
+            : estimated_traffic_tiled(my_rows.size(), n, dim, config.tile,
+                                      config.cache.size_bytes);
+    result.dram_bytes =
+        full_pairs > 0.0 ? full_traffic * pairs / full_pairs : 0.0;
+    comm.sim_compute(pairs * (3.0 * static_cast<double>(dim) + 1.0),
+                     result.dram_bytes);
+
+    // Checksum over the *full* matrix: off-diagonal triangle entries count
+    // twice, so every configuration reports the same value.
+    double local_checksum = 0.0;
+    for (std::size_t rr = 0; rr < my_rows.size(); ++rr) {
+      const std::size_t i = my_rows[rr];
+      const std::size_t j0 = config.symmetric ? i : 0;
+      for (std::size_t j = j0; j < n; ++j) {
+        const double v = block[rr * n + j];
+        local_checksum += (config.symmetric && j > i) ? 2.0 * v : v;
+      }
+    }
+    double checksum = 0.0;
+    comm.reduce(std::span<const double>(&local_checksum, 1),
+                std::span<double>(&checksum, 1), mpi::ops::Sum{}, 0);
+    const double my_total = comm.wtime() - t0x;
+    double slowest = 0.0;
+    comm.reduce(std::span<const double>(&my_total, 1),
+                std::span<double>(&slowest, 1), mpi::ops::Max{}, 0);
+    double max_pairs = 0.0;
+    comm.reduce(std::span<const double>(&pairs, 1),
+                std::span<double>(&max_pairs, 1), mpi::ops::Max{}, 0);
+    double sum_pairs = 0.0;
+    comm.reduce(std::span<const double>(&pairs, 1),
+                std::span<double>(&sum_pairs, 1), mpi::ops::Sum{}, 0);
+
+    result.checksum = comm.bcast_value(checksum, 0);
+    result.sim_time = comm.bcast_value(slowest, 0);
+    max_pairs = comm.bcast_value(max_pairs, 0);
+    sum_pairs = comm.bcast_value(sum_pairs, 0);
+    const double mean_pairs = sum_pairs / static_cast<double>(p);
+    result.compute_imbalance =
+        mean_pairs > 0.0 ? max_pairs / mean_pairs : 1.0;
+    result.comm_time = t_commx - t0x;
+    result.compute_time = (comm.wtime() - t0x) - result.comm_time;
+    return result;
+  }
+
+  const auto parts = dataio::block_partition(n, static_cast<std::size_t>(p));
+  const auto [row_begin, row_end] = parts[static_cast<std::size_t>(r)];
+  const std::size_t my_rows = row_end - row_begin;
+
+  const double t0 = comm.wtime();
+
+  // Scatter the row blocks (the module's MPI_Scatter step, generalized to
+  // Scatterv for non-divisible n), then broadcast the whole dataset since
+  // every rank needs all points as distance partners.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+  std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    counts[static_cast<std::size_t>(i)] =
+        (parts[static_cast<std::size_t>(i)].second -
+         parts[static_cast<std::size_t>(i)].first) *
+        dim;
+    displs[static_cast<std::size_t>(i)] =
+        parts[static_cast<std::size_t>(i)].first * dim;
+  }
+  std::vector<double> my_block(my_rows * dim);
+  comm.scatterv(dataset.values(), std::span<const std::size_t>(counts),
+                std::span<const std::size_t>(displs),
+                std::span<double>(my_block), 0);
+
+  std::vector<double> all(n * dim);
+  if (r == 0) {
+    std::copy(dataset.values().begin(), dataset.values().end(), all.begin());
+  }
+  comm.bcast(std::span<double>(all), 0);
+
+  const double t_comm_in = comm.wtime();
+
+  // Local computation.  The kernel runs natively (and through the cache
+  // simulator when tracing); its simulated cost is charged to the machine
+  // model with the locality-aware traffic estimate.
+  std::vector<double> block(my_rows * n);
+  if (config.trace_cache) {
+    cachesim::CacheHierarchy hierarchy({config.cache});
+    cachesim::CacheTracer tracer(&hierarchy);
+    if (config.tile == 0) {
+      distance_rows_rowwise(std::span<const double>(all), dim, n, row_begin,
+                            row_end, std::span<double>(block), tracer);
+    } else {
+      distance_rows_tiled(std::span<const double>(all), dim, n, row_begin,
+                          row_end, config.tile, std::span<double>(block),
+                          tracer);
+    }
+    result.dram_bytes = static_cast<double>(hierarchy.memory_traffic_bytes());
+    result.miss_rate = hierarchy.level(0).miss_rate();
+  } else {
+    cachesim::NullTracer tracer;
+    if (config.tile == 0) {
+      distance_rows_rowwise(std::span<const double>(all), dim, n, row_begin,
+                            row_end, std::span<double>(block), tracer);
+    } else {
+      distance_rows_tiled(std::span<const double>(all), dim, n, row_begin,
+                          row_end, config.tile, std::span<double>(block),
+                          tracer);
+    }
+    result.dram_bytes =
+        config.tile == 0
+            ? estimated_traffic_rowwise(my_rows, n, dim,
+                                        config.cache.size_bytes)
+            : estimated_traffic_tiled(my_rows, n, dim, config.tile,
+                                      config.cache.size_bytes);
+  }
+  comm.sim_compute(block_flops(my_rows, n, dim), result.dram_bytes);
+
+  const double t_compute = comm.wtime();
+
+  // Combine: checksum (correctness) and the slowest rank's span via Reduce,
+  // exactly the module's MPI_Reduce step.
+  double local_checksum = 0.0;
+  for (const double v : block) local_checksum += v;
+  double checksum = 0.0;
+  comm.reduce(std::span<const double>(&local_checksum, 1),
+              std::span<double>(&checksum, 1), mpi::ops::Sum{}, 0);
+  const double my_total = comm.wtime() - t0;
+  double slowest = 0.0;
+  comm.reduce(std::span<const double>(&my_total, 1),
+              std::span<double>(&slowest, 1), mpi::ops::Max{}, 0);
+
+  result.checksum = comm.bcast_value(checksum, 0);
+  result.sim_time = comm.bcast_value(slowest, 0);
+  result.comm_time = t_comm_in - t0;
+  result.compute_time = t_compute - t_comm_in;
+  return result;
+}
+
+}  // namespace dipdc::modules::distmatrix

@@ -1,0 +1,191 @@
+// Module 2 — Distance Matrix (paper §III-C).
+//
+// Students compute the N x N Euclidean distance matrix over
+// high-dimensional (the module uses 90-D) points with MPI_Scatter /
+// MPI_Reduce, first with a row-wise access pattern and then tiled, compare
+// the two, and measure cache misses with a performance tool.  Here:
+//
+//  * the kernels are templated on a cachesim tracer, so the identical loop
+//    nest runs natively or through the cache simulator (the "performance
+//    tool" substitute);
+//  * an analytic DRAM-traffic model predicts the kernels' memory behaviour
+//    from the cache capacity alone; tests validate it against the
+//    simulator, and the distributed driver feeds it to the machine model so
+//    scaling experiments reflect the locality difference;
+//  * the distributed driver follows the module's structure: the root owns
+//    the dataset, row blocks are scattered (Scatterv), the full dataset is
+//    broadcast (every rank needs all points as distance partners), each
+//    rank fills its block of rows, and a Reduce combines the checksum and
+//    the slowest rank's time.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "cachesim/cache.hpp"
+#include "dataio/dataset.hpp"
+#include "minimpi/comm.hpp"
+
+namespace dipdc::modules::distmatrix {
+
+/// Row-wise kernel: for each local row i, stream every point j.
+/// `all` is the full n x dim dataset; rows [row_begin, row_end) are
+/// computed into `out` (size (row_end-row_begin) x n).
+template <typename Tracer>
+void distance_rows_rowwise(std::span<const double> all, std::size_t dim,
+                           std::size_t n, std::size_t row_begin,
+                           std::size_t row_end, std::span<double> out,
+                           Tracer& tracer) {
+  const std::size_t rows = row_end - row_begin;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* a = all.data() + (row_begin + i) * dim;
+    if constexpr (Tracer::kEnabled) {
+      tracer.touch(a, dim * sizeof(double));
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* b = all.data() + j * dim;
+      if constexpr (Tracer::kEnabled) {
+        tracer.touch(b, dim * sizeof(double));
+      }
+      double acc = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = a[d] - b[d];
+        acc += diff * diff;
+      }
+      out[i * n + j] = std::sqrt(acc);
+    }
+  }
+}
+
+/// Tiled kernel: points j are processed in tiles of `tile` points; a tile
+/// stays cache-resident while every local row visits it.
+template <typename Tracer>
+void distance_rows_tiled(std::span<const double> all, std::size_t dim,
+                         std::size_t n, std::size_t row_begin,
+                         std::size_t row_end, std::size_t tile,
+                         std::span<double> out, Tracer& tracer) {
+  const std::size_t rows = row_end - row_begin;
+  for (std::size_t jt = 0; jt < n; jt += tile) {
+    const std::size_t jt_end = std::min(n, jt + tile);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double* a = all.data() + (row_begin + i) * dim;
+      if constexpr (Tracer::kEnabled) {
+        tracer.touch(a, dim * sizeof(double));
+      }
+      for (std::size_t j = jt; j < jt_end; ++j) {
+        const double* b = all.data() + j * dim;
+        if constexpr (Tracer::kEnabled) {
+          tracer.touch(b, dim * sizeof(double));
+        }
+        double acc = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double diff = a[d] - b[d];
+          acc += diff * diff;
+        }
+        out[i * n + j] = std::sqrt(acc);
+      }
+    }
+  }
+}
+
+/// Floating-point work of a `rows x n` block: 3 flops per dimension
+/// (subtract, multiply, accumulate) plus the square root.
+[[nodiscard]] double block_flops(std::size_t rows, std::size_t n,
+                                 std::size_t dim);
+
+/// Analytic DRAM traffic (bytes) of the row-wise kernel: when the dataset
+/// exceeds the cache, every row pass streams all n partner points again.
+[[nodiscard]] double estimated_traffic_rowwise(std::size_t rows,
+                                               std::size_t n, std::size_t dim,
+                                               std::size_t cache_bytes);
+
+/// Analytic DRAM traffic (bytes) of the tiled kernel: a cache-resident tile
+/// is loaded once per tile pass while the rows stream; oversized tiles
+/// degenerate to the row-wise behaviour.
+[[nodiscard]] double estimated_traffic_tiled(std::size_t rows, std::size_t n,
+                                             std::size_t dim,
+                                             std::size_t tile,
+                                             std::size_t cache_bytes);
+
+/// How matrix rows are assigned to ranks.
+enum class RowDistribution {
+  kBlock,   // contiguous row blocks (the module's prescription)
+  kCyclic,  // row i -> rank i % p (the fix for the symmetric imbalance)
+};
+
+struct Config {
+  /// 0 = row-wise; otherwise the j-tile size in points.
+  std::size_t tile = 0;
+  /// Extension (learning outcome 15, "improve beyond the module"):
+  /// exploit d(i,j) = d(j,i) and compute only the upper triangle — half
+  /// the arithmetic.  With block rows this is badly imbalanced (early
+  /// rows own long triangle rows); cyclic distribution restores balance.
+  bool symmetric = false;
+  RowDistribution distribution = RowDistribution::kBlock;
+  /// Run the kernel through the cache simulator and report measured miss
+  /// rates / traffic instead of the analytic estimate (slower).
+  bool trace_cache = false;
+  /// Geometry used for both the tracer and the analytic estimate.
+  cachesim::CacheConfig cache{256 * 1024, 64, 8};
+};
+
+struct Result {
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  /// Slowest rank's simulated total time (the experiment's figure of
+  /// merit), plus the root's phase breakdown.
+  double sim_time = 0.0;
+  double compute_time = 0.0;
+  double comm_time = 0.0;
+  /// Sum of all n^2 distances: identical across configurations, used as
+  /// the cross-configuration correctness check.
+  double checksum = 0.0;
+  /// DRAM bytes per rank (measured when trace_cache, else estimated).
+  double dram_bytes = 0.0;
+  /// Measured miss rate (only when trace_cache).
+  double miss_rate = 0.0;
+  /// max/mean of per-rank distance-pair counts (1.0 = perfectly balanced).
+  double compute_imbalance = 1.0;
+};
+
+/// Generalized kernel over an arbitrary list of rows; when `symmetric`,
+/// only j >= i is computed for each listed row i (the upper triangle).
+/// `out` holds rows.size() x n entries; untouched cells are left as-is.
+template <typename Tracer>
+void distance_rows_list(std::span<const double> all, std::size_t dim,
+                        std::size_t n, std::span<const std::size_t> rows,
+                        bool symmetric, std::size_t tile,
+                        std::span<double> out, Tracer& tracer) {
+  const std::size_t step = tile == 0 ? n : tile;
+  for (std::size_t jt = 0; jt < n; jt += step) {
+    const std::size_t jt_end = std::min(n, jt + step);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const std::size_t i = rows[r];
+      const double* a = all.data() + i * dim;
+      if constexpr (Tracer::kEnabled) {
+        tracer.touch(a, dim * sizeof(double));
+      }
+      const std::size_t j_begin = symmetric ? std::max(jt, i) : jt;
+      for (std::size_t j = j_begin; j < jt_end; ++j) {
+        const double* b = all.data() + j * dim;
+        if constexpr (Tracer::kEnabled) {
+          tracer.touch(b, dim * sizeof(double));
+        }
+        double acc = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double diff = a[d] - b[d];
+          acc += diff * diff;
+        }
+        out[r * n + j] = std::sqrt(acc);
+      }
+    }
+  }
+}
+
+/// Distributed distance matrix: the dataset lives on rank 0.
+/// Every rank must call this with the same config.
+Result run_distributed(minimpi::Comm& comm, const dataio::Dataset& dataset,
+                       const Config& config);
+
+}  // namespace dipdc::modules::distmatrix

@@ -1,0 +1,297 @@
+#include "modules/kmeans/module5.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "minimpi/ops.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dipdc::modules::kmeans {
+
+namespace mpi = minimpi;
+
+namespace {
+
+/// Index of the centroid nearest to `point` (squared distance metric).
+std::size_t nearest_centroid(std::span<const double> point,
+                             std::span<const double> centroids,
+                             std::size_t k, std::size_t dim) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < k; ++c) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double diff = point[j] - centroids[c * dim + j];
+      d2 += diff * diff;
+    }
+    if (d2 < best_d) {
+      best_d = d2;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// New centroids from accumulated sums/counts; empty clusters keep their
+/// previous position.  Returns the max squared movement.
+double update_centroids(std::vector<double>& centroids,
+                        const std::vector<double>& sums,
+                        const std::vector<double>& counts, std::size_t k,
+                        std::size_t dim) {
+  double movement = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] <= 0.0) continue;
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double next = sums[c * dim + j] / counts[c];
+      const double diff = next - centroids[c * dim + j];
+      d2 += diff * diff;
+      centroids[c * dim + j] = next;
+    }
+    movement = std::max(movement, d2);
+  }
+  return movement;
+}
+
+/// Initial centroids at the data owner: first-k or k-means++ seeding.
+std::vector<double> initial_centroids(const dataio::Dataset& dataset,
+                                      const Config& config) {
+  const std::size_t k = config.k;
+  const std::size_t dim = dataset.dim();
+  std::vector<double> centroids(k * dim);
+  if (config.init == Init::kFirstK) {
+    std::copy(dataset.values().begin(),
+              dataset.values().begin() + static_cast<std::ptrdiff_t>(k * dim),
+              centroids.begin());
+    return centroids;
+  }
+  // k-means++: choose each next seed with probability proportional to its
+  // squared distance to the nearest already-chosen seed.
+  support::Xoshiro256 rng(config.init_seed);
+  const std::size_t n = dataset.size();
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  std::size_t first = rng.uniform_index(n);
+  for (std::size_t j = 0; j < dim; ++j) {
+    centroids[j] = dataset.point(first)[j];
+  }
+  for (std::size_t c = 1; c <= k; ++c) {
+    // Refresh distances against the centroid chosen in the previous round.
+    const double* last = centroids.data() + (c - 1) * dim;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double dist = 0.0;
+      for (std::size_t j = 0; j < dim; ++j) {
+        const double diff = dataset.point(i)[j] - last[j];
+        dist += diff * diff;
+      }
+      d2[i] = std::min(d2[i], dist);
+      total += d2[i];
+    }
+    if (c == k) break;
+    double target = rng.uniform() * total;
+    std::size_t pick = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    for (std::size_t j = 0; j < dim; ++j) {
+      centroids[c * dim + j] = dataset.point(pick)[j];
+    }
+  }
+  return centroids;
+}
+
+/// Assignment-phase cost: k distance evaluations per point (3 flops per
+/// dimension each) over one stream of the local points.
+void charge_assignment(mpi::Comm& comm, std::size_t local_points,
+                       std::size_t k, std::size_t dim) {
+  const double n = static_cast<double>(local_points);
+  comm.sim_compute(n * static_cast<double>(k) * 3.0 *
+                       static_cast<double>(dim),
+                   n * static_cast<double>(dim) * sizeof(double));
+}
+
+}  // namespace
+
+Result lloyd_sequential(const dataio::Dataset& dataset, const Config& config) {
+  const std::size_t n = dataset.size();
+  const std::size_t dim = dataset.dim();
+  const std::size_t k = config.k;
+  DIPDC_REQUIRE(k > 0 && k <= n, "need 1 <= k <= n");
+
+  Result result;
+  result.centroids = initial_centroids(dataset, config);
+  std::vector<std::size_t> assignment(n, 0);
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    std::vector<double> sums(k * dim, 0.0);
+    std::vector<double> counts(k, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c =
+          nearest_centroid(dataset.point(i), result.centroids, k, dim);
+      assignment[i] = c;
+      for (std::size_t j = 0; j < dim; ++j) {
+        sums[c * dim + j] += dataset.point(i)[j];
+      }
+      counts[c] += 1.0;
+    }
+    const double movement =
+        update_centroids(result.centroids, sums, counts, k, dim);
+    result.iterations = iter + 1;
+    if (movement <= config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = assignment[i];
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double diff = dataset.point(i)[j] - result.centroids[c * dim + j];
+      result.inertia += diff * diff;
+    }
+  }
+  return result;
+}
+
+Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
+                   const Config& config) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  const std::size_t k = config.k;
+
+  const double t0 = comm.wtime();
+  double comm_marks = 0.0;  // accumulated communication-phase time
+
+  // Distribute the data: shape, row blocks, initial centroids.
+  std::size_t shape[2] = {dataset.size(), dataset.dim()};
+  comm.bcast(std::span<std::size_t>(shape, 2), 0);
+  const std::size_t n = shape[0];
+  const std::size_t dim = shape[1];
+  DIPDC_REQUIRE(k > 0 && k <= n, "need 1 <= k <= n");
+
+  const auto parts = dataio::block_partition(n, static_cast<std::size_t>(p));
+  std::vector<std::size_t> counts_elems(static_cast<std::size_t>(p));
+  std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    const auto& [b, e] = parts[static_cast<std::size_t>(i)];
+    counts_elems[static_cast<std::size_t>(i)] = (e - b) * dim;
+    displs[static_cast<std::size_t>(i)] = b * dim;
+  }
+  const auto [my_begin, my_end] = parts[static_cast<std::size_t>(r)];
+  const std::size_t my_n = my_end - my_begin;
+  std::vector<double> local((my_end - my_begin) * dim);
+  comm.scatterv(dataset.values(), std::span<const std::size_t>(counts_elems),
+                std::span<const std::size_t>(displs),
+                std::span<double>(local), 0);
+
+  Result result;
+  result.centroids.assign(k * dim, 0.0);
+  if (r == 0) {
+    result.centroids = initial_centroids(dataset, config);
+  }
+  comm.bcast(std::span<double>(result.centroids), 0);
+  comm_marks += comm.wtime() - t0;
+
+  // Byte accounting starts after the one-time data distribution, so
+  // comm_bytes isolates the per-iteration cost the two strategies differ
+  // in (the module's communication-volume comparison).
+  const std::uint64_t transport_before = comm.stats().transport_bytes_sent;
+
+  std::vector<std::size_t> assignment(my_n, 0);
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    // Assignment phase (pure local compute).
+    std::vector<double> sums(k * dim, 0.0);
+    std::vector<double> member_counts(k, 0.0);
+    for (std::size_t i = 0; i < my_n; ++i) {
+      const std::span<const double> pt{local.data() + i * dim, dim};
+      const std::size_t c = nearest_centroid(pt, result.centroids, k, dim);
+      assignment[i] = c;
+      for (std::size_t j = 0; j < dim; ++j) sums[c * dim + j] += pt[j];
+      member_counts[c] += 1.0;
+    }
+    charge_assignment(comm, my_n, k, dim);
+
+    // Centroid update: the module's two communication options.
+    const double t_comm = comm.wtime();
+    double movement = 0.0;
+    if (config.strategy == Strategy::kWeightedMeans) {
+      std::vector<double> global_sums(k * dim, 0.0);
+      std::vector<double> global_counts(k, 0.0);
+      comm.allreduce(std::span<const double>(sums),
+                     std::span<double>(global_sums), mpi::ops::Sum{});
+      comm.allreduce(std::span<const double>(member_counts),
+                     std::span<double>(global_counts), mpi::ops::Sum{});
+      movement = update_centroids(result.centroids, global_sums,
+                                  global_counts, k, dim);
+    } else {
+      // Explicit assignments: gather every rank's assignment vector to the
+      // root, which owns the full dataset and recomputes the centroids.
+      std::vector<std::size_t> gcounts(static_cast<std::size_t>(p));
+      std::vector<std::size_t> gdispls(static_cast<std::size_t>(p));
+      for (int i = 0; i < p; ++i) {
+        const auto& [b, e] = parts[static_cast<std::size_t>(i)];
+        gcounts[static_cast<std::size_t>(i)] = e - b;
+        gdispls[static_cast<std::size_t>(i)] = b;
+      }
+      std::vector<std::size_t> all_assignments(r == 0 ? n : 0);
+      comm.gatherv(std::span<const std::size_t>(assignment),
+                   std::span<const std::size_t>(gcounts),
+                   std::span<const std::size_t>(gdispls),
+                   std::span<std::size_t>(all_assignments), 0);
+      if (r == 0) {
+        std::vector<double> root_sums(k * dim, 0.0);
+        std::vector<double> root_counts(k, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t c = all_assignments[i];
+          DIPDC_REQUIRE(c < k, "corrupt assignment index");
+          for (std::size_t j = 0; j < dim; ++j) {
+            root_sums[c * dim + j] += dataset.point(i)[j];
+          }
+          root_counts[c] += 1.0;
+        }
+        movement = update_centroids(result.centroids, root_sums, root_counts,
+                                    k, dim);
+      }
+      comm.bcast(std::span<double>(result.centroids), 0);
+      movement = comm.bcast_value(movement, 0);
+    }
+    comm_marks += comm.wtime() - t_comm;
+
+    result.iterations = iter + 1;
+    if (movement <= config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final inertia over the last assignment.
+  double local_inertia = 0.0;
+  for (std::size_t i = 0; i < my_n; ++i) {
+    const std::size_t c = assignment[i];
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double diff =
+          local[i * dim + j] - result.centroids[c * dim + j];
+      local_inertia += diff * diff;
+    }
+  }
+  result.inertia = comm.allreduce_value(local_inertia, mpi::ops::Sum{});
+
+  const double my_total = comm.wtime() - t0;
+  result.sim_time = comm.allreduce_value(my_total, mpi::ops::Max{});
+  result.comm_time = comm_marks;
+  result.compute_time = my_total - comm_marks;
+  const std::uint64_t transport_delta =
+      comm.stats().transport_bytes_sent - transport_before;
+  result.comm_bytes = static_cast<std::uint64_t>(comm.allreduce_value(
+      static_cast<long long>(transport_delta), mpi::ops::Sum{}));
+  return result;
+}
+
+}  // namespace dipdc::modules::kmeans

@@ -1,0 +1,72 @@
+// Module 5 — k-means Clustering (paper §III-F).
+//
+// Distributed Lloyd iteration: the dataset is scattered over ranks, each
+// iteration assigns local points to the nearest centroid (independent
+// compute), and the centroid update requires global knowledge — the
+// alternating computation/communication pattern the module teaches.  The
+// module presents two options for that communication:
+//
+//   * kExplicitAssignments — every rank ships its point-to-centroid
+//     assignments to the root, which recomputes the centroids from the
+//     full dataset and broadcasts them: explicit but O(N) communication
+//     per iteration.
+//   * kWeightedMeans — every rank reduces (sum of member points, member
+//     count) per centroid with Allreduce: O(k·d) communication, the
+//     efficient option.
+//
+// Both produce the same clustering; the benches compare their measured
+// communication volumes and show the module's headline result: low k is
+// communication-dominated, high k computation-dominated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataio/dataset.hpp"
+#include "minimpi/comm.hpp"
+
+namespace dipdc::modules::kmeans {
+
+enum class Strategy { kExplicitAssignments, kWeightedMeans };
+
+enum class Init {
+  kFirstK,    // the module's prescription: the first k points
+  kPlusPlus,  // k-means++ (extension): distance-weighted seeding
+};
+
+struct Config {
+  std::size_t k = 8;
+  int max_iterations = 200;
+  /// Convergence: squared centroid movement below this on every centroid.
+  double tolerance = 1e-12;
+  Strategy strategy = Strategy::kWeightedMeans;
+  Init init = Init::kFirstK;
+  /// Seed for the k-means++ draw (ignored for kFirstK).
+  std::uint64_t init_seed = 1;
+};
+
+struct Result {
+  std::vector<double> centroids;  // k x dim, row-major
+  int iterations = 0;
+  bool converged = false;
+  /// Sum of squared distances of points to their assigned centroid.
+  double inertia = 0.0;
+  /// Slowest rank's simulated time and this rank's phase breakdown.
+  double sim_time = 0.0;
+  double compute_time = 0.0;
+  double comm_time = 0.0;
+  /// Transport bytes across all ranks for the iteration loop (excludes the
+  /// one-time data distribution, so the two strategies compare directly).
+  std::uint64_t comm_bytes = 0;
+};
+
+/// Single-process reference (the oracle the distributed versions must
+/// match).  Initial centroids are the first k points.
+Result lloyd_sequential(const dataio::Dataset& dataset, const Config& config);
+
+/// Distributed k-means; the dataset lives on rank 0 (other ranks may pass
+/// an empty dataset).  Every rank must use the same config.
+Result distributed(minimpi::Comm& comm, const dataio::Dataset& dataset,
+                   const Config& config);
+
+}  // namespace dipdc::modules::kmeans

@@ -1,0 +1,142 @@
+#include "modules/mapreduce/module7.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "minimpi/ops.hpp"
+#include "support/error.hpp"
+
+namespace dipdc::modules::mapreduce {
+
+namespace mpi = minimpi;
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates the Zipf head from reducer ids.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int reducer_of(std::uint64_t key, const Config& config, int p) {
+  if (config.partitioning == Partitioning::kHash) {
+    return static_cast<int>(mix(key) % static_cast<std::uint64_t>(p));
+  }
+  const std::uint64_t vocab = std::max<std::uint64_t>(1, config.vocabulary);
+  const std::uint64_t clamped = std::min(key, vocab - 1);
+  return static_cast<int>(clamped * static_cast<std::uint64_t>(p) / vocab);
+}
+
+std::vector<KeyCount> word_count_sequential(
+    std::span<const std::uint64_t> tokens) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  counts.reserve(tokens.size() / 4 + 1);
+  for (const std::uint64_t t : tokens) ++counts[t];
+  std::vector<KeyCount> out;
+  out.reserve(counts.size());
+  for (const auto& [k, c] : counts) out.push_back({k, c});
+  std::sort(out.begin(), out.end(),
+            [](const KeyCount& a, const KeyCount& b) { return a.key < b.key; });
+  return out;
+}
+
+Result word_count(mpi::Comm& comm, std::span<const std::uint64_t> tokens,
+                  const Config& config) {
+  const int p = comm.size();
+  const auto np = static_cast<std::size_t>(p);
+  Result result;
+  const double t0 = comm.wtime();
+
+  // ---- map (+ optional combiner): per-destination tuple lists. ----------
+  std::vector<std::vector<KeyCount>> outgoing(np);
+  if (config.map_side_combine) {
+    std::unordered_map<std::uint64_t, std::uint64_t> local;
+    local.reserve(tokens.size() / 4 + 1);
+    for (const std::uint64_t t : tokens) ++local[t];
+    for (const auto& [key, count] : local) {
+      outgoing[static_cast<std::size_t>(reducer_of(key, config, p))]
+          .push_back({key, count});
+    }
+    // Hashing + counting: ~8 flop-equivalents and one 16-byte slot touch
+    // per token.
+    comm.sim_compute(8.0 * static_cast<double>(tokens.size()),
+                     16.0 * static_cast<double>(tokens.size()));
+  } else {
+    for (const std::uint64_t t : tokens) {
+      outgoing[static_cast<std::size_t>(reducer_of(t, config, p))]
+          .push_back({t, 1});
+    }
+    comm.sim_compute(4.0 * static_cast<double>(tokens.size()),
+                     24.0 * static_cast<double>(tokens.size()));
+  }
+  const double t_mapped = comm.wtime();
+
+  // ---- shuffle: Alltoallv of KeyCount tuples. ----------------------------
+  std::vector<std::size_t> send_counts(np), send_displs(np);
+  std::vector<KeyCount> send_buf;
+  for (std::size_t i = 0; i < np; ++i) {
+    send_displs[i] = send_buf.size();
+    send_counts[i] = outgoing[i].size();
+    send_buf.insert(send_buf.end(), outgoing[i].begin(), outgoing[i].end());
+  }
+  result.shuffle_tuples_sent = send_buf.size();
+  std::vector<std::size_t> recv_counts(np), recv_displs(np);
+  comm.alltoall(std::span<const std::size_t>(send_counts),
+                std::span<std::size_t>(recv_counts));
+  std::size_t total_recv = 0;
+  for (std::size_t i = 0; i < np; ++i) {
+    recv_displs[i] = total_recv;
+    total_recv += recv_counts[i];
+  }
+  std::vector<KeyCount> received(total_recv);
+  comm.alltoallv(std::span<const KeyCount>(send_buf),
+                 std::span<const std::size_t>(send_counts),
+                 std::span<const std::size_t>(send_displs),
+                 std::span<KeyCount>(received),
+                 std::span<const std::size_t>(recv_counts),
+                 std::span<const std::size_t>(recv_displs));
+  const double t_shuffled = comm.wtime();
+
+  // ---- reduce: merge the partial counts per key. --------------------------
+  std::unordered_map<std::uint64_t, std::uint64_t> merged;
+  merged.reserve(received.size() / 2 + 1);
+  std::uint64_t tuples_in = 0;
+  for (const KeyCount& kc : received) {
+    merged[kc.key] += kc.count;
+    ++tuples_in;
+  }
+  comm.sim_compute(8.0 * static_cast<double>(received.size()),
+                   16.0 * static_cast<double>(received.size()));
+  result.counts.reserve(merged.size());
+  for (const auto& [k, c] : merged) result.counts.push_back({k, c});
+  std::sort(result.counts.begin(), result.counts.end(),
+            [](const KeyCount& a, const KeyCount& b) { return a.key < b.key; });
+  const double t_reduced = comm.wtime();
+
+  // ---- invariants & balance metrics. --------------------------------------
+  std::uint64_t local_total = 0;
+  for (const KeyCount& kc : result.counts) local_total += kc.count;
+  result.global_total = static_cast<std::uint64_t>(comm.allreduce_value(
+      static_cast<long long>(local_total), mpi::ops::Sum{}));
+
+  const long long max_in = comm.allreduce_value(
+      static_cast<long long>(tuples_in), mpi::ops::Max{});
+  const long long sum_in = comm.allreduce_value(
+      static_cast<long long>(tuples_in), mpi::ops::Sum{});
+  const double mean_in =
+      static_cast<double>(sum_in) / static_cast<double>(p);
+  result.reducer_imbalance =
+      mean_in > 0.0 ? static_cast<double>(max_in) / mean_in : 1.0;
+
+  const double my_total = comm.wtime() - t0;
+  result.sim_time = comm.allreduce_value(my_total, mpi::ops::Max{});
+  result.map_time = t_mapped - t0;
+  result.shuffle_time = t_shuffled - t_mapped;
+  result.reduce_time = t_reduced - t_shuffled;
+  return result;
+}
+
+}  // namespace dipdc::modules::mapreduce

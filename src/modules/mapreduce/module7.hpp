@@ -1,0 +1,74 @@
+// Module 7 (extension) — a hand-built MapReduce: distributed word count.
+//
+// The paper's future work item (ii) asks for "modules with other
+// data-intensive algorithms so students have some choice"; word count over
+// Zipf-distributed tokens is the canonical data-intensive example (it is
+// the hello-world of Hadoop/Spark, which §II cites as the Big Data tools
+// students must eventually meet — here they build the engine themselves).
+//
+// Pipeline: every rank holds a shard of the token stream.
+//   map     — count tokens locally (optionally: the combiner),
+//   shuffle — partition (key -> reducer) and exchange with Alltoallv,
+//   reduce  — merge the received partial counts per key.
+//
+// The experiments: the map-side combiner collapses the shuffle volume from
+// O(tokens) to O(distinct keys); hash partitioning balances the reducers
+// while range partitioning collapses under the Zipf head (real text!).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+
+namespace dipdc::modules::mapreduce {
+
+enum class Partitioning {
+  kHash,   // reducer = mix(key) % p
+  kRange,  // reducer = key * p / vocabulary (contiguous key ranges)
+};
+
+struct Config {
+  Partitioning partitioning = Partitioning::kHash;
+  /// Aggregate counts locally before the shuffle (the combiner).
+  bool map_side_combine = true;
+  /// Vocabulary size (needed by range partitioning).
+  std::uint64_t vocabulary = 1 << 16;
+};
+
+struct KeyCount {
+  std::uint64_t key = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const KeyCount&, const KeyCount&) = default;
+};
+
+struct Result {
+  /// This rank's reduced partition, sorted by key.
+  std::vector<KeyCount> counts;
+  /// Global invariant: sum of all counts == total number of tokens.
+  std::uint64_t global_total = 0;
+  /// Tuples this rank shipped during the shuffle, and the global max/mean
+  /// tuples received per reducer (the load-balance figure of merit).
+  std::uint64_t shuffle_tuples_sent = 0;
+  double reducer_imbalance = 1.0;
+  double sim_time = 0.0;
+  double map_time = 0.0;
+  double shuffle_time = 0.0;
+  double reduce_time = 0.0;
+};
+
+/// Distributed word count over this rank's `tokens` shard.
+Result word_count(minimpi::Comm& comm,
+                  std::span<const std::uint64_t> tokens,
+                  const Config& config);
+
+/// Single-process oracle: counts of all tokens, sorted by key.
+std::vector<KeyCount> word_count_sequential(
+    std::span<const std::uint64_t> tokens);
+
+/// The reducer a key belongs to under `config` with `p` reducers.
+int reducer_of(std::uint64_t key, const Config& config, int p);
+
+}  // namespace dipdc::modules::mapreduce

@@ -1,0 +1,137 @@
+#include "modules/rangequery/module4.hpp"
+
+#include <algorithm>
+
+#include "dataio/dataset.hpp"
+#include "index/kdtree.hpp"
+#include "index/quadtree.hpp"
+#include "index/rtree.hpp"
+#include "minimpi/ops.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dipdc::modules::rangequery {
+
+namespace mpi = minimpi;
+namespace sp = spatial;
+
+namespace {
+
+/// Reduce to the root then broadcast (the module prescribes MPI_Reduce).
+template <typename T, typename Op>
+T reduce_to_all(mpi::Comm& comm, T value, Op op) {
+  T out{};
+  comm.reduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op, 0);
+  return comm.bcast_value(out, 0);
+}
+
+}  // namespace
+
+std::vector<sp::Rect> make_query_workload(std::size_t count, double extent,
+                                          double side, std::uint64_t seed) {
+  DIPDC_REQUIRE(extent > 0.0 && side >= 0.0, "bad workload geometry");
+  support::Xoshiro256 rng(seed);
+  std::vector<sp::Rect> queries(count);
+  for (auto& q : queries) {
+    const double x = rng.uniform(0.0, extent);
+    const double y = rng.uniform(0.0, extent);
+    q = {x, y, x + side, y + side};
+  }
+  return queries;
+}
+
+Result run_distributed(mpi::Comm& comm,
+                       std::span<const sp::Point2> points,
+                       std::span<const sp::Rect> queries,
+                       const Config& config) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  Result result;
+
+  const double t0 = comm.wtime();
+
+  // Build the index (replicated on every rank, like the data).  The build
+  // cost is charged per point: an insert descends ~height nodes.
+  sp::RTree rtree(config.index_fanout);
+  sp::Rect bounds = sp::Rect::empty();
+  for (const auto& pt : points) bounds = bounds.united(sp::Rect::of_point(pt));
+  sp::QuadTree qtree(bounds.valid() ? bounds : sp::Rect{0, 0, 1, 1},
+                     config.index_fanout);
+  sp::KdTree kdtree;
+  if (config.engine == Engine::kRTree) {
+    rtree = sp::RTree::bulk_load(points, config.index_fanout);
+    comm.sim_compute(
+        16.0 * static_cast<double>(points.size()),
+        static_cast<double>(points.size()) * config.costs.bytes_per_entry_index);
+  } else if (config.engine == Engine::kKdTree) {
+    kdtree = sp::KdTree::build(points);
+    comm.sim_compute(
+        16.0 * static_cast<double>(points.size()),
+        static_cast<double>(points.size()) * config.costs.bytes_per_entry_index);
+  } else if (config.engine == Engine::kQuadTree) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      qtree.insert(points[i], static_cast<std::uint32_t>(i));
+    }
+    comm.sim_compute(
+        16.0 * static_cast<double>(points.size()),
+        static_cast<double>(points.size()) * config.costs.bytes_per_entry_index);
+  }
+  const double t_built = comm.wtime();
+
+  // Answer this rank's share of the queries.
+  const auto parts =
+      dataio::block_partition(queries.size(), static_cast<std::size_t>(p));
+  const auto [q_begin, q_end] = parts[static_cast<std::size_t>(r)];
+
+  std::uint64_t local_matches = 0;
+  sp::QueryStats stats;
+  std::vector<std::uint32_t> hits;
+  for (std::size_t q = q_begin; q < q_end; ++q) {
+    hits.clear();
+    switch (config.engine) {
+      case Engine::kBruteForce:
+        sp::brute_force_query(points, queries[q], hits, &stats);
+        break;
+      case Engine::kRTree:
+        rtree.query(queries[q], hits, &stats);
+        break;
+      case Engine::kQuadTree:
+        qtree.query(queries[q], hits, &stats);
+        break;
+      case Engine::kKdTree:
+        kdtree.query(queries[q], hits, &stats);
+        break;
+    }
+    local_matches += hits.size();
+  }
+
+  // Charge the machine model from the measured structural counts.
+  const auto checked = static_cast<double>(stats.entries_checked);
+  const auto visited = static_cast<double>(stats.nodes_visited);
+  const bool indexed = config.engine != Engine::kBruteForce;
+  const double flops = config.costs.flops_per_entry * checked;
+  const double bytes =
+      indexed ? config.costs.bytes_per_entry_index * checked +
+                    config.costs.bytes_per_node_visit * visited
+              : config.costs.bytes_per_entry_scan * checked;
+  comm.sim_compute(flops, bytes);
+  const double t_queried = comm.wtime();
+
+  // Combine results on the root (the module's MPI_Reduce step) and share.
+  const auto lm = static_cast<long long>(local_matches);
+  std::uint64_t total =
+      static_cast<std::uint64_t>(reduce_to_all(comm, lm, mpi::ops::Sum{}));
+  result.total_matches = total;
+  result.entries_checked = static_cast<std::uint64_t>(reduce_to_all(
+      comm, static_cast<long long>(stats.entries_checked), mpi::ops::Sum{}));
+  result.nodes_visited = static_cast<std::uint64_t>(reduce_to_all(
+      comm, static_cast<long long>(stats.nodes_visited), mpi::ops::Sum{}));
+
+  const double my_total = comm.wtime() - t0;
+  result.sim_time = reduce_to_all(comm, my_total, mpi::ops::Max{});
+  result.build_time = t_built - t0;
+  result.query_time = t_queried - t_built;
+  return result;
+}
+
+}  // namespace dipdc::modules::rangequery

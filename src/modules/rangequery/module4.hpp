@@ -1,0 +1,80 @@
+// Module 4 — Range Queries (paper §III-E).
+//
+// The input dataset and query set are stored on every rank before
+// processing begins (the module's premise); each rank answers its assigned
+// share of the queries; a Reduce combines the match counts and the slowest
+// rank's time.  Two engines:
+//
+//   * brute force — scans all points per query.  Sequential streaming with
+//     high arithmetic intensity per byte: inherently compute-bound, scales
+//     almost linearly (the module's activity 1).
+//   * R-tree — the supplied index (built from scratch in src/index).  Far
+//     fewer comparisons per query, but each one is a dependent pointer
+//     chase with poor locality: a much higher memory-access to
+//     distance-calculation ratio, so it is memory-bound and scales worse
+//     while being absolutely much faster (activity 2).
+//
+// The machine-model cost of each engine is derived from the *measured*
+// structural counts (entries checked, nodes visited) times per-operation
+// constants that encode those access characters; the constants are
+// documented below and exercised by the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/geometry.hpp"
+#include "minimpi/comm.hpp"
+
+namespace dipdc::modules::rangequery {
+
+enum class Engine { kBruteForce, kRTree, kQuadTree, kKdTree };
+
+/// Cost-model constants (flops and DRAM bytes per structural event).
+/// Brute force: 8 flop-equivalents per point (4 compares + loop overhead)
+/// against 4 bytes of effective traffic (sequential, prefetched, line
+/// reuse across the 16-byte points).  Index engines: the same comparisons
+/// but ~48 bytes per entry touched plus 64 per node visited (pointer-chased
+/// node memory with no spatial reuse).
+struct CostConstants {
+  double flops_per_entry = 8.0;
+  double bytes_per_entry_scan = 4.0;
+  double bytes_per_entry_index = 48.0;
+  double bytes_per_node_visit = 64.0;
+};
+
+struct Config {
+  Engine engine = Engine::kBruteForce;
+  /// R-tree fan-out / quad-tree node capacity.
+  std::size_t index_fanout = 16;
+  CostConstants costs{};
+};
+
+struct Result {
+  /// Total matches over all queries (order-independent correctness check).
+  std::uint64_t total_matches = 0;
+  /// Structural counts summed over all ranks.
+  std::uint64_t entries_checked = 0;
+  std::uint64_t nodes_visited = 0;
+  /// Slowest rank's simulated time: build + query phases.
+  double sim_time = 0.0;
+  double build_time = 0.0;
+  double query_time = 0.0;
+};
+
+/// Runs the distributed range-query workload.  `points` and `queries` must
+/// be identical on every rank (replicated input, per the module).  Queries
+/// are block-partitioned over ranks.
+Result run_distributed(minimpi::Comm& comm,
+                       std::span<const spatial::Point2> points,
+                       std::span<const spatial::Rect> queries,
+                       const Config& config);
+
+/// Deterministic query workload: windows with side `side` uniformly placed
+/// in [0, extent)^2.
+std::vector<spatial::Rect> make_query_workload(std::size_t count,
+                                               double extent, double side,
+                                               std::uint64_t seed);
+
+}  // namespace dipdc::modules::rangequery

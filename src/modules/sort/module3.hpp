@@ -1,0 +1,69 @@
+// Module 3 — Distribution Sort (paper §III-D).
+//
+// A distributed bucket sort: every rank starts with local unsorted data
+// (already distributed, as the module prescribes), buckets are assigned one
+// per rank, a communication phase scatters each rank's data to the bucket
+// owners, and every rank sorts its bucket locally.  The data stays
+// distributed afterwards (large datasets exceed one node's memory).
+//
+// The three activities map to configurations:
+//   1. uniform input, equal-width buckets            -> balanced
+//   2. exponential input, equal-width buckets        -> heavy imbalance
+//   3. exponential input, histogram-based splitters  -> balance restored
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+
+namespace dipdc::modules::distsort {
+
+enum class SplitterPolicy {
+  kEqualWidth,  // bucket i owns [lo + i*w, lo + (i+1)*w), equal widths
+  kHistogram,   // rank 0 histograms its local data and equalizes counts
+  kSampling,    // regular sampling over ALL ranks (the PSRS splitter
+                // selection) — an extension beyond the module: robust even
+                // when ranks hold differently-distributed data
+};
+
+struct Config {
+  SplitterPolicy policy = SplitterPolicy::kEqualWidth;
+  /// Domain of the keys; values outside are clamped into the end buckets.
+  double lo = 0.0;
+  double hi = 1.0;
+  /// Bins of the rank-0 histogram for kHistogram.
+  std::size_t histogram_bins = 256;
+};
+
+struct Result {
+  std::size_t total_elements = 0;
+  /// Elements owned by this rank after the exchange.
+  std::size_t local_elements = 0;
+  /// max / mean of post-exchange bucket sizes: 1.0 = perfectly balanced.
+  double imbalance = 1.0;
+  /// All ranks locally sorted and bucket ranges globally ordered, and no
+  /// element lost (allreduce-verified).
+  bool globally_sorted = false;
+  /// Slowest rank's simulated total, and the root's phase breakdown.
+  double sim_time = 0.0;
+  double exchange_time = 0.0;
+  double sort_time = 0.0;
+  /// Bytes this rank shipped during the exchange.
+  std::uint64_t exchange_bytes = 0;
+};
+
+/// Sorts `local` (this rank's share of the global data) into a global
+/// bucket order; on return `local` holds this rank's sorted bucket.
+/// Every rank must use the same config.
+Result distributed_bucket_sort(minimpi::Comm& comm,
+                               std::vector<double>& local,
+                               const Config& config);
+
+/// The splitters (p-1 ascending values) the configuration produces; exposed
+/// for tests and for the bench's explanation output.
+std::vector<double> compute_splitters(minimpi::Comm& comm,
+                                      const std::vector<double>& local,
+                                      const Config& config);
+
+}  // namespace dipdc::modules::distsort

@@ -1,0 +1,60 @@
+// Module 6 (extension) — Halo Exchange & Latency Hiding.
+//
+// The paper's future work item (i) calls for "modules that capture
+// excluded concepts, such as increasing focus on communication and latency
+// hiding".  This module is that material: a distributed 1-D Jacobi
+// diffusion stencil whose halo exchange comes in two flavours,
+//
+//   * kBlocking   — exchange halos with blocking Sendrecv, then compute
+//                   the whole local block (communication and computation
+//                   strictly serialized), and
+//   * kOverlapped — post Irecv/Isend for the halos, compute the interior
+//                   cells (which need no halo data), then Wait and finish
+//                   the boundary strips: communication hidden behind the
+//                   interior computation.
+//
+// A second knob, the halo width w, trades communication frequency for
+// redundant computation: exchanging w-deep halos allows w local sweeps
+// between exchanges (communication-avoiding stencils).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+
+namespace dipdc::modules::stencil {
+
+enum class Exchange { kBlocking, kOverlapped };
+
+struct Config {
+  std::size_t global_cells = 1 << 16;
+  int iterations = 64;       // total Jacobi sweeps
+  int halo_width = 1;        // halo depth = sweeps per exchange
+  double alpha = 0.2;        // diffusion coefficient (stability: <= 0.5)
+  Exchange exchange = Exchange::kBlocking;
+};
+
+struct Result {
+  /// Sum of the final field — identical across rank counts, exchange
+  /// styles and halo widths (the correctness handle).
+  double checksum = 0.0;
+  /// Slowest rank's simulated total, plus this rank's split.
+  double sim_time = 0.0;
+  double compute_time = 0.0;
+  double comm_time = 0.0;
+  /// Halo messages this rank sent.
+  std::uint64_t halo_messages = 0;
+};
+
+/// Deterministic initial field value of global cell `i`.
+double initial_value(std::size_t i);
+
+/// Single-process oracle.
+std::vector<double> run_sequential(const Config& config);
+
+/// Distributed stencil; every rank passes the same config.
+/// `iterations` must be a multiple of `halo_width`.
+Result run_distributed(minimpi::Comm& comm, const Config& config);
+
+}  // namespace dipdc::modules::stencil

@@ -1,0 +1,160 @@
+#include "modules/warmup/warmup.hpp"
+
+#include <cmath>
+
+#include "minimpi/ops.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+
+namespace dipdc::modules::warmup {
+
+namespace mpi = minimpi;
+
+ExerciseReport hello_ranks(mpi::Comm& comm) {
+  ExerciseReport report{"hello_ranks", false, {}};
+  if (comm.rank() != 0) {
+    comm.send_value(comm.rank(), 0, 100);
+    report.passed = true;
+    report.detail = "sent greeting";
+    return report;
+  }
+  std::vector<bool> heard(static_cast<std::size_t>(comm.size()), false);
+  heard[0] = true;
+  for (int i = 1; i < comm.size(); ++i) {
+    int from = -1;
+    const mpi::Status st =
+        comm.recv(std::span<int>(&from, 1), mpi::kAnySource, 100);
+    if (from != st.source) {
+      report.detail = "a rank lied about its identity";
+      return report;
+    }
+    heard[static_cast<std::size_t>(from)] = true;
+  }
+  for (const bool h : heard) {
+    if (!h) {
+      report.detail = "a rank never reported in";
+      return report;
+    }
+  }
+  report.passed = true;
+  report.detail = "all " + std::to_string(comm.size()) + " ranks said hello";
+  return report;
+}
+
+ExerciseReport chain_sum(mpi::Comm& comm) {
+  ExerciseReport report{"chain_sum", false, {}};
+  const int p = comm.size();
+  const int r = comm.rank();
+  // Pass a running sum up the chain 0 -> 1 -> ... -> p-1, then broadcast
+  // the total back down by hand.
+  long long sum = r;
+  if (r > 0) {
+    sum += comm.recv_value<long long>(r - 1, 101);
+  }
+  if (r + 1 < p) {
+    comm.send_value(sum, r + 1, 101);
+    sum = comm.recv_value<long long>(r + 1, 102);  // total coming back
+  }
+  if (r > 0) {
+    comm.send_value(sum, r - 1, 102);
+  }
+  const long long expect = static_cast<long long>(p) * (p - 1) / 2;
+  report.passed = sum == expect;
+  report.detail = "sum of ranks = " + std::to_string(sum) + " (expect " +
+                  std::to_string(expect) + ")";
+  return report;
+}
+
+ExerciseReport relay_broadcast(mpi::Comm& comm) {
+  ExerciseReport report{"relay_broadcast", false, {}};
+  const int p = comm.size();
+  const int r = comm.rank();
+  double secret = r == 0 ? 42.125 : 0.0;
+  if (r > 0) secret = comm.recv_value<double>(r - 1, 103);
+  if (r + 1 < p) comm.send_value(secret, r + 1, 103);
+  report.passed = secret == 42.125;
+  report.detail = "received " + support::fixed(secret, 3);
+  return report;
+}
+
+ExerciseReport reduce_maximum(mpi::Comm& comm) {
+  ExerciseReport report{"reduce_maximum", false, {}};
+  // Every rank contributes a deterministic pseudo-random value.
+  auto rng = support::make_stream(7777, static_cast<std::uint64_t>(comm.rank()));
+  const double mine = rng.uniform(0.0, 100.0);
+  double global_max = 0.0;
+  comm.reduce(std::span<const double>(&mine, 1),
+              std::span<double>(&global_max, 1), mpi::ops::Max{}, 0);
+  global_max = comm.bcast_value(global_max, 0);
+  // Everyone can verify: the maximum is at least their own value.
+  report.passed = global_max >= mine;
+  report.detail = "max = " + support::fixed(global_max, 3) +
+                  " (mine = " + support::fixed(mine, 3) + ")";
+  return report;
+}
+
+ExerciseReport monte_carlo_pi(mpi::Comm& comm,
+                              std::size_t samples_per_rank) {
+  ExerciseReport report{"monte_carlo_pi", false, {}};
+  auto rng = support::make_stream(31415, static_cast<std::uint64_t>(comm.rank()));
+  long long inside = 0;
+  for (std::size_t i = 0; i < samples_per_rank; ++i) {
+    const double x = rng.uniform();
+    const double y = rng.uniform();
+    if (x * x + y * y <= 1.0) ++inside;
+  }
+  // Charge the sampling to the machine model: ~6 flops per sample.
+  comm.sim_compute(6.0 * static_cast<double>(samples_per_rank), 0.0);
+  long long total_inside = 0;
+  comm.reduce(std::span<const long long>(&inside, 1),
+              std::span<long long>(&total_inside, 1), mpi::ops::Sum{}, 0);
+  total_inside = comm.bcast_value(total_inside, 0);
+  const double total_samples = static_cast<double>(samples_per_rank) *
+                               static_cast<double>(comm.size());
+  const double pi = 4.0 * static_cast<double>(total_inside) / total_samples;
+  report.passed = std::fabs(pi - 3.14159265358979) < 0.05;
+  report.detail = "pi ~= " + support::fixed(pi, 4);
+  return report;
+}
+
+ExerciseReport timed_pingpong(mpi::Comm& comm) {
+  ExerciseReport report{"timed_pingpong", false, {}};
+  if (comm.size() < 2) {
+    report.passed = true;
+    report.detail = "skipped (needs 2 ranks)";
+    return report;
+  }
+  if (comm.rank() > 1) {
+    report.passed = true;
+    report.detail = "idle";
+    return report;
+  }
+  const double t0 = comm.wtime();
+  const int rounds = 10;
+  for (int i = 0; i < rounds; ++i) {
+    if (comm.rank() == 0) {
+      comm.send_value(i, 1, 104);
+      (void)comm.recv_value<int>(1, 104);
+    } else {
+      const int v = comm.recv_value<int>(0, 104);
+      comm.send_value(v, 0, 104);
+    }
+  }
+  const double one_way = (comm.wtime() - t0) / (2.0 * rounds);
+  report.passed = one_way > 0.0;
+  report.detail = "one-way latency " + support::seconds(one_way);
+  return report;
+}
+
+std::vector<ExerciseReport> run_all(mpi::Comm& comm) {
+  std::vector<ExerciseReport> reports;
+  reports.push_back(hello_ranks(comm));
+  reports.push_back(chain_sum(comm));
+  reports.push_back(relay_broadcast(comm));
+  reports.push_back(reduce_maximum(comm));
+  reports.push_back(monte_carlo_pi(comm, 100000));
+  reports.push_back(timed_pingpong(comm));
+  return reports;
+}
+
+}  // namespace dipdc::modules::warmup

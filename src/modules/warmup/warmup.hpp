@@ -1,0 +1,49 @@
+// Ancillary module — MPI warm-up exercises (paper §III-G).
+//
+// "The other module provides warmup exercises that gently introduce
+//  students to MPI primitives.  These exercises can be used as in-class
+//  activities."
+//
+// Each exercise is a small self-checking function: it performs the
+// communication pattern and verifies its own result, returning a report.
+// run_all() executes the whole series — the in-class live-coding session
+// in executable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+
+namespace dipdc::modules::warmup {
+
+struct ExerciseReport {
+  std::string name;
+  bool passed = false;
+  std::string detail;  // a one-line human-readable summary
+};
+
+/// 1. "Hello world": every rank reports in to rank 0 (Send/Recv).
+ExerciseReport hello_ranks(minimpi::Comm& comm);
+
+/// 2. Sum of all ranks by hand along a chain (no collectives allowed).
+ExerciseReport chain_sum(minimpi::Comm& comm);
+
+/// 3. Broadcast by hand: rank 0's value reaches everyone via a relay.
+ExerciseReport relay_broadcast(minimpi::Comm& comm);
+
+/// 4. Global maximum with the real collective (first Reduce).
+ExerciseReport reduce_maximum(minimpi::Comm& comm);
+
+/// 5. Monte-Carlo estimation of pi: independent sampling + Reduce — the
+/// classic first "real" MPI program.
+ExerciseReport monte_carlo_pi(minimpi::Comm& comm, std::size_t samples_per_rank);
+
+/// 6. Ping-pong timing: measure the simulated one-way latency (first
+/// exposure to MPI_Wtime-style measurement).
+ExerciseReport timed_pingpong(minimpi::Comm& comm);
+
+/// Runs every exercise in sequence.
+std::vector<ExerciseReport> run_all(minimpi::Comm& comm);
+
+}  // namespace dipdc::modules::warmup

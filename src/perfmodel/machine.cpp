@@ -1,0 +1,107 @@
+#include "perfmodel/machine.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace dipdc::perfmodel {
+
+MachineConfig MachineConfig::monsoon_like(int node_count) {
+  MachineConfig cfg;
+  cfg.nodes = node_count;
+  cfg.cores_per_node = 32;
+  return cfg;
+}
+
+double MachineConfig::external_load(int node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= external_bw_load.size()) {
+    return 0.0;
+  }
+  return std::clamp(external_bw_load[static_cast<std::size_t>(node)], 0.0,
+                    0.99);
+}
+
+int Placement::node_of(int rank, int nranks, int nodes) const {
+  DIPDC_REQUIRE(rank >= 0 && rank < nranks, "rank out of range");
+  DIPDC_REQUIRE(nodes > 0, "need at least one node");
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin:
+      return rank % nodes;
+    case PlacementPolicy::kBlock:
+    default: {
+      // Ceil-divide so the first nodes take the larger chunks.
+      const int per_node = (nranks + nodes - 1) / nodes;
+      return std::min(rank / per_node, nodes - 1);
+    }
+  }
+}
+
+CostModel::CostModel(const MachineConfig& config, Placement placement,
+                     int nranks)
+    : config_(config), placement_(placement), nranks_(nranks) {
+  DIPDC_REQUIRE(nranks > 0, "need at least one rank");
+  DIPDC_REQUIRE(config.nodes > 0, "need at least one node");
+  node_of_rank_.resize(static_cast<std::size_t>(nranks));
+  ranks_per_node_.assign(static_cast<std::size_t>(config.nodes), 0);
+  for (int r = 0; r < nranks; ++r) {
+    const int n = placement_.node_of(r, nranks, config.nodes);
+    node_of_rank_[static_cast<std::size_t>(r)] = n;
+    ++ranks_per_node_[static_cast<std::size_t>(n)];
+  }
+}
+
+int CostModel::node_of(int rank) const {
+  DIPDC_REQUIRE(rank >= 0 && rank < nranks_, "rank out of range");
+  return node_of_rank_[static_cast<std::size_t>(rank)];
+}
+
+int CostModel::ranks_on_node(int node) const {
+  DIPDC_REQUIRE(node >= 0 && node < config_.nodes, "node out of range");
+  return ranks_per_node_[static_cast<std::size_t>(node)];
+}
+
+double CostModel::message_time(int src_rank, int dst_rank,
+                               std::size_t bytes) const {
+  const bool same_node = node_of(src_rank) == node_of(dst_rank);
+  const double latency =
+      same_node ? config_.intra_latency : config_.inter_latency;
+  const double bandwidth =
+      same_node ? config_.intra_bandwidth : config_.inter_bandwidth;
+  return latency + static_cast<double>(bytes) / bandwidth;
+}
+
+double CostModel::bandwidth_share(int node) const {
+  const double available =
+      config_.node_mem_bandwidth * (1.0 - config_.external_load(node));
+  const int residents = std::max(1, ranks_on_node(node));
+  return available / static_cast<double>(residents);
+}
+
+double CostModel::kernel_time(int rank, double flops, double mem_bytes) const {
+  DIPDC_REQUIRE(flops >= 0.0 && mem_bytes >= 0.0,
+                "kernel cost inputs must be non-negative");
+  const double compute_time = flops / config_.core_flops;
+  const double memory_time = mem_bytes / bandwidth_share(node_of(rank));
+  return std::max(compute_time, memory_time);
+}
+
+std::vector<double> speedups(const std::vector<double>& times) {
+  std::vector<double> out;
+  out.reserve(times.size());
+  if (times.empty()) return out;
+  const double t1 = times.front();
+  for (const double t : times) {
+    out.push_back(t > 0.0 ? t1 / t : 0.0);
+  }
+  return out;
+}
+
+double parallel_efficiency(double speedup, int procs) {
+  return procs > 0 ? speedup / static_cast<double>(procs) : 0.0;
+}
+
+double weak_efficiency(double t1, double tp) {
+  return tp > 0.0 ? t1 / tp : 0.0;
+}
+
+}  // namespace dipdc::perfmodel

@@ -1,0 +1,396 @@
+#include "slurmsim/slurmsim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace dipdc::slurmsim {
+
+namespace {
+
+/// Parses SLURM time syntax: "SS", "MM:SS", "HH:MM:SS", or plain minutes
+/// when there is no colon (SLURM's --time=<minutes>).
+double parse_time(const std::string& text) {
+  std::vector<long> parts;
+  std::string cell;
+  std::istringstream is(text);
+  while (std::getline(is, cell, ':')) {
+    parts.push_back(std::stol(cell));
+  }
+  DIPDC_REQUIRE(!parts.empty() && parts.size() <= 3,
+                "unparseable --time value: " + text);
+  if (parts.size() == 1) return static_cast<double>(parts[0]) * 60.0;
+  if (parts.size() == 2) {
+    return static_cast<double>(parts[0]) * 60.0 +
+           static_cast<double>(parts[1]);
+  }
+  return static_cast<double>(parts[0]) * 3600.0 +
+         static_cast<double>(parts[1]) * 60.0 + static_cast<double>(parts[2]);
+}
+
+/// Splits a directive line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+std::string value_of(const std::string& token) {
+  const auto eq = token.find('=');
+  return eq == std::string::npos ? std::string{} : token.substr(eq + 1);
+}
+
+}  // namespace
+
+JobSpec parse_sbatch(const std::string& script) {
+  JobSpec spec;
+  bool explicit_work = false;
+  std::istringstream is(script);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "#SBATCH") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string& t = tokens[i];
+        if (t.rfind("--job-name=", 0) == 0) {
+          spec.name = value_of(t);
+        } else if (t == "-J" && i + 1 < tokens.size()) {
+          spec.name = tokens[++i];
+        } else if (t.rfind("--nodes=", 0) == 0) {
+          spec.nodes = std::stoi(value_of(t));
+        } else if (t == "-N" && i + 1 < tokens.size()) {
+          spec.nodes = std::stoi(tokens[++i]);
+        } else if (t.rfind("--ntasks-per-node=", 0) == 0) {
+          spec.tasks_per_node = std::stoi(value_of(t));
+        } else if (t.rfind("--time=", 0) == 0) {
+          spec.time_limit = parse_time(value_of(t));
+          if (!explicit_work) spec.work_seconds = spec.time_limit;
+        } else if (t == "--exclusive") {
+          spec.exclusive = true;
+        } else if (t.rfind("--dependency=afterok:", 0) == 0) {
+          spec.depends_on =
+              std::stoi(t.substr(std::string("--dependency=afterok:").size()));
+        }
+      }
+    } else if (tokens[0] == "#DIPDC") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string& t = tokens[i];
+        if (t.rfind("work=", 0) == 0) {
+          spec.work_seconds = std::stod(value_of(t));
+          explicit_work = true;
+        } else if (t.rfind("bw-demand=", 0) == 0) {
+          spec.mem_bw_demand = std::stod(value_of(t));
+        }
+      }
+    }
+  }
+  DIPDC_REQUIRE(spec.nodes > 0 && spec.tasks_per_node > 0,
+                "job must request at least one node and one task");
+  return spec;
+}
+
+double SimulationResult::utilization(const ClusterSpec& cluster) const {
+  if (makespan <= 0.0) return 0.0;
+  double core_seconds = 0.0;
+  for (const ScheduledJob& j : jobs) {
+    core_seconds += static_cast<double>(j.spec.nodes) *
+                    static_cast<double>(j.spec.tasks_per_node) *
+                    j.run_time();
+  }
+  return core_seconds / (static_cast<double>(cluster.nodes) *
+                         static_cast<double>(cluster.cores_per_node) *
+                         makespan);
+}
+
+namespace {
+
+struct RunningJob {
+  std::size_t index;  // into the result vector
+  JobSpec spec;
+  std::vector<int> node_ids;
+  double remaining_work;
+  double start_time;
+};
+
+struct NodeState {
+  int cores_used = 0;
+  bool exclusive_held = false;
+  int jobs_resident = 0;
+  double bw_demand = 0.0;
+};
+
+class Simulator {
+ public:
+  Simulator(const ClusterSpec& cluster, Policy policy)
+      : cluster_(cluster),
+        policy_(policy),
+        node_states_(static_cast<std::size_t>(cluster.nodes)) {
+    DIPDC_REQUIRE(cluster.nodes > 0 && cluster.cores_per_node > 0,
+                  "cluster must have nodes and cores");
+  }
+
+  SimulationResult run(std::vector<JobSpec> jobs) {
+    SimulationResult result;
+    result.jobs.resize(jobs.size());
+    finished_.assign(jobs.size(), false);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      DIPDC_REQUIRE(jobs[i].nodes <= cluster_.nodes,
+                    "job requests more nodes than the cluster has");
+      DIPDC_REQUIRE(jobs[i].tasks_per_node <= cluster_.cores_per_node,
+                    "job requests more tasks per node than cores");
+      DIPDC_REQUIRE(jobs[i].depends_on < static_cast<int>(jobs.size()) &&
+                        jobs[i].depends_on != static_cast<int>(i),
+                    "job dependency must name another submitted job");
+      result.jobs[i].spec = jobs[i];
+    }
+
+    // Arrival order: by submit time, ties by input order.
+    std::vector<std::size_t> arrivals(jobs.size());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) arrivals[i] = i;
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return jobs[a].submit_time < jobs[b].submit_time;
+                     });
+
+    std::size_t next_arrival = 0;
+    double now = 0.0;
+
+    while (next_arrival < arrivals.size() || !queue_.empty() ||
+           !running_.empty()) {
+      // Next event: an arrival or a completion.
+      double next_time = std::numeric_limits<double>::infinity();
+      if (next_arrival < arrivals.size()) {
+        next_time = jobs[arrivals[next_arrival]].submit_time;
+      }
+      for (const RunningJob& r : running_) {
+        next_time = std::min(next_time, now + r.remaining_work / rate(r));
+      }
+      DIPDC_REQUIRE(next_time < std::numeric_limits<double>::infinity(),
+                    "scheduler stalled: queued jobs can never start "
+                    "(circular or unsatisfiable dependencies?)");
+      next_time = std::max(next_time, now);
+
+      // Advance progress of running jobs to next_time.
+      for (RunningJob& r : running_) {
+        r.remaining_work -= (next_time - now) * rate(r);
+      }
+      now = next_time;
+
+      // Completions at `now` (tolerate rounding).
+      for (std::size_t i = 0; i < running_.size();) {
+        if (running_[i].remaining_work <= 1e-9 * running_[i].spec.work_seconds
+            || running_[i].remaining_work <= 1e-12) {
+          finish(running_[i], now, result);
+          running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+
+      // Arrivals at `now`.
+      while (next_arrival < arrivals.size() &&
+             jobs[arrivals[next_arrival]].submit_time <= now) {
+        queue_.push_back(arrivals[next_arrival]);
+        ++next_arrival;
+      }
+
+      start_eligible_jobs(jobs, now, result);
+      result.makespan = std::max(result.makespan, now);
+    }
+    return result;
+  }
+
+ private:
+  /// Progress rate of a running job: the worst bandwidth oversubscription
+  /// across its nodes dilates its execution.
+  [[nodiscard]] double rate(const RunningJob& r) const {
+    double worst = 1.0;
+    for (const int n : r.node_ids) {
+      worst = std::max(worst,
+                       node_states_[static_cast<std::size_t>(n)].bw_demand);
+    }
+    return 1.0 / worst;
+  }
+
+  /// Nodes on which `spec` could be placed right now.
+  [[nodiscard]] std::vector<int> fit_now(const JobSpec& spec) const {
+    std::vector<int> chosen;
+    for (int n = 0; n < cluster_.nodes &&
+                    chosen.size() < static_cast<std::size_t>(spec.nodes);
+         ++n) {
+      const NodeState& s = node_states_[static_cast<std::size_t>(n)];
+      if (s.exclusive_held) continue;
+      if (spec.exclusive && s.jobs_resident > 0) continue;
+      if (s.cores_used + spec.tasks_per_node > cluster_.cores_per_node) {
+        continue;
+      }
+      chosen.push_back(n);
+    }
+    if (chosen.size() < static_cast<std::size_t>(spec.nodes)) chosen.clear();
+    return chosen;
+  }
+
+  void place(std::size_t index, const JobSpec& spec, std::vector<int> nodes,
+             double now, SimulationResult& result) {
+    for (const int n : nodes) {
+      NodeState& s = node_states_[static_cast<std::size_t>(n)];
+      s.cores_used += spec.tasks_per_node;
+      s.jobs_resident += 1;
+      s.bw_demand += spec.mem_bw_demand;
+      if (spec.exclusive) s.exclusive_held = true;
+    }
+    result.jobs[index].start_time = now;
+    result.jobs[index].node_ids = nodes;
+    running_.push_back(RunningJob{index, spec, std::move(nodes),
+                                  spec.work_seconds, now});
+  }
+
+  void finish(const RunningJob& r, double now, SimulationResult& result) {
+    finished_[r.index] = true;
+    for (const int n : r.node_ids) {
+      NodeState& s = node_states_[static_cast<std::size_t>(n)];
+      s.cores_used -= r.spec.tasks_per_node;
+      s.jobs_resident -= 1;
+      s.bw_demand -= r.spec.mem_bw_demand;
+      if (r.spec.exclusive) s.exclusive_held = false;
+    }
+    result.jobs[r.index].finish_time = now;
+  }
+
+  /// A queued job may start only once its dependency has completed
+  /// (dependency-held jobs are skipped, as SLURM holds them).
+  [[nodiscard]] bool eligible(const JobSpec& spec) const {
+    return spec.depends_on < 0 ||
+           finished_[static_cast<std::size_t>(spec.depends_on)];
+  }
+
+  /// Starts queued jobs according to the policy.
+  void start_eligible_jobs(const std::vector<JobSpec>& jobs, double now,
+                           SimulationResult& result) {
+    // Strict FIFO over *eligible* jobs: the first eligible job that does
+    // not fit blocks everything behind it.
+    for (std::size_t qi = 0; qi < queue_.size();) {
+      const std::size_t idx = queue_[qi];
+      if (!eligible(jobs[idx])) {
+        ++qi;  // dependency-held: skip without blocking the queue
+        continue;
+      }
+      auto nodes = fit_now(jobs[idx]);
+      if (nodes.empty()) break;
+      place(idx, jobs[idx], std::move(nodes), now, result);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+    }
+    if (policy_ != Policy::kBackfill || queue_.empty()) return;
+
+    // EASY backfill.  Compute the head job's shadow time: the earliest
+    // time enough nodes could be free assuming every running job ends at
+    // its time limit, and which nodes would then be claimed.  The "head"
+    // is the first *eligible* queued job.
+    std::size_t head_qi = queue_.size();
+    for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+      if (eligible(jobs[queue_[qi]])) {
+        head_qi = qi;
+        break;
+      }
+    }
+    if (head_qi == queue_.size()) return;  // everything dependency-held
+    const JobSpec& head = jobs[queue_[head_qi]];
+    std::vector<double> release(static_cast<std::size_t>(cluster_.nodes),
+                                now);
+    for (const RunningJob& r : running_) {
+      const double bound = r.start_time + r.spec.time_limit;
+      for (const int n : r.node_ids) {
+        auto& rel = release[static_cast<std::size_t>(n)];
+        rel = std::max(rel, bound);
+      }
+    }
+    // Nodes sorted by release time; the head claims the first `nodes`.
+    std::vector<int> order(static_cast<std::size_t>(cluster_.nodes));
+    for (int n = 0; n < cluster_.nodes; ++n) {
+      order[static_cast<std::size_t>(n)] = n;
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return release[static_cast<std::size_t>(a)] <
+             release[static_cast<std::size_t>(b)];
+    });
+    const auto head_nodes = static_cast<std::size_t>(head.nodes);
+    const double shadow =
+        release[static_cast<std::size_t>(order[head_nodes - 1])];
+    std::vector<bool> reserved(static_cast<std::size_t>(cluster_.nodes),
+                               false);
+    for (std::size_t i = 0; i < head_nodes; ++i) {
+      reserved[static_cast<std::size_t>(order[i])] = true;
+    }
+
+    // Try every job behind the head.
+    for (std::size_t qi = head_qi + 1; qi < queue_.size();) {
+      const std::size_t cand = queue_[qi];
+      const JobSpec& spec = jobs[cand];
+      if (!eligible(spec)) {
+        ++qi;
+        continue;
+      }
+      auto nodes = fit_now(spec);
+      bool ok = !nodes.empty();
+      if (ok && now + spec.time_limit > shadow) {
+        // Would still be running at the shadow time: it must avoid the
+        // reserved nodes entirely.
+        for (const int n : nodes) {
+          if (reserved[static_cast<std::size_t>(n)]) {
+            ok = false;
+            break;
+          }
+        }
+        // Try to re-fit on unreserved nodes only.
+        if (!ok) {
+          std::vector<int> alt;
+          for (int n = 0; n < cluster_.nodes &&
+                          alt.size() < static_cast<std::size_t>(spec.nodes);
+               ++n) {
+            if (reserved[static_cast<std::size_t>(n)]) continue;
+            const NodeState& s = node_states_[static_cast<std::size_t>(n)];
+            if (s.exclusive_held) continue;
+            if (spec.exclusive && s.jobs_resident > 0) continue;
+            if (s.cores_used + spec.tasks_per_node >
+                cluster_.cores_per_node) {
+              continue;
+            }
+            alt.push_back(n);
+          }
+          if (alt.size() == static_cast<std::size_t>(spec.nodes)) {
+            nodes = std::move(alt);
+            ok = true;
+          }
+        }
+      }
+      if (ok) {
+        place(cand, spec, std::move(nodes), now, result);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+      } else {
+        ++qi;
+      }
+    }
+  }
+
+  ClusterSpec cluster_;
+  Policy policy_;
+  std::vector<bool> finished_;
+  std::vector<NodeState> node_states_;
+  std::vector<RunningJob> running_;
+  std::vector<std::size_t> queue_;  // indices into the job list
+};
+
+}  // namespace
+
+SimulationResult simulate(const ClusterSpec& cluster, Policy policy,
+                          std::vector<JobSpec> jobs) {
+  Simulator sim(cluster, policy);
+  return sim.run(std::move(jobs));
+}
+
+}  // namespace dipdc::slurmsim

@@ -1,0 +1,92 @@
+// A batch-scheduler simulator in the spirit of SLURM.
+//
+// The paper ships an ancillary module introducing the SLURM scheduler, and
+// Module 4's third activity has students experiment with resource
+// allocations (dedicated vs. shared nodes, node counts, co-scheduling).
+// The quiz question behind Figure 1 — which program should share a node
+// with a stranger's job — is about memory-bandwidth interference between
+// co-scheduled jobs ("terrible twins").  This simulator reproduces those
+// mechanics: node/core allocation, FIFO and EASY-backfill scheduling,
+// exclusive allocations, and a bandwidth-contention progress model where a
+// job's execution rate on a node is 1/max(1, total bandwidth demand).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dipdc::slurmsim {
+
+/// One batch job, as described by an #SBATCH script.
+struct JobSpec {
+  std::string name = "job";
+  int nodes = 1;
+  int tasks_per_node = 1;
+  /// Requested wall-time limit (seconds); backfill reservations use this.
+  double time_limit = 3600.0;
+  /// Actual work content (seconds of execution on uncontended resources).
+  double work_seconds = 3600.0;
+  /// Demand on a node's memory bandwidth, as a fraction of the node's
+  /// bandwidth, per occupied node (0 = pure compute, 1 = saturates a node).
+  double mem_bw_demand = 0.0;
+  bool exclusive = false;
+  double submit_time = 0.0;
+  /// Index (into the submitted job list) of a job that must finish before
+  /// this one may start (SLURM's --dependency=afterok); -1 = none.
+  int depends_on = -1;
+};
+
+/// Parses the #SBATCH directives of a job script.  Recognised directives:
+///   #SBATCH --job-name=<s> | -J <s>
+///   #SBATCH --nodes=<n>    | -N <n>
+///   #SBATCH --ntasks-per-node=<n>
+///   #SBATCH --time=<[[HH:]MM:]SS | minutes>
+///   #SBATCH --exclusive
+///   #SBATCH --dependency=afterok:<job-index>
+/// plus this repository's extension for the interference model:
+///   #DIPDC work=<seconds> bw-demand=<fraction>
+JobSpec parse_sbatch(const std::string& script);
+
+struct ClusterSpec {
+  int nodes = 4;
+  int cores_per_node = 32;
+};
+
+enum class Policy {
+  kFifo,      // strict order: the queue head blocks everyone behind it
+  kBackfill,  // EASY backfill: later jobs may jump ahead if they cannot
+              // delay the queue head's earliest possible start
+};
+
+/// Outcome for one job.
+struct ScheduledJob {
+  JobSpec spec;
+  double start_time = -1.0;
+  double finish_time = -1.0;
+  std::vector<int> node_ids;
+
+  [[nodiscard]] double wait_time() const {
+    return start_time - spec.submit_time;
+  }
+  [[nodiscard]] double run_time() const { return finish_time - start_time; }
+  /// Execution-time dilation caused by interference (1.0 = undisturbed).
+  [[nodiscard]] double slowdown() const {
+    return spec.work_seconds > 0.0 ? run_time() / spec.work_seconds : 1.0;
+  }
+};
+
+struct SimulationResult {
+  std::vector<ScheduledJob> jobs;  // in input order
+  double makespan = 0.0;
+
+  /// Core-seconds of useful allocation divided by cluster capacity over the
+  /// makespan.
+  [[nodiscard]] double utilization(const ClusterSpec& cluster) const;
+};
+
+/// Event-driven simulation of `jobs` on `cluster` under `policy`.
+/// Jobs exceeding their time limit are *not* killed (the modules never ask
+/// for that); limits matter only for backfill reservations.
+SimulationResult simulate(const ClusterSpec& cluster, Policy policy,
+                          std::vector<JobSpec> jobs);
+
+}  // namespace dipdc::slurmsim

@@ -1,0 +1,88 @@
+#include "support/args.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace dipdc::support {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    if (t.rfind("--", 0) == 0) {
+      const auto eq = t.find('=');
+      if (eq != std::string::npos) {
+        options_[t.substr(2, eq - 2)] = t.substr(eq + 1);
+      } else if (i + 1 < tokens.size() &&
+                 tokens[i + 1].rfind("--", 0) != 0) {
+        options_[t.substr(2)] = tokens[++i];
+      } else {
+        options_[t.substr(2)] = "true";  // bare flag
+      }
+    } else if (command_.empty()) {
+      command_ = t;
+    } else {
+      positionals_.push_back(t);
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  queried_[key] = true;
+  return options_.count(key) > 0;
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& fallback) const {
+  queried_[key] = true;
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+long ArgParser::get_int(const std::string& key, long fallback) const {
+  const std::string v = get(key);
+  if (v.empty()) return fallback;
+  try {
+    return std::stol(v);
+  } catch (const std::exception&) {
+    throw PreconditionError("option --" + key +
+                            " expects an integer, got '" + v + "'");
+  }
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const std::string v = get(key);
+  if (v.empty()) return fallback;
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw PreconditionError("option --" + key + " expects a number, got '" +
+                            v + "'");
+  }
+}
+
+bool ArgParser::get_bool(const std::string& key, bool fallback) const {
+  std::string v = get(key);
+  if (v.empty()) return fallback;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(
+                       std::tolower(c)); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw PreconditionError("option --" + key + " expects a boolean, got '" +
+                          v + "'");
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : options_) {
+    (void)value;
+    if (queried_.count(key) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace dipdc::support

@@ -1,0 +1,44 @@
+// A small command-line argument parser for the example/driver binaries:
+// supports "--key=value", "--key value" and boolean "--flag" forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dipdc::support {
+
+class ArgParser {
+ public:
+  /// Parses argv[1..); the first non-option token becomes the command.
+  ArgParser(int argc, const char* const* argv);
+
+  /// The leading positional token ("module3" in `prog module3 --ranks=4`).
+  [[nodiscard]] const std::string& command() const { return command_; }
+  /// Positional tokens after the command.
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = {}) const;
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  /// True for "--flag" and "--flag=true/1/yes"; false for "=false/0/no".
+  [[nodiscard]] bool get_bool(const std::string& key,
+                              bool fallback = false) const;
+
+  /// Options that were parsed but never queried (typo detection).
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::string command_;
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace dipdc::support

@@ -1,0 +1,83 @@
+#include "support/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/format.hpp"
+
+namespace dipdc::support {
+
+std::string bar_chart(const std::vector<Bar>& bars, double vmax,
+                      int max_width) {
+  if (vmax <= 0.0) {
+    for (const Bar& b : bars) vmax = std::max(vmax, b.value);
+  }
+  if (vmax <= 0.0) vmax = 1.0;
+
+  std::size_t label_width = 0;
+  for (const Bar& b : bars) label_width = std::max(label_width, b.label.size());
+
+  std::ostringstream os;
+  for (const Bar& b : bars) {
+    const int n = static_cast<int>(
+        std::lround(b.value / vmax * static_cast<double>(max_width)));
+    os << b.label << std::string(label_width - b.label.size(), ' ') << " |"
+       << std::string(static_cast<std::size_t>(std::max(0, n)), b.glyph) << ' '
+       << fixed(b.value, 2) << '\n';
+  }
+  return os.str();
+}
+
+std::string line_chart(const std::vector<Series>& series, int width,
+                       int height) {
+  double xmin = 0.0, xmax = 1.0, ymin = 0.0, ymax = 1.0;
+  bool first = true;
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if (first) {
+        xmin = xmax = s.x[i];
+        ymin = ymax = s.y[i];
+        first = false;
+      } else {
+        xmin = std::min(xmin, s.x[i]);
+        xmax = std::max(xmax, s.x[i]);
+        ymin = std::min(ymin, s.y[i]);
+        ymax = std::max(ymax, s.y[i]);
+      }
+    }
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const double fx = (s.x[i] - xmin) / (xmax - xmin);
+      const double fy = (s.y[i] - ymin) / (ymax - ymin);
+      const int cx = std::min(
+          width - 1, static_cast<int>(std::lround(fx * (width - 1))));
+      const int cy = std::min(
+          height - 1, static_cast<int>(std::lround(fy * (height - 1))));
+      grid[static_cast<std::size_t>(height - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  os << fixed(ymax, 2) << " +" << '\n';
+  for (const std::string& row : grid) {
+    os << std::string(fixed(ymax, 2).size(), ' ') << " |" << row << '\n';
+  }
+  os << fixed(ymin, 2) << " +" << std::string(static_cast<std::size_t>(width), '-')
+     << '\n';
+  os << "   x: [" << fixed(xmin, 2) << ", " << fixed(xmax, 2) << "]   ";
+  for (const Series& s : series) {
+    os << s.glyph << "=" << s.name << "  ";
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace dipdc::support

@@ -1,0 +1,37 @@
+// Minimal ASCII charts: horizontal bar charts (used to render the paper's
+// Figure 2 quiz bars) and x/y line charts (used for the Figure 1 speedup
+// curves and the per-module scaling plots).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dipdc::support {
+
+/// One labelled bar; several groups can share a label (e.g. pre/post bars).
+struct Bar {
+  std::string label;
+  double value = 0.0;
+  char glyph = '#';
+};
+
+/// Renders labelled horizontal bars scaled to `max_width` columns.
+/// `vmax` of 0 auto-scales to the largest value.
+std::string bar_chart(const std::vector<Bar>& bars, double vmax = 0.0,
+                      int max_width = 50);
+
+/// One named series of (x, y) samples for a line chart.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+/// Renders series on a shared grid of `width` x `height` characters with
+/// simple axis annotations.  Intended for quick visual confirmation of curve
+/// shapes (linear vs. saturating speedup etc.), not for publication.
+std::string line_chart(const std::vector<Series>& series, int width = 64,
+                       int height = 20);
+
+}  // namespace dipdc::support

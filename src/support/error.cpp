@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace dipdc::support {
+
+void throw_precondition_failure(const char* expr, const std::string& message,
+                                std::source_location loc) {
+  std::ostringstream os;
+  os << "precondition failed: " << message << " [" << expr << "] at "
+     << loc.file_name() << ":" << loc.line();
+  throw PreconditionError(os.str());
+}
+
+}  // namespace dipdc::support

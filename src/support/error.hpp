@@ -1,0 +1,35 @@
+// Error-handling primitives shared by every subsystem.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace dipdc::support {
+
+/// Base class for all errors thrown by this project.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a DIPDC_REQUIRE precondition fails.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] void throw_precondition_failure(
+    const char* expr, const std::string& message,
+    std::source_location loc = std::source_location::current());
+
+}  // namespace dipdc::support
+
+/// Precondition check that is always on (library-boundary validation, not an
+/// assert): throws PreconditionError with file/line context on failure.
+#define DIPDC_REQUIRE(expr, message)                                      \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::dipdc::support::throw_precondition_failure(#expr, (message));     \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,49 @@
+#include "support/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace dipdc::support {
+
+std::string fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string percent(double fraction, int digits) {
+  return fixed(fraction * 100.0, digits) + "%";
+}
+
+std::string bytes(std::uint64_t n) {
+  constexpr std::array<const char*, 5> units = {"B", "KiB", "MiB", "GiB",
+                                                "TiB"};
+  double v = static_cast<double>(n);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < units.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  if (u == 0) return std::to_string(n) + " B";
+  return fixed(v, 2) + " " + units[u];
+}
+
+std::string seconds(double s) {
+  if (s == 0.0) return "0 s";
+  const double a = std::fabs(s);
+  if (a >= 1.0) return fixed(s, 3) + " s";
+  if (a >= 1e-3) return fixed(s * 1e3, 3) + " ms";
+  if (a >= 1e-6) return fixed(s * 1e6, 3) + " us";
+  return fixed(s * 1e9, 1) + " ns";
+}
+
+std::string count(std::uint64_t n) {
+  if (n < 1000000) return std::to_string(n);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2e", static_cast<double>(n));
+  return buf;
+}
+
+}  // namespace dipdc::support

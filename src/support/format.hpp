@@ -1,0 +1,25 @@
+// Numeric formatting helpers for benchmark and example output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dipdc::support {
+
+/// Fixed-point decimal with the given number of fractional digits.
+std::string fixed(double value, int digits = 2);
+
+/// Value rendered as a percentage ("47.86%") with the given digits.
+std::string percent(double fraction, int digits = 2);
+
+/// Human-readable byte count ("1.50 MiB").
+std::string bytes(std::uint64_t n);
+
+/// Human-readable duration from seconds ("1.23 ms").
+std::string seconds(double s);
+
+/// Scientific-ish compact count ("1.2e+06" style for large values,
+/// plain integers below 1e6).
+std::string count(std::uint64_t n);
+
+}  // namespace dipdc::support

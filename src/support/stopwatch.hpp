@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for real-time measurements (benchmarks use simulated
+// time from perfmodel for scaling results; the stopwatch exists for sanity
+// checks and for native kernel timing in google-benchmark loops).
+#pragma once
+
+#include <chrono>
+
+namespace dipdc::support {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dipdc::support

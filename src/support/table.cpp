@@ -1,0 +1,78 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dipdc::support {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::set_alignment(std::vector<Align> alignment) {
+  alignment_ = std::move(alignment);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void Table::add_rule() { pending_rule_ = true; }
+
+std::string Table::render() const {
+  std::size_t ncols = header_.size();
+  for (const Row& r : rows_) ncols = std::max(ncols, r.cells.size());
+
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      width[c] = std::max(width[c], cells[c].size());
+    }
+  };
+  widen(header_);
+  for (const Row& r : rows_) widen(r.cells);
+
+  auto align_of = [&](std::size_t c) {
+    return c < alignment_.size() ? alignment_[c] : Align::kRight;
+  };
+
+  std::ostringstream os;
+  auto emit_rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = width[c] - cell.size();
+      os << ' ';
+      if (align_of(c) == Align::kRight) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  emit_rule();
+  if (!header_.empty()) {
+    emit_row(header_);
+    emit_rule();
+  }
+  for (const Row& r : rows_) {
+    if (r.rule_before) emit_rule();
+    emit_row(r.cells);
+  }
+  emit_rule();
+  return os.str();
+}
+
+}  // namespace dipdc::support

@@ -1,0 +1,44 @@
+// Plain-text table rendering used by the benchmark harnesses to print the
+// paper's tables and per-experiment result grids.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dipdc::support {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set a header, append rows, render.
+/// Cells are strings; numeric formatting is the caller's concern (see
+/// format.hpp for helpers).
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  /// Per-column alignment; columns without an entry default to right-aligned.
+  void set_alignment(std::vector<Align> alignment);
+  void add_row(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace dipdc::support

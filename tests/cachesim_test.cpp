@@ -1,0 +1,182 @@
+// Cache-simulator oracles: analytically known miss patterns.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "support/error.hpp"
+
+namespace cs = dipdc::cachesim;
+
+TEST(CacheLevel, ColdMissThenHit) {
+  cs::CacheLevel cache({1024, 64, 2});
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(63));   // same line
+  EXPECT_FALSE(cache.access(64));  // next line
+  EXPECT_EQ(cache.accesses(), 4u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.miss_rate(), 0.5);
+}
+
+TEST(CacheLevel, SequentialStreamMissesOncePerLine) {
+  cs::CacheLevel cache({32 * 1024, 64, 8});
+  const std::size_t n = 16 * 1024;  // fits in cache
+  for (std::size_t i = 0; i < n; ++i) {
+    cache.access(i);
+  }
+  EXPECT_EQ(cache.misses(), n / 64);
+}
+
+TEST(CacheLevel, DirectMappedConflictThrashes) {
+  // Two addresses mapping to the same set of a direct-mapped cache evict
+  // each other on every access.
+  cs::CacheLevel cache({1024, 64, 1});  // 16 sets
+  const std::uint64_t a = 0;
+  const std::uint64_t b = 1024;  // same set, different tag
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(cache.access(a));
+    EXPECT_FALSE(cache.access(b));
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CacheLevel, TwoWayAssociativityResolvesTheConflict) {
+  cs::CacheLevel cache({2048, 64, 2});  // same 16 sets, 2 ways
+  const std::uint64_t a = 0;
+  const std::uint64_t b = 2048;
+  cache.access(a);
+  cache.access(b);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(cache.access(a));
+    EXPECT_TRUE(cache.access(b));
+  }
+}
+
+TEST(CacheLevel, LruEvictsLeastRecentlyUsed) {
+  // Fully associative 4-line cache.
+  cs::CacheLevel cache({4 * 64, 64, 4});
+  cache.access(0 * 64);
+  cache.access(1 * 64);
+  cache.access(2 * 64);
+  cache.access(3 * 64);
+  // Touch line 0 so line 1 is now LRU.
+  EXPECT_TRUE(cache.access(0));
+  // Install a 5th line; it must evict line 1.
+  EXPECT_FALSE(cache.access(4 * 64));
+  EXPECT_TRUE(cache.access(0));        // still resident
+  EXPECT_FALSE(cache.access(1 * 64));  // evicted
+}
+
+TEST(CacheLevel, WorkingSetLargerThanCacheThrashes) {
+  // Cyclic sweep over 2x the cache size with LRU never hits.
+  cs::CacheLevel cache({1024, 64, 16});  // fully associative, 16 lines
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t line = 0; line < 32; ++line) {
+      cache.access(line * 64);
+    }
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CacheLevel, ResetClearsEverything) {
+  cs::CacheLevel cache({1024, 64, 2});
+  cache.access(0);
+  cache.access(0);
+  cache.reset();
+  EXPECT_EQ(cache.accesses(), 0u);
+  EXPECT_FALSE(cache.access(0));  // cold again
+}
+
+TEST(CacheLevel, RejectsBadGeometry) {
+  EXPECT_THROW(cs::CacheLevel({1000, 64, 3}),
+               dipdc::support::PreconditionError);
+  EXPECT_THROW(cs::CacheLevel({1024, 0, 1}),
+               dipdc::support::PreconditionError);
+}
+
+TEST(CacheHierarchy, L1MissCanHitL2) {
+  cs::CacheHierarchy h({{128, 64, 2}, {4096, 64, 8}});
+  // Fill beyond L1 (2 lines) but within L2.
+  for (std::uint64_t line = 0; line < 8; ++line) h.access(line * 64);
+  // Line 0 fell out of L1 but is resident in L2.
+  h.access(0);
+  EXPECT_EQ(h.level(0).misses(), 9u);
+  EXPECT_EQ(h.level(1).hits(), 1u);
+  EXPECT_EQ(h.memory_accesses(), 8u);
+}
+
+TEST(CacheHierarchy, MemoryTrafficCountsLastLevelMisses) {
+  cs::CacheHierarchy h({{128, 64, 2}, {256, 64, 4}});
+  for (std::uint64_t line = 0; line < 100; ++line) h.access(line * 64);
+  EXPECT_EQ(h.memory_traffic_bytes(), 100u * 64u);
+}
+
+TEST(CacheHierarchy, AccessRangeTouchesEveryLine) {
+  cs::CacheHierarchy h({{32 * 1024, 64, 8}});
+  h.access_range(0, 640);  // lines 0..9
+  EXPECT_EQ(h.level(0).accesses(), 10u);
+  h.access_range(60, 8);  // straddles lines 0 and 1: two accesses, both hits
+  EXPECT_EQ(h.level(0).hits(), 2u);
+  h.access_range(0, 0);  // empty: no accesses
+  EXPECT_EQ(h.level(0).accesses(), 12u);
+}
+
+TEST(CacheHierarchy, TypicalShape) {
+  auto h = cs::CacheHierarchy::typical();
+  EXPECT_EQ(h.levels(), 2u);
+  EXPECT_EQ(h.level(0).config().size_bytes, 32u * 1024u);
+  EXPECT_EQ(h.level(1).config().size_bytes, 1024u * 1024u);
+}
+
+TEST(Tracer, NullTracerIsFree) {
+  cs::NullTracer t;
+  t.touch(nullptr, 128);  // must be a no-op
+  SUCCEED();
+}
+
+TEST(Tracer, CacheTracerFeedsHierarchy) {
+  auto h = cs::CacheHierarchy::typical();
+  cs::CacheTracer t(&h);
+  std::vector<double> data(1024);
+  t.touch(data.data(), data.size() * sizeof(double));
+  EXPECT_EQ(h.total_accesses(), 8192u / 64u + (
+      // the vector may straddle one extra line depending on alignment
+      (reinterpret_cast<std::uintptr_t>(data.data()) % 64 == 0) ? 0u : 1u));
+}
+
+TEST(Tracer, RowwiseVsTiledMatrixTraversal) {
+  // The Module 2 phenomenon in miniature: repeatedly streaming a large
+  // array misses every time, while processing it tile by tile with reuse
+  // inside the tile hits.
+  const std::size_t doubles = 64 * 1024;  // 512 KiB, larger than our cache
+  std::vector<double> big(doubles);
+
+  auto stream_twice = [&](cs::CacheHierarchy& h) {
+    cs::CacheTracer t(&h);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < doubles; ++i) {
+        t.touch(&big[i], sizeof(double));
+      }
+    }
+  };
+  auto tiled_twice = [&](cs::CacheHierarchy& h) {
+    cs::CacheTracer t(&h);
+    const std::size_t tile = 2048;  // 16 KiB tiles fit in L1
+    for (std::size_t base = 0; base < doubles; base += tile) {
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = base; i < base + tile; ++i) {
+          t.touch(&big[i], sizeof(double));
+        }
+      }
+    }
+  };
+
+  cs::CacheHierarchy h1({{32 * 1024, 64, 8}});
+  cs::CacheHierarchy h2({{32 * 1024, 64, 8}});
+  stream_twice(h1);
+  tiled_twice(h2);
+  EXPECT_GT(h1.memory_traffic_bytes(), 15u * h2.memory_traffic_bytes() / 10u);
+}

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+
+#include "dataio/dataset.hpp"
+#include "support/error.hpp"
+
+namespace io = dipdc::dataio;
+
+TEST(Dataset, ShapeAndAccess) {
+  io::Dataset d(3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(d.dim(), 3u);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.point(1)[0], 4.0);
+  EXPECT_DOUBLE_EQ(d.point(1)[2], 6.0);
+  const auto r = d.rows(1, 2);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[0], 4.0);
+}
+
+TEST(Dataset, RejectsRaggedValues) {
+  EXPECT_THROW(io::Dataset(3, {1, 2}), dipdc::support::PreconditionError);
+  EXPECT_THROW(io::Dataset(0, {}), dipdc::support::PreconditionError);
+}
+
+TEST(Generators, UniformBoundsAndDeterminism) {
+  const auto a = io::generate_uniform(1000, 5, -2.0, 3.0, 77);
+  const auto b = io::generate_uniform(1000, 5, -2.0, 3.0, 77);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(a.dim(), 5u);
+  for (std::size_t i = 0; i < a.values().size(); ++i) {
+    EXPECT_GE(a.values()[i], -2.0);
+    EXPECT_LT(a.values()[i], 3.0);
+    EXPECT_DOUBLE_EQ(a.values()[i], b.values()[i]);
+  }
+  const auto c = io::generate_uniform(1000, 5, -2.0, 3.0, 78);
+  EXPECT_NE(a.values()[0], c.values()[0]);
+}
+
+TEST(Generators, ExponentialIsSkewed) {
+  const auto d = io::generate_exponential(100000, 1, 2.0, 5);
+  double mean = 0.0;
+  std::size_t below_mean = 0;
+  for (const double v : d.values()) {
+    EXPECT_GE(v, 0.0);
+    mean += v;
+  }
+  mean /= static_cast<double>(d.size());
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  for (const double v : d.values()) {
+    if (v < mean) ++below_mean;
+  }
+  // For Exp, ~63% of the mass is below the mean: clearly skewed.
+  EXPECT_GT(below_mean, d.size() * 60 / 100);
+}
+
+TEST(Generators, ClustersCarryGroundTruth) {
+  const auto c = io::generate_clusters(2000, 2, 4, 0.05, 0.0, 10.0, 31);
+  EXPECT_EQ(c.data.size(), 2000u);
+  EXPECT_EQ(c.true_centers.size(), 4u);
+  EXPECT_EQ(c.labels.size(), 2000u);
+  // Every point lies near its generating center.
+  for (std::size_t i = 0; i < c.data.size(); ++i) {
+    const auto p = c.data.point(i);
+    const auto ctr = c.true_centers.point(c.labels[i]);
+    const double dx = p[0] - ctr[0];
+    const double dy = p[1] - ctr[1];
+    EXPECT_LT(dx * dx + dy * dy, 1.0);  // within 20 sigma
+  }
+}
+
+TEST(Partition, BlockPartitionCoversExactly) {
+  for (std::size_t n : {0u, 1u, 7u, 100u, 101u}) {
+    for (std::size_t p : {1u, 2u, 3u, 7u, 16u}) {
+      const auto parts = io::block_partition(n, p);
+      ASSERT_EQ(parts.size(), p);
+      std::size_t expect_begin = 0;
+      std::size_t max_len = 0, min_len = n + 1;
+      for (const auto& [b, e] : parts) {
+        EXPECT_EQ(b, expect_begin);
+        EXPECT_LE(b, e);
+        max_len = std::max(max_len, e - b);
+        min_len = std::min(min_len, e - b);
+        expect_begin = e;
+      }
+      EXPECT_EQ(expect_begin, n);
+      EXPECT_LE(max_len - min_len, 1u);
+    }
+  }
+}
+
+TEST(Csv, RoundTripPreservesValues) {
+  const auto original = io::generate_uniform(50, 4, 0.0, 1.0, 3);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dipdc_csv_test.csv").string();
+  io::write_csv(original, path);
+  const auto loaded = io::read_csv(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  ASSERT_EQ(loaded.dim(), original.dim());
+  for (std::size_t i = 0; i < original.values().size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.values()[i], original.values()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(io::read_csv("/nonexistent/definitely/not/here.csv"),
+               dipdc::support::PreconditionError);
+}

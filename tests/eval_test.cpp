@@ -1,0 +1,256 @@
+// The paper's evaluation artifacts: the reconstructed quiz dataset must
+// reproduce every Table IV statistic, and the Table I / Table II metadata
+// must be internally consistent and verified against the instrumented
+// reference solutions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dataio/dataset.hpp"
+#include "eval/quizdata.hpp"
+#include "eval/quizstats.hpp"
+#include "eval/tables.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/comm/module1.hpp"
+#include "modules/distmatrix/module2.hpp"
+#include "modules/kmeans/module5.hpp"
+#include "modules/rangequery/module4.hpp"
+#include "modules/sort/module3.hpp"
+#include "support/rng.hpp"
+
+namespace ev = dipdc::eval;
+namespace mpi = dipdc::minimpi;
+
+namespace {
+
+double round2(double v) { return std::round(v * 100.0) / 100.0; }
+
+}  // namespace
+
+TEST(QuizData, FortyTwoUsablePairs) {
+  const auto pairs = ev::all_pairs();
+  EXPECT_EQ(pairs.size(), 42u);  // Table IV: Total Pre & Post Quiz Pairs
+}
+
+TEST(QuizData, SevenStudentsCompletedEverything) {
+  int complete = 0;
+  for (int s = 0; s < ev::kStudents; ++s) {
+    bool all = true;
+    for (int q = 0; q < ev::kQuizzes; ++q) {
+      all = all && ev::quiz_score(s, q).has_value();
+    }
+    if (all) ++complete;
+  }
+  EXPECT_EQ(complete, 7);  // paper §IV-A: "Seven of ten students..."
+}
+
+TEST(QuizData, ScoresAreValidPercentages) {
+  for (const auto& sp : ev::all_pairs()) {
+    EXPECT_GE(sp.pair.pre, 0.0);
+    EXPECT_LE(sp.pair.pre, 100.0);
+    EXPECT_GE(sp.pair.post, 0.0);
+    EXPECT_LE(sp.pair.post, 100.0);
+  }
+}
+
+TEST(TableIV, PairClassificationCounts) {
+  const auto counts = ev::count_pairs(ev::all_pairs());
+  EXPECT_EQ(counts.total, 42);
+  EXPECT_EQ(counts.equal, 17);
+  EXPECT_EQ(counts.increased, 19);
+  EXPECT_EQ(counts.decreased, 6);
+}
+
+TEST(TableIV, MeanRelativeIncrease) {
+  const auto inc =
+      ev::mean_relative_change(ev::all_pairs(), ev::Direction::kIncrease);
+  EXPECT_EQ(inc.pairs, 19);
+  EXPECT_DOUBLE_EQ(round2(inc.relative_to_pre * 100.0), 47.86);
+}
+
+TEST(TableIV, MeanRelativeDecrease) {
+  const auto dec =
+      ev::mean_relative_change(ev::all_pairs(), ev::Direction::kDecrease);
+  EXPECT_EQ(dec.pairs, 6);
+  EXPECT_DOUBLE_EQ(round2(dec.relative_to_pre * 100.0), 27.30);
+}
+
+TEST(TableIV, PerQuizMeans) {
+  const double expect[ev::kQuizzes][2] = {{88.89, 98.15},
+                                          {82.22, 88.89},
+                                          {69.50, 77.78},
+                                          {60.71, 67.86},
+                                          {80.21, 79.17}};
+  const auto pairs = ev::all_pairs();
+  for (int q = 0; q < ev::kQuizzes; ++q) {
+    const auto means = ev::quiz_means(pairs, q);
+    EXPECT_DOUBLE_EQ(round2(means.pre), expect[q][0]) << "quiz " << q + 1;
+    EXPECT_DOUBLE_EQ(round2(means.post), expect[q][1]) << "quiz " << q + 1;
+  }
+}
+
+TEST(TableIV, Quiz5IsTheOnlyMeanDecrease) {
+  const auto pairs = ev::all_pairs();
+  for (int q = 0; q < 4; ++q) {
+    const auto m = ev::quiz_means(pairs, q);
+    EXPECT_GT(m.post, m.pre) << "quiz " << q + 1;
+  }
+  const auto m5 = ev::quiz_means(pairs, 4);
+  EXPECT_LT(m5.post, m5.pre);
+}
+
+TEST(Figure2, ExactlyStudents1347Decrease) {
+  // Paper §IV-C: students #2,5,6,8,9,10 never decreased; #1,3,4,7 did.
+  const auto dec = ev::students_with_decrease(ev::all_pairs());
+  EXPECT_EQ(dec, (std::vector<int>{0, 2, 3, 6}));  // 0-based
+}
+
+TEST(TableIII, CohortSumsToTen) {
+  int total = 0;
+  for (const auto& row : ev::demographics()) total += row.count;
+  EXPECT_EQ(total, 10);
+}
+
+TEST(TableI, FifteenOutcomesWithSaneLevels) {
+  const auto& rows = ev::learning_outcomes();
+  EXPECT_EQ(rows.size(), 15u);
+  int assigned = 0;
+  for (const auto& row : rows) {
+    EXPECT_FALSE(row.description.empty());
+    bool any = false;
+    for (const auto level : row.levels) {
+      if (level != ev::Bloom::kNone) {
+        any = true;
+        ++assigned;
+      }
+    }
+    EXPECT_TRUE(any) << row.description;
+  }
+  // Every module teaches several outcomes.
+  EXPECT_GT(assigned, 25);
+}
+
+TEST(TableII, RowsCoverThePaper) {
+  const auto& rows = ev::primitive_usage();
+  EXPECT_EQ(rows.size(), 10u);
+  // Module 1 requires Send/Recv/Isend/Wait, as the paper states.
+  int required_m1 = 0;
+  for (const auto& row : rows) {
+    if (row.usage[0] == ev::Usage::kRequired) ++required_m1;
+  }
+  EXPECT_EQ(required_m1, 4);
+}
+
+// ---- Table II verified against the instrumented reference solutions -----
+
+namespace {
+
+mpi::CommStats run_module(int module_index) {
+  using dipdc::dataio::Dataset;
+  const int p = 4;
+  mpi::RunResult result;
+  switch (module_index) {
+    case 0:
+      result = mpi::run(p, [](mpi::Comm& comm) {
+        dipdc::modules::comm1::ping_pong(comm, 3, 64);
+        dipdc::modules::comm1::ring_nonblocking(comm, comm.size());
+        dipdc::modules::comm1::random_comm_any_source(comm, 4, 3);
+      });
+      break;
+    case 1: {
+      const auto d = dipdc::dataio::generate_uniform(64, 8, 0.0, 1.0, 1);
+      result = mpi::run(p, [&](mpi::Comm& comm) {
+        dipdc::modules::distmatrix::Config cfg;
+        cfg.tile = 16;
+        dipdc::modules::distmatrix::run_distributed(
+            comm, comm.rank() == 0 ? d : Dataset{}, cfg);
+      });
+      break;
+    }
+    case 2:
+      result = mpi::run(p, [](mpi::Comm& comm) {
+        auto rng = dipdc::support::make_stream(
+            7, static_cast<std::uint64_t>(comm.rank()));
+        std::vector<double> local(500);
+        for (auto& v : local) v = rng.uniform();
+        dipdc::modules::distsort::Config cfg;
+        dipdc::modules::distsort::distributed_bucket_sort(comm, local, cfg);
+      });
+      break;
+    case 3: {
+      std::vector<dipdc::spatial::Point2> pts(500);
+      auto rng = dipdc::support::Xoshiro256(9);
+      for (auto& pt : pts) {
+        pt.x = rng.uniform(0.0, 10.0);
+        pt.y = rng.uniform(0.0, 10.0);
+      }
+      const auto queries =
+          dipdc::modules::rangequery::make_query_workload(16, 10.0, 1.0, 5);
+      result = mpi::run(p, [&](mpi::Comm& comm) {
+        dipdc::modules::rangequery::Config cfg;
+        cfg.engine = dipdc::modules::rangequery::Engine::kRTree;
+        dipdc::modules::rangequery::run_distributed(comm, pts, queries, cfg);
+      });
+      break;
+    }
+    case 4: {
+      const auto d = dipdc::dataio::generate_clusters(400, 2, 3, 0.2, 0.0,
+                                                      10.0, 11);
+      result = mpi::run(p, [&](mpi::Comm& comm) {
+        dipdc::modules::kmeans::Config cfg;
+        cfg.k = 3;
+        dipdc::modules::kmeans::distributed(
+            comm, comm.rank() == 0 ? d.data : Dataset{}, cfg);
+      });
+      break;
+    }
+    default:
+      break;
+  }
+  return result.total_stats();
+}
+
+}  // namespace
+
+TEST(TableII, EveryModuleUsesItsRequiredPrimitives) {
+  for (int m = 0; m < ev::kModules; ++m) {
+    const auto stats = run_module(m);
+    EXPECT_TRUE(ev::required_primitives_used(m, stats)) << "module " << m + 1;
+  }
+}
+
+TEST(TableII, FamilyCallCountsAreMeasured) {
+  const auto stats = run_module(1);  // distance matrix
+  const auto& rows = ev::primitive_usage();
+  // Row 6 is MPI_Scatter (family includes Scatterv), row 7 is MPI_Reduce.
+  EXPECT_GT(ev::family_calls(rows[6], stats), 0u);
+  EXPECT_GT(ev::family_calls(rows[7], stats), 0u);
+  // Module 2 never calls plain Send.
+  EXPECT_EQ(ev::family_calls(rows[0], stats), 0u);
+}
+
+#include "eval/survey.hpp"
+
+TEST(Survey, DifficultyReportsCoverTheCohort) {
+  int total = 0;
+  for (const auto& r : ev::difficulty_reports()) total += r.students;
+  EXPECT_EQ(total, 10);  // 1 easier + 5 more difficult + 4 much more
+}
+
+TEST(Survey, LeastFavoriteVotesMatchThePaper) {
+  const auto& v = ev::least_favorite_votes();
+  EXPECT_EQ(v.votes, (std::array<int, 5>{2, 1, 1, 2, 1}));
+  EXPECT_EQ(v.total(), 7);
+}
+
+TEST(Survey, FavoriteAndChallengingHighlights) {
+  EXPECT_EQ(ev::favorite_module_votes().votes[4], 4);     // Module 5
+  EXPECT_EQ(ev::most_challenging_votes().votes[1], 4);    // Module 2
+}
+
+TEST(Survey, QuotesAreNonEmpty) {
+  const auto& quotes = ev::quoted_responses();
+  EXPECT_GE(quotes.size(), 5u);
+  for (const auto& q : quotes) EXPECT_FALSE(q.empty());
+}

@@ -1,0 +1,292 @@
+// Spatial index correctness: R-tree and quad-tree vs. the brute-force
+// oracle, structural invariants, and the efficiency property Module 4
+// teaches (indexed search checks far fewer entries).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/geometry.hpp"
+#include "index/kdtree.hpp"
+#include "index/quadtree.hpp"
+#include "index/rtree.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sp = dipdc::spatial;
+
+namespace {
+
+std::vector<sp::Point2> random_points(std::size_t n, std::uint64_t seed,
+                                      double extent = 100.0) {
+  dipdc::support::Xoshiro256 rng(seed);
+  std::vector<sp::Point2> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.uniform(0.0, extent);
+    p.y = rng.uniform(0.0, extent);
+  }
+  return pts;
+}
+
+std::vector<sp::Rect> random_windows(std::size_t n, std::uint64_t seed,
+                                     double extent = 100.0,
+                                     double max_side = 20.0) {
+  dipdc::support::Xoshiro256 rng(seed);
+  std::vector<sp::Rect> ws(n);
+  for (auto& w : ws) {
+    const double x = rng.uniform(0.0, extent);
+    const double y = rng.uniform(0.0, extent);
+    const double wx = rng.uniform(0.0, max_side);
+    const double wy = rng.uniform(0.0, max_side);
+    w = {x, y, x + wx, y + wy};
+  }
+  return ws;
+}
+
+std::vector<std::uint32_t> sorted(std::vector<std::uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+TEST(Rect, ContainsAndIntersects) {
+  const sp::Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(sp::Point2{5, 5}));
+  EXPECT_TRUE(r.contains(sp::Point2{0, 0}));    // closed boundary
+  EXPECT_TRUE(r.contains(sp::Point2{10, 10}));
+  EXPECT_FALSE(r.contains(sp::Point2{10.01, 5}));
+  EXPECT_TRUE(r.intersects({5, 5, 15, 15}));
+  EXPECT_TRUE(r.intersects({10, 10, 20, 20}));  // touching corners
+  EXPECT_FALSE(r.intersects({11, 11, 20, 20}));
+}
+
+TEST(Rect, AreaUnitedEnlargement) {
+  const sp::Rect a{0, 0, 2, 3};
+  EXPECT_DOUBLE_EQ(a.area(), 6.0);
+  const sp::Rect b{4, 0, 5, 1};
+  const sp::Rect u = a.united(b);
+  EXPECT_EQ(u, (sp::Rect{0, 0, 5, 3}));
+  EXPECT_DOUBLE_EQ(a.enlargement(b), 15.0 - 6.0);
+  // Empty rect is the unite identity.
+  EXPECT_EQ(sp::Rect::empty().united(a), a);
+}
+
+TEST(BruteForce, FindsExactlyTheContainedPoints) {
+  const std::vector<sp::Point2> pts{{1, 1}, {2, 2}, {3, 3}, {10, 10}};
+  std::vector<std::uint32_t> out;
+  sp::QueryStats stats;
+  sp::brute_force_query(pts, {0, 0, 2.5, 2.5}, out, &stats);
+  EXPECT_EQ(sorted(out), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(stats.entries_checked, 4u);
+}
+
+TEST(RTree, EmptyTreeQueriesNothing) {
+  sp::RTree tree;
+  std::vector<std::uint32_t> out;
+  tree.query({0, 0, 100, 100}, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(RTree, RejectsTinyFanout) {
+  EXPECT_THROW(sp::RTree(2), dipdc::support::PreconditionError);
+}
+
+TEST(RTree, SingleAndDuplicatePoints) {
+  sp::RTree tree(4);
+  tree.insert({5, 5}, 0);
+  tree.insert({5, 5}, 1);
+  tree.insert({5, 5}, 2);
+  std::vector<std::uint32_t> out;
+  tree.query({5, 5, 5, 5}, out);
+  EXPECT_EQ(sorted(out), (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(RTree, HeightGrowsWithInserts) {
+  sp::RTree tree(4);
+  const auto pts = random_points(200, 1);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    tree.insert(pts[i], static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_GE(tree.height(), 3);
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+class RTreeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(RTreeSweep, InsertedTreeMatchesBruteForce) {
+  const auto [n, fanout] = GetParam();
+  const auto pts = random_points(n, 42 + n);
+  sp::RTree tree(fanout);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    tree.insert(pts[i], static_cast<std::uint32_t>(i));
+  }
+  ASSERT_TRUE(tree.check_invariants());
+  for (const auto& w : random_windows(25, n * 7 + fanout)) {
+    std::vector<std::uint32_t> got, expect;
+    tree.query(w, got);
+    sp::brute_force_query(pts, w, expect);
+    EXPECT_EQ(sorted(got), sorted(expect));
+  }
+}
+
+TEST_P(RTreeSweep, BulkLoadedTreeMatchesBruteForce) {
+  const auto [n, fanout] = GetParam();
+  const auto pts = random_points(n, 24 + n);
+  const sp::RTree tree = sp::RTree::bulk_load(pts, fanout);
+  EXPECT_EQ(tree.size(), n);
+  ASSERT_TRUE(tree.check_invariants());
+  for (const auto& w : random_windows(25, n * 3 + fanout)) {
+    std::vector<std::uint32_t> got, expect;
+    tree.query(w, got);
+    sp::brute_force_query(pts, w, expect);
+    EXPECT_EQ(sorted(got), sorted(expect));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndFanouts, RTreeSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 5u, 64u, 500u, 3000u),
+                       ::testing::Values(4u, 8u, 32u)));
+
+TEST(RTree, BulkLoadHeightIsLogarithmic) {
+  const auto pts = random_points(4096, 9);
+  const sp::RTree tree = sp::RTree::bulk_load(pts, 16);
+  // ceil(log_16(4096/16)) + 1 = 3 levels for a packed tree.
+  EXPECT_LE(tree.height(), 4);
+  EXPECT_GE(tree.height(), 3);
+}
+
+TEST(RTree, SelectiveQueryChecksFarFewerEntriesThanBruteForce) {
+  // The Module 4 lesson: the index prunes the search.
+  const auto pts = random_points(20000, 17);
+  const sp::RTree tree = sp::RTree::bulk_load(pts, 16);
+  sp::QueryStats tree_stats, brute_stats;
+  std::vector<std::uint32_t> out;
+  const sp::Rect window{10, 10, 12, 12};  // ~0.04% selectivity
+  tree.query(window, out, &tree_stats);
+  out.clear();
+  sp::brute_force_query(pts, window, out, &brute_stats);
+  EXPECT_LT(tree_stats.entries_checked * 20, brute_stats.entries_checked);
+}
+
+TEST(RTree, BoundsCoverAllPoints) {
+  const auto pts = random_points(500, 21);
+  sp::RTree tree(8);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    tree.insert(pts[i], static_cast<std::uint32_t>(i));
+  }
+  const sp::Rect b = tree.bounds();
+  for (const auto& p : pts) EXPECT_TRUE(b.contains(p));
+}
+
+TEST(QuadTree, InsertRejectsOutOfBounds) {
+  sp::QuadTree qt({0, 0, 10, 10}, 4);
+  EXPECT_TRUE(qt.insert({5, 5}, 0));
+  EXPECT_FALSE(qt.insert({11, 5}, 1));
+  EXPECT_EQ(qt.size(), 1u);
+}
+
+TEST(QuadTree, MatchesBruteForceOnRandomData) {
+  const auto pts = random_points(3000, 33);
+  sp::QuadTree qt({0, 0, 100, 100}, 8);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_TRUE(qt.insert(pts[i], static_cast<std::uint32_t>(i)));
+  }
+  for (const auto& w : random_windows(25, 99)) {
+    std::vector<std::uint32_t> got, expect;
+    qt.query(w, got);
+    sp::brute_force_query(pts, w, expect);
+    EXPECT_EQ(sorted(got), sorted(expect));
+  }
+}
+
+TEST(QuadTree, DuplicatePointsBeyondCapacityStopAtMaxDepth) {
+  sp::QuadTree qt({0, 0, 10, 10}, 2, /*max_depth=*/6);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(qt.insert({3, 3}, i));
+  }
+  std::vector<std::uint32_t> out;
+  qt.query({3, 3, 3, 3}, out);
+  EXPECT_EQ(out.size(), 50u);
+}
+
+TEST(QuadTree, AlsoPrunesComparedToBruteForce) {
+  const auto pts = random_points(20000, 55);
+  sp::QuadTree qt({0, 0, 100, 100}, 16);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_TRUE(qt.insert(pts[i], static_cast<std::uint32_t>(i)));
+  }
+  sp::QueryStats qt_stats, brute_stats;
+  std::vector<std::uint32_t> out;
+  const sp::Rect window{40, 40, 42, 42};
+  qt.query(window, out, &qt_stats);
+  out.clear();
+  sp::brute_force_query(pts, window, out, &brute_stats);
+  EXPECT_LT(qt_stats.entries_checked * 10, brute_stats.entries_checked);
+}
+
+// ---- k-d tree --------------------------------------------------------------
+
+TEST(KdTree, EmptyTree) {
+  const sp::KdTree tree;
+  std::vector<std::uint32_t> out;
+  tree.query({0, 0, 10, 10}, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(KdTree, MatchesBruteForceOnRandomData) {
+  for (const std::size_t n : {1u, 2u, 17u, 500u, 5000u}) {
+    const auto pts = random_points(n, 1000 + n);
+    const auto tree = sp::KdTree::build(pts);
+    EXPECT_EQ(tree.size(), n);
+    ASSERT_TRUE(tree.check_invariants()) << n;
+    for (const auto& w : random_windows(20, 2000 + n)) {
+      std::vector<std::uint32_t> got, expect;
+      tree.query(w, got);
+      sp::brute_force_query(pts, w, expect);
+      EXPECT_EQ(sorted(got), sorted(expect)) << n;
+    }
+  }
+}
+
+TEST(KdTree, BalancedHeight) {
+  const auto pts = random_points(4096, 77);
+  const auto tree = sp::KdTree::build(pts);
+  // Median splits give height exactly ceil(log2(n+1)) = 13 for 4096.
+  EXPECT_LE(tree.height(), 13);
+}
+
+TEST(KdTree, DuplicateCoordinates) {
+  std::vector<sp::Point2> pts(100, sp::Point2{5.0, 5.0});
+  const auto tree = sp::KdTree::build(pts);
+  EXPECT_TRUE(tree.check_invariants());
+  std::vector<std::uint32_t> out;
+  tree.query({5, 5, 5, 5}, out);
+  EXPECT_EQ(out.size(), 100u);
+  out.clear();
+  tree.query({6, 6, 7, 7}, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KdTree, PrunesComparedToBruteForce) {
+  const auto pts = random_points(20000, 88);
+  const auto tree = sp::KdTree::build(pts);
+  sp::QueryStats tree_stats, brute_stats;
+  std::vector<std::uint32_t> out;
+  const sp::Rect window{20, 20, 22, 22};
+  tree.query(window, out, &tree_stats);
+  out.clear();
+  sp::brute_force_query(pts, window, out, &brute_stats);
+  EXPECT_LT(tree_stats.entries_checked * 10, brute_stats.entries_checked);
+}

@@ -1,0 +1,276 @@
+// Simulated-time semantics: the Hockney message model, roofline kernels,
+// and the node-placement effects the modules' experiments rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/ops.hpp"
+#include "minimpi/runtime.hpp"
+#include "perfmodel/machine.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace pm = dipdc::perfmodel;
+
+namespace {
+
+mpi::RuntimeOptions simple_machine() {
+  mpi::RuntimeOptions opts;
+  opts.machine.nodes = 1;
+  opts.machine.intra_latency = 1e-6;
+  opts.machine.intra_bandwidth = 1e9;
+  opts.machine.core_flops = 1e9;
+  opts.machine.node_mem_bandwidth = 1e9;
+  return opts;
+}
+
+}  // namespace
+
+TEST(SimTime, ReceiverClockAdvancesByMessageTime) {
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          std::vector<std::uint8_t> data(1000);
+          comm.send(std::span<const std::uint8_t>(data), 1);
+        } else {
+          (void)comm.recv_vector<std::uint8_t>(0);
+        }
+      },
+      simple_machine());
+  // Receiver finishes at alpha + bytes/bandwidth = 1e-6 + 1000/1e9 = 2e-6.
+  EXPECT_NEAR(result.sim_times[1], 2e-6, 1e-12);
+  // Eager sender only pays the (much smaller) injection overhead.
+  EXPECT_NEAR(result.sim_times[0], 1e-7, 1e-12);
+}
+
+TEST(SimTime, RendezvousSynchronisesSenderWithReceiver) {
+  auto opts = simple_machine();
+  opts.eager_threshold = 0;
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          std::vector<std::uint8_t> data(1000);
+          comm.send(std::span<const std::uint8_t>(data), 1);
+        } else {
+          comm.sim_advance(1.0);  // receiver is busy for a long time
+          (void)comm.recv_vector<std::uint8_t>(0);
+        }
+      },
+      opts);
+  // The receiver reaches the recv at t=1.0 with the message head long
+  // arrived; it still pays the 1 us payload ingestion (1000 B at 1 GB/s),
+  // and the rendezvous sender synchronises to the same completion.
+  EXPECT_NEAR(result.sim_times[1], 1.0 + 1e-6, 1e-9);
+  EXPECT_NEAR(result.sim_times[0], 1.0 + 1e-6, 1e-9);
+}
+
+TEST(SimTime, LateReceiverWaitsOnlyUntilArrival) {
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.sim_advance(0.5);  // sender computes first
+          comm.send_value<char>('x', 1);
+        } else {
+          (void)comm.recv_value<char>(0);
+        }
+      },
+      simple_machine());
+  // Receiver idles from 0 until the message lands at 0.5 + msg time.
+  EXPECT_NEAR(result.sim_times[1], 0.5 + 1e-6 + 1e-9, 1e-12);
+  const auto& recv_stats = result.rank_stats[1];
+  EXPECT_NEAR(recv_stats.sim_comm_seconds, result.sim_times[1], 1e-12);
+}
+
+TEST(SimTime, FanInSerializesOnTheReceiverLink) {
+  // Four senders each ship 1 MB to rank 0 at t=0.  The receiver's ingress
+  // link serializes the payloads, so rank 0 finishes after ingesting the
+  // combined 4 MB (4 ms at 1 GB/s), not after a single message time.
+  const auto result = mpi::run(
+      5,
+      [](mpi::Comm& comm) {
+        const std::size_t n = 1000000;
+        if (comm.rank() == 0) {
+          for (int i = 0; i < 4; ++i) {
+            (void)comm.recv_vector<std::uint8_t>();
+          }
+        } else {
+          std::vector<std::uint8_t> data(n);
+          comm.send(std::span<const std::uint8_t>(data), 0);
+        }
+      },
+      simple_machine());
+  EXPECT_GT(result.sim_times[0], 4e-3);
+  EXPECT_LT(result.sim_times[0], 4.1e-3);
+}
+
+TEST(SimTime, ComputeAdvancesOnlyTheComputingRank) {
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        if (comm.rank() == 0) comm.sim_compute(2e9, 0.0);  // 2 seconds
+      },
+      simple_machine());
+  EXPECT_NEAR(result.sim_times[0], 2.0, 1e-12);
+  EXPECT_NEAR(result.sim_times[1], 0.0, 1e-12);
+  EXPECT_NEAR(result.rank_stats[0].sim_compute_seconds, 2.0, 1e-12);
+}
+
+TEST(SimTime, MemoryBoundKernelsContendOnSharedBandwidth) {
+  // The same memory-bound kernel on 1 vs 4 ranks of a single node: with 4
+  // resident ranks each gets 1/4 of the bandwidth, so per-rank time is 4x
+  // and there is no speedup — the saturating "Program 1" of Figure 1.
+  auto opts = simple_machine();
+  const double bytes_per_rank = 1e9;  // 1 second at full bandwidth
+
+  const auto t1 = mpi::run(
+      1, [&](mpi::Comm& comm) { comm.sim_compute(0.0, bytes_per_rank); },
+      opts);
+  const auto t4 = mpi::run(
+      4, [&](mpi::Comm& comm) { comm.sim_compute(0.0, bytes_per_rank / 4); },
+      opts);
+  EXPECT_NEAR(t1.max_sim_time(), 1.0, 1e-9);
+  // Each rank moves 1/4 of the data at 1/4 of the bandwidth: same time.
+  EXPECT_NEAR(t4.max_sim_time(), 1.0, 1e-9);
+}
+
+TEST(SimTime, ComputeBoundKernelsScaleLinearly) {
+  auto opts = simple_machine();
+  const double total_flops = 4e9;
+  const auto t1 = mpi::run(
+      1, [&](mpi::Comm& comm) { comm.sim_compute(total_flops, 0.0); }, opts);
+  const auto t4 = mpi::run(
+      4, [&](mpi::Comm& comm) { comm.sim_compute(total_flops / 4, 0.0); },
+      opts);
+  EXPECT_NEAR(t1.max_sim_time() / t4.max_sim_time(), 4.0, 1e-9);
+}
+
+TEST(SimTime, TwoNodesBeatOneForMemoryBoundWork) {
+  // Module 4 activity 3: p ranks on 2 nodes exploit twice the aggregate
+  // memory bandwidth of p ranks on 1 node.
+  const double bytes_per_rank = 1e9;
+  mpi::RuntimeOptions one;
+  one.machine = simple_machine().machine;
+  one.machine.nodes = 1;
+  mpi::RuntimeOptions two = one;
+  two.machine.nodes = 2;
+
+  auto workload = [&](mpi::Comm& comm) {
+    comm.sim_compute(0.0, bytes_per_rank);
+  };
+  const auto t_one = mpi::run(8, workload, one);
+  const auto t_two = mpi::run(8, workload, two);
+  EXPECT_NEAR(t_one.max_sim_time() / t_two.max_sim_time(), 2.0, 1e-9);
+}
+
+TEST(SimTime, InterNodeMessagesCostMore) {
+  mpi::RuntimeOptions opts;
+  opts.machine.nodes = 2;
+  opts.machine.intra_latency = 1e-6;
+  opts.machine.inter_latency = 10e-6;
+  opts.machine.intra_bandwidth = 1e10;
+  opts.machine.inter_bandwidth = 1e9;
+
+  // 4 ranks, block placement: 0,1 on node 0; 2,3 on node 1.
+  const auto result = mpi::run(
+      4,
+      [](mpi::Comm& comm) {
+        std::vector<std::uint8_t> buf(1000);
+        if (comm.rank() == 0) {
+          comm.send(std::span<const std::uint8_t>(buf), 1);  // intra
+          comm.send(std::span<const std::uint8_t>(buf), 2);  // inter
+        } else if (comm.rank() == 1 || comm.rank() == 2) {
+          (void)comm.recv_vector<std::uint8_t>(0);
+        }
+      },
+      opts);
+  // Rank 1 (same node) completes earlier than rank 2 (other node), even
+  // though rank 2's message was sent later only by the injection overhead.
+  EXPECT_LT(result.sim_times[1], result.sim_times[2]);
+}
+
+TEST(SimTime, ExternalCorunnerSlowsMemoryBoundKernels) {
+  mpi::RuntimeOptions quiet = simple_machine();
+  mpi::RuntimeOptions noisy = simple_machine();
+  noisy.machine.external_bw_load = {0.5};
+
+  auto workload = [](mpi::Comm& comm) { comm.sim_compute(0.0, 1e9); };
+  const auto t_quiet = mpi::run(1, workload, quiet);
+  const auto t_noisy = mpi::run(1, workload, noisy);
+  EXPECT_NEAR(t_noisy.max_sim_time() / t_quiet.max_sim_time(), 2.0, 1e-9);
+  // A compute-bound kernel is unaffected by the co-runner.
+  auto compute = [](mpi::Comm& comm) { comm.sim_compute(1e9, 0.0); };
+  const auto c_quiet = mpi::run(1, compute, quiet);
+  const auto c_noisy = mpi::run(1, compute, noisy);
+  EXPECT_NEAR(c_noisy.max_sim_time(), c_quiet.max_sim_time(), 1e-12);
+}
+
+TEST(SimTime, BarrierSynchronisesClocks) {
+  const auto result = mpi::run(
+      4,
+      [](mpi::Comm& comm) {
+        comm.sim_advance(static_cast<double>(comm.rank()));  // skewed work
+        comm.barrier();
+      },
+      simple_machine());
+  // After the barrier every clock is at least the slowest rank's time.
+  for (const double t : result.sim_times) {
+    EXPECT_GE(t, 3.0);
+  }
+}
+
+TEST(SimTime, ReduceTimeGrowsWithLatency) {
+  mpi::RuntimeOptions fast = simple_machine();
+  mpi::RuntimeOptions slow = simple_machine();
+  slow.machine.intra_latency = 1e-3;
+
+  auto workload = [](mpi::Comm& comm) {
+    const double v = 1.0;
+    double out = 0.0;
+    comm.reduce(std::span<const double>(&v, 1), std::span<double>(&out, 1),
+                mpi::ops::Sum{}, 0);
+  };
+  const auto t_fast = mpi::run(8, workload, fast);
+  const auto t_slow = mpi::run(8, workload, slow);
+  EXPECT_GT(t_slow.max_sim_time(), t_fast.max_sim_time() * 100);
+}
+
+TEST(SimTime, WtimeIsMonotoneThroughOperations) {
+  mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        double last = comm.wtime();
+        EXPECT_GE(last, 0.0);
+        comm.sim_advance(0.25);
+        EXPECT_GE(comm.wtime(), last);
+        last = comm.wtime();
+        comm.barrier();
+        EXPECT_GE(comm.wtime(), last);
+      },
+      simple_machine());
+}
+
+TEST(SimTime, CommAndComputeSecondsPartitionTheClock) {
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        comm.sim_advance(0.125);
+        if (comm.rank() == 0) {
+          comm.send_value(1, 1);
+        } else {
+          (void)comm.recv_value<int>(0);
+        }
+      },
+      simple_machine());
+  for (const auto& s : result.rank_stats) {
+    EXPECT_GT(s.sim_compute_seconds, 0.0);
+    EXPECT_GT(s.sim_comm_seconds, 0.0);
+  }
+  for (std::size_t r = 0; r < result.sim_times.size(); ++r) {
+    EXPECT_NEAR(result.rank_stats[r].sim_compute_seconds +
+                    result.rank_stats[r].sim_comm_seconds,
+                result.sim_times[r], 1e-12);
+  }
+}

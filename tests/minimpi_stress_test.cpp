@@ -1,0 +1,231 @@
+// Stress and property tests of the runtime: randomized message fuzzing
+// across protocols, sub-communicator collective sweeps, and failure
+// injection inside collectives.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/error.hpp"
+#include "minimpi/ops.hpp"
+#include "minimpi/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace mpi = dipdc::minimpi;
+
+namespace {
+
+/// Payload whose contents are derived from (source, tag, length) so any
+/// mismatched or corrupted delivery is detected on receipt.
+std::vector<std::uint32_t> stamped_payload(int source, int tag,
+                                           std::size_t len) {
+  std::vector<std::uint32_t> v(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    v[i] = static_cast<std::uint32_t>(source) * 1000003u +
+           static_cast<std::uint32_t>(tag) * 101u +
+           static_cast<std::uint32_t>(i);
+  }
+  return v;
+}
+
+}  // namespace
+
+class FuzzSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(FuzzSweep, RandomizedExchangesDeliverExactPayloads) {
+  const auto [p, eager_threshold] = GetParam();
+  mpi::RuntimeOptions opts;
+  opts.eager_threshold = eager_threshold;
+
+  mpi::run(
+      p,
+      [](mpi::Comm& comm) {
+        const int rank = comm.rank();
+        const int size = comm.size();
+        auto rng = dipdc::support::make_stream(
+            4242, static_cast<std::uint64_t>(rank));
+
+        // Every rank plans a random batch of messages; plans are derived
+        // from the same seeds so receivers know what to expect.
+        auto plan_for = [size](int src) {
+          auto r = dipdc::support::make_stream(
+              999, static_cast<std::uint64_t>(src));
+          std::vector<std::tuple<int, int, std::size_t>> plan;  // dst,tag,len
+          const int count = static_cast<int>(r.uniform_index(12));
+          for (int i = 0; i < count; ++i) {
+            const int dst = static_cast<int>(
+                r.uniform_index(static_cast<std::uint64_t>(size)));
+            const int tag = static_cast<int>(r.uniform_index(5));
+            const std::size_t len = 1 + r.uniform_index(3000);
+            plan.emplace_back(dst, tag, len);
+          }
+          return plan;
+        };
+
+        // Fire all sends non-blockingly.
+        std::vector<std::vector<std::uint32_t>> buffers;
+        std::vector<mpi::Request> reqs;
+        for (const auto& [dst, tag, len] : plan_for(rank)) {
+          buffers.push_back(stamped_payload(rank, tag, len));
+          reqs.push_back(comm.isend(
+              std::span<const std::uint32_t>(buffers.back()), dst, tag));
+        }
+        (void)rng;
+
+        // Receive exactly what every source's plan says comes to me.
+        std::size_t expected = 0;
+        for (int src = 0; src < size; ++src) {
+          for (const auto& [dst, tag, len] : plan_for(src)) {
+            if (dst == rank) ++expected;
+          }
+        }
+        for (std::size_t i = 0; i < expected; ++i) {
+          const mpi::Status st = comm.probe();
+          const auto data = comm.recv_vector<std::uint32_t>(st.source,
+                                                            st.tag);
+          const auto want = stamped_payload(st.source, st.tag, data.size());
+          ASSERT_EQ(data, want);
+        }
+        comm.wait_all(std::span<mpi::Request>(reqs));
+        comm.barrier();
+      },
+      opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldsAndProtocols, FuzzSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(std::size_t{0}, std::size_t{512},
+                                         std::size_t{1} << 20)));
+
+class SplitCollectiveSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SplitCollectiveSweep, CollectivesWorkInEveryGroupShape) {
+  const auto [p, colors] = GetParam();
+  mpi::run(p, [colors](mpi::Comm& comm) {
+    mpi::Comm sub = comm.split(comm.rank() % colors);
+    // Allreduce within the group: sum of the group's world ranks.
+    long long expect = 0;
+    for (int r = comm.rank() % colors; r < comm.size(); r += colors) {
+      expect += r;
+    }
+    const long long got = sub.allreduce_value(
+        static_cast<long long>(comm.rank()), mpi::ops::Sum{});
+    EXPECT_EQ(got, expect);
+
+    // Gather in the group collects world ranks in group order.
+    std::vector<int> all(static_cast<std::size_t>(sub.size()), -1);
+    const int mine = comm.rank();
+    sub.gather(std::span<const int>(&mine, 1), std::span<int>(all), 0);
+    if (sub.rank() == 0) {
+      for (int i = 0; i < sub.size(); ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(i)],
+                  comm.rank() % colors + i * colors);
+      }
+    }
+    sub.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SplitCollectiveSweep,
+                         ::testing::Combine(::testing::Values(2, 4, 6, 12),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(FailureInjection, ExceptionDuringCollectiveUnblocksEveryone) {
+  // One rank dies between two collectives; the others are inside a
+  // barrier and must be released with an error instead of hanging.
+  try {
+    mpi::run(4, [](mpi::Comm& comm) {
+      comm.barrier();
+      if (comm.rank() == 2) throw std::runtime_error("boom in collective");
+      comm.barrier();
+      comm.barrier();
+    });
+    FAIL() << "expected propagated exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(FailureInjection, ExceptionWhileOthersWaitOnRendezvous) {
+  mpi::RuntimeOptions opts;
+  opts.eager_threshold = 0;
+  EXPECT_THROW(
+      mpi::run(
+          3,
+          [](mpi::Comm& comm) {
+            if (comm.rank() == 0) {
+              std::vector<int> big(1000, 1);
+              comm.send(std::span<const int>(big), 1);  // blocks forever
+            } else if (comm.rank() == 2) {
+              throw std::logic_error("injected");
+            } else {
+              // Rank 1 never posts the receive; it waits on rank 2.
+              (void)comm.recv_value<int>(2);
+            }
+          },
+          opts),
+      std::logic_error);
+}
+
+TEST(Stress, ManyRanksManyBarriers) {
+  const auto result = mpi::run(24, [](mpi::Comm& comm) {
+    for (int i = 0; i < 50; ++i) {
+      const long long sum = comm.allreduce_value(
+          static_cast<long long>(1), mpi::ops::Sum{});
+      ASSERT_EQ(sum, comm.size());
+    }
+  });
+  for (const auto& s : result.rank_stats) {
+    EXPECT_EQ(s.calls_to(mpi::Primitive::kAllreduce), 50u);
+  }
+}
+
+TEST(Stress, LargeAlltoallvRoundTrip) {
+  const int p = 6;
+  mpi::run(p, [p](mpi::Comm& comm) {
+    const int r = comm.rank();
+    const auto np = static_cast<std::size_t>(p);
+    // Rank r sends (r+1)*(j+1)*97 ints to rank j.
+    std::vector<std::size_t> send_counts(np), send_displs(np);
+    std::size_t total = 0;
+    for (int j = 0; j < p; ++j) {
+      send_displs[static_cast<std::size_t>(j)] = total;
+      send_counts[static_cast<std::size_t>(j)] =
+          static_cast<std::size_t>((r + 1) * (j + 1) * 97);
+      total += send_counts[static_cast<std::size_t>(j)];
+    }
+    std::vector<int> send(total);
+    std::iota(send.begin(), send.end(), r * 100000);
+
+    std::vector<std::size_t> recv_counts(np), recv_displs(np);
+    std::size_t rtotal = 0;
+    for (int j = 0; j < p; ++j) {
+      recv_displs[static_cast<std::size_t>(j)] = rtotal;
+      recv_counts[static_cast<std::size_t>(j)] =
+          static_cast<std::size_t>((j + 1) * (r + 1) * 97);
+      rtotal += recv_counts[static_cast<std::size_t>(j)];
+    }
+    std::vector<int> recv(rtotal, -1);
+    comm.alltoallv(std::span<const int>(send),
+                   std::span<const std::size_t>(send_counts),
+                   std::span<const std::size_t>(send_displs),
+                   std::span<int>(recv),
+                   std::span<const std::size_t>(recv_counts),
+                   std::span<const std::size_t>(recv_displs));
+    // Verify each block's first element: source j's block for me starts at
+    // j*100000 + displacement-of-me-within-j's-buffer.
+    for (int j = 0; j < p; ++j) {
+      std::size_t offset_in_j = 0;
+      for (int k = 0; k < r; ++k) {
+        offset_in_j += static_cast<std::size_t>((j + 1) * (k + 1) * 97);
+      }
+      EXPECT_EQ(recv[recv_displs[static_cast<std::size_t>(j)]],
+                static_cast<int>(static_cast<std::size_t>(j) * 100000 +
+                                 offset_in_j));
+    }
+  });
+}

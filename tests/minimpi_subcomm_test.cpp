@@ -1,0 +1,197 @@
+// Sub-communicators (Comm::split), Waitany, and Allgatherv.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/error.hpp"
+#include "minimpi/ops.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace mpi = dipdc::minimpi;
+
+TEST(Split, EvenOddGroups) {
+  mpi::run(6, [](mpi::Comm& comm) {
+    mpi::Comm sub = comm.split(comm.rank() % 2);
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    EXPECT_EQ(sub.world_rank(), comm.rank());
+    // Collectives within the subgroup see only the subgroup.
+    const long long sum = sub.allreduce_value(
+        static_cast<long long>(comm.rank()), mpi::ops::Sum{});
+    // Even group: 0+2+4 = 6; odd group: 1+3+5 = 9.
+    EXPECT_EQ(sum, comm.rank() % 2 == 0 ? 6 : 9);
+  });
+}
+
+TEST(Split, KeyControlsOrdering) {
+  mpi::run(4, [](mpi::Comm& comm) {
+    // Reverse the ranks within a single group.
+    mpi::Comm sub = comm.split(0, /*key=*/-comm.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+TEST(Split, SingletonGroups) {
+  mpi::run(3, [](mpi::Comm& comm) {
+    mpi::Comm sub = comm.split(comm.rank());  // one rank per color
+    EXPECT_EQ(sub.size(), 1);
+    EXPECT_EQ(sub.rank(), 0);
+    // Collectives on a singleton are trivial.
+    EXPECT_EQ(sub.allreduce_value(7, mpi::ops::Sum{}), 7);
+  });
+}
+
+TEST(Split, PointToPointStaysInsideTheGroup) {
+  mpi::run(4, [](mpi::Comm& comm) {
+    mpi::Comm sub = comm.split(comm.rank() % 2);
+    // Each subgroup runs its own ring with the *same tags*; contexts keep
+    // them separate.
+    const int next = (sub.rank() + 1) % sub.size();
+    const int prev = (sub.rank() - 1 + sub.size()) % sub.size();
+    sub.send_value(comm.rank() * 10, next, /*tag=*/5);
+    const int got = sub.recv_value<int>(prev, 5);
+    // My predecessor in the subgroup is the same-parity rank below me.
+    const int expect_world =
+        (comm.rank() + comm.size() - 2) % comm.size();
+    EXPECT_EQ(got, expect_world * 10);
+  });
+}
+
+TEST(Split, ParentAndChildDoNotCrossTalk) {
+  mpi::run(4, [](mpi::Comm& comm) {
+    mpi::Comm sub = comm.split(0);  // same membership, different context
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, 3);
+      sub.send_value(2, 1, 3);
+    } else if (comm.rank() == 1) {
+      // Receive from the subcomm first: it must get the subcomm message
+      // even though the parent-comm message arrived earlier.
+      EXPECT_EQ(sub.recv_value<int>(0, 3), 2);
+      EXPECT_EQ(comm.recv_value<int>(0, 3), 1);
+    }
+  });
+}
+
+TEST(Split, NestedSplits) {
+  mpi::run(8, [](mpi::Comm& comm) {
+    mpi::Comm half = comm.split(comm.rank() / 4);   // two groups of 4
+    mpi::Comm quarter = half.split(half.rank() / 2);  // four groups of 2
+    EXPECT_EQ(quarter.size(), 2);
+    const long long sum = quarter.allreduce_value(
+        static_cast<long long>(comm.rank()), mpi::ops::Sum{});
+    // Pairs: (0,1), (2,3), (4,5), (6,7).
+    EXPECT_EQ(sum, (comm.rank() / 2) * 4 + 1);
+  });
+}
+
+TEST(Split, SharedClockAcrossCommunicators) {
+  mpi::run(2, [](mpi::Comm& comm) {
+    mpi::Comm sub = comm.split(0);
+    const double before = comm.wtime();
+    sub.sim_advance(1.0);
+    EXPECT_NEAR(comm.wtime(), before + 1.0, 1e-12);
+    EXPECT_NEAR(sub.wtime(), comm.wtime(), 1e-12);
+  });
+}
+
+TEST(Split, NegativeColorRejected) {
+  EXPECT_THROW(
+      mpi::run(2, [](mpi::Comm& comm) { (void)comm.split(-1); }),
+      mpi::MpiError);
+}
+
+TEST(Split, DeadlockInsideSubcommIsDetected) {
+  EXPECT_THROW(mpi::run(4,
+                        [](mpi::Comm& comm) {
+                          mpi::Comm sub = comm.split(comm.rank() % 2);
+                          if (sub.rank() == 0) {
+                            (void)sub.recv_value<int>(1, 0);  // never sent
+                          }
+                        }),
+               mpi::DeadlockError);
+}
+
+TEST(WaitAny, ReturnsACompletedRequest) {
+  mpi::run(3, [](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      int a = -1, b = -1;
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(comm.irecv(std::span<int>(&a, 1), 1, 1));
+      reqs.push_back(comm.irecv(std::span<int>(&b, 1), 2, 2));
+      mpi::Status st;
+      const std::size_t first =
+          comm.wait_any(std::span<mpi::Request>(reqs), &st);
+      ASSERT_LT(first, 2u);
+      const std::size_t second = first == 0 ? 1 : 0;
+      comm.wait(reqs[second]);
+      EXPECT_EQ(a, 100);
+      EXPECT_EQ(b, 200);
+    } else {
+      comm.send_value(comm.rank() * 100, 0, comm.rank());
+    }
+  });
+}
+
+TEST(WaitAny, WorksWithSendRequests) {
+  mpi::run(2, [](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      int v = 9;
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(comm.isend(std::span<const int>(&v, 1), 1));
+      const std::size_t idx =
+          comm.wait_any(std::span<mpi::Request>(reqs));
+      EXPECT_EQ(idx, 0u);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0), 9);
+    }
+  });
+}
+
+TEST(WaitAny, EmptyListRejected) {
+  EXPECT_THROW(
+      mpi::run(1,
+               [](mpi::Comm& comm) {
+                 std::vector<mpi::Request> none;
+                 (void)comm.wait_any(std::span<mpi::Request>(none));
+               }),
+      mpi::MpiError);
+}
+
+TEST(Allgatherv, UnevenContributions) {
+  const int p = 5;
+  mpi::run(p, [p](mpi::Comm& comm) {
+    std::vector<std::size_t> counts, displs;
+    std::size_t total = 0;
+    for (int i = 0; i < p; ++i) {
+      counts.push_back(static_cast<std::size_t>(i + 1));
+      displs.push_back(total);
+      total += counts.back();
+    }
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1),
+                          comm.rank());
+    std::vector<int> everything(total, -1);
+    comm.allgatherv(std::span<const int>(mine),
+                    std::span<const std::size_t>(counts),
+                    std::span<const std::size_t>(displs),
+                    std::span<int>(everything));
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+        EXPECT_EQ(everything[displs[static_cast<std::size_t>(r)] + i], r);
+      }
+    }
+  });
+}
+
+TEST(Split, StatsAccumulateOnTheSharedRankState) {
+  const auto result = mpi::run(4, [](mpi::Comm& comm) {
+    mpi::Comm sub = comm.split(comm.rank() % 2);
+    if (sub.rank() == 0) sub.send_value(1, 1);
+    if (sub.rank() == 1) (void)sub.recv_value<int>(0);
+  });
+  // Sends made through the subcomm show up in the per-world-rank stats.
+  EXPECT_EQ(result.total_stats().calls_to(mpi::Primitive::kSend), 2u);
+  EXPECT_EQ(result.total_stats().p2p_messages_sent, 2u);
+}

@@ -1,0 +1,162 @@
+// The communication trace recorder and its timeline renderer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/ops.hpp"
+#include "minimpi/runtime.hpp"
+#include "minimpi/trace.hpp"
+
+namespace mpi = dipdc::minimpi;
+
+namespace {
+
+mpi::RuntimeOptions traced() {
+  mpi::RuntimeOptions opts;
+  opts.record_trace = true;
+  return opts;
+}
+
+std::size_t count_ops(const std::vector<mpi::TraceEvent>& trace,
+                      mpi::Primitive op, int rank = -1) {
+  return static_cast<std::size_t>(
+      std::count_if(trace.begin(), trace.end(), [&](const mpi::TraceEvent& e) {
+        return e.op == op && (rank < 0 || e.rank == rank);
+      }));
+}
+
+}  // namespace
+
+TEST(Trace, DisabledByDefault) {
+  const auto result = mpi::run(2, [](mpi::Comm& comm) {
+    if (comm.rank() == 0) comm.send_value(1, 1);
+    else (void)comm.recv_value<int>(0);
+  });
+  EXPECT_TRUE(result.trace.empty());
+}
+
+TEST(Trace, RecordsSendAndRecvWithPeersAndBytes) {
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          std::vector<double> d(10);
+          comm.send(std::span<const double>(d), 1, 4);
+        } else {
+          std::vector<double> d(10);
+          comm.recv(std::span<double>(d), 0, 4);
+        }
+      },
+      traced());
+  ASSERT_EQ(result.trace.size(), 2u);
+  const auto send_it = std::find_if(
+      result.trace.begin(), result.trace.end(),
+      [](const auto& e) { return e.op == mpi::Primitive::kSend; });
+  ASSERT_NE(send_it, result.trace.end());
+  EXPECT_EQ(send_it->rank, 0);
+  EXPECT_EQ(send_it->peer, 1);
+  EXPECT_EQ(send_it->tag, 4);
+  EXPECT_EQ(send_it->bytes, 80u);
+  EXPECT_GE(send_it->t_end, send_it->t_start);
+  const auto recv_it = std::find_if(
+      result.trace.begin(), result.trace.end(),
+      [](const auto& e) { return e.op == mpi::Primitive::kRecv; });
+  ASSERT_NE(recv_it, result.trace.end());
+  EXPECT_EQ(recv_it->rank, 1);
+  EXPECT_EQ(recv_it->peer, 0);  // resolved source, not the wildcard
+}
+
+TEST(Trace, CollectivesAppearOnEveryRank) {
+  const auto result = mpi::run(
+      4,
+      [](mpi::Comm& comm) {
+        comm.barrier();
+        double v = 1.0;
+        double out = 0.0;
+        comm.allreduce(std::span<const double>(&v, 1),
+                       std::span<double>(&out, 1), mpi::ops::Sum{});
+      },
+      traced());
+  EXPECT_EQ(count_ops(result.trace, mpi::Primitive::kBarrier), 4u);
+  EXPECT_EQ(count_ops(result.trace, mpi::Primitive::kAllreduce), 4u);
+  // Internal tree messages must NOT appear as sends.
+  EXPECT_EQ(count_ops(result.trace, mpi::Primitive::kSend), 0u);
+}
+
+TEST(Trace, WaitCarriesTheReceiveStatus) {
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send_value(7, 1, 9);
+        } else {
+          int v = 0;
+          auto req = comm.irecv(std::span<int>(&v, 1), 0, 9);
+          comm.wait(req);
+        }
+      },
+      traced());
+  const auto wait_it = std::find_if(
+      result.trace.begin(), result.trace.end(),
+      [](const auto& e) { return e.op == mpi::Primitive::kWait; });
+  ASSERT_NE(wait_it, result.trace.end());
+  EXPECT_EQ(wait_it->peer, 0);
+  EXPECT_EQ(wait_it->bytes, sizeof(int));
+}
+
+TEST(Trace, EventsAreTemporallyOrderedPerRank) {
+  const auto result = mpi::run(
+      3,
+      [](mpi::Comm& comm) {
+        for (int i = 0; i < 5; ++i) comm.barrier();
+      },
+      traced());
+  for (int r = 0; r < 3; ++r) {
+    double last = -1.0;
+    for (const auto& e : result.trace) {
+      if (e.rank != r) continue;
+      EXPECT_GE(e.t_start, last);
+      last = e.t_start;
+    }
+  }
+}
+
+TEST(Timeline, RendersGlyphsAndRanks) {
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          std::vector<char> big(1 << 20);
+          comm.send(std::span<const char>(big), 1);
+        } else {
+          comm.sim_advance(1e-4);
+          (void)comm.recv_vector<char>(0);
+        }
+      },
+      traced());
+  const std::string timeline = mpi::render_timeline(
+      result.trace, 2, result.max_sim_time(), 60);
+  EXPECT_NE(timeline.find("rank 0"), std::string::npos);
+  EXPECT_NE(timeline.find("rank 1"), std::string::npos);
+  EXPECT_NE(timeline.find('s'), std::string::npos);   // the send
+  EXPECT_NE(timeline.find('p'), std::string::npos);   // recv_vector probes
+  const std::string log = mpi::render_log(result.trace);
+  EXPECT_NE(log.find("MPI_Send"), std::string::npos);
+  EXPECT_NE(log.find("MPI_Recv"), std::string::npos);
+}
+
+TEST(Timeline, TruncatesLongLogs) {
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        for (int i = 0; i < 50; ++i) {
+          if (comm.rank() == 0) comm.send_value(i, 1);
+          else (void)comm.recv_value<int>(0);
+        }
+      },
+      traced());
+  const std::string log = mpi::render_log(result.trace, 10);
+  EXPECT_NE(log.find("more)"), std::string::npos);
+}

@@ -1,0 +1,150 @@
+// Module 1 reference solutions: ping-pong, ring, random communication.
+#include <gtest/gtest.h>
+
+#include "minimpi/error.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/comm/module1.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m1 = dipdc::modules::comm1;
+
+TEST(PingPong, LatencyMatchesMachineModel) {
+  mpi::RuntimeOptions opts;
+  opts.machine.intra_latency = 1e-6;
+  opts.machine.intra_bandwidth = 1e9;
+  const int iters = 100;
+  const std::size_t bytes = 1000;
+  mpi::run(
+      2,
+      [&](mpi::Comm& comm) {
+        const auto r = m1::ping_pong(comm, iters, bytes);
+        if (comm.rank() == 0) {
+          // Each one-way message costs alpha + bytes/bw = 2e-6 simulated.
+          EXPECT_NEAR(r.mean_one_way, 2e-6, 1e-9);
+          EXPECT_EQ(r.iterations, iters);
+          EXPECT_EQ(r.message_bytes, bytes);
+        }
+      },
+      opts);
+}
+
+TEST(PingPong, LargerMessagesTakeLonger) {
+  mpi::run(2, [](mpi::Comm& comm) {
+    const auto small = m1::ping_pong(comm, 10, 8);
+    const auto large = m1::ping_pong(comm, 10, 1 << 20);
+    if (comm.rank() == 0) {
+      EXPECT_GT(large.mean_one_way, small.mean_one_way);
+    }
+  });
+}
+
+TEST(PingPong, ExtraRanksIdle) {
+  const auto result = mpi::run(5, [](mpi::Comm& comm) {
+    const auto r = m1::ping_pong(comm, 5, 64);
+    (void)r;
+  });
+  // Ranks 2..4 never send.
+  for (int r = 2; r < 5; ++r) {
+    EXPECT_EQ(result.rank_stats[static_cast<std::size_t>(r)].p2p_messages_sent,
+              0u);
+  }
+}
+
+TEST(PingPong, RequiresTwoRanks) {
+  EXPECT_THROW(
+      mpi::run(1, [](mpi::Comm& comm) { m1::ping_pong(comm, 1, 8); }),
+      dipdc::support::PreconditionError);
+}
+
+class RingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSweep, FullCirculationAccumulatesEveryRank) {
+  const int p = GetParam();
+  mpi::run(p, [p](mpi::Comm& comm) {
+    // After exactly p rounds the token visited every rank once.
+    const auto r = m1::ring_blocking(comm, p);
+    const long long rank_sum =
+        static_cast<long long>(p) * (p - 1) / 2;
+    if (p > 1) {
+      EXPECT_EQ(r.token, comm.rank() + rank_sum);
+    } else {
+      EXPECT_EQ(r.token, 0);
+    }
+  });
+}
+
+TEST_P(RingSweep, NonblockingMatchesBlocking) {
+  const int p = GetParam();
+  mpi::run(p, [p](mpi::Comm& comm) {
+    const auto a = m1::ring_blocking(comm, p);
+    const auto b = m1::ring_nonblocking(comm, p);
+    EXPECT_EQ(a.token, b.token);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, RingSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 13));
+
+TEST(Ring, BlockingDeadlocksUnderRendezvous) {
+  // The lesson of the module: the naive ring deadlocks when sends cannot
+  // buffer, and the runtime proves it.
+  mpi::RuntimeOptions opts;
+  opts.eager_threshold = 0;
+  EXPECT_THROW(
+      mpi::run(4, [](mpi::Comm& comm) { m1::ring_blocking(comm, 4); }, opts),
+      mpi::DeadlockError);
+}
+
+TEST(Ring, NonblockingSurvivesRendezvous) {
+  mpi::RuntimeOptions opts;
+  opts.eager_threshold = 0;
+  EXPECT_NO_THROW(mpi::run(
+      4, [](mpi::Comm& comm) { m1::ring_nonblocking(comm, 4); }, opts));
+}
+
+class RandomCommSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCommSweep, DirectedDeliversEverything) {
+  const int p = GetParam();
+  const auto run = mpi::run(p, [](mpi::Comm& comm) {
+    const auto r = m1::random_comm_directed(comm, 7, 99);
+    EXPECT_FALSE(r.used_any_source);
+    EXPECT_TRUE(r.payloads_consistent);
+    EXPECT_EQ(r.messages_sent, 7u);
+  });
+  // Conservation: global sends == global receives.
+  const auto total = run.total_stats();
+  EXPECT_EQ(total.p2p_messages_sent, total.p2p_messages_received);
+}
+
+TEST_P(RandomCommSweep, AnySourceDeliversEverything) {
+  const int p = GetParam();
+  mpi::run(p, [](mpi::Comm& comm) {
+    const auto r = m1::random_comm_any_source(comm, 7, 99);
+    EXPECT_TRUE(r.used_any_source);
+    EXPECT_TRUE(r.payloads_consistent);
+    EXPECT_EQ(r.messages_sent, 7u);
+  });
+}
+
+TEST_P(RandomCommSweep, BothVariantsReceiveTheSameMultiset) {
+  const int p = GetParam();
+  mpi::run(p, [](mpi::Comm& comm) {
+    // Same seed => same destinations => each rank receives the same number
+    // of messages under both variants.
+    const auto a = m1::random_comm_directed(comm, 11, 1234);
+    const auto b = m1::random_comm_any_source(comm, 11, 1234);
+    EXPECT_EQ(a.messages_received, b.messages_received);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, RandomCommSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(RandomComm, ZeroMessagesIsFine) {
+  EXPECT_NO_THROW(mpi::run(3, [](mpi::Comm& comm) {
+    const auto r = m1::random_comm_any_source(comm, 0, 5);
+    EXPECT_EQ(r.messages_sent, 0u);
+    EXPECT_EQ(r.messages_received, 0u);
+  }));
+}

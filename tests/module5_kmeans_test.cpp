@@ -1,0 +1,257 @@
+// Module 5: distributed k-means — both communication strategies must match
+// the sequential reference; communication volumes must rank as the module
+// teaches (explicit assignments >> weighted means).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dataio/dataset.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/kmeans/module5.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m5 = dipdc::modules::kmeans;
+namespace io = dipdc::dataio;
+
+namespace {
+
+io::ClusteredDataset well_separated(std::size_t n, std::size_t k,
+                                    std::uint64_t seed) {
+  return io::generate_clusters(n, 2, k, 0.2, 0.0, 100.0, seed);
+}
+
+double centroid_set_distance(const std::vector<double>& a,
+                             const std::vector<double>& b, std::size_t k,
+                             std::size_t dim) {
+  // Max over a-centroids of the distance to the nearest b-centroid
+  // (order-insensitive comparison).
+  double worst = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    double best = 1e300;
+    for (std::size_t j = 0; j < k; ++j) {
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = a[i * dim + d] - b[j * dim + d];
+        d2 += diff * diff;
+      }
+      best = std::min(best, d2);
+    }
+    worst = std::max(worst, best);
+  }
+  return std::sqrt(worst);
+}
+
+}  // namespace
+
+TEST(Sequential, ConvergesOnSeparatedClusters) {
+  const auto data = well_separated(2000, 4, 61);
+  m5::Config cfg;
+  cfg.k = 4;
+  const auto r = m5::lloyd_sequential(data.data, cfg);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 1);
+  // Found centroids sit near the generating centers.
+  EXPECT_LT(centroid_set_distance(r.centroids,
+                                  {data.true_centers.values().begin(),
+                                   data.true_centers.values().end()},
+                                  4, 2),
+            1.0);
+}
+
+TEST(Sequential, InertiaDecreasesWithMoreClusters) {
+  const auto data = well_separated(2000, 8, 67);
+  m5::Config few, many;
+  few.k = 2;
+  many.k = 8;
+  const auto rf = m5::lloyd_sequential(data.data, few);
+  const auto rm = m5::lloyd_sequential(data.data, many);
+  EXPECT_LT(rm.inertia, rf.inertia);
+}
+
+TEST(Sequential, RejectsBadK) {
+  const auto data = well_separated(10, 2, 71);
+  m5::Config cfg;
+  cfg.k = 11;  // k > n
+  EXPECT_THROW((void)m5::lloyd_sequential(data.data, cfg),
+               dipdc::support::PreconditionError);
+}
+
+class StrategySweep
+    : public ::testing::TestWithParam<std::tuple<int, m5::Strategy>> {};
+
+TEST_P(StrategySweep, DistributedMatchesSequential) {
+  const auto [p, strategy] = GetParam();
+  const auto data = well_separated(3000, 5, 73);
+  m5::Config cfg;
+  cfg.k = 5;
+  cfg.strategy = strategy;
+  const auto seq = m5::lloyd_sequential(data.data, cfg);
+
+  mpi::run(p, [&](mpi::Comm& comm) {
+    const auto dist = m5::distributed(
+        comm, comm.rank() == 0 ? data.data : io::Dataset{}, cfg);
+    EXPECT_TRUE(dist.converged);
+    EXPECT_LT(centroid_set_distance(dist.centroids, seq.centroids, 5, 2),
+              1e-6);
+    EXPECT_NEAR(dist.inertia, seq.inertia, 1e-6 * (1.0 + seq.inertia));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndStrategies, StrategySweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(m5::Strategy::kExplicitAssignments,
+                                         m5::Strategy::kWeightedMeans)));
+
+TEST(Strategies, ProduceIdenticalClusterings) {
+  const auto data = well_separated(4000, 6, 79);
+  m5::Config a, b;
+  a.k = b.k = 6;
+  a.strategy = m5::Strategy::kExplicitAssignments;
+  b.strategy = m5::Strategy::kWeightedMeans;
+  std::vector<double> ca, cb;
+  mpi::run(4, [&](mpi::Comm& comm) {
+    const auto ra = m5::distributed(
+        comm, comm.rank() == 0 ? data.data : io::Dataset{}, a);
+    const auto rb = m5::distributed(
+        comm, comm.rank() == 0 ? data.data : io::Dataset{}, b);
+    EXPECT_LT(centroid_set_distance(ra.centroids, rb.centroids, 6, 2), 1e-6);
+    if (comm.rank() == 0) {
+      ca = ra.centroids;
+      cb = rb.centroids;
+    }
+  });
+}
+
+TEST(Strategies, ExplicitAssignmentsCommunicateMuchMore) {
+  // The module's communication-volume lesson: option A ships O(N) data per
+  // iteration, option B ships O(k*d).
+  const auto data = well_separated(20000, 4, 83);
+  m5::Config a, b;
+  a.k = b.k = 4;
+  a.strategy = m5::Strategy::kExplicitAssignments;
+  b.strategy = m5::Strategy::kWeightedMeans;
+  std::uint64_t bytes_a = 0, bytes_b = 0;
+  int iters_a = 0, iters_b = 0;
+  mpi::run(8, [&](mpi::Comm& comm) {
+    const auto ra = m5::distributed(
+        comm, comm.rank() == 0 ? data.data : io::Dataset{}, a);
+    const auto rb = m5::distributed(
+        comm, comm.rank() == 0 ? data.data : io::Dataset{}, b);
+    if (comm.rank() == 0) {
+      bytes_a = ra.comm_bytes;
+      bytes_b = rb.comm_bytes;
+      iters_a = ra.iterations;
+      iters_b = rb.iterations;
+    }
+  });
+  ASSERT_GT(iters_a, 0);
+  // Compare per-iteration volumes (iteration counts can differ by FP).
+  const double per_a = static_cast<double>(bytes_a) / iters_a;
+  const double per_b = static_cast<double>(bytes_b) / iters_b;
+  EXPECT_GT(per_a, 3.0 * per_b);
+}
+
+TEST(Phases, LargeKShiftsTimeTowardCompute) {
+  // Module headline: low k -> communication dominates; high k -> compute.
+  const auto data = well_separated(5000, 2, 89);
+  auto share_for_k = [&](std::size_t k) {
+    m5::Config cfg;
+    cfg.k = k;
+    cfg.max_iterations = 10;
+    cfg.tolerance = -1.0;  // run exactly 10 iterations for a fair split
+    double compute = 0.0, comm_t = 0.0;
+    mpi::run(8, [&](mpi::Comm& comm) {
+      const auto r = m5::distributed(
+          comm, comm.rank() == 0 ? data.data : io::Dataset{}, cfg);
+      if (comm.rank() == 0) {
+        compute = r.compute_time;
+        comm_t = r.comm_time;
+      }
+    });
+    return compute / (compute + comm_t);
+  };
+  const double low_k = share_for_k(2);
+  const double high_k = share_for_k(64);
+  EXPECT_GT(high_k, low_k);
+}
+
+TEST(Edge, KEqualsOneCollapsesToMean) {
+  const auto data = well_separated(1000, 3, 97);
+  m5::Config cfg;
+  cfg.k = 1;
+  mpi::run(3, [&](mpi::Comm& comm) {
+    const auto r = m5::distributed(
+        comm, comm.rank() == 0 ? data.data : io::Dataset{}, cfg);
+    EXPECT_TRUE(r.converged);
+    // Single centroid = dataset mean.
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < data.data.size(); ++i) {
+      mx += data.data.point(i)[0];
+      my += data.data.point(i)[1];
+    }
+    mx /= static_cast<double>(data.data.size());
+    my /= static_cast<double>(data.data.size());
+    EXPECT_NEAR(r.centroids[0], mx, 1e-9);
+    EXPECT_NEAR(r.centroids[1], my, 1e-9);
+  });
+}
+
+TEST(Edge, KEqualsNAssignsOnePointEach) {
+  const auto data = well_separated(12, 12, 101);
+  m5::Config cfg;
+  cfg.k = 12;
+  const auto r = m5::lloyd_sequential(data.data, cfg);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Init, PlusPlusMatchesBetweenSequentialAndDistributed) {
+  const auto data = well_separated(2000, 6, 103);
+  m5::Config cfg;
+  cfg.k = 6;
+  cfg.init = m5::Init::kPlusPlus;
+  cfg.init_seed = 9;
+  const auto seq = m5::lloyd_sequential(data.data, cfg);
+  mpi::run(4, [&](mpi::Comm& comm) {
+    const auto dist = m5::distributed(
+        comm, comm.rank() == 0 ? data.data : io::Dataset{}, cfg);
+    EXPECT_LT(centroid_set_distance(dist.centroids, seq.centroids, 6, 2),
+              1e-6);
+  });
+}
+
+TEST(Init, PlusPlusRecoversFromAdversarialFirstK) {
+  // Construct a dataset whose first k points all sit in ONE cluster: the
+  // module's first-k initialization starts all centroids there and often
+  // converges to a worse local optimum than k-means++ seeding.
+  const std::size_t k = 8;
+  auto base = well_separated(4000, k, 107);
+  // Move the first k points into cluster of point 0.
+  for (std::size_t i = 1; i < k; ++i) {
+    for (std::size_t d = 0; d < 2; ++d) {
+      base.data.point(i)[d] = base.data.point(0)[d] + 1e-3 * static_cast<double>(i);
+    }
+  }
+  m5::Config firstk, plusplus;
+  firstk.k = plusplus.k = k;
+  plusplus.init = m5::Init::kPlusPlus;
+  plusplus.init_seed = 3;
+  const auto r_first = m5::lloyd_sequential(base.data, firstk);
+  const auto r_pp = m5::lloyd_sequential(base.data, plusplus);
+  EXPECT_LE(r_pp.inertia, r_first.inertia * 1.001);
+  // With well-separated blobs, ++ should in fact be much better.
+  EXPECT_LT(r_pp.inertia, r_first.inertia * 0.7);
+}
+
+TEST(Init, PlusPlusIsSeedDeterministic) {
+  const auto data = well_separated(1000, 3, 109);
+  m5::Config cfg;
+  cfg.k = 3;
+  cfg.init = m5::Init::kPlusPlus;
+  cfg.init_seed = 42;
+  const auto a = m5::lloyd_sequential(data.data, cfg);
+  const auto b = m5::lloyd_sequential(data.data, cfg);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_EQ(a.iterations, b.iterations);
+}

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "perfmodel/machine.hpp"
+#include "support/error.hpp"
+
+namespace pm = dipdc::perfmodel;
+
+TEST(Placement, BlockSplitsContiguously) {
+  pm::Placement p{pm::PlacementPolicy::kBlock};
+  // 8 ranks over 2 nodes: 0-3 on node 0, 4-7 on node 1.
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(p.node_of(r, 8, 2), 0) << r;
+  for (int r = 4; r < 8; ++r) EXPECT_EQ(p.node_of(r, 8, 2), 1) << r;
+}
+
+TEST(Placement, BlockWithUnevenRanks) {
+  pm::Placement p{pm::PlacementPolicy::kBlock};
+  // 5 ranks over 2 nodes: ceil(5/2)=3 on node 0, rest on node 1.
+  EXPECT_EQ(p.node_of(0, 5, 2), 0);
+  EXPECT_EQ(p.node_of(2, 5, 2), 0);
+  EXPECT_EQ(p.node_of(3, 5, 2), 1);
+  EXPECT_EQ(p.node_of(4, 5, 2), 1);
+}
+
+TEST(Placement, RoundRobinCycles) {
+  pm::Placement p{pm::PlacementPolicy::kRoundRobin};
+  EXPECT_EQ(p.node_of(0, 6, 3), 0);
+  EXPECT_EQ(p.node_of(1, 6, 3), 1);
+  EXPECT_EQ(p.node_of(2, 6, 3), 2);
+  EXPECT_EQ(p.node_of(3, 6, 3), 0);
+}
+
+TEST(Placement, SingleNodeAlwaysZero) {
+  pm::Placement p{};
+  for (int r = 0; r < 7; ++r) EXPECT_EQ(p.node_of(r, 7, 1), 0);
+}
+
+TEST(Placement, RejectsBadRank) {
+  pm::Placement p{};
+  EXPECT_THROW((void)p.node_of(5, 4, 1), dipdc::support::PreconditionError);
+  EXPECT_THROW((void)p.node_of(-1, 4, 1), dipdc::support::PreconditionError);
+}
+
+TEST(MachineConfig, MonsoonLikeShape) {
+  const auto cfg = pm::MachineConfig::monsoon_like(4);
+  EXPECT_EQ(cfg.nodes, 4);
+  EXPECT_EQ(cfg.cores_per_node, 32);
+  EXPECT_EQ(cfg.total_cores(), 128);
+}
+
+TEST(MachineConfig, ExternalLoadDefaultsToZero) {
+  const pm::MachineConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.external_load(0), 0.0);
+  EXPECT_DOUBLE_EQ(cfg.external_load(99), 0.0);
+}
+
+TEST(MachineConfig, ExternalLoadClamped) {
+  pm::MachineConfig cfg;
+  cfg.external_bw_load = {2.0};
+  EXPECT_DOUBLE_EQ(cfg.external_load(0), 0.99);
+}
+
+TEST(CostModel, RanksPerNodeCounts) {
+  auto cfg = pm::MachineConfig::monsoon_like(2);
+  pm::CostModel cm(cfg, pm::Placement{}, 6);
+  EXPECT_EQ(cm.ranks_on_node(0), 3);
+  EXPECT_EQ(cm.ranks_on_node(1), 3);
+  EXPECT_EQ(cm.node_of(0), 0);
+  EXPECT_EQ(cm.node_of(5), 1);
+}
+
+TEST(CostModel, IntraNodeMessagesAreCheaper) {
+  auto cfg = pm::MachineConfig::monsoon_like(2);
+  pm::CostModel cm(cfg, pm::Placement{}, 4);  // ranks 0,1 node 0; 2,3 node 1
+  const std::size_t bytes = 1 << 20;
+  EXPECT_LT(cm.message_time(0, 1, bytes), cm.message_time(0, 2, bytes));
+}
+
+TEST(CostModel, MessageTimeIsHockney) {
+  pm::MachineConfig cfg;
+  cfg.intra_latency = 1e-6;
+  cfg.intra_bandwidth = 1e9;
+  pm::CostModel cm(cfg, pm::Placement{}, 2);
+  EXPECT_DOUBLE_EQ(cm.message_time(0, 1, 0), 1e-6);
+  EXPECT_DOUBLE_EQ(cm.message_time(0, 1, 1000), 1e-6 + 1000.0 / 1e9);
+}
+
+TEST(CostModel, KernelTimeRoofline) {
+  pm::MachineConfig cfg;
+  cfg.core_flops = 1e9;
+  cfg.node_mem_bandwidth = 1e9;
+  pm::CostModel cm(cfg, pm::Placement{}, 1);
+  // Compute-bound kernel: many flops, no traffic.
+  EXPECT_DOUBLE_EQ(cm.kernel_time(0, 1e9, 0.0), 1.0);
+  // Memory-bound kernel: no flops, much traffic.
+  EXPECT_DOUBLE_EQ(cm.kernel_time(0, 0.0, 2e9), 2.0);
+  // Roofline takes the max.
+  EXPECT_DOUBLE_EQ(cm.kernel_time(0, 1e9, 2e9), 2.0);
+}
+
+TEST(CostModel, BandwidthShareSplitsAcrossRanks) {
+  pm::MachineConfig cfg;
+  cfg.node_mem_bandwidth = 8e9;
+  pm::CostModel one(cfg, pm::Placement{}, 1);
+  pm::CostModel four(cfg, pm::Placement{}, 4);
+  EXPECT_DOUBLE_EQ(one.bandwidth_share(0), 8e9);
+  EXPECT_DOUBLE_EQ(four.bandwidth_share(0), 2e9);
+}
+
+TEST(CostModel, TwoNodesDoubleAggregateBandwidth) {
+  // The Module 4 lesson: p ranks on 2 nodes see twice the per-rank share
+  // of memory bandwidth that p ranks on 1 node do.
+  pm::MachineConfig one_node = pm::MachineConfig::monsoon_like(1);
+  pm::MachineConfig two_nodes = pm::MachineConfig::monsoon_like(2);
+  pm::CostModel cm1(one_node, pm::Placement{}, 8);
+  pm::CostModel cm2(two_nodes, pm::Placement{}, 8);
+  EXPECT_DOUBLE_EQ(cm2.bandwidth_share(0), 2.0 * cm1.bandwidth_share(0));
+}
+
+TEST(CostModel, ExternalLoadStealsBandwidth) {
+  pm::MachineConfig cfg;
+  cfg.node_mem_bandwidth = 10e9;
+  cfg.external_bw_load = {0.5};
+  pm::CostModel cm(cfg, pm::Placement{}, 1);
+  EXPECT_DOUBLE_EQ(cm.bandwidth_share(0), 5e9);
+  // Memory-bound kernels slow down correspondingly.
+  EXPECT_DOUBLE_EQ(cm.kernel_time(0, 0.0, 5e9), 1.0);
+}
+
+TEST(CostModel, KernelRejectsNegativeInputs) {
+  pm::MachineConfig cfg;
+  pm::CostModel cm(cfg, pm::Placement{}, 1);
+  EXPECT_THROW((void)cm.kernel_time(0, -1.0, 0.0),
+               dipdc::support::PreconditionError);
+}
+
+TEST(Scaling, SpeedupsRelativeToFirst) {
+  const auto s = pm::speedups({10.0, 5.0, 2.5});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 4.0);
+}
+
+TEST(Scaling, EmptyAndZeroSafe) {
+  EXPECT_TRUE(pm::speedups({}).empty());
+  const auto s = pm::speedups({1.0, 0.0});
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+}
+
+TEST(Scaling, ParallelEfficiency) {
+  EXPECT_DOUBLE_EQ(pm::parallel_efficiency(8.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(pm::parallel_efficiency(4.0, 8), 0.5);
+  EXPECT_DOUBLE_EQ(pm::parallel_efficiency(4.0, 0), 0.0);
+}
+
+TEST(Scaling, WeakEfficiency) {
+  EXPECT_DOUBLE_EQ(pm::weak_efficiency(2.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(pm::weak_efficiency(2.0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(pm::weak_efficiency(1.0, 0.0), 0.0);
+}

@@ -1,0 +1,56 @@
+// The ancillary warm-up exercises must self-verify on any world size.
+#include <gtest/gtest.h>
+
+#include "minimpi/runtime.hpp"
+#include "modules/warmup/warmup.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace wu = dipdc::modules::warmup;
+
+class WarmupSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WarmupSweep, AllExercisesPass) {
+  const int p = GetParam();
+  mpi::run(p, [](mpi::Comm& comm) {
+    const auto reports = wu::run_all(comm);
+    ASSERT_EQ(reports.size(), 6u);
+    for (const auto& r : reports) {
+      EXPECT_TRUE(r.passed) << r.name << ": " << r.detail;
+      EXPECT_FALSE(r.detail.empty()) << r.name;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, WarmupSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(Warmup, PiEstimateTightensWithMoreSamples) {
+  mpi::run(4, [](mpi::Comm& comm) {
+    const auto coarse = wu::monte_carlo_pi(comm, 1000);
+    const auto fine = wu::monte_carlo_pi(comm, 500000);
+    EXPECT_TRUE(fine.passed) << fine.detail;
+    (void)coarse;  // the coarse estimate may or may not pass the 0.05 gate
+  });
+}
+
+TEST(Warmup, ChainSumMatchesClosedForm) {
+  for (const int p : {1, 2, 5, 9}) {
+    mpi::run(p, [p](mpi::Comm& comm) {
+      const auto r = wu::chain_sum(comm);
+      EXPECT_TRUE(r.passed) << "p=" << p << ": " << r.detail;
+    });
+  }
+}
+
+TEST(Warmup, ExercisesUseOnlyPointToPointWhereRequired) {
+  // The chain/relay exercises are "no collectives allowed": verify via the
+  // instrumentation that they used none.
+  const auto result = mpi::run(4, [](mpi::Comm& comm) {
+    (void)wu::chain_sum(comm);
+    (void)wu::relay_broadcast(comm);
+  });
+  const auto total = result.total_stats();
+  EXPECT_EQ(total.calls_to(mpi::Primitive::kReduce), 0u);
+  EXPECT_EQ(total.calls_to(mpi::Primitive::kBcast), 0u);
+  EXPECT_GT(total.calls_to(mpi::Primitive::kSend), 0u);
+}

@@ -1,0 +1,366 @@
+// dipdc — the command-line driver for every pedagogic module.
+//
+// This is the "assignment binary" a student would run while working
+// through the modules: pick a module, a rank count, a machine shape, and
+// the module's knobs, and get the experiment's numbers (optionally with a
+// communication timeline).
+//
+//   dipdc module1 --ranks=8 --activity=pingpong --bytes=65536
+//   dipdc module2 --ranks=8 --n=1024 --dim=90 --tile=128 --trace-cache
+//   dipdc module3 --ranks=8 --n=100000 --dist=exponential --policy=histogram
+//   dipdc module4 --ranks=16 --engine=rtree --nodes=2
+//   dipdc module5 --ranks=16 --k=32 --strategy=weighted
+//   dipdc module6 --ranks=8 --cells=65536 --overlap
+//   dipdc module7 --ranks=8 --tokens=1000000 --partition=hash
+//   dipdc warmup  --ranks=8
+//
+// Global options: --ranks, --nodes, --seed, --timeline (print the trace).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dataio/dataset.hpp"
+#include "minimpi/comm.hpp"
+#include "minimpi/runtime.hpp"
+#include "minimpi/trace.hpp"
+#include "modules/comm/module1.hpp"
+#include "modules/distmatrix/module2.hpp"
+#include "modules/kmeans/module5.hpp"
+#include "modules/mapreduce/module7.hpp"
+#include "modules/rangequery/module4.hpp"
+#include "modules/sort/module3.hpp"
+#include "modules/stencil/module6.hpp"
+#include "modules/warmup/warmup.hpp"
+#include "support/args.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace pm = dipdc::perfmodel;
+namespace io = dipdc::dataio;
+using namespace dipdc::support;
+
+namespace {
+
+struct Common {
+  int ranks = 4;
+  int nodes = 1;
+  std::uint64_t seed = 1;
+  bool timeline = false;
+};
+
+mpi::RuntimeOptions options_for(const Common& c) {
+  mpi::RuntimeOptions opts;
+  opts.machine = pm::MachineConfig::monsoon_like(c.nodes);
+  opts.record_trace = c.timeline;
+  return opts;
+}
+
+void maybe_timeline(const Common& c, const mpi::RunResult& result) {
+  if (!c.timeline) return;
+  std::printf("\n%s", mpi::render_timeline(result.trace, c.ranks,
+                                           result.max_sim_time())
+                          .c_str());
+}
+
+int run_module1(const ArgParser& args, const Common& c) {
+  namespace m1 = dipdc::modules::comm1;
+  const std::string activity = args.get("activity", "pingpong");
+  const auto iterations = static_cast<int>(args.get_int("iterations", 100));
+  const auto bytes_n =
+      static_cast<std::size_t>(args.get_int("bytes", 1024));
+  const auto messages = static_cast<int>(args.get_int("messages", 32));
+  const auto result = mpi::run(
+      c.ranks,
+      [&](mpi::Comm& comm) {
+        if (activity == "pingpong") {
+          const auto r = m1::ping_pong(comm, iterations, bytes_n);
+          if (comm.rank() == 0) {
+            std::printf("ping-pong: %d iterations of %s, mean one-way %s\n",
+                        r.iterations, bytes(r.message_bytes).c_str(),
+                        seconds(r.mean_one_way).c_str());
+          }
+        } else if (activity == "ring") {
+          const auto r = m1::ring_nonblocking(comm, c.ranks);
+          if (comm.rank() == 0) {
+            std::printf("ring: token after %d rounds = %lld\n", r.rounds,
+                        static_cast<long long>(r.token));
+          }
+        } else if (activity == "random") {
+          const auto r = m1::random_comm_any_source(comm, messages, c.seed);
+          if (comm.rank() == 0) {
+            std::printf("random comm: %llu sent / %llu received per rank, "
+                        "payloads %s\n",
+                        static_cast<unsigned long long>(r.messages_sent),
+                        static_cast<unsigned long long>(r.messages_received),
+                        r.payloads_consistent ? "consistent" : "CORRUPT");
+          }
+        } else {
+          if (comm.rank() == 0) {
+            std::printf("unknown --activity '%s' "
+                        "(pingpong|ring|random)\n",
+                        activity.c_str());
+          }
+        }
+      },
+      options_for(c));
+  maybe_timeline(c, result);
+  return 0;
+}
+
+int run_module2(const ArgParser& args, const Common& c) {
+  namespace m2 = dipdc::modules::distmatrix;
+  const auto n = static_cast<std::size_t>(args.get_int("n", 1024));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 90));
+  m2::Config cfg;
+  cfg.tile = static_cast<std::size_t>(args.get_int("tile", 0));
+  cfg.trace_cache = args.get_bool("trace-cache", false);
+  const auto d = io::generate_uniform(n, dim, 0.0, 1.0, c.seed);
+  m2::Result r;
+  const auto result = mpi::run(
+      c.ranks,
+      [&](mpi::Comm& comm) {
+        const auto res = m2::run_distributed(
+            comm, comm.rank() == 0 ? d : io::Dataset{}, cfg);
+        if (comm.rank() == 0) r = res;
+      },
+      options_for(c));
+  const std::string kernel =
+      cfg.tile == 0 ? "row-wise" : "tiled T=" + std::to_string(cfg.tile);
+  std::printf("distance matrix %zux%zu (%zu-D), %s: sim time %s, "
+              "checksum %.3e\n",
+              n, n, dim, kernel.c_str(), seconds(r.sim_time).c_str(),
+              r.checksum);
+  if (cfg.trace_cache) {
+    std::printf("L1 miss rate %s, DRAM traffic/rank %s\n",
+                percent(r.miss_rate).c_str(),
+                bytes(static_cast<std::uint64_t>(r.dram_bytes)).c_str());
+  }
+  maybe_timeline(c, result);
+  return 0;
+}
+
+int run_module3(const ArgParser& args, const Common& c) {
+  namespace m3 = dipdc::modules::distsort;
+  const auto n = static_cast<std::size_t>(args.get_int("n", 100000));
+  const bool exponential = args.get("dist", "uniform") == "exponential";
+  m3::Config cfg;
+  cfg.policy = args.get("policy", "width") == "histogram"
+                   ? m3::SplitterPolicy::kHistogram
+                   : m3::SplitterPolicy::kEqualWidth;
+  cfg.lo = 0.0;
+  cfg.hi = 10.0;
+  m3::Result r;
+  const auto result = mpi::run(
+      c.ranks,
+      [&](mpi::Comm& comm) {
+        auto rng = make_stream(c.seed,
+                               static_cast<std::uint64_t>(comm.rank()));
+        std::vector<double> local(n);
+        for (auto& v : local) {
+          v = exponential ? std::min(rng.exponential(1.0), 9.999)
+                          : rng.uniform(0.0, 10.0);
+        }
+        const auto res = m3::distributed_bucket_sort(comm, local, cfg);
+        if (comm.rank() == 0) r = res;
+      },
+      options_for(c));
+  std::printf("bucket sort, %zu %s keys/rank, %s splitters: sorted=%s "
+              "imbalance=%.2f sim time %s\n",
+              n, exponential ? "exponential" : "uniform",
+              cfg.policy == m3::SplitterPolicy::kHistogram ? "histogram"
+                                                           : "equal-width",
+              r.globally_sorted ? "yes" : "NO", r.imbalance,
+              seconds(r.sim_time).c_str());
+  maybe_timeline(c, result);
+  return 0;
+}
+
+int run_module4(const ArgParser& args, const Common& c) {
+  namespace m4 = dipdc::modules::rangequery;
+  namespace sp = dipdc::spatial;
+  const auto n = static_cast<std::size_t>(args.get_int("n", 50000));
+  const auto nq = static_cast<std::size_t>(args.get_int("queries", 512));
+  const std::string engine_name = args.get("engine", "brute");
+  m4::Config cfg;
+  cfg.engine = engine_name == "rtree"      ? m4::Engine::kRTree
+               : engine_name == "quadtree" ? m4::Engine::kQuadTree
+               : engine_name == "kdtree"   ? m4::Engine::kKdTree
+                                           : m4::Engine::kBruteForce;
+  Xoshiro256 rng(c.seed);
+  std::vector<sp::Point2> points(n);
+  for (auto& p : points) {
+    p.x = rng.uniform(0.0, 100.0);
+    p.y = rng.uniform(0.0, 100.0);
+  }
+  const auto queries = m4::make_query_workload(nq, 100.0, 8.0, c.seed + 1);
+  m4::Result r;
+  const auto result = mpi::run(
+      c.ranks,
+      [&](mpi::Comm& comm) {
+        const auto res = m4::run_distributed(comm, points, queries, cfg);
+        if (comm.rank() == 0) r = res;
+      },
+      options_for(c));
+  std::printf("range queries (%s): %llu matches, %s entries checked, "
+              "sim time %s\n",
+              engine_name.c_str(),
+              static_cast<unsigned long long>(r.total_matches),
+              count(r.entries_checked).c_str(), seconds(r.sim_time).c_str());
+  maybe_timeline(c, result);
+  return 0;
+}
+
+int run_module5(const ArgParser& args, const Common& c) {
+  namespace m5 = dipdc::modules::kmeans;
+  const auto n = static_cast<std::size_t>(args.get_int("n", 50000));
+  const auto k = static_cast<std::size_t>(args.get_int("k", 8));
+  m5::Config cfg;
+  cfg.k = k;
+  cfg.strategy = args.get("strategy", "weighted") == "explicit"
+                     ? m5::Strategy::kExplicitAssignments
+                     : m5::Strategy::kWeightedMeans;
+  const auto data = io::generate_clusters(n, 2, k, 1.0, 0.0, 100.0, c.seed);
+  m5::Result r;
+  const auto result = mpi::run(
+      c.ranks,
+      [&](mpi::Comm& comm) {
+        const auto res = m5::distributed(
+            comm, comm.rank() == 0 ? data.data : io::Dataset{}, cfg);
+        if (comm.rank() == 0) r = res;
+      },
+      options_for(c));
+  std::printf("k-means k=%zu (%s): %d iterations, inertia %.1f, compute %s "
+              "/ comm %s, loop volume %s\n",
+              k,
+              cfg.strategy == m5::Strategy::kWeightedMeans ? "weighted means"
+                                                           : "explicit",
+              r.iterations, r.inertia, seconds(r.compute_time).c_str(),
+              seconds(r.comm_time).c_str(), bytes(r.comm_bytes).c_str());
+  maybe_timeline(c, result);
+  return 0;
+}
+
+int run_module6(const ArgParser& args, const Common& c) {
+  namespace m6 = dipdc::modules::stencil;
+  m6::Config cfg;
+  cfg.global_cells = static_cast<std::size_t>(args.get_int("cells", 65536));
+  cfg.iterations = static_cast<int>(args.get_int("iterations", 64));
+  cfg.halo_width = static_cast<int>(args.get_int("halo", 1));
+  cfg.exchange = args.get_bool("overlap", false) ? m6::Exchange::kOverlapped
+                                                 : m6::Exchange::kBlocking;
+  m6::Result r;
+  const auto result = mpi::run(
+      c.ranks,
+      [&](mpi::Comm& comm) {
+        const auto res = m6::run_distributed(comm, cfg);
+        if (comm.rank() == 0) r = res;
+      },
+      options_for(c));
+  std::printf("stencil %zu cells x %d sweeps, halo %d, %s: checksum %.6f, "
+              "sim time %s (comm %s)\n",
+              cfg.global_cells, cfg.iterations, cfg.halo_width,
+              cfg.exchange == m6::Exchange::kOverlapped ? "overlapped"
+                                                        : "blocking",
+              r.checksum, seconds(r.sim_time).c_str(),
+              seconds(r.comm_time).c_str());
+  maybe_timeline(c, result);
+  return 0;
+}
+
+int run_module7(const ArgParser& args, const Common& c) {
+  namespace m7 = dipdc::modules::mapreduce;
+  const auto n = static_cast<std::size_t>(args.get_int("tokens", 1000000));
+  const auto vocab =
+      static_cast<std::uint64_t>(args.get_int("vocab", 1 << 15));
+  m7::Config cfg;
+  cfg.vocabulary = vocab;
+  cfg.map_side_combine = !args.get_bool("no-combine", false);
+  cfg.partitioning = args.get("partition", "hash") == "range"
+                         ? m7::Partitioning::kRange
+                         : m7::Partitioning::kHash;
+  const auto tokens =
+      io::generate_zipf_tokens(n, vocab, args.get_double("zipf", 1.1),
+                               c.seed);
+  m7::Result r;
+  const auto result = mpi::run(
+      c.ranks,
+      [&](mpi::Comm& comm) {
+        const auto parts = io::block_partition(
+            tokens.size(), static_cast<std::size_t>(comm.size()));
+        const auto [b, e] = parts[static_cast<std::size_t>(comm.rank())];
+        const auto res = m7::word_count(
+            comm, {tokens.data() + b, e - b}, cfg);
+        if (comm.rank() == 0) r = res;
+      },
+      options_for(c));
+  std::printf("word count, %zu tokens: total %llu, shuffle %llu tuples "
+              "(rank 0), reducer imbalance %.2f, sim time %s\n",
+              n, static_cast<unsigned long long>(r.global_total),
+              static_cast<unsigned long long>(r.shuffle_tuples_sent),
+              r.reducer_imbalance, seconds(r.sim_time).c_str());
+  maybe_timeline(c, result);
+  return 0;
+}
+
+int run_warmup(const ArgParser& /*args*/, const Common& c) {
+  namespace wu = dipdc::modules::warmup;
+  const auto result = mpi::run(
+      c.ranks,
+      [](mpi::Comm& comm) {
+        const auto reports = wu::run_all(comm);
+        if (comm.rank() == 0) {
+          for (const auto& r : reports) {
+            std::printf("  [%s] %-16s %s\n", r.passed ? "PASS" : "FAIL",
+                        r.name.c_str(), r.detail.c_str());
+          }
+        }
+      },
+      options_for(c));
+  maybe_timeline(c, result);
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: dipdc <module1|module2|module3|module4|module5|module6|"
+      "module7|warmup> [options]\n"
+      "global options: --ranks=N --nodes=N --seed=N --timeline\n"
+      "run 'dipdc <module>' with defaults to see its output shape; see the\n"
+      "header of tools/dipdc.cpp for per-module options.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  Common c;
+  c.ranks = static_cast<int>(args.get_int("ranks", 4));
+  c.nodes = static_cast<int>(args.get_int("nodes", 1));
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  c.timeline = args.get_bool("timeline", false);
+
+  try {
+    const std::string& cmd = args.command();
+    int rc = 0;
+    if (cmd == "module1") rc = run_module1(args, c);
+    else if (cmd == "module2") rc = run_module2(args, c);
+    else if (cmd == "module3") rc = run_module3(args, c);
+    else if (cmd == "module4") rc = run_module4(args, c);
+    else if (cmd == "module5") rc = run_module5(args, c);
+    else if (cmd == "module6") rc = run_module6(args, c);
+    else if (cmd == "module7") rc = run_module7(args, c);
+    else if (cmd == "warmup") rc = run_warmup(args, c);
+    else {
+      usage();
+      return cmd.empty() ? 0 : 1;
+    }
+    for (const auto& key : args.unused()) {
+      std::printf("warning: unused option --%s\n", key.c_str());
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
