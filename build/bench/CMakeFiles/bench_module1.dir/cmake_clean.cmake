@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_module1.dir/bench_module1.cpp.o"
+  "CMakeFiles/bench_module1.dir/bench_module1.cpp.o.d"
+  "bench_module1"
+  "bench_module1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_module1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_module2.dir/bench_module2.cpp.o"
+  "CMakeFiles/bench_module2.dir/bench_module2.cpp.o.d"
+  "bench_module2"
+  "bench_module2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_module2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

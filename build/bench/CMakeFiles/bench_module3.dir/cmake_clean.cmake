@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_module3.dir/bench_module3.cpp.o"
+  "CMakeFiles/bench_module3.dir/bench_module3.cpp.o.d"
+  "bench_module3"
+  "bench_module3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_module3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

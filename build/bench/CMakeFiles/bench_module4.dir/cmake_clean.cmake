@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_module4.dir/bench_module4.cpp.o"
+  "CMakeFiles/bench_module4.dir/bench_module4.cpp.o.d"
+  "bench_module4"
+  "bench_module4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_module4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_module5.dir/bench_module5.cpp.o"
+  "CMakeFiles/bench_module5.dir/bench_module5.cpp.o.d"
+  "bench_module5"
+  "bench_module5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_module5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_module6.dir/bench_module6.cpp.o"
+  "CMakeFiles/bench_module6.dir/bench_module6.cpp.o.d"
+  "bench_module6"
+  "bench_module6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_module6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

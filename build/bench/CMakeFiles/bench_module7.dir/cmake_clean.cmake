@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_module7.dir/bench_module7.cpp.o"
+  "CMakeFiles/bench_module7.dir/bench_module7.cpp.o.d"
+  "bench_module7"
+  "bench_module7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_module7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

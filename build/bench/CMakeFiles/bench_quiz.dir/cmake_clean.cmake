@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quiz.dir/bench_quiz.cpp.o"
+  "CMakeFiles/bench_quiz.dir/bench_quiz.cpp.o.d"
+  "bench_quiz"
+  "bench_quiz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quiz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slurm.dir/bench_slurm.cpp.o"
+  "CMakeFiles/bench_slurm.dir/bench_slurm.cpp.o.d"
+  "bench_slurm"
+  "bench_slurm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slurm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asteroid_range_query.dir/asteroid_range_query.cpp.o"
+  "CMakeFiles/asteroid_range_query.dir/asteroid_range_query.cpp.o.d"
+  "asteroid_range_query"
+  "asteroid_range_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asteroid_range_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

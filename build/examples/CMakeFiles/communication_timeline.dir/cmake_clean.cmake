@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/communication_timeline.dir/communication_timeline.cpp.o"
+  "CMakeFiles/communication_timeline.dir/communication_timeline.cpp.o.d"
+  "communication_timeline"
+  "communication_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/communication_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

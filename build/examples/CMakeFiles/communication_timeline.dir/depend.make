@@ -1,0 +1,2 @@
+# Empty dependencies file for communication_timeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbatch_playground.dir/sbatch_playground.cpp.o"
+  "CMakeFiles/sbatch_playground.dir/sbatch_playground.cpp.o.d"
+  "sbatch_playground"
+  "sbatch_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbatch_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

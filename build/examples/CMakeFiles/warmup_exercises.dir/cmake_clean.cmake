@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warmup_exercises.dir/warmup_exercises.cpp.o"
+  "CMakeFiles/warmup_exercises.dir/warmup_exercises.cpp.o.d"
+  "warmup_exercises"
+  "warmup_exercises.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmup_exercises.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

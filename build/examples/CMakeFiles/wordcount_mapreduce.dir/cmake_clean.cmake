@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_mapreduce.dir/wordcount_mapreduce.cpp.o"
+  "CMakeFiles/wordcount_mapreduce.dir/wordcount_mapreduce.cpp.o.d"
+  "wordcount_mapreduce"
+  "wordcount_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

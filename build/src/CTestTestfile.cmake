@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("perfmodel")
+subdirs("minimpi")
+subdirs("cachesim")
+subdirs("dataio")
+subdirs("index")
+subdirs("slurmsim")
+subdirs("modules/comm")
+subdirs("modules/distmatrix")
+subdirs("modules/sort")
+subdirs("modules/rangequery")
+subdirs("modules/kmeans")
+subdirs("modules/stencil")
+subdirs("modules/mapreduce")
+subdirs("modules/warmup")
+subdirs("eval")

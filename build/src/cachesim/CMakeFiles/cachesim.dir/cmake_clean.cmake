@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachesim.dir/cache.cpp.o"
+  "CMakeFiles/cachesim.dir/cache.cpp.o.d"
+  "libcachesim.a"
+  "libcachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataio.dir/dataset.cpp.o"
+  "CMakeFiles/dataio.dir/dataset.cpp.o.d"
+  "libdataio.a"
+  "libdataio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

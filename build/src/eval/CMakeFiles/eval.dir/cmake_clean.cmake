@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval.dir/quizdata.cpp.o"
+  "CMakeFiles/eval.dir/quizdata.cpp.o.d"
+  "CMakeFiles/eval.dir/quizstats.cpp.o"
+  "CMakeFiles/eval.dir/quizstats.cpp.o.d"
+  "CMakeFiles/eval.dir/survey.cpp.o"
+  "CMakeFiles/eval.dir/survey.cpp.o.d"
+  "CMakeFiles/eval.dir/tables.cpp.o"
+  "CMakeFiles/eval.dir/tables.cpp.o.d"
+  "libeval.a"
+  "libeval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

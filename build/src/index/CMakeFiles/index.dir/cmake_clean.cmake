@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index.dir/kdtree.cpp.o"
+  "CMakeFiles/index.dir/kdtree.cpp.o.d"
+  "CMakeFiles/index.dir/quadtree.cpp.o"
+  "CMakeFiles/index.dir/quadtree.cpp.o.d"
+  "CMakeFiles/index.dir/rtree.cpp.o"
+  "CMakeFiles/index.dir/rtree.cpp.o.d"
+  "libindex.a"
+  "libindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

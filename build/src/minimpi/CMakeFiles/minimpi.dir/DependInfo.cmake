@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/collectives.cpp" "src/minimpi/CMakeFiles/minimpi.dir/collectives.cpp.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/minimpi/comm.cpp" "src/minimpi/CMakeFiles/minimpi.dir/comm.cpp.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/comm.cpp.o.d"
+  "/root/repo/src/minimpi/runtime.cpp" "src/minimpi/CMakeFiles/minimpi.dir/runtime.cpp.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/runtime.cpp.o.d"
+  "/root/repo/src/minimpi/stats.cpp" "src/minimpi/CMakeFiles/minimpi.dir/stats.cpp.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/stats.cpp.o.d"
+  "/root/repo/src/minimpi/trace.cpp" "src/minimpi/CMakeFiles/minimpi.dir/trace.cpp.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/trace.cpp.o.d"
+  "/root/repo/src/minimpi/types.cpp" "src/minimpi/CMakeFiles/minimpi.dir/types.cpp.o" "gcc" "src/minimpi/CMakeFiles/minimpi.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/support.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

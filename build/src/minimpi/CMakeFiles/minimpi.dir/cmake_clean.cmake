@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi.dir/collectives.cpp.o"
+  "CMakeFiles/minimpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/minimpi.dir/comm.cpp.o"
+  "CMakeFiles/minimpi.dir/comm.cpp.o.d"
+  "CMakeFiles/minimpi.dir/runtime.cpp.o"
+  "CMakeFiles/minimpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/minimpi.dir/stats.cpp.o"
+  "CMakeFiles/minimpi.dir/stats.cpp.o.d"
+  "CMakeFiles/minimpi.dir/trace.cpp.o"
+  "CMakeFiles/minimpi.dir/trace.cpp.o.d"
+  "CMakeFiles/minimpi.dir/types.cpp.o"
+  "CMakeFiles/minimpi.dir/types.cpp.o.d"
+  "libminimpi.a"
+  "libminimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

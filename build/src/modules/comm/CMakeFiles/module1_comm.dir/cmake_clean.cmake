@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module1_comm.dir/module1.cpp.o"
+  "CMakeFiles/module1_comm.dir/module1.cpp.o.d"
+  "libmodule1_comm.a"
+  "libmodule1_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module1_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module2_distmatrix.dir/module2.cpp.o"
+  "CMakeFiles/module2_distmatrix.dir/module2.cpp.o.d"
+  "libmodule2_distmatrix.a"
+  "libmodule2_distmatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module2_distmatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

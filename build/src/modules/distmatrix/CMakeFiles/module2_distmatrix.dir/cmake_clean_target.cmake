@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmodule2_distmatrix.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for module2_distmatrix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module5_kmeans.dir/module5.cpp.o"
+  "CMakeFiles/module5_kmeans.dir/module5.cpp.o.d"
+  "libmodule5_kmeans.a"
+  "libmodule5_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module5_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

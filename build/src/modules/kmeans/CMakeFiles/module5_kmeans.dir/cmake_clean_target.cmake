@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmodule5_kmeans.a"
+)

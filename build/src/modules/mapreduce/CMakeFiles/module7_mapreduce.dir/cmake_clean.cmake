@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module7_mapreduce.dir/module7.cpp.o"
+  "CMakeFiles/module7_mapreduce.dir/module7.cpp.o.d"
+  "libmodule7_mapreduce.a"
+  "libmodule7_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module7_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

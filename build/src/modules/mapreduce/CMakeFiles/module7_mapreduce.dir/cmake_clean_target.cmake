@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmodule7_mapreduce.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module4_rangequery.dir/module4.cpp.o"
+  "CMakeFiles/module4_rangequery.dir/module4.cpp.o.d"
+  "libmodule4_rangequery.a"
+  "libmodule4_rangequery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module4_rangequery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for module4_rangequery.
+# This may be replaced when dependencies are built.

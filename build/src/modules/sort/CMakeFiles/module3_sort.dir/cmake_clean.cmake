@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module3_sort.dir/module3.cpp.o"
+  "CMakeFiles/module3_sort.dir/module3.cpp.o.d"
+  "libmodule3_sort.a"
+  "libmodule3_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module3_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

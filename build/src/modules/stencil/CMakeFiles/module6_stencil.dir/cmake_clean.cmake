@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module6_stencil.dir/module6.cpp.o"
+  "CMakeFiles/module6_stencil.dir/module6.cpp.o.d"
+  "libmodule6_stencil.a"
+  "libmodule6_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module6_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmodule6_stencil.a"
+)

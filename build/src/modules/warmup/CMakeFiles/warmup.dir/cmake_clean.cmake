@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warmup.dir/warmup.cpp.o"
+  "CMakeFiles/warmup.dir/warmup.cpp.o.d"
+  "libwarmup.a"
+  "libwarmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfmodel.dir/machine.cpp.o"
+  "CMakeFiles/perfmodel.dir/machine.cpp.o.d"
+  "libperfmodel.a"
+  "libperfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

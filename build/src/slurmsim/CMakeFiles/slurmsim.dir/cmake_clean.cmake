@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slurmsim.dir/slurmsim.cpp.o"
+  "CMakeFiles/slurmsim.dir/slurmsim.cpp.o.d"
+  "libslurmsim.a"
+  "libslurmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slurmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/args.cpp" "src/support/CMakeFiles/support.dir/args.cpp.o" "gcc" "src/support/CMakeFiles/support.dir/args.cpp.o.d"
+  "/root/repo/src/support/ascii_chart.cpp" "src/support/CMakeFiles/support.dir/ascii_chart.cpp.o" "gcc" "src/support/CMakeFiles/support.dir/ascii_chart.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/support/CMakeFiles/support.dir/error.cpp.o" "gcc" "src/support/CMakeFiles/support.dir/error.cpp.o.d"
+  "/root/repo/src/support/format.cpp" "src/support/CMakeFiles/support.dir/format.cpp.o" "gcc" "src/support/CMakeFiles/support.dir/format.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/support.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support.dir/args.cpp.o"
+  "CMakeFiles/support.dir/args.cpp.o.d"
+  "CMakeFiles/support.dir/ascii_chart.cpp.o"
+  "CMakeFiles/support.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/support.dir/error.cpp.o"
+  "CMakeFiles/support.dir/error.cpp.o.d"
+  "CMakeFiles/support.dir/format.cpp.o"
+  "CMakeFiles/support.dir/format.cpp.o.d"
+  "CMakeFiles/support.dir/table.cpp.o"
+  "CMakeFiles/support.dir/table.cpp.o.d"
+  "libsupport.a"
+  "libsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

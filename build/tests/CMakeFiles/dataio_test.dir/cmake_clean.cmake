@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataio_test.dir/dataio_test.cpp.o"
+  "CMakeFiles/dataio_test.dir/dataio_test.cpp.o.d"
+  "dataio_test"
+  "dataio_test.pdb"
+  "dataio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

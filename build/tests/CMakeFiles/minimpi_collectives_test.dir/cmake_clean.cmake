@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_collectives_test.dir/minimpi_collectives_test.cpp.o"
+  "CMakeFiles/minimpi_collectives_test.dir/minimpi_collectives_test.cpp.o.d"
+  "minimpi_collectives_test"
+  "minimpi_collectives_test.pdb"
+  "minimpi_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

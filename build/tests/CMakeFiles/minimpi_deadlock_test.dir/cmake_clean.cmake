@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_deadlock_test.dir/minimpi_deadlock_test.cpp.o"
+  "CMakeFiles/minimpi_deadlock_test.dir/minimpi_deadlock_test.cpp.o.d"
+  "minimpi_deadlock_test"
+  "minimpi_deadlock_test.pdb"
+  "minimpi_deadlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_deadlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_p2p_test.dir/minimpi_p2p_test.cpp.o"
+  "CMakeFiles/minimpi_p2p_test.dir/minimpi_p2p_test.cpp.o.d"
+  "minimpi_p2p_test"
+  "minimpi_p2p_test.pdb"
+  "minimpi_p2p_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_p2p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

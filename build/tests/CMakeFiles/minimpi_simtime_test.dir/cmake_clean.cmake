@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_simtime_test.dir/minimpi_simtime_test.cpp.o"
+  "CMakeFiles/minimpi_simtime_test.dir/minimpi_simtime_test.cpp.o.d"
+  "minimpi_simtime_test"
+  "minimpi_simtime_test.pdb"
+  "minimpi_simtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_simtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_subcomm_test.dir/minimpi_subcomm_test.cpp.o"
+  "CMakeFiles/minimpi_subcomm_test.dir/minimpi_subcomm_test.cpp.o.d"
+  "minimpi_subcomm_test"
+  "minimpi_subcomm_test.pdb"
+  "minimpi_subcomm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_subcomm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_trace_test.dir/minimpi_trace_test.cpp.o"
+  "CMakeFiles/minimpi_trace_test.dir/minimpi_trace_test.cpp.o.d"
+  "minimpi_trace_test"
+  "minimpi_trace_test.pdb"
+  "minimpi_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

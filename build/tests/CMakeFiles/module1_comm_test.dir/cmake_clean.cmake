@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module1_comm_test.dir/module1_comm_test.cpp.o"
+  "CMakeFiles/module1_comm_test.dir/module1_comm_test.cpp.o.d"
+  "module1_comm_test"
+  "module1_comm_test.pdb"
+  "module1_comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module1_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module2_distmatrix_test.dir/module2_distmatrix_test.cpp.o"
+  "CMakeFiles/module2_distmatrix_test.dir/module2_distmatrix_test.cpp.o.d"
+  "module2_distmatrix_test"
+  "module2_distmatrix_test.pdb"
+  "module2_distmatrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module2_distmatrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

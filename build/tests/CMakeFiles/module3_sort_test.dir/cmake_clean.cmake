@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module3_sort_test.dir/module3_sort_test.cpp.o"
+  "CMakeFiles/module3_sort_test.dir/module3_sort_test.cpp.o.d"
+  "module3_sort_test"
+  "module3_sort_test.pdb"
+  "module3_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module3_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

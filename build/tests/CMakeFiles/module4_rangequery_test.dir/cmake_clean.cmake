@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module4_rangequery_test.dir/module4_rangequery_test.cpp.o"
+  "CMakeFiles/module4_rangequery_test.dir/module4_rangequery_test.cpp.o.d"
+  "module4_rangequery_test"
+  "module4_rangequery_test.pdb"
+  "module4_rangequery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module4_rangequery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module5_kmeans_test.dir/module5_kmeans_test.cpp.o"
+  "CMakeFiles/module5_kmeans_test.dir/module5_kmeans_test.cpp.o.d"
+  "module5_kmeans_test"
+  "module5_kmeans_test.pdb"
+  "module5_kmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module5_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module6_stencil_test.dir/module6_stencil_test.cpp.o"
+  "CMakeFiles/module6_stencil_test.dir/module6_stencil_test.cpp.o.d"
+  "module6_stencil_test"
+  "module6_stencil_test.pdb"
+  "module6_stencil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module6_stencil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

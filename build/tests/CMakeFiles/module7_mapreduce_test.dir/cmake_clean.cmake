@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module7_mapreduce_test.dir/module7_mapreduce_test.cpp.o"
+  "CMakeFiles/module7_mapreduce_test.dir/module7_mapreduce_test.cpp.o.d"
+  "module7_mapreduce_test"
+  "module7_mapreduce_test.pdb"
+  "module7_mapreduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module7_mapreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slurmsim_test.dir/slurmsim_test.cpp.o"
+  "CMakeFiles/slurmsim_test.dir/slurmsim_test.cpp.o.d"
+  "slurmsim_test"
+  "slurmsim_test.pdb"
+  "slurmsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slurmsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_p2p_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_deadlock_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_simtime_test[1]_include.cmake")
+include("/root/repo/build/tests/cachesim_test[1]_include.cmake")
+include("/root/repo/build/tests/dataio_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/slurmsim_test[1]_include.cmake")
+include("/root/repo/build/tests/module1_comm_test[1]_include.cmake")
+include("/root/repo/build/tests/module2_distmatrix_test[1]_include.cmake")
+include("/root/repo/build/tests/module3_sort_test[1]_include.cmake")
+include("/root/repo/build/tests/module4_rangequery_test[1]_include.cmake")
+include("/root/repo/build/tests/module5_kmeans_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_subcomm_test[1]_include.cmake")
+include("/root/repo/build/tests/module6_stencil_test[1]_include.cmake")
+include("/root/repo/build/tests/module7_mapreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/warmup_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_stress_test[1]_include.cmake")

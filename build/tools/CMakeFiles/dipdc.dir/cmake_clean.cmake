@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dipdc.dir/dipdc.cpp.o"
+  "CMakeFiles/dipdc.dir/dipdc.cpp.o.d"
+  "dipdc"
+  "dipdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dipdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
