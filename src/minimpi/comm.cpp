@@ -1,7 +1,18 @@
 // Point-to-point transport: the byte-level operations behind the typed API.
+//
+// Fast-path structure (all sim-neutral; see options.hpp TransportOptions):
+//  - payloads are built OUTSIDE the runtime lock, in pooled buffers or the
+//    envelope's inline storage (no allocation for small eager messages);
+//  - blocking rendezvous senders lend their buffer to the envelope instead
+//    of copying (the sender provably blocks until the receiver consumed it);
+//  - large payload copies on the receive side happen outside the lock, with
+//    in-flight flags so an unwinding peer never frees memory mid-copy;
+//  - unexpected-message matching is indexed by (context, tag) buckets.
 #include "minimpi/comm.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "minimpi/error.hpp"
@@ -10,18 +21,35 @@ namespace dipdc::minimpi {
 
 namespace {
 
-std::shared_ptr<detail::Envelope> make_envelope(
-    int source, int world_dest, int tag, int context,
-    std::span<const std::byte> data, bool internal, bool rendezvous) {
-  auto env = std::make_shared<detail::Envelope>();
-  env->source = source;
-  env->dest = world_dest;
-  env->tag = tag;
-  env->context = context;
-  env->payload.assign(data.begin(), data.end());
-  env->internal = internal;
-  env->rendezvous = rendezvous;
-  return env;
+/// Payloads up to this size are copied while holding the runtime lock (one
+/// lock round-trip beats two for small memcpys); larger receive-side copies
+/// release the lock around the memcpy.
+constexpr std::size_t kLockedCopyMax = 4096;
+
+/// Builds the payload for an outgoing message.  Called outside the runtime
+/// lock; the stats stream is the sender's own (only its thread writes it).
+detail::Payload build_payload(std::span<const std::byte> data, bool borrow_ok,
+                              const TransportOptions& topt,
+                              detail::BufferPool& pool, CommStats& cs) {
+  if (data.empty()) return {};
+  const std::size_t inline_cap =
+      std::min(topt.inline_threshold, detail::Payload::kMaxInline);
+  if (data.size() <= inline_cap) {
+    ++cs.inline_messages;
+    cs.copied_bytes += data.size();
+    return detail::Payload::inline_copy(data);
+  }
+  if (borrow_ok && topt.zero_copy) {
+    // Blocking rendezvous send: the sender's frame (and therefore `data`)
+    // stays alive until the receiver has consumed the bytes.
+    cs.zero_copy_bytes += data.size();
+    return detail::Payload::borrowed_from(data);
+  }
+  bool hit = false;
+  detail::Buffer buf = pool.acquire(data.size(), &hit);
+  ++(hit ? cs.pool_hits : cs.pool_misses);
+  cs.copied_bytes += data.size();
+  return detail::Payload::owned(std::move(buf), data);
 }
 
 }  // namespace
@@ -53,7 +81,9 @@ void Comm::sim_compute(double flops, double mem_bytes) {
 void Comm::sim_advance(double seconds) {
   DIPDC_REQUIRE(seconds >= 0.0, "cannot advance the clock backwards");
   state().clock += seconds;
-  state().stats.sim_compute_seconds += seconds;
+  // Explicit clock advances model idle/waiting time, not kernel work; they
+  // get their own bucket so compute/comm breakdowns stay honest.
+  state().stats.sim_idle_seconds += seconds;
 }
 
 void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
@@ -66,11 +96,20 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
   // rendezvous handshakes.
   const bool rendezvous =
       !internal && data.size() > runtime_->options().eager_threshold;
-  auto env = make_envelope(rank_, wdest, tag, context_, data, internal,
-                           rendezvous);
+  detail::RankState& st = state();
+  auto env = runtime_->acquire_envelope();
+  env->source = rank_;
+  env->dest = wdest;
+  env->tag = tag;
+  env->context = context_;
+  env->internal = internal;
+  env->rendezvous = rendezvous;
+  env->payload =
+      build_payload(data, /*borrow_ok=*/rendezvous,
+                    runtime_->options().transport, runtime_->buffer_pool(),
+                    st.stats);
 
   std::unique_lock<std::mutex> lock(runtime_->mutex());
-  detail::RankState& st = state();
   const double alpha = cost_model().message_time(world_rank_, wdest, 0);
   const double overhead = cost_model().send_overhead();
   env->arrival_head = st.clock + alpha;
@@ -82,10 +121,31 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
     st.stats.p2p_bytes_sent += data.size();
     ++st.stats.p2p_messages_sent;
   }
-  runtime_->deliver_locked(env);
+  auto pending = runtime_->deliver_locked(env);
+  if (pending) {
+    lock.unlock();
+    env->payload.copy_to(pending->buffer);
+    lock.lock();
+    pending->copy_in_flight = false;
+    pending->done = true;
+    env->matched = true;
+    runtime_->condvar().notify_all();
+  }
   if (rendezvous) {
-    runtime_->blocking_wait(lock, world_rank_, "Send (rendezvous)",
-                            [&env] { return env->matched; });
+    if (!env->matched) ++st.stats.rendezvous_stalls;
+    try {
+      runtime_->blocking_wait(lock, world_rank_, "Send (rendezvous)",
+                              [&env] { return env->matched; });
+    } catch (...) {
+      // The envelope may borrow this frame's `data`; make sure nobody can
+      // touch it after we unwind: drop it from the mailbox if still
+      // queued, or wait out a receiver's in-flight copy.
+      detail::Mailbox& mb = runtime_->mailbox(wdest);
+      if (!mb.unexpected.remove(env.get())) {
+        while (!env->matched) runtime_->condvar().wait(lock);
+      }
+      throw;
+    }
     const double completion = std::max(st.clock, env->completion_time);
     st.stats.sim_comm_seconds += completion - st.clock;
     st.clock = completion;
@@ -107,33 +167,40 @@ Status Comm::recv_bytes(std::span<std::byte> data, int source, int tag,
   detail::Mailbox& mb = runtime_->mailbox(world_rank_);
 
   // Fast path: a matching message already arrived.
-  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
-    detail::Envelope& env = **it;
-    if (!detail::filters_match(source, tag, context_, internal, env)) {
-      continue;
-    }
-    if (env.payload.size() > data.size()) {
+  if (auto m = mb.unexpected.find(source, tag, context_, internal)) {
+    const std::shared_ptr<detail::Envelope> env = m->handle();
+    if (env->payload.size() > data.size()) {
       std::ostringstream os;
       os << "message truncation: recv buffer holds " << data.size()
-         << " bytes but rank " << env.source << " sent "
-         << env.payload.size() << " bytes (tag " << env.tag << ")";
-      throw MpiError(os.str());
+         << " bytes but rank " << env->source << " sent "
+         << env->payload.size() << " bytes (tag " << env->tag << ")";
+      throw MpiError(os.str());  // message stays queued, as before
     }
-    std::copy(env.payload.begin(), env.payload.end(), data.data());
-    const Status status{env.source, env.tag, env.payload.size()};
+    const Status status{env->source, env->tag, env->payload.size()};
     const double completion =
-        std::max({st.clock, env.arrival_head, mb.link_busy_until}) +
-        env.byte_time;
+        std::max({st.clock, env->arrival_head, mb.link_busy_until}) +
+        env->byte_time;
     mb.link_busy_until = completion;
-    env.completion_time = completion;
-    env.matched = true;
+    env->completion_time = completion;
     st.stats.sim_comm_seconds += completion - st.clock;
     st.clock = completion;
     if (!internal) {
-      st.stats.p2p_bytes_received += env.payload.size();
+      st.stats.p2p_bytes_received += status.bytes;
       ++st.stats.p2p_messages_received;
     }
-    mb.unexpected.erase(it);
+    st.stats.copied_bytes += status.bytes;
+    mb.unexpected.erase(*m);
+    if (status.bytes <= kLockedCopyMax) {
+      env->payload.copy_to(data.data());
+      env->matched = true;
+    } else {
+      env->consume_in_flight = true;
+      lock.unlock();
+      env->payload.copy_to(data.data());
+      lock.lock();
+      env->consume_in_flight = false;
+      env->matched = true;
+    }
     runtime_->condvar().notify_all();  // a rendezvous sender may be waiting
     return status;
   }
@@ -150,8 +217,19 @@ Status Comm::recv_bytes(std::span<std::byte> data, int source, int tag,
   req->post_time = st.clock;
   mb.posted.push_back(req);
 
-  runtime_->blocking_wait(lock, world_rank_, "Recv",
-                          [&req] { return req->done; });
+  try {
+    runtime_->blocking_wait(lock, world_rank_, "Recv",
+                            [&req] { return req->done; });
+  } catch (...) {
+    // Keep `data` safe across the unwind: finish an in-flight sender copy,
+    // or withdraw the posted receive so no later sender writes into it.
+    if (req->copy_in_flight) {
+      while (!req->done) runtime_->condvar().wait(lock);
+    } else if (!req->done) {
+      std::erase(mb.posted, req);
+    }
+    throw;
+  }
   if (!req->error.empty()) throw MpiError(req->error);
   const double completion = std::max(st.clock, req->completion_time);
   st.stats.sim_comm_seconds += completion - st.clock;
@@ -160,6 +238,7 @@ Status Comm::recv_bytes(std::span<std::byte> data, int source, int tag,
     st.stats.p2p_bytes_received += req->status.bytes;
     ++st.stats.p2p_messages_received;
   }
+  st.stats.copied_bytes += req->status.bytes;
   return req->status;
 }
 
@@ -170,15 +249,25 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
   const int wdest = to_world(dest);
   const bool rendezvous =
       !internal && data.size() > runtime_->options().eager_threshold;
-  auto env = make_envelope(rank_, wdest, tag, context_, data, internal,
-                           rendezvous);
+  detail::RankState& st = state();
+  auto env = runtime_->acquire_envelope();
+  env->source = rank_;
+  env->dest = wdest;
+  env->tag = tag;
+  env->context = context_;
+  env->internal = internal;
+  env->rendezvous = rendezvous;
+  // Isend returns immediately, so the payload can never borrow the user's
+  // buffer (the sender may mutate it before the receiver matches).
+  env->payload = build_payload(data, /*borrow_ok=*/false,
+                               runtime_->options().transport,
+                               runtime_->buffer_pool(), st.stats);
 
   auto req = std::make_shared<detail::RequestState>();
   req->kind = detail::RequestState::Kind::kSend;
   req->envelope = env;
 
   std::unique_lock<std::mutex> lock(runtime_->mutex());
-  detail::RankState& st = state();
   const double alpha = cost_model().message_time(world_rank_, wdest, 0);
   env->arrival_head = st.clock + alpha;
   env->byte_time =
@@ -189,7 +278,16 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
     st.stats.p2p_bytes_sent += data.size();
     ++st.stats.p2p_messages_sent;
   }
-  runtime_->deliver_locked(env);
+  auto pending = runtime_->deliver_locked(env);
+  if (pending) {
+    lock.unlock();
+    env->payload.copy_to(pending->buffer);
+    lock.lock();
+    pending->copy_in_flight = false;
+    pending->done = true;
+    env->matched = true;
+    runtime_->condvar().notify_all();
+  }
   // The non-blocking send itself only pays injection overhead; a rendezvous
   // Isend defers the synchronization to wait().
   st.clock += cost_model().send_overhead();
@@ -219,35 +317,181 @@ Request Comm::irecv_bytes(std::span<std::byte> data, int source, int tag,
   detail::RankState& st = state();
   req->post_time = st.clock;
   detail::Mailbox& mb = runtime_->mailbox(world_rank_);
-  for (auto it = mb.unexpected.begin(); it != mb.unexpected.end(); ++it) {
-    detail::Envelope& env = **it;
-    if (!detail::filters_match(source, tag, context_, internal, env)) {
-      continue;
-    }
-    if (env.payload.size() > req->capacity) {
-      std::ostringstream os;
-      os << "message truncation: irecv buffer holds " << req->capacity
-         << " bytes but rank " << env.source << " sent "
-         << env.payload.size() << " bytes (tag " << env.tag << ")";
-      req->error = os.str();
-    } else {
-      std::copy(env.payload.begin(), env.payload.end(), req->buffer);
-    }
-    req->status = Status{env.source, env.tag, env.payload.size()};
+  if (auto m = mb.unexpected.find(source, tag, context_, internal)) {
+    const std::shared_ptr<detail::Envelope> env = m->handle();
+    req->status = Status{env->source, env->tag, env->payload.size()};
     const double completion =
-        std::max({req->post_time, env.arrival_head, mb.link_busy_until}) +
-        env.byte_time;
+        std::max({req->post_time, env->arrival_head, mb.link_busy_until}) +
+        env->byte_time;
     mb.link_busy_until = completion;
     req->completion_time = completion;
-    env.completion_time = completion;
-    env.matched = true;
-    req->done = true;
-    mb.unexpected.erase(it);
+    env->completion_time = completion;
+    if (env->payload.size() > req->capacity) {
+      std::ostringstream os;
+      os << "message truncation: irecv buffer holds " << req->capacity
+         << " bytes but rank " << env->source << " sent "
+         << env->payload.size() << " bytes (tag " << env->tag << ")";
+      req->error = os.str();
+      env->matched = true;
+      req->done = true;
+      mb.unexpected.erase(*m);
+      runtime_->condvar().notify_all();
+      return Request(req);
+    }
+    st.stats.copied_bytes += env->payload.size();
+    mb.unexpected.erase(*m);
+    if (env->payload.size() <= kLockedCopyMax) {
+      env->payload.copy_to(req->buffer);
+      env->matched = true;
+      req->done = true;
+    } else {
+      env->consume_in_flight = true;
+      lock.unlock();
+      env->payload.copy_to(req->buffer);
+      lock.lock();
+      env->consume_in_flight = false;
+      env->matched = true;
+      req->done = true;
+    }
     runtime_->condvar().notify_all();
     return Request(req);
   }
   mb.posted.push_back(req);
   return Request(req);
+}
+
+detail::StagedBuffer Comm::stage_acquire(std::size_t n) {
+  bool hit = false;
+  detail::Buffer buf = runtime_->buffer_pool().acquire(n, &hit);
+  CommStats& cs = state().stats;
+  ++(hit ? cs.pool_hits : cs.pool_misses);
+  return detail::StagedBuffer{std::move(buf), 0, n};
+}
+
+detail::StagedBuffer Comm::stage_copy(std::span<const std::byte> src) {
+  detail::StagedBuffer sb = stage_acquire(src.size());
+  if (!src.empty()) {
+    std::memcpy(sb.storage->data(), src.data(), src.size());
+  }
+  state().stats.copied_bytes += src.size();
+  return sb;
+}
+
+void Comm::send_staged(const detail::StagedBuffer& data, int dest, int tag) {
+  validate_peer(dest, "send");
+  const int wdest = to_world(dest);
+  detail::RankState& st = state();
+  const TransportOptions& topt = runtime_->options().transport;
+  auto env = runtime_->acquire_envelope();
+  env->source = rank_;
+  env->dest = wdest;
+  env->tag = tag;
+  env->context = context_;
+  env->internal = true;   // staged traffic is collective-internal
+  env->rendezvous = false;  // and therefore always eager
+  if (data.len == 0) {
+    // empty payload
+  } else if (topt.zero_copy && data.storage) {
+    // Share the staging buffer into the envelope: every hop of a tree or
+    // ring forward references the same bytes.  The buffer must not be
+    // mutated after this point (collectives uphold that discipline).
+    env->payload = detail::Payload::shared_view(data);
+    st.stats.zero_copy_bytes += data.len;
+  } else {
+    env->payload = build_payload(data.view(), /*borrow_ok=*/false, topt,
+                                 runtime_->buffer_pool(), st.stats);
+  }
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  const double alpha = cost_model().message_time(world_rank_, wdest, 0);
+  const double overhead = cost_model().send_overhead();
+  env->arrival_head = st.clock + alpha;
+  env->byte_time =
+      cost_model().message_time(world_rank_, wdest, data.len) - alpha;
+  st.stats.transport_bytes_sent += data.len;
+  ++st.stats.transport_messages_sent;
+  auto pending = runtime_->deliver_locked(env);
+  if (pending) {
+    lock.unlock();
+    env->payload.copy_to(pending->buffer);
+    lock.lock();
+    pending->copy_in_flight = false;
+    pending->done = true;
+    env->matched = true;
+    runtime_->condvar().notify_all();
+  }
+  st.clock += overhead;
+  st.stats.sim_comm_seconds += overhead;
+}
+
+detail::StagedBuffer Comm::recv_staged(int source, int tag, Status* status) {
+  validate_peer(source, "recv");
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  detail::RankState& st = state();
+  detail::Mailbox& mb = runtime_->mailbox(world_rank_);
+  const bool zero_copy = runtime_->options().transport.zero_copy;
+
+  if (auto m = mb.unexpected.find(source, tag, context_, /*internal=*/true)) {
+    const std::shared_ptr<detail::Envelope> env = m->handle();
+    const Status stt{env->source, env->tag, env->payload.size()};
+    const double completion =
+        std::max({st.clock, env->arrival_head, mb.link_busy_until}) +
+        env->byte_time;
+    mb.link_busy_until = completion;
+    env->completion_time = completion;
+    st.stats.sim_comm_seconds += completion - st.clock;
+    st.clock = completion;
+    mb.unexpected.erase(*m);
+    detail::StagedBuffer sb;
+    if (stt.bytes == 0) {
+      // empty message
+    } else if (zero_copy && env->payload.shareable()) {
+      sb = env->payload.share();  // adopt, no copy
+      st.stats.zero_copy_bytes += stt.bytes;
+    } else {
+      bool hit = false;
+      detail::Buffer buf = runtime_->buffer_pool().acquire(stt.bytes, &hit);
+      ++(hit ? st.stats.pool_hits : st.stats.pool_misses);
+      env->payload.copy_to(buf->data());
+      sb = detail::StagedBuffer{std::move(buf), 0, stt.bytes};
+      st.stats.copied_bytes += stt.bytes;
+    }
+    env->matched = true;
+    runtime_->condvar().notify_all();
+    if (status != nullptr) *status = stt;
+    return sb;
+  }
+
+  auto req = std::make_shared<detail::RequestState>();
+  req->kind = detail::RequestState::Kind::kRecv;
+  req->want_staged = true;
+  req->capacity = std::numeric_limits<std::size_t>::max();
+  req->source_filter = source;
+  req->tag_filter = tag;
+  req->context = context_;
+  req->internal = true;
+  req->post_time = st.clock;
+  mb.posted.push_back(req);
+
+  try {
+    runtime_->blocking_wait(lock, world_rank_, "Recv (staged)",
+                            [&req] { return req->done; });
+  } catch (...) {
+    if (!req->done) std::erase(mb.posted, req);
+    throw;
+  }
+  if (!req->error.empty()) throw MpiError(req->error);
+  const double completion = std::max(st.clock, req->completion_time);
+  st.stats.sim_comm_seconds += completion - st.clock;
+  st.clock = completion;
+  if (req->staged_shared) {
+    st.stats.zero_copy_bytes += req->status.bytes;
+  } else {
+    st.stats.copied_bytes += req->status.bytes;
+  }
+  if (status != nullptr) *status = req->status;
+  return std::move(req->staged);
 }
 
 void Comm::trace_end(Primitive op, int peer, int tag, std::size_t bytes,
@@ -287,8 +531,19 @@ Status Comm::wait_nocount(Request& request) {
     return Status{};
   }
 
-  runtime_->blocking_wait(lock, world_rank_, "Wait (Irecv)",
-                          [&rs] { return rs->done; });
+  try {
+    runtime_->blocking_wait(lock, world_rank_, "Wait (Irecv)",
+                            [&rs] { return rs->done; });
+  } catch (...) {
+    // See recv_bytes: never leave a sender copying into a buffer whose
+    // owner is unwinding, and never leave a dangling posted receive.
+    if (rs->copy_in_flight) {
+      while (!rs->done) runtime_->condvar().wait(lock);
+    } else if (!rs->done) {
+      std::erase(runtime_->mailbox(world_rank_).posted, rs);
+    }
+    throw;
+  }
   if (!rs->error.empty()) throw MpiError(rs->error);
   const double completion = std::max(st.clock, rs->completion_time);
   st.stats.sim_comm_seconds += completion - st.clock;
@@ -379,12 +634,10 @@ Status Comm::probe(int source, int tag) {
   detail::Mailbox& mb = runtime_->mailbox(world_rank_);
   const detail::Envelope* found = nullptr;
   auto find_match = [&]() -> bool {
-    for (const auto& env : mb.unexpected) {
-      if (detail::filters_match(source, tag, context_, /*internal=*/false,
-                                *env)) {
-        found = env.get();
-        return true;
-      }
+    if (auto m =
+            mb.unexpected.find(source, tag, context_, /*internal=*/false)) {
+      found = m->handle().get();
+      return true;
     }
     return false;
   };
@@ -406,11 +659,9 @@ std::optional<Status> Comm::iprobe(int source, int tag) {
 
   std::unique_lock<std::mutex> lock(runtime_->mutex());
   detail::Mailbox& mb = runtime_->mailbox(world_rank_);
-  for (const auto& env : mb.unexpected) {
-    if (detail::filters_match(source, tag, context_, /*internal=*/false,
-                              *env)) {
-      return Status{env->source, env->tag, env->payload.size()};
-    }
+  if (auto m = mb.unexpected.find(source, tag, context_, /*internal=*/false)) {
+    const auto& env = m->handle();
+    return Status{env->source, env->tag, env->payload.size()};
   }
   return std::nullopt;
 }

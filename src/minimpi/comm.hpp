@@ -71,8 +71,8 @@ class Comm {
   /// bytes of DRAM traffic.
   void sim_compute(double flops, double mem_bytes);
 
-  /// Advances this rank's simulated clock by a fixed duration (accounted as
-  /// compute time).
+  /// Advances this rank's simulated clock by a fixed duration, accounted
+  /// as idle/waiting time (CommStats::sim_idle_seconds), not kernel work.
   void sim_advance(double seconds);
 
   [[nodiscard]] const CommStats& stats() const { return state().stats; }
@@ -300,11 +300,8 @@ class Comm {
                  Op op) {
     count_call(Primitive::kAllreduce);
     const double t0 = wtime();
-    reduce_bytes(as_bytes(send_data),
-                 rank_ == 0 ? as_writable_bytes(recv_data)
-                            : std::span<std::byte>{},
-                 sizeof(T), make_reduce_fn<T>(op), /*root=*/0);
-    bcast_bytes(as_writable_bytes(recv_data), /*root=*/0);
+    allreduce_bytes(as_bytes(send_data), as_writable_bytes(recv_data),
+                    sizeof(T), make_reduce_fn<T>(op));
     trace_end(Primitive::kAllreduce, -1, 0, send_data.size_bytes(), t0);
   }
 
@@ -354,9 +351,13 @@ class Comm {
   friend RunResult run(int, const std::function<void(Comm&)>&,
                        RuntimeOptions);
 
+  /// Three-address byte-level reduction: out[i] = op(b[i], a[i]).  `out`
+  /// may alias `b` (in-place accumulate); `a` is never written, so adopted
+  /// zero-copy payloads can feed reductions directly.
   using ReduceFn =
-      std::function<void(const std::byte* in, std::byte* inout,
-                         std::size_t elems, std::size_t elem_size)>;
+      std::function<void(const std::byte* a, const std::byte* b,
+                         std::byte* out, std::size_t elems,
+                         std::size_t elem_size)>;
 
   /// World communicator for one rank.
   Comm(detail_runtime::Runtime* runtime, int rank)
@@ -394,15 +395,15 @@ class Comm {
   /// need no alignment guarantees.
   template <Trivial T, typename Op>
   static ReduceFn make_reduce_fn(Op op) {
-    return [op](const std::byte* in, std::byte* inout, std::size_t elems,
-                std::size_t elem_size) {
+    return [op](const std::byte* a, const std::byte* b, std::byte* out,
+                std::size_t elems, std::size_t elem_size) {
       for (std::size_t i = 0; i < elems; ++i) {
-        T a;
-        T b;
-        std::memcpy(&a, in + i * elem_size, sizeof(T));
-        std::memcpy(&b, inout + i * elem_size, sizeof(T));
-        const T r = op(b, a);  // inout = op(inout, in)
-        std::memcpy(inout + i * elem_size, &r, sizeof(T));
+        T x;
+        T y;
+        std::memcpy(&x, a + i * elem_size, sizeof(T));
+        std::memcpy(&y, b + i * elem_size, sizeof(T));
+        const T r = op(y, x);  // out = op(b, a)
+        std::memcpy(out + i * elem_size, &r, sizeof(T));
       }
     };
   }
@@ -429,6 +430,21 @@ class Comm {
   void validate_peer(int peer, const char* what) const;
   void validate_user_tag(int tag, const char* what) const;
 
+  // Zero-copy staging primitives for collective internals (comm.cpp).
+  // StagedBuffers ride the normal envelope path — same tags, sizes and
+  // simulated costs as plain sends — but the payload travels as a shared
+  // pooled buffer that every hop references instead of copying (when
+  // TransportOptions::zero_copy allows; otherwise they degrade to copies).
+  detail::StagedBuffer stage_acquire(std::size_t n);
+  detail::StagedBuffer stage_copy(std::span<const std::byte> src);
+  void send_staged(const detail::StagedBuffer& data, int dest, int tag);
+  detail::StagedBuffer recv_staged(int source, int tag,
+                                   Status* status = nullptr);
+
+  void count_algo(CollectiveAlgo a) {
+    ++state().stats.algo_uses[static_cast<std::size_t>(a)];
+  }
+
   // Collective building blocks (collectives.cpp).
   int next_collective_tag();
   void bcast_bytes(std::span<std::byte> data, int root);
@@ -450,6 +466,9 @@ class Comm {
                        std::span<std::byte> recv);
   void reduce_bytes(std::span<const std::byte> send, std::span<std::byte> recv,
                     std::size_t elem_size, const ReduceFn& op, int root);
+  void allreduce_bytes(std::span<const std::byte> send,
+                       std::span<std::byte> recv, std::size_t elem_size,
+                       const ReduceFn& op);
   void scan_bytes(std::span<const std::byte> send, std::span<std::byte> recv,
                   std::size_t elem_size, const ReduceFn& op);
   void alltoall_bytes(std::span<const std::byte> send,
@@ -461,6 +480,29 @@ class Comm {
                        std::span<const std::size_t> recv_counts,
                        std::span<const std::size_t> recv_displs,
                        std::size_t elem_size);
+
+  // Alternative collective algorithms (collectives.cpp).
+  void scatter_tree(std::span<const std::byte> send, std::span<std::byte> recv,
+                    int root, int tag);
+  void scatterv_tree(std::span<const std::byte> send,
+                     std::span<const std::size_t> counts,
+                     std::span<const std::size_t> displs,
+                     std::span<std::byte> recv, std::size_t elem_size,
+                     int root, int tag);
+  void gather_tree(std::span<const std::byte> send, std::span<std::byte> recv,
+                   int root, int tag);
+  void gatherv_tree(std::span<const std::byte> send,
+                    std::span<const std::size_t> counts,
+                    std::span<const std::size_t> displs,
+                    std::span<std::byte> recv, std::size_t elem_size,
+                    int root, int tag);
+  void allgather_ring(std::span<const std::byte> send,
+                      std::span<std::byte> recv);
+  void allreduce_rd(std::span<const std::byte> send, std::span<std::byte> recv,
+                    std::size_t elem_size, const ReduceFn& op);
+  void allreduce_ring(std::span<const std::byte> send,
+                      std::span<std::byte> recv, std::size_t elem_size,
+                      const ReduceFn& op);
 
   detail_runtime::Runtime* runtime_;
   int world_rank_;

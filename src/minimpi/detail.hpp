@@ -3,17 +3,124 @@
 // a shared handle to a RequestState.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <deque>
+#include <limits>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "minimpi/pool.hpp"
 #include "minimpi/stats.hpp"
 #include "minimpi/trace.hpp"
 #include "minimpi/types.hpp"
 
 namespace dipdc::minimpi::detail {
+
+/// Message payload with three storage strategies:
+///  - inline: small messages live in a fixed in-envelope array (no heap
+///    allocation on the eager fast path);
+///  - heap: a shared, pooled buffer (possibly a sub-range view of a larger
+///    buffer), letting receivers adopt the bytes without copying and
+///    letting collectives forward one buffer through many hops;
+///  - borrowed: a raw span of the sender's memory, used only for blocking
+///    rendezvous sends where the sender provably stays alive (blocked)
+///    until the receiver has consumed the bytes.
+class Payload {
+ public:
+  static constexpr std::size_t kMaxInline = 256;
+
+  Payload() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::byte* data() const {
+    switch (storage_) {
+      case Storage::kInline:
+        return inline_.data();
+      case Storage::kHeap:
+        return heap_->data() + offset_;
+      case Storage::kBorrowed:
+        return borrowed_;
+      case Storage::kEmpty:
+        break;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] std::span<const std::byte> view() const {
+    return {data(), size_};
+  }
+  void copy_to(std::byte* dst) const {
+    if (size_ != 0) std::memcpy(dst, data(), size_);
+  }
+
+  /// True when the bytes live in a shared heap buffer that a receiver can
+  /// adopt (refcount) instead of copying.
+  [[nodiscard]] bool shareable() const { return storage_ == Storage::kHeap; }
+  [[nodiscard]] const Buffer& buffer() const { return heap_; }
+  [[nodiscard]] std::size_t buffer_offset() const { return offset_; }
+  /// The shared heap range as a StagedBuffer (shareable() only).
+  [[nodiscard]] StagedBuffer share() const {
+    return StagedBuffer{heap_, offset_, size_};
+  }
+
+  static Payload inline_copy(std::span<const std::byte> src) {
+    Payload p;
+    if (src.empty()) return p;
+    p.storage_ = Storage::kInline;
+    p.size_ = src.size();
+    std::memcpy(p.inline_.data(), src.data(), src.size());
+    return p;
+  }
+  /// Copies `src` into `buf` (which must hold at least src.size() bytes).
+  static Payload owned(Buffer buf, std::span<const std::byte> src) {
+    Payload p;
+    p.storage_ = Storage::kHeap;
+    p.size_ = src.size();
+    p.heap_ = std::move(buf);
+    if (!src.empty()) std::memcpy(p.heap_->data(), src.data(), src.size());
+    return p;
+  }
+  /// Shares an existing buffer range without copying.
+  static Payload shared_view(const StagedBuffer& sb) {
+    Payload p;
+    p.storage_ = Storage::kHeap;
+    p.size_ = sb.len;
+    p.offset_ = sb.offset;
+    p.heap_ = sb.storage;
+    return p;
+  }
+  static Payload borrowed_from(std::span<const std::byte> src) {
+    Payload p;
+    p.storage_ = Storage::kBorrowed;
+    p.size_ = src.size();
+    p.borrowed_ = src.data();
+    return p;
+  }
+
+  void reset() {
+    storage_ = Storage::kEmpty;
+    size_ = 0;
+    offset_ = 0;
+    borrowed_ = nullptr;
+    heap_.reset();
+  }
+
+ private:
+  enum class Storage : std::uint8_t { kEmpty, kInline, kHeap, kBorrowed };
+
+  Storage storage_ = Storage::kEmpty;
+  std::size_t size_ = 0;
+  std::size_t offset_ = 0;
+  const std::byte* borrowed_ = nullptr;
+  Buffer heap_;
+  std::array<std::byte, kMaxInline> inline_;
+};
 
 /// One in-flight message.  Created by the sender under the runtime lock;
 /// consumed by the receiver (or matched against a posted receive by the
@@ -23,10 +130,18 @@ struct Envelope {
   int dest = 0;     // destination *world* rank (mailbox index)
   int tag = 0;
   int context = 0;  // communicator id: 0 = world, >0 = split comms
-  std::vector<std::byte> payload;
+  Payload payload;
   bool rendezvous = false;  // sender blocks until matched
   bool matched = false;     // receiver has consumed the payload
   bool internal = false;    // collective-internal traffic
+  /// A receiver popped this envelope and is copying the payload out
+  /// without holding the runtime lock; `matched` follows shortly.  An
+  /// unwinding sender must wait for the flag to clear before it may free a
+  /// borrowed payload.
+  bool consume_in_flight = false;
+  /// Mailbox arrival order, stamped by UnexpectedQueue::push (wildcard-tag
+  /// receives must match the earliest arrival across all tag buckets).
+  std::uint64_t seq = 0;
   /// Simulated time at which the head of the message reaches the
   /// destination (sender clock at send + latency).
   double arrival_head = 0.0;
@@ -37,6 +152,13 @@ struct Envelope {
   /// Receiver clock immediately after the matching receive; a rendezvous
   /// sender synchronises its own clock to this value.
   double completion_time = 0.0;
+
+  void reset() {
+    payload.reset();
+    rendezvous = matched = internal = consume_in_flight = false;
+    seq = 0;
+    arrival_head = byte_time = completion_time = 0.0;
+  }
 };
 
 /// State behind a Request handle: a posted non-blocking receive, or the
@@ -59,6 +181,19 @@ struct RequestState {
   int context = 0;
   bool internal = false;
   double post_time = 0.0;
+  /// A sender matched this request and is copying the payload into
+  /// `buffer` without holding the runtime lock; `done` follows shortly.
+  /// An unwinding receiver must wait for the flag to clear before its
+  /// buffer may go out of scope.
+  bool copy_in_flight = false;
+
+  // Staged-receive fields (collective-internal zero-copy path): when
+  // `want_staged`, the matching sender parks the payload here — a shared
+  // view when the payload is a heap buffer and zero-copy is on, a pooled
+  // copy otherwise — instead of copying into `buffer`.
+  bool want_staged = false;
+  bool staged_shared = false;  // true when adopted without a copy
+  StagedBuffer staged;
 
   // Send fields.
   std::shared_ptr<Envelope> envelope;
@@ -82,10 +217,103 @@ struct RankState {
   std::vector<TraceEvent> trace;  // populated when record_trace is on
 };
 
+/// Unexpected-message queue indexed by (context, tag) so exact-tag receives
+/// probe one bucket instead of scanning every queued message.  Arrival
+/// order across buckets is preserved through per-envelope sequence numbers:
+/// wildcard-tag receives take the lowest sequence number among matching
+/// heads, which is exactly the arrival-order semantics of a single FIFO.
+struct UnexpectedQueue {
+  using Queue = std::deque<std::shared_ptr<Envelope>>;
+
+  std::unordered_map<std::uint64_t, Queue> buckets;
+  std::uint64_t next_seq = 0;
+
+  static std::uint64_t key(int context, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(context))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  /// Handle to a matched envelope; valid until the queue is next modified.
+  struct Match {
+    Queue* queue = nullptr;
+    std::size_t index = 0;
+    std::uint64_t bucket_key = 0;
+
+    [[nodiscard]] const std::shared_ptr<Envelope>& handle() const {
+      return (*queue)[index];
+    }
+  };
+
+  void push(const std::shared_ptr<Envelope>& env) {
+    env->seq = next_seq++;
+    buckets[key(env->context, env->tag)].push_back(env);
+  }
+
+  /// Earliest-arrival envelope matching the filters.
+  [[nodiscard]] std::optional<Match> find(int source_filter, int tag_filter,
+                                          int context, bool internal) {
+    if (tag_filter != kAnyTag) {
+      const std::uint64_t k = key(context, tag_filter);
+      auto it = buckets.find(k);
+      if (it == buckets.end()) return std::nullopt;
+      Queue& q = it->second;
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        if (filters_match(source_filter, tag_filter, context, internal,
+                          *q[i])) {
+          return Match{&q, i, k};
+        }
+      }
+      return std::nullopt;
+    }
+    // Wildcard tag: first matching entry of each bucket is that bucket's
+    // earliest candidate; pick the globally earliest arrival.
+    std::optional<Match> best;
+    std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+    for (auto& [k, q] : buckets) {
+      if (static_cast<int>(static_cast<std::int32_t>(k >> 32)) != context) {
+        continue;
+      }
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        if (!filters_match(source_filter, tag_filter, context, internal,
+                           *q[i])) {
+          continue;
+        }
+        if (q[i]->seq < best_seq) {
+          best_seq = q[i]->seq;
+          best = Match{&q, i, k};
+        }
+        break;  // later entries in this bucket arrived later
+      }
+    }
+    return best;
+  }
+
+  void erase(const Match& m) {
+    m.queue->erase(m.queue->begin() + static_cast<std::ptrdiff_t>(m.index));
+    if (m.queue->empty()) buckets.erase(m.bucket_key);
+  }
+
+  /// Removes a specific envelope (sender unwind path); false if absent.
+  bool remove(const Envelope* env) {
+    auto it = buckets.find(key(env->context, env->tag));
+    if (it == buckets.end()) return false;
+    Queue& q = it->second;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (q[i].get() == env) {
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        if (q.empty()) buckets.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
 /// Per-rank mailbox: messages not yet matched by a receive, and receives
 /// not yet matched by a message.
 struct Mailbox {
-  std::deque<std::shared_ptr<Envelope>> unexpected;
+  UnexpectedQueue unexpected;
   std::deque<std::shared_ptr<RequestState>> posted;
   /// Simulated time until which this rank's ingress link is occupied by
   /// previously received payloads (receiver-side serialization).

@@ -7,6 +7,62 @@
 
 namespace dipdc::minimpi {
 
+/// Transport fast-path tuning.  None of these settings change simulated
+/// results — they only control how much real-world work (allocation,
+/// memcpy) the transport performs per message, and are toggleable exactly
+/// so tests can prove sim-neutrality by comparing runs bit-for-bit.
+struct TransportOptions {
+  /// Payloads of at most this many bytes are stored inline in the pooled
+  /// envelope (no payload buffer at all).  Clamped to
+  /// detail::Payload::kMaxInline (256).
+  std::size_t inline_threshold = 256;
+
+  /// Recycle payload buffers and envelopes through freelists instead of
+  /// allocating per message.
+  bool pooling = true;
+
+  /// Allow zero-copy payload handoff: blocking rendezvous senders lend
+  /// their buffer to the envelope, and collective-internal receivers adopt
+  /// shared payload buffers instead of copying them out.
+  bool zero_copy = true;
+};
+
+/// Per-collective algorithm override.  kAuto picks by communicator size
+/// and payload volume under the simulator's cost model (see the thresholds
+/// in CollectiveOptions); the specific values force one algorithm where it
+/// applies and fall back to the classic one where it does not.
+enum class CollectiveAlgorithm {
+  kAuto,
+  kClassic,            // the seed algorithms (linear roots, reduce+bcast)
+  kTree,               // binomial tree (scatter/scatterv/gather/gatherv)
+  kRecursiveDoubling,  // allreduce
+  kRing,               // allreduce (Rabenseifner), allgather
+};
+
+struct CollectiveOptions {
+  CollectiveAlgorithm scatter = CollectiveAlgorithm::kAuto;  // + scatterv
+  CollectiveAlgorithm gather = CollectiveAlgorithm::kAuto;   // + gatherv
+  CollectiveAlgorithm allreduce = CollectiveAlgorithm::kAuto;
+  CollectiveAlgorithm allgather = CollectiveAlgorithm::kAuto;
+
+  /// kAuto picks binomial-tree scatter/gather only at or above this rank
+  /// count: under this simulator's LogGP model an eager sender pays only
+  /// its injection overhead per message, so the linear root loop is
+  /// sim-optimal until (p-1)*o outweighs the extra tree latency depth.
+  int tree_rank_threshold = 48;
+
+  /// kAuto allreduce: payloads of at least this many bytes use recursive
+  /// doubling; smaller ones keep the seed reduce+bcast so that existing
+  /// module timings stay bit-identical.
+  std::size_t allreduce_rd_threshold = 512;
+  /// kAuto allreduce: payloads of at least this many bytes (with p >= 4)
+  /// use Rabenseifner reduce-scatter + ring allgather.
+  std::size_t allreduce_ring_threshold = 64 * 1024;
+  /// kAuto allgather: total gathered volume of at least this many bytes
+  /// (with p >= 4) uses the ring algorithm.
+  std::size_t allgather_ring_threshold = 64 * 1024;
+};
+
 struct RuntimeOptions {
   /// Messages of at most this many payload bytes are sent eagerly: the
   /// sender buffers and returns immediately (like MPI's eager protocol).
@@ -30,6 +86,12 @@ struct RuntimeOptions {
   /// Record a TraceEvent for every user-level operation (see trace.hpp);
   /// RunResult::trace carries the merged log.
   bool record_trace = false;
+
+  /// Transport fast-path tuning (sim-neutral).
+  TransportOptions transport{};
+
+  /// Collective algorithm selection (changes simulated message patterns).
+  CollectiveOptions collectives{};
 };
 
 }  // namespace dipdc::minimpi

@@ -46,47 +46,91 @@ Runtime::Runtime(int nranks, RuntimeOptions options)
       cost_(make_cost_model(options_, nranks)),
       nranks_(nranks),
       alive_(nranks),
+      buffer_pool_(
+          std::make_shared<detail::BufferPool>(options_.transport.pooling)),
+      envelope_pool_(
+          std::make_shared<detail::EnvelopePool>(options_.transport.pooling)),
       mailboxes_(static_cast<std::size_t>(nranks)),
       rank_states_(static_cast<std::size_t>(nranks)) {
   DIPDC_REQUIRE(nranks > 0, "world size must be positive");
 }
 
-void Runtime::deliver_locked(const std::shared_ptr<detail::Envelope>& env) {
+std::shared_ptr<detail::RequestState> Runtime::deliver_locked(
+    const std::shared_ptr<detail::Envelope>& env) {
+  // Payloads up to this size are copied while holding the lock (one lock
+  // round-trip); larger ones are copied by the caller outside the lock.
+  constexpr std::size_t kLockedCopyMax = 4096;
+
   detail::Mailbox& mb = mailbox(env->dest);
   for (auto it = mb.posted.begin(); it != mb.posted.end(); ++it) {
-    detail::RequestState& req = **it;
-    if (!detail::filters_match(req.source_filter, req.tag_filter,
-                               req.context, req.internal, *env)) {
+    const std::shared_ptr<detail::RequestState> req = *it;
+    if (!detail::filters_match(req->source_filter, req->tag_filter,
+                               req->context, req->internal, *env)) {
       continue;
     }
-    if (env->payload.size() > req.capacity) {
-      std::ostringstream os;
-      os << "message truncation: rank " << env->dest << " posted a "
-         << req.capacity << "-byte receive but rank " << env->source
-         << " sent " << env->payload.size() << " bytes (tag " << env->tag
-         << ")";
-      req.error = os.str();
-    } else {
-      std::copy(env->payload.begin(), env->payload.end(), req.buffer);
-    }
-    req.status = Status{env->source, env->tag, env->payload.size()};
+    req->status = Status{env->source, env->tag, env->payload.size()};
     // Receiver-side link serialization: the payload streams in only after
     // the receive is posted, the head arrives, and the ingress link is
     // free from earlier messages.
-    const double start = std::max({req.post_time, env->arrival_head,
+    const double start = std::max({req->post_time, env->arrival_head,
                                    mb.link_busy_until});
     const double completion = start + env->byte_time;
     mb.link_busy_until = completion;
-    req.completion_time = completion;
+    req->completion_time = completion;
     env->completion_time = completion;
-    env->matched = true;
-    req.done = true;
     mb.posted.erase(it);
-    cv_.notify_all();
-    return;
+
+    if (req->want_staged) {
+      // Collective-internal staged receive: adopt the shared payload
+      // buffer when allowed, otherwise park a pooled copy.  Non-shareable
+      // internal payloads are inline (<= Payload::kMaxInline bytes), so
+      // the fallback copy under the lock is cheap.
+      if (options_.transport.zero_copy && env->payload.shareable()) {
+        req->staged = env->payload.share();
+        req->staged_shared = true;
+      } else if (env->payload.size() > 0) {
+        detail::Buffer buf =
+            buffer_pool_->acquire(env->payload.size(), nullptr);
+        env->payload.copy_to(buf->data());
+        req->staged =
+            detail::StagedBuffer{std::move(buf), 0, env->payload.size()};
+      }
+      env->matched = true;
+      req->done = true;
+      cv_.notify_all();
+      return nullptr;
+    }
+
+    if (env->payload.size() > req->capacity) {
+      std::ostringstream os;
+      os << "message truncation: rank " << env->dest << " posted a "
+         << req->capacity << "-byte receive but rank " << env->source
+         << " sent " << env->payload.size() << " bytes (tag " << env->tag
+         << ")";
+      req->error = os.str();
+      env->matched = true;
+      req->done = true;
+      cv_.notify_all();
+      return nullptr;
+    }
+
+    if (env->payload.size() <= kLockedCopyMax) {
+      env->payload.copy_to(req->buffer);
+      env->matched = true;
+      req->done = true;
+      cv_.notify_all();
+      return nullptr;
+    }
+
+    // Defer the large memcpy to the caller, outside the lock.  The flag
+    // keeps the receiver from unwinding (on abort) while its buffer is
+    // still being written.
+    req->copy_in_flight = true;
+    return req;
   }
-  mb.unexpected.push_back(env);
+  mb.unexpected.push(env);
   cv_.notify_all();
+  return nullptr;
 }
 
 void Runtime::blocking_wait(std::unique_lock<std::mutex>& lock, int rank,

@@ -60,9 +60,22 @@ class Runtime {
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
   [[nodiscard]] const perfmodel::CostModel& cost() const { return cost_; }
 
+  /// Pooled payload/envelope storage (thread-safe, own locks).
+  detail::BufferPool& buffer_pool() { return *buffer_pool_; }
+  [[nodiscard]] std::shared_ptr<detail::Envelope> acquire_envelope() {
+    return envelope_pool_->acquire();
+  }
+
   /// Delivers an envelope: matches a posted receive if possible, otherwise
   /// queues it as unexpected.  Lock must be held.
-  void deliver_locked(const std::shared_ptr<detail::Envelope>& env);
+  ///
+  /// Returns non-null when the envelope matched a posted receive whose
+  /// payload copy was deferred: the caller must release the lock, copy the
+  /// payload into the request's buffer, re-acquire the lock, clear
+  /// copy_in_flight, set req->done and env->matched, and notify.  (Large
+  /// memcpys are kept outside the global lock this way.)
+  [[nodiscard]] std::shared_ptr<detail::RequestState> deliver_locked(
+      const std::shared_ptr<detail::Envelope>& env);
 
   /// Blocks `rank` until pred() holds.  Lock must be held (and is released
   /// while sleeping).  Throws DeadlockError/AbortError on global failure.
@@ -101,6 +114,10 @@ class Runtime {
   perfmodel::CostModel cost_;
   int nranks_;
   int alive_;
+  // Shared so that buffer/envelope deleters (which capture the pool) stay
+  // valid even if they run after the Runtime is gone.
+  std::shared_ptr<detail::BufferPool> buffer_pool_;
+  std::shared_ptr<detail::EnvelopePool> envelope_pool_;
   std::vector<detail::Mailbox> mailboxes_;
   std::vector<detail::RankState> rank_states_;
   std::atomic<int> next_context_{1};

@@ -1,5 +1,7 @@
 #include "minimpi/stats.hpp"
 
+#include <sstream>
+
 namespace dipdc::minimpi {
 
 CommStats& CommStats::operator+=(const CommStats& other) {
@@ -12,9 +14,42 @@ CommStats& CommStats::operator+=(const CommStats& other) {
   p2p_messages_received += other.p2p_messages_received;
   transport_bytes_sent += other.transport_bytes_sent;
   transport_messages_sent += other.transport_messages_sent;
+  pool_hits += other.pool_hits;
+  pool_misses += other.pool_misses;
+  inline_messages += other.inline_messages;
+  zero_copy_bytes += other.zero_copy_bytes;
+  copied_bytes += other.copied_bytes;
+  rendezvous_stalls += other.rendezvous_stalls;
+  for (std::size_t i = 0; i < kCollectiveAlgoCount; ++i) {
+    algo_uses[i] += other.algo_uses[i];
+  }
   sim_compute_seconds += other.sim_compute_seconds;
   sim_comm_seconds += other.sim_comm_seconds;
+  sim_idle_seconds += other.sim_idle_seconds;
   return *this;
+}
+
+std::string transport_report(const CommStats& stats) {
+  std::ostringstream os;
+  os << "transport: " << stats.transport_messages_sent << " messages, "
+     << stats.transport_bytes_sent << " bytes\n";
+  os << "  payload pool: " << stats.pool_hits << " hits, "
+     << stats.pool_misses << " misses\n";
+  os << "  inline messages: " << stats.inline_messages << "\n";
+  os << "  bytes zero-copy: " << stats.zero_copy_bytes
+     << ", copied: " << stats.copied_bytes << "\n";
+  os << "  rendezvous stalls: " << stats.rendezvous_stalls << "\n";
+  bool any_algo = false;
+  for (std::size_t i = 0; i < kCollectiveAlgoCount; ++i) {
+    if (stats.algo_uses[i] == 0) continue;
+    if (!any_algo) {
+      os << "collective algorithms (rank-invocations):\n";
+      any_algo = true;
+    }
+    os << "  " << collective_algo_name(static_cast<CollectiveAlgo>(i))
+       << ": " << stats.algo_uses[i] << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace dipdc::minimpi

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "minimpi/types.hpp"
 
@@ -30,17 +31,47 @@ struct CommStats {
   std::uint64_t transport_bytes_sent = 0;
   std::uint64_t transport_messages_sent = 0;
 
+  // ---- Transport fast-path counters (real-world behaviour; none of these
+  // affect simulated results) ----------------------------------------------
+
+  /// Payload buffer pool reuse vs. fresh allocations.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  /// Messages whose payload fit in the envelope's inline storage.
+  std::uint64_t inline_messages = 0;
+  /// Payload bytes handed off without a memcpy (borrowed rendezvous
+  /// buffers, shared staging buffers, adopted receives) vs. memcpy'd.
+  std::uint64_t zero_copy_bytes = 0;
+  std::uint64_t copied_bytes = 0;
+  /// Rendezvous sends that actually blocked waiting for the receiver (as
+  /// opposed to matching an already-posted receive immediately).
+  std::uint64_t rendezvous_stalls = 0;
+
+  /// Collective algorithm selection, one count per participating rank per
+  /// invocation (index by CollectiveAlgo).
+  std::array<std::uint64_t, kCollectiveAlgoCount> algo_uses{};
+
   /// Simulated time (seconds) spent in compute kernels vs. blocked in or
-  /// advancing through communication.
+  /// advancing through communication vs. explicitly idled via
+  /// Comm::sim_advance.
   double sim_compute_seconds = 0.0;
   double sim_comm_seconds = 0.0;
+  double sim_idle_seconds = 0.0;
 
   [[nodiscard]] std::uint64_t calls_to(Primitive p) const {
     return calls[static_cast<std::size_t>(p)];
   }
 
+  [[nodiscard]] std::uint64_t algo_count(CollectiveAlgo a) const {
+    return algo_uses[static_cast<std::size_t>(a)];
+  }
+
   /// Element-wise sum, used to aggregate across ranks.
   CommStats& operator+=(const CommStats& other);
 };
+
+/// Multi-line human-readable report of the transport fast-path counters
+/// and collective algorithm selection (zero-count rows are omitted).
+std::string transport_report(const CommStats& stats);
 
 }  // namespace dipdc::minimpi

@@ -16,4 +16,22 @@ std::string_view primitive_name(Primitive p) {
   return idx < names.size() ? names[idx] : std::string_view{"?"};
 }
 
+std::string_view collective_algo_name(CollectiveAlgo a) {
+  static constexpr std::array<std::string_view, kCollectiveAlgoCount> names =
+      {
+          "barrier/dissemination", "bcast/binomial",
+          "scatter/linear",        "scatter/binomial",
+          "scatterv/linear",       "scatterv/binomial",
+          "gather/linear",         "gather/binomial",
+          "gatherv/linear",        "gatherv/binomial",
+          "allgather/gather+bcast", "allgather/ring",
+          "reduce/binomial",       "allreduce/reduce+bcast",
+          "allreduce/recursive-doubling", "allreduce/rabenseifner",
+          "alltoall/pairwise",     "alltoallv/pairwise",
+          "scan/linear",
+      };
+  const auto idx = static_cast<std::size_t>(a);
+  return idx < names.size() ? names[idx] : std::string_view{"?"};
+}
+
 }  // namespace dipdc::minimpi

@@ -67,4 +67,38 @@ inline constexpr std::size_t kPrimitiveCount =
 /// Human-readable primitive name ("MPI_Send" style, matching the paper).
 std::string_view primitive_name(Primitive p);
 
+/// Concrete algorithm executed for one collective invocation; counted per
+/// rank in CommStats::algo_uses so benches/tests can verify which code path
+/// ran at a given size.  Composite collectives also count their building
+/// blocks (e.g. a reduce+bcast allreduce bumps kReduceBinomial and
+/// kBcastBinomial too).
+enum class CollectiveAlgo : std::size_t {
+  kBarrierDissemination,
+  kBcastBinomial,
+  kScatterLinear,
+  kScatterBinomial,
+  kScattervLinear,
+  kScattervBinomial,
+  kGatherLinear,
+  kGatherBinomial,
+  kGathervLinear,
+  kGathervBinomial,
+  kAllgatherGatherBcast,
+  kAllgatherRing,
+  kReduceBinomial,
+  kAllreduceReduceBcast,
+  kAllreduceRecursiveDoubling,
+  kAllreduceRabenseifner,
+  kAlltoallPairwise,
+  kAlltoallvPairwise,
+  kScanLinear,
+  kCount,  // sentinel
+};
+
+inline constexpr std::size_t kCollectiveAlgoCount =
+    static_cast<std::size_t>(CollectiveAlgo::kCount);
+
+/// Human-readable algorithm name ("bcast/binomial" style).
+std::string_view collective_algo_name(CollectiveAlgo a);
+
 }  // namespace dipdc::minimpi

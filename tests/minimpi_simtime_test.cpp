@@ -252,11 +252,12 @@ TEST(SimTime, WtimeIsMonotoneThroughOperations) {
       simple_machine());
 }
 
-TEST(SimTime, CommAndComputeSecondsPartitionTheClock) {
+TEST(SimTime, CommComputeAndIdleSecondsPartitionTheClock) {
   const auto result = mpi::run(
       2,
       [](mpi::Comm& comm) {
-        comm.sim_advance(0.125);
+        comm.sim_compute(1e8, 0.0);  // kernel work -> sim_compute_seconds
+        comm.sim_advance(0.125);     // explicit advance -> sim_idle_seconds
         if (comm.rank() == 0) {
           comm.send_value(1, 1);
         } else {
@@ -267,10 +268,12 @@ TEST(SimTime, CommAndComputeSecondsPartitionTheClock) {
   for (const auto& s : result.rank_stats) {
     EXPECT_GT(s.sim_compute_seconds, 0.0);
     EXPECT_GT(s.sim_comm_seconds, 0.0);
+    EXPECT_NEAR(s.sim_idle_seconds, 0.125, 1e-12);
   }
   for (std::size_t r = 0; r < result.sim_times.size(); ++r) {
     EXPECT_NEAR(result.rank_stats[r].sim_compute_seconds +
-                    result.rank_stats[r].sim_comm_seconds,
+                    result.rank_stats[r].sim_comm_seconds +
+                    result.rank_stats[r].sim_idle_seconds,
                 result.sim_times[r], 1e-12);
   }
 }

@@ -1,0 +1,114 @@
+// The transport fast path and the collective-algorithm dispatch are
+// real-world optimizations only: the modules' simulated experiments must be
+// bit-identical with every fast-path feature disabled and with every
+// collective forced onto the classic (seed) algorithm.  This pins the
+// "before/after the transport rewrite" contract for Module 2 (distance
+// matrix) and Module 5 (k-means).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dataio/dataset.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/distmatrix/module2.hpp"
+#include "modules/kmeans/module5.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace io = dipdc::dataio;
+namespace m2 = dipdc::modules::distmatrix;
+namespace m5 = dipdc::modules::kmeans;
+
+namespace {
+
+/// The seed's behaviour: no pooling, no zero-copy, no inline storage, and
+/// every collective on its classic algorithm.
+mpi::RuntimeOptions seed_equivalent() {
+  mpi::RuntimeOptions opts;
+  opts.transport.pooling = false;
+  opts.transport.zero_copy = false;
+  opts.transport.inline_threshold = 0;
+  opts.collectives.scatter = mpi::CollectiveAlgorithm::kClassic;
+  opts.collectives.gather = mpi::CollectiveAlgorithm::kClassic;
+  opts.collectives.allreduce = mpi::CollectiveAlgorithm::kClassic;
+  opts.collectives.allgather = mpi::CollectiveAlgorithm::kClassic;
+  return opts;
+}
+
+std::vector<mpi::RuntimeOptions> transport_variants() {
+  std::vector<mpi::RuntimeOptions> variants;
+  variants.push_back({});  // defaults: full fast path, kAuto collectives
+  variants.push_back(seed_equivalent());
+  mpi::RuntimeOptions pool_only;
+  pool_only.transport.zero_copy = false;
+  variants.push_back(pool_only);
+  mpi::RuntimeOptions share_only;
+  share_only.transport.pooling = false;
+  variants.push_back(share_only);
+  return variants;
+}
+
+}  // namespace
+
+TEST(Determinism, Module2SimTimeAndChecksumAreTransportInvariant) {
+  const auto d = io::generate_uniform(96, 16, 0.0, 1.0, 11);
+  m2::Config cfg;
+  cfg.tile = 24;
+
+  std::vector<m2::Result> results;
+  for (const auto& opts : transport_variants()) {
+    m2::Result at_root{};
+    mpi::run(
+        4,
+        [&](mpi::Comm& comm) {
+          const auto r = m2::run_distributed(comm, d, cfg);
+          if (comm.rank() == 0) at_root = r;
+        },
+        opts);
+    results.push_back(at_root);
+  }
+
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    // Bit-identical, hence EXPECT_EQ on doubles, not EXPECT_NEAR.
+    EXPECT_EQ(results[i].checksum, results[0].checksum) << "variant " << i;
+    EXPECT_EQ(results[i].sim_time, results[0].sim_time) << "variant " << i;
+    EXPECT_EQ(results[i].compute_time, results[0].compute_time)
+        << "variant " << i;
+    EXPECT_EQ(results[i].comm_time, results[0].comm_time) << "variant " << i;
+  }
+}
+
+TEST(Determinism, Module5SimTimeAndInertiaAreTransportInvariant) {
+  const auto d = io::generate_clusters(1500, 2, 4, 0.3, 0.0, 50.0, 17);
+
+  for (const auto strategy : {m5::Strategy::kWeightedMeans,
+                              m5::Strategy::kExplicitAssignments}) {
+    m5::Config cfg;
+    cfg.k = 4;
+    cfg.strategy = strategy;
+
+    std::vector<m5::Result> results;
+    for (const auto& opts : transport_variants()) {
+      m5::Result at_root{};
+      mpi::run(
+          5,
+          [&](mpi::Comm& comm) {
+            const auto r = m5::distributed(
+                comm, comm.rank() == 0 ? d.data : io::Dataset{}, cfg);
+            if (comm.rank() == 0) at_root = r;
+          },
+          opts);
+      results.push_back(at_root);
+    }
+
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].centroids, results[0].centroids)
+          << "variant " << i;
+      EXPECT_EQ(results[i].inertia, results[0].inertia) << "variant " << i;
+      EXPECT_EQ(results[i].iterations, results[0].iterations)
+          << "variant " << i;
+      EXPECT_EQ(results[i].sim_time, results[0].sim_time) << "variant " << i;
+      EXPECT_EQ(results[i].comm_bytes, results[0].comm_bytes)
+          << "variant " << i;
+    }
+  }
+}

@@ -14,7 +14,8 @@
 //   dipdc module7 --ranks=8 --tokens=1000000 --partition=hash
 //   dipdc warmup  --ranks=8
 //
-// Global options: --ranks, --nodes, --seed, --timeline (print the trace).
+// Global options: --ranks, --nodes, --seed, --timeline (print the
+// trace), --transport-stats (print the transport fast-path counters).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -47,6 +48,7 @@ struct Common {
   int nodes = 1;
   std::uint64_t seed = 1;
   bool timeline = false;
+  bool transport_stats = false;
 };
 
 mpi::RuntimeOptions options_for(const Common& c) {
@@ -56,7 +58,11 @@ mpi::RuntimeOptions options_for(const Common& c) {
   return opts;
 }
 
-void maybe_timeline(const Common& c, const mpi::RunResult& result) {
+void maybe_reports(const Common& c, const mpi::RunResult& result) {
+  if (c.transport_stats) {
+    std::printf("\n%s",
+                mpi::transport_report(result.total_stats()).c_str());
+  }
   if (!c.timeline) return;
   std::printf("\n%s", mpi::render_timeline(result.trace, c.ranks,
                                            result.max_sim_time())
@@ -104,7 +110,7 @@ int run_module1(const ArgParser& args, const Common& c) {
         }
       },
       options_for(c));
-  maybe_timeline(c, result);
+  maybe_reports(c, result);
   return 0;
 }
 
@@ -136,7 +142,7 @@ int run_module2(const ArgParser& args, const Common& c) {
                 percent(r.miss_rate).c_str(),
                 bytes(static_cast<std::uint64_t>(r.dram_bytes)).c_str());
   }
-  maybe_timeline(c, result);
+  maybe_reports(c, result);
   return 0;
 }
 
@@ -172,7 +178,7 @@ int run_module3(const ArgParser& args, const Common& c) {
                                                            : "equal-width",
               r.globally_sorted ? "yes" : "NO", r.imbalance,
               seconds(r.sim_time).c_str());
-  maybe_timeline(c, result);
+  maybe_reports(c, result);
   return 0;
 }
 
@@ -207,7 +213,7 @@ int run_module4(const ArgParser& args, const Common& c) {
               engine_name.c_str(),
               static_cast<unsigned long long>(r.total_matches),
               count(r.entries_checked).c_str(), seconds(r.sim_time).c_str());
-  maybe_timeline(c, result);
+  maybe_reports(c, result);
   return 0;
 }
 
@@ -237,7 +243,7 @@ int run_module5(const ArgParser& args, const Common& c) {
                                                            : "explicit",
               r.iterations, r.inertia, seconds(r.compute_time).c_str(),
               seconds(r.comm_time).c_str(), bytes(r.comm_bytes).c_str());
-  maybe_timeline(c, result);
+  maybe_reports(c, result);
   return 0;
 }
 
@@ -264,7 +270,7 @@ int run_module6(const ArgParser& args, const Common& c) {
                                                         : "blocking",
               r.checksum, seconds(r.sim_time).c_str(),
               seconds(r.comm_time).c_str());
-  maybe_timeline(c, result);
+  maybe_reports(c, result);
   return 0;
 }
 
@@ -299,7 +305,7 @@ int run_module7(const ArgParser& args, const Common& c) {
               n, static_cast<unsigned long long>(r.global_total),
               static_cast<unsigned long long>(r.shuffle_tuples_sent),
               r.reducer_imbalance, seconds(r.sim_time).c_str());
-  maybe_timeline(c, result);
+  maybe_reports(c, result);
   return 0;
 }
 
@@ -317,7 +323,7 @@ int run_warmup(const ArgParser& /*args*/, const Common& c) {
         }
       },
       options_for(c));
-  maybe_timeline(c, result);
+  maybe_reports(c, result);
   return 0;
 }
 
@@ -326,6 +332,7 @@ void usage() {
       "usage: dipdc <module1|module2|module3|module4|module5|module6|"
       "module7|warmup> [options]\n"
       "global options: --ranks=N --nodes=N --seed=N --timeline\n"
+      "                --transport-stats\n"
       "run 'dipdc <module>' with defaults to see its output shape; see the\n"
       "header of tools/dipdc.cpp for per-module options.\n");
 }
@@ -339,6 +346,7 @@ int main(int argc, char** argv) {
   c.nodes = static_cast<int>(args.get_int("nodes", 1));
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   c.timeline = args.get_bool("timeline", false);
+  c.transport_stats = args.get_bool("transport-stats", false);
 
   try {
     const std::string& cmd = args.command();
