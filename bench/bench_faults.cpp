@@ -1,0 +1,110 @@
+// Fault-injection sweep: drop probability vs. send_reliable retry budget.
+//
+// Every worker rank pushes a fixed stream of reliable messages to rank 0
+// while the injector drops each user p2p frame with probability P.  The
+// sweep shows two expected shapes (EXPERIMENTS.md):
+//   - the success region grows with the retry budget: budget K survives a
+//     drop probability of roughly P < 1 - (1/K)^(1/K) per frame, so the
+//     "FAILED" cells retreat to the right as K rises;
+//   - recovery is not free: simulated completion time grows with the
+//     injected drop rate (each drop costs one ack timeout + retransmit).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/error.hpp"
+#include "minimpi/runtime.hpp"
+#include "support/format.hpp"
+
+namespace mpi = dipdc::minimpi;
+using namespace dipdc::support;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kMessagesPerWorker = 32;
+
+struct Cell {
+  bool ok = false;
+  mpi::CommStats stats{};
+  double sim_time = 0.0;
+  std::string error;
+};
+
+Cell run_cell(double drop_prob, int retry_budget) {
+  mpi::RuntimeOptions opts;
+  opts.faults.seed = 42;
+  opts.faults.drop_prob = drop_prob;
+  opts.reliable.max_retries = retry_budget;
+
+  Cell cell;
+  try {
+    const auto result = mpi::run(
+        kRanks,
+        [](mpi::Comm& comm) {
+          if (comm.rank() == 0) {
+            // Round-robin over the workers so the ack streams interleave.
+            for (int i = 0; i < kMessagesPerWorker; ++i) {
+              for (int src = 1; src < comm.size(); ++src) {
+                const int v = comm.recv_reliable_value<int>(src, 3);
+                if (v != src * 10000 + i) {
+                  throw mpi::MpiError("payload corrupted in transit");
+                }
+              }
+            }
+          } else {
+            for (int i = 0; i < kMessagesPerWorker; ++i) {
+              comm.send_reliable_value(comm.rank() * 10000 + i, 0, 3);
+            }
+          }
+        },
+        opts);
+    cell.ok = true;
+    cell.stats = result.total_stats();
+    cell.sim_time = result.max_sim_time();
+  } catch (const std::exception& e) {
+    cell.error = e.what();
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> drops = {0.0, 0.05, 0.1, 0.2, 0.4};
+  const std::vector<int> budgets = {0, 1, 2, 4, 8};
+
+  std::printf("Reliable delivery under injected loss: %d ranks, %d reliable "
+              "messages per worker, fault seed 42\n\n",
+              kRanks, kMessagesPerWorker);
+  std::printf("%6s %7s %8s %8s %9s %7s %10s  %s\n", "drop", "budget",
+              "outcome", "drops", "retries", "timeouts", "dups-filt",
+              "max sim time");
+  for (const int budget : budgets) {
+    for (const double drop : drops) {
+      const Cell cell = run_cell(drop, budget);
+      if (cell.ok) {
+        std::printf("%6.2f %7d %8s %8llu %9llu %7llu %10llu  %s\n", drop,
+                    budget, "ok",
+                    static_cast<unsigned long long>(cell.stats.fault_drops),
+                    static_cast<unsigned long long>(
+                        cell.stats.reliable_retries),
+                    static_cast<unsigned long long>(
+                        cell.stats.reliable_timeouts),
+                    static_cast<unsigned long long>(
+                        cell.stats.reliable_duplicates),
+                    seconds(cell.sim_time).c_str());
+      } else {
+        std::printf("%6.2f %7d %8s %8s %9s %7s %10s  -\n", drop, budget,
+                    "FAILED", "-", "-", "-", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading the table: a cell fails when some frame exhausts its "
+              "retry budget;\nlarger budgets push failures to higher drop "
+              "rates, and recovered runs pay for\neach drop with one "
+              "acknowledgement timeout of simulated time.\n");
+  return 0;
+}

@@ -11,11 +11,14 @@
 #include "minimpi/comm.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 #include <sstream>
+#include <vector>
 
 #include "minimpi/error.hpp"
+#include "minimpi/faults.hpp"
 
 namespace dipdc::minimpi {
 
@@ -91,12 +94,38 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
   validate_peer(dest, "send");
   if (!internal) validate_user_tag(tag, "send");
   const int wdest = to_world(dest);
+  detail::RankState& st = state();
+
+  // Fault injection applies to user p2p traffic only; collective-internal
+  // messages and reliable-delivery acknowledgements ride the lossless
+  // control channel.  The draw consumes the rank's fault stream whether or
+  // not a fault fires, so the injected sequence depends only on (plan seed,
+  // rank, message ordinal).
+  detail::FaultDecision fault;
+  if (!internal && runtime_->options().faults.injects()) {
+    fault = detail::draw_fault(runtime_->options().faults, st.fault_rng);
+  }
+  if (fault.drop) {
+    // The message vanishes on the wire.  The sender cannot tell: it pays
+    // the same local costs and counters as a delivered eager send.  A
+    // rendezvous-sized payload is lost fire-and-forget too — blocking on a
+    // handshake that can never happen would hang the sender by design.
+    ++st.stats.fault_drops;
+    st.stats.transport_bytes_sent += data.size();
+    ++st.stats.transport_messages_sent;
+    st.stats.p2p_bytes_sent += data.size();
+    ++st.stats.p2p_messages_sent;
+    const double overhead = cost_model().send_overhead();
+    st.clock += overhead;
+    st.stats.sim_comm_seconds += overhead;
+    return;
+  }
+
   // Collective-internal messages are always eager: real MPI collectives
   // never deadlock, and the linear root loops must not serialize on
   // rendezvous handshakes.
   const bool rendezvous =
       !internal && data.size() > runtime_->options().eager_threshold;
-  detail::RankState& st = state();
   auto env = runtime_->acquire_envelope();
   env->source = rank_;
   env->dest = wdest;
@@ -109,10 +138,29 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
                     runtime_->options().transport, runtime_->buffer_pool(),
                     st.stats);
 
+  // A duplicated message is a spurious eager retransmission: its payload is
+  // an independent copy (never a borrow of the user's frame) and it never
+  // takes part in the rendezvous handshake.
+  std::shared_ptr<detail::Envelope> dup;
+  if (fault.duplicate) {
+    ++st.stats.fault_dups;
+    dup = runtime_->acquire_envelope();
+    dup->source = rank_;
+    dup->dest = wdest;
+    dup->tag = tag;
+    dup->context = context_;
+    dup->internal = internal;
+    dup->rendezvous = false;
+    dup->payload = build_payload(data, /*borrow_ok=*/false,
+                                 runtime_->options().transport,
+                                 runtime_->buffer_pool(), st.stats);
+  }
+
   std::unique_lock<std::mutex> lock(runtime_->mutex());
   const double alpha = cost_model().message_time(world_rank_, wdest, 0);
   const double overhead = cost_model().send_overhead();
-  env->arrival_head = st.clock + alpha;
+  env->arrival_head = st.clock + alpha + fault.delay;
+  if (fault.delay > 0.0) ++st.stats.fault_delays;
   env->byte_time =
       cost_model().message_time(world_rank_, wdest, data.size()) - alpha;
   st.stats.transport_bytes_sent += data.size();
@@ -121,15 +169,25 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
     st.stats.p2p_bytes_sent += data.size();
     ++st.stats.p2p_messages_sent;
   }
-  auto pending = runtime_->deliver_locked(env);
-  if (pending) {
-    lock.unlock();
-    env->payload.copy_to(pending->buffer);
-    lock.lock();
-    pending->copy_in_flight = false;
-    pending->done = true;
-    env->matched = true;
-    runtime_->condvar().notify_all();
+  auto finish_delivery = [&](const std::shared_ptr<detail::Envelope>& e) {
+    auto pending = runtime_->deliver_locked(e);
+    if (pending) {
+      lock.unlock();
+      e->payload.copy_to(pending->buffer);
+      lock.lock();
+      pending->copy_in_flight = false;
+      pending->done = true;
+      e->matched = true;
+      runtime_->condvar().notify_all();
+    }
+  };
+  finish_delivery(env);
+  if (dup) {
+    dup->arrival_head = env->arrival_head;
+    dup->byte_time = env->byte_time;
+    st.stats.transport_bytes_sent += data.size();
+    ++st.stats.transport_messages_sent;
+    finish_delivery(dup);
   }
   if (rendezvous) {
     if (!env->matched) ++st.stats.rendezvous_stalls;
@@ -247,9 +305,36 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
   validate_peer(dest, "isend");
   if (!internal) validate_user_tag(tag, "isend");
   const int wdest = to_world(dest);
+  detail::RankState& st = state();
+
+  // See send_bytes: user p2p traffic only, one draw per message.
+  detail::FaultDecision fault;
+  if (!internal && runtime_->options().faults.injects()) {
+    fault = detail::draw_fault(runtime_->options().faults, st.fault_rng);
+  }
+  if (fault.drop) {
+    ++st.stats.fault_drops;
+    st.stats.transport_bytes_sent += data.size();
+    ++st.stats.transport_messages_sent;
+    st.stats.p2p_bytes_sent += data.size();
+    ++st.stats.p2p_messages_sent;
+    // The request completes immediately (the sender cannot distinguish a
+    // dropped eager message); the envelope exists only so that wait()/test()
+    // can dereference it, and is marked matched so nothing ever waits on it.
+    auto dropped = std::make_shared<detail::RequestState>();
+    dropped->kind = detail::RequestState::Kind::kSend;
+    dropped->envelope = runtime_->acquire_envelope();
+    dropped->envelope->rendezvous = false;
+    dropped->envelope->matched = true;
+    st.clock += cost_model().send_overhead();
+    st.stats.sim_comm_seconds += cost_model().send_overhead();
+    dropped->done = true;
+    dropped->completion_time = st.clock;
+    return Request(dropped);
+  }
+
   const bool rendezvous =
       !internal && data.size() > runtime_->options().eager_threshold;
-  detail::RankState& st = state();
   auto env = runtime_->acquire_envelope();
   env->source = rank_;
   env->dest = wdest;
@@ -263,13 +348,29 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
                                runtime_->options().transport,
                                runtime_->buffer_pool(), st.stats);
 
+  std::shared_ptr<detail::Envelope> dup;
+  if (fault.duplicate) {
+    ++st.stats.fault_dups;
+    dup = runtime_->acquire_envelope();
+    dup->source = rank_;
+    dup->dest = wdest;
+    dup->tag = tag;
+    dup->context = context_;
+    dup->internal = internal;
+    dup->rendezvous = false;
+    dup->payload = build_payload(data, /*borrow_ok=*/false,
+                                 runtime_->options().transport,
+                                 runtime_->buffer_pool(), st.stats);
+  }
+
   auto req = std::make_shared<detail::RequestState>();
   req->kind = detail::RequestState::Kind::kSend;
   req->envelope = env;
 
   std::unique_lock<std::mutex> lock(runtime_->mutex());
   const double alpha = cost_model().message_time(world_rank_, wdest, 0);
-  env->arrival_head = st.clock + alpha;
+  env->arrival_head = st.clock + alpha + fault.delay;
+  if (fault.delay > 0.0) ++st.stats.fault_delays;
   env->byte_time =
       cost_model().message_time(world_rank_, wdest, data.size()) - alpha;
   st.stats.transport_bytes_sent += data.size();
@@ -278,15 +379,25 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
     st.stats.p2p_bytes_sent += data.size();
     ++st.stats.p2p_messages_sent;
   }
-  auto pending = runtime_->deliver_locked(env);
-  if (pending) {
-    lock.unlock();
-    env->payload.copy_to(pending->buffer);
-    lock.lock();
-    pending->copy_in_flight = false;
-    pending->done = true;
-    env->matched = true;
-    runtime_->condvar().notify_all();
+  auto finish_delivery = [&](const std::shared_ptr<detail::Envelope>& e) {
+    auto pending = runtime_->deliver_locked(e);
+    if (pending) {
+      lock.unlock();
+      e->payload.copy_to(pending->buffer);
+      lock.lock();
+      pending->copy_in_flight = false;
+      pending->done = true;
+      e->matched = true;
+      runtime_->condvar().notify_all();
+    }
+  };
+  finish_delivery(env);
+  if (dup) {
+    dup->arrival_head = env->arrival_head;
+    dup->byte_time = env->byte_time;
+    st.stats.transport_bytes_sent += data.size();
+    ++st.stats.transport_messages_sent;
+    finish_delivery(dup);
   }
   // The non-blocking send itself only pays injection overhead; a rendezvous
   // Isend defers the synchronization to wait().
@@ -664,6 +775,178 @@ std::optional<Status> Comm::iprobe(int source, int tag) {
     return Status{env->source, env->tag, env->payload.size()};
   }
   return std::nullopt;
+}
+
+void Comm::fault_tick(Primitive p) {
+  const FaultOptions& plan = runtime_->options().faults;
+  if (world_rank_ != plan.kill_rank) return;
+  detail::RankState& st = state();
+  if (++st.primitive_calls != plan.kill_at_call) return;
+  std::ostringstream os;
+  os << "rank " << world_rank_ << " killed by fault injection at primitive "
+     << "call " << plan.kill_at_call << " (" << primitive_name(p) << ")";
+  const std::string why = os.str();
+  // Publish the death before unwinding so every survivor — blocked now or
+  // blocking later — gets RankFailedError instead of hanging.
+  runtime_->note_rank_killed(world_rank_, why);
+  throw RankFailedError(why);
+}
+
+void Comm::send_reliable_bytes(std::span<const std::byte> data, int dest,
+                               int tag) {
+  validate_peer(dest, "send_reliable");
+  validate_user_tag(tag, "send_reliable");
+  DIPDC_REQUIRE(runtime_->options().detect_deadlock,
+                "send_reliable requires detect_deadlock: deterministic "
+                "acknowledgement timeouts piggyback on global-stall proofs");
+  detail::RankState& st = state();
+  const int wdest = to_world(dest);
+  const std::uint64_t seq = ++st.reliable_next_seq[wdest];
+
+  std::vector<std::byte> frame(sizeof(detail::ReliableHeader) + data.size());
+  const detail::ReliableHeader hdr{seq};
+  std::memcpy(frame.data(), &hdr, sizeof(hdr));
+  if (!data.empty()) {
+    std::memcpy(frame.data() + sizeof(hdr), data.data(), data.size());
+  }
+
+  const ReliableOptions& ro = runtime_->options().reliable;
+  for (int attempt = 0; attempt <= ro.max_retries; ++attempt) {
+    if (attempt > 0) ++st.stats.reliable_retries;
+    send_bytes(frame, dest, tag, /*internal=*/false);
+    for (;;) {
+      detail::ReliableHeader ack{};
+      const bool got = recv_ack_timeout(
+          std::as_writable_bytes(std::span<detail::ReliableHeader>(&ack, 1)),
+          dest, detail::kReliableAckTag, nullptr);
+      if (!got) break;  // provably lost: retransmit
+      if (ack.seq == seq) return;
+      // A stale acknowledgement for an earlier frame (its duplicate was
+      // acked twice); discard it and keep waiting for ours.
+    }
+  }
+  std::ostringstream os;
+  os << "send_reliable: no acknowledgement from rank " << dest << " (tag "
+     << tag << ") after " << ro.max_retries
+     << " retransmissions — retry budget exhausted";
+  throw MpiError(os.str());
+}
+
+Status Comm::recv_reliable_bytes(std::span<std::byte> data, int source,
+                                 int tag) {
+  detail::RankState& st = state();
+  std::vector<std::byte> frame(sizeof(detail::ReliableHeader) + data.size());
+  for (;;) {
+    const Status raw = recv_bytes(frame, source, tag, /*internal=*/false);
+    if (raw.bytes < sizeof(detail::ReliableHeader)) {
+      throw MpiError(
+          "recv_reliable: frame lacks a sequence header — the peer must "
+          "send with send_reliable");
+    }
+    detail::ReliableHeader hdr{};
+    std::memcpy(&hdr, frame.data(), sizeof(hdr));
+    // Acknowledge every frame, duplicates included: the sender may be
+    // retransmitting precisely because an earlier copy went unacknowledged
+    // from its point of view.  Acks ride the lossless control channel.
+    const detail::ReliableHeader ack{hdr.seq};
+    send_bytes(std::as_bytes(std::span<const detail::ReliableHeader>(&ack, 1)),
+               raw.source, detail::kReliableAckTag, /*internal=*/true);
+    std::uint64_t& delivered = st.reliable_delivered_seq[to_world(raw.source)];
+    if (hdr.seq <= delivered) {
+      // Retransmission or injected duplicate of an already-delivered frame.
+      ++st.stats.reliable_duplicates;
+      continue;
+    }
+    delivered = hdr.seq;
+    const std::size_t payload = raw.bytes - sizeof(hdr);
+    if (payload > 0) {
+      std::memcpy(data.data(), frame.data() + sizeof(hdr), payload);
+    }
+    return Status{raw.source, raw.tag, payload};
+  }
+}
+
+bool Comm::recv_ack_timeout(std::span<std::byte> data, int source, int tag,
+                            Status* status) {
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  detail::RankState& st = state();
+  detail::Mailbox& mb = runtime_->mailbox(world_rank_);
+  const ReliableOptions& ro = runtime_->options().reliable;
+
+  // Fast path: the acknowledgement already arrived.  Acks are 8 bytes, so
+  // the copy always happens under the lock.
+  if (auto m = mb.unexpected.find(source, tag, context_, /*internal=*/true)) {
+    const std::shared_ptr<detail::Envelope> env = m->handle();
+    if (env->payload.size() > data.size()) {
+      throw MpiError("reliable delivery: oversized acknowledgement frame");
+    }
+    const Status stt{env->source, env->tag, env->payload.size()};
+    const double completion =
+        std::max({st.clock, env->arrival_head, mb.link_busy_until}) +
+        env->byte_time;
+    mb.link_busy_until = completion;
+    env->completion_time = completion;
+    st.stats.sim_comm_seconds += completion - st.clock;
+    st.clock = completion;
+    st.stats.copied_bytes += stt.bytes;
+    mb.unexpected.erase(*m);
+    env->payload.copy_to(data.data());
+    env->matched = true;
+    runtime_->condvar().notify_all();
+    if (status != nullptr) *status = stt;
+    return true;
+  }
+
+  // Slow path: post the receive, but let the wait expire when the runtime
+  // proves the whole world is stalled (the ack provably cannot arrive).
+  auto req = std::make_shared<detail::RequestState>();
+  req->kind = detail::RequestState::Kind::kRecv;
+  req->buffer = data.data();
+  req->capacity = data.size();
+  req->source_filter = source;
+  req->tag_filter = tag;
+  req->context = context_;
+  req->internal = true;
+  req->post_time = st.clock;
+  mb.posted.push_back(req);
+
+  detail_runtime::Runtime::WaitOutcome outcome;
+  try {
+    outcome = runtime_->blocking_wait_for(
+        lock, world_rank_, "Recv (reliable ack)",
+        [&req] { return req->done; }, /*can_timeout=*/true);
+  } catch (...) {
+    // See recv_bytes: keep `data` safe across the unwind.
+    if (req->copy_in_flight) {
+      while (!req->done) runtime_->condvar().wait(lock);
+    } else if (!req->done) {
+      std::erase(mb.posted, req);
+    }
+    throw;
+  }
+  bool received = outcome == detail_runtime::Runtime::WaitOutcome::kReady;
+  if (!received) {
+    // The timeout may have raced an arriving ack; a sender mid-copy into
+    // our buffer means the ack did arrive.
+    if (req->copy_in_flight) {
+      while (!req->done) runtime_->condvar().wait(lock);
+    }
+    received = req->done;
+  }
+  if (!received) {
+    std::erase(mb.posted, req);
+    st.clock += ro.timeout_seconds;
+    st.stats.sim_comm_seconds += ro.timeout_seconds;
+    ++st.stats.reliable_timeouts;
+    return false;
+  }
+  if (!req->error.empty()) throw MpiError(req->error);
+  const double completion = std::max(st.clock, req->completion_time);
+  st.stats.sim_comm_seconds += completion - st.clock;
+  st.clock = completion;
+  st.stats.copied_bytes += req->status.bytes;
+  if (status != nullptr) *status = req->status;
+  return true;
 }
 
 }  // namespace dipdc::minimpi

@@ -170,6 +170,52 @@ class Comm {
   /// Non-blocking probe.
   std::optional<Status> iprobe(int source = kAnySource, int tag = kAnyTag);
 
+  // ---- Reliable delivery -------------------------------------------------
+  // Acknowledged sends that survive injected message loss: each frame
+  // carries a sequence number, the receiver acknowledges it over the
+  // lossless control channel, and the sender retransmits when the
+  // acknowledgement provably cannot arrive (deterministic timeout).  Both
+  // ends must use the reliable variants; duplicates (retransmissions and
+  // injected dups) are filtered by sequence number, so delivery is
+  // exactly-once per frame.  Requires RuntimeOptions::detect_deadlock.
+
+  /// Acknowledged send; retries up to ReliableOptions::max_retries times.
+  /// Throws MpiError when the retry budget is exhausted without an ack.
+  template <Trivial T>
+  void send_reliable(std::span<const T> data, int dest, int tag = 0) {
+    count_call(Primitive::kSendReliable);
+    const double t0 = wtime();
+    send_reliable_bytes(as_bytes(data), dest, tag);
+    trace_end(Primitive::kSendReliable, dest, tag, data.size_bytes(), t0);
+  }
+
+  template <Trivial T>
+  void send_reliable_value(const T& value, int dest, int tag = 0) {
+    send_reliable(std::span<const T>(&value, 1), dest, tag);
+  }
+
+  /// Receives one frame sent with send_reliable and acknowledges it.
+  template <Trivial T>
+  Status recv_reliable(std::span<T> data, int source = kAnySource,
+                       int tag = kAnyTag) {
+    count_call(Primitive::kRecvReliable);
+    const double t0 = wtime();
+    const Status st = recv_reliable_bytes(as_writable_bytes(data), source, tag);
+    trace_end(Primitive::kRecvReliable, st.source, st.tag, st.bytes, t0);
+    return st;
+  }
+
+  template <Trivial T>
+  T recv_reliable_value(int source = kAnySource, int tag = kAnyTag) {
+    T value{};
+    const Status st = recv_reliable(std::span<T>(&value, 1), source, tag);
+    if (st.bytes != sizeof(T)) {
+      throw MpiError(
+          "recv_reliable_value: message size does not match value type");
+    }
+    return value;
+  }
+
   /// Combined send+receive that is deadlock-safe (internally isend+recv),
   /// as MPI_Sendrecv is.
   template <Trivial T>
@@ -410,6 +456,7 @@ class Comm {
 
   void count_call(Primitive p) {
     ++state().stats.calls[static_cast<std::size_t>(p)];
+    if (runtime_->options().faults.kills()) fault_tick(p);
   }
 
   /// Records a user-level operation spanning [t0, now] when tracing is on
@@ -429,6 +476,18 @@ class Comm {
   Status wait_nocount(Request& request);
   void validate_peer(int peer, const char* what) const;
   void validate_user_tag(int tag, const char* what) const;
+
+  // Reliable-delivery protocol and fault injection (comm.cpp).
+  void send_reliable_bytes(std::span<const std::byte> data, int dest, int tag);
+  Status recv_reliable_bytes(std::span<std::byte> data, int source, int tag);
+  /// Receives an 8-byte acknowledgement header on the control channel, or
+  /// gives up when the runtime proves it cannot arrive.  Returns false on
+  /// timeout (the simulated clock is charged ReliableOptions::timeout_seconds).
+  bool recv_ack_timeout(std::span<std::byte> data, int source, int tag,
+                        Status* status);
+  /// Kill-plan hook: throws RankFailedError when this rank reaches the
+  /// fault plan's kill_at_call-th primitive call.
+  void fault_tick(Primitive p);
 
   // Zero-copy staging primitives for collective internals (comm.cpp).
   // StagedBuffers ride the normal envelope path — same tags, sizes and

@@ -20,6 +20,7 @@
 #include "minimpi/stats.hpp"
 #include "minimpi/trace.hpp"
 #include "minimpi/types.hpp"
+#include "support/rng.hpp"
 
 namespace dipdc::minimpi::detail {
 
@@ -209,12 +210,37 @@ inline bool filters_match(int source_filter, int tag_filter, int context,
   return true;
 }
 
+/// Wire framing for the acknowledged-delivery protocol: send_reliable
+/// prepends this header to the user payload, and acknowledgements carry it
+/// alone.  The sequence number is per (sender, receiver) world-rank pair
+/// and strictly increasing, so a receiver filters retransmission/injection
+/// duplicates with a single high-water mark (the channel is FIFO).
+struct ReliableHeader {
+  std::uint64_t seq = 0;
+};
+
+/// Tag of reliable-delivery acknowledgements.  ACKs travel as
+/// collective-internal ("control channel") messages so the fault injector
+/// never touches them; collectives consume strictly negative internal
+/// tags, so any positive constant is collision-free.
+inline constexpr int kReliableAckTag = 0x7ACC;
+
 /// Per-world-rank simulation state, shared by every communicator the rank
 /// participates in (the world communicator and any split() descendants).
+/// The fault/reliable fields are touched only by the owning rank's thread.
 struct RankState {
   double clock = 0.0;
   CommStats stats{};
   std::vector<TraceEvent> trace;  // populated when record_trace is on
+
+  /// Per-rank fault stream (seeded by Runtime from FaultOptions::seed).
+  support::Xoshiro256 fault_rng{0};
+  /// User primitive calls so far; drives FaultOptions::kill_at_call.
+  std::uint64_t primitive_calls = 0;
+  /// send_reliable sequence numbers, per destination world rank.
+  std::unordered_map<int, std::uint64_t> reliable_next_seq;
+  /// Highest sequence delivered by recv_reliable, per source world rank.
+  std::unordered_map<int, std::uint64_t> reliable_delivered_seq;
 };
 
 /// Unexpected-message queue indexed by (context, tag) so exact-tag receives

@@ -27,4 +27,14 @@ class AbortError : public MpiError {
   using MpiError::MpiError;
 };
 
+/// Thrown when a rank dies (fault-injection kill): the dying rank throws it
+/// from the primitive it was killed in, and every surviving rank that can
+/// no longer make progress receives it instead of hanging.  The message
+/// names the dead rank.  Subclasses AbortError because survivors are
+/// unblocked by another rank's failure, exactly like the abort path.
+class RankFailedError : public AbortError {
+ public:
+  using AbortError::AbortError;
+};
+
 }  // namespace dipdc::minimpi

@@ -1,0 +1,136 @@
+#include "minimpi/faults.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "minimpi/error.hpp"
+
+namespace dipdc::minimpi {
+
+namespace {
+
+[[noreturn]] void bad_clause(const std::string& clause, const char* why) {
+  throw MpiError("fault spec: bad clause '" + clause + "' (" + why + ")");
+}
+
+/// Strict full-string double parse; throws MpiError naming the clause.
+double parse_num(const std::string& clause, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) bad_clause(clause, "trailing characters");
+    return v;
+  } catch (const MpiError&) {
+    throw;
+  } catch (const std::exception&) {
+    bad_clause(clause, "expected a number");
+  }
+}
+
+double parse_prob(const std::string& clause, const std::string& text) {
+  const double p = parse_num(clause, text);
+  if (p < 0.0 || p > 1.0) bad_clause(clause, "probability outside [0, 1]");
+  return p;
+}
+
+long parse_long(const std::string& clause, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(text, &pos);
+    if (pos != text.size()) bad_clause(clause, "trailing characters");
+    return v;
+  } catch (const MpiError&) {
+    throw;
+  } catch (const std::exception&) {
+    bad_clause(clause, "expected an integer");
+  }
+}
+
+}  // namespace
+
+void parse_fault_spec(const std::string& spec, FaultOptions& faults,
+                      ReliableOptions& reliable) {
+  std::vector<std::string> clauses;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end > start) clauses.push_back(spec.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (clauses.empty()) {
+    throw MpiError("fault spec: empty specification");
+  }
+
+  for (const std::string& clause : clauses) {
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
+      bad_clause(clause, "expected key=value");
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+
+    if (key == "drop") {
+      faults.drop_prob = parse_prob(clause, value);
+    } else if (key == "dup") {
+      faults.dup_prob = parse_prob(clause, value);
+    } else if (key == "delay") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        faults.delay_prob = parse_prob(clause, value);
+      } else {
+        faults.delay_prob = parse_prob(clause, value.substr(0, colon));
+        faults.delay_seconds = parse_num(clause, value.substr(colon + 1));
+        if (faults.delay_seconds < 0.0) {
+          bad_clause(clause, "delay seconds must be non-negative");
+        }
+      }
+    } else if (key == "kill") {
+      const std::size_t at = value.find('@');
+      if (at == std::string::npos) {
+        faults.kill_rank = static_cast<int>(parse_long(clause, value));
+        faults.kill_at_call = 1;
+      } else {
+        faults.kill_rank =
+            static_cast<int>(parse_long(clause, value.substr(0, at)));
+        const long n = parse_long(clause, value.substr(at + 1));
+        if (n <= 0) bad_clause(clause, "call number must be positive");
+        faults.kill_at_call = static_cast<std::uint64_t>(n);
+      }
+      if (faults.kill_rank < 0) bad_clause(clause, "rank must be >= 0");
+    } else if (key == "retries") {
+      const long k = parse_long(clause, value);
+      if (k < 0) bad_clause(clause, "retries must be >= 0");
+      reliable.max_retries = static_cast<int>(k);
+    } else if (key == "timeout") {
+      reliable.timeout_seconds = parse_num(clause, value);
+      if (reliable.timeout_seconds < 0.0) {
+        bad_clause(clause, "timeout must be non-negative");
+      }
+    } else {
+      bad_clause(clause, "unknown key (drop|dup|delay|kill|retries|timeout)");
+    }
+  }
+}
+
+namespace detail {
+
+FaultDecision draw_fault(const FaultOptions& plan, support::Xoshiro256& rng) {
+  // One uniform per fault class, always, so the stream position after each
+  // message is independent of which faults the plan arms.
+  const double u_drop = rng.uniform();
+  const double u_dup = rng.uniform();
+  const double u_delay = rng.uniform();
+  FaultDecision d;
+  d.drop = u_drop < plan.drop_prob;
+  d.duplicate = u_dup < plan.dup_prob;
+  if (u_delay < plan.delay_prob) d.delay = plan.delay_seconds;
+  return d;
+}
+
+}  // namespace detail
+
+}  // namespace dipdc::minimpi

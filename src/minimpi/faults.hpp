@@ -1,0 +1,46 @@
+// Fault-plan specification parsing and per-message fault decisions.
+//
+// The `--faults` spec grammar is a comma-separated list of clauses:
+//
+//   drop=P          drop each user p2p message with probability P
+//   dup=P           deliver each user p2p message twice with probability P
+//   delay=P[:S]     delay each user p2p message with probability P by S
+//                   simulated seconds (default 1e-5)
+//   kill=R[@N]      kill world rank R at its Nth user primitive call
+//                   (1-based; default N=1)
+//   retries=K       send_reliable retransmission budget
+//   timeout=S       simulated seconds charged per expired ack timeout
+//
+// Example: "drop=0.1,dup=0.05,delay=0.2:1e-5,kill=3@40,retries=4"
+#pragma once
+
+#include <string>
+
+#include "minimpi/options.hpp"
+#include "support/rng.hpp"
+
+namespace dipdc::minimpi {
+
+/// Parses a fault spec into `faults` / `reliable` (fields not named in the
+/// spec keep their current values).  Throws MpiError on a malformed spec,
+/// naming the offending clause.
+void parse_fault_spec(const std::string& spec, FaultOptions& faults,
+                      ReliableOptions& reliable);
+
+namespace detail {
+
+/// The injector's verdict for one outgoing message.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  double delay = 0.0;  // seconds of simulated delivery delay (0 = none)
+};
+
+/// Draws the fault decision for one outgoing user p2p message.  Always
+/// consumes exactly three uniforms so the per-rank stream stays aligned
+/// across plans that arm different subsets of faults.
+FaultDecision draw_fault(const FaultOptions& plan, support::Xoshiro256& rng);
+
+}  // namespace detail
+
+}  // namespace dipdc::minimpi

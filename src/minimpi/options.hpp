@@ -2,10 +2,72 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "perfmodel/machine.hpp"
 
 namespace dipdc::minimpi {
+
+/// Deterministic fault-injection plan.  Faults are drawn from per-rank
+/// xoshiro256** streams derived from `seed`, so the same (plan, seed,
+/// program) triple always injects the identical fault sequence — runs are
+/// reproducible bit-for-bit, which is what makes injected failures
+/// debuggable and testable.  With the default plan (all probabilities zero,
+/// no kill) the transport takes no extra branches and draws nothing, so
+/// fault-free runs stay bit-identical to a build without this subsystem.
+///
+/// Only *user-level* point-to-point messages (Send/Isend/Sendrecv and the
+/// reliable-delivery frames built on them) are injectable; collective-
+/// internal traffic and reliable-delivery acknowledgements travel on the
+/// lossless control channel.  A dropped message is charged its send
+/// overhead and then vanishes (fire-and-forget loss, even for
+/// rendezvous-sized payloads); a duplicated message is delivered twice
+/// (at-least-once semantics); a delayed message arrives `delay_seconds`
+/// later in simulated time.
+struct FaultOptions {
+  /// Seed for the per-rank fault streams (stream r = make_stream(seed, r)).
+  std::uint64_t seed = 1;
+
+  /// Probability that an outgoing user p2p message is dropped.
+  double drop_prob = 0.0;
+  /// Probability that an outgoing user p2p message is delivered twice.
+  double dup_prob = 0.0;
+  /// Probability that an outgoing user p2p message is delayed.
+  double delay_prob = 0.0;
+  /// Simulated delivery delay applied to delayed messages.
+  double delay_seconds = 1e-5;
+
+  /// World rank to kill (-1 = nobody).
+  int kill_rank = -1;
+  /// The killed rank dies at the start of its Nth user primitive call
+  /// (1-based); 0 disables the kill even when kill_rank is set.
+  std::uint64_t kill_at_call = 0;
+
+  /// Any message-level fault armed?
+  [[nodiscard]] bool injects() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0;
+  }
+  /// Rank-kill armed?
+  [[nodiscard]] bool kills() const {
+    return kill_rank >= 0 && kill_at_call > 0;
+  }
+  [[nodiscard]] bool enabled() const { return injects() || kills(); }
+};
+
+/// Tuning for the acknowledged-delivery layer (Comm::send_reliable /
+/// recv_reliable).  The acknowledgement timeout is not a wall-clock timer:
+/// it fires exactly when the runtime proves that no rank can make progress
+/// (the same machinery as deadlock detection), so retry sequences are as
+/// deterministic as the fault plan that caused them.  Reliable delivery
+/// therefore requires RuntimeOptions::detect_deadlock to stay enabled.
+struct ReliableOptions {
+  /// Resend attempts after the first transmission; exhausting the budget
+  /// throws MpiError from send_reliable.
+  int max_retries = 8;
+  /// Simulated seconds charged to the sender's clock per expired
+  /// acknowledgement timeout (models the retransmission timer).
+  double timeout_seconds = 1e-3;
+};
 
 /// Transport fast-path tuning.  None of these settings change simulated
 /// results — they only control how much real-world work (allocation,
@@ -92,6 +154,13 @@ struct RuntimeOptions {
 
   /// Collective algorithm selection (changes simulated message patterns).
   CollectiveOptions collectives{};
+
+  /// Deterministic fault injection (disabled by default; when disabled the
+  /// transport behaves bit-identically to a fault-free build).
+  FaultOptions faults{};
+
+  /// Acknowledged-delivery (send_reliable) retry/timeout tuning.
+  ReliableOptions reliable{};
 };
 
 }  // namespace dipdc::minimpi

@@ -53,6 +53,12 @@ Runtime::Runtime(int nranks, RuntimeOptions options)
       mailboxes_(static_cast<std::size_t>(nranks)),
       rank_states_(static_cast<std::size_t>(nranks)) {
   DIPDC_REQUIRE(nranks > 0, "world size must be positive");
+  DIPDC_REQUIRE(!options_.faults.kills() || options_.faults.kill_rank < nranks,
+                "fault plan kills a rank outside the world");
+  for (int r = 0; r < nranks; ++r) {
+    rank_states_[static_cast<std::size_t>(r)].fault_rng = support::make_stream(
+        options_.faults.seed, static_cast<std::uint64_t>(r));
+  }
 }
 
 std::shared_ptr<detail::RequestState> Runtime::deliver_locked(
@@ -136,8 +142,14 @@ std::shared_ptr<detail::RequestState> Runtime::deliver_locked(
 void Runtime::blocking_wait(std::unique_lock<std::mutex>& lock, int rank,
                             const char* what,
                             const std::function<bool()>& pred) {
+  (void)blocking_wait_for(lock, rank, what, pred, /*can_timeout=*/false);
+}
+
+Runtime::WaitOutcome Runtime::blocking_wait_for(
+    std::unique_lock<std::mutex>& lock, int rank, const char* what,
+    const std::function<bool()>& pred, bool can_timeout) {
   DIPDC_REQUIRE(lock.owns_lock(), "blocking_wait requires the runtime lock");
-  Waiter waiter{rank, what, &pred};
+  Waiter waiter{rank, what, &pred, can_timeout, /*timed_out=*/false};
   waiters_.push_back(&waiter);
   // Ensure the waiter is deregistered on every exit path (including the
   // exceptions thrown below).
@@ -150,26 +162,50 @@ void Runtime::blocking_wait(std::unique_lock<std::mutex>& lock, int rank,
   while (!pred()) {
     if (aborted_) {
       if (deadlocked_) throw DeadlockError(abort_reason_);
+      if (failed_rank_ >= 0) throw RankFailedError(abort_reason_);
       throw AbortError(abort_reason_);
     }
+    if (waiter.timed_out) return WaitOutcome::kTimedOut;
     if (options_.detect_deadlock &&
         static_cast<int>(waiters_.size()) >= alive_) {
-      // Throws DeadlockError if no waiter can make progress; otherwise it
-      // has notified the runnable waiter(s) and we sleep until notified
-      // again.
+      // Throws DeadlockError if no waiter can make progress and none can
+      // time out; otherwise it has notified the runnable (or expiring)
+      // waiter(s) and we sleep until notified again.
       check_deadlock_locked();
     }
     cv_.wait(lock);
   }
+  return WaitOutcome::kReady;
 }
 
 void Runtime::check_deadlock_locked() {
-  for (const Waiter* w : waiters_) {
+  for (Waiter* w : waiters_) {
     if ((*w->pred)()) {
       // Someone can make progress; wake everyone so they notice.
       cv_.notify_all();
       return;
     }
+  }
+  // A flagged-but-unconsumed timeout is progress: its waiter will wake,
+  // withdraw its operation, and retry — so the world is not stuck yet.
+  for (Waiter* w : waiters_) {
+    if (w->timed_out) {
+      cv_.notify_all();
+      return;
+    }
+  }
+  // Nothing can complete: expire every timeout-capable wait (reliable
+  // acknowledgement waits) before concluding the world is dead.
+  bool expired_any = false;
+  for (Waiter* w : waiters_) {
+    if (w->can_timeout) {
+      w->timed_out = true;
+      expired_any = true;
+    }
+  }
+  if (expired_any) {
+    cv_.notify_all();
+    return;
   }
   std::ostringstream os;
   os << "global deadlock: every live rank is blocked and no pending "
@@ -180,6 +216,9 @@ void Runtime::check_deadlock_locked() {
   const int exited = nranks_ - alive_;
   if (exited > 0) {
     os << " (" << exited << " rank(s) already finished)";
+  }
+  if (failed_rank_ >= 0) {
+    os << " (rank " << failed_rank_ << " died)";
   }
   deadlocked_ = true;
   aborted_ = true;
@@ -194,6 +233,16 @@ void Runtime::rank_exited(bool by_exception, const std::string& why) {
   if (by_exception && !aborted_) {
     aborted_ = true;
     abort_reason_ = "a rank aborted with an exception: " + why;
+  }
+  cv_.notify_all();
+}
+
+void Runtime::note_rank_killed(int rank, const std::string& why) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_rank_ < 0) failed_rank_ = rank;
+  if (!aborted_) {
+    aborted_ = true;
+    abort_reason_ = why;
   }
   cv_.notify_all();
 }
@@ -230,6 +279,13 @@ RunResult run(int nranks, const std::function<void(Comm&)>& fn,
     });
   }
   for (std::thread& t : threads) t.join();
+
+  // A fault-injection kill is the root cause by definition: the survivors'
+  // RankFailedErrors are secondary, so rethrow the dead rank's own error.
+  const int failed = runtime.failed_rank();
+  if (failed >= 0 && errors[static_cast<std::size_t>(failed)]) {
+    std::rethrow_exception(errors[static_cast<std::size_t>(failed)]);
+  }
 
   // Prefer the root cause: the first exception that is not the secondary
   // AbortError raised in ranks unblocked by someone else's failure.

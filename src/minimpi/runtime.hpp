@@ -78,12 +78,36 @@ class Runtime {
       const std::shared_ptr<detail::Envelope>& env);
 
   /// Blocks `rank` until pred() holds.  Lock must be held (and is released
-  /// while sleeping).  Throws DeadlockError/AbortError on global failure.
+  /// while sleeping).  Throws DeadlockError/AbortError/RankFailedError on
+  /// global failure.
   void blocking_wait(std::unique_lock<std::mutex>& lock, int rank,
                      const char* what, const std::function<bool()>& pred);
 
+  enum class WaitOutcome { kReady, kTimedOut };
+
+  /// blocking_wait with an optional deterministic timeout: when
+  /// `can_timeout` and the runtime proves that no rank can make progress
+  /// (the deadlock-detection condition), the wait returns kTimedOut instead
+  /// of the whole world deadlocking.  This is how reliable-delivery
+  /// acknowledgement waits expire: exactly when the message they wait for
+  /// is provably lost, never earlier — so retry sequences are
+  /// deterministic.  Requires RuntimeOptions::detect_deadlock.
+  WaitOutcome blocking_wait_for(std::unique_lock<std::mutex>& lock, int rank,
+                                const char* what,
+                                const std::function<bool()>& pred,
+                                bool can_timeout);
+
   /// Marks a rank's user function as finished (normally or by exception).
   void rank_exited(bool by_exception, const std::string& why);
+
+  /// Records a fault-injection kill: every blocked (or later blocking) rank
+  /// will be unblocked with RankFailedError naming the dead rank.  Called
+  /// by the dying rank just before it throws.
+  void note_rank_killed(int rank, const std::string& why);
+
+  /// World rank killed by fault injection, or -1.  Stable once the world
+  /// has joined (run() reads it after the threads exit).
+  [[nodiscard]] int failed_rank() const { return failed_rank_; }
 
   std::mutex& mutex() { return mu_; }
   std::condition_variable& condvar() { return cv_; }
@@ -102,10 +126,13 @@ class Runtime {
     int rank;
     const char* what;
     const std::function<bool()>* pred;
+    bool can_timeout = false;
+    bool timed_out = false;
   };
 
   /// With every live rank blocked, decides whether any waiter can still
-  /// make progress; if not, flags a deadlock.  Lock must be held.
+  /// make progress; if not, expires timeout-capable waiters, and only when
+  /// none exist flags a deadlock.  Lock must be held.
   void check_deadlock_locked();
 
   std::mutex mu_;
@@ -124,6 +151,7 @@ class Runtime {
   std::vector<Waiter*> waiters_;
   bool aborted_ = false;
   bool deadlocked_ = false;
+  int failed_rank_ = -1;  // rank killed by fault injection, or -1
   std::string abort_reason_;
 };
 

@@ -20,6 +20,12 @@ CommStats& CommStats::operator+=(const CommStats& other) {
   zero_copy_bytes += other.zero_copy_bytes;
   copied_bytes += other.copied_bytes;
   rendezvous_stalls += other.rendezvous_stalls;
+  fault_drops += other.fault_drops;
+  fault_dups += other.fault_dups;
+  fault_delays += other.fault_delays;
+  reliable_retries += other.reliable_retries;
+  reliable_timeouts += other.reliable_timeouts;
+  reliable_duplicates += other.reliable_duplicates;
   for (std::size_t i = 0; i < kCollectiveAlgoCount; ++i) {
     algo_uses[i] += other.algo_uses[i];
   }
@@ -39,6 +45,16 @@ std::string transport_report(const CommStats& stats) {
   os << "  bytes zero-copy: " << stats.zero_copy_bytes
      << ", copied: " << stats.copied_bytes << "\n";
   os << "  rendezvous stalls: " << stats.rendezvous_stalls << "\n";
+  if (stats.fault_drops != 0 || stats.fault_dups != 0 ||
+      stats.fault_delays != 0 || stats.reliable_retries != 0 ||
+      stats.reliable_timeouts != 0 || stats.reliable_duplicates != 0) {
+    os << "fault injection: " << stats.fault_drops << " dropped, "
+       << stats.fault_dups << " duplicated, " << stats.fault_delays
+       << " delayed\n";
+    os << "  reliable delivery: " << stats.reliable_retries << " retries, "
+       << stats.reliable_timeouts << " timeouts, "
+       << stats.reliable_duplicates << " duplicates filtered\n";
+  }
   bool any_algo = false;
   for (std::size_t i = 0; i < kCollectiveAlgoCount; ++i) {
     if (stats.algo_uses[i] == 0) continue;

@@ -47,6 +47,22 @@ struct CommStats {
   /// opposed to matching an already-posted receive immediately).
   std::uint64_t rendezvous_stalls = 0;
 
+  // ---- Fault injection and reliable delivery (all zero unless a fault
+  // plan is armed or send_reliable is used) --------------------------------
+
+  /// Injected faults, counted on the sending rank.
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_dups = 0;
+  std::uint64_t fault_delays = 0;
+  /// send_reliable retransmissions (beyond the first attempt).
+  std::uint64_t reliable_retries = 0;
+  /// Acknowledgement waits that expired (each triggers a retransmission or,
+  /// once the budget is exhausted, an MpiError).
+  std::uint64_t reliable_timeouts = 0;
+  /// Duplicate frames filtered out by recv_reliable (injected duplicates
+  /// and spurious retransmissions alike).
+  std::uint64_t reliable_duplicates = 0;
+
   /// Collective algorithm selection, one count per participating rank per
   /// invocation (index by CollectiveAlgo).
   std::array<std::uint64_t, kCollectiveAlgoCount> algo_uses{};

@@ -11,6 +11,7 @@ std::string_view primitive_name(Primitive p) {
       "MPI_Bcast",     "MPI_Scatter",  "MPI_Scatterv", "MPI_Gather",
       "MPI_Gatherv",   "MPI_Allgather", "MPI_Reduce",  "MPI_Allreduce",
       "MPI_Alltoall",  "MPI_Alltoallv", "MPI_Scan",
+      "SendReliable",  "RecvReliable",
   };
   const auto idx = static_cast<std::size_t>(p);
   return idx < names.size() ? names[idx] : std::string_view{"?"};

@@ -58,6 +58,8 @@ enum class Primitive : std::size_t {
   kAlltoall,
   kAlltoallv,
   kScan,
+  kSendReliable,
+  kRecvReliable,
   kCount,  // sentinel
 };
 

@@ -46,7 +46,12 @@ long ArgParser::get_int(const std::string& key, long fallback) const {
   const std::string v = get(key);
   if (v.empty()) return fallback;
   try {
-    return std::stol(v);
+    // Require the whole token to parse: stol("8x") would silently yield 8
+    // and hide the typo.
+    std::size_t pos = 0;
+    const long value = std::stol(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return value;
   } catch (const std::exception&) {
     throw PreconditionError("option --" + key +
                             " expects an integer, got '" + v + "'");
@@ -57,7 +62,10 @@ double ArgParser::get_double(const std::string& key, double fallback) const {
   const std::string v = get(key);
   if (v.empty()) return fallback;
   try {
-    return std::stod(v);
+    std::size_t pos = 0;
+    const double value = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return value;
   } catch (const std::exception&) {
     throw PreconditionError("option --" + key + " expects a number, got '" +
                             v + "'");
@@ -83,6 +91,50 @@ std::vector<std::string> ArgParser::unused() const {
     if (queried_.count(key) == 0) out.push_back(key);
   }
   return out;
+}
+
+std::vector<std::string> ArgParser::keys() const {
+  std::vector<std::string> out;
+  out.reserve(options_.size());
+  for (const auto& [key, value] : options_) {
+    (void)value;
+    out.push_back(key);  // std::map iterates in sorted order
+  }
+  return out;
+}
+
+namespace {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string closest_match(const std::string& word,
+                          const std::vector<std::string>& candidates) {
+  constexpr std::size_t kMaxDistance = 3;
+  std::string best;
+  std::size_t best_distance = kMaxDistance + 1;
+  for (const std::string& c : candidates) {
+    const std::size_t d = edit_distance(word, c);
+    if (d < best_distance) {
+      best_distance = d;
+      best = c;
+    }
+  }
+  return best;
 }
 
 }  // namespace dipdc::support

@@ -34,11 +34,20 @@ class ArgParser {
   /// Options that were parsed but never queried (typo detection).
   [[nodiscard]] std::vector<std::string> unused() const;
 
+  /// Names of every option present on the command line (sorted); lets
+  /// drivers validate against their known-option list before running.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
  private:
   std::string command_;
   std::vector<std::string> positionals_;
   std::map<std::string, std::string> options_;
   mutable std::map<std::string, bool> queried_;
 };
+
+/// The candidate closest to `word` by edit distance, for "did you mean"
+/// hints.  Returns empty when nothing is within distance 3.
+[[nodiscard]] std::string closest_match(
+    const std::string& word, const std::vector<std::string>& candidates);
 
 }  // namespace dipdc::support

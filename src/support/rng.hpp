@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "support/error.hpp"
+
 namespace dipdc::support {
 
 /// SplitMix64: used to expand a single 64-bit seed into generator state.
@@ -70,8 +72,10 @@ class Xoshiro256 {
     return lo + (hi - lo) * uniform();
   }
 
-  /// Uniform integer in [0, n).  n must be positive.
-  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+  /// Uniform integer in [0, n).  n must be positive: an empty range has no
+  /// valid draw (returning 0 would silently index past an empty container).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    DIPDC_REQUIRE(n > 0, "uniform_index: empty range [0, 0)");
     // Lemire's nearly-divisionless bounded generation (without the
     // rejection refinement; bias is < 2^-40 for the n used here).
     const unsigned __int128 product =

@@ -1,0 +1,106 @@
+// Abort propagation: one rank throwing must unblock every other rank with
+// AbortError, and run() must rethrow the original exception to the caller
+// (the secondary AbortErrors are never what the user sees).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/error.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace mpi = dipdc::minimpi;
+
+TEST(Abort, ThrowMidP2PUnblocksEveryBlockedReceiver) {
+  std::atomic<int> aborted_survivors{0};
+  try {
+    mpi::run(4, [&aborted_survivors](mpi::Comm& comm) {
+      if (comm.rank() == 0) {
+        throw std::runtime_error("boom in rank 0");
+      }
+      try {
+        // Blocks forever: rank 0 dies before sending anything.
+        (void)comm.recv_value<int>(0, 0);
+      } catch (const mpi::AbortError&) {
+        ++aborted_survivors;
+        throw;
+      }
+    });
+    FAIL() << "expected the original exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom in rank 0");
+  }
+  EXPECT_EQ(aborted_survivors.load(), 3);
+}
+
+TEST(Abort, ThrowMidCollectiveUnblocksEveryParticipant) {
+  std::atomic<int> aborted_survivors{0};
+  try {
+    mpi::run(4, [&aborted_survivors](mpi::Comm& comm) {
+      try {
+        for (int i = 0; i < 8; ++i) {
+          if (comm.rank() == 1 && i == 3) {
+            throw std::runtime_error("boom mid-barrier");
+          }
+          comm.barrier();
+        }
+      } catch (const mpi::AbortError&) {
+        ++aborted_survivors;
+        throw;
+      }
+    });
+    FAIL() << "expected the original exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom mid-barrier");
+  }
+  EXPECT_EQ(aborted_survivors.load(), 3);
+}
+
+TEST(Abort, ThrowMidRendezvousSendUnblocksTheSender) {
+  // A rendezvous sender blocked on a never-posted receive must also be
+  // unblocked when another rank dies.
+  mpi::RuntimeOptions opts;
+  opts.eager_threshold = 0;  // every nonempty send is a rendezvous
+  std::atomic<bool> sender_aborted{false};
+  try {
+    mpi::run(
+        2,
+        [&sender_aborted](mpi::Comm& comm) {
+          if (comm.rank() == 0) {
+            try {
+              comm.send_value(1, 1, 0);  // blocks: rank 1 never receives
+            } catch (const mpi::AbortError&) {
+              sender_aborted = true;
+              throw;
+            }
+          } else {
+            throw std::runtime_error("receiver died first");
+          }
+        },
+        opts);
+    FAIL() << "expected the original exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "receiver died first");
+  }
+  EXPECT_TRUE(sender_aborted.load());
+}
+
+TEST(Abort, AbortErrorCarriesTheRootCauseMessage) {
+  std::string survivor_message;
+  try {
+    mpi::run(2, [&survivor_message](mpi::Comm& comm) {
+      if (comm.rank() == 0) throw std::runtime_error("original cause");
+      try {
+        (void)comm.recv_value<int>(0, 0);
+      } catch (const mpi::AbortError& e) {
+        survivor_message = e.what();
+        throw;
+      }
+    });
+    FAIL() << "expected the original exception to be rethrown";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_NE(survivor_message.find("original cause"), std::string::npos);
+}

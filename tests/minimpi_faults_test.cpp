@@ -1,0 +1,341 @@
+// Deterministic fault injection and reliable delivery.
+//
+// The contract under test: the same (plan, seed, program) triple injects
+// the identical fault sequence; send_reliable recovers from injected drops
+// within its retry budget; duplicates are delivered exactly once; and a
+// killed rank degrades the world gracefully — every survivor gets
+// RankFailedError instead of hanging.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/error.hpp"
+#include "minimpi/faults.hpp"
+#include "minimpi/runtime.hpp"
+#include "minimpi/stats.hpp"
+
+namespace mpi = dipdc::minimpi;
+
+namespace {
+
+mpi::RuntimeOptions with_faults(const mpi::FaultOptions& plan,
+                                int max_retries = 8) {
+  mpi::RuntimeOptions opts;
+  opts.faults = plan;
+  opts.reliable.max_retries = max_retries;
+  return opts;
+}
+
+/// Neighbour ring: every rank plain-sends `messages` ints right and
+/// receives as many from the left.  Completes as long as the plan does not
+/// drop (dup/delay only).  Values are deliberately not asserted: plain
+/// sends have at-least-once semantics under duplication, so a receive may
+/// observe a stale duplicate — that is the documented behaviour the
+/// reliable layer exists to fix.
+mpi::RunResult ring_run(int ranks, int messages,
+                        const mpi::RuntimeOptions& opts) {
+  return mpi::run(
+      ranks,
+      [messages](mpi::Comm& comm) {
+        const int p = comm.size();
+        const int next = (comm.rank() + 1) % p;
+        const int prev = (comm.rank() - 1 + p) % p;
+        for (int i = 0; i < messages; ++i) {
+          comm.send_value(comm.rank() * 1000 + i, next, 0);
+          (void)comm.recv_value<int>(prev, 0);
+        }
+      },
+      opts);
+}
+
+}  // namespace
+
+TEST(FaultSpec, ParsesEveryClause) {
+  mpi::FaultOptions f;
+  mpi::ReliableOptions r;
+  mpi::parse_fault_spec("drop=0.25,dup=0.1,delay=0.5:2e-6,kill=3@7,retries=5,timeout=1e-4",
+                        f, r);
+  EXPECT_DOUBLE_EQ(f.drop_prob, 0.25);
+  EXPECT_DOUBLE_EQ(f.dup_prob, 0.1);
+  EXPECT_DOUBLE_EQ(f.delay_prob, 0.5);
+  EXPECT_DOUBLE_EQ(f.delay_seconds, 2e-6);
+  EXPECT_EQ(f.kill_rank, 3);
+  EXPECT_EQ(f.kill_at_call, 7u);
+  EXPECT_EQ(r.max_retries, 5);
+  EXPECT_DOUBLE_EQ(r.timeout_seconds, 1e-4);
+  EXPECT_TRUE(f.injects());
+  EXPECT_TRUE(f.kills());
+}
+
+TEST(FaultSpec, KillWithoutCallNumberMeansFirstCall) {
+  mpi::FaultOptions f;
+  mpi::ReliableOptions r;
+  mpi::parse_fault_spec("kill=2", f, r);
+  EXPECT_EQ(f.kill_rank, 2);
+  EXPECT_EQ(f.kill_at_call, 1u);
+}
+
+TEST(FaultSpec, MalformedSpecsThrow) {
+  mpi::FaultOptions f;
+  mpi::ReliableOptions r;
+  EXPECT_THROW(mpi::parse_fault_spec("", f, r), mpi::MpiError);
+  EXPECT_THROW(mpi::parse_fault_spec("drop=1.5", f, r), mpi::MpiError);
+  EXPECT_THROW(mpi::parse_fault_spec("drop=0.1x", f, r), mpi::MpiError);
+  EXPECT_THROW(mpi::parse_fault_spec("drop=", f, r), mpi::MpiError);
+  EXPECT_THROW(mpi::parse_fault_spec("bogus=1", f, r), mpi::MpiError);
+  EXPECT_THROW(mpi::parse_fault_spec("kill=-1", f, r), mpi::MpiError);
+  EXPECT_THROW(mpi::parse_fault_spec("kill=2@0", f, r), mpi::MpiError);
+  EXPECT_THROW(mpi::parse_fault_spec("retries=-3", f, r), mpi::MpiError);
+}
+
+TEST(FaultInjection, SameSeedInjectsIdenticalSequence) {
+  mpi::FaultOptions plan;
+  plan.seed = 7;
+  plan.dup_prob = 0.3;
+  plan.delay_prob = 0.2;
+
+  const auto a = ring_run(4, 50, with_faults(plan));
+  const auto b = ring_run(4, 50, with_faults(plan));
+  ASSERT_EQ(a.rank_stats.size(), b.rank_stats.size());
+  std::uint64_t total_dups = 0;
+  for (std::size_t r = 0; r < a.rank_stats.size(); ++r) {
+    EXPECT_EQ(a.rank_stats[r].fault_dups, b.rank_stats[r].fault_dups);
+    EXPECT_EQ(a.rank_stats[r].fault_delays, b.rank_stats[r].fault_delays);
+    EXPECT_EQ(a.sim_times[r], b.sim_times[r]);  // bit-identical
+    total_dups += a.rank_stats[r].fault_dups;
+  }
+  EXPECT_GT(total_dups, 0u);
+
+  // A different seed draws a different sequence.
+  mpi::FaultOptions other = plan;
+  other.seed = 8;
+  const auto c = ring_run(4, 50, with_faults(other));
+  bool any_difference = false;
+  for (std::size_t r = 0; r < a.rank_stats.size(); ++r) {
+    any_difference = any_difference ||
+                     a.rank_stats[r].fault_dups != c.rank_stats[r].fault_dups ||
+                     a.rank_stats[r].fault_delays !=
+                         c.rank_stats[r].fault_delays;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjection, ArmedButZeroProbabilityPlanChangesNothing) {
+  // A plan with a seed but all probabilities zero must not perturb the run:
+  // injection draws nothing when no message-level fault is armed.
+  mpi::FaultOptions plan;
+  plan.seed = 12345;
+  const auto faulty = ring_run(4, 20, with_faults(plan));
+  const auto clean = ring_run(4, 20, mpi::RuntimeOptions{});
+  for (std::size_t r = 0; r < clean.rank_stats.size(); ++r) {
+    EXPECT_EQ(faulty.sim_times[r], clean.sim_times[r]);
+    EXPECT_EQ(faulty.rank_stats[r].transport_messages_sent,
+              clean.rank_stats[r].transport_messages_sent);
+  }
+  EXPECT_EQ(faulty.total_stats().fault_drops, 0u);
+}
+
+TEST(FaultInjection, DelayedMessagesStretchSimulatedTime) {
+  mpi::FaultOptions plan;
+  plan.delay_prob = 1.0;
+  plan.delay_seconds = 0.25;  // enormous next to the LogGP terms
+  const auto delayed = ring_run(2, 4, with_faults(plan));
+  const auto clean = ring_run(2, 4, mpi::RuntimeOptions{});
+  EXPECT_EQ(delayed.total_stats().fault_delays, 2u * 4u);
+  EXPECT_GT(delayed.max_sim_time(), clean.max_sim_time() + 0.25);
+}
+
+TEST(ReliableDelivery, RecoversEveryDroppedMessage) {
+  mpi::FaultOptions plan;
+  plan.seed = 3;
+  plan.drop_prob = 0.3;
+  constexpr int kMessages = 40;
+
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          for (int i = 0; i < kMessages; ++i) {
+            comm.send_reliable_value(i * 17, 1, 5);
+          }
+        } else {
+          for (int i = 0; i < kMessages; ++i) {
+            EXPECT_EQ(comm.recv_reliable_value<int>(0, 5), i * 17);
+          }
+        }
+      },
+      with_faults(plan));
+
+  const mpi::CommStats total = result.total_stats();
+  EXPECT_GT(total.fault_drops, 0u);         // faults actually fired
+  EXPECT_GT(total.reliable_retries, 0u);    // and were recovered by resend
+  EXPECT_EQ(total.reliable_retries, total.reliable_timeouts);
+  EXPECT_EQ(total.calls_to(mpi::Primitive::kSendReliable),
+            static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(total.calls_to(mpi::Primitive::kRecvReliable),
+            static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(ReliableDelivery, ReliableRunsAreSeedReproducible) {
+  mpi::FaultOptions plan;
+  plan.seed = 11;
+  plan.drop_prob = 0.25;
+  auto once = [&] {
+    return mpi::run(
+        2,
+        [](mpi::Comm& comm) {
+          if (comm.rank() == 0) {
+            for (int i = 0; i < 25; ++i) comm.send_reliable_value(i, 1);
+          } else {
+            for (int i = 0; i < 25; ++i) {
+              EXPECT_EQ(comm.recv_reliable_value<int>(0), i);
+            }
+          }
+        },
+        with_faults(plan));
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_EQ(a.total_stats().fault_drops, b.total_stats().fault_drops);
+  EXPECT_EQ(a.total_stats().reliable_retries,
+            b.total_stats().reliable_retries);
+  for (std::size_t r = 0; r < a.sim_times.size(); ++r) {
+    EXPECT_EQ(a.sim_times[r], b.sim_times[r]);
+  }
+}
+
+TEST(ReliableDelivery, InjectedDuplicatesAreFilteredExactlyOnce) {
+  mpi::FaultOptions plan;
+  plan.dup_prob = 1.0;  // every frame is delivered twice
+  constexpr int kMessages = 16;
+
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          for (int i = 0; i < kMessages; ++i) {
+            comm.send_reliable_value(100 + i, 1);
+          }
+        } else {
+          for (int i = 0; i < kMessages; ++i) {
+            EXPECT_EQ(comm.recv_reliable_value<int>(0), 100 + i);
+          }
+        }
+      },
+      with_faults(plan));
+
+  const mpi::CommStats total = result.total_stats();
+  EXPECT_EQ(total.fault_dups, static_cast<std::uint64_t>(kMessages));
+  // The duplicate of frame i is popped (and filtered) while receiving frame
+  // i+1; the last frame's duplicate is never consumed.
+  EXPECT_EQ(total.reliable_duplicates,
+            static_cast<std::uint64_t>(kMessages - 1));
+}
+
+TEST(ReliableDelivery, ExhaustedRetryBudgetThrows) {
+  mpi::FaultOptions plan;
+  plan.drop_prob = 1.0;  // nothing ever arrives
+  try {
+    mpi::run(
+        2,
+        [](mpi::Comm& comm) {
+          if (comm.rank() == 0) {
+            comm.send_reliable_value(42, 1);
+          } else {
+            (void)comm.recv_reliable_value<int>(0);
+          }
+        },
+        with_faults(plan, /*max_retries=*/2));
+    FAIL() << "expected MpiError";
+  } catch (const mpi::MpiError& e) {
+    EXPECT_NE(std::string(e.what()).find("retry budget exhausted"),
+              std::string::npos);
+  }
+}
+
+TEST(RankFailure, KilledRankMidCollectiveFailsEverySurvivor) {
+  mpi::FaultOptions plan;
+  plan.kill_rank = 2;
+  plan.kill_at_call = 5;
+  std::array<std::atomic<bool>, 4> saw_failure{};
+
+  try {
+    mpi::run(
+        4,
+        [&saw_failure](mpi::Comm& comm) {
+          try {
+            for (int i = 0; i < 10; ++i) comm.barrier();
+          } catch (const mpi::RankFailedError&) {
+            saw_failure[static_cast<std::size_t>(comm.rank())] = true;
+            throw;
+          }
+        },
+        with_faults(plan));
+    FAIL() << "expected RankFailedError";
+  } catch (const mpi::RankFailedError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 2"), std::string::npos);
+    EXPECT_NE(what.find("killed by fault injection"), std::string::npos);
+  }
+  // Nobody hung: the dead rank threw, and every survivor was unblocked
+  // with the same error class.
+  for (const auto& saw : saw_failure) EXPECT_TRUE(saw.load());
+}
+
+TEST(RankFailure, KilledRankMidP2PUnblocksBlockedReceiver) {
+  mpi::FaultOptions plan;
+  plan.kill_rank = 1;
+  plan.kill_at_call = 1;  // rank 1 dies at its very first primitive call
+  std::atomic<bool> receiver_failed{false};
+
+  EXPECT_THROW(
+      mpi::run(
+          2,
+          [&receiver_failed](mpi::Comm& comm) {
+            if (comm.rank() == 0) {
+              try {
+                (void)comm.recv_value<int>(1, 0);  // never arrives
+              } catch (const mpi::RankFailedError&) {
+                receiver_failed = true;
+                throw;
+              }
+            } else {
+              comm.send_value(7, 0, 0);  // dies inside this call
+            }
+          },
+          with_faults(plan)),
+      mpi::RankFailedError);
+  EXPECT_TRUE(receiver_failed.load());
+}
+
+TEST(RankFailure, FaultCountersAppearInTransportReport) {
+  mpi::FaultOptions plan;
+  plan.seed = 5;
+  plan.drop_prob = 0.4;
+  const auto result = mpi::run(
+      2,
+      [](mpi::Comm& comm) {
+        if (comm.rank() == 0) {
+          for (int i = 0; i < 12; ++i) comm.send_reliable_value(i, 1);
+        } else {
+          for (int i = 0; i < 12; ++i) {
+            (void)comm.recv_reliable_value<int>(0);
+          }
+        }
+      },
+      with_faults(plan));
+  const std::string report = mpi::transport_report(result.total_stats());
+  EXPECT_NE(report.find("fault injection:"), std::string::npos);
+  EXPECT_NE(report.find("reliable delivery:"), std::string::npos);
+
+  // Fault-free stats keep the report free of fault rows.
+  const auto clean = ring_run(2, 2, mpi::RuntimeOptions{});
+  EXPECT_EQ(mpi::transport_report(clean.total_stats()).find("fault"),
+            std::string::npos);
+}

@@ -283,3 +283,35 @@ TEST(Args, MissingFallbacks) {
   EXPECT_EQ(a.get_int("nope", 7), 7);
   EXPECT_DOUBLE_EQ(a.get_double("nope", 2.5), 2.5);
 }
+
+TEST(Args, TrailingGarbageRejected) {
+  // Regression: std::stol("8x") silently parses as 8, hiding the typo.
+  const auto a = parse({"run", "--ranks=8x", "--x=1.5e", "--y=2.0ms"});
+  EXPECT_THROW((void)a.get_int("ranks", 0), support::PreconditionError);
+  EXPECT_THROW((void)a.get_double("x", 0.0), support::PreconditionError);
+  EXPECT_THROW((void)a.get_double("y", 0.0), support::PreconditionError);
+}
+
+TEST(Args, KeysListsEveryParsedOption) {
+  const auto a = parse({"cmd", "--b=1", "--a", "--c=x"});
+  const auto k = a.keys();
+  ASSERT_EQ(k.size(), 3u);
+  EXPECT_EQ(k[0], "a");  // sorted
+  EXPECT_EQ(k[1], "b");
+  EXPECT_EQ(k[2], "c");
+}
+
+TEST(Args, ClosestMatchSuggestsNearbySpellings) {
+  const std::vector<std::string> known{"ranks", "nodes", "timeline"};
+  EXPECT_EQ(support::closest_match("rnaks", known), "ranks");
+  EXPECT_EQ(support::closest_match("timelin", known), "timeline");
+  EXPECT_EQ(support::closest_match("zzzzzzzzzz", known), "");
+}
+
+TEST(Rng, UniformIndexEmptyRangeThrows) {
+  // Regression: uniform_index(0) used to silently return 0, a valid-looking
+  // index into an empty container.
+  support::Xoshiro256 g(1);
+  EXPECT_THROW((void)g.uniform_index(0), support::PreconditionError);
+  EXPECT_EQ(g.uniform_index(1), 0u);
+}

@@ -15,13 +15,18 @@
 //   dipdc warmup  --ranks=8
 //
 // Global options: --ranks, --nodes, --seed, --timeline (print the
-// trace), --transport-stats (print the transport fast-path counters).
+// trace), --transport-stats (print the transport fast-path counters),
+// --faults=<spec> (deterministic fault injection, e.g.
+// "drop=0.1,dup=0.05,kill=3@40,retries=4"; grammar in minimpi/faults.hpp)
+// and --fault-seed=N (seed of the per-rank fault streams).
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "dataio/dataset.hpp"
 #include "minimpi/comm.hpp"
+#include "minimpi/faults.hpp"
 #include "minimpi/runtime.hpp"
 #include "minimpi/trace.hpp"
 #include "modules/comm/module1.hpp"
@@ -49,12 +54,18 @@ struct Common {
   std::uint64_t seed = 1;
   bool timeline = false;
   bool transport_stats = false;
+  std::string faults;  // --faults spec, empty = no injection
+  std::uint64_t fault_seed = 1;
 };
 
 mpi::RuntimeOptions options_for(const Common& c) {
   mpi::RuntimeOptions opts;
   opts.machine = pm::MachineConfig::monsoon_like(c.nodes);
   opts.record_trace = c.timeline;
+  if (!c.faults.empty()) {
+    mpi::parse_fault_spec(c.faults, opts.faults, opts.reliable);
+    opts.faults.seed = c.fault_seed;
+  }
   return opts;
 }
 
@@ -332,21 +343,73 @@ void usage() {
       "usage: dipdc <module1|module2|module3|module4|module5|module6|"
       "module7|warmup> [options]\n"
       "global options: --ranks=N --nodes=N --seed=N --timeline\n"
-      "                --transport-stats\n"
+      "                --transport-stats --faults=SPEC --fault-seed=N\n"
+      "fault spec:     drop=P dup=P delay=P[:S] kill=R[@N] retries=K\n"
+      "                timeout=S (comma-separated, e.g. "
+      "--faults=drop=0.1,retries=4)\n"
       "run 'dipdc <module>' with defaults to see its output shape; see the\n"
       "header of tools/dipdc.cpp for per-module options.\n");
+}
+
+/// Every option any module (or the driver itself) understands.  Unknown
+/// options abort the run up front: a misspelled flag silently falling back
+/// to its default is the worst kind of experiment error.
+const std::vector<std::string>& known_options() {
+  static const std::vector<std::string> kKnown = {
+      // global
+      "ranks", "nodes", "seed", "timeline", "transport-stats", "faults",
+      "fault-seed",
+      // module1
+      "activity", "iterations", "bytes", "messages",
+      // module2
+      "n", "dim", "tile", "trace-cache",
+      // module3
+      "dist", "policy",
+      // module4
+      "queries", "engine",
+      // module5
+      "k", "strategy",
+      // module6
+      "cells", "halo", "overlap",
+      // module7
+      "tokens", "vocab", "no-combine", "partition", "zipf",
+  };
+  return kKnown;
+}
+
+/// Returns false (after printing to stderr) when an unrecognized option is
+/// present.
+bool validate_options(const ArgParser& args) {
+  bool ok = true;
+  for (const std::string& key : args.keys()) {
+    const auto& known = known_options();
+    if (std::find(known.begin(), known.end(), key) != known.end()) continue;
+    const std::string hint = closest_match(key, known);
+    if (hint.empty()) {
+      std::fprintf(stderr, "error: unrecognized option --%s\n", key.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "error: unrecognized option --%s (did you mean --%s?)\n",
+                   key.c_str(), hint.c_str());
+    }
+    ok = false;
+  }
+  return ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
+  if (!validate_options(args)) return 2;
   Common c;
   c.ranks = static_cast<int>(args.get_int("ranks", 4));
   c.nodes = static_cast<int>(args.get_int("nodes", 1));
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   c.timeline = args.get_bool("timeline", false);
   c.transport_stats = args.get_bool("transport-stats", false);
+  c.faults = args.get("faults");
+  c.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
 
   try {
     const std::string& cmd = args.command();
