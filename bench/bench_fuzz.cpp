@@ -1,0 +1,67 @@
+// Throughput of the mpifuzz pipeline (generate -> oracle -> execute ->
+// check), in seeds per second — the number that decides how much coverage
+// a nightly fuzz budget buys.  Three configurations:
+//
+//   * fault-free   — pure conformance checking
+//   * auto faults  — the nightly default: a random plan drawn per seed
+//   * generate-only — generator + oracle without execution, isolating the
+//     cost of the real threaded runs
+//
+// Run with --seeds=N (default 200) and --base-seed=S (default 1).
+#include <cstdio>
+#include <string>
+
+#include "fuzz/check.hpp"
+#include "fuzz/execute.hpp"
+#include "fuzz/generate.hpp"
+#include "fuzz/oracle.hpp"
+#include "support/args.hpp"
+#include "support/stopwatch.hpp"
+
+namespace fz = dipdc::fuzz;
+
+namespace {
+
+struct Row {
+  const char* name;
+  std::string fault_spec;
+  bool execute = true;
+};
+
+void bench(const Row& row, long seeds, std::uint64_t base) {
+  fz::GenConfig cfg;
+  cfg.fault_spec = row.fault_spec;
+  long ops = 0;
+  long failures = 0;
+  dipdc::support::Stopwatch timer;
+  for (long i = 0; i < seeds; ++i) {
+    const fz::Program p = fz::generate(base + static_cast<std::uint64_t>(i),
+                                       cfg);
+    ops += static_cast<long>(p.op_count());
+    const fz::Expectation e = fz::oracle(p);
+    if (row.execute) {
+      const fz::CheckResult r = fz::check(p, e, fz::execute(p));
+      if (!r.ok) ++failures;
+    }
+  }
+  const double secs = timer.elapsed();
+  std::printf("%-14s %6ld seeds  %8ld ops  %7.2f s  %8.1f seeds/s  %ld "
+              "failures\n",
+              row.name, seeds, ops, secs, static_cast<double>(seeds) / secs,
+              failures);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dipdc::support::ArgParser args(argc, argv);
+  const long seeds = args.get_int("seeds", 200);
+  const auto base =
+      static_cast<std::uint64_t>(args.get_int("base-seed", 1));
+
+  std::printf("mpifuzz pipeline throughput (%ld seeds per row)\n\n", seeds);
+  bench({"fault-free", "", true}, seeds, base);
+  bench({"auto-faults", "auto", true}, seeds, base);
+  bench({"generate-only", "auto", false}, seeds, base);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Deterministic payload content for mpifuzz programs.
+//
+// Every payload in a generated program is a pure function of (program seed,
+// content id), so the executor, the sequential oracle, and emitted C++
+// repros can all materialise identical bytes without shipping data around.
+// Content ids are assigned by the generator: one per point-to-point message
+// (`Op::msg`) and one per (event, contributing member) for collectives.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace dipdc::fuzz {
+
+/// `n` pseudorandom bytes for point-to-point message `msg_id`.
+inline std::vector<std::uint8_t> message_bytes(std::uint64_t seed,
+                                               std::uint64_t msg_id,
+                                               std::size_t n) {
+  support::Xoshiro256 rng = support::make_stream(seed ^ 0x4D5347ull, msg_id);
+  std::vector<std::uint8_t> out(n);
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t word = rng();
+    const std::size_t take = std::min<std::size_t>(8, n - i);
+    std::memcpy(out.data() + i, &word, take);
+    i += take;
+  }
+  return out;
+}
+
+/// The std::uint64_t vector rank `member` contributes to the collective at
+/// `event` (reductions and 8-byte movement collectives).
+inline std::vector<std::uint64_t> collective_words(std::uint64_t seed,
+                                                   std::uint64_t event,
+                                                   int member,
+                                                   std::size_t n) {
+  support::Xoshiro256 rng = support::make_stream(
+      seed ^ 0xC011EC7ull, (event << 16) | static_cast<std::uint64_t>(member));
+  std::vector<std::uint64_t> out(n);
+  for (std::uint64_t& w : out) w = rng();
+  return out;
+}
+
+/// Byte-element variant for elem_size == 1 movement collectives.
+inline std::vector<std::uint8_t> collective_bytes(std::uint64_t seed,
+                                                  std::uint64_t event,
+                                                  int member, std::size_t n) {
+  const std::vector<std::uint64_t> words =
+      collective_words(seed, event, member, (n + 7) / 8);
+  std::vector<std::uint8_t> out(n);
+  if (n > 0) std::memcpy(out.data(), words.data(), n);
+  return out;
+}
+
+}  // namespace dipdc::fuzz

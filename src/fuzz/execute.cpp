@@ -1,0 +1,199 @@
+#include "fuzz/execute.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <map>
+#include <span>
+
+#include "fuzz/content.hpp"
+#include "fuzz/repro_util.hpp"
+#include "minimpi/comm.hpp"
+#include "support/error.hpp"
+
+namespace dipdc::fuzz {
+
+// repro_util.hpp re-declares the collective op kinds as plain integers so
+// emitted repros don't need program.hpp; keep the two in lockstep.
+static_assert(static_cast<int>(OpKind::kBarrier) == 10 &&
+              static_cast<int>(OpKind::kAlltoallv) == 22);
+
+namespace {
+
+/// Per-rank interpreter state: request slots, their buffers, and the
+/// metadata needed to emit an observation when a deferred wait completes.
+struct RankInterp {
+  std::array<minimpi::Request, 16> reqs;
+  std::array<std::vector<std::uint8_t>, 16> bufs;
+  struct SlotMeta {
+    bool is_recv = false;
+    std::uint32_t event = 0;
+  };
+  std::array<SlotMeta, 16> meta;
+  /// isend payloads must stay alive until their wait (the transport may
+  /// borrow them zero-copy).
+  std::deque<std::vector<std::uint8_t>> send_keepalive;
+};
+
+void run_rank(const Program& p, minimpi::Comm& world, RankInterp& st,
+              std::vector<Observation>& obs) {
+  const int rank = world.rank();
+  std::deque<minimpi::Comm> comm_store;
+  std::map<int, minimpi::Comm*> comms;
+  comms[0] = &world;
+
+  auto slot_idx = [](int req) { return static_cast<std::size_t>(req); };
+
+  // DIPDC_FUZZ_TRACE=1 logs every op as it starts — when a run wedges,
+  // the last line per rank is where it is blocked.
+  static const bool trace_ops = std::getenv("DIPDC_FUZZ_TRACE") != nullptr;
+
+  for (const Op& op : p.ops[static_cast<std::size_t>(rank)]) {
+    minimpi::Comm& comm = *comms.at(op.comm);
+    if (trace_ops) {
+      std::fprintf(stderr, "[fuzz] rank %d e%u %s start\n", rank, op.event,
+                   op_kind_name(op.kind));
+    }
+    switch (op.kind) {
+      case OpKind::kSend:
+      case OpKind::kSendReliable: {
+        const std::vector<std::uint8_t> m =
+            message_bytes(p.seed, op.msg, op.bytes);
+        if (op.kind == OpKind::kSend) {
+          comm.send(std::span<const std::uint8_t>(m), op.peer, op.tag);
+        } else {
+          comm.send_reliable(std::span<const std::uint8_t>(m), op.peer,
+                             op.tag);
+        }
+        break;
+      }
+      case OpKind::kIsend: {
+        st.send_keepalive.push_back(message_bytes(p.seed, op.msg, op.bytes));
+        st.reqs[slot_idx(op.req)] = comm.isend(
+            std::span<const std::uint8_t>(st.send_keepalive.back()), op.peer,
+            op.tag);
+        st.meta[slot_idx(op.req)] = {false, op.event};
+        break;
+      }
+      case OpKind::kRecv:
+      case OpKind::kRecvReliable: {
+        std::vector<std::uint8_t> m(op.bytes);
+        const minimpi::Status s =
+            op.kind == OpKind::kRecv
+                ? comm.recv(std::span<std::uint8_t>(m), op.peer, op.tag)
+                : comm.recv_reliable(std::span<std::uint8_t>(m), op.peer,
+                                     op.tag);
+        m.resize(s.bytes);
+        obs.push_back({op.event, op.kind, s.source, s.tag, std::move(m)});
+        break;
+      }
+      case OpKind::kProbeRecv: {
+        const minimpi::Status ps = comm.probe(op.peer, op.tag);
+        std::vector<std::uint8_t> m(ps.bytes);
+        const minimpi::Status s =
+            comm.recv(std::span<std::uint8_t>(m), ps.source, ps.tag);
+        m.resize(s.bytes);
+        obs.push_back({op.event, op.kind, s.source, s.tag, std::move(m)});
+        break;
+      }
+      case OpKind::kIrecv: {
+        st.bufs[slot_idx(op.req)].assign(op.bytes, 0);
+        st.reqs[slot_idx(op.req)] = comm.irecv(
+            std::span<std::uint8_t>(st.bufs[slot_idx(op.req)]), op.peer,
+            op.tag);
+        st.meta[slot_idx(op.req)] = {true, op.event};
+        break;
+      }
+      case OpKind::kWait: {
+        const minimpi::Status s = comm.wait(st.reqs[slot_idx(op.req)]);
+        const RankInterp::SlotMeta m = st.meta[slot_idx(op.req)];
+        if (m.is_recv) {
+          std::vector<std::uint8_t> buf =
+              std::move(st.bufs[slot_idx(op.req)]);
+          buf.resize(s.bytes);
+          obs.push_back(
+              {m.event, OpKind::kIrecv, s.source, s.tag, std::move(buf)});
+        }
+        break;
+      }
+      case OpKind::kWaitAll: {
+        for (int r = op.req; r < op.req + op.nreq; ++r) {
+          const minimpi::Status s = comm.wait(st.reqs[slot_idx(r)]);
+          const RankInterp::SlotMeta m = st.meta[slot_idx(r)];
+          if (m.is_recv) {
+            std::vector<std::uint8_t> buf = std::move(st.bufs[slot_idx(r)]);
+            buf.resize(s.bytes);
+            obs.push_back(
+                {m.event, OpKind::kIrecv, s.source, s.tag, std::move(buf)});
+          }
+        }
+        break;
+      }
+      case OpKind::kSendrecv: {
+        const std::vector<std::uint8_t> s =
+            message_bytes(p.seed, op.msg, op.bytes);
+        std::vector<std::uint8_t> r(op.bytes2);
+        const minimpi::Status rs = comm.sendrecv(
+            std::span<const std::uint8_t>(s), op.peer, op.tag,
+            std::span<std::uint8_t>(r), op.peer2, op.tag2);
+        r.resize(rs.bytes);
+        obs.push_back({op.event, op.kind, rs.source, rs.tag, std::move(r)});
+        break;
+      }
+      case OpKind::kSplit: {
+        comm_store.push_back(comm.split(op.color, op.key));
+        comms[op.result_comm] = &comm_store.back();
+        break;
+      }
+      case OpKind::kSimCompute:
+        comm.sim_compute(op.amount, op.amount);
+        break;
+      case OpKind::kSimAdvance:
+        comm.sim_advance(op.amount);
+        break;
+      default: {
+        // Collectives run through the same helper emitted repros use.
+        std::vector<std::uint8_t> result = run_collective(
+            comm, p.seed, static_cast<int>(op.kind), op.event, op.elems,
+            op.elem_size, op.root, static_cast<int>(op.rop), op.counts,
+            op.counts2);
+        obs.push_back({op.event, op.kind, -2, -2, std::move(result)});
+        break;
+      }
+    }
+    if (trace_ops) {
+      std::fprintf(stderr, "[fuzz] rank %d e%u %s done\n", rank, op.event,
+                   op_kind_name(op.kind));
+    }
+  }
+}
+
+}  // namespace
+
+ExecutionOutcome execute(const Program& p) {
+  ExecutionOutcome out;
+  out.obs.assign(static_cast<std::size_t>(p.nranks), {});
+  // Interpreter state lives here, not in the rank lambda: a rank killed by
+  // fault injection unwinds with irecv/isend requests still pending, and a
+  // peer may deliver into (or borrow from) those buffers after the dead
+  // rank's frame is gone.  Keeping them alive until run() joins every
+  // thread makes rank death memory-safe.
+  std::vector<RankInterp> states(static_cast<std::size_t>(p.nranks));
+  try {
+    out.result = minimpi::run(
+        p.nranks,
+        [&](minimpi::Comm& comm) {
+          const auto r = static_cast<std::size_t>(comm.rank());
+          run_rank(p, comm, states[r], out.obs[r]);
+        },
+        p.options);
+    out.ran = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace dipdc::fuzz

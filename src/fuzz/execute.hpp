@@ -1,0 +1,39 @@
+// mpifuzz executor: runs a Program on the real threaded minimpi runtime and
+// records what each rank actually observed (receive payloads and statuses,
+// collective result buffers) alongside the RunResult.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/program.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace dipdc::fuzz {
+
+/// What one observing op actually saw; mirrors oracle.hpp's ExpectObs and
+/// is recorded in the same per-rank order the oracle emits expectations.
+struct Observation {
+  std::uint32_t event = 0;
+  OpKind kind = OpKind::kRecv;
+  int source = -2;
+  int tag = -2;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct ExecutionOutcome {
+  /// run() returned normally.  When false, `error` holds the exception text
+  /// (deadlocks, fault-injection kills, runtime REQUIRE failures, ...) and
+  /// result/obs are partial.
+  bool ran = false;
+  std::string error;
+  minimpi::RunResult result;
+  std::vector<std::vector<Observation>> obs;  // per world rank
+};
+
+/// Executes the program on the threaded runtime.  Never throws for runtime
+/// failures — they are captured in the outcome for the checker to judge.
+[[nodiscard]] ExecutionOutcome execute(const Program& p);
+
+}  // namespace dipdc::fuzz

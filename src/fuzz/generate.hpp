@@ -1,0 +1,40 @@
+// mpifuzz program generator: (seed, config) -> random-but-valid Program.
+//
+// Validity invariants established here (and relied on by the oracle):
+//  * Events are globally ordered and each rank's op list follows that order
+//    (deferred isend/irecv waits keep their event id but may appear later),
+//    so generated programs are deadlock-free by construction.
+//  * Every event owns a disjoint tag range (8 tags starting at 1+8*event),
+//    so exact-tag matching is unambiguous and wildcard receives can only
+//    match their own window's messages.
+//  * When the fault plan can drop or duplicate messages, every user p2p
+//    operation goes through the reliable-delivery layer (and sendrecv /
+//    probe, which cannot, are not generated), so delivery stays exactly-once
+//    and the oracle's 1:1 matching remains valid.
+//  * Message payloads and collective contributions are pure functions of
+//    (seed, content id) — see content.hpp — so replay needs only the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/program.hpp"
+
+namespace dipdc::fuzz {
+
+struct GenConfig {
+  int max_ranks = 8;          // world size drawn uniformly from [2, max_ranks]
+  int target_events = 40;     // events per program (ops is a few x this)
+  std::uint32_t max_bytes = 4096;  // max p2p payload size
+  /// "" = fault-free, "auto" = draw a random plan from the seed, otherwise a
+  /// parse_fault_spec() string applied verbatim (kill ranks are clamped to
+  /// the drawn world size).
+  std::string fault_spec;
+  /// Fault-injection seed; 0 derives one from the program seed.
+  std::uint64_t fault_seed = 0;
+};
+
+/// Deterministically generates a program: same (seed, cfg) -> same Program.
+[[nodiscard]] Program generate(std::uint64_t seed, const GenConfig& cfg = {});
+
+}  // namespace dipdc::fuzz

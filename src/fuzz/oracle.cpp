@@ -1,0 +1,360 @@
+#include "fuzz/oracle.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "fuzz/content.hpp"
+#include "support/error.hpp"
+
+namespace dipdc::fuzz {
+
+namespace {
+
+using minimpi::Primitive;
+
+std::vector<std::size_t> byte_counts(const std::vector<std::uint32_t>& counts,
+                                     int elem_size) {
+  std::vector<std::size_t> out(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = static_cast<std::size_t>(counts[i]) *
+             static_cast<std::size_t>(elem_size);
+  }
+  return out;
+}
+
+std::vector<std::size_t> prefix_displs(const std::vector<std::size_t>& c) {
+  std::vector<std::size_t> d(c.size(), 0);
+  for (std::size_t i = 1; i < c.size(); ++i) d[i] = d[i - 1] + c[i - 1];
+  return d;
+}
+
+std::uint64_t combine(ReduceKind k, std::uint64_t a, std::uint64_t b) {
+  switch (k) {
+    case ReduceKind::kSum: return a + b;
+    case ReduceKind::kMin: return b < a ? b : a;
+    case ReduceKind::kMax: return a < b ? b : a;
+    case ReduceKind::kXor: return a ^ b;
+  }
+  return 0;
+}
+
+std::vector<std::uint8_t> words_to_bytes(const std::vector<std::uint64_t>& w) {
+  std::vector<std::uint8_t> out(w.size() * 8);
+  if (!out.empty()) std::memcpy(out.data(), w.data(), out.size());
+  return out;
+}
+
+class Oracle {
+ public:
+  explicit Oracle(const Program& p) : p_(p) {}
+
+  Expectation run() {
+    const auto n = static_cast<std::size_t>(p_.nranks);
+    e_.calls.assign(n, {});
+    e_.trace_events.assign(n, 0);
+    e_.p2p.assign(n, {});
+    e_.obs.assign(n, {});
+    const minimpi::FaultOptions& f = p_.options.faults;
+    e_.exact_p2p = !(f.drop_prob > 0 || f.dup_prob > 0);
+
+    for (int r = 0; r < p_.nranks; ++r) interpret_rank(r);
+
+    if (f.kill_rank >= 0 && f.kill_rank < p_.nranks) {
+      const auto& kc = e_.calls[static_cast<std::size_t>(f.kill_rank)];
+      const std::uint64_t total =
+          std::accumulate(kc.begin(), kc.end(), std::uint64_t{0});
+      if (static_cast<std::uint64_t>(f.kill_at_call) <= total) {
+        e_.expect_kill = true;
+        e_.killed_rank = f.kill_rank;
+      }
+    }
+    return std::move(e_);
+  }
+
+ private:
+  void count(int rank, Primitive prim, std::uint64_t k = 1) {
+    e_.calls[static_cast<std::size_t>(rank)]
+            [static_cast<std::size_t>(prim)] += k;
+    e_.trace_events[static_cast<std::size_t>(rank)] += k;
+  }
+
+  /// User-p2p accounting for one delivered message (reliable frames carry
+  /// an 8-byte header).  `src`/`dst` are world ranks.
+  void account_message(int src, int dst, std::uint32_t payload,
+                       bool reliable) {
+    const std::uint64_t wire = payload + (reliable ? 8u : 0u);
+    auto& sp = e_.p2p[static_cast<std::size_t>(src)];
+    auto& rp = e_.p2p[static_cast<std::size_t>(dst)];
+    sp[0] += wire;
+    sp[1] += 1;
+    rp[2] += wire;
+    rp[3] += 1;
+    ChannelExpect& ch = e_.channels[{src, dst}];
+    ch.bytes += wire;
+    ch.messages += 1;
+  }
+
+  [[nodiscard]] int to_world(int comm_id, int comm_rank) const {
+    return p_.comm_info(comm_id).members[static_cast<std::size_t>(comm_rank)];
+  }
+
+  /// The op a given comm member executes for `event` (collective lookups).
+  [[nodiscard]] const Op& member_op(int comm_id, int member,
+                                    std::uint32_t event) const {
+    const int world = to_world(comm_id, member);
+    for (const Op& op : p_.ops[static_cast<std::size_t>(world)]) {
+      if (op.event == event && op.comm == comm_id) return op;
+    }
+    DIPDC_REQUIRE(false, "collective op missing on a member rank");
+    return p_.ops[0][0];  // unreachable
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> reduction_result(const Op& op,
+                                                           int member,
+                                                           int p) const {
+    const int upto = op.kind == OpKind::kScan ? member : p - 1;
+    std::vector<std::uint64_t> acc =
+        collective_words(p_.seed, op.event, 0, op.elems);
+    for (int m = 1; m <= upto; ++m) {
+      const std::vector<std::uint64_t> w =
+          collective_words(p_.seed, op.event, m, op.elems);
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = combine(op.rop, acc[i], w[i]);
+      }
+    }
+    return words_to_bytes(acc);
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> collective_result(const Op& op,
+                                                            int member) const {
+    const CommInfo& c = p_.comm_info(op.comm);
+    const int p = static_cast<int>(c.members.size());
+    const std::size_t nb = static_cast<std::size_t>(op.elems) *
+                           static_cast<std::size_t>(op.elem_size);
+    auto content = [&](int m, std::size_t bytes) {
+      return collective_bytes(p_.seed, op.event, m, bytes);
+    };
+    auto slice = [](const std::vector<std::uint8_t>& v, std::size_t off,
+                    std::size_t len) {
+      return std::vector<std::uint8_t>(v.begin() + static_cast<std::ptrdiff_t>(off),
+                                       v.begin() + static_cast<std::ptrdiff_t>(off + len));
+    };
+    switch (op.kind) {
+      case OpKind::kBarrier:
+        return {};
+      case OpKind::kBcast:
+        return content(op.root, nb);
+      case OpKind::kScatter:
+        return slice(content(op.root, nb * static_cast<std::size_t>(p)),
+                     static_cast<std::size_t>(member) * nb, nb);
+      case OpKind::kScatterv: {
+        const auto bc = byte_counts(op.counts, op.elem_size);
+        const auto d = prefix_displs(bc);
+        const std::size_t total =
+            std::accumulate(bc.begin(), bc.end(), std::size_t{0});
+        return slice(content(op.root, total),
+                     d[static_cast<std::size_t>(member)],
+                     bc[static_cast<std::size_t>(member)]);
+      }
+      case OpKind::kGather:
+      case OpKind::kAllgather: {
+        if (op.kind == OpKind::kGather && member != op.root) return {};
+        std::vector<std::uint8_t> out;
+        for (int m = 0; m < p; ++m) {
+          const auto piece = content(m, nb);
+          out.insert(out.end(), piece.begin(), piece.end());
+        }
+        return out;
+      }
+      case OpKind::kGatherv:
+      case OpKind::kAllgatherv: {
+        if (op.kind == OpKind::kGatherv && member != op.root) return {};
+        const auto bc = byte_counts(op.counts, op.elem_size);
+        std::vector<std::uint8_t> out;
+        for (int m = 0; m < p; ++m) {
+          const auto piece = content(m, bc[static_cast<std::size_t>(m)]);
+          out.insert(out.end(), piece.begin(), piece.end());
+        }
+        return out;
+      }
+      case OpKind::kReduce:
+        if (member != op.root) return {};
+        return reduction_result(op, member, p);
+      case OpKind::kAllreduce:
+      case OpKind::kScan:
+        return reduction_result(op, member, p);
+      case OpKind::kAlltoall: {
+        std::vector<std::uint8_t> out;
+        for (int m = 0; m < p; ++m) {
+          const auto all = content(m, nb * static_cast<std::size_t>(p));
+          const auto piece =
+              slice(all, static_cast<std::size_t>(member) * nb, nb);
+          out.insert(out.end(), piece.begin(), piece.end());
+        }
+        return out;
+      }
+      case OpKind::kAlltoallv: {
+        std::vector<std::uint8_t> out;
+        for (int m = 0; m < p; ++m) {
+          const Op& src = member_op(op.comm, m, op.event);
+          const auto bc = byte_counts(src.counts, src.elem_size);
+          const auto d = prefix_displs(bc);
+          const std::size_t total =
+              std::accumulate(bc.begin(), bc.end(), std::size_t{0});
+          const auto piece =
+              slice(content(m, total), d[static_cast<std::size_t>(member)],
+                    bc[static_cast<std::size_t>(member)]);
+          out.insert(out.end(), piece.begin(), piece.end());
+        }
+        return out;
+      }
+      default:
+        DIPDC_REQUIRE(false, "not a collective op");
+        return {};
+    }
+  }
+
+  void interpret_rank(int rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    auto& obs = e_.obs[r];
+    // Slot map for deferred waits: slot -> expected observation (empty for
+    // isend slots, which observe nothing at wait time).
+    std::unordered_map<int, std::pair<bool, ExpectObs>> slots;
+
+    for (const Op& op : p_.ops[r]) {
+      const CommInfo& c = p_.comm_info(op.comm);
+      switch (op.kind) {
+        case OpKind::kSend:
+        case OpKind::kIsend:
+        case OpKind::kSendReliable: {
+          count(rank, op.kind == OpKind::kSend       ? Primitive::kSend
+                      : op.kind == OpKind::kIsend    ? Primitive::kIsend
+                                                     : Primitive::kSendReliable);
+          account_message(rank, to_world(op.comm, op.peer), op.bytes,
+                          op.kind == OpKind::kSendReliable);
+          if (op.kind == OpKind::kIsend) {
+            slots[op.req] = {false, ExpectObs{}};
+          }
+          break;
+        }
+        case OpKind::kRecv:
+        case OpKind::kProbeRecv:
+        case OpKind::kRecvReliable:
+        case OpKind::kIrecv: {
+          if (op.kind == OpKind::kProbeRecv) {
+            count(rank, Primitive::kProbe);
+            count(rank, Primitive::kRecv);
+          } else {
+            count(rank, op.kind == OpKind::kRecv      ? Primitive::kRecv
+                        : op.kind == OpKind::kIrecv   ? Primitive::kIrecv
+                                                      : Primitive::kRecvReliable);
+          }
+          ExpectObs ex;
+          ex.event = op.event;
+          ex.kind = op.kind;
+          if (op.peer == minimpi::kAnySource) {
+            ex.window = true;
+            ex.wsources = op.wsources;
+            for (const std::uint64_t m : op.wmsgs) {
+              ex.wbytes.push_back(message_bytes(p_.seed, m, op.bytes));
+            }
+          } else {
+            ex.source = op.expect_source;
+            ex.tag = op.expect_tag;
+            ex.bytes = message_bytes(p_.seed, op.msg, op.bytes);
+          }
+          if (op.kind == OpKind::kIrecv) {
+            slots[op.req] = {true, std::move(ex)};
+          } else {
+            obs.push_back(std::move(ex));
+          }
+          break;
+        }
+        case OpKind::kWait: {
+          count(rank, Primitive::kWait);
+          auto it = slots.find(op.req);
+          DIPDC_REQUIRE(it != slots.end(), "wait on unknown request slot");
+          if (it->second.first) obs.push_back(std::move(it->second.second));
+          slots.erase(it);
+          break;
+        }
+        case OpKind::kWaitAll: {
+          for (int s = op.req; s < op.req + op.nreq; ++s) {
+            count(rank, Primitive::kWait);
+            auto it = slots.find(s);
+            if (it == slots.end()) continue;
+            if (it->second.first) obs.push_back(std::move(it->second.second));
+            slots.erase(it);
+          }
+          break;
+        }
+        case OpKind::kSendrecv: {
+          count(rank, Primitive::kSendrecv);
+          account_message(rank, to_world(op.comm, op.peer), op.bytes, false);
+          ExpectObs ex;
+          ex.event = op.event;
+          ex.kind = op.kind;
+          ex.source = op.expect_source;
+          ex.tag = op.expect_tag;
+          ex.bytes = message_bytes(p_.seed, op.msg2, op.bytes2);
+          obs.push_back(std::move(ex));
+          break;
+        }
+        case OpKind::kSplit:
+        case OpKind::kSimCompute:
+        case OpKind::kSimAdvance:
+          break;  // no count_call, no trace, no observation
+        default: {
+          // Collectives.  kAllgatherv counts as Primitive::kAllgather.
+          static constexpr std::pair<OpKind, Primitive> kMap[] = {
+              {OpKind::kBarrier, Primitive::kBarrier},
+              {OpKind::kBcast, Primitive::kBcast},
+              {OpKind::kScatter, Primitive::kScatter},
+              {OpKind::kScatterv, Primitive::kScatterv},
+              {OpKind::kGather, Primitive::kGather},
+              {OpKind::kGatherv, Primitive::kGatherv},
+              {OpKind::kAllgather, Primitive::kAllgather},
+              {OpKind::kAllgatherv, Primitive::kAllgather},
+              {OpKind::kReduce, Primitive::kReduce},
+              {OpKind::kAllreduce, Primitive::kAllreduce},
+              {OpKind::kScan, Primitive::kScan},
+              {OpKind::kAlltoall, Primitive::kAlltoall},
+              {OpKind::kAlltoallv, Primitive::kAlltoallv},
+          };
+          bool mapped = false;
+          for (const auto& [k, prim] : kMap) {
+            if (k == op.kind) {
+              count(rank, prim);
+              mapped = true;
+              break;
+            }
+          }
+          DIPDC_REQUIRE(mapped, "unhandled op kind in oracle");
+          int member = -1;
+          for (std::size_t i = 0; i < c.members.size(); ++i) {
+            if (c.members[i] == rank) member = static_cast<int>(i);
+          }
+          DIPDC_REQUIRE(member >= 0, "rank not a member of collective comm");
+          ExpectObs ex;
+          ex.event = op.event;
+          ex.kind = op.kind;
+          ex.source = -2;
+          ex.tag = -2;
+          ex.bytes = collective_result(op, member);
+          obs.push_back(std::move(ex));
+          break;
+        }
+      }
+    }
+    DIPDC_REQUIRE(slots.empty(), "generated program leaked request slots");
+  }
+
+  const Program& p_;
+  Expectation e_;
+};
+
+}  // namespace
+
+Expectation oracle(const Program& p) { return Oracle(p).run(); }
+
+}  // namespace dipdc::fuzz

@@ -1,0 +1,73 @@
+// mpifuzz sequential oracle: a single-threaded interpreter that derives the
+// expected outcome of a Program without running the threaded runtime.
+//
+// Because generated programs guarantee 1:1 message matching (unique tag
+// ranges per event, FIFO-deterministic wildcard-tag windows, source-resolved
+// any-source windows), the oracle needs no channel simulation: it walks each
+// rank's op list once and derives, per rank,
+//  * exact primitive call counts (CommStats::calls) and therefore the exact
+//    number of trace events,
+//  * exact user-p2p byte/message totals and per-channel traffic (only
+//    asserted when the fault plan cannot drop or duplicate),
+//  * the expected payload of every receive and the expected result buffer
+//    of every collective, in the order the executor observes them,
+//  * whether an armed kill plan actually fires (its call index is within
+//    the victim's total call count), in which case the run must abort with
+//    RankFailedError instead of producing results.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fuzz/program.hpp"
+#include "minimpi/types.hpp"
+
+namespace dipdc::fuzz {
+
+/// Expected observation for one observing op, in executor order.
+struct ExpectObs {
+  std::uint32_t event = 0;
+  OpKind kind = OpKind::kRecv;
+  /// Any-source window member: matched by source against `wsources` /
+  /// `wbytes` instead of the exact fields below.
+  bool window = false;
+  int source = -2;
+  int tag = -2;
+  std::vector<std::uint8_t> bytes;
+  std::vector<int> wsources;
+  std::vector<std::vector<std::uint8_t>> wbytes;  // parallel to wsources
+};
+
+struct ChannelExpect {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+struct Expectation {
+  /// True when the armed kill plan provably fires: the run must throw
+  /// RankFailedError and no other invariant is checked.
+  bool expect_kill = false;
+  int killed_rank = -1;
+
+  /// No drops or duplicates armed: p2p totals and channel traffic are exact.
+  bool exact_p2p = true;
+
+  std::vector<std::array<std::uint64_t, minimpi::kPrimitiveCount>> calls;
+  std::vector<std::uint64_t> trace_events;  // per rank, == sum of calls
+  /// Per rank: {bytes_sent, messages_sent, bytes_received,
+  /// messages_received} at user p2p level (reliable frames count header
+  /// bytes), valid when exact_p2p.
+  std::vector<std::array<std::uint64_t, 4>> p2p;
+  /// Per (src, dst) world pair, valid when exact_p2p; sent == received.
+  std::map<std::pair<int, int>, ChannelExpect> channels;
+  /// Per rank, in the order the executor records observations.
+  std::vector<std::vector<ExpectObs>> obs;
+};
+
+/// Interprets the program sequentially and returns its expected outcome.
+[[nodiscard]] Expectation oracle(const Program& p);
+
+}  // namespace dipdc::fuzz

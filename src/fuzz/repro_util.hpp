@@ -1,0 +1,266 @@
+// Shared collective-execution helper for mpifuzz.
+//
+// Both the fuzz executor and the C++ repros emitted by to_cpp() drive
+// collectives through run_collective(), so a shrunk repro exercises exactly
+// the code path the fuzzer observed failing.  Movement collectives are
+// executed as byte spans (counts are scaled by elem_size up front — slice
+// boundaries and algorithm selection depend only on byte sizes, so the
+// result is bit-identical to the typed call); reductions always operate on
+// std::uint64_t with order-independent operators, so every algorithm
+// (classic, recursive doubling, ring) must produce identical bits.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "fuzz/content.hpp"
+#include "minimpi/comm.hpp"
+#include "support/error.hpp"
+
+namespace dipdc::fuzz {
+
+/// Bitwise-xor reduction (not in minimpi::ops; fully associative and
+/// commutative on unsigned, so bit-exact under any evaluation order).
+struct BitXor {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a ^ b;
+  }
+};
+
+/// Wrapping sum: unsigned overflow is defined and order-independent.
+struct WrapSum {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return static_cast<T>(a + b);
+  }
+};
+
+struct MinOf {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return b < a ? b : a;
+  }
+};
+
+struct MaxOf {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a < b ? b : a;
+  }
+};
+
+namespace repro_detail {
+
+inline std::vector<std::size_t> to_byte_counts(
+    const std::vector<std::uint32_t>& counts, int elem_size) {
+  std::vector<std::size_t> out(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = static_cast<std::size_t>(counts[i]) *
+             static_cast<std::size_t>(elem_size);
+  }
+  return out;
+}
+
+inline std::vector<std::size_t> prefix_displs(
+    const std::vector<std::size_t>& counts) {
+  std::vector<std::size_t> displs(counts.size(), 0);
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    displs[i] = displs[i - 1] + counts[i - 1];
+  }
+  return displs;
+}
+
+inline std::vector<std::uint8_t> words_to_bytes(
+    const std::vector<std::uint64_t>& w) {
+  std::vector<std::uint8_t> out(w.size() * 8);
+  if (!out.empty()) std::memcpy(out.data(), w.data(), out.size());
+  return out;
+}
+
+template <typename Fn>
+std::vector<std::uint8_t> run_reduction(minimpi::Comm& comm,
+                                        std::uint64_t seed, int kind,
+                                        std::uint64_t event,
+                                        std::uint32_t elems, int root,
+                                        Fn&& call) {
+  (void)kind;
+  const std::vector<std::uint64_t> mine =
+      collective_words(seed, event, comm.rank(), elems);
+  std::vector<std::uint64_t> out(elems);
+  const bool has_result = call(mine, out, root);
+  return has_result ? words_to_bytes(out) : std::vector<std::uint8_t>{};
+}
+
+}  // namespace repro_detail
+
+/// Executes one collective described by the fuzz op fields (`kind` is the
+/// integer value of fuzz::OpKind) and returns the bytes this rank's result
+/// buffer holds afterwards — empty when the collective defines no result
+/// for this rank (e.g. gather on a non-root).
+///
+/// Contribution content is the pure function fuzz::collective_bytes /
+/// collective_words of (seed, event, member), so caller and oracle agree
+/// on inputs without communication.
+inline std::vector<std::uint8_t> run_collective(
+    minimpi::Comm& comm, std::uint64_t seed, int kind, std::uint64_t event,
+    std::uint32_t elems, int elem_size, int root, int rop,
+    const std::vector<std::uint32_t>& counts,
+    const std::vector<std::uint32_t>& counts2) {
+  using repro_detail::prefix_displs;
+  using repro_detail::to_byte_counts;
+  const int p = comm.size();
+  const int r = comm.rank();
+  const std::size_t esz = static_cast<std::size_t>(elem_size);
+  const std::size_t nb = static_cast<std::size_t>(elems) * esz;
+  auto content = [&](int member, std::size_t n) {
+    return collective_bytes(seed, event, member, n);
+  };
+
+  // kind values follow fuzz::OpKind; keep in sync with program.hpp.
+  enum {
+    kBarrier = 10, kBcast, kScatter, kScatterv, kGather, kGatherv,
+    kAllgather, kAllgatherv, kReduce, kAllreduce, kScan, kAlltoall,
+    kAlltoallv
+  };
+
+  switch (kind) {
+    case kBarrier: {
+      comm.barrier();
+      return {};
+    }
+    case kBcast: {
+      std::vector<std::uint8_t> buf =
+          r == root ? content(root, nb) : std::vector<std::uint8_t>(nb);
+      comm.bcast(std::span<std::uint8_t>(buf), root);
+      return buf;
+    }
+    case kScatter: {
+      // Every rank materialises root's send buffer (content is pure), so no
+      // rank needs to special-case an empty span.
+      std::vector<std::uint8_t> send =
+          content(root, nb * static_cast<std::size_t>(p));
+      std::vector<std::uint8_t> recv(nb);
+      comm.scatter(std::span<const std::uint8_t>(send),
+                   std::span<std::uint8_t>(recv), root);
+      return recv;
+    }
+    case kScatterv: {
+      const std::vector<std::size_t> bc = to_byte_counts(counts, elem_size);
+      const std::vector<std::size_t> displs = prefix_displs(bc);
+      const std::size_t total =
+          std::accumulate(bc.begin(), bc.end(), std::size_t{0});
+      std::vector<std::uint8_t> send = content(root, total);
+      std::vector<std::uint8_t> recv(bc[static_cast<std::size_t>(r)]);
+      comm.scatterv(std::span<const std::uint8_t>(send),
+                    std::span<const std::size_t>(bc),
+                    std::span<const std::size_t>(displs),
+                    std::span<std::uint8_t>(recv), root);
+      return recv;
+    }
+    case kGather: {
+      std::vector<std::uint8_t> send = content(r, nb);
+      std::vector<std::uint8_t> recv(nb * static_cast<std::size_t>(p));
+      comm.gather(std::span<const std::uint8_t>(send),
+                  std::span<std::uint8_t>(recv), root);
+      return r == root ? recv : std::vector<std::uint8_t>{};
+    }
+    case kGatherv: {
+      const std::vector<std::size_t> bc = to_byte_counts(counts, elem_size);
+      const std::vector<std::size_t> displs = prefix_displs(bc);
+      const std::size_t total =
+          std::accumulate(bc.begin(), bc.end(), std::size_t{0});
+      std::vector<std::uint8_t> send =
+          content(r, bc[static_cast<std::size_t>(r)]);
+      std::vector<std::uint8_t> recv(total);
+      comm.gatherv(std::span<const std::uint8_t>(send),
+                   std::span<const std::size_t>(bc),
+                   std::span<const std::size_t>(displs),
+                   std::span<std::uint8_t>(recv), root);
+      return r == root ? recv : std::vector<std::uint8_t>{};
+    }
+    case kAllgather: {
+      std::vector<std::uint8_t> send = content(r, nb);
+      std::vector<std::uint8_t> recv(nb * static_cast<std::size_t>(p));
+      comm.allgather(std::span<const std::uint8_t>(send),
+                     std::span<std::uint8_t>(recv));
+      return recv;
+    }
+    case kAllgatherv: {
+      const std::vector<std::size_t> bc = to_byte_counts(counts, elem_size);
+      const std::vector<std::size_t> displs = prefix_displs(bc);
+      const std::size_t total =
+          std::accumulate(bc.begin(), bc.end(), std::size_t{0});
+      std::vector<std::uint8_t> send =
+          content(r, bc[static_cast<std::size_t>(r)]);
+      std::vector<std::uint8_t> recv(total);
+      comm.allgatherv(std::span<const std::uint8_t>(send),
+                      std::span<const std::size_t>(bc),
+                      std::span<const std::size_t>(displs),
+                      std::span<std::uint8_t>(recv));
+      return recv;
+    }
+    case kAlltoall: {
+      std::vector<std::uint8_t> send =
+          content(r, nb * static_cast<std::size_t>(p));
+      std::vector<std::uint8_t> recv(nb * static_cast<std::size_t>(p));
+      comm.alltoall(std::span<const std::uint8_t>(send),
+                    std::span<std::uint8_t>(recv));
+      return recv;
+    }
+    case kAlltoallv: {
+      const std::vector<std::size_t> sc = to_byte_counts(counts, elem_size);
+      const std::vector<std::size_t> rc = to_byte_counts(counts2, elem_size);
+      const std::vector<std::size_t> sd = prefix_displs(sc);
+      const std::vector<std::size_t> rd = prefix_displs(rc);
+      std::vector<std::uint8_t> send = content(
+          r, std::accumulate(sc.begin(), sc.end(), std::size_t{0}));
+      std::vector<std::uint8_t> recv(
+          std::accumulate(rc.begin(), rc.end(), std::size_t{0}));
+      comm.alltoallv(std::span<const std::uint8_t>(send),
+                     std::span<const std::size_t>(sc),
+                     std::span<const std::size_t>(sd),
+                     std::span<std::uint8_t>(recv),
+                     std::span<const std::size_t>(rc),
+                     std::span<const std::size_t>(rd));
+      return recv;
+    }
+    case kReduce:
+    case kAllreduce:
+    case kScan: {
+      auto dispatch = [&](auto op) {
+        return repro_detail::run_reduction(
+            comm, seed, kind, event, elems, root,
+            [&](const std::vector<std::uint64_t>& mine,
+                std::vector<std::uint64_t>& out, int rt) {
+              if (kind == kReduce) {
+                comm.reduce(std::span<const std::uint64_t>(mine),
+                            std::span<std::uint64_t>(out), op, rt);
+                return r == rt;
+              }
+              if (kind == kAllreduce) {
+                comm.allreduce(std::span<const std::uint64_t>(mine),
+                               std::span<std::uint64_t>(out), op);
+              } else {
+                comm.scan(std::span<const std::uint64_t>(mine),
+                          std::span<std::uint64_t>(out), op);
+              }
+              return true;
+            });
+      };
+      switch (rop) {
+        case 0: return dispatch(WrapSum{});
+        case 1: return dispatch(MinOf{});
+        case 2: return dispatch(MaxOf{});
+        default: return dispatch(BitXor{});
+      }
+    }
+    default:
+      DIPDC_REQUIRE(false, "run_collective: not a collective op kind");
+      return {};
+  }
+}
+
+}  // namespace dipdc::fuzz

@@ -1,0 +1,131 @@
+#include "fuzz/seedfile.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "minimpi/options.hpp"
+#include "support/error.hpp"
+
+namespace dipdc::fuzz {
+
+Program SeedSpec::materialize() const {
+  Program p = generate(seed, cfg);
+  if (!kept.empty()) p = filter_events(p, kept);
+  if (ranks > 0 && ranks < p.nranks) {
+    p.nranks = ranks;
+    p.ops.resize(static_cast<std::size_t>(ranks));
+  }
+  if (faults_disabled) {
+    p.options.faults = minimpi::FaultOptions{};
+    p.fault_spec.clear();
+  }
+  return p;
+}
+
+SeedSpec to_seed_spec(const Program& p, const GenConfig& cfg,
+                      bool faults_disabled) {
+  SeedSpec spec;
+  spec.seed = p.seed;
+  spec.cfg = cfg;
+  spec.cfg.fault_seed = p.fault_seed;
+  spec.kept = p.kept_events;
+  spec.faults_disabled = faults_disabled;
+  // Record a trailing-rank trim (materialize() re-applies it).
+  const Program regen = generate(p.seed, spec.cfg);
+  if (p.nranks < regen.nranks) spec.ranks = p.nranks;
+  return spec;
+}
+
+std::string format_seed(const SeedSpec& spec) {
+  std::ostringstream os;
+  os << "# mpifuzz seed\n";
+  os << "seed=" << spec.seed << "\n";
+  os << "fault_seed=" << spec.cfg.fault_seed << "\n";
+  os << "max_ranks=" << spec.cfg.max_ranks << "\n";
+  os << "target_events=" << spec.cfg.target_events << "\n";
+  os << "max_bytes=" << spec.cfg.max_bytes << "\n";
+  // Always written: parse_seed must not fall back to GenConfig's default
+  // ("auto"), which would turn a fault-free config into a faulty one.
+  os << "fault_spec=" << spec.cfg.fault_spec << "\n";
+  if (!spec.kept.empty()) {
+    os << "kept=";
+    for (std::size_t i = 0; i < spec.kept.size(); ++i) {
+      os << (i ? "," : "") << spec.kept[i];
+    }
+    os << "\n";
+  }
+  if (spec.ranks > 0) os << "ranks=" << spec.ranks << "\n";
+  if (spec.faults_disabled) os << "faults_disabled=1\n";
+  return os.str();
+}
+
+void save_seed(const std::string& path, const SeedSpec& spec) {
+  std::ofstream out(path);
+  DIPDC_REQUIRE(out.good(), "cannot open seed file for writing: " + path);
+  out << format_seed(spec);
+  DIPDC_REQUIRE(out.good(), "failed writing seed file: " + path);
+}
+
+SeedSpec parse_seed(const std::string& text) {
+  SeedSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    DIPDC_REQUIRE(eq != std::string::npos,
+                  "seed file line " + std::to_string(lineno) +
+                      " is not key=value: " + line);
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else if (key == "fault_seed") {
+        spec.cfg.fault_seed = std::stoull(value);
+      } else if (key == "max_ranks") {
+        spec.cfg.max_ranks = std::stoi(value);
+      } else if (key == "target_events") {
+        spec.cfg.target_events = std::stoi(value);
+      } else if (key == "max_bytes") {
+        spec.cfg.max_bytes = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "fault_spec") {
+        spec.cfg.fault_spec = value;
+      } else if (key == "kept") {
+        std::istringstream vs(value);
+        std::string item;
+        while (std::getline(vs, item, ',')) {
+          if (!item.empty()) {
+            spec.kept.push_back(
+                static_cast<std::uint32_t>(std::stoul(item)));
+          }
+        }
+      } else if (key == "ranks") {
+        spec.ranks = std::stoi(value);
+      } else if (key == "faults_disabled") {
+        spec.faults_disabled = value != "0";
+      } else {
+        DIPDC_REQUIRE(false, "unknown seed file key: " + key);
+      }
+    } catch (const std::invalid_argument&) {
+      DIPDC_REQUIRE(false, "seed file line " + std::to_string(lineno) +
+                               ": bad number in " + line);
+    } catch (const std::out_of_range&) {
+      DIPDC_REQUIRE(false, "seed file line " + std::to_string(lineno) +
+                               ": number out of range in " + line);
+    }
+  }
+  return spec;
+}
+
+SeedSpec load_seed(const std::string& path) {
+  std::ifstream in(path);
+  DIPDC_REQUIRE(in.good(), "cannot open seed file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_seed(buf.str());
+}
+
+}  // namespace dipdc::fuzz

@@ -1,0 +1,57 @@
+// mpifuzz seed files: a failure is persisted as the few numbers needed to
+// regenerate it — generator seed, fault seed, generator config, and the
+// event ids surviving shrinking — never as serialized programs.  Replay is
+// therefore immune to program-format drift: materialize() re-runs the
+// generator and re-applies the filter.
+//
+// Format: "key=value" lines, '#' comments, e.g.
+//
+//   # mpifuzz seed
+//   seed=1234
+//   fault_seed=99
+//   max_ranks=8
+//   target_events=40
+//   max_bytes=4096
+//   fault_spec=drop=0.2,retries=64,timeout=0.001
+//   kept=3,17,21
+//   ranks=3
+//   faults_disabled=1
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/generate.hpp"
+#include "fuzz/program.hpp"
+
+namespace dipdc::fuzz {
+
+struct SeedSpec {
+  std::uint64_t seed = 1;
+  GenConfig cfg;
+  /// Events to keep (empty = whole program).
+  std::vector<std::uint32_t> kept;
+  /// Truncate to this many ranks after filtering (0 = keep all); written by
+  /// the shrinker's trailing-rank trim.
+  int ranks = 0;
+  /// The shrinker proved the fault plan irrelevant: generate with it (the
+  /// generator's random draws depend on it) but run without it.
+  bool faults_disabled = false;
+
+  /// Regenerates the program this spec describes.
+  [[nodiscard]] Program materialize() const;
+};
+
+/// Captures a program (possibly shrunk) as a replayable spec.
+[[nodiscard]] SeedSpec to_seed_spec(const Program& p, const GenConfig& cfg,
+                                    bool faults_disabled);
+
+[[nodiscard]] std::string format_seed(const SeedSpec& spec);
+void save_seed(const std::string& path, const SeedSpec& spec);
+
+/// Parses a seed file; throws support::Error on malformed input.
+[[nodiscard]] SeedSpec parse_seed(const std::string& text);
+[[nodiscard]] SeedSpec load_seed(const std::string& path);
+
+}  // namespace dipdc::fuzz

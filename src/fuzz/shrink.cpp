@@ -1,0 +1,90 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+
+#include "minimpi/options.hpp"
+
+namespace dipdc::fuzz {
+
+namespace {
+
+std::vector<std::uint32_t> all_events(const Program& p) {
+  if (!p.kept_events.empty()) return p.kept_events;
+  std::vector<std::uint32_t> events(p.num_events);
+  for (std::uint32_t e = 0; e < p.num_events; ++e) events[e] = e;
+  return events;
+}
+
+Program without_faults(Program p) {
+  p.options.faults = minimpi::FaultOptions{};
+  p.fault_spec.clear();
+  return p;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Program& full, const FailPred& fails,
+                    const ShrinkOptions& opt) {
+  ShrinkResult res;
+  std::vector<std::uint32_t> events = all_events(full);
+  Program current = filter_events(full, events);
+  events = current.kept_events;
+
+  // Classic ddmin: try removing each of n chunks; on success restart with
+  // the reduced set, otherwise double the granularity.
+  std::size_t n = 2;
+  while (events.size() >= 2 && res.evaluations < opt.max_evaluations) {
+    n = std::min(n, events.size());
+    bool reduced = false;
+    const std::size_t chunk = (events.size() + n - 1) / n;
+    for (std::size_t c = 0; c * chunk < events.size(); ++c) {
+      std::vector<std::uint32_t> keep;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i / chunk != c) keep.push_back(events[i]);
+      }
+      if (keep.size() == events.size() || keep.empty()) continue;
+      Program candidate = filter_events(full, keep);
+      if (candidate.kept_events.size() >= events.size()) {
+        continue;  // the dependency closure re-added everything we removed
+      }
+      ++res.evaluations;
+      if (fails(candidate)) {
+        events = candidate.kept_events;
+        current = std::move(candidate);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+      if (res.evaluations >= opt.max_evaluations) break;
+    }
+    if (!reduced) {
+      if (n >= events.size()) break;
+      n = std::min(events.size(), n * 2);
+    }
+  }
+
+  // Cheap post-passes: drop the fault plan if the bug reproduces without
+  // it, and drop trailing ranks that no longer own any ops.
+  if (!current.fault_spec.empty() &&
+      res.evaluations < opt.max_evaluations) {
+    Program candidate = without_faults(current);
+    ++res.evaluations;
+    if (fails(candidate)) {
+      current = std::move(candidate);
+      res.faults_dropped = true;
+    }
+  }
+  {
+    Program trimmed = trim_trailing_ranks(current);
+    if (trimmed.nranks < current.nranks &&
+        res.evaluations < opt.max_evaluations) {
+      ++res.evaluations;
+      if (fails(trimmed)) current = std::move(trimmed);
+    }
+  }
+
+  res.program = std::move(current);
+  return res;
+}
+
+}  // namespace dipdc::fuzz

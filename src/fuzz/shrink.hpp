@@ -1,0 +1,47 @@
+// mpifuzz shrinker: ddmin over event ids.
+//
+// A failing program is minimised by repeatedly removing chunks of events
+// (filter_events applies the communicator dependency closure, so candidates
+// are always valid programs) and keeping any removal that still fails the
+// caller's predicate.  Because flaky bugs (e.g. wildcard-matching races)
+// may pass by luck, the predicate is free to run a candidate several times
+// and report "fails" if any run fails.
+//
+// The result replays from the seed alone: the minimised program is
+// regenerate(seed) + filter_events(kept_events) (+ faults cleared when the
+// shrinker proved the fault plan irrelevant).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/program.hpp"
+
+namespace dipdc::fuzz {
+
+/// Returns true when the candidate program still exhibits the failure.
+using FailPred = std::function<bool(const Program&)>;
+
+struct ShrinkResult {
+  Program program;
+  /// The shrinker removed the fault plan entirely (program.fault_spec is
+  /// cleared; record this in seed files so replay clears it too).
+  bool faults_dropped = false;
+  int evaluations = 0;  // predicate invocations spent
+};
+
+struct ShrinkOptions {
+  /// Abort minimisation after this many predicate evaluations (each one
+  /// typically executes the program once or more).
+  int max_evaluations = 400;
+};
+
+/// Minimises `full` under `fails`.  `fails(full)` is assumed true (callers
+/// verify before shrinking); the returned program is guaranteed to fail the
+/// predicate and to be 1-minimal at event granularity up to the evaluation
+/// budget (removing any single remaining event makes it pass or was not
+/// affordable to try).
+[[nodiscard]] ShrinkResult shrink(const Program& full, const FailPred& fails,
+                                  const ShrinkOptions& opt = {});
+
+}  // namespace dipdc::fuzz

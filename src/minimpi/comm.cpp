@@ -55,6 +55,25 @@ detail::Payload build_payload(std::span<const std::byte> data, bool borrow_ok,
   return detail::Payload::owned(std::move(buf), data);
 }
 
+/// Channel-introspection tallies (RuntimeOptions::record_channels).  The
+/// maps belong to the acting rank's own state, so no extra locking: senders
+/// tally under their own thread, receivers under theirs.
+void record_channel_sent(detail::RankState& st, bool enabled, int dest_world,
+                         std::size_t bytes) {
+  if (!enabled) return;
+  detail::ChannelCount& c = st.channel_sent[dest_world];
+  c.bytes += bytes;
+  ++c.messages;
+}
+
+void record_channel_received(detail::RankState& st, bool enabled,
+                             int src_world, std::size_t bytes) {
+  if (!enabled) return;
+  detail::ChannelCount& c = st.channel_received[src_world];
+  c.bytes += bytes;
+  ++c.messages;
+}
+
 }  // namespace
 
 void Comm::validate_peer(int peer, const char* what) const {
@@ -105,6 +124,8 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
   if (!internal && runtime_->options().faults.injects()) {
     fault = detail::draw_fault(runtime_->options().faults, st.fault_rng);
   }
+  const bool channels =
+      !internal && runtime_->options().record_channels;
   if (fault.drop) {
     // The message vanishes on the wire.  The sender cannot tell: it pays
     // the same local costs and counters as a delivered eager send.  A
@@ -115,6 +136,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
     ++st.stats.transport_messages_sent;
     st.stats.p2p_bytes_sent += data.size();
     ++st.stats.p2p_messages_sent;
+    record_channel_sent(st, channels, wdest, data.size());
     const double overhead = cost_model().send_overhead();
     st.clock += overhead;
     st.stats.sim_comm_seconds += overhead;
@@ -128,6 +150,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
       !internal && data.size() > runtime_->options().eager_threshold;
   auto env = runtime_->acquire_envelope();
   env->source = rank_;
+  env->src_world = world_rank_;
   env->dest = wdest;
   env->tag = tag;
   env->context = context_;
@@ -146,6 +169,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
     ++st.stats.fault_dups;
     dup = runtime_->acquire_envelope();
     dup->source = rank_;
+    dup->src_world = world_rank_;
     dup->dest = wdest;
     dup->tag = tag;
     dup->context = context_;
@@ -169,6 +193,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
     st.stats.p2p_bytes_sent += data.size();
     ++st.stats.p2p_messages_sent;
   }
+  record_channel_sent(st, channels, wdest, data.size());
   auto finish_delivery = [&](const std::shared_ptr<detail::Envelope>& e) {
     auto pending = runtime_->deliver_locked(e);
     if (pending) {
@@ -245,6 +270,8 @@ Status Comm::recv_bytes(std::span<std::byte> data, int source, int tag,
     if (!internal) {
       st.stats.p2p_bytes_received += status.bytes;
       ++st.stats.p2p_messages_received;
+      record_channel_received(st, runtime_->options().record_channels,
+                              env->src_world, status.bytes);
     }
     st.stats.copied_bytes += status.bytes;
     mb.unexpected.erase(*m);
@@ -295,6 +322,8 @@ Status Comm::recv_bytes(std::span<std::byte> data, int source, int tag,
   if (!internal) {
     st.stats.p2p_bytes_received += req->status.bytes;
     ++st.stats.p2p_messages_received;
+    record_channel_received(st, runtime_->options().record_channels,
+                            req->src_world, req->status.bytes);
   }
   st.stats.copied_bytes += req->status.bytes;
   return req->status;
@@ -312,12 +341,15 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
   if (!internal && runtime_->options().faults.injects()) {
     fault = detail::draw_fault(runtime_->options().faults, st.fault_rng);
   }
+  const bool channels =
+      !internal && runtime_->options().record_channels;
   if (fault.drop) {
     ++st.stats.fault_drops;
     st.stats.transport_bytes_sent += data.size();
     ++st.stats.transport_messages_sent;
     st.stats.p2p_bytes_sent += data.size();
     ++st.stats.p2p_messages_sent;
+    record_channel_sent(st, channels, wdest, data.size());
     // The request completes immediately (the sender cannot distinguish a
     // dropped eager message); the envelope exists only so that wait()/test()
     // can dereference it, and is marked matched so nothing ever waits on it.
@@ -337,6 +369,7 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
       !internal && data.size() > runtime_->options().eager_threshold;
   auto env = runtime_->acquire_envelope();
   env->source = rank_;
+  env->src_world = world_rank_;
   env->dest = wdest;
   env->tag = tag;
   env->context = context_;
@@ -353,6 +386,7 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
     ++st.stats.fault_dups;
     dup = runtime_->acquire_envelope();
     dup->source = rank_;
+    dup->src_world = world_rank_;
     dup->dest = wdest;
     dup->tag = tag;
     dup->context = context_;
@@ -379,6 +413,7 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
     st.stats.p2p_bytes_sent += data.size();
     ++st.stats.p2p_messages_sent;
   }
+  record_channel_sent(st, channels, wdest, data.size());
   auto finish_delivery = [&](const std::shared_ptr<detail::Envelope>& e) {
     auto pending = runtime_->deliver_locked(e);
     if (pending) {
@@ -431,6 +466,7 @@ Request Comm::irecv_bytes(std::span<std::byte> data, int source, int tag,
   if (auto m = mb.unexpected.find(source, tag, context_, internal)) {
     const std::shared_ptr<detail::Envelope> env = m->handle();
     req->status = Status{env->source, env->tag, env->payload.size()};
+    req->src_world = env->src_world;
     const double completion =
         std::max({req->post_time, env->arrival_head, mb.link_busy_until}) +
         env->byte_time;
@@ -495,6 +531,7 @@ void Comm::send_staged(const detail::StagedBuffer& data, int dest, int tag) {
   const TransportOptions& topt = runtime_->options().transport;
   auto env = runtime_->acquire_envelope();
   env->source = rank_;
+  env->src_world = world_rank_;
   env->dest = wdest;
   env->tag = tag;
   env->context = context_;
@@ -662,6 +699,8 @@ Status Comm::wait_nocount(Request& request) {
   if (!rs->internal && !rs->consumed) {
     st.stats.p2p_bytes_received += rs->status.bytes;
     ++st.stats.p2p_messages_received;
+    record_channel_received(st, runtime_->options().record_channels,
+                            rs->src_world, rs->status.bytes);
   }
   rs->consumed = true;
   return rs->status;
@@ -722,6 +761,8 @@ bool Comm::test(Request& request, Status* status) {
       !rs->consumed) {
     st.stats.p2p_bytes_received += rs->status.bytes;
     ++st.stats.p2p_messages_received;
+    record_channel_received(st, runtime_->options().record_channels,
+                            rs->src_world, rs->status.bytes);
   }
   rs->consumed = true;
   if (status != nullptr) *status = rs->status;
@@ -852,7 +893,14 @@ Status Comm::recv_reliable_bytes(std::span<std::byte> data, int source,
     send_bytes(std::as_bytes(std::span<const detail::ReliableHeader>(&ack, 1)),
                raw.source, detail::kReliableAckTag, /*internal=*/true);
     std::uint64_t& delivered = st.reliable_delivered_seq[to_world(raw.source)];
+#ifdef DIPDC_MUTATE_RELIABLE_DUP
+    // Planted bug (fuzzer-validation builds only, -DDIPDC_MUTATION=
+    // reliable-dup): off-by-one high-water mark lets an injected duplicate
+    // of the most recently delivered frame through as a fresh message.
+    if (hdr.seq < delivered) {
+#else
     if (hdr.seq <= delivered) {
+#endif
       // Retransmission or injected duplicate of an already-delivered frame.
       ++st.stats.reliable_duplicates;
       continue;

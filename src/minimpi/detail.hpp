@@ -127,8 +127,9 @@ class Payload {
 /// consumed by the receiver (or matched against a posted receive by the
 /// sending thread itself).
 struct Envelope {
-  int source = 0;   // sender's rank *within the communicator* (context)
-  int dest = 0;     // destination *world* rank (mailbox index)
+  int source = 0;     // sender's rank *within the communicator* (context)
+  int src_world = 0;  // sender's world rank (for channel accounting)
+  int dest = 0;       // destination *world* rank (mailbox index)
   int tag = 0;
   int context = 0;  // communicator id: 0 = world, >0 = split comms
   Payload payload;
@@ -157,6 +158,7 @@ struct Envelope {
   void reset() {
     payload.reset();
     rendezvous = matched = internal = consume_in_flight = false;
+    src_world = 0;
     seq = 0;
     arrival_head = byte_time = completion_time = 0.0;
   }
@@ -171,6 +173,7 @@ struct RequestState {
   bool done = false;
   bool consumed = false;  // wait()/test() already accounted for completion
   Status status{};
+  int src_world = 0;  // world rank behind status.source (channel accounting)
   double completion_time = 0.0;
   std::string error;  // non-empty => wait() throws MpiError
 
@@ -225,6 +228,12 @@ struct ReliableHeader {
 /// tags, so any positive constant is collision-free.
 inline constexpr int kReliableAckTag = 0x7ACC;
 
+/// Directed per-channel traffic tally (RuntimeOptions::record_channels).
+struct ChannelCount {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
 /// Per-world-rank simulation state, shared by every communicator the rank
 /// participates in (the world communicator and any split() descendants).
 /// The fault/reliable fields are touched only by the owning rank's thread.
@@ -232,6 +241,13 @@ struct RankState {
   double clock = 0.0;
   CommStats stats{};
   std::vector<TraceEvent> trace;  // populated when record_trace is on
+
+  /// User p2p traffic per peer world rank (record_channels only): what this
+  /// rank put on the wire towards `dest`, and what it ingested from `src`.
+  /// Sent and received sides are tallied independently so the fuzzer can
+  /// assert they agree channel by channel.
+  std::unordered_map<int, ChannelCount> channel_sent;      // key: dest world
+  std::unordered_map<int, ChannelCount> channel_received;  // key: src world
 
   /// Per-rank fault stream (seeded by Runtime from FaultOptions::seed).
   support::Xoshiro256 fault_rng{0};
@@ -305,7 +321,14 @@ struct UnexpectedQueue {
                            *q[i])) {
           continue;
         }
+#ifdef DIPDC_MUTATE_WILDCARD_ORDER
+        // Planted bug (fuzzer-validation builds only, -DDIPDC_MUTATION=
+        // wildcard-order): prefer the LATEST arrival among bucket heads,
+        // violating the FIFO semantics of wildcard-tag matching.
+        if (!best.has_value() || q[i]->seq > best_seq) {
+#else
         if (q[i]->seq < best_seq) {
+#endif
           best_seq = q[i]->seq;
           best = Match{&q, i, k};
         }

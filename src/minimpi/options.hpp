@@ -149,6 +149,13 @@ struct RuntimeOptions {
   /// RunResult::trace carries the merged log.
   bool record_trace = false;
 
+  /// Record per-channel user p2p traffic (bytes/messages per directed
+  /// (source, destination) world-rank pair); RunResult::channels carries the
+  /// merged table.  This is the program-introspection hook the conformance
+  /// fuzzer checks "bytes sent == bytes received per channel" against.  Off
+  /// by default: fault-free runs stay bit-identical to earlier builds.
+  bool record_channels = false;
+
   /// Transport fast-path tuning (sim-neutral).
   TransportOptions transport{};
 

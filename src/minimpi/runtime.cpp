@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <map>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "minimpi/comm.hpp"
 #include "minimpi/error.hpp"
@@ -75,6 +77,7 @@ std::shared_ptr<detail::RequestState> Runtime::deliver_locked(
       continue;
     }
     req->status = Status{env->source, env->tag, env->payload.size()};
+    req->src_world = env->src_world;
     // Receiver-side link serialization: the payload streams in only after
     // the receive is posted, the head arrives, and the ingress link is
     // free from earlier messages.
@@ -172,6 +175,11 @@ Runtime::WaitOutcome Runtime::blocking_wait_for(
       // time out; otherwise it has notified the runnable (or expiring)
       // waiter(s) and we sleep until notified again.
       check_deadlock_locked();
+      // The check may have expired OUR OWN wait.  Its notify_all cannot
+      // wake this thread (we are not in cv_.wait yet), so falling through
+      // to the wait would sleep forever when no other live rank remains to
+      // re-notify — re-check the flag instead of relying on a wakeup.
+      if (waiter.timed_out) return WaitOutcome::kTimedOut;
     }
     cv_.wait(lock);
   }
@@ -310,6 +318,31 @@ RunResult run(int nranks, const std::function<void(Comm&)>& fn,
     result.sim_times.push_back(comms[static_cast<std::size_t>(r)]->wtime());
     const auto& trace = runtime.rank_state(r).trace;
     result.trace.insert(result.trace.end(), trace.begin(), trace.end());
+  }
+  if (runtime.options().record_channels) {
+    // Merge the per-rank tallies into one (src, dst)-keyed table.  Sender
+    // and receiver sides come from different ranks' states, so a lost or
+    // duplicated message shows up as a sent/received disagreement.
+    std::map<std::pair<int, int>, ChannelTraffic> merged;
+    for (int r = 0; r < nranks; ++r) {
+      const detail::RankState& st = runtime.rank_state(r);
+      for (const auto& [dst, c] : st.channel_sent) {
+        ChannelTraffic& t = merged[{r, dst}];
+        t.src = r;
+        t.dst = dst;
+        t.bytes_sent += c.bytes;
+        t.messages_sent += c.messages;
+      }
+      for (const auto& [src, c] : st.channel_received) {
+        ChannelTraffic& t = merged[{src, r}];
+        t.src = src;
+        t.dst = r;
+        t.bytes_received += c.bytes;
+        t.messages_received += c.messages;
+      }
+    }
+    result.channels.reserve(merged.size());
+    for (const auto& [key, t] : merged) result.channels.push_back(t);
   }
   return result;
 }

@@ -32,12 +32,29 @@ namespace dipdc::minimpi {
 
 class Comm;
 
+/// Directed user-p2p traffic on one (source, destination) world-rank pair,
+/// as observed independently by the two endpoints (sender tallies at
+/// injection, receiver at ingestion).  Only populated when
+/// RuntimeOptions::record_channels is set; on a fault-free run the two
+/// sides must agree exactly — the conformance fuzzer's per-channel
+/// invariant.
+struct ChannelTraffic {
+  int src = 0;
+  int dst = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_received = 0;
+};
+
 /// Aggregate outcome of one run().
 struct RunResult {
   std::vector<CommStats> rank_stats;
   std::vector<double> sim_times;  // final simulated clock per rank
   /// All ranks' trace events (only when RuntimeOptions::record_trace).
   std::vector<TraceEvent> trace;
+  /// Per-channel p2p traffic, sorted by (src, dst) (record_channels only).
+  std::vector<ChannelTraffic> channels;
 
   /// Simulated makespan: the slowest rank's clock.
   [[nodiscard]] double max_sim_time() const;

@@ -25,13 +25,23 @@ char glyph_of(Primitive op) {
 
 std::string render_timeline(const std::vector<TraceEvent>& events,
                             int nranks, double t_max, int width) {
-  if (t_max <= 0.0) t_max = 1.0;
+  width = std::max(width, 1);
+  nranks = std::max(nranks, 0);
+  if (t_max <= 0.0) {
+    // Derive the horizon from the events themselves (callers often pass
+    // max_sim_time(), which is 0 for an empty or all-zero-duration trace).
+    for (const TraceEvent& e : events) t_max = std::max(t_max, e.t_end);
+  }
+  // Degenerate trace: no events, or every event instantaneous at t = 0.
+  // Render a zero-width axis instead of dividing by the horizon.
+  const bool degenerate = t_max <= 0.0;
   std::vector<std::string> rows(
       static_cast<std::size_t>(nranks),
       std::string(static_cast<std::size_t>(width), '.'));
   for (const TraceEvent& e : events) {
     if (e.rank < 0 || e.rank >= nranks) continue;
     auto col = [&](double t) {
+      if (degenerate) return 0;
       const double f = std::clamp(t / t_max, 0.0, 1.0);
       return std::min(width - 1, static_cast<int>(f * width));
     };
@@ -43,7 +53,7 @@ std::string render_timeline(const std::vector<TraceEvent>& events,
     }
   }
   std::ostringstream os;
-  os << "time 0 .. " << support::seconds(t_max)
+  os << "time 0 .. " << support::seconds(degenerate ? 0.0 : t_max)
      << "   (s/S send, r/R recv, w wait, p probe, C collective, . "
         "compute/idle)\n";
   for (int r = 0; r < nranks; ++r) {

@@ -1,0 +1,287 @@
+// Unit tests for the mpifuzz library itself: generator determinism and
+// validity invariants, oracle agreement on real executions, event
+// filtering with communicator dependency closure, ddmin shrinking on a
+// synthetic predicate, and seed-file round trips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/check.hpp"
+#include "fuzz/execute.hpp"
+#include "fuzz/generate.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/program.hpp"
+#include "fuzz/seedfile.hpp"
+#include "fuzz/shrink.hpp"
+#include "support/error.hpp"
+
+namespace fz = dipdc::fuzz;
+
+namespace {
+
+fz::GenConfig small_config() {
+  fz::GenConfig cfg;
+  cfg.max_ranks = 6;
+  cfg.target_events = 24;
+  cfg.max_bytes = 512;
+  cfg.fault_spec.clear();  // fault-free unless a test opts in
+  return cfg;
+}
+
+}  // namespace
+
+TEST(FuzzGenerate, SameSeedSameProgram) {
+  const fz::GenConfig cfg = small_config();
+  for (std::uint64_t seed : {1ull, 7ull, 12345ull}) {
+    const fz::Program a = fz::generate(seed, cfg);
+    const fz::Program b = fz::generate(seed, cfg);
+    EXPECT_EQ(fz::describe(a), fz::describe(b)) << "seed " << seed;
+    EXPECT_EQ(a.nranks, b.nranks);
+    EXPECT_EQ(a.fault_spec, b.fault_spec);
+    EXPECT_EQ(a.options.eager_threshold, b.options.eager_threshold);
+  }
+}
+
+TEST(FuzzGenerate, DifferentSeedsDiffer) {
+  const fz::GenConfig cfg = small_config();
+  EXPECT_NE(fz::describe(fz::generate(1, cfg)),
+            fz::describe(fz::generate(2, cfg)));
+}
+
+TEST(FuzzGenerate, EventIdsAscendPerRank) {
+  // Non-deferred ops must follow the global event order on every rank;
+  // deferred waits keep their original event id but may appear later.
+  // Checking the weaker invariant that holds for all ops: each rank's
+  // op list never references an event id >= num_events, and per-rank
+  // non-wait ops are ascending.
+  const fz::Program p = fz::generate(42, small_config());
+  for (const auto& rank_ops : p.ops) {
+    std::uint32_t last = 0;
+    for (const fz::Op& op : rank_ops) {
+      ASSERT_LT(op.event, p.num_events);
+      if (op.kind == fz::OpKind::kWait || op.kind == fz::OpKind::kWaitAll) {
+        continue;  // deferred completions may appear out of order
+      }
+      EXPECT_GE(op.event, last);
+      last = op.event;
+    }
+  }
+}
+
+TEST(FuzzGenerate, LossyPlansOnlyUseReliableP2p) {
+  // When the drawn plan can drop or duplicate, the generator must route
+  // every p2p op through the reliable layer and avoid sendrecv/probe.
+  fz::GenConfig cfg = small_config();
+  cfg.fault_spec = "drop=0.2,retries=64,timeout=0.001";
+  const fz::Program p = fz::generate(9, cfg);
+  for (const auto& rank_ops : p.ops) {
+    for (const fz::Op& op : rank_ops) {
+      EXPECT_NE(op.kind, fz::OpKind::kSend);
+      EXPECT_NE(op.kind, fz::OpKind::kRecv);
+      EXPECT_NE(op.kind, fz::OpKind::kIsend);
+      EXPECT_NE(op.kind, fz::OpKind::kIrecv);
+      EXPECT_NE(op.kind, fz::OpKind::kSendrecv);
+      EXPECT_NE(op.kind, fz::OpKind::kProbeRecv);
+      if (op.kind == fz::OpKind::kRecvReliable && !op.wsources.empty()) {
+        EXPECT_EQ(op.peer, dipdc::minimpi::kAnySource)
+            << "lossy-plan windows must filter by exact tag, not wildcard";
+      }
+    }
+  }
+}
+
+TEST(FuzzOracle, AgreesWithExecutionAcrossSeeds) {
+  // The core property: real threaded runs match the sequential oracle.
+  // Mix of fault-free and auto-drawn fault plans, ~30 programs total.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    {
+      const fz::Program p = fz::generate(seed, small_config());
+      const fz::CheckResult r = fz::check(p, fz::execute(p));
+      EXPECT_TRUE(r.ok) << "fault-free seed " << seed << "\n" << r.summary();
+    }
+    {
+      fz::GenConfig cfg = small_config();
+      cfg.fault_spec = "auto";
+      const fz::Program p = fz::generate(seed, cfg);
+      const fz::CheckResult r = fz::check(p, fz::execute(p));
+      EXPECT_TRUE(r.ok) << "auto-fault seed " << seed << " (plan "
+                        << p.fault_spec << ")\n"
+                        << r.summary();
+    }
+  }
+}
+
+TEST(FuzzFilter, ClosureRestoresCreatingSplitOfKeptEvents) {
+  // Find a seed whose program splits the world, then drop only the split
+  // event while keeping events on the child comm: the dependency closure
+  // must pull the creating split back in so the candidate stays valid.
+  // Conversely, dropping the split AND every child-comm event must leave a
+  // program that never touches a subcomm.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const fz::Program p = fz::generate(seed, small_config());
+    std::uint32_t split_event = 0;
+    bool has_split = false;
+    bool has_child_op = false;  // non-split op on a subcomm
+    for (const auto& rank_ops : p.ops) {
+      for (const fz::Op& op : rank_ops) {
+        if (op.kind == fz::OpKind::kSplit) {
+          split_event = op.event;
+          has_split = true;
+        } else if (op.comm != 0) {
+          has_child_op = true;
+        }
+      }
+    }
+    if (!has_split || !has_child_op) continue;
+
+    std::vector<std::uint32_t> all_but_split;
+    for (std::uint32_t e = 0; e < p.num_events; ++e) {
+      if (e != split_event) all_but_split.push_back(e);
+    }
+    const fz::Program f = fz::filter_events(p, all_but_split);
+    EXPECT_TRUE(std::find(f.kept_events.begin(), f.kept_events.end(),
+                          split_event) != f.kept_events.end())
+        << "closure did not restore the creating split";
+
+    // Drop the split and its dependents: keep only world-comm events.
+    std::set<std::uint32_t> child_events{split_event};
+    for (const auto& rank_ops : p.ops) {
+      for (const fz::Op& op : rank_ops) {
+        if (op.comm != 0) child_events.insert(op.event);
+      }
+    }
+    std::vector<std::uint32_t> world_only;
+    for (std::uint32_t e = 0; e < p.num_events; ++e) {
+      if (!child_events.count(e)) world_only.push_back(e);
+    }
+    const fz::Program w = fz::filter_events(p, world_only);
+    for (const auto& rank_ops : w.ops) {
+      for (const fz::Op& op : rank_ops) {
+        EXPECT_EQ(op.comm, 0);
+        EXPECT_NE(op.kind, fz::OpKind::kSplit);
+      }
+    }
+    return;  // one splitting program is enough
+  }
+  GTEST_FAIL() << "no seed in [1,50] produced subcomm traffic";
+}
+
+TEST(FuzzFilter, FilteredProgramStillChecksClean) {
+  const fz::Program p = fz::generate(11, small_config());
+  // Keep roughly every other event.
+  std::vector<std::uint32_t> keep;
+  for (std::uint32_t e = 0; e < p.num_events; e += 2) keep.push_back(e);
+  const fz::Program f = fz::filter_events(p, keep);
+  const fz::CheckResult r = fz::check(f, fz::execute(f));
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(FuzzShrink, SyntheticPredicateReachesMinimalClosure) {
+  // Predicate: "fails" iff a chosen target event is present.  ddmin must
+  // reduce to exactly that event plus its communicator dependency closure
+  // (the creating split, if the event lives on a subcomm).
+  const fz::Program full = fz::generate(23, small_config());
+  ASSERT_GT(full.num_events, 4u);
+  const std::uint32_t target = full.num_events / 2;
+  const auto has_target = [target](const fz::Program& c) {
+    return std::find(c.kept_events.begin(), c.kept_events.end(), target) !=
+               c.kept_events.end() ||
+           c.kept_events.empty();  // unshrunk = everything present
+  };
+  const fz::ShrinkResult res = fz::shrink(full, has_target);
+  EXPECT_TRUE(has_target(res.program));
+  // 1-minimality: target plus at most its chain of creating splits.
+  EXPECT_LE(res.program.kept_events.size(), 3u)
+      << "kept more than the dependency closure";
+  EXPECT_GT(res.evaluations, 0);
+}
+
+TEST(FuzzSeedfile, RoundTripReproducesProgram) {
+  fz::GenConfig cfg = small_config();
+  cfg.fault_spec = "auto";
+  const fz::Program p = fz::generate(77, cfg);
+
+  const fz::SeedSpec spec = fz::to_seed_spec(p, cfg, /*faults_disabled=*/false);
+  const fz::SeedSpec parsed = fz::parse_seed(fz::format_seed(spec));
+  const fz::Program q = parsed.materialize();
+
+  EXPECT_EQ(fz::describe(p), fz::describe(q));
+  EXPECT_EQ(p.fault_seed, q.fault_seed);
+  EXPECT_EQ(p.fault_spec, q.fault_spec);
+}
+
+TEST(FuzzSeedfile, RoundTripPreservesShrunkSubsetAndDroppedFaults) {
+  fz::GenConfig cfg = small_config();
+  cfg.fault_spec = "auto";
+  const fz::Program p = fz::generate(31, cfg);
+  std::vector<std::uint32_t> keep;
+  for (std::uint32_t e = 0; e < p.num_events; e += 3) keep.push_back(e);
+  const fz::Program f = fz::filter_events(p, keep);
+
+  const fz::SeedSpec spec = fz::to_seed_spec(f, cfg, /*faults_disabled=*/true);
+  const fz::SeedSpec parsed = fz::parse_seed(fz::format_seed(spec));
+  EXPECT_TRUE(parsed.faults_disabled);
+  const fz::Program q = parsed.materialize();
+
+  // materialize() strips the fault plan (faults_disabled); the ops must
+  // match the filtered program exactly.
+  fz::Program f_nofaults = f;
+  f_nofaults.options.faults = dipdc::minimpi::FaultOptions{};
+  f_nofaults.fault_spec.clear();
+  EXPECT_EQ(fz::describe(f_nofaults), fz::describe(q));
+  EXPECT_TRUE(q.fault_spec.empty());
+  EXPECT_EQ(q.options.faults.drop_prob, 0.0);
+}
+
+TEST(FuzzSeedfile, FaultFreeConfigSurvivesRoundTrip) {
+  // format_seed must write the fault_spec line even when it is empty:
+  // parse_seed starts from GenConfig's default ("auto"), and omitting the
+  // line would silently turn a fault-free repro into a faulty one.
+  fz::GenConfig cfg = small_config();
+  ASSERT_TRUE(cfg.fault_spec.empty());
+  const fz::Program p = fz::generate(3, cfg);
+  const fz::SeedSpec parsed = fz::parse_seed(
+      fz::format_seed(fz::to_seed_spec(p, cfg, /*faults_disabled=*/false)));
+  EXPECT_TRUE(parsed.cfg.fault_spec.empty());
+  EXPECT_EQ(fz::describe(p), fz::describe(parsed.materialize()));
+}
+
+TEST(FuzzSeedfile, MalformedInputThrows) {
+  EXPECT_THROW((void)fz::parse_seed("seed=notanumber\n"),
+               dipdc::support::Error);
+  EXPECT_THROW((void)fz::parse_seed("no_equals_sign\n"),
+               dipdc::support::Error);
+  EXPECT_THROW((void)fz::parse_seed("unknown_key=1\n"),
+               dipdc::support::Error);
+}
+
+TEST(FuzzProgram, ToCppMentionsEveryRankAndOptions) {
+  fz::GenConfig cfg = small_config();
+  cfg.fault_spec = "auto";
+  const fz::Program p = fz::generate(5, cfg);
+  const std::string cpp = fz::to_cpp(p);
+  EXPECT_NE(cpp.find("int main"), std::string::npos);
+  EXPECT_NE(cpp.find("minimpi::run"), std::string::npos);
+  EXPECT_NE(cpp.find("eager_threshold"), std::string::npos);
+  for (int r = 0; r < p.nranks; ++r) {
+    EXPECT_NE(cpp.find("case " + std::to_string(r) + ":"), std::string::npos)
+        << "rank " << r << " missing from emitted repro";
+  }
+}
+
+TEST(FuzzDigest, StableAcrossRunsForFaultFreePrograms) {
+  // Fault-free programs (even with any-source windows) must digest
+  // identically across independent executions — the corpus test relies
+  // on this for bit-identical replay checks.
+  for (std::uint64_t seed : {2ull, 13ull, 29ull}) {
+    const fz::Program p = fz::generate(seed, small_config());
+    const fz::Expectation e = fz::oracle(p);
+    const std::string d1 = fz::digest(p, e, fz::execute(p));
+    const std::string d2 = fz::digest(p, e, fz::execute(p));
+    EXPECT_EQ(d1, d2) << "seed " << seed;
+  }
+}

@@ -339,3 +339,135 @@ TEST(RankFailure, FaultCountersAppearInTransportReport) {
   EXPECT_EQ(mpi::transport_report(clean.total_stats()).find("fault"),
             std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection on split-created communicators.  The injector keys on
+// world ranks and user-level p2p frames, so subcomm traffic must see the
+// same treatment as world traffic — and collectives (internal frames) must
+// stay immune no matter which comm they run on.
+
+TEST(SubcommFaults, ReliableDeliveryRecoversDropsOnSubcomm) {
+  mpi::FaultOptions plan;
+  plan.seed = 11;
+  plan.drop_prob = 0.3;
+  mpi::run(
+      6,
+      [](mpi::Comm& world) {
+        // Even/odd subcomms of 3 ranks each; ring of reliable messages
+        // inside each subcomm.  Staggered send/recv order: acks are only
+        // emitted by recv_reliable, so a ring of simultaneous blocking
+        // reliable sends would wait on acks that can never be produced.
+        mpi::Comm sub = world.split(world.rank() % 2, world.rank());
+        const int p = sub.size();
+        const int next = (sub.rank() + 1) % p;
+        const int prev = (sub.rank() - 1 + p) % p;
+        for (int i = 0; i < 8; ++i) {
+          if (sub.rank() % 2 == 0) {
+            sub.send_reliable_value(sub.rank() * 100 + i, next, 3);
+            const int got = sub.recv_reliable_value<int>(prev, 3);
+            EXPECT_EQ(got, prev * 100 + i);
+          } else {
+            const int got = sub.recv_reliable_value<int>(prev, 3);
+            EXPECT_EQ(got, prev * 100 + i);
+            sub.send_reliable_value(sub.rank() * 100 + i, next, 3);
+          }
+        }
+      },
+      with_faults(plan, /*max_retries=*/32));
+}
+
+TEST(SubcommFaults, DuplicatesFilteredExactlyOnceOnSubcomm) {
+  mpi::FaultOptions plan;
+  plan.seed = 7;
+  plan.dup_prob = 0.5;
+  mpi::run(
+      4,
+      [](mpi::Comm& world) {
+        mpi::Comm sub = world.split(world.rank() / 2, world.rank());
+        if (sub.rank() == 0) {
+          for (int i = 0; i < 10; ++i) sub.send_reliable_value(i, 1);
+        } else {
+          for (int i = 0; i < 10; ++i) {
+            // Exactly-once and in order despite duplicated frames.
+            EXPECT_EQ(sub.recv_reliable_value<int>(0), i);
+          }
+        }
+      },
+      with_faults(plan));
+}
+
+TEST(SubcommFaults, CollectivesOnSubcommsAreImmuneToInjection) {
+  // drop=1.0 destroys every user p2p frame, yet collectives ride internal
+  // channels: a subcomm allreduce must still complete and be exact.
+  mpi::FaultOptions plan;
+  plan.drop_prob = 1.0;
+  plan.delay_prob = 1.0;
+  mpi::run(
+      6,
+      [](mpi::Comm& world) {
+        mpi::Comm sub = world.split(world.rank() % 2, world.rank());
+        const int sum = sub.allreduce_value(
+            world.rank(), [](int a, int b) { return a + b; });
+        const int want = world.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5;
+        EXPECT_EQ(sum, want);
+      },
+      with_faults(plan));
+}
+
+TEST(SubcommFaults, KillAfterSplitFailsSurvivorsInBothSubcomms) {
+  // Rank 3 dies after the split (its 2nd primitive call).  Rank death
+  // degrades the whole world, so survivors blocked in either subcomm —
+  // including the one rank 3 never joined — must all see RankFailedError.
+  mpi::FaultOptions plan;
+  plan.kill_rank = 3;
+  plan.kill_at_call = 2;
+  std::atomic<int> failures{0};
+  EXPECT_THROW(
+      mpi::run(
+          4,
+          [&failures](mpi::Comm& world) {
+            mpi::Comm sub = world.split(world.rank() / 2, world.rank());
+            try {
+              for (int i = 0; i < 50; ++i) {
+                (void)sub.allreduce_value(i, [](int a, int b) {
+                  return a + b;
+                });
+              }
+            } catch (const mpi::RankFailedError&) {
+              failures.fetch_add(1);
+              throw;
+            }
+          },
+          with_faults(plan)),
+      mpi::RankFailedError);
+  // The killed rank observes its own death as RankFailedError too: 4.
+  EXPECT_EQ(failures.load(), 4) << "every rank must fail, none may hang";
+}
+
+TEST(ReliableDelivery, SoleSurvivorSenderTimesOutInsteadOfHanging) {
+  // Regression: when the stall-proof check expires the *calling* thread's
+  // own ack timeout, the wakeup used to be lost (the caller was not yet in
+  // its condition-variable wait) — with no other live rank to re-notify,
+  // the sender slept forever.  Found by mpifuzz: the sole surviving sender
+  // must instead burn its retry budget and throw.
+  mpi::FaultOptions plan;
+  plan.seed = 3;
+  try {
+    mpi::run(
+        2,
+        [](mpi::Comm& comm) {
+          if (comm.rank() == 0) {
+            comm.send_reliable_value(1, 1);  // consumed, acked
+            comm.send_reliable_value(2, 1);  // receiver already gone
+          } else {
+            (void)comm.recv_reliable_value<int>(0);
+            // exit without receiving the second message
+          }
+        },
+        with_faults(plan, /*max_retries=*/2));
+    FAIL() << "expected MpiError";
+  } catch (const mpi::MpiError& e) {
+    EXPECT_NE(std::string(e.what()).find("retry budget exhausted"),
+              std::string::npos);
+  }
+}

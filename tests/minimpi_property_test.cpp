@@ -1,0 +1,168 @@
+// Algorithm-equivalence properties for the collective implementations.
+//
+// Every algorithm selected by CollectiveOptions must be bit-identical to
+// the classic (seed) implementation — on awkward world sizes (3, 5, 7,
+// none a power of two) and on counts that do not divide by the rank count.
+// These are the properties the mpifuzz oracle assumes when it predicts
+// collective results without knowing which algorithm kAuto picked.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace mpi = dipdc::minimpi;
+
+namespace {
+
+std::vector<std::uint64_t> contribution(int rank, std::size_t n) {
+  dipdc::support::Xoshiro256 rng =
+      dipdc::support::make_stream(0xA11CEull, static_cast<std::uint64_t>(rank));
+  std::vector<std::uint64_t> v(n);
+  for (std::uint64_t& x : v) x = rng();
+  return v;
+}
+
+mpi::RuntimeOptions with_algorithm(
+    mpi::CollectiveAlgorithm mpi::CollectiveOptions::* knob,
+    mpi::CollectiveAlgorithm algo) {
+  mpi::RuntimeOptions opts;
+  opts.collectives.*knob = algo;
+  return opts;
+}
+
+/// Runs `ranks` ranks of allreduce(sum) over `count` u64 and returns rank
+/// 0's result buffer.
+std::vector<std::uint64_t> allreduce_result(int ranks, std::size_t count,
+                                            mpi::CollectiveAlgorithm algo) {
+  std::vector<std::uint64_t> rank0;
+  mpi::run(
+      ranks,
+      [&](mpi::Comm& comm) {
+        const std::vector<std::uint64_t> in =
+            contribution(comm.rank(), count);
+        std::vector<std::uint64_t> out(count);
+        comm.allreduce(std::span<const std::uint64_t>(in),
+                       std::span<std::uint64_t>(out),
+                       [](std::uint64_t a, std::uint64_t b) { return a + b; });
+        if (comm.rank() == 0) rank0 = out;
+      },
+      with_algorithm(&mpi::CollectiveOptions::allreduce, algo));
+  return rank0;
+}
+
+std::vector<std::uint64_t> allgather_result(int ranks, std::size_t count,
+                                            mpi::CollectiveAlgorithm algo) {
+  std::vector<std::uint64_t> rank0;
+  mpi::run(
+      ranks,
+      [&](mpi::Comm& comm) {
+        const std::vector<std::uint64_t> in =
+            contribution(comm.rank(), count);
+        std::vector<std::uint64_t> out(count *
+                                       static_cast<std::size_t>(ranks));
+        comm.allgather(std::span<const std::uint64_t>(in),
+                       std::span<std::uint64_t>(out));
+        if (comm.rank() == 0) rank0 = out;
+      },
+      with_algorithm(&mpi::CollectiveOptions::allgather, algo));
+  return rank0;
+}
+
+/// Uneven scatterv (zero counts included); returns the concatenation of
+/// every rank's received slice, in rank order.
+std::vector<std::uint64_t> scatterv_result(int ranks,
+                                           mpi::RuntimeOptions opts) {
+  // Counts 0, 1, 2, ... with a deliberately empty rank 0 share.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(ranks));
+  std::vector<std::size_t> displs(static_cast<std::size_t>(ranks));
+  std::size_t total = 0;
+  for (int r = 0; r < ranks; ++r) {
+    counts[static_cast<std::size_t>(r)] =
+        static_cast<std::size_t>(r == 0 ? 0 : 2 * r + 1);
+    displs[static_cast<std::size_t>(r)] = total;
+    total += counts[static_cast<std::size_t>(r)];
+  }
+  const int root = ranks - 1;
+  std::vector<std::vector<std::uint64_t>> got(
+      static_cast<std::size_t>(ranks));
+  mpi::run(
+      ranks,
+      [&](mpi::Comm& comm) {
+        std::vector<std::uint64_t> send;
+        if (comm.rank() == root) {
+          send.resize(total);
+          std::iota(send.begin(), send.end(), 1000u);
+        }
+        std::vector<std::uint64_t> recv(
+            counts[static_cast<std::size_t>(comm.rank())]);
+        comm.scatterv(std::span<const std::uint64_t>(send),
+                      std::span<const std::size_t>(counts),
+                      std::span<const std::size_t>(displs),
+                      std::span<std::uint64_t>(recv), root);
+        got[static_cast<std::size_t>(comm.rank())] = recv;
+      },
+      opts);
+  std::vector<std::uint64_t> flat;
+  for (const auto& g : got) flat.insert(flat.end(), g.begin(), g.end());
+  return flat;
+}
+
+}  // namespace
+
+TEST(CollectiveEquivalence, AllreduceAlgorithmsAreBitIdentical) {
+  // 1003 does not divide by 3, 5 or 7, exercising the uneven chunking of
+  // the ring (Rabenseifner) algorithm; non-power-of-two worlds exercise
+  // recursive doubling's fold-in pre/post phases.
+  for (int ranks : {3, 5, 7}) {
+    const auto classic = allreduce_result(
+        ranks, 1003, mpi::CollectiveAlgorithm::kClassic);
+    ASSERT_EQ(classic.size(), 1003u);
+    EXPECT_EQ(classic, allreduce_result(
+                           ranks, 1003,
+                           mpi::CollectiveAlgorithm::kRecursiveDoubling))
+        << "recursive doubling diverges at " << ranks << " ranks";
+    EXPECT_EQ(classic,
+              allreduce_result(ranks, 1003, mpi::CollectiveAlgorithm::kRing))
+        << "ring diverges at " << ranks << " ranks";
+    EXPECT_EQ(classic,
+              allreduce_result(ranks, 1003, mpi::CollectiveAlgorithm::kAuto))
+        << "auto diverges at " << ranks << " ranks";
+  }
+}
+
+TEST(CollectiveEquivalence, AllgatherRingMatchesClassic) {
+  for (int ranks : {3, 5, 7}) {
+    const auto classic =
+        allgather_result(ranks, 257, mpi::CollectiveAlgorithm::kClassic);
+    EXPECT_EQ(classic,
+              allgather_result(ranks, 257, mpi::CollectiveAlgorithm::kRing))
+        << "ring allgather diverges at " << ranks << " ranks";
+    EXPECT_EQ(classic,
+              allgather_result(ranks, 257, mpi::CollectiveAlgorithm::kAuto))
+        << "auto allgather diverges at " << ranks << " ranks";
+  }
+}
+
+TEST(CollectiveEquivalence, ScattervTreeMatchesClassicOnUnevenCounts) {
+  for (int ranks : {3, 5, 7}) {
+    mpi::RuntimeOptions classic;
+    classic.collectives.scatter = mpi::CollectiveAlgorithm::kClassic;
+    mpi::RuntimeOptions tree;
+    tree.collectives.scatter = mpi::CollectiveAlgorithm::kTree;
+    mpi::RuntimeOptions auto_small_tree;  // force kAuto onto the tree path
+    auto_small_tree.collectives.scatter = mpi::CollectiveAlgorithm::kAuto;
+    auto_small_tree.collectives.tree_rank_threshold = 2;
+
+    const auto want = scatterv_result(ranks, classic);
+    EXPECT_EQ(want, scatterv_result(ranks, tree))
+        << "tree scatterv diverges at " << ranks << " ranks";
+    EXPECT_EQ(want, scatterv_result(ranks, auto_small_tree))
+        << "auto(tree) scatterv diverges at " << ranks << " ranks";
+  }
+}

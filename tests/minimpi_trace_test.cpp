@@ -160,3 +160,56 @@ TEST(Timeline, TruncatesLongLogs) {
   const std::string log = mpi::render_log(result.trace, 10);
   EXPECT_NE(log.find("more)"), std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs.  mpifuzz's checker renders timelines for failure
+// reports, so these must never divide by a zero horizon, index out of
+// bounds, or crash on empty traces — regression net for the degenerate
+// handling in render_timeline().
+
+TEST(Timeline, EmptyTraceRendersZeroAxis) {
+  const std::string t = mpi::render_timeline({}, 3, 0.0, 40);
+  EXPECT_NE(t.find("time 0 .. 0"), std::string::npos);
+  EXPECT_NE(t.find("rank 0"), std::string::npos);
+  EXPECT_NE(t.find("rank 2"), std::string::npos);
+}
+
+TEST(Timeline, ZeroDurationEventsLandInColumnZero) {
+  // All events instantaneous at t = 0: the horizon is degenerate but the
+  // glyphs must still appear (in the first column) without dividing by 0.
+  std::vector<mpi::TraceEvent> trace(1);
+  trace[0].rank = 0;
+  trace[0].op = mpi::Primitive::kSend;
+  trace[0].t_start = 0.0;
+  trace[0].t_end = 0.0;
+  const std::string t = mpi::render_timeline(trace, 1, 0.0, 40);
+  EXPECT_NE(t.find('s'), std::string::npos);
+}
+
+TEST(Timeline, ClampedWidthAndOutOfRangeRanksAreSafe) {
+  std::vector<mpi::TraceEvent> trace(2);
+  trace[0].rank = 5;  // beyond nranks: must be ignored, not crash
+  trace[0].op = mpi::Primitive::kRecv;
+  trace[0].t_start = 0.0;
+  trace[0].t_end = 1.0;
+  trace[1].rank = 0;
+  trace[1].op = mpi::Primitive::kSend;
+  trace[1].t_start = 0.5;
+  trace[1].t_end = 2.0;  // past the stated horizon: must clamp to width-1
+  const std::string narrow = mpi::render_timeline(trace, 1, 1.0, 0);
+  // Width is clamped to 1: the rank 0 row is a single cell holding the
+  // send glyph; the out-of-range rank 5 event leaves no row at all.
+  const std::size_t row = narrow.find("rank 0");
+  ASSERT_NE(row, std::string::npos);
+  const std::size_t bar = narrow.find('|', row);
+  ASSERT_NE(bar, std::string::npos);
+  EXPECT_EQ(narrow[bar + 1], 's');
+  const std::string t = mpi::render_timeline(trace, 1, 1.0, 20);
+  EXPECT_NE(t.find('s', t.find("rank 0")), std::string::npos);
+}
+
+TEST(Timeline, ZeroRanksRendersHeaderOnly) {
+  const std::string t = mpi::render_timeline({}, 0, 1.0, 40);
+  EXPECT_NE(t.find("time 0"), std::string::npos);
+  EXPECT_EQ(t.find("rank"), std::string::npos);
+}
