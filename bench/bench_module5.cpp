@@ -8,7 +8,9 @@
 
 #include "dataio/dataset.hpp"
 #include "minimpi/runtime.hpp"
+#include "minimpi/trace.hpp"
 #include "modules/kmeans/module5.hpp"
+#include "obs/critical_path.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
 
@@ -22,16 +24,18 @@ namespace {
 
 m5::Result run_kmeans(int ranks, const io::Dataset& data, std::size_t k,
                       m5::Strategy strategy,
-                      const pm::MachineConfig& machine, int iterations = 20) {
+                      const pm::MachineConfig& machine, int iterations = 20,
+                      double* cp_comm_share = nullptr) {
   mpi::RuntimeOptions opts;
   opts.machine = machine;
+  opts.record_trace = cp_comm_share != nullptr;
   m5::Config cfg;
   cfg.k = k;
   cfg.strategy = strategy;
   cfg.max_iterations = iterations;
   cfg.tolerance = -1.0;  // fixed iteration count for fair phase splits
   m5::Result out;
-  mpi::run(
+  const mpi::RunResult rr = mpi::run(
       ranks,
       [&](mpi::Comm& comm) {
         const auto r = m5::distributed(
@@ -39,6 +43,10 @@ m5::Result run_kmeans(int ranks, const io::Dataset& data, std::size_t k,
         if (comm.rank() == 0) out = r;
       },
       opts);
+  if (cp_comm_share != nullptr) {
+    *cp_comm_share =
+        dipdc::obs::critical_path(mpi::make_trace(rr)).comm_share();
+  }
   return out;
 }
 
@@ -56,14 +64,16 @@ int main() {
               dataset.size(), ranks);
   Table t;
   t.set_header({"k", "total sim time", "compute share", "comm share",
-                "dominated by"});
+                "crit-path comm", "dominated by"});
   for (const std::size_t k : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    double cp_share = 0.0;
     const auto r = run_kmeans(ranks, dataset, k,
-                              m5::Strategy::kWeightedMeans, machine);
+                              m5::Strategy::kWeightedMeans, machine, 20,
+                              &cp_share);
     const double total = r.compute_time + r.comm_time;
     const double cshare = r.compute_time / total;
     t.add_row({std::to_string(k), seconds(r.sim_time), percent(cshare),
-               percent(1.0 - cshare),
+               percent(1.0 - cshare), percent(cp_share),
                cshare > 0.5 ? "computation" : "communication"});
   }
   std::printf("%s", t.render().c_str());

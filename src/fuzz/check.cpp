@@ -112,6 +112,11 @@ class Checker {
         fail("trace event with out-of-range rank ", ev.rank);
         continue;
       }
+      // The oracle models user primitives only; compute/idle/phase spans
+      // (op < 0) are extra observability events.  Phase spans are also
+      // emitted at phase_end with the phase's *start* time, so they are
+      // exempt from the per-lane monotonicity check too.
+      if (ev.op < 0) continue;
       const auto r = static_cast<std::size_t>(ev.rank);
       ++counts[r];
       if (ev.t_end < ev.t_start) {

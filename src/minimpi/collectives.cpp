@@ -126,7 +126,7 @@ Comm Comm::split(int color, int key) {
 void Comm::barrier() {
   count_call(Primitive::kBarrier);
   count_algo(CollectiveAlgo::kBarrierDissemination);
-  const double t0 = wtime();
+  const TraceStart t0 = trace_begin();
   const int tag = next_collective_tag();
   const int p = size();
   for (int k = 1; k < p; k <<= 1) {

@@ -15,10 +15,12 @@
 #include <cstring>
 #include <limits>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "minimpi/error.hpp"
 #include "minimpi/faults.hpp"
+#include "minimpi/trace.hpp"
 
 namespace dipdc::minimpi {
 
@@ -95,17 +97,43 @@ void Comm::validate_user_tag(int tag, const char* what) const {
 }
 
 void Comm::sim_compute(double flops, double mem_bytes) {
+  const TraceStart t0 = trace_begin();
   const double dt = cost_model().kernel_time(world_rank_, flops, mem_bytes);
   state().clock += dt;
   state().stats.sim_compute_seconds += dt;
+  if (obs::Recorder* rec = runtime_->recorder()) {
+    obs::Event e;
+    e.rank = world_rank_;
+    e.cat = obs::Category::kCompute;
+    e.context = context_;
+    e.t_start = t0.sim;
+    e.t_end = state().clock;
+    e.wall_start = t0.wall;
+    e.wall_end = rec->wall_now();
+    e.name = "compute";
+    rec->lane(world_rank_).events.push_back(e);
+  }
 }
 
 void Comm::sim_advance(double seconds) {
   DIPDC_REQUIRE(seconds >= 0.0, "cannot advance the clock backwards");
+  const TraceStart t0 = trace_begin();
   state().clock += seconds;
   // Explicit clock advances model idle/waiting time, not kernel work; they
   // get their own bucket so compute/comm breakdowns stay honest.
   state().stats.sim_idle_seconds += seconds;
+  if (obs::Recorder* rec = runtime_->recorder()) {
+    obs::Event e;
+    e.rank = world_rank_;
+    e.cat = obs::Category::kIdle;
+    e.context = context_;
+    e.t_start = t0.sim;
+    e.t_end = state().clock;
+    e.wall_start = t0.wall;
+    e.wall_end = rec->wall_now();
+    e.name = "idle";
+    rec->lane(world_rank_).events.push_back(e);
+  }
 }
 
 void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
@@ -126,6 +154,11 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
   }
   const bool channels =
       !internal && runtime_->options().record_channels;
+  // Observability: every user p2p message gets a world-unique edge id.
+  // Dropped messages allocate one too (the send event shows an edge no
+  // receive ever completes), so edge numbering is independent of the fault
+  // plan's outcomes.
+  obs::Recorder* const rec = internal ? nullptr : runtime_->recorder();
   if (fault.drop) {
     // The message vanishes on the wire.  The sender cannot tell: it pays
     // the same local costs and counters as a delivered eager send.  A
@@ -137,6 +170,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
     st.stats.p2p_bytes_sent += data.size();
     ++st.stats.p2p_messages_sent;
     record_channel_sent(st, channels, wdest, data.size());
+    if (rec != nullptr) st.last_tx_seq = rec->alloc_seq(world_rank_);
     const double overhead = cost_model().send_overhead();
     st.clock += overhead;
     st.stats.sim_comm_seconds += overhead;
@@ -156,6 +190,10 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
   env->context = context_;
   env->internal = internal;
   env->rendezvous = rendezvous;
+  if (rec != nullptr) {
+    env->trace_seq = rec->alloc_seq(world_rank_);
+    st.last_tx_seq = env->trace_seq;
+  }
   env->payload =
       build_payload(data, /*borrow_ok=*/rendezvous,
                     runtime_->options().transport, runtime_->buffer_pool(),
@@ -175,6 +213,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
     dup->context = context_;
     dup->internal = internal;
     dup->rendezvous = false;
+    dup->trace_seq = env->trace_seq;  // same logical message, same edge
     dup->payload = build_payload(data, /*borrow_ok=*/false,
                                  runtime_->options().transport,
                                  runtime_->buffer_pool(), st.stats);
@@ -272,6 +311,7 @@ Status Comm::recv_bytes(std::span<std::byte> data, int source, int tag,
       ++st.stats.p2p_messages_received;
       record_channel_received(st, runtime_->options().record_channels,
                               env->src_world, status.bytes);
+      st.last_rx_seq = env->trace_seq;
     }
     st.stats.copied_bytes += status.bytes;
     mb.unexpected.erase(*m);
@@ -324,6 +364,7 @@ Status Comm::recv_bytes(std::span<std::byte> data, int source, int tag,
     ++st.stats.p2p_messages_received;
     record_channel_received(st, runtime_->options().record_channels,
                             req->src_world, req->status.bytes);
+    st.last_rx_seq = std::exchange(req->trace_seq, 0);
   }
   st.stats.copied_bytes += req->status.bytes;
   return req->status;
@@ -343,6 +384,7 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
   }
   const bool channels =
       !internal && runtime_->options().record_channels;
+  obs::Recorder* const rec = internal ? nullptr : runtime_->recorder();
   if (fault.drop) {
     ++st.stats.fault_drops;
     st.stats.transport_bytes_sent += data.size();
@@ -350,6 +392,7 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
     st.stats.p2p_bytes_sent += data.size();
     ++st.stats.p2p_messages_sent;
     record_channel_sent(st, channels, wdest, data.size());
+    if (rec != nullptr) st.last_tx_seq = rec->alloc_seq(world_rank_);
     // The request completes immediately (the sender cannot distinguish a
     // dropped eager message); the envelope exists only so that wait()/test()
     // can dereference it, and is marked matched so nothing ever waits on it.
@@ -375,6 +418,10 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
   env->context = context_;
   env->internal = internal;
   env->rendezvous = rendezvous;
+  if (rec != nullptr) {
+    env->trace_seq = rec->alloc_seq(world_rank_);
+    st.last_tx_seq = env->trace_seq;
+  }
   // Isend returns immediately, so the payload can never borrow the user's
   // buffer (the sender may mutate it before the receiver matches).
   env->payload = build_payload(data, /*borrow_ok=*/false,
@@ -392,6 +439,7 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
     dup->context = context_;
     dup->internal = internal;
     dup->rendezvous = false;
+    dup->trace_seq = env->trace_seq;  // same logical message, same edge
     dup->payload = build_payload(data, /*borrow_ok=*/false,
                                  runtime_->options().transport,
                                  runtime_->buffer_pool(), st.stats);
@@ -485,6 +533,9 @@ Request Comm::irecv_bytes(std::span<std::byte> data, int source, int tag,
       runtime_->condvar().notify_all();
       return Request(req);
     }
+    // The irecv completed inline, so its own trace event carries the edge
+    // (wait() on this request will find req->trace_seq already consumed).
+    if (!internal) st.last_rx_seq = env->trace_seq;
     st.stats.copied_bytes += env->payload.size();
     mb.unexpected.erase(*m);
     if (env->payload.size() <= kLockedCopyMax) {
@@ -643,17 +694,60 @@ detail::StagedBuffer Comm::recv_staged(int source, int tag, Status* status) {
 }
 
 void Comm::trace_end(Primitive op, int peer, int tag, std::size_t bytes,
-                     double t0) {
-  if (!runtime_->options().record_trace) return;
-  // The trace vector belongs to this rank's RankState and is only touched
-  // by the owner thread, so no lock is needed.
-  state().trace.push_back(
-      TraceEvent{world_rank_, op, peer, tag, bytes, t0, state().clock});
+                     const TraceStart& t0) {
+  obs::Recorder* const rec = runtime_->recorder();
+  if (rec == nullptr) return;
+  detail::RankState& st = state();
+  obs::Event e;
+  e.rank = world_rank_;
+  e.op = op_code(op);
+  e.cat = primitive_category(op);
+  e.peer = peer;
+  e.tag = tag;
+  e.context = context_;
+  e.bytes = bytes;
+  // Consume the message edges the byte-level transport stamped since t0
+  // was taken (at most one each way per user operation).
+  e.seq_out = std::exchange(st.last_tx_seq, 0);
+  e.seq_in = std::exchange(st.last_rx_seq, 0);
+  e.t_start = t0.sim;
+  e.t_end = st.clock;
+  e.wall_start = t0.wall;
+  e.wall_end = rec->wall_now();
+  e.name = primitive_name(op);
+  // The lane belongs to this rank's thread, so no lock is needed.
+  rec->lane(world_rank_).events.push_back(e);
+}
+
+void Comm::phase_begin(std::string_view name) {
+  obs::Recorder* const rec = runtime_->recorder();
+  if (rec == nullptr) return;
+  state().phase_stack.push_back(
+      detail::PhaseFrame{name, state().clock, rec->wall_now()});
+}
+
+void Comm::phase_end() {
+  obs::Recorder* const rec = runtime_->recorder();
+  if (rec == nullptr) return;
+  detail::RankState& st = state();
+  if (st.phase_stack.empty()) return;
+  const detail::PhaseFrame frame = st.phase_stack.back();
+  st.phase_stack.pop_back();
+  obs::Event e;
+  e.rank = world_rank_;
+  e.cat = obs::Category::kPhase;
+  e.context = context_;
+  e.t_start = frame.sim_start;
+  e.t_end = st.clock;
+  e.wall_start = frame.wall_start;
+  e.wall_end = rec->wall_now();
+  e.name = frame.name;
+  rec->lane(world_rank_).events.push_back(e);
 }
 
 Status Comm::wait(Request& request) {
   count_call(Primitive::kWait);
-  const double t0 = wtime();
+  const TraceStart t0 = trace_begin();
   const Status st = wait_nocount(request);
   trace_end(Primitive::kWait, st.source, st.tag, st.bytes, t0);
   return st;
@@ -701,6 +795,11 @@ Status Comm::wait_nocount(Request& request) {
     ++st.stats.p2p_messages_received;
     record_channel_received(st, runtime_->options().record_channels,
                             rs->src_world, rs->status.bytes);
+    // Hand the matched message's edge to the completing operation's trace
+    // event (zero when the irecv fast path already consumed it).
+    if (rs->trace_seq != 0) {
+      st.last_rx_seq = std::exchange(rs->trace_seq, 0);
+    }
   }
   rs->consumed = true;
   return rs->status;
@@ -734,6 +833,9 @@ std::size_t Comm::wait_any(std::span<Request> requests, Status* status) {
   }
   // Complete the found request (adopts clocks/counters idempotently).
   const Status st = wait_nocount(requests[which]);
+  // wait_any records no trace event of its own; drop the pending message
+  // edge so it cannot leak into the next traced operation.
+  state().last_rx_seq = 0;
   if (status != nullptr) *status = st;
   return which;
 }
@@ -777,7 +879,7 @@ void Comm::wait_all(std::span<Request> requests) {
 
 Status Comm::probe(int source, int tag) {
   count_call(Primitive::kProbe);
-  const double t_begin = wtime();
+  const TraceStart t_begin = trace_begin();
   if (source != kAnySource) validate_peer(source, "probe");
   if (tag != kAnyTag) validate_user_tag(tag, "probe");
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -80,12 +81,39 @@ class Comm {
     return runtime_->cost();
   }
 
+  // ---- Phase spans ---------------------------------------------------------
+  // Named spans bracketing a module's algorithmic phases ("assign",
+  // "update", "exchange", ...).  They envelope the operations performed
+  // inside them in exported traces and drive the per-phase timers in the
+  // metrics registry.  No-ops unless RuntimeOptions::record_trace; `name`
+  // must reference static storage (pass a string literal).
+
+  void phase_begin(std::string_view name);
+  /// Closes the innermost open phase (no-op when none is open).
+  void phase_end();
+
+  /// RAII phase span: `minimpi::Phase p(comm, "assign");`
+  class Phase {
+   public:
+    Phase(Comm& comm, std::string_view name) : comm_(&comm) {
+      comm_->phase_begin(name);
+    }
+    ~Phase() {
+      if (comm_ != nullptr) comm_->phase_end();
+    }
+    Phase(const Phase&) = delete;
+    Phase& operator=(const Phase&) = delete;
+
+   private:
+    Comm* comm_;
+  };
+
   // ---- Point-to-point ----------------------------------------------------
 
   template <Trivial T>
   void send(std::span<const T> data, int dest, int tag = 0) {
     count_call(Primitive::kSend);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     send_bytes(as_bytes(data), dest, tag, /*internal=*/false);
     trace_end(Primitive::kSend, dest, tag, data.size_bytes(), t0);
   }
@@ -100,7 +128,7 @@ class Comm {
   template <Trivial T>
   Status recv(std::span<T> data, int source = kAnySource, int tag = kAnyTag) {
     count_call(Primitive::kRecv);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     const Status st = recv_bytes(as_writable_bytes(data), source, tag,
                                  /*internal=*/false);
     trace_end(Primitive::kRecv, st.source, st.tag, st.bytes, t0);
@@ -131,7 +159,7 @@ class Comm {
   template <Trivial T>
   Request isend(std::span<const T> data, int dest, int tag = 0) {
     count_call(Primitive::kIsend);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     Request req = isend_bytes(as_bytes(data), dest, tag, /*internal=*/false);
     trace_end(Primitive::kIsend, dest, tag, data.size_bytes(), t0);
     return req;
@@ -147,7 +175,7 @@ class Comm {
   Request irecv(std::span<T> data, int source = kAnySource,
                 int tag = kAnyTag) {
     count_call(Primitive::kIrecv);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     Request req = irecv_bytes(as_writable_bytes(data), source, tag,
                               /*internal=*/false);
     trace_end(Primitive::kIrecv, source, tag, data.size_bytes(), t0);
@@ -184,7 +212,7 @@ class Comm {
   template <Trivial T>
   void send_reliable(std::span<const T> data, int dest, int tag = 0) {
     count_call(Primitive::kSendReliable);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     send_reliable_bytes(as_bytes(data), dest, tag);
     trace_end(Primitive::kSendReliable, dest, tag, data.size_bytes(), t0);
   }
@@ -199,7 +227,7 @@ class Comm {
   Status recv_reliable(std::span<T> data, int source = kAnySource,
                        int tag = kAnyTag) {
     count_call(Primitive::kRecvReliable);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     const Status st = recv_reliable_bytes(as_writable_bytes(data), source, tag);
     trace_end(Primitive::kRecvReliable, st.source, st.tag, st.bytes, t0);
     return st;
@@ -223,7 +251,7 @@ class Comm {
                   std::span<T> recv_data, int source = kAnySource,
                   int recv_tag = kAnyTag) {
     count_call(Primitive::kSendrecv);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     Request sreq = isend_bytes(as_bytes(send_data), dest, send_tag,
                                /*internal=*/false);
     const Status st = recv_bytes(as_writable_bytes(recv_data), source,
@@ -249,7 +277,7 @@ class Comm {
   template <Trivial T>
   void bcast(std::span<T> data, int root) {
     count_call(Primitive::kBcast);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     bcast_bytes(as_writable_bytes(data), root);
     trace_end(Primitive::kBcast, root, 0, data.size_bytes(), t0);
   }
@@ -266,7 +294,7 @@ class Comm {
   void scatter(std::span<const T> send_data, std::span<T> recv_data,
                int root) {
     count_call(Primitive::kScatter);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     scatter_bytes(as_bytes(send_data), as_writable_bytes(recv_data), root);
     trace_end(Primitive::kScatter, root, 0, recv_data.size_bytes(), t0);
   }
@@ -279,7 +307,7 @@ class Comm {
                 std::span<const std::size_t> displs, std::span<T> recv_data,
                 int root) {
     count_call(Primitive::kScatterv);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     scatterv_bytes(as_bytes(send_data), send_counts, displs,
                    as_writable_bytes(recv_data), sizeof(T), root);
     trace_end(Primitive::kScatterv, root, 0, recv_data.size_bytes(), t0);
@@ -289,7 +317,7 @@ class Comm {
   void gather(std::span<const T> send_data, std::span<T> recv_data,
               int root) {
     count_call(Primitive::kGather);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     gather_bytes(as_bytes(send_data), as_writable_bytes(recv_data), root);
     trace_end(Primitive::kGather, root, 0, send_data.size_bytes(), t0);
   }
@@ -300,7 +328,7 @@ class Comm {
                std::span<const std::size_t> displs, std::span<T> recv_data,
                int root) {
     count_call(Primitive::kGatherv);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     gatherv_bytes(as_bytes(send_data), recv_counts, displs,
                   as_writable_bytes(recv_data), sizeof(T), root);
     trace_end(Primitive::kGatherv, root, 0, send_data.size_bytes(), t0);
@@ -309,7 +337,7 @@ class Comm {
   template <Trivial T>
   void allgather(std::span<const T> send_data, std::span<T> recv_data) {
     count_call(Primitive::kAllgather);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     allgather_bytes(as_bytes(send_data), as_writable_bytes(recv_data));
     trace_end(Primitive::kAllgather, -1, 0, recv_data.size_bytes(), t0);
   }
@@ -322,7 +350,7 @@ class Comm {
                   std::span<const std::size_t> displs,
                   std::span<T> recv_data) {
     count_call(Primitive::kAllgather);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     gatherv_bytes(as_bytes(send_data), recv_counts, displs,
                   as_writable_bytes(recv_data), sizeof(T), 0);
     bcast_bytes(as_writable_bytes(recv_data), 0);
@@ -333,7 +361,7 @@ class Comm {
   void reduce(std::span<const T> send_data, std::span<T> recv_data, Op op,
               int root) {
     count_call(Primitive::kReduce);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     reduce_bytes(as_bytes(send_data),
                  root == rank_ ? as_writable_bytes(recv_data)
                                : std::span<std::byte>{},
@@ -345,7 +373,7 @@ class Comm {
   void allreduce(std::span<const T> send_data, std::span<T> recv_data,
                  Op op) {
     count_call(Primitive::kAllreduce);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     allreduce_bytes(as_bytes(send_data), as_writable_bytes(recv_data),
                     sizeof(T), make_reduce_fn<T>(op));
     trace_end(Primitive::kAllreduce, -1, 0, send_data.size_bytes(), t0);
@@ -362,7 +390,7 @@ class Comm {
   template <Trivial T, typename Op>
   void scan(std::span<const T> send_data, std::span<T> recv_data, Op op) {
     count_call(Primitive::kScan);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     scan_bytes(as_bytes(send_data), as_writable_bytes(recv_data), sizeof(T),
                make_reduce_fn<T>(op));
     trace_end(Primitive::kScan, -1, 0, send_data.size_bytes(), t0);
@@ -372,7 +400,7 @@ class Comm {
   template <Trivial T>
   void alltoall(std::span<const T> send_data, std::span<T> recv_data) {
     count_call(Primitive::kAlltoall);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     alltoall_bytes(as_bytes(send_data), as_writable_bytes(recv_data));
     trace_end(Primitive::kAlltoall, -1, 0, send_data.size_bytes(), t0);
   }
@@ -386,7 +414,7 @@ class Comm {
                  std::span<const std::size_t> recv_counts,
                  std::span<const std::size_t> recv_displs) {
     count_call(Primitive::kAlltoallv);
-    const double t0 = wtime();
+    const TraceStart t0 = trace_begin();
     alltoallv_bytes(as_bytes(send_data), send_counts, send_displs,
                     as_writable_bytes(recv_data), recv_counts, recv_displs,
                     sizeof(T));
@@ -459,10 +487,24 @@ class Comm {
     if (runtime_->options().faults.kills()) fault_tick(p);
   }
 
+  /// Timing capture taken at the start of a traced operation: the rank's
+  /// simulated clock plus (when RuntimeOptions::trace_wall_time) the real
+  /// clock.  Cheap to take even with tracing off — just two reads.
+  struct TraceStart {
+    double sim = 0.0;
+    double wall = 0.0;
+  };
+
+  [[nodiscard]] TraceStart trace_begin() const {
+    obs::Recorder* rec = runtime_->recorder();
+    return {state().clock, rec != nullptr ? rec->wall_now() : 0.0};
+  }
+
   /// Records a user-level operation spanning [t0, now] when tracing is on
-  /// (comm.cpp; no-op otherwise).
+  /// (comm.cpp; no-op otherwise).  Consumes the pending message-edge seq
+  /// ids stamped by the byte-level transport since t0 was taken.
   void trace_end(Primitive op, int peer, int tag, std::size_t bytes,
-                 double t0);
+                 const TraceStart& t0);
 
   // Byte-level transport (comm.cpp).
   void send_bytes(std::span<const std::byte> data, int dest, int tag,

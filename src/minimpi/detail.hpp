@@ -13,6 +13,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -144,6 +145,11 @@ struct Envelope {
   /// Mailbox arrival order, stamped by UnexpectedQueue::push (wildcard-tag
   /// receives must match the earliest arrival across all tag buckets).
   std::uint64_t seq = 0;
+  /// Observability message-edge id (obs::Recorder::alloc_seq), stamped by
+  /// the sender when tracing is on; 0 otherwise.  The matching receive
+  /// event records it as seq_in, linking the send/recv pair in exported
+  /// traces and the critical-path graph.
+  std::uint64_t trace_seq = 0;
   /// Simulated time at which the head of the message reaches the
   /// destination (sender clock at send + latency).
   double arrival_head = 0.0;
@@ -160,6 +166,7 @@ struct Envelope {
     rendezvous = matched = internal = consume_in_flight = false;
     src_world = 0;
     seq = 0;
+    trace_seq = 0;
     arrival_head = byte_time = completion_time = 0.0;
   }
 };
@@ -175,6 +182,9 @@ struct RequestState {
   Status status{};
   int src_world = 0;  // world rank behind status.source (channel accounting)
   double completion_time = 0.0;
+  /// Observability edge id of the matched message (see Envelope::trace_seq);
+  /// consumed by the completing receive's trace event.
+  std::uint64_t trace_seq = 0;
   std::string error;  // non-empty => wait() throws MpiError
 
   // Posted-receive fields.
@@ -234,13 +244,27 @@ struct ChannelCount {
   std::uint64_t messages = 0;
 };
 
+/// One open Comm::phase_begin frame (record_trace only).
+struct PhaseFrame {
+  std::string_view name;
+  double sim_start = 0.0;
+  double wall_start = 0.0;
+};
+
 /// Per-world-rank simulation state, shared by every communicator the rank
 /// participates in (the world communicator and any split() descendants).
 /// The fault/reliable fields are touched only by the owning rank's thread.
 struct RankState {
   double clock = 0.0;
   CommStats stats{};
-  std::vector<TraceEvent> trace;  // populated when record_trace is on
+
+  /// Observability bookkeeping (all zero / empty unless record_trace).
+  /// The last message edge this rank put on / took off the wire; the
+  /// enclosing user operation's trace event consumes (and clears) them.
+  std::uint64_t last_tx_seq = 0;
+  std::uint64_t last_rx_seq = 0;
+  /// Open phase_begin frames (LIFO).
+  std::vector<PhaseFrame> phase_stack;
 
   /// User p2p traffic per peer world rank (record_channels only): what this
   /// rank put on the wire towards `dest`, and what it ingested from `src`.

@@ -145,9 +145,16 @@ struct RuntimeOptions {
   /// Rank-to-node placement under `machine`.
   perfmodel::Placement placement{};
 
-  /// Record a TraceEvent for every user-level operation (see trace.hpp);
-  /// RunResult::trace carries the merged log.
+  /// Record a TraceEvent for every user-level operation, plus simulated
+  /// compute/idle spans and module phases (see trace.hpp); RunResult::trace
+  /// carries the merged log.
   bool record_trace = false;
+
+  /// Additionally stamp trace events with wall-clock times (real seconds
+  /// since the world started).  Off by default: wall stamps vary run to
+  /// run, and leaving them zeroed keeps exported traces bit-identical for
+  /// deterministic programs.  Requires record_trace.
+  bool trace_wall_time = false;
 
   /// Record per-channel user p2p traffic (bytes/messages per directed
   /// (source, destination) world-rank pair); RunResult::channels carries the

@@ -55,6 +55,10 @@ Runtime::Runtime(int nranks, RuntimeOptions options)
       mailboxes_(static_cast<std::size_t>(nranks)),
       rank_states_(static_cast<std::size_t>(nranks)) {
   DIPDC_REQUIRE(nranks > 0, "world size must be positive");
+  if (options_.record_trace) {
+    recorder_ = std::make_unique<obs::Recorder>(nranks,
+                                                options_.trace_wall_time);
+  }
   DIPDC_REQUIRE(!options_.faults.kills() || options_.faults.kill_rank < nranks,
                 "fault plan kills a rank outside the world");
   for (int r = 0; r < nranks; ++r) {
@@ -78,6 +82,7 @@ std::shared_ptr<detail::RequestState> Runtime::deliver_locked(
     }
     req->status = Status{env->source, env->tag, env->payload.size()};
     req->src_world = env->src_world;
+    req->trace_seq = env->trace_seq;
     // Receiver-side link serialization: the payload streams in only after
     // the receive is posted, the head arrives, and the ingress link is
     // free from earlier messages.
@@ -316,8 +321,10 @@ RunResult run(int nranks, const std::function<void(Comm&)>& fn,
   for (int r = 0; r < nranks; ++r) {
     result.rank_stats.push_back(comms[static_cast<std::size_t>(r)]->stats());
     result.sim_times.push_back(comms[static_cast<std::size_t>(r)]->wtime());
-    const auto& trace = runtime.rank_state(r).trace;
-    result.trace.insert(result.trace.end(), trace.begin(), trace.end());
+    if (obs::Recorder* rec = runtime.recorder()) {
+      const auto& events = rec->lane(r).events;
+      result.trace.insert(result.trace.end(), events.begin(), events.end());
+    }
   }
   if (runtime.options().record_channels) {
     // Merge the per-rank tallies into one (src, dst)-keyed table.  Sender

@@ -26,6 +26,7 @@
 #include "minimpi/detail.hpp"
 #include "minimpi/options.hpp"
 #include "minimpi/stats.hpp"
+#include "obs/recorder.hpp"
 #include "perfmodel/machine.hpp"
 
 namespace dipdc::minimpi {
@@ -76,6 +77,10 @@ class Runtime {
   [[nodiscard]] int nranks() const { return nranks_; }
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
   [[nodiscard]] const perfmodel::CostModel& cost() const { return cost_; }
+
+  /// The observability recorder, or nullptr when record_trace is off.
+  /// Each rank thread appends to its own lane without locking.
+  [[nodiscard]] obs::Recorder* recorder() { return recorder_.get(); }
 
   /// Pooled payload/envelope storage (thread-safe, own locks).
   detail::BufferPool& buffer_pool() { return *buffer_pool_; }
@@ -164,6 +169,7 @@ class Runtime {
   std::shared_ptr<detail::EnvelopePool> envelope_pool_;
   std::vector<detail::Mailbox> mailboxes_;
   std::vector<detail::RankState> rank_states_;
+  std::unique_ptr<obs::Recorder> recorder_;  // non-null iff record_trace
   std::atomic<int> next_context_{1};
   std::vector<Waiter*> waiters_;
   bool aborted_ = false;

@@ -1,6 +1,11 @@
 #include "minimpi/stats.hpp"
 
+#include <map>
 #include <sstream>
+#include <string>
+
+#include "minimpi/runtime.hpp"
+#include "minimpi/trace.hpp"
 
 namespace dipdc::minimpi {
 
@@ -66,6 +71,76 @@ std::string transport_report(const CommStats& stats) {
        << ": " << stats.algo_uses[i] << "\n";
   }
   return os.str();
+}
+
+void register_comm_stats(obs::Registry& reg, const CommStats& stats) {
+  for (std::size_t i = 0; i < kPrimitiveCount; ++i) {
+    if (stats.calls[i] == 0) continue;
+    const auto p = static_cast<Primitive>(i);
+    reg.set_counter(std::string("calls.") + std::string(primitive_name(p)),
+                    stats.calls[i]);
+  }
+  reg.set_counter("p2p.bytes_sent", stats.p2p_bytes_sent);
+  reg.set_counter("p2p.messages_sent", stats.p2p_messages_sent);
+  reg.set_counter("p2p.bytes_received", stats.p2p_bytes_received);
+  reg.set_counter("p2p.messages_received", stats.p2p_messages_received);
+  reg.set_counter("transport.bytes_sent", stats.transport_bytes_sent);
+  reg.set_counter("transport.messages_sent", stats.transport_messages_sent);
+  reg.set_counter("pool.hits", stats.pool_hits);
+  reg.set_counter("pool.misses", stats.pool_misses);
+  reg.set_counter("transport.inline_messages", stats.inline_messages);
+  reg.set_counter("transport.zero_copy_bytes", stats.zero_copy_bytes);
+  reg.set_counter("transport.copied_bytes", stats.copied_bytes);
+  reg.set_counter("transport.rendezvous_stalls", stats.rendezvous_stalls);
+  if (stats.fault_drops != 0) reg.set_counter("fault.drops", stats.fault_drops);
+  if (stats.fault_dups != 0) reg.set_counter("fault.dups", stats.fault_dups);
+  if (stats.fault_delays != 0) {
+    reg.set_counter("fault.delays", stats.fault_delays);
+  }
+  if (stats.reliable_retries != 0) {
+    reg.set_counter("reliable.retries", stats.reliable_retries);
+  }
+  if (stats.reliable_timeouts != 0) {
+    reg.set_counter("reliable.timeouts", stats.reliable_timeouts);
+  }
+  if (stats.reliable_duplicates != 0) {
+    reg.set_counter("reliable.duplicates", stats.reliable_duplicates);
+  }
+  for (std::size_t i = 0; i < kCollectiveAlgoCount; ++i) {
+    if (stats.algo_uses[i] == 0) continue;
+    const auto a = static_cast<CollectiveAlgo>(i);
+    reg.set_counter(
+        std::string("algo.") + std::string(collective_algo_name(a)),
+        stats.algo_uses[i]);
+  }
+  reg.set_gauge("time.compute", stats.sim_compute_seconds, "s");
+  reg.set_gauge("time.comm", stats.sim_comm_seconds, "s");
+  reg.set_gauge("time.idle", stats.sim_idle_seconds, "s");
+}
+
+obs::Registry build_metrics(const RunResult& result) {
+  obs::Registry reg;
+  reg.set_gauge("sim.makespan", result.max_sim_time(), "s");
+  register_comm_stats(reg, result.total_stats());
+  // Message-size distribution over user p2p send events; phase timers from
+  // the recorded phase spans (both empty unless record_trace was on).
+  std::map<std::string_view, std::pair<double, std::uint64_t>> phases;
+  for (const TraceEvent& e : result.trace) {
+    if (e.cat == obs::Category::kP2P && e.seq_out != 0) {
+      reg.observe("msg.bytes", static_cast<double>(e.bytes));
+    }
+    if (e.cat == obs::Category::kPhase) {
+      auto& [seconds, calls] = phases[e.name];
+      seconds += e.t_end - e.t_start;
+      ++calls;
+    }
+  }
+  for (const auto& [name, agg] : phases) {
+    const std::string key = "phase." + std::string(name);
+    reg.set_gauge(key + ".seconds", agg.first, "s");
+    reg.set_counter(key + ".calls", agg.second);
+  }
+  return reg;
 }
 
 }  // namespace dipdc::minimpi

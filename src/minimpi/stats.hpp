@@ -11,8 +11,11 @@
 #include <string>
 
 #include "minimpi/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace dipdc::minimpi {
+
+struct RunResult;
 
 struct CommStats {
   /// User-level primitive invocation counts.
@@ -89,5 +92,15 @@ struct CommStats {
 /// Multi-line human-readable report of the transport fast-path counters
 /// and collective algorithm selection (zero-count rows are omitted).
 std::string transport_report(const CommStats& stats);
+
+/// Registers the nonzero CommStats counters into `reg` under stable dotted
+/// names: calls.<primitive>, p2p.*, transport.*, pool.*, fault.*,
+/// reliable.*, algo.<name>, and the time.compute/comm/idle gauges.
+void register_comm_stats(obs::Registry& reg, const CommStats& stats);
+
+/// One registry for a whole run: the summed CommStats of every rank, the
+/// simulated makespan, a message-size histogram, and per-phase timers
+/// (phase.<name>.seconds / .calls) aggregated from the recorded trace.
+[[nodiscard]] obs::Registry build_metrics(const RunResult& result);
 
 }  // namespace dipdc::minimpi

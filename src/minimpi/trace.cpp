@@ -1,16 +1,15 @@
 #include "minimpi/trace.hpp"
 
-#include <algorithm>
-#include <sstream>
-
-#include "support/format.hpp"
+#include "minimpi/runtime.hpp"
+#include "obs/ascii.hpp"
 
 namespace dipdc::minimpi {
 
 namespace {
 
-char glyph_of(Primitive op) {
-  switch (op) {
+char glyph_of(const TraceEvent& e) {
+  if (e.op < 0) return '\0';  // compute/idle/phase spans render as '.'
+  switch (static_cast<Primitive>(e.op)) {
     case Primitive::kSend: return 's';
     case Primitive::kIsend: return 'S';
     case Primitive::kRecv: return 'r';
@@ -23,68 +22,43 @@ char glyph_of(Primitive op) {
 
 }  // namespace
 
+obs::Category primitive_category(Primitive p) {
+  switch (p) {
+    case Primitive::kSend:
+    case Primitive::kRecv:
+    case Primitive::kIsend:
+    case Primitive::kIrecv:
+    case Primitive::kSendrecv:
+    case Primitive::kSendReliable:
+    case Primitive::kRecvReliable:
+      return obs::Category::kP2P;
+    case Primitive::kWait:
+      return obs::Category::kWait;
+    case Primitive::kProbe:
+      return obs::Category::kProbe;
+    default:
+      return obs::Category::kCollective;
+  }
+}
+
+obs::Trace make_trace(const RunResult& result) {
+  obs::Trace trace;
+  trace.nranks = static_cast<int>(result.sim_times.size());
+  trace.events = result.trace;
+  return trace;
+}
+
 std::string render_timeline(const std::vector<TraceEvent>& events,
                             int nranks, double t_max, int width) {
-  width = std::max(width, 1);
-  nranks = std::max(nranks, 0);
-  if (t_max <= 0.0) {
-    // Derive the horizon from the events themselves (callers often pass
-    // max_sim_time(), which is 0 for an empty or all-zero-duration trace).
-    for (const TraceEvent& e : events) t_max = std::max(t_max, e.t_end);
-  }
-  // Degenerate trace: no events, or every event instantaneous at t = 0.
-  // Render a zero-width axis instead of dividing by the horizon.
-  const bool degenerate = t_max <= 0.0;
-  std::vector<std::string> rows(
-      static_cast<std::size_t>(nranks),
-      std::string(static_cast<std::size_t>(width), '.'));
-  for (const TraceEvent& e : events) {
-    if (e.rank < 0 || e.rank >= nranks) continue;
-    auto col = [&](double t) {
-      if (degenerate) return 0;
-      const double f = std::clamp(t / t_max, 0.0, 1.0);
-      return std::min(width - 1, static_cast<int>(f * width));
-    };
-    const int c0 = col(e.t_start);
-    const int c1 = std::max(c0, col(e.t_end));
-    for (int c = c0; c <= c1; ++c) {
-      rows[static_cast<std::size_t>(e.rank)][static_cast<std::size_t>(c)] =
-          glyph_of(e.op);
-    }
-  }
-  std::ostringstream os;
-  os << "time 0 .. " << support::seconds(degenerate ? 0.0 : t_max)
-     << "   (s/S send, r/R recv, w wait, p probe, C collective, . "
-        "compute/idle)\n";
-  for (int r = 0; r < nranks; ++r) {
-    os << "rank " << r << (r < 10 ? " " : "") << " |"
-       << rows[static_cast<std::size_t>(r)] << "|\n";
-  }
-  return os.str();
+  return obs::render_timeline(
+      events, nranks, t_max, width, glyph_of,
+      "   (s/S send, r/R recv, w wait, p probe, C collective, . "
+      "compute/idle)");
 }
 
 std::string render_log(const std::vector<TraceEvent>& events,
                        std::size_t max_events) {
-  std::vector<TraceEvent> sorted = events;
-  std::stable_sort(sorted.begin(), sorted.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     return a.t_start < b.t_start;
-                   });
-  std::ostringstream os;
-  std::size_t shown = 0;
-  for (const TraceEvent& e : sorted) {
-    if (shown++ >= max_events) {
-      os << "... (" << sorted.size() - max_events << " more)\n";
-      break;
-    }
-    os << "[" << support::seconds(e.t_start) << " - "
-       << support::seconds(e.t_end) << "] rank " << e.rank << " "
-       << primitive_name(e.op);
-    if (e.peer >= 0) os << " peer " << e.peer;
-    if (e.bytes > 0) os << " " << support::bytes(e.bytes);
-    os << "\n";
-  }
-  return os.str();
+  return obs::render_log(events, max_events);
 }
 
 }  // namespace dipdc::minimpi

@@ -3,33 +3,53 @@
 //
 // Enable with RuntimeOptions::record_trace; every user-level operation
 // (sends, receives, waits, probes and collectives) is recorded with its
-// simulated start/end time, peer, tag and payload size.  RunResult carries
-// the merged log, and render_timeline() draws a per-rank ASCII Gantt chart
-// of communication activity — a miniature Vampir/Paraver.
+// simulated start/end time, peer, tag and payload size — plus simulated
+// kernel/idle spans (sim_compute / sim_advance) and user-named module
+// phases (Comm::phase_begin / Phase).  Events are obs::Event records in
+// the structured observability layer (src/obs): RunResult carries the
+// merged log, render_timeline() draws a per-rank ASCII Gantt chart — a
+// miniature Vampir/Paraver — and obs::to_perfetto_json() exports the same
+// trace for https://ui.perfetto.dev, with send->recv flow arrows.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "minimpi/types.hpp"
+#include "obs/event.hpp"
 
 namespace dipdc::minimpi {
 
-struct TraceEvent {
-  int rank = 0;
-  Primitive op = Primitive::kSend;
-  /// Peer rank for point-to-point ops; -1 for collectives/wildcards.
-  int peer = -1;
-  int tag = 0;
-  std::size_t bytes = 0;
-  double t_start = 0.0;  // simulated seconds
-  double t_end = 0.0;
-};
+/// Trace events are plain obs::Event records.  `op` holds the Primitive
+/// (op_code/op_of below); compute/idle/phase spans carry obs::kNoOp.
+using TraceEvent = obs::Event;
 
-/// Renders events as a per-rank timeline of `width` columns covering
-/// [0, t_max].  Glyphs: s/S send/isend, r/R recv/irecv, w wait, p probe,
-/// C collective; '.' = computing or idle.
+struct RunResult;
+
+/// Primitive -> trace-event op code.
+[[nodiscard]] constexpr std::int16_t op_code(Primitive p) {
+  return static_cast<std::int16_t>(p);
+}
+
+/// True when `e` records the given user primitive.
+[[nodiscard]] constexpr bool is_op(const TraceEvent& e, Primitive p) {
+  return e.op == op_code(p);
+}
+
+/// Observability category of a user primitive (p2p / collective / wait /
+/// probe), used for timeline glyphs and critical-path attribution.
+[[nodiscard]] obs::Category primitive_category(Primitive p);
+
+/// Bundles a RunResult's merged event log into an obs::Trace for the
+/// exporters and analyses (obs::to_perfetto_json, obs::critical_path...).
+[[nodiscard]] obs::Trace make_trace(const RunResult& result);
+
+/// Renders user-primitive events as a per-rank timeline of `width` columns
+/// covering [0, t_max].  Glyphs: s/S send/isend, r/R recv/irecv, w wait,
+/// p probe, C collective; '.' = compute or idle (compute/idle/phase spans
+/// draw no glyph of their own).
 std::string render_timeline(const std::vector<TraceEvent>& events,
                             int nranks, double t_max, int width = 72);
 

@@ -179,6 +179,7 @@ Result run_distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
   // Scatter the row blocks (the module's MPI_Scatter step, generalized to
   // Scatterv for non-divisible n), then broadcast the whole dataset since
   // every rank needs all points as distance partners.
+  comm.phase_begin("scatter");
   std::vector<std::size_t> counts(static_cast<std::size_t>(p));
   std::vector<std::size_t> displs(static_cast<std::size_t>(p));
   for (int i = 0; i < p; ++i) {
@@ -199,12 +200,14 @@ Result run_distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
     std::copy(dataset.values().begin(), dataset.values().end(), all.begin());
   }
   comm.bcast(std::span<double>(all), 0);
+  comm.phase_end();
 
   const double t_comm_in = comm.wtime();
 
   // Local computation.  The kernel runs natively (and through the cache
   // simulator when tracing); its simulated cost is charged to the machine
   // model with the locality-aware traffic estimate.
+  comm.phase_begin("compute");
   std::vector<double> block(my_rows * n);
   if (config.trace_cache) {
     cachesim::CacheHierarchy hierarchy({config.cache});
@@ -237,11 +240,13 @@ Result run_distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
                                       config.cache.size_bytes);
   }
   comm.sim_compute(block_flops(my_rows, n, dim), result.dram_bytes);
+  comm.phase_end();
 
   const double t_compute = comm.wtime();
 
   // Combine: checksum (correctness) and the slowest rank's span via Reduce,
   // exactly the module's MPI_Reduce step.
+  comm.phase_begin("combine");
   double local_checksum = 0.0;
   for (const double v : block) local_checksum += v;
   double checksum = 0.0;
@@ -254,6 +259,7 @@ Result run_distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
 
   result.checksum = comm.bcast_value(checksum, 0);
   result.sim_time = comm.bcast_value(slowest, 0);
+  comm.phase_end();
   result.comm_time = t_comm_in - t0;
   result.compute_time = t_compute - t_comm_in;
   return result;

@@ -169,6 +169,7 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
   double comm_marks = 0.0;  // accumulated communication-phase time
 
   // Distribute the data: shape, row blocks, initial centroids.
+  comm.phase_begin("distribute");
   std::size_t shape[2] = {dataset.size(), dataset.dim()};
   comm.bcast(std::span<std::size_t>(shape, 2), 0);
   const std::size_t n = shape[0];
@@ -196,6 +197,7 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
     result.centroids = initial_centroids(dataset, config);
   }
   comm.bcast(std::span<double>(result.centroids), 0);
+  comm.phase_end();
   comm_marks += comm.wtime() - t0;
 
   // Byte accounting starts after the one-time data distribution, so
@@ -207,6 +209,7 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     // Assignment phase (pure local compute).
+    comm.phase_begin("assign");
     std::vector<double> sums(k * dim, 0.0);
     std::vector<double> member_counts(k, 0.0);
     for (std::size_t i = 0; i < my_n; ++i) {
@@ -217,8 +220,10 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
       member_counts[c] += 1.0;
     }
     charge_assignment(comm, my_n, k, dim);
+    comm.phase_end();
 
     // Centroid update: the module's two communication options.
+    comm.phase_begin("update");
     const double t_comm = comm.wtime();
     double movement = 0.0;
     if (config.strategy == Strategy::kWeightedMeans) {
@@ -262,6 +267,7 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
       comm.bcast(std::span<double>(result.centroids), 0);
       movement = comm.bcast_value(movement, 0);
     }
+    comm.phase_end();
     comm_marks += comm.wtime() - t_comm;
 
     result.iterations = iter + 1;

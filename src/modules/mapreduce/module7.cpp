@@ -51,6 +51,7 @@ Result word_count(mpi::Comm& comm, std::span<const std::uint64_t> tokens,
   const double t0 = comm.wtime();
 
   // ---- map (+ optional combiner): per-destination tuple lists. ----------
+  comm.phase_begin("map");
   std::vector<std::vector<KeyCount>> outgoing(np);
   if (config.map_side_combine) {
     std::unordered_map<std::uint64_t, std::uint64_t> local;
@@ -72,9 +73,11 @@ Result word_count(mpi::Comm& comm, std::span<const std::uint64_t> tokens,
     comm.sim_compute(4.0 * static_cast<double>(tokens.size()),
                      24.0 * static_cast<double>(tokens.size()));
   }
+  comm.phase_end();
   const double t_mapped = comm.wtime();
 
   // ---- shuffle: Alltoallv of KeyCount tuples. ----------------------------
+  comm.phase_begin("shuffle");
   std::vector<std::size_t> send_counts(np), send_displs(np);
   std::vector<KeyCount> send_buf;
   for (std::size_t i = 0; i < np; ++i) {
@@ -98,9 +101,11 @@ Result word_count(mpi::Comm& comm, std::span<const std::uint64_t> tokens,
                  std::span<KeyCount>(received),
                  std::span<const std::size_t>(recv_counts),
                  std::span<const std::size_t>(recv_displs));
+  comm.phase_end();
   const double t_shuffled = comm.wtime();
 
   // ---- reduce: merge the partial counts per key. --------------------------
+  comm.phase_begin("reduce");
   std::unordered_map<std::uint64_t, std::uint64_t> merged;
   merged.reserve(received.size() / 2 + 1);
   std::uint64_t tuples_in = 0;
@@ -114,6 +119,7 @@ Result word_count(mpi::Comm& comm, std::span<const std::uint64_t> tokens,
   for (const auto& [k, c] : merged) result.counts.push_back({k, c});
   std::sort(result.counts.begin(), result.counts.end(),
             [](const KeyCount& a, const KeyCount& b) { return a.key < b.key; });
+  comm.phase_end();
   const double t_reduced = comm.wtime();
 
   // ---- invariants & balance metrics. --------------------------------------

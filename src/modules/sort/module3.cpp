@@ -134,6 +134,7 @@ Result distributed_bucket_sort(mpi::Comm& comm, std::vector<double>& local,
   Result result;
 
   const double t0 = comm.wtime();
+  comm.phase_begin("partition");
   const std::vector<double> splitters =
       compute_splitters(comm, local, config);
 
@@ -145,8 +146,10 @@ Result distributed_bucket_sort(mpi::Comm& comm, std::vector<double>& local,
   }
   comm.sim_compute(2.0 * static_cast<double>(local.size()),
                    8.0 * static_cast<double>(local.size()));
+  comm.phase_end();
 
   // Exchange with Alltoallv — the module's scatter phase.
+  comm.phase_begin("exchange");
   std::vector<std::size_t> send_counts(np), send_displs(np);
   std::vector<double> send_buf;
   send_buf.reserve(local.size());
@@ -172,15 +175,18 @@ Result distributed_bucket_sort(mpi::Comm& comm, std::vector<double>& local,
                  std::span<const std::size_t>(recv_displs));
   result.exchange_bytes =
       static_cast<std::uint64_t>(send_buf.size() * sizeof(double));
+  comm.phase_end();
   const double t_exchanged = comm.wtime();
 
   // Local sort.  Cost model: comparison sort is memory-bound — per element
   // roughly 2*log2(n) flop-equivalents against 8*log2(n) bytes of traffic
   // (multiple passes over a working set that exceeds cache).
+  comm.phase_begin("local_sort");
   std::sort(bucket.begin(), bucket.end());
   const double nlogn =
       static_cast<double>(bucket.size()) * log2_safe(bucket.size());
   comm.sim_compute(2.0 * nlogn, 8.0 * nlogn);
+  comm.phase_end();
   const double t_sorted = comm.wtime();
 
   // Verification: counts preserved, every rank sorted, bucket fronts

@@ -93,6 +93,7 @@ Result run_distributed(mpi::Comm& comm, const Config& config) {
       // "Blocking" here means the exchange completes in full before any
       // computation (no overlap); the sends themselves are non-blocking so
       // the exchange cannot deadlock under the rendezvous protocol.
+      comm.phase_begin("halo_exchange");
       std::vector<mpi::Request> sreqs;
       if (!rightmost) {
         sreqs.push_back(comm.isend(
@@ -111,9 +112,11 @@ Result run_distributed(mpi::Comm& comm, const Config& config) {
         comm.recv(std::span<double>(cur.data() + w + len, w), r + 1, 61);
       }
       comm.wait_all(std::span<mpi::Request>(sreqs));
+      comm.phase_end();
       comm_marks += comm.wtime() - tc;
 
       // w sweeps; the valid region shrinks inward from non-boundary edges.
+      comm.phase_begin("sweep");
       for (std::size_t s = 1; s <= w; ++s) {
         const std::size_t lo = leftmost ? w : s;
         const std::size_t hi = rightmost ? L - w : L - s;
@@ -123,9 +126,11 @@ Result run_distributed(mpi::Comm& comm, const Config& config) {
                          16.0 * static_cast<double>(L));
         std::swap(cur, nxt);
       }
+      comm.phase_end();
     } else {
       // Overlapped (w == 1): post the halo transfers, compute the
       // interior while they fly, then finish the two boundary cells.
+      comm.phase_begin("overlap_round");
       std::vector<mpi::Request> reqs;
       if (!leftmost) {
         reqs.push_back(comm.irecv(std::span<double>(cur.data(), 1), r - 1,
@@ -170,6 +175,7 @@ Result run_distributed(mpi::Comm& comm, const Config& config) {
         comm.sim_compute(8.0, 64.0);
       }
       std::swap(cur, nxt);
+      comm.phase_end();
     }
   }
 

@@ -1,0 +1,75 @@
+#include "obs/ascii.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/format.hpp"
+
+namespace dipdc::obs {
+
+std::string render_timeline(std::span<const Event> events, int nranks,
+                            double t_max, int width, const GlyphFn& glyph,
+                            std::string_view legend) {
+  width = std::max(width, 1);
+  nranks = std::max(nranks, 0);
+  if (t_max <= 0.0) {
+    // Derive the horizon from the events themselves (callers often pass
+    // max_sim_time(), which is 0 for an empty or all-zero-duration trace).
+    for (const Event& e : events) t_max = std::max(t_max, e.t_end);
+  }
+  // Degenerate trace: no events, or every event instantaneous at t = 0.
+  // Render a zero-width axis instead of dividing by the horizon.
+  const bool degenerate = t_max <= 0.0;
+  std::vector<std::string> rows(
+      static_cast<std::size_t>(nranks),
+      std::string(static_cast<std::size_t>(width), '.'));
+  for (const Event& e : events) {
+    if (e.rank < 0 || e.rank >= nranks) continue;
+    const char g = glyph(e);
+    if (g == '\0') continue;
+    auto col = [&](double t) {
+      if (degenerate) return 0;
+      const double f = std::clamp(t / t_max, 0.0, 1.0);
+      return std::min(width - 1, static_cast<int>(f * width));
+    };
+    const int c0 = col(e.t_start);
+    const int c1 = std::max(c0, col(e.t_end));
+    for (int c = c0; c <= c1; ++c) {
+      rows[static_cast<std::size_t>(e.rank)][static_cast<std::size_t>(c)] = g;
+    }
+  }
+  std::ostringstream os;
+  os << "time 0 .. " << support::seconds(degenerate ? 0.0 : t_max) << legend
+     << "\n";
+  for (int r = 0; r < nranks; ++r) {
+    os << "rank " << r << (r < 10 ? " " : "") << " |"
+       << rows[static_cast<std::size_t>(r)] << "|\n";
+  }
+  return os.str();
+}
+
+std::string render_log(std::span<const Event> events,
+                       std::size_t max_events) {
+  std::vector<Event> sorted(events.begin(), events.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.t_start < b.t_start;
+                   });
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const Event& e : sorted) {
+    if (shown++ >= max_events) {
+      os << "... (" << sorted.size() - max_events << " more)\n";
+      break;
+    }
+    os << "[" << support::seconds(e.t_start) << " - "
+       << support::seconds(e.t_end) << "] rank " << e.rank << " " << e.name;
+    if (e.peer >= 0) os << " peer " << e.peer;
+    if (e.bytes > 0) os << " " << support::bytes(e.bytes);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dipdc::obs

@@ -1,0 +1,33 @@
+// ASCII rendering of a trace: a per-rank Gantt timeline and a one-line-
+// per-event log.  This is the generic layer; minimpi::render_timeline /
+// render_log wrap it with the runtime's primitive glyph table so existing
+// output stays byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "obs/event.hpp"
+
+namespace dipdc::obs {
+
+/// Maps an event to its timeline glyph; return '\0' to skip the event
+/// (e.g. phase envelopes, or compute/idle spans that render as '.').
+using GlyphFn = std::function<char(const Event&)>;
+
+/// Renders events as a per-rank timeline of `width` columns covering
+/// [0, t_max] simulated seconds.  `legend` is appended to the time axis
+/// header.  Degenerate inputs (no events, zero horizon, out-of-range
+/// ranks) render safely.
+std::string render_timeline(std::span<const Event> events, int nranks,
+                            double t_max, int width, const GlyphFn& glyph,
+                            std::string_view legend);
+
+/// One-line-per-event textual log (sorted by simulated start time),
+/// truncated to `max_events` lines plus a "(N more)" marker.
+std::string render_log(std::span<const Event> events,
+                       std::size_t max_events = 50);
+
+}  // namespace dipdc::obs

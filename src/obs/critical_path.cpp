@@ -1,0 +1,201 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace dipdc::obs {
+
+namespace {
+
+bool on_graph(const Event& e) {
+  return e.kind == Kind::kSpan && e.cat != Category::kPhase;
+}
+
+}  // namespace
+
+double CriticalPath::comm_seconds() const {
+  double s = 0.0;
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    if (is_comm(static_cast<Category>(c))) s += by_category[c];
+  }
+  return s;
+}
+
+double CriticalPath::compute_seconds() const {
+  return by_category[static_cast<std::size_t>(Category::kCompute)];
+}
+
+double CriticalPath::comm_share() const {
+  return makespan <= 0.0 ? 0.0 : comm_seconds() / makespan;
+}
+
+CriticalPath critical_path(const Trace& trace) {
+  CriticalPath cp;
+
+  // Index the graph: per-rank program order, send events by sequence id,
+  // and collective instances keyed by (context, occurrence index).
+  int nranks = trace.nranks;
+  for (const Event& e : trace.events) nranks = std::max(nranks, e.rank + 1);
+  std::vector<std::vector<int>> order(static_cast<std::size_t>(nranks));
+  std::unordered_map<std::uint64_t, int> send_by_seq;
+  std::map<std::pair<int, int>, std::vector<int>> instances;
+  std::vector<int> pos_in_rank(trace.events.size(), 0);
+  std::vector<std::pair<int, int>> instance_of(trace.events.size(),
+                                               {-1, -1});
+  std::vector<std::map<int, int>> next_occurrence(
+      static_cast<std::size_t>(nranks));
+  for (int i = 0; i < static_cast<int>(trace.events.size()); ++i) {
+    const Event& e = trace.events[static_cast<std::size_t>(i)];
+    if (!on_graph(e) || e.rank < 0) continue;
+    auto& lane = order[static_cast<std::size_t>(e.rank)];
+    pos_in_rank[static_cast<std::size_t>(i)] =
+        static_cast<int>(lane.size());
+    lane.push_back(i);
+    if (e.seq_out != 0) send_by_seq.emplace(e.seq_out, i);
+    if (e.cat == Category::kCollective) {
+      const int occ = next_occurrence[static_cast<std::size_t>(e.rank)]
+                          [e.context]++;
+      instance_of[static_cast<std::size_t>(i)] = {e.context, occ};
+      instances[{e.context, occ}].push_back(i);
+    }
+  }
+
+  // End of the path: the event that finishes last (ties: lowest rank, then
+  // earliest in the merged order — the first strict maximum encountered).
+  int end = -1;
+  for (int i = 0; i < static_cast<int>(trace.events.size()); ++i) {
+    const Event& e = trace.events[static_cast<std::size_t>(i)];
+    if (!on_graph(e) || e.rank < 0) continue;
+    if (end < 0 || e.t_end > trace.events[static_cast<std::size_t>(end)].t_end) {
+      end = i;
+    }
+  }
+  if (end < 0) return cp;
+  cp.makespan = trace.events[static_cast<std::size_t>(end)].t_end;
+  cp.end_rank = trace.events[static_cast<std::size_t>(end)].rank;
+
+  std::vector<char> visited(trace.events.size(), 0);
+  int cur = end;
+  double cursor = cp.makespan;
+  CriticalPath::Via via = CriticalPath::Via::kEnd;
+  while (cur >= 0) {
+    visited[static_cast<std::size_t>(cur)] = 1;
+    const Event& e = trace.events[static_cast<std::size_t>(cur)];
+
+    // Candidate predecessors; the latest availability time binds.
+    int next = -1;
+    double avail = 0.0;
+    CriticalPath::Via next_via = CriticalPath::Via::kEnd;
+    auto consider = [&](int idx, double t, CriticalPath::Via v) {
+      if (idx < 0 || visited[static_cast<std::size_t>(idx)] != 0) return;
+      if (next < 0 || t > avail) {
+        next = idx;
+        avail = t;
+        next_via = v;
+      }
+    };
+    const int pos = pos_in_rank[static_cast<std::size_t>(cur)];
+    if (pos > 0) {
+      const int prev = order[static_cast<std::size_t>(e.rank)]
+                            [static_cast<std::size_t>(pos - 1)];
+      consider(prev, trace.events[static_cast<std::size_t>(prev)].t_end,
+               CriticalPath::Via::kLocal);
+    }
+    if (e.seq_in != 0) {
+      const auto it = send_by_seq.find(e.seq_in);
+      if (it != send_by_seq.end()) {
+        consider(it->second,
+                 trace.events[static_cast<std::size_t>(it->second)].t_end,
+                 CriticalPath::Via::kMessage);
+      }
+    }
+    if (e.cat == Category::kCollective) {
+      const auto key = instance_of[static_cast<std::size_t>(cur)];
+      const auto it = instances.find(key);
+      if (it != instances.end()) {
+        // The gater: the participant that entered the collective last
+        // (ties: lowest merged-order index, i.e. lowest rank).
+        int gater = -1;
+        for (const int idx : it->second) {
+          if (idx == cur) continue;
+          if (gater < 0 ||
+              trace.events[static_cast<std::size_t>(idx)].t_start >
+                  trace.events[static_cast<std::size_t>(gater)].t_start) {
+            gater = idx;
+          }
+        }
+        if (gater >= 0 &&
+            trace.events[static_cast<std::size_t>(gater)].t_start >
+                e.t_start) {
+          consider(gater,
+                   trace.events[static_cast<std::size_t>(gater)].t_start,
+                   CriticalPath::Via::kCollective);
+        }
+      }
+    }
+    if (next < 0) avail = 0.0;
+
+    // Attribute [avail, cursor]: the part overlapping this span goes to
+    // its category, the gap before its start is untracked local work.
+    const double hi = std::min(cursor, e.t_end);
+    const double lo = std::min(cursor, std::max(e.t_start, avail));
+    const double attributed = std::max(0.0, hi - lo);
+    cp.by_category[static_cast<std::size_t>(e.cat)] += attributed;
+    cp.untracked += std::max(0.0, lo - std::min(cursor, avail));
+    cp.steps.push_back({&e, via, attributed});
+
+    cursor = std::min(cursor, avail);
+    via = next_via;
+    cur = next;
+  }
+  cp.untracked += std::max(0.0, cursor);
+  std::reverse(cp.steps.begin(), cp.steps.end());
+  return cp;
+}
+
+std::vector<RankBreakdown> rank_breakdown(const Trace& trace) {
+  int nranks = trace.nranks;
+  for (const Event& e : trace.events) nranks = std::max(nranks, e.rank + 1);
+  std::vector<RankBreakdown> out(static_cast<std::size_t>(nranks));
+  double makespan = 0.0;
+  for (int r = 0; r < nranks; ++r) out[static_cast<std::size_t>(r)].rank = r;
+  for (const Event& e : trace.events) {
+    if (!on_graph(e) || e.rank < 0) continue;
+    RankBreakdown& rb = out[static_cast<std::size_t>(e.rank)];
+    const double dur = std::max(0.0, e.t_end - e.t_start);
+    if (is_comm(e.cat)) rb.comm += dur;
+    else if (e.cat == Category::kCompute) rb.compute += dur;
+    else if (e.cat == Category::kIdle) rb.idle += dur;
+    rb.end_time = std::max(rb.end_time, e.t_end);
+    makespan = std::max(makespan, e.t_end);
+  }
+  for (RankBreakdown& rb : out) {
+    rb.untracked =
+        std::max(0.0, rb.end_time - rb.comm - rb.compute - rb.idle);
+    rb.tail = std::max(0.0, makespan - rb.end_time);
+  }
+  return out;
+}
+
+std::vector<const Event*> top_collectives(const Trace& trace,
+                                          std::size_t k) {
+  std::vector<const Event*> all;
+  for (const Event& e : trace.events) {
+    if (on_graph(e) && e.cat == Category::kCollective) all.push_back(&e);
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Event* a, const Event* b) {
+                     const double da = a->t_end - a->t_start;
+                     const double db = b->t_end - b->t_start;
+                     if (da != db) return da > db;
+                     if (a->t_start != b->t_start) {
+                       return a->t_start < b->t_start;
+                     }
+                     return a->rank < b->rank;
+                   });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace dipdc::obs

@@ -1,0 +1,84 @@
+// Trace analyses: critical path through the send/recv happens-before
+// graph, per-rank time breakdowns, and top-k slowest collectives.
+//
+// The happens-before graph has three edge kinds:
+//  - program order: consecutive events on the same rank;
+//  - message edges: a receive-completing event (seq_in) depends on the
+//    matching send event (seq_out);
+//  - collective synchronization: a collective span cannot complete before
+//    the last participant entered it.  Participants of one collective
+//    instance are grouped by (context, per-context occurrence index) — all
+//    ranks of a communicator execute the same collective sequence, so the
+//    i-th collective on context c is the same instance on every rank.
+//
+// The critical path is recovered with a backward longest-predecessor walk
+// from the event that finishes last.  At every step the walk attributes
+// the covered interval to the current event's category (comm for p2p /
+// collective / wait / probe spans), and any gap between the chosen
+// predecessor's availability time and the event's start to "untracked"
+// (un-instrumented local work).  The attributed seconds always sum to the
+// makespan.  Phase envelopes (Category::kPhase) overlap the events they
+// contain and are excluded from the graph.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace dipdc::obs {
+
+struct CriticalPath {
+  /// How the walk reached an event from its successor on the path.
+  enum class Via { kEnd, kLocal, kMessage, kCollective };
+
+  struct Step {
+    const Event* event = nullptr;
+    Via via = Via::kEnd;
+    /// Seconds of [predecessor availability, event end] attributed to this
+    /// event's category by the walk (0 when fully overlapped).
+    double attributed = 0.0;
+  };
+
+  double makespan = 0.0;
+  int end_rank = -1;
+  /// Path events in chronological order (first event first).
+  std::vector<Step> steps;
+  /// Seconds attributed per Category (indexed by static_cast<size_t>).
+  std::array<double, kCategoryCount> by_category{};
+  /// Gaps between instrumented events on the path (local work the trace
+  /// did not record).
+  double untracked = 0.0;
+
+  [[nodiscard]] double comm_seconds() const;
+  [[nodiscard]] double compute_seconds() const;
+  /// Fraction of the makespan attributed to communication categories.
+  [[nodiscard]] double comm_share() const;
+};
+
+/// Computes the critical path of `trace`.  Deterministic: ties are broken
+/// by rank, then by per-rank event order.  An empty trace yields an empty
+/// path with makespan 0.
+CriticalPath critical_path(const Trace& trace);
+
+/// Per-rank attribution of the rank's own timeline: span durations summed
+/// by category, plus the un-instrumented remainder and trailing idle time
+/// up to the makespan.
+struct RankBreakdown {
+  int rank = 0;
+  double comm = 0.0;      // p2p + collective + wait + probe spans
+  double compute = 0.0;   // Category::kCompute spans
+  double idle = 0.0;      // Category::kIdle spans
+  double untracked = 0.0; // gaps between spans on this rank
+  double tail = 0.0;      // makespan - this rank's last event end
+  double end_time = 0.0;  // this rank's last event end
+};
+
+std::vector<RankBreakdown> rank_breakdown(const Trace& trace);
+
+/// The `k` slowest collective spans, longest first (ties: earlier start,
+/// then lower rank, first).
+std::vector<const Event*> top_collectives(const Trace& trace, std::size_t k);
+
+}  // namespace dipdc::obs

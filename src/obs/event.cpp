@@ -1,0 +1,50 @@
+#include "obs/event.hpp"
+
+#include <algorithm>
+
+namespace dipdc::obs {
+
+std::string_view category_name(Category c) {
+  switch (c) {
+    case Category::kP2P: return "p2p";
+    case Category::kCollective: return "collective";
+    case Category::kWait: return "wait";
+    case Category::kProbe: return "probe";
+    case Category::kCompute: return "compute";
+    case Category::kIdle: return "idle";
+    case Category::kPhase: return "phase";
+    case Category::kOther: break;
+  }
+  return "other";
+}
+
+Category category_from_name(std::string_view name) {
+  if (name == "p2p") return Category::kP2P;
+  if (name == "collective") return Category::kCollective;
+  if (name == "wait") return Category::kWait;
+  if (name == "probe") return Category::kProbe;
+  if (name == "compute") return Category::kCompute;
+  if (name == "idle") return Category::kIdle;
+  if (name == "phase") return Category::kPhase;
+  return Category::kOther;
+}
+
+bool is_comm(Category c) {
+  return c == Category::kP2P || c == Category::kCollective ||
+         c == Category::kWait || c == Category::kProbe;
+}
+
+std::string_view Trace::intern(std::string_view s) {
+  for (const std::string& existing : names_) {
+    if (existing == s) return existing;
+  }
+  return names_.emplace_back(s);
+}
+
+double Trace::max_time() const {
+  double m = 0.0;
+  for (const Event& e : events) m = std::max(m, e.t_end);
+  return m;
+}
+
+}  // namespace dipdc::obs

@@ -1,0 +1,104 @@
+// Structured observability: the event model shared by the recorder, the
+// exporters (Perfetto JSON, ASCII timeline) and the trace analyses.
+//
+// An Event is one span (or instant) on one rank's lane.  Events carry both
+// simulated timestamps (the deterministic LogGP clock minimpi advances) and
+// optional wall-clock timestamps (real seconds since the run started; 0.0
+// when wall capture is off, which is the default so that exported traces
+// are bit-identical across runs).  Message send/recv pairs are linked by
+// sequence ids (`seq_out` on the sender event, `seq_in` on the receiver
+// event) — the edges of the happens-before graph that critical-path
+// analysis walks and that Perfetto renders as flow arrows.
+//
+// The layer is domain-agnostic: `op` is an opaque code the producing
+// runtime defines (minimpi stores its Primitive there; -1 means "no op",
+// used by compute/idle/phase spans), and `name` is a string_view that must
+// point at storage outliving the trace (static strings, or the owning
+// Trace's intern pool).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dipdc::obs {
+
+/// Span (has duration) or instant (a point marker).
+enum class Kind : std::uint8_t { kSpan, kInstant };
+
+/// Coarse event class, used for glyphs, Perfetto categories and the
+/// compute/comm/idle attribution in critical-path analysis.
+enum class Category : std::uint8_t {
+  kP2P,         // user point-to-point (send/recv families)
+  kCollective,  // barrier, bcast, reductions, ...
+  kWait,        // completion of a non-blocking operation
+  kProbe,       // message probing
+  kCompute,     // simulated kernel work (Comm::sim_compute)
+  kIdle,        // explicit idling (Comm::sim_advance)
+  kPhase,       // user-named module phase (envelopes other events)
+  kOther,
+};
+
+inline constexpr std::size_t kCategoryCount = 8;
+
+/// Stable lowercase name ("p2p", "collective", ...), usable as a Perfetto
+/// category and parseable back via category_from_name().
+std::string_view category_name(Category c);
+
+/// Inverse of category_name(); unknown names map to kOther.
+Category category_from_name(std::string_view name);
+
+/// True for categories that count as communication time (p2p, collective,
+/// wait, probe) in breakdowns and critical-path shares.
+bool is_comm(Category c);
+
+/// No domain op code (compute/idle/phase events).
+inline constexpr std::int16_t kNoOp = -1;
+
+struct Event {
+  int rank = 0;
+  /// Domain-defined operation code (minimpi: Primitive); kNoOp if none.
+  std::int16_t op = kNoOp;
+  Kind kind = Kind::kSpan;
+  Category cat = Category::kOther;
+  /// Peer rank for point-to-point ops; -1 for collectives/wildcards.
+  int peer = -1;
+  int tag = 0;
+  /// Communicator context id (0 = world).
+  int context = 0;
+  std::size_t bytes = 0;
+  /// Message edge leaving this event (a send); 0 = none.
+  std::uint64_t seq_out = 0;
+  /// Message edge completing at this event (a receive); 0 = none.
+  std::uint64_t seq_in = 0;
+  double t_start = 0.0;  // simulated seconds
+  double t_end = 0.0;
+  /// Wall-clock seconds since the recorder's epoch; 0.0 when wall capture
+  /// is disabled (the default — keeps exports deterministic).
+  double wall_start = 0.0;
+  double wall_end = 0.0;
+  /// Display name; must reference storage outliving the trace.
+  std::string_view name;
+};
+
+/// A complete recorded run: every rank's events, rank-major (all of rank
+/// 0's events in time order, then rank 1's, ...).
+struct Trace {
+  int nranks = 0;
+  std::vector<Event> events;
+
+  /// Copies `s` into this trace's string pool and returns a stable view
+  /// (used by loaders; recorded traces reference static names directly).
+  std::string_view intern(std::string_view s);
+
+  /// Latest simulated end time across all events (0 for an empty trace).
+  [[nodiscard]] double max_time() const;
+
+ private:
+  std::deque<std::string> names_;  // deque: stable addresses on growth
+};
+
+}  // namespace dipdc::obs

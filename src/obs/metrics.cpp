@@ -1,0 +1,137 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "support/format.hpp"
+
+namespace dipdc::obs {
+
+void Histogram::observe(double value) {
+  if (count == 0) {
+    min = max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  std::size_t bucket = 0;
+  if (value >= 1.0) {
+    const auto v = static_cast<std::uint64_t>(value);
+    bucket = static_cast<std::size_t>(std::bit_width(v));
+    bucket = std::min(bucket, kBuckets - 1);
+  }
+  ++buckets[bucket];
+}
+
+Registry::Entry& Registry::entry(std::string_view name, Type type) {
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      e.type = type;
+      return e;
+    }
+  }
+  Entry& e = entries_.emplace_back();
+  e.name = std::string(name);
+  e.type = type;
+  return e;
+}
+
+const Registry::Entry* Registry::find(std::string_view name,
+                                      Type type) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name && e.type == type) return &e;
+  }
+  return nullptr;
+}
+
+void Registry::set_counter(std::string_view name, std::uint64_t value) {
+  entry(name, Type::kCounter).value_u64 = value;
+}
+
+void Registry::add_counter(std::string_view name, std::uint64_t delta) {
+  entry(name, Type::kCounter).value_u64 += delta;
+}
+
+void Registry::set_gauge(std::string_view name, double value,
+                         std::string_view unit) {
+  Entry& e = entry(name, Type::kGauge);
+  e.value_f64 = value;
+  e.unit = std::string(unit);
+}
+
+void Registry::observe(std::string_view name, double value) {
+  entry(name, Type::kHistogram).hist.observe(value);
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  const Entry* e = find(name, Type::kCounter);
+  return e == nullptr ? 0 : e->value_u64;
+}
+
+double Registry::gauge(std::string_view name) const {
+  const Entry* e = find(name, Type::kGauge);
+  return e == nullptr ? 0.0 : e->value_f64;
+}
+
+const Histogram* Registry::histogram(std::string_view name) const {
+  const Entry* e = find(name, Type::kHistogram);
+  return e == nullptr ? nullptr : &e->hist;
+}
+
+std::string Registry::report() const {
+  std::size_t name_width = 0;
+  for (const Entry& e : entries_) {
+    name_width = std::max(name_width, e.name.size());
+  }
+  std::ostringstream os;
+  for (const Entry& e : entries_) {
+    os << "  " << e.name
+       << std::string(name_width - e.name.size() + 2, ' ');
+    switch (e.type) {
+      case Type::kCounter:
+        os << support::count(e.value_u64);
+        break;
+      case Type::kGauge:
+        os << support::fixed(e.value_f64, 6);
+        if (!e.unit.empty()) os << " " << e.unit;
+        break;
+      case Type::kHistogram:
+        os << "n=" << e.hist.count << " mean=" << support::fixed(e.hist.mean())
+           << " min=" << support::fixed(e.hist.min)
+           << " max=" << support::fixed(e.hist.max);
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Registry::to_csv() const {
+  std::ostringstream os;
+  os << "name,type,value,count,sum,min,max\n";
+  for (const Entry& e : entries_) {
+    os << e.name << ",";
+    switch (e.type) {
+      case Type::kCounter:
+        os << "counter," << e.value_u64 << ",,,,";
+        break;
+      case Type::kGauge:
+        os << "gauge," << support::fixed(e.value_f64, 9) << ",,,,";
+        break;
+      case Type::kHistogram:
+        os << "histogram,," << e.hist.count << ","
+           << support::fixed(e.hist.sum, 9) << ","
+           << support::fixed(e.hist.min, 9) << ","
+           << support::fixed(e.hist.max, 9);
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dipdc::obs

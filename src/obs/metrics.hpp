@@ -1,0 +1,84 @@
+// Metrics registry: named counters, gauges and log2-bucketed histograms
+// behind one report.  minimpi registers its CommStats, fault-injection and
+// per-phase timers here (see minimpi/stats.hpp build_metrics), so every
+// subsystem's numbers come out of a single `report()` / `to_csv()` instead
+// of scattered ad-hoc printers.
+//
+// Entries keep insertion order (reports are meant to be read top-to-bottom
+// and diffed), and re-registering a name updates the existing entry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dipdc::obs {
+
+/// Power-of-two bucketed distribution.  Bucket 0 holds values < 1 (and
+/// everything non-positive); bucket i >= 1 holds [2^(i-1), 2^i).
+struct Histogram {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  void observe(double value);
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+class Registry {
+ public:
+  /// Sets (creating if needed) an integer counter.
+  void set_counter(std::string_view name, std::uint64_t value);
+  /// Adds to an integer counter, creating it at zero first.
+  void add_counter(std::string_view name, std::uint64_t delta);
+  /// Sets (creating if needed) a floating-point gauge; `unit` is a display
+  /// suffix ("s", "B/s", ...).
+  void set_gauge(std::string_view name, double value,
+                 std::string_view unit = "");
+  /// Records one observation into a histogram, creating it if needed.
+  void observe(std::string_view name, double value);
+
+  /// Counter value; 0 when absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  /// Gauge value; 0.0 when absent.
+  [[nodiscard]] double gauge(std::string_view name) const;
+  /// Histogram by name; nullptr when absent.
+  [[nodiscard]] const Histogram* histogram(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Aligned human-readable report, one entry per line, insertion order.
+  [[nodiscard]] std::string report() const;
+
+  /// CSV dump: `name,type,value,count,sum,min,max` (value is the counter or
+  /// gauge; histogram rows fill the statistical columns instead).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    Type type = Type::kCounter;
+    std::uint64_t value_u64 = 0;
+    double value_f64 = 0.0;
+    std::string unit;
+    Histogram hist;
+  };
+
+  Entry& entry(std::string_view name, Type type);
+  [[nodiscard]] const Entry* find(std::string_view name, Type type) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dipdc::obs

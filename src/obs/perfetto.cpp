@@ -1,0 +1,369 @@
+#include "obs/perfetto.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dipdc::obs {
+
+namespace {
+
+// ---- Export ---------------------------------------------------------------
+
+/// Microseconds with fixed 3-decimal (nanosecond) resolution; printf-based
+/// so the text is deterministic for identical doubles.
+std::string us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---- Import: a minimal recursive-descent JSON parser ----------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::unique_ptr<JsonArray> array;
+  std::unique_ptr<JsonObject> object;
+
+  [[nodiscard]] const JsonValue* get(std::string_view key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : *object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] double num_or(std::string_view key, double fallback) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->type == Type::kNumber ? v->number : fallback;
+  }
+  [[nodiscard]] std::string_view str_or(std::string_view key,
+                                        std::string_view fallback) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->type == Type::kString
+               ? std::string_view(v->str)
+               : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    std::ostringstream os;
+    os << "JSON parse error at offset " << pos_ << ": " << why;
+    throw std::runtime_error(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.str = string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return {};
+    return number();
+  }
+
+  JsonValue number() {
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) fail("invalid number");
+    pos_ += static_cast<std::size_t>(end - start);
+    if (pos_ > text_.size()) fail("number runs past end of input");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // Our own exporter only escapes control characters; encode the
+          // code point as UTF-8 (basic multilingual plane only).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    v.array = std::make_unique<JsonArray>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array->push_back(value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    v.object = std::make_unique<JsonObject>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object->emplace_back(std::move(key), value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_perfetto_json(const Trace& trace) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"dipdc\","
+     << "\"nranks\":" << trace.nranks << "},\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (int r = 0; r < trace.nranks; ++r) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " << r
+       << "\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+       << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << r
+       << "}}";
+  }
+  for (const Event& e : trace.events) {
+    sep();
+    const bool instant = e.kind == Kind::kInstant;
+    os << "{\"ph\":\"" << (instant ? 'i' : 'X') << "\",\"pid\":0,\"tid\":"
+       << e.rank << ",\"ts\":" << us(e.t_start);
+    if (instant) {
+      os << ",\"s\":\"t\"";
+    } else {
+      os << ",\"dur\":" << us(e.t_end - e.t_start);
+    }
+    os << ",\"name\":\"" << escape_json(e.name) << "\",\"cat\":\""
+       << category_name(e.cat) << "\",\"args\":{\"op\":" << e.op
+       << ",\"peer\":" << e.peer << ",\"tag\":" << e.tag
+       << ",\"ctx\":" << e.context << ",\"bytes\":" << e.bytes;
+    if (e.seq_out != 0) os << ",\"seq_out\":" << e.seq_out;
+    if (e.seq_in != 0) os << ",\"seq_in\":" << e.seq_in;
+    if (e.wall_start != 0.0 || e.wall_end != 0.0) {
+      os << ",\"wall_ts\":" << us(e.wall_start)
+         << ",\"wall_dur\":" << us(e.wall_end - e.wall_start);
+    }
+    os << "}}";
+    // Flow arrows: "s" leaves the send span, "f" (binding to the enclosing
+    // slice) lands on the receive span.  Timestamps sit at each span's
+    // start so the flow always binds to its own slice.
+    if (e.seq_out != 0) {
+      sep();
+      os << "{\"ph\":\"s\",\"pid\":0,\"tid\":" << e.rank
+         << ",\"ts\":" << us(e.t_start)
+         << ",\"cat\":\"msg\",\"name\":\"msg\",\"id\":" << e.seq_out << "}";
+    }
+    if (e.seq_in != 0) {
+      sep();
+      os << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":" << e.rank
+         << ",\"ts\":" << us(e.t_start)
+         << ",\"cat\":\"msg\",\"name\":\"msg\",\"id\":" << e.seq_in << "}";
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+Trace parse_perfetto_json(std::string_view json) {
+  const JsonValue root = JsonParser(json).parse();
+  const JsonValue* events = root.get("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    throw std::runtime_error(
+        "not a dipdc Perfetto trace: missing traceEvents array");
+  }
+  Trace trace;
+  if (const JsonValue* other = root.get("otherData")) {
+    trace.nranks = static_cast<int>(other->num_or("nranks", 0.0));
+  }
+  for (const JsonValue& ev : *events->array) {
+    if (ev.type != JsonValue::Type::kObject) continue;
+    const std::string_view ph = ev.str_or("ph", "");
+    if (ph != "X" && ph != "i") continue;  // flows/metadata carry no data
+    Event e;
+    e.rank = static_cast<int>(ev.num_or("tid", 0.0));
+    e.kind = ph == "i" ? Kind::kInstant : Kind::kSpan;
+    e.t_start = ev.num_or("ts", 0.0) * 1e-6;
+    e.t_end = e.t_start + ev.num_or("dur", 0.0) * 1e-6;
+    e.cat = category_from_name(ev.str_or("cat", "other"));
+    e.name = trace.intern(ev.str_or("name", ""));
+    if (const JsonValue* args = ev.get("args")) {
+      e.op = static_cast<std::int16_t>(
+          args->num_or("op", static_cast<double>(kNoOp)));
+      e.peer = static_cast<int>(args->num_or("peer", -1.0));
+      e.tag = static_cast<int>(args->num_or("tag", 0.0));
+      e.context = static_cast<int>(args->num_or("ctx", 0.0));
+      e.bytes = static_cast<std::size_t>(args->num_or("bytes", 0.0));
+      e.seq_out = static_cast<std::uint64_t>(args->num_or("seq_out", 0.0));
+      e.seq_in = static_cast<std::uint64_t>(args->num_or("seq_in", 0.0));
+    }
+    trace.nranks = std::max(trace.nranks, e.rank + 1);
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+}  // namespace dipdc::obs

@@ -1,0 +1,33 @@
+// Chrome/Perfetto `trace_event` JSON export and import.
+//
+// to_perfetto_json() writes the JSON-object form of the trace-event format:
+// one lane (tid) per rank under a single process, "X" complete events for
+// spans with sim-time timestamps in microseconds, and "s"/"f" flow-event
+// pairs drawing an arrow from each send span to its matching receive span
+// (paired by message sequence id).  Load the file at https://ui.perfetto.dev
+// or chrome://tracing.
+//
+// The output is deterministic: timestamps are fixed-point formatted, map
+// iteration is never used, and wall-clock annotations appear only when the
+// recorder captured them — so a deterministic simulated run exports a
+// bit-identical file every time (the golden-file tests rely on this).
+//
+// parse_perfetto_json() reads back exactly what to_perfetto_json() writes
+// (it understands general JSON but maps only our schema), returning a
+// Trace suitable for analysis — this is what `dipdc-trace` loads.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/event.hpp"
+
+namespace dipdc::obs {
+
+[[nodiscard]] std::string to_perfetto_json(const Trace& trace);
+
+/// Parses a trace produced by to_perfetto_json().  Throws std::runtime_error
+/// on malformed JSON or a missing traceEvents array.
+[[nodiscard]] Trace parse_perfetto_json(std::string_view json);
+
+}  // namespace dipdc::obs

@@ -1,0 +1,23 @@
+#include "obs/recorder.hpp"
+
+namespace dipdc::obs {
+
+Recorder::Recorder(int nranks, bool wall_clock)
+    : lanes_(static_cast<std::size_t>(nranks < 0 ? 0 : nranks)),
+      wall_(wall_clock),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Trace Recorder::merge() const {
+  Trace trace;
+  trace.nranks = nranks();
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.events.size();
+  trace.events.reserve(total);
+  for (const Lane& lane : lanes_) {
+    trace.events.insert(trace.events.end(), lane.events.begin(),
+                        lane.events.end());
+  }
+  return trace;
+}
+
+}  // namespace dipdc::obs

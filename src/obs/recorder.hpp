@@ -1,0 +1,74 @@
+// Lock-cheap per-rank event recorder.
+//
+// One Lane per rank; each rank's thread appends only to its own lane, so
+// recording takes no lock at all — the runtime joins all rank threads
+// before merge() reads the lanes.  Message sequence ids are allocated from
+// per-lane counters ((rank + 1) << 40 | ordinal), so they are unique across
+// the world and deterministic for a deterministic program.
+//
+// Wall-clock capture is opt-in: with it off (the default), wall_now()
+// returns 0.0 and every recorded event carries zeroed wall stamps, which
+// keeps exported traces bit-identical across runs of a deterministic
+// program.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace dipdc::obs {
+
+class Recorder {
+ public:
+  /// One rank's append-only event buffer.  Event names must reference
+  /// storage that outlives every copy of the recorded events (in practice:
+  /// string literals or other static strings) — the recorder does not copy
+  /// them.
+  struct Lane {
+    std::vector<Event> events;
+    std::uint64_t next_seq = 0;
+  };
+
+  Recorder(int nranks, bool wall_clock);
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  [[nodiscard]] int nranks() const { return static_cast<int>(lanes_.size()); }
+  [[nodiscard]] bool wall_enabled() const { return wall_; }
+
+  /// The lane owned by `rank`'s thread.  Only that thread may touch it
+  /// while the world is running.
+  Lane& lane(int rank) { return lanes_[static_cast<std::size_t>(rank)]; }
+
+  /// Wall-clock seconds since this recorder was built; 0.0 when wall
+  /// capture is disabled.
+  [[nodiscard]] double wall_now() const {
+    if (!wall_) return 0.0;
+    const auto dt = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double>(dt).count();
+  }
+
+  /// Allocates a fresh world-unique message sequence id on `rank`'s lane.
+  std::uint64_t alloc_seq(int rank) {
+    return make_seq(rank, ++lane(rank).next_seq);
+  }
+
+  /// The sequence id of ordinal `n` (1-based) on `rank`'s lane.
+  static std::uint64_t make_seq(int rank, std::uint64_t n) {
+    return (static_cast<std::uint64_t>(rank + 1) << 40) | n;
+  }
+
+  /// Concatenates all lanes rank-major into one Trace.  Call only after
+  /// every rank thread has stopped recording.
+  [[nodiscard]] Trace merge() const;
+
+ private:
+  std::vector<Lane> lanes_;
+  bool wall_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace dipdc::obs

@@ -23,7 +23,7 @@ std::size_t count_ops(const std::vector<mpi::TraceEvent>& trace,
                       mpi::Primitive op, int rank = -1) {
   return static_cast<std::size_t>(
       std::count_if(trace.begin(), trace.end(), [&](const mpi::TraceEvent& e) {
-        return e.op == op && (rank < 0 || e.rank == rank);
+        return e.op == mpi::op_code(op) && (rank < 0 || e.rank == rank);
       }));
 }
 
@@ -53,7 +53,7 @@ TEST(Trace, RecordsSendAndRecvWithPeersAndBytes) {
   ASSERT_EQ(result.trace.size(), 2u);
   const auto send_it = std::find_if(
       result.trace.begin(), result.trace.end(),
-      [](const auto& e) { return e.op == mpi::Primitive::kSend; });
+      [](const auto& e) { return mpi::is_op(e, mpi::Primitive::kSend); });
   ASSERT_NE(send_it, result.trace.end());
   EXPECT_EQ(send_it->rank, 0);
   EXPECT_EQ(send_it->peer, 1);
@@ -62,7 +62,7 @@ TEST(Trace, RecordsSendAndRecvWithPeersAndBytes) {
   EXPECT_GE(send_it->t_end, send_it->t_start);
   const auto recv_it = std::find_if(
       result.trace.begin(), result.trace.end(),
-      [](const auto& e) { return e.op == mpi::Primitive::kRecv; });
+      [](const auto& e) { return mpi::is_op(e, mpi::Primitive::kRecv); });
   ASSERT_NE(recv_it, result.trace.end());
   EXPECT_EQ(recv_it->rank, 1);
   EXPECT_EQ(recv_it->peer, 0);  // resolved source, not the wildcard
@@ -100,7 +100,7 @@ TEST(Trace, WaitCarriesTheReceiveStatus) {
       traced());
   const auto wait_it = std::find_if(
       result.trace.begin(), result.trace.end(),
-      [](const auto& e) { return e.op == mpi::Primitive::kWait; });
+      [](const auto& e) { return mpi::is_op(e, mpi::Primitive::kWait); });
   ASSERT_NE(wait_it, result.trace.end());
   EXPECT_EQ(wait_it->peer, 0);
   EXPECT_EQ(wait_it->bytes, sizeof(int));
@@ -179,7 +179,7 @@ TEST(Timeline, ZeroDurationEventsLandInColumnZero) {
   // glyphs must still appear (in the first column) without dividing by 0.
   std::vector<mpi::TraceEvent> trace(1);
   trace[0].rank = 0;
-  trace[0].op = mpi::Primitive::kSend;
+  trace[0].op = mpi::op_code(mpi::Primitive::kSend);
   trace[0].t_start = 0.0;
   trace[0].t_end = 0.0;
   const std::string t = mpi::render_timeline(trace, 1, 0.0, 40);
@@ -189,11 +189,11 @@ TEST(Timeline, ZeroDurationEventsLandInColumnZero) {
 TEST(Timeline, ClampedWidthAndOutOfRangeRanksAreSafe) {
   std::vector<mpi::TraceEvent> trace(2);
   trace[0].rank = 5;  // beyond nranks: must be ignored, not crash
-  trace[0].op = mpi::Primitive::kRecv;
+  trace[0].op = mpi::op_code(mpi::Primitive::kRecv);
   trace[0].t_start = 0.0;
   trace[0].t_end = 1.0;
   trace[1].rank = 0;
-  trace[1].op = mpi::Primitive::kSend;
+  trace[1].op = mpi::op_code(mpi::Primitive::kSend);
   trace[1].t_start = 0.5;
   trace[1].t_end = 2.0;  // past the stated horizon: must clamp to width-1
   const std::string narrow = mpi::render_timeline(trace, 1, 1.0, 0);

@@ -1,0 +1,167 @@
+// Critical-path analysis: attribution telescopes to the makespan, the walk
+// is deterministic, message edges are followed, and the paper's §III-F
+// shape (comm share of the critical path falls as per-rank compute grows)
+// comes out of a real k-means run.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "dataio/dataset.hpp"
+#include "minimpi/comm.hpp"
+#include "minimpi/ops.hpp"
+#include "minimpi/runtime.hpp"
+#include "minimpi/trace.hpp"
+#include "modules/kmeans/module5.hpp"
+#include "obs/critical_path.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace obs = dipdc::obs;
+namespace m5 = dipdc::modules::kmeans;
+namespace io = dipdc::dataio;
+
+namespace {
+
+obs::Trace trace_of(int ranks, const std::function<void(mpi::Comm&)>& body) {
+  mpi::RuntimeOptions opts;
+  opts.record_trace = true;
+  return mpi::make_trace(mpi::run(ranks, body, opts));
+}
+
+double attributed_total(const obs::CriticalPath& cp) {
+  double total = cp.untracked;
+  for (const double s : cp.by_category) total += s;
+  return total;
+}
+
+/// CriticalPath::steps points into the analyzed Trace, so the trace must
+/// outlive the path — carry both (vector moves keep Event pointers valid).
+struct KmeansAnalysis {
+  obs::Trace trace;
+  obs::CriticalPath cp;
+};
+
+KmeansAnalysis kmeans_critical_path(std::size_t k) {
+  const auto dataset =
+      io::generate_clusters(2000, 2, 16, 1.0, 0.0, 100.0, 555).data;
+  mpi::RuntimeOptions opts;
+  opts.record_trace = true;
+  m5::Config cfg;
+  cfg.k = k;
+  cfg.max_iterations = 8;
+  cfg.tolerance = -1.0;
+  const mpi::RunResult result = mpi::run(4, [&](mpi::Comm& comm) {
+    (void)m5::distributed(comm, comm.rank() == 0 ? dataset : io::Dataset{},
+                          cfg);
+  }, opts);
+  KmeansAnalysis out;
+  out.trace = mpi::make_trace(result);
+  out.cp = obs::critical_path(out.trace);
+  return out;
+}
+
+}  // namespace
+
+TEST(CriticalPath, EmptyTraceIsEmptyPath) {
+  const obs::CriticalPath cp = obs::critical_path(obs::Trace{});
+  EXPECT_EQ(cp.steps.size(), 0u);
+  EXPECT_DOUBLE_EQ(cp.makespan, 0.0);
+}
+
+TEST(CriticalPath, AttributionTelescopesToMakespan) {
+  const obs::Trace trace = trace_of(4, [](mpi::Comm& comm) {
+    comm.sim_compute(500.0 * static_cast<double>(comm.rank() + 1), 4000.0);
+    (void)comm.allreduce_value(comm.rank(), mpi::ops::Sum{});
+    if (comm.rank() == 0) comm.send_value(1, 1);
+    if (comm.rank() == 1) (void)comm.recv_value<int>(0);
+    comm.barrier();
+  });
+  const obs::CriticalPath cp = obs::critical_path(trace);
+  EXPECT_GT(cp.makespan, 0.0);
+  EXPECT_NEAR(attributed_total(cp), cp.makespan, 1e-12);
+  EXPECT_GE(cp.end_rank, 0);
+  // Steps come out chronological.
+  for (std::size_t i = 1; i < cp.steps.size(); ++i) {
+    EXPECT_LE(cp.steps[i - 1].event->t_end, cp.steps[i].event->t_end);
+  }
+}
+
+TEST(CriticalPath, FollowsMessageEdgeAcrossRanks) {
+  // Rank 0 computes, then sends; rank 1 just waits for the message.  The
+  // path must end on rank 1 but route through rank 0's send (and compute).
+  const obs::Trace trace = trace_of(2, [](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.sim_compute(50000.0, 400000.0);
+      comm.send_value(7, 1);
+    } else {
+      (void)comm.recv_value<int>(0);
+    }
+  });
+  const obs::CriticalPath cp = obs::critical_path(trace);
+  EXPECT_EQ(cp.end_rank, 1);
+  bool crossed = false;
+  for (const auto& step : cp.steps) {
+    if (step.via == obs::CriticalPath::Via::kMessage) crossed = true;
+  }
+  EXPECT_TRUE(crossed);
+  EXPECT_GT(cp.by_category[static_cast<std::size_t>(obs::Category::kCompute)],
+            0.0);
+}
+
+TEST(CriticalPath, DeterministicAcrossRuns) {
+  const KmeansAnalysis ra = kmeans_critical_path(8);
+  const KmeansAnalysis rb = kmeans_critical_path(8);
+  const obs::CriticalPath& a = ra.cp;
+  const obs::CriticalPath& b = rb.cp;
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.end_rank, b.end_rank);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].event->rank, b.steps[i].event->rank);
+    EXPECT_DOUBLE_EQ(a.steps[i].attributed, b.steps[i].attributed);
+  }
+  for (std::size_t c = 0; c < obs::kCategoryCount; ++c) {
+    EXPECT_DOUBLE_EQ(a.by_category[c], b.by_category[c]);
+  }
+}
+
+TEST(CriticalPath, CommShareFallsAsKGrows) {
+  // Paper §III-F: at low k the per-iteration allreduce dominates; at high
+  // k the assignment compute does.  The critical-path attribution must
+  // reproduce that crossover.
+  const double low_k = kmeans_critical_path(2).cp.comm_share();
+  const double high_k = kmeans_critical_path(64).cp.comm_share();
+  EXPECT_GT(low_k, high_k);
+  EXPECT_GT(low_k, 0.5);
+  EXPECT_LT(high_k, 0.5);
+}
+
+TEST(RankBreakdown, CoversEveryRankUpToMakespan) {
+  const obs::Trace trace = trace_of(3, [](mpi::Comm& comm) {
+    comm.sim_compute(1000.0 * static_cast<double>(comm.rank() + 1), 8000.0);
+    comm.barrier();
+  });
+  const std::vector<obs::RankBreakdown> rows = obs::rank_breakdown(trace);
+  ASSERT_EQ(rows.size(), 3u);
+  const double makespan = trace.max_time();
+  for (const obs::RankBreakdown& b : rows) {
+    const double covered =
+        b.comm + b.compute + b.idle + b.untracked + b.tail;
+    EXPECT_NEAR(covered, makespan, 1e-12) << "rank " << b.rank;
+  }
+}
+
+TEST(TopCollectives, SortedLongestFirst) {
+  const obs::Trace trace = trace_of(3, [](mpi::Comm& comm) {
+    comm.barrier();
+    std::vector<double> big(4096, 1.0), out(4096, 0.0);
+    comm.allreduce(std::span<const double>(big), std::span<double>(out),
+                   mpi::ops::Sum{});
+  });
+  const auto top = obs::top_collectives(trace, 4);
+  ASSERT_GE(top.size(), 2u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1]->t_end - top[i - 1]->t_start,
+              top[i]->t_end - top[i]->t_start);
+  }
+}

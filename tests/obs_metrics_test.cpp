@@ -1,0 +1,81 @@
+// The metrics registry: counters, gauges, histograms, reports and CSV.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace obs = dipdc::obs;
+
+TEST(Histogram, BucketsByPowerOfTwo) {
+  obs::Histogram h;
+  h.observe(0.0);    // bucket 0
+  h.observe(0.5);    // bucket 0
+  h.observe(1.0);    // bucket 1: [1, 2)
+  h.observe(3.0);    // bucket 2: [2, 4)
+  h.observe(1024.0); // bucket 11: [1024, 2048)
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 1u);
+  EXPECT_EQ(h.buckets[11], 1u);
+  EXPECT_DOUBLE_EQ(h.min, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 1024.0);
+  EXPECT_DOUBLE_EQ(h.mean(), (0.5 + 1.0 + 3.0 + 1024.0) / 5.0);
+}
+
+TEST(Histogram, EmptyMeanIsZero) {
+  const obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Registry, CountersSetAndAdd) {
+  obs::Registry reg;
+  reg.set_counter("a", 3);
+  reg.add_counter("a", 2);
+  reg.add_counter("b", 7);
+  EXPECT_EQ(reg.counter("a"), 5u);
+  EXPECT_EQ(reg.counter("b"), 7u);
+  EXPECT_EQ(reg.counter("missing"), 0u);
+}
+
+TEST(Registry, GaugesAndHistograms) {
+  obs::Registry reg;
+  reg.set_gauge("t", 1.5, "s");
+  reg.set_gauge("t", 2.5, "s");  // re-register updates in place
+  EXPECT_DOUBLE_EQ(reg.gauge("t"), 2.5);
+  reg.observe("sizes", 8.0);
+  reg.observe("sizes", 24.0);
+  const obs::Histogram* h = reg.histogram("sizes");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_DOUBLE_EQ(h->sum, 32.0);
+  EXPECT_EQ(reg.histogram("missing"), nullptr);
+}
+
+TEST(Registry, TypeMismatchIsInvisible) {
+  obs::Registry reg;
+  reg.set_counter("x", 1);
+  EXPECT_DOUBLE_EQ(reg.gauge("x"), 0.0);
+  EXPECT_EQ(reg.histogram("x"), nullptr);
+}
+
+TEST(Registry, ReportKeepsInsertionOrder) {
+  obs::Registry reg;
+  reg.set_counter("zeta", 1);
+  reg.set_gauge("alpha", 2.0, "s");
+  const std::string report = reg.report();
+  EXPECT_LT(report.find("zeta"), report.find("alpha"));
+}
+
+TEST(Registry, CsvHasHeaderAndOneRowPerEntry) {
+  obs::Registry reg;
+  reg.set_counter("c", 9);
+  reg.set_gauge("g", 0.25);
+  reg.observe("h", 100.0);
+  const std::string csv = reg.to_csv();
+  EXPECT_EQ(csv.rfind("name,type,value,count,sum,min,max\n", 0), 0u);
+  EXPECT_NE(csv.find("c,counter,9"), std::string::npos);
+  EXPECT_NE(csv.find("g,gauge,"), std::string::npos);
+  EXPECT_NE(csv.find("h,histogram,"), std::string::npos);
+}

@@ -1,0 +1,104 @@
+// Perfetto trace_event export: deterministic bytes under simulated time,
+// flow-arrow pairing, and a lossless parse_perfetto_json round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/ops.hpp"
+#include "minimpi/runtime.hpp"
+#include "minimpi/trace.hpp"
+#include "obs/event.hpp"
+#include "obs/perfetto.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace obs = dipdc::obs;
+
+namespace {
+
+/// A small mixed program: p2p with flow edges, a collective, named phases
+/// and simulated compute — one of everything the exporter handles.
+mpi::RunResult traced_run() {
+  mpi::RuntimeOptions opts;
+  opts.record_trace = true;
+  return mpi::run(3, [](mpi::Comm& comm) {
+    comm.phase_begin("setup");
+    comm.barrier();
+    comm.phase_end();
+    if (comm.rank() == 0) {
+      comm.send_value(41, 1, 7);
+      comm.send_value(42, 2, 7);
+    } else {
+      comm.sim_compute(1000.0, 8000.0);
+      (void)comm.recv_value<int>(0, 7);
+    }
+    (void)comm.allreduce_value(comm.rank(), mpi::ops::Sum{});
+  }, opts);
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+TEST(Perfetto, ExportIsBitIdenticalAcrossRuns) {
+  const std::string a = obs::to_perfetto_json(mpi::make_trace(traced_run()));
+  const std::string b = obs::to_perfetto_json(mpi::make_trace(traced_run()));
+  EXPECT_EQ(a, b) << "simulated-time exports must not vary run to run";
+}
+
+TEST(Perfetto, FlowEventsComeInPairs) {
+  const std::string json =
+      obs::to_perfetto_json(mpi::make_trace(traced_run()));
+  // Two sends matched by two receives: two "s" starts, two "f" finishes.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), 2u);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(Perfetto, RoundTripPreservesEvents) {
+  const obs::Trace before = mpi::make_trace(traced_run());
+  const obs::Trace after =
+      obs::parse_perfetto_json(obs::to_perfetto_json(before));
+
+  EXPECT_EQ(after.nranks, before.nranks);
+  ASSERT_EQ(after.events.size(), before.events.size());
+  for (std::size_t i = 0; i < before.events.size(); ++i) {
+    const obs::Event& x = before.events[i];
+    const obs::Event& y = after.events[i];
+    EXPECT_EQ(y.rank, x.rank);
+    EXPECT_EQ(y.cat, x.cat);
+    EXPECT_EQ(y.name, x.name);
+    EXPECT_EQ(y.bytes, x.bytes);
+    EXPECT_EQ(y.seq_out, x.seq_out);
+    EXPECT_EQ(y.seq_in, x.seq_in);
+    // Timestamps survive at the exporter's microsecond fixed-point
+    // resolution (1e-9 s).
+    EXPECT_NEAR(y.t_start, x.t_start, 1e-9);
+    EXPECT_NEAR(y.t_end, x.t_end, 1e-9);
+  }
+}
+
+TEST(Perfetto, WallClockOffByDefault) {
+  const obs::Trace trace = mpi::make_trace(traced_run());
+  for (const obs::Event& e : trace.events) {
+    EXPECT_DOUBLE_EQ(e.wall_start, 0.0);
+    EXPECT_DOUBLE_EQ(e.wall_end, 0.0);
+  }
+}
+
+TEST(Perfetto, ParseRejectsGarbage) {
+  EXPECT_THROW((void)obs::parse_perfetto_json("not json"),
+               std::runtime_error);
+  EXPECT_THROW((void)obs::parse_perfetto_json("{\"traceEvents\":42}"),
+               std::runtime_error);
+}

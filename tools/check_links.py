@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Checks relative links in the repository's markdown files.
+
+Walks every *.md file (skipping build trees), extracts inline links and
+images, and verifies that each relative target exists.  Absolute URLs
+(http/https/mailto) and pure in-page anchors (#...) are not fetched; for
+anchors into other local files only the file's existence is checked.
+
+Exit code 0 when every link resolves, 1 otherwise (one line per broken
+link: file:line: target).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {"build", ".git", ".cache", "third_party"}
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path):
+    broken = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SCHEMES) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (root / rel) if rel.startswith("/") else (path.parent / rel)
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    failures = 0
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        for lineno, target in check_file(path, root):
+            print(f"{path}:{lineno}: broken link: {target}")
+            failures += 1
+    print(f"checked {checked} markdown files, {failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,11 +14,16 @@
 //   dipdc module7 --ranks=8 --tokens=1000000 --partition=hash
 //   dipdc warmup  --ranks=8
 //
-// Global options: --ranks, --nodes, --seed, --timeline (print the
+// Global options: --ranks, --nodes, --seed, --timeline (print the ASCII
 // trace), --transport-stats (print the transport fast-path counters),
-// --faults=<spec> (deterministic fault injection, e.g.
-// "drop=0.1,dup=0.05,kill=3@40,retries=4"; grammar in minimpi/faults.hpp)
-// and --fault-seed=N (seed of the per-rank fault streams).
+// --trace-json=FILE (write a Chrome/Perfetto trace of the run — open it at
+// https://ui.perfetto.dev or feed it to dipdc-trace), --trace-wall (add
+// wall-clock stamps to the exported trace; off by default so exports stay
+// bit-identical), --metrics (print the unified metrics registry),
+// --metrics-csv=FILE (write the registry as CSV), --faults=<spec>
+// (deterministic fault injection, e.g. "drop=0.1,dup=0.05,kill=3@40,
+// retries=4"; grammar in minimpi/faults.hpp) and --fault-seed=N (seed of
+// the per-rank fault streams).  --help prints the usage summary.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -28,6 +33,7 @@
 #include "minimpi/comm.hpp"
 #include "minimpi/faults.hpp"
 #include "minimpi/runtime.hpp"
+#include "minimpi/stats.hpp"
 #include "minimpi/trace.hpp"
 #include "modules/comm/module1.hpp"
 #include "modules/distmatrix/module2.hpp"
@@ -37,6 +43,7 @@
 #include "modules/sort/module3.hpp"
 #include "modules/stencil/module6.hpp"
 #include "modules/warmup/warmup.hpp"
+#include "obs/perfetto.hpp"
 #include "support/args.hpp"
 #include "support/format.hpp"
 #include "support/rng.hpp"
@@ -54,14 +61,25 @@ struct Common {
   std::uint64_t seed = 1;
   bool timeline = false;
   bool transport_stats = false;
+  bool metrics = false;
+  std::string metrics_csv;  // --metrics-csv=FILE, empty = don't write
+  std::string trace_json;   // --trace-json=FILE, empty = don't write
+  bool trace_wall = false;
   std::string faults;  // --faults spec, empty = no injection
   std::uint64_t fault_seed = 1;
+
+  /// Anything that needs the event recorder armed?
+  [[nodiscard]] bool wants_trace() const {
+    return timeline || metrics || !metrics_csv.empty() ||
+           !trace_json.empty();
+  }
 };
 
 mpi::RuntimeOptions options_for(const Common& c) {
   mpi::RuntimeOptions opts;
   opts.machine = pm::MachineConfig::monsoon_like(c.nodes);
-  opts.record_trace = c.timeline;
+  opts.record_trace = c.wants_trace();
+  opts.trace_wall_time = c.trace_wall;
   if (!c.faults.empty()) {
     mpi::parse_fault_spec(c.faults, opts.faults, opts.reliable);
     opts.faults.seed = c.fault_seed;
@@ -69,10 +87,35 @@ mpi::RuntimeOptions options_for(const Common& c) {
   return opts;
 }
 
+/// Writes `text` to `path` ("-" = stdout); returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 void maybe_reports(const Common& c, const mpi::RunResult& result) {
   if (c.transport_stats) {
     std::printf("\n%s",
                 mpi::transport_report(result.total_stats()).c_str());
+  }
+  if (c.metrics || !c.metrics_csv.empty()) {
+    const dipdc::obs::Registry reg = mpi::build_metrics(result);
+    if (c.metrics) std::printf("\n%s", reg.report().c_str());
+    if (!c.metrics_csv.empty()) write_file(c.metrics_csv, reg.to_csv());
+  }
+  if (!c.trace_json.empty()) {
+    write_file(c.trace_json,
+               dipdc::obs::to_perfetto_json(mpi::make_trace(result)));
   }
   if (!c.timeline) return;
   std::printf("\n%s", mpi::render_timeline(result.trace, c.ranks,
@@ -342,13 +385,42 @@ void usage() {
   std::printf(
       "usage: dipdc <module1|module2|module3|module4|module5|module6|"
       "module7|warmup> [options]\n"
-      "global options: --ranks=N --nodes=N --seed=N --timeline\n"
-      "                --transport-stats --faults=SPEC --fault-seed=N\n"
-      "fault spec:     drop=P dup=P delay=P[:S] kill=R[@N] retries=K\n"
-      "                timeout=S (comma-separated, e.g. "
-      "--faults=drop=0.1,retries=4)\n"
-      "run 'dipdc <module>' with defaults to see its output shape; see the\n"
-      "header of tools/dipdc.cpp for per-module options.\n");
+      "global options:\n"
+      "  --ranks=N            ranks to simulate (default 4)\n"
+      "  --nodes=N            nodes in the machine model (default 1)\n"
+      "  --seed=N             dataset/workload seed (default 1)\n"
+      "  --timeline           print the ASCII communication timeline\n"
+      "  --transport-stats    print the transport fast-path counters\n"
+      "  --metrics            print the unified metrics registry\n"
+      "  --metrics-csv=FILE   write the metrics registry as CSV "
+      "('-' = stdout)\n"
+      "  --trace-json=FILE    write a Chrome/Perfetto trace "
+      "('-' = stdout);\n"
+      "                       open at https://ui.perfetto.dev or analyze "
+      "with dipdc-trace\n"
+      "  --trace-wall         add wall-clock stamps to the exported trace\n"
+      "                       (off by default: zeroed stamps keep exports "
+      "bit-identical)\n"
+      "  --faults=SPEC        deterministic fault injection\n"
+      "  --fault-seed=N       seed of the per-rank fault streams "
+      "(default 1)\n"
+      "  --help               this summary\n"
+      "fault spec: drop=P dup=P delay=P[:S] kill=R[@N] retries=K timeout=S\n"
+      "            (comma-separated, e.g. --faults=drop=0.1,retries=4)\n"
+      "per-module options (defaults in parentheses):\n"
+      "  module1: --activity=pingpong|ring|random --iterations=N(100)\n"
+      "           --bytes=N(1024) --messages=N(32)\n"
+      "  module2: --n=N(1024) --dim=D(90) --tile=T(0) --trace-cache\n"
+      "  module3: --n=N(100000) --dist=uniform|exponential "
+      "--policy=width|histogram\n"
+      "  module4: --n=N(50000) --queries=N(512) "
+      "--engine=brute|rtree|quadtree|kdtree\n"
+      "  module5: --n=N(50000) --k=K(8) --strategy=weighted|explicit\n"
+      "  module6: --cells=N(65536) --iterations=N(64) --halo=W(1) "
+      "--overlap\n"
+      "  module7: --tokens=N(1000000) --vocab=N(32768) --zipf=S(1.1)\n"
+      "           --partition=hash|range --no-combine\n"
+      "  warmup:  (no extra options)\n");
 }
 
 /// Every option any module (or the driver itself) understands.  Unknown
@@ -357,8 +429,9 @@ void usage() {
 const std::vector<std::string>& known_options() {
   static const std::vector<std::string> kKnown = {
       // global
-      "ranks", "nodes", "seed", "timeline", "transport-stats", "faults",
-      "fault-seed",
+      "ranks", "nodes", "seed", "timeline", "transport-stats", "metrics",
+      "metrics-csv", "trace-json", "trace-wall", "faults", "fault-seed",
+      "help",
       // module1
       "activity", "iterations", "bytes", "messages",
       // module2
@@ -402,12 +475,20 @@ bool validate_options(const ArgParser& args) {
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   if (!validate_options(args)) return 2;
+  if (args.get_bool("help", false) || args.command() == "help") {
+    usage();
+    return 0;
+  }
   Common c;
   c.ranks = static_cast<int>(args.get_int("ranks", 4));
   c.nodes = static_cast<int>(args.get_int("nodes", 1));
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   c.timeline = args.get_bool("timeline", false);
   c.transport_stats = args.get_bool("transport-stats", false);
+  c.metrics = args.get_bool("metrics", false);
+  c.metrics_csv = args.get("metrics-csv");
+  c.trace_json = args.get("trace-json");
+  c.trace_wall = args.get_bool("trace-wall", false);
   c.faults = args.get("faults");
   c.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
 

@@ -43,6 +43,36 @@ using dipdc::support::closest_match;
 
 namespace {
 
+void usage() {
+  std::printf(
+      "usage: dipdc-fuzz [options]\n"
+      "options:\n"
+      "  --seeds=N         seeds to fuzz (default 100)\n"
+      "  --seed=S          base seed; with no --seeds, runs just this one\n"
+      "  --ranks=R         maximum world size per program\n"
+      "  --ops=N           target events per generated program\n"
+      "  --max-bytes=B     maximum message payload size\n"
+      "  --faults=MODE     auto (default: random plan per seed), none, or a\n"
+      "                    fault spec: drop=P dup=P delay=P[:S] kill=R[@N]\n"
+      "                    retries=K timeout=S (comma-separated)\n"
+      "  --fault-seed=F    seed of the per-rank fault streams (0 = derive\n"
+      "                    from the program seed)\n"
+      "  --shrink=0        skip ddmin minimisation of failing programs\n"
+      "  --out=DIR         where repro-<seed>.seed/.cpp artifacts go "
+      "(default .)\n"
+      "  --keep-going      do not stop at the first failure\n"
+      "  --print           list each failing (or replayed) program\n"
+      "  --replay=FILE     re-run a persisted .seed failure file\n"
+      "  --smoke           quick PR-gate preset (40 seeds, small programs)\n"
+      "  --help            this summary\n"
+      "environment:\n"
+      "  DIPDC_FUZZ_TRACE=1  print each program before executing it (useful\n"
+      "                      when a seed hangs before the checker can "
+      "report)\n"
+      "exit codes: 0 all seeds clean, 1 mismatch found (or replay failed),\n"
+      "            2 bad command line\n");
+}
+
 struct Config {
   long seeds = 100;
   std::uint64_t base_seed = 1;
@@ -159,7 +189,7 @@ const std::vector<std::string>& known_options() {
   static const std::vector<std::string> kKnown = {
       "seeds",      "seed",   "ranks",      "ops",  "max-bytes",
       "faults",     "fault-seed", "shrink", "out",  "keep-going",
-      "print",      "replay", "smoke",
+      "print",      "replay", "smoke", "help",
   };
   return kKnown;
 }
@@ -187,6 +217,10 @@ bool validate_options(const ArgParser& args) {
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   if (!validate_options(args)) return 2;
+  if (args.get_bool("help", false)) {
+    usage();
+    return 0;
+  }
   if (!args.command().empty()) {
     std::fprintf(stderr, "error: unexpected argument '%s'\n",
                  args.command().c_str());

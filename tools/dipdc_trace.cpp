@@ -1,0 +1,165 @@
+// dipdc-trace — offline analyzer for Perfetto traces written by
+// `dipdc --trace-json=FILE` (or any tool that uses obs::to_perfetto_json).
+//
+//   dipdc module5 --ranks=8 --k=32 --trace-json=m5.json
+//   dipdc-trace m5.json
+//
+// Reports, from the simulated timeline alone:
+//  - the makespan and the critical path through the send/recv
+//    happens-before graph, attributed per category (how much of the
+//    end-to-end time is communication vs compute vs untracked local work);
+//  - a per-rank breakdown (comm / compute / idle / untracked / tail);
+//  - the top-k slowest collective spans.
+//
+// Options: --top=N (collectives to list, default 5), --path (print every
+// step of the critical path), --help.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.hpp"
+#include "obs/event.hpp"
+#include "obs/perfetto.hpp"
+#include "support/args.hpp"
+
+namespace obs = dipdc::obs;
+using dipdc::support::ArgParser;
+using dipdc::support::closest_match;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: dipdc-trace <trace.json> [options]\n"
+      "analyze a Perfetto trace written by 'dipdc --trace-json=FILE'\n"
+      "options:\n"
+      "  --top=N   list the N slowest collective spans (default 5)\n"
+      "  --path    print every step of the critical path\n"
+      "  --help    this summary\n");
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return text;
+}
+
+const char* via_name(obs::CriticalPath::Via via) {
+  switch (via) {
+    case obs::CriticalPath::Via::kEnd: return "end";
+    case obs::CriticalPath::Via::kLocal: return "local";
+    case obs::CriticalPath::Via::kMessage: return "message";
+    case obs::CriticalPath::Via::kCollective: return "collective";
+  }
+  return "?";
+}
+
+double pct(double part, double whole) {
+  return whole > 0.0 ? 100.0 * part / whole : 0.0;
+}
+
+void print_critical_path(const obs::CriticalPath& cp, bool full_path) {
+  std::printf("critical path (%zu steps, ends on rank %d):\n",
+              cp.steps.size(), cp.end_rank);
+  for (std::size_t c = 0; c < obs::kCategoryCount; ++c) {
+    const double s = cp.by_category[c];
+    if (s <= 0.0) continue;
+    std::printf("  %-11s %12.3f us  %5.1f%%\n",
+                std::string(obs::category_name(
+                                static_cast<obs::Category>(c)))
+                    .c_str(),
+                s * 1e6, pct(s, cp.makespan));
+  }
+  if (cp.untracked > 0.0) {
+    std::printf("  %-11s %12.3f us  %5.1f%%\n", "untracked",
+                cp.untracked * 1e6, pct(cp.untracked, cp.makespan));
+  }
+  std::printf("  comm share of critical path: %.1f%%\n",
+              100.0 * cp.comm_share());
+  if (!full_path) return;
+  std::printf("  steps (chronological):\n");
+  for (const obs::CriticalPath::Step& s : cp.steps) {
+    std::printf("    r%-3d %-14s [%10.3f, %10.3f] us  +%.3f us  via %s\n",
+                s.event->rank, std::string(s.event->name).c_str(),
+                s.event->t_start * 1e6, s.event->t_end * 1e6,
+                s.attributed * 1e6, via_name(s.via));
+  }
+}
+
+void print_breakdown(const obs::Trace& trace) {
+  const std::vector<obs::RankBreakdown> rows = obs::rank_breakdown(trace);
+  std::printf(
+      "per-rank breakdown (us):\n"
+      "  rank        comm     compute        idle   untracked        tail\n");
+  for (const obs::RankBreakdown& b : rows) {
+    std::printf("  %-4d %11.3f %11.3f %11.3f %11.3f %11.3f\n", b.rank,
+                b.comm * 1e6, b.compute * 1e6, b.idle * 1e6,
+                b.untracked * 1e6, b.tail * 1e6);
+  }
+}
+
+void print_collectives(const obs::Trace& trace, std::size_t k) {
+  const std::vector<const obs::Event*> top = obs::top_collectives(trace, k);
+  if (top.empty()) return;
+  std::printf("slowest collectives:\n");
+  for (const obs::Event* e : top) {
+    std::printf("  %-14s r%-3d %10.3f us  at %.3f us  (%zu bytes)\n",
+                std::string(e->name).c_str(), e->rank,
+                (e->t_end - e->t_start) * 1e6, e->t_start * 1e6, e->bytes);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  static const std::vector<std::string> known = {"top", "path", "help"};
+  bool ok = true;
+  for (const std::string& opt : args.keys()) {
+    if (std::find(known.begin(), known.end(), opt) != known.end()) continue;
+    std::fprintf(stderr, "error: unknown option --%s\n", opt.c_str());
+    const std::string hint = closest_match(opt, known);
+    if (!hint.empty()) {
+      std::fprintf(stderr, "  did you mean --%s?\n", hint.c_str());
+    }
+    ok = false;
+  }
+  if (!ok) return 2;
+  if (args.get_bool("help", false)) {
+    usage();
+    return 0;
+  }
+  const std::string path = args.command();
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+  const auto top = static_cast<std::size_t>(args.get_int("top", 5));
+  const bool full_path = args.get_bool("path", false);
+
+  try {
+    const obs::Trace trace = obs::parse_perfetto_json(read_file(path));
+    std::printf("%s: %d ranks, %zu events, makespan %.3f us\n", path.c_str(),
+                trace.nranks, trace.events.size(), trace.max_time() * 1e6);
+    const obs::CriticalPath cp = obs::critical_path(trace);
+    print_critical_path(cp, full_path);
+    print_breakdown(trace);
+    print_collectives(trace, top);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
