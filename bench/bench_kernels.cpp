@@ -2,15 +2,33 @@
 // google-benchmark.  The table/figure reproductions use *simulated* time;
 // this binary sanity-checks that the underlying kernels are real,
 // reasonably optimized code whose relative behaviour (e.g. tiled vs.
-// row-wise) also shows up on actual hardware.
+// row-wise, scalar vs. SIMD dispatch) also shows up on actual hardware.
+//
+// The BM_Kernel* group registers every src/kernels entry point once per
+// available ISA (scalar always; simd only when the host supports AVX2), so
+// `items_per_second` ratios between the <scalar> and <simd> rows are the
+// dispatch layer's measured speedups.  Extra flags beyond google-benchmark's:
+//
+//   --quick    CI smoke mode: run only the BM_Kernel* group with a small
+//              min-time, so the perf-smoke job finishes in seconds.
+//
+// `cmake --build build --target bench_kernels_json` writes the full run to
+// BENCH_kernels.json at the repo root.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "cachesim/cache.hpp"
 #include "dataio/dataset.hpp"
 #include "index/rtree.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/distance.hpp"
+#include "kernels/kmeans.hpp"
+#include "kernels/sort.hpp"
 #include "modules/distmatrix/module2.hpp"
 #include "support/rng.hpp"
 
@@ -18,6 +36,7 @@ namespace m2 = dipdc::modules::distmatrix;
 namespace cs = dipdc::cachesim;
 namespace sp = dipdc::spatial;
 namespace io = dipdc::dataio;
+namespace ker = dipdc::kernels;
 
 namespace {
 
@@ -145,6 +164,174 @@ void BM_LocalSort(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalSort)->Arg(100000);
 
+// ---------------------------------------------------------------------------
+// BM_Kernel* — the dispatched src/kernels entry points, one registration per
+// available ISA.  Registered dynamically (not via BENCHMARK) so the <simd>
+// rows only exist on hosts where kernels::simd_supported() is true.
+
+void bm_kernel_distance_rows(benchmark::State& state, ker::Isa isa,
+                             std::size_t n) {
+  const std::size_t dim = 90;
+  const std::size_t rows = 32;
+  const auto d = io::generate_uniform(n, dim, 0.0, 1.0, 1);
+  std::vector<double> out(rows * n);
+  for (auto _ : state) {
+    ker::distance_rows(isa, d.values().data(), dim, n, 0, rows,
+                       /*tile=*/128, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rows * n));
+}
+
+void bm_kernel_distance_row(benchmark::State& state, ker::Isa isa,
+                            std::size_t n) {
+  const std::size_t dim = 90;
+  const auto d = io::generate_uniform(n, dim, 0.0, 1.0, 2);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    ker::distance_row(isa, d.values().data(), d.values().data(), dim, 0, n,
+                      out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void bm_kernel_kmeans_assign(benchmark::State& state, ker::Isa isa,
+                             std::size_t n, std::size_t k) {
+  const std::size_t dim = 90;
+  const auto d = io::generate_uniform(n, dim, 0.0, 1.0, 3);
+  std::vector<double> centroids(
+      d.values().begin(),
+      d.values().begin() + static_cast<std::ptrdiff_t>(k * dim));
+  std::vector<std::size_t> assignment(n);
+  std::vector<double> sums(k * dim);
+  std::vector<double> counts(k);
+  for (auto _ : state) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0.0);
+    ker::assign_points(isa, d.values().data(), n, dim, centroids.data(), k,
+                       assignment.data(), sums.data(), counts.data());
+    benchmark::DoNotOptimize(assignment.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * k));
+}
+
+void bm_kernel_update_centroids(benchmark::State& state, ker::Isa isa,
+                                std::size_t k) {
+  const std::size_t dim = 90;
+  const auto d = io::generate_uniform(k, dim, 0.0, 1.0, 4);
+  std::vector<double> centroids(d.values().begin(), d.values().end());
+  const auto s = io::generate_uniform(k, dim, 0.0, 100.0, 5);
+  std::vector<double> counts(k, 10.0);
+  for (auto _ : state) {
+    const double movement = ker::update_centroids(
+        isa, centroids.data(), s.values().data(), counts.data(), k, dim);
+    benchmark::DoNotOptimize(movement);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(k * dim));
+}
+
+void bm_kernel_histogram(benchmark::State& state, ker::Isa isa,
+                         std::size_t n) {
+  const std::size_t bins = 256;
+  const auto d = io::generate_uniform(n, 1, 0.0, 10.0, 6);
+  std::vector<std::uint64_t> hist(bins, 0);
+  for (auto _ : state) {
+    ker::histogram(isa, d.values().data(), n, 0.0, 10.0 / 256.0, bins,
+                   hist.data());
+    benchmark::DoNotOptimize(hist.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void bm_kernel_bucket_indices(benchmark::State& state, ker::Isa isa,
+                              std::size_t n) {
+  const std::size_t nsplit = 15;  // p = 16 ranks
+  const auto d = io::generate_uniform(n, 1, 0.0, 10.0, 7);
+  std::vector<double> splitters(nsplit);
+  for (std::size_t s = 0; s < nsplit; ++s) {
+    splitters[s] = 10.0 * static_cast<double>(s + 1) /
+                   static_cast<double>(nsplit + 1);
+  }
+  std::vector<std::uint32_t> dest(n);
+  for (auto _ : state) {
+    ker::bucket_indices(isa, d.values().data(), n, splitters.data(), nsplit,
+                        dest.data());
+    benchmark::DoNotOptimize(dest.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void register_kernel_benches() {
+  struct IsaCase {
+    ker::Isa isa;
+    const char* name;
+  };
+  std::vector<IsaCase> isas = {{ker::Isa::kScalar, "scalar"}};
+  if (ker::simd_supported()) isas.push_back({ker::Isa::kSimd, "simd"});
+  const auto reg = [](const std::string& name, auto fn) {
+    benchmark::RegisterBenchmark(name.c_str(), fn);
+  };
+  for (const auto& c : isas) {
+    const std::string tag = std::string("<") + c.name + ">";
+    const ker::Isa isa = c.isa;
+    for (const std::size_t n : {std::size_t{1024}, std::size_t{4096}}) {
+      reg("BM_KernelDistanceRows" + tag + "/" + std::to_string(n),
+          [isa, n](benchmark::State& s) {
+            bm_kernel_distance_rows(s, isa, n);
+          });
+    }
+    reg("BM_KernelDistanceRow" + tag + "/4096",
+        [isa](benchmark::State& s) {
+          bm_kernel_distance_row(s, isa, 4096);
+        });
+    for (const std::size_t k : {std::size_t{16}, std::size_t{64}}) {
+      reg("BM_KernelKmeansAssign" + tag + "/8192/k" + std::to_string(k),
+          [isa, k](benchmark::State& s) {
+            bm_kernel_kmeans_assign(s, isa, 8192, k);
+          });
+    }
+    reg("BM_KernelUpdateCentroids" + tag + "/k64",
+        [isa](benchmark::State& s) {
+          bm_kernel_update_centroids(s, isa, 64);
+        });
+    reg("BM_KernelHistogram" + tag + "/100000",
+        [isa](benchmark::State& s) { bm_kernel_histogram(s, isa, 100000); });
+    reg("BM_KernelBucketIndices" + tag + "/100000",
+        [isa](benchmark::State& s) {
+          bm_kernel_bucket_indices(s, isa, 100000);
+        });
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --quick before google-benchmark sees argv; in quick mode run
+  // only the BM_Kernel* group with a tiny min-time (the CI perf smoke).
+  std::vector<char*> args;
+  bool quick = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      quick = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char kMinTime[] = "--benchmark_min_time=0.02";
+  static char kFilter[] = "--benchmark_filter=BM_Kernel";
+  if (quick) {
+    args.push_back(kMinTime);
+    args.push_back(kFilter);
+  }
+  register_kernel_benches();
+  int argn = static_cast<int>(args.size());
+  benchmark::Initialize(&argn, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

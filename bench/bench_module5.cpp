@@ -7,17 +7,20 @@
 #include <vector>
 
 #include "dataio/dataset.hpp"
+#include "kernels/dispatch.hpp"
 #include "minimpi/runtime.hpp"
 #include "minimpi/trace.hpp"
 #include "modules/kmeans/module5.hpp"
 #include "obs/critical_path.hpp"
 #include "support/format.hpp"
+#include "support/stopwatch.hpp"
 #include "support/table.hpp"
 
 namespace mpi = dipdc::minimpi;
 namespace m5 = dipdc::modules::kmeans;
 namespace io = dipdc::dataio;
 namespace pm = dipdc::perfmodel;
+namespace ker = dipdc::kernels;
 using namespace dipdc::support;
 
 namespace {
@@ -123,6 +126,51 @@ int main() {
   std::printf("(at low k the work is communication-dominated, so paying "
               "inter-node latency for\n extra bandwidth does not help — "
               "\"using multiple compute nodes is not\n advantageous when "
-              "k is low\", paper §III-F)\n");
+              "k is low\", paper §III-F)\n\n");
+
+  // --- Native kernel timing: the dispatched scalar vs. SIMD assignment
+  //     and update kernels, end to end through lloyd_sequential (wall
+  //     clock, not simulated).  16-D points so the vectorized inner
+  //     product has lanes to fill — the module's 2-D teaching dataset is
+  //     all tail for any kernel.
+  {
+    const auto rich =
+        io::generate_clusters(20000, 16, 16, 1.0, 0.0, 100.0, 556).data;
+    std::printf("Native Lloyd timing: %zu 16-D points, 10 iterations, "
+                "sequential (wall clock)\n\n",
+                rich.size());
+    Table w;
+    w.set_header({"k", "scalar", "simd", "speedup"});
+    std::vector<ker::Policy> policies = {ker::Policy::kScalar};
+    if (ker::simd_supported()) policies.push_back(ker::Policy::kSimd);
+    for (const std::size_t k : {16u, 64u}) {
+      std::vector<std::string> row = {std::to_string(k)};
+      double t_scalar = 0.0;
+      for (const ker::Policy policy : policies) {
+        m5::Config cfg;
+        cfg.k = k;
+        cfg.max_iterations = 10;
+        cfg.tolerance = -1.0;  // fixed iteration count either way
+        cfg.kernel = policy;
+        double best = 1e300;
+        for (int rep = 0; rep < 3; ++rep) {
+          Stopwatch sw;
+          (void)m5::lloyd_sequential(rich, cfg);
+          best = std::min(best, sw.elapsed());
+        }
+        if (policy == ker::Policy::kScalar) t_scalar = best;
+        row.push_back(seconds(best));
+        if (policy == ker::Policy::kSimd) {
+          row.push_back(fixed(t_scalar / best, 2) + "x");
+        }
+      }
+      while (row.size() < 4) row.push_back("n/a");  // no AVX2 on this host
+      w.add_row(row);
+    }
+    std::printf("%s", w.render().c_str());
+    std::printf("(same centroids, inertia and iteration count either way — "
+                "the canonical\n accumulation contract, DESIGN.md §12; "
+                "bench_kernels has the per-kernel view)\n");
+  }
   return 0;
 }

@@ -1,0 +1,68 @@
+// Shared helpers for the AVX2 translation units.  Only included from
+// kernels/*_avx2.cpp; everything here is guarded on __AVX2__ so those
+// TUs still compile (as never-called aborting stubs) on toolchains or
+// architectures without the flag.
+#pragma once
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace dipdc::kernels::detail {
+
+/// Reduces the 4 lane accumulators [l0, l1, l2, l3] exactly as the
+/// canonical contract prescribes: (l0 + l2) + (l1 + l3).
+inline double reduce_lanes(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);     // [l0, l1]
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);   // [l2, l3]
+  const __m128d pair = _mm_add_pd(lo, hi);            // [l0+l2, l1+l3]
+  const __m128d upper = _mm_unpackhi_pd(pair, pair);  // [l1+l3, l1+l3]
+  return _mm_cvtsd_f64(_mm_add_sd(pair, upper));
+}
+
+/// One canonical block step: acc += (a - b)^2, element-wise, as explicit
+/// sub/mul/add (this TU is compiled with -ffp-contract=off so the
+/// compiler cannot fuse the mul+add behind our back).
+inline __m256d accumulate_sq_diff(__m256d acc, __m256d a, __m256d b) {
+  const __m256d diff = _mm256_sub_pd(a, b);
+  return _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+}
+
+/// Transposed reduction of 4 accumulator vectors into one vector
+/// [r(a), r(b), r(c), r(d)], where each lane is bit-identical to
+/// reduce_lanes of that accumulator: the cross-half add produces
+/// (l0+l2, l1+l3) per accumulator and the final add sums those two —
+/// the same (l0+l2)+(l1+l3) association, ~3x fewer shuffle ops than
+/// four scalar reductions, and the result is ready for one vsqrtpd.
+inline __m256d reduce_lanes_x4(__m256d a, __m256d b, __m256d c,
+                               __m256d d) {
+  const __m256d sab =
+      _mm256_add_pd(_mm256_permute2f128_pd(a, b, 0x20),
+                    _mm256_permute2f128_pd(a, b, 0x31));
+  // sab = [a0+a2, a1+a3, b0+b2, b1+b3]; likewise scd.
+  const __m256d scd =
+      _mm256_add_pd(_mm256_permute2f128_pd(c, d, 0x20),
+                    _mm256_permute2f128_pd(c, d, 0x31));
+  const __m256d even = _mm256_unpacklo_pd(sab, scd);
+  const __m256d odd = _mm256_unpackhi_pd(sab, scd);
+  const __m256d v = _mm256_add_pd(even, odd);  // [r(a), r(c), r(b), r(d)]
+  return _mm256_permute4x64_pd(v, _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+/// Transposed reduction of 2 accumulators into [r(a), r(b)] (same
+/// per-lane bits as reduce_lanes; IEEE addition is commutative for the
+/// finite values these kernels produce, so the hadd operand order is
+/// immaterial).
+inline __m128d reduce_lanes_x2(__m256d a, __m256d b) {
+  const __m256d s =
+      _mm256_add_pd(_mm256_permute2f128_pd(a, b, 0x20),
+                    _mm256_permute2f128_pd(a, b, 0x31));
+  // s = [a0+a2, a1+a3, b0+b2, b1+b3]
+  const __m256d h = _mm256_hadd_pd(s, s);  // [r(a), r(a), r(b), r(b)]
+  return _mm256_castpd256_pd128(
+      _mm256_permute4x64_pd(h, _MM_SHUFFLE(0, 0, 2, 0)));
+}
+
+}  // namespace dipdc::kernels::detail
+
+#endif  // __AVX2__

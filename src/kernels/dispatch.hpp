@@ -1,0 +1,58 @@
+// Runtime ISA dispatch for the compute kernels (src/kernels).
+//
+// The data-intensive modules' hot loops (distance matrix, k-means
+// assignment, sort classification) exist in two implementations: a
+// portable scalar path and an AVX2 path compiled into a separate
+// translation unit with -mavx2.  Which one runs is decided once, at
+// startup, from cpuid — never per call — and can be forced for
+// experiments and CI:
+//
+//   * `Policy::kScalar` / `Policy::kSimd`: an explicit request (the
+//     dipdc `--kernel=` flag and module `Config::kernel` fields).
+//     Forcing SIMD on a host without AVX2 support is an error.
+//   * `Policy::kAuto` (the default): the `DIPDC_KERNEL` environment
+//     variable if set ("scalar" or "simd"; "simd" quietly falls back to
+//     scalar when unsupported so a single CI matrix works everywhere),
+//     otherwise whatever cpuid says.
+//
+// The two paths are contractually **bit-identical**: every kernel fixes
+// its floating-point accumulation order to the 4-lane scheme described
+// in kernels/detail/canonical.hpp, and the kernel TUs are compiled with
+// -ffp-contract=off so no path gains an FMA the other lacks.  Switching
+// `--kernel=` must never change a checksum, an assignment, or an
+// iteration count — only the wall clock.
+#pragma once
+
+#include <string_view>
+
+namespace dipdc::kernels {
+
+/// The instruction set a kernel call actually executes with.
+enum class Isa {
+  kScalar,  // portable C++, 4-lane blocked accumulation
+  kSimd,    // AVX2 intrinsics, same accumulation order
+};
+
+/// What the caller asked for; resolved to an Isa once per run.
+enum class Policy {
+  kAuto,    // DIPDC_KERNEL env override, else cpuid
+  kScalar,  // force the portable path
+  kSimd,    // force AVX2 (error if the host lacks it)
+};
+
+/// True when the AVX2 path is compiled in *and* the CPU reports AVX2.
+[[nodiscard]] bool simd_supported();
+
+/// Resolves a policy to the ISA that will run.  kAuto consults
+/// DIPDC_KERNEL and then cpuid; kSimd throws support::PreconditionError
+/// when `simd_supported()` is false.
+[[nodiscard]] Isa resolve(Policy policy);
+
+/// Parses "auto" | "scalar" | "simd" (throws support::PreconditionError
+/// on anything else).
+[[nodiscard]] Policy parse_policy(std::string_view text);
+
+[[nodiscard]] const char* isa_name(Isa isa);
+[[nodiscard]] const char* policy_name(Policy policy);
+
+}  // namespace dipdc::kernels

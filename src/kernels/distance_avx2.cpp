@@ -1,0 +1,211 @@
+// AVX2 distance kernels.  Compiled with -mavx2 -ffp-contract=off when
+// the toolchain targets x86-64; otherwise the stubs at the bottom keep
+// the link whole (dispatch never selects them: simd_supported() is
+// false without DIPDC_KERNELS_HAVE_AVX2).
+//
+// Bit-identity with the scalar path comes from following the canonical
+// scheme (kernels/detail/canonical.hpp) exactly: 4-lane blocked
+// accumulation with explicit mul/add (no FMA), (l0+l2)+(l1+l3) lane
+// reduction, sequential scalar tail for dim % 4.
+#include "kernels/distance.hpp"
+
+#if defined(__AVX2__)
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/detail/avx2.hpp"
+#include "kernels/detail/canonical.hpp"
+
+namespace dipdc::kernels::detail {
+
+namespace {
+
+/// Scalar tail for dimensions [d0, dim) of one (a, b) pair, appended to
+/// the lane-reduced partial `acc` in canonical order.
+inline double tail_sq(double acc, const double* a, const double* b,
+                      std::size_t d0, std::size_t dim) {
+  for (std::size_t d = d0; d < dim; ++d) {
+    const double diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// 1-row x 4-point micro-kernel: the query row's chunk is loaded once
+/// and reused against 4 partner points.  Writes *squared* distances.
+inline void row_x4(const double* a, const double* b0, const double* b1,
+                   const double* b2, const double* b3, std::size_t dim,
+                   double out[4]) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t d = 0;
+  for (; d + kLanes <= dim; d += kLanes) {
+    const __m256d av = _mm256_loadu_pd(a + d);
+    acc0 = accumulate_sq_diff(acc0, av, _mm256_loadu_pd(b0 + d));
+    acc1 = accumulate_sq_diff(acc1, av, _mm256_loadu_pd(b1 + d));
+    acc2 = accumulate_sq_diff(acc2, av, _mm256_loadu_pd(b2 + d));
+    acc3 = accumulate_sq_diff(acc3, av, _mm256_loadu_pd(b3 + d));
+  }
+  _mm256_storeu_pd(out, reduce_lanes_x4(acc0, acc1, acc2, acc3));
+  if (d < dim) {
+    out[0] = tail_sq(out[0], a, b0, d, dim);
+    out[1] = tail_sq(out[1], a, b1, d, dim);
+    out[2] = tail_sq(out[2], a, b2, d, dim);
+    out[3] = tail_sq(out[3], a, b3, d, dim);
+  }
+}
+
+/// 4-row x 2-point micro-kernel: 8 accumulators + 6 live operands fill
+/// the 16 ymm registers; every loaded chunk feeds 2 or 4 of the 8
+/// (row, point) pairs.  Writes *squared* distances: o<r>[0..1] for row r.
+inline void rows4_x2(const double* a0, const double* a1, const double* a2,
+                     const double* a3, const double* b0, const double* b1,
+                     std::size_t dim, double* o0, double* o1, double* o2,
+                     double* o3) {
+  __m256d acc00 = _mm256_setzero_pd(), acc01 = _mm256_setzero_pd();
+  __m256d acc10 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+  __m256d acc20 = _mm256_setzero_pd(), acc21 = _mm256_setzero_pd();
+  __m256d acc30 = _mm256_setzero_pd(), acc31 = _mm256_setzero_pd();
+  std::size_t d = 0;
+  for (; d + kLanes <= dim; d += kLanes) {
+    const __m256d bv0 = _mm256_loadu_pd(b0 + d);
+    const __m256d bv1 = _mm256_loadu_pd(b1 + d);
+    __m256d av = _mm256_loadu_pd(a0 + d);
+    acc00 = accumulate_sq_diff(acc00, av, bv0);
+    acc01 = accumulate_sq_diff(acc01, av, bv1);
+    av = _mm256_loadu_pd(a1 + d);
+    acc10 = accumulate_sq_diff(acc10, av, bv0);
+    acc11 = accumulate_sq_diff(acc11, av, bv1);
+    av = _mm256_loadu_pd(a2 + d);
+    acc20 = accumulate_sq_diff(acc20, av, bv0);
+    acc21 = accumulate_sq_diff(acc21, av, bv1);
+    av = _mm256_loadu_pd(a3 + d);
+    acc30 = accumulate_sq_diff(acc30, av, bv0);
+    acc31 = accumulate_sq_diff(acc31, av, bv1);
+  }
+  _mm_storeu_pd(o0, reduce_lanes_x2(acc00, acc01));
+  _mm_storeu_pd(o1, reduce_lanes_x2(acc10, acc11));
+  _mm_storeu_pd(o2, reduce_lanes_x2(acc20, acc21));
+  _mm_storeu_pd(o3, reduce_lanes_x2(acc30, acc31));
+  if (d < dim) {
+    o0[0] = tail_sq(o0[0], a0, b0, d, dim);
+    o0[1] = tail_sq(o0[1], a0, b1, d, dim);
+    o1[0] = tail_sq(o1[0], a1, b0, d, dim);
+    o1[1] = tail_sq(o1[1], a1, b1, d, dim);
+    o2[0] = tail_sq(o2[0], a2, b0, d, dim);
+    o2[1] = tail_sq(o2[1], a2, b1, d, dim);
+    o3[0] = tail_sq(o3[0], a3, b0, d, dim);
+    o3[1] = tail_sq(o3[1], a3, b1, d, dim);
+  }
+}
+
+/// In-place sqrt sweep over a contiguous range.  vsqrtpd and sqrtsd are
+/// both correctly rounded, so batching the roots after the distance pass
+/// is bit-identical to the scalar path's per-pair std::sqrt — and takes
+/// the (expensive) root off the micro-kernel's critical path.
+inline void sqrt_span(double* p, std::size_t count) {
+  std::size_t i = 0;
+  for (; i + kLanes <= count; i += kLanes) {
+    _mm256_storeu_pd(p + i, _mm256_sqrt_pd(_mm256_loadu_pd(p + i)));
+  }
+  for (; i < count; ++i) p[i] = std::sqrt(p[i]);
+}
+
+}  // namespace
+
+double squared_distance_avx2(const double* a, const double* b,
+                             std::size_t dim) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t d = 0;
+  for (; d + kLanes <= dim; d += kLanes) {
+    acc = accumulate_sq_diff(acc, _mm256_loadu_pd(a + d),
+                             _mm256_loadu_pd(b + d));
+  }
+  return tail_sq(reduce_lanes(acc), a, b, d, dim);
+}
+
+void distance_row_avx2(const double* a, const double* pts, std::size_t dim,
+                       std::size_t j_begin, std::size_t j_end,
+                       double* out_row) {
+  // Empty (or inverted) ranges are a no-op — module 2's symmetric path
+  // issues them for rows below the current tile.
+  if (j_begin >= j_end) return;
+  std::size_t j = j_begin;
+  for (; j + 4 <= j_end; j += 4) {
+    row_x4(a, pts + j * dim, pts + (j + 1) * dim, pts + (j + 2) * dim,
+           pts + (j + 3) * dim, dim, out_row + j);
+  }
+  for (; j < j_end; ++j) {
+    out_row[j] = squared_distance_avx2(a, pts + j * dim, dim);
+  }
+  sqrt_span(out_row + j_begin, j_end - j_begin);
+}
+
+void distance_rows_avx2(const double* all, std::size_t dim, std::size_t n,
+                        std::size_t row_begin, std::size_t row_end,
+                        std::size_t tile, double* out) {
+  const std::size_t rows = row_end - row_begin;
+  const std::size_t step = tile == 0 ? (n == 0 ? 1 : n) : tile;
+  for (std::size_t jt = 0; jt < n; jt += step) {
+    const std::size_t jt_end = std::min(n, jt + step);
+    std::size_t i = 0;
+    for (; i + 4 <= rows; i += 4) {
+      const double* a0 = all + (row_begin + i) * dim;
+      const double* a1 = a0 + dim;
+      const double* a2 = a1 + dim;
+      const double* a3 = a2 + dim;
+      double* o0 = out + i * n;
+      double* o1 = o0 + n;
+      double* o2 = o1 + n;
+      double* o3 = o2 + n;
+      std::size_t j = jt;
+      for (; j + 2 <= jt_end; j += 2) {
+        rows4_x2(a0, a1, a2, a3, all + j * dim, all + (j + 1) * dim, dim,
+                 o0 + j, o1 + j, o2 + j, o3 + j);
+      }
+      for (; j < jt_end; ++j) {
+        const double* b = all + j * dim;
+        o0[j] = squared_distance_avx2(a0, b, dim);
+        o1[j] = squared_distance_avx2(a1, b, dim);
+        o2[j] = squared_distance_avx2(a2, b, dim);
+        o3[j] = squared_distance_avx2(a3, b, dim);
+      }
+      // Batched roots while the tile segments are still cache-hot.
+      sqrt_span(o0 + jt, jt_end - jt);
+      sqrt_span(o1 + jt, jt_end - jt);
+      sqrt_span(o2 + jt, jt_end - jt);
+      sqrt_span(o3 + jt, jt_end - jt);
+    }
+    for (; i < rows; ++i) {
+      distance_row_avx2(all + (row_begin + i) * dim, all, dim, jt, jt_end,
+                        out + i * n);
+    }
+  }
+}
+
+}  // namespace dipdc::kernels::detail
+
+#else  // !__AVX2__ — never-dispatched stubs so the library always links.
+
+#include <cstdlib>
+
+namespace dipdc::kernels::detail {
+
+double squared_distance_avx2(const double*, const double*, std::size_t) {
+  std::abort();
+}
+void distance_row_avx2(const double*, const double*, std::size_t,
+                       std::size_t, std::size_t, double*) {
+  std::abort();
+}
+void distance_rows_avx2(const double*, std::size_t, std::size_t,
+                        std::size_t, std::size_t, std::size_t, double*) {
+  std::abort();
+}
+
+}  // namespace dipdc::kernels::detail
+
+#endif  // __AVX2__

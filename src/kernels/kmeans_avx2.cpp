@@ -1,0 +1,167 @@
+// AVX2 k-means kernels: centroid-blocked assignment (4 centroids' lane
+// accumulators live in registers while the point streams through once)
+// and vectorized centroid updates.  Same canonical accumulation contract
+// as the scalar path; see distance_avx2.cpp for the TU conventions.
+#include "kernels/kmeans.hpp"
+
+#if defined(__AVX2__)
+
+#include <algorithm>
+#include <limits>
+
+#include "kernels/detail/avx2.hpp"
+#include "kernels/detail/canonical.hpp"
+
+namespace dipdc::kernels::detail {
+
+namespace {
+
+/// Canonical ‖p − c‖² for one centroid (vector body + sequential tail).
+inline double sq_to_centroid(const double* pt, const double* cent,
+                             std::size_t dim) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t d = 0;
+  for (; d + kLanes <= dim; d += kLanes) {
+    acc = accumulate_sq_diff(acc, _mm256_loadu_pd(pt + d),
+                             _mm256_loadu_pd(cent + d));
+  }
+  double sq = reduce_lanes(acc);
+  for (; d < dim; ++d) {
+    const double diff = pt[d] - cent[d];
+    sq += diff * diff;
+  }
+  return sq;
+}
+
+/// ‖p − c‖² for a block of 4 centroids: the point chunk is loaded once
+/// per kLanes dimensions and reused across all 4 accumulator chains.
+inline void sq_to_4centroids(const double* pt, const double* c0,
+                             const double* c1, const double* c2,
+                             const double* c3, std::size_t dim,
+                             double out[4]) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t d = 0;
+  for (; d + kLanes <= dim; d += kLanes) {
+    const __m256d pv = _mm256_loadu_pd(pt + d);
+    acc0 = accumulate_sq_diff(acc0, pv, _mm256_loadu_pd(c0 + d));
+    acc1 = accumulate_sq_diff(acc1, pv, _mm256_loadu_pd(c1 + d));
+    acc2 = accumulate_sq_diff(acc2, pv, _mm256_loadu_pd(c2 + d));
+    acc3 = accumulate_sq_diff(acc3, pv, _mm256_loadu_pd(c3 + d));
+  }
+  _mm256_storeu_pd(out, reduce_lanes_x4(acc0, acc1, acc2, acc3));
+  for (; d < dim; ++d) {
+    const double pd = pt[d];
+    double diff = pd - c0[d];
+    out[0] += diff * diff;
+    diff = pd - c1[d];
+    out[1] += diff * diff;
+    diff = pd - c2[d];
+    out[2] += diff * diff;
+    diff = pd - c3[d];
+    out[3] += diff * diff;
+  }
+}
+
+/// sum_row += pt, element-wise (order-free: bit-identical to scalar).
+inline void add_into(double* sum_row, const double* pt, std::size_t dim) {
+  std::size_t d = 0;
+  for (; d + kLanes <= dim; d += kLanes) {
+    _mm256_storeu_pd(sum_row + d,
+                     _mm256_add_pd(_mm256_loadu_pd(sum_row + d),
+                                   _mm256_loadu_pd(pt + d)));
+  }
+  for (; d < dim; ++d) sum_row[d] += pt[d];
+}
+
+}  // namespace
+
+void assign_points_avx2(const double* points, std::size_t n,
+                        std::size_t dim, const double* centroids,
+                        std::size_t k, std::size_t* assignment, double* sums,
+                        double* counts) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* pt = points + i * dim;
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t c = 0;
+    for (; c + 4 <= k; c += 4) {
+      double sq[4];
+      const double* cc = centroids + c * dim;
+      sq_to_4centroids(pt, cc, cc + dim, cc + 2 * dim, cc + 3 * dim, dim,
+                       sq);
+      // Strict '<' in ascending centroid order: ties keep the lowest
+      // index, exactly like the scalar loop.
+      for (std::size_t q = 0; q < 4; ++q) {
+        if (sq[q] < best_d) {
+          best_d = sq[q];
+          best = c + q;
+        }
+      }
+    }
+    for (; c < k; ++c) {
+      const double sq = sq_to_centroid(pt, centroids + c * dim, dim);
+      if (sq < best_d) {
+        best_d = sq;
+        best = c;
+      }
+    }
+    assignment[i] = best;
+    if (sums != nullptr) {
+      add_into(sums + best * dim, pt, dim);
+      counts[best] += 1.0;
+    }
+  }
+}
+
+double update_centroids_avx2(double* centroids, const double* sums,
+                             const double* counts, std::size_t k,
+                             std::size_t dim) {
+  double movement = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] <= 0.0) continue;
+    const __m256d cnt = _mm256_set1_pd(counts[c]);
+    const double* sum_row = sums + c * dim;
+    double* cent = centroids + c * dim;
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t d = 0;
+    for (; d + kLanes <= dim; d += kLanes) {
+      const __m256d next = _mm256_div_pd(_mm256_loadu_pd(sum_row + d), cnt);
+      acc = accumulate_sq_diff(acc, next, _mm256_loadu_pd(cent + d));
+      _mm256_storeu_pd(cent + d, next);
+    }
+    double d2sum = reduce_lanes(acc);
+    for (; d < dim; ++d) {
+      const double next = sum_row[d] / counts[c];
+      const double diff = next - cent[d];
+      d2sum += diff * diff;
+      cent[d] = next;
+    }
+    movement = std::max(movement, d2sum);
+  }
+  return movement;
+}
+
+}  // namespace dipdc::kernels::detail
+
+#else  // !__AVX2__
+
+#include <cstdlib>
+
+namespace dipdc::kernels::detail {
+
+void assign_points_avx2(const double*, std::size_t, std::size_t,
+                        const double*, std::size_t, std::size_t*, double*,
+                        double*) {
+  std::abort();
+}
+double update_centroids_avx2(double*, const double*, const double*,
+                             std::size_t, std::size_t) {
+  std::abort();
+}
+
+}  // namespace dipdc::kernels::detail
+
+#endif  // __AVX2__

@@ -1,0 +1,34 @@
+// Scalar implementations + ISA dispatch for the sort-module kernels.
+// Compiled with -ffp-contract=off (see distance.cpp) — moot for the
+// integer results here, but the whole library keeps one contract.
+#include "kernels/sort.hpp"
+
+#include "kernels/detail/canonical.hpp"
+
+namespace dipdc::kernels {
+
+void histogram(Isa isa, const double* values, std::size_t n, double lo,
+               double bin_width, std::size_t bins, std::uint64_t* hist) {
+  if (isa == Isa::kSimd) {
+    detail::histogram_avx2(values, n, lo, bin_width, bins, hist);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ++hist[detail::histogram_bin_ref(values[i], lo, bin_width, bins)];
+  }
+}
+
+void bucket_indices(Isa isa, const double* values, std::size_t n,
+                    const double* splitters, std::size_t nsplit,
+                    std::uint32_t* out) {
+  if (isa == Isa::kSimd) {
+    detail::bucket_indices_avx2(values, n, splitters, nsplit, out);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint32_t>(
+        detail::bucket_of_ref(values[i], splitters, nsplit));
+  }
+}
+
+}  // namespace dipdc::kernels

@@ -1,0 +1,37 @@
+// Dispatched kernels for module 3's splitter machinery: the rank-0
+// histogram pass and the per-element bucket classification (splitter
+// scan).  Both produce integers, so bit-identity here means "the same
+// bins and buckets" — guaranteed because the offset arithmetic and the
+// comparisons are the identical IEEE operations in both paths (see
+// detail/canonical.hpp for the scalar reference).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/dispatch.hpp"
+
+namespace dipdc::kernels {
+
+/// Increments hist[bin(v)] for every value: bin = clamp((v - lo) /
+/// bin_width, 0, bins - 1) truncated toward zero.  `hist` has `bins`
+/// entries and is NOT cleared first (callers can accumulate).
+void histogram(Isa isa, const double* values, std::size_t n, double lo,
+               double bin_width, std::size_t bins, std::uint64_t* hist);
+
+/// out[i] = number of splitters <= values[i] (std::upper_bound's index
+/// over the ascending `splitters`): the destination bucket/rank of each
+/// element.  Requires nsplit < 2^32.
+void bucket_indices(Isa isa, const double* values, std::size_t n,
+                    const double* splitters, std::size_t nsplit,
+                    std::uint32_t* out);
+
+namespace detail {
+void histogram_avx2(const double* values, std::size_t n, double lo,
+                    double bin_width, std::size_t bins, std::uint64_t* hist);
+void bucket_indices_avx2(const double* values, std::size_t n,
+                         const double* splitters, std::size_t nsplit,
+                         std::uint32_t* out);
+}  // namespace detail
+
+}  // namespace dipdc::kernels

@@ -1,0 +1,86 @@
+// AVX2 sort-module kernels: vectorized bin computation for the
+// histogram pass and a compare-and-count splitter scan (4 elements per
+// iteration, one broadcast comparison per splitter).  Integer results,
+// identical to the scalar reference for every input including values
+// equal to a splitter, out-of-domain values, and NaNs (max_pd's NaN
+// propagation matches the scalar clamp's ordering).
+#include "kernels/sort.hpp"
+
+#if defined(__AVX2__)
+
+#include "kernels/detail/avx2.hpp"
+#include "kernels/detail/canonical.hpp"
+
+namespace dipdc::kernels::detail {
+
+void histogram_avx2(const double* values, std::size_t n, double lo,
+                    double bin_width, std::size_t bins, std::uint64_t* hist) {
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vw = _mm256_set1_pd(bin_width);
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vtop = _mm256_set1_pd(static_cast<double>(bins - 1));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d off = _mm256_div_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(values + i), vlo), vw);
+    // max(off, 0) first (NaN -> 0, as the scalar '!(offset > 0)' does),
+    // then cap at bins - 1; truncate toward zero like the scalar cast.
+    const __m256d clamped =
+        _mm256_min_pd(_mm256_max_pd(off, vzero), vtop);
+    const __m128i bin = _mm256_cvttpd_epi32(clamped);
+    ++hist[static_cast<std::uint32_t>(_mm_extract_epi32(bin, 0))];
+    ++hist[static_cast<std::uint32_t>(_mm_extract_epi32(bin, 1))];
+    ++hist[static_cast<std::uint32_t>(_mm_extract_epi32(bin, 2))];
+    ++hist[static_cast<std::uint32_t>(_mm_extract_epi32(bin, 3))];
+  }
+  for (; i < n; ++i) {
+    ++hist[histogram_bin_ref(values[i], lo, bin_width, bins)];
+  }
+}
+
+void bucket_indices_avx2(const double* values, std::size_t n,
+                         const double* splitters, std::size_t nsplit,
+                         std::uint32_t* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    __m256i count = _mm256_setzero_si256();
+    for (std::size_t s = 0; s < nsplit; ++s) {
+      // v >= splitter  <=>  splitter <= v; all-ones mask is -1 per lane,
+      // so subtracting it counts the satisfied comparisons.
+      const __m256d mask =
+          _mm256_cmp_pd(v, _mm256_set1_pd(splitters[s]), _CMP_GE_OQ);
+      count = _mm256_sub_epi64(count, _mm256_castpd_si256(mask));
+    }
+    out[i] = static_cast<std::uint32_t>(_mm256_extract_epi64(count, 0));
+    out[i + 1] = static_cast<std::uint32_t>(_mm256_extract_epi64(count, 1));
+    out[i + 2] = static_cast<std::uint32_t>(_mm256_extract_epi64(count, 2));
+    out[i + 3] = static_cast<std::uint32_t>(_mm256_extract_epi64(count, 3));
+  }
+  for (; i < n; ++i) {
+    out[i] =
+        static_cast<std::uint32_t>(bucket_of_ref(values[i], splitters,
+                                                 nsplit));
+  }
+}
+
+}  // namespace dipdc::kernels::detail
+
+#else  // !__AVX2__
+
+#include <cstdlib>
+
+namespace dipdc::kernels::detail {
+
+void histogram_avx2(const double*, std::size_t, double, double, std::size_t,
+                    std::uint64_t*) {
+  std::abort();
+}
+void bucket_indices_avx2(const double*, std::size_t, const double*,
+                         std::size_t, std::uint32_t*) {
+  std::abort();
+}
+
+}  // namespace dipdc::kernels::detail
+
+#endif  // __AVX2__

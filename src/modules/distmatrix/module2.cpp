@@ -1,8 +1,10 @@
 #include "modules/distmatrix/module2.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
+#include "kernels/distance.hpp"
 #include "minimpi/ops.hpp"
 #include "support/error.hpp"
 
@@ -107,12 +109,21 @@ Result run_distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
       }
     }
 
+    // Same j-tile traversal as the traced distance_rows_list template,
+    // but each row sweep runs through the dispatched SIMD/scalar kernel.
     std::vector<double> block(my_rows.size() * n, 0.0);
-    cachesim::NullTracer tracer;
-    distance_rows_list(std::span<const double>(all), dim, n,
-                       std::span<const std::size_t>(my_rows),
-                       config.symmetric, config.tile,
-                       std::span<double>(block), tracer);
+    const kernels::Isa isa = kernels::resolve(config.kernel);
+    const std::size_t step = config.tile == 0 ? n : config.tile;
+    for (std::size_t jt = 0; jt < n; jt += step) {
+      const std::size_t jt_end = std::min(n, jt + step);
+      for (std::size_t rr = 0; rr < my_rows.size(); ++rr) {
+        const std::size_t i = my_rows[rr];
+        const std::size_t j_begin =
+            config.symmetric ? std::max(jt, i) : jt;
+        kernels::distance_row(isa, all.data() + i * dim, all.data(), dim,
+                              j_begin, jt_end, block.data() + rr * n);
+      }
+    }
 
     // Cost: pairs actually computed, with the locality estimate scaled by
     // the fraction of the full row sweep each row performs.
@@ -223,15 +234,11 @@ Result run_distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
     result.dram_bytes = static_cast<double>(hierarchy.memory_traffic_bytes());
     result.miss_rate = hierarchy.level(0).miss_rate();
   } else {
-    cachesim::NullTracer tracer;
-    if (config.tile == 0) {
-      distance_rows_rowwise(std::span<const double>(all), dim, n, row_begin,
-                            row_end, std::span<double>(block), tracer);
-    } else {
-      distance_rows_tiled(std::span<const double>(all), dim, n, row_begin,
-                          row_end, config.tile, std::span<double>(block),
-                          tracer);
-    }
+    // Untraced fast path: the register-blocked dispatched kernel
+    // (bit-identical to the traced loops above by the canonical
+    // accumulation contract).
+    kernels::distance_rows(kernels::resolve(config.kernel), all.data(), dim,
+                           n, row_begin, row_end, config.tile, block.data());
     result.dram_bytes =
         config.tile == 0
             ? estimated_traffic_rowwise(my_rows, n, dim,

@@ -25,9 +25,19 @@
 
 #include "cachesim/cache.hpp"
 #include "dataio/dataset.hpp"
+#include "kernels/detail/canonical.hpp"
+#include "kernels/dispatch.hpp"
 #include "minimpi/comm.hpp"
 
 namespace dipdc::modules::distmatrix {
+
+// The templated loop nests below are the *traced/reference* kernels: the
+// identical traversal runs natively (NullTracer) or through the cache
+// simulator.  The untraced production path dispatches to the
+// register-blocked SIMD kernels in src/kernels instead; both compute
+// every ‖a−b‖² in the canonical lane-blocked accumulation order
+// (kernels/detail/canonical.hpp), so traced runs, scalar runs and SIMD
+// runs all produce bit-identical distances and checksums.
 
 /// Row-wise kernel: for each local row i, stream every point j.
 /// `all` is the full n x dim dataset; rows [row_begin, row_end) are
@@ -48,12 +58,8 @@ void distance_rows_rowwise(std::span<const double> all, std::size_t dim,
       if constexpr (Tracer::kEnabled) {
         tracer.touch(b, dim * sizeof(double));
       }
-      double acc = 0.0;
-      for (std::size_t d = 0; d < dim; ++d) {
-        const double diff = a[d] - b[d];
-        acc += diff * diff;
-      }
-      out[i * n + j] = std::sqrt(acc);
+      out[i * n + j] =
+          std::sqrt(kernels::detail::squared_distance_ref(a, b, dim));
     }
   }
 }
@@ -78,12 +84,8 @@ void distance_rows_tiled(std::span<const double> all, std::size_t dim,
         if constexpr (Tracer::kEnabled) {
           tracer.touch(b, dim * sizeof(double));
         }
-        double acc = 0.0;
-        for (std::size_t d = 0; d < dim; ++d) {
-          const double diff = a[d] - b[d];
-          acc += diff * diff;
-        }
-        out[i * n + j] = std::sqrt(acc);
+        out[i * n + j] =
+            std::sqrt(kernels::detail::squared_distance_ref(a, b, dim));
       }
     }
   }
@@ -128,6 +130,9 @@ struct Config {
   bool trace_cache = false;
   /// Geometry used for both the tracer and the analytic estimate.
   cachesim::CacheConfig cache{256 * 1024, 64, 8};
+  /// Compute-kernel ISA for the untraced fast path (`--kernel=` /
+  /// DIPDC_KERNEL); scalar and simd are bit-identical by contract.
+  kernels::Policy kernel = kernels::Policy::kAuto;
 };
 
 struct Result {
@@ -172,12 +177,8 @@ void distance_rows_list(std::span<const double> all, std::size_t dim,
         if constexpr (Tracer::kEnabled) {
           tracer.touch(b, dim * sizeof(double));
         }
-        double acc = 0.0;
-        for (std::size_t d = 0; d < dim; ++d) {
-          const double diff = a[d] - b[d];
-          acc += diff * diff;
-        }
-        out[r * n + j] = std::sqrt(acc);
+        out[r * n + j] =
+            std::sqrt(kernels::detail::squared_distance_ref(a, b, dim));
       }
     }
   }

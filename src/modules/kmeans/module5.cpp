@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/distance.hpp"
+#include "kernels/kmeans.hpp"
 #include "minimpi/ops.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -14,50 +16,16 @@ namespace mpi = minimpi;
 
 namespace {
 
-/// Index of the centroid nearest to `point` (squared distance metric).
-std::size_t nearest_centroid(std::span<const double> point,
-                             std::span<const double> centroids,
-                             std::size_t k, std::size_t dim) {
-  std::size_t best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < k; ++c) {
-    double d2 = 0.0;
-    for (std::size_t j = 0; j < dim; ++j) {
-      const double diff = point[j] - centroids[c * dim + j];
-      d2 += diff * diff;
-    }
-    if (d2 < best_d) {
-      best_d = d2;
-      best = c;
-    }
-  }
-  return best;
-}
-
-/// New centroids from accumulated sums/counts; empty clusters keep their
-/// previous position.  Returns the max squared movement.
-double update_centroids(std::vector<double>& centroids,
-                        const std::vector<double>& sums,
-                        const std::vector<double>& counts, std::size_t k,
-                        std::size_t dim) {
-  double movement = 0.0;
-  for (std::size_t c = 0; c < k; ++c) {
-    if (counts[c] <= 0.0) continue;
-    double d2 = 0.0;
-    for (std::size_t j = 0; j < dim; ++j) {
-      const double next = sums[c * dim + j] / counts[c];
-      const double diff = next - centroids[c * dim + j];
-      d2 += diff * diff;
-      centroids[c * dim + j] = next;
-    }
-    movement = std::max(movement, d2);
-  }
-  return movement;
-}
+// The assignment and centroid-update hot loops live in src/kernels
+// (kernels::assign_points / kernels::update_centroids): runtime-dispatched
+// scalar/AVX2 implementations that are bit-identical by the canonical
+// accumulation contract, so every path below clusters identically no
+// matter which ISA runs.
 
 /// Initial centroids at the data owner: first-k or k-means++ seeding.
 std::vector<double> initial_centroids(const dataio::Dataset& dataset,
-                                      const Config& config) {
+                                      const Config& config,
+                                      kernels::Isa isa) {
   const std::size_t k = config.k;
   const std::size_t dim = dataset.dim();
   std::vector<double> centroids(k * dim);
@@ -81,11 +49,8 @@ std::vector<double> initial_centroids(const dataio::Dataset& dataset,
     const double* last = centroids.data() + (c - 1) * dim;
     double total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      double dist = 0.0;
-      for (std::size_t j = 0; j < dim; ++j) {
-        const double diff = dataset.point(i)[j] - last[j];
-        dist += diff * diff;
-      }
+      const double dist =
+          kernels::squared_distance(isa, dataset.point(i).data(), last, dim);
       d2[i] = std::min(d2[i], dist);
       total += d2[i];
     }
@@ -123,25 +88,20 @@ Result lloyd_sequential(const dataio::Dataset& dataset, const Config& config) {
   const std::size_t dim = dataset.dim();
   const std::size_t k = config.k;
   DIPDC_REQUIRE(k > 0 && k <= n, "need 1 <= k <= n");
+  const kernels::Isa isa = kernels::resolve(config.kernel);
 
   Result result;
-  result.centroids = initial_centroids(dataset, config);
+  result.centroids = initial_centroids(dataset, config, isa);
   std::vector<std::size_t> assignment(n, 0);
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     std::vector<double> sums(k * dim, 0.0);
     std::vector<double> counts(k, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t c =
-          nearest_centroid(dataset.point(i), result.centroids, k, dim);
-      assignment[i] = c;
-      for (std::size_t j = 0; j < dim; ++j) {
-        sums[c * dim + j] += dataset.point(i)[j];
-      }
-      counts[c] += 1.0;
-    }
-    const double movement =
-        update_centroids(result.centroids, sums, counts, k, dim);
+    kernels::assign_points(isa, dataset.values().data(), n, dim,
+                           result.centroids.data(), k, assignment.data(),
+                           sums.data(), counts.data());
+    const double movement = kernels::update_centroids(
+        isa, result.centroids.data(), sums.data(), counts.data(), k, dim);
     result.iterations = iter + 1;
     if (movement <= config.tolerance) {
       result.converged = true;
@@ -151,10 +111,9 @@ Result lloyd_sequential(const dataio::Dataset& dataset, const Config& config) {
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t c = assignment[i];
-    for (std::size_t j = 0; j < dim; ++j) {
-      const double diff = dataset.point(i)[j] - result.centroids[c * dim + j];
-      result.inertia += diff * diff;
-    }
+    result.inertia += kernels::squared_distance(
+        isa, dataset.point(i).data(), result.centroids.data() + c * dim,
+        dim);
   }
   return result;
 }
@@ -164,6 +123,7 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
   const int p = comm.size();
   const int r = comm.rank();
   const std::size_t k = config.k;
+  const kernels::Isa isa = kernels::resolve(config.kernel);
 
   const double t0 = comm.wtime();
   double comm_marks = 0.0;  // accumulated communication-phase time
@@ -194,7 +154,7 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
   Result result;
   result.centroids.assign(k * dim, 0.0);
   if (r == 0) {
-    result.centroids = initial_centroids(dataset, config);
+    result.centroids = initial_centroids(dataset, config, isa);
   }
   comm.bcast(std::span<double>(result.centroids), 0);
   comm.phase_end();
@@ -208,17 +168,14 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
   std::vector<std::size_t> assignment(my_n, 0);
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
-    // Assignment phase (pure local compute).
+    // Assignment phase (pure local compute): the fused dispatched
+    // assign+accumulate kernel.
     comm.phase_begin("assign");
     std::vector<double> sums(k * dim, 0.0);
     std::vector<double> member_counts(k, 0.0);
-    for (std::size_t i = 0; i < my_n; ++i) {
-      const std::span<const double> pt{local.data() + i * dim, dim};
-      const std::size_t c = nearest_centroid(pt, result.centroids, k, dim);
-      assignment[i] = c;
-      for (std::size_t j = 0; j < dim; ++j) sums[c * dim + j] += pt[j];
-      member_counts[c] += 1.0;
-    }
+    kernels::assign_points(isa, local.data(), my_n, dim,
+                           result.centroids.data(), k, assignment.data(),
+                           sums.data(), member_counts.data());
     charge_assignment(comm, my_n, k, dim);
     comm.phase_end();
 
@@ -233,8 +190,9 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
                      std::span<double>(global_sums), mpi::ops::Sum{});
       comm.allreduce(std::span<const double>(member_counts),
                      std::span<double>(global_counts), mpi::ops::Sum{});
-      movement = update_centroids(result.centroids, global_sums,
-                                  global_counts, k, dim);
+      movement = kernels::update_centroids(isa, result.centroids.data(),
+                                           global_sums.data(),
+                                           global_counts.data(), k, dim);
     } else {
       // Explicit assignments: gather every rank's assignment vector to the
       // root, which owns the full dataset and recomputes the centroids.
@@ -261,8 +219,9 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
           }
           root_counts[c] += 1.0;
         }
-        movement = update_centroids(result.centroids, root_sums, root_counts,
-                                    k, dim);
+        movement = kernels::update_centroids(isa, result.centroids.data(),
+                                             root_sums.data(),
+                                             root_counts.data(), k, dim);
       }
       comm.bcast(std::span<double>(result.centroids), 0);
       movement = comm.bcast_value(movement, 0);
@@ -280,12 +239,9 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
   // Final inertia over the last assignment.
   double local_inertia = 0.0;
   for (std::size_t i = 0; i < my_n; ++i) {
-    const std::size_t c = assignment[i];
-    for (std::size_t j = 0; j < dim; ++j) {
-      const double diff =
-          local[i * dim + j] - result.centroids[c * dim + j];
-      local_inertia += diff * diff;
-    }
+    local_inertia += kernels::squared_distance(
+        isa, local.data() + i * dim,
+        result.centroids.data() + assignment[i] * dim, dim);
   }
   result.inertia = comm.allreduce_value(local_inertia, mpi::ops::Sum{});
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "dataio/dataset.hpp"
+#include "kernels/dispatch.hpp"
 #include "minimpi/comm.hpp"
 
 namespace dipdc::modules::kmeans {
@@ -43,6 +44,10 @@ struct Config {
   Init init = Init::kFirstK;
   /// Seed for the k-means++ draw (ignored for kFirstK).
   std::uint64_t init_seed = 1;
+  /// Compute-kernel ISA for the assignment/update hot loops (`--kernel=`
+  /// / DIPDC_KERNEL); scalar and simd are bit-identical, so clustering,
+  /// iteration count and inertia never depend on this.
+  kernels::Policy kernel = kernels::Policy::kAuto;
 };
 
 struct Result {

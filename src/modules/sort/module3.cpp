@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/sort.hpp"
 #include "minimpi/ops.hpp"
 #include "support/error.hpp"
 
@@ -69,15 +70,12 @@ std::vector<double> compute_splitters(mpi::Comm& comm,
   if (comm.rank() == 0) {
     DIPDC_REQUIRE(config.histogram_bins >= static_cast<std::size_t>(p),
                   "need at least one histogram bin per rank");
-    std::vector<std::size_t> hist(config.histogram_bins, 0);
+    std::vector<std::uint64_t> hist(config.histogram_bins, 0);
     const double bin_width =
         (config.hi - config.lo) / static_cast<double>(config.histogram_bins);
-    for (const double v : local) {
-      const double offset = (v - config.lo) / bin_width;
-      const auto bin = static_cast<std::size_t>(std::clamp(
-          offset, 0.0, static_cast<double>(config.histogram_bins - 1)));
-      ++hist[bin];
-    }
+    kernels::histogram(kernels::resolve(config.kernel), local.data(),
+                       local.size(), config.lo, bin_width,
+                       config.histogram_bins, hist.data());
     const double per_bucket =
         static_cast<double>(local.size()) / static_cast<double>(p);
     std::size_t cumulative = 0;
@@ -103,13 +101,6 @@ std::vector<double> compute_splitters(mpi::Comm& comm,
 }
 
 namespace {
-
-/// Bucket index of value `v` under ascending `splitters`.
-std::size_t bucket_of(double v, const std::vector<double>& splitters) {
-  const auto it =
-      std::upper_bound(splitters.begin(), splitters.end(), v);
-  return static_cast<std::size_t>(it - splitters.begin());
-}
 
 double log2_safe(std::size_t n) {
   return n < 2 ? 1.0 : std::log2(static_cast<double>(n));
@@ -138,12 +129,15 @@ Result distributed_bucket_sort(mpi::Comm& comm, std::vector<double>& local,
   const std::vector<double> splitters =
       compute_splitters(comm, local, config);
 
-  // Classify local elements into per-destination buckets.  Cost model:
-  // one pass over the data (compute-light, streaming).
-  std::vector<std::vector<double>> outgoing(np);
-  for (const double v : local) {
-    outgoing[bucket_of(v, splitters)].push_back(v);
-  }
+  // Classify local elements into per-destination buckets with the
+  // dispatched splitter-scan kernel, then place them bucket-contiguously
+  // in one stable counting pass (replaces the per-element push_back into
+  // p vectors).  Cost model: one pass over the data (compute-light,
+  // streaming).
+  std::vector<std::uint32_t> dest(local.size());
+  kernels::bucket_indices(kernels::resolve(config.kernel), local.data(),
+                          local.size(), splitters.data(), splitters.size(),
+                          dest.data());
   comm.sim_compute(2.0 * static_cast<double>(local.size()),
                    8.0 * static_cast<double>(local.size()));
   comm.phase_end();
@@ -151,12 +145,16 @@ Result distributed_bucket_sort(mpi::Comm& comm, std::vector<double>& local,
   // Exchange with Alltoallv — the module's scatter phase.
   comm.phase_begin("exchange");
   std::vector<std::size_t> send_counts(np), send_displs(np);
-  std::vector<double> send_buf;
-  send_buf.reserve(local.size());
+  for (const std::uint32_t d : dest) ++send_counts[d];
+  std::size_t placed = 0;
   for (std::size_t i = 0; i < np; ++i) {
-    send_displs[i] = send_buf.size();
-    send_counts[i] = outgoing[i].size();
-    send_buf.insert(send_buf.end(), outgoing[i].begin(), outgoing[i].end());
+    send_displs[i] = placed;
+    placed += send_counts[i];
+  }
+  std::vector<double> send_buf(local.size());
+  std::vector<std::size_t> cursor = send_displs;
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    send_buf[cursor[dest[i]]++] = local[i];
   }
   std::vector<std::size_t> recv_counts(np), recv_displs(np);
   comm.alltoall(std::span<const std::size_t>(send_counts),

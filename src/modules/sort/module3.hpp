@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/dispatch.hpp"
 #include "minimpi/comm.hpp"
 
 namespace dipdc::modules::distsort {
@@ -34,6 +35,9 @@ struct Config {
   double hi = 1.0;
   /// Bins of the rank-0 histogram for kHistogram.
   std::size_t histogram_bins = 256;
+  /// Compute-kernel ISA for the histogram and splitter-scan passes
+  /// (`--kernel=` / DIPDC_KERNEL); scalar and simd bucket identically.
+  kernels::Policy kernel = kernels::Policy::kAuto;
 };
 
 struct Result {

@@ -1,0 +1,335 @@
+// src/kernels contract tests.
+//
+// The load-bearing property is *bit-equality*: the scalar fallback, the
+// AVX2 path and the canonical reference helpers must produce identical
+// bits for every shape — dimensions that are not a multiple of the lane
+// width, tiles larger than n, k = 1, empty row ranges — because the
+// modules' determinism guarantees (checksums, iteration counts, traces)
+// ride on it.  SIMD cases are skipped on hosts without AVX2; the scalar
+// vs. reference checks always run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "kernels/detail/canonical.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/distance.hpp"
+#include "kernels/kmeans.hpp"
+#include "kernels/sort.hpp"
+#include "support/rng.hpp"
+
+namespace ker = dipdc::kernels;
+using dipdc::support::Xoshiro256;
+
+namespace {
+
+std::vector<double> random_values(std::size_t count, std::uint64_t seed,
+                                  double lo = -3.0, double hi = 3.0) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(count);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+bool simd_available() { return ker::simd_supported(); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+
+TEST(KernelsDispatch, ParsePolicy) {
+  EXPECT_EQ(ker::parse_policy("auto"), ker::Policy::kAuto);
+  EXPECT_EQ(ker::parse_policy("scalar"), ker::Policy::kScalar);
+  EXPECT_EQ(ker::parse_policy("simd"), ker::Policy::kSimd);
+  EXPECT_THROW((void)ker::parse_policy("avx512"), std::exception);
+  EXPECT_THROW((void)ker::parse_policy(""), std::exception);
+}
+
+TEST(KernelsDispatch, ResolveHonoursExplicitPolicy) {
+  EXPECT_EQ(ker::resolve(ker::Policy::kScalar), ker::Isa::kScalar);
+  if (simd_available()) {
+    EXPECT_EQ(ker::resolve(ker::Policy::kSimd), ker::Isa::kSimd);
+  } else {
+    // Explicitly forcing an unavailable ISA is a loud error, not a
+    // silent fallback.
+    EXPECT_THROW((void)ker::resolve(ker::Policy::kSimd), std::exception);
+  }
+}
+
+TEST(KernelsDispatch, Names) {
+  EXPECT_STREQ(ker::isa_name(ker::Isa::kScalar), "scalar");
+  EXPECT_STREQ(ker::isa_name(ker::Isa::kSimd), "simd");
+  EXPECT_STREQ(ker::policy_name(ker::Policy::kAuto), "auto");
+}
+
+// ---------------------------------------------------------------------------
+// Distance kernels.
+
+TEST(KernelsDistance, SquaredDistanceMatchesReference) {
+  // Dimensions straddling the lane width: tails of every length.
+  for (const std::size_t dim : {std::size_t{1}, std::size_t{2},
+                                std::size_t{3}, std::size_t{4},
+                                std::size_t{5}, std::size_t{7},
+                                std::size_t{8}, std::size_t{90},
+                                std::size_t{91}}) {
+    const auto a = random_values(dim, 100 + dim);
+    const auto b = random_values(dim, 200 + dim);
+    const double ref =
+        ker::detail::squared_distance_ref(a.data(), b.data(), dim);
+    EXPECT_EQ(ker::squared_distance(ker::Isa::kScalar, a.data(), b.data(),
+                                    dim),
+              ref)
+        << "dim " << dim;
+    if (simd_available()) {
+      EXPECT_EQ(ker::squared_distance(ker::Isa::kSimd, a.data(), b.data(),
+                                      dim),
+                ref)
+          << "dim " << dim;
+    }
+  }
+}
+
+TEST(KernelsDistance, DistanceRowsScalarSimdBitEqualOverRandomShapes) {
+  if (!simd_available()) GTEST_SKIP() << "no AVX2 on this host";
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(60);
+    const std::size_t dim = 1 + rng.uniform_index(100);
+    const std::size_t row_begin = rng.uniform_index(n + 1);
+    const std::size_t row_end =
+        row_begin + rng.uniform_index(n - row_begin + 1);
+    // tile = 0 (row-wise), tile > n, and interior tiles all occur.
+    const std::size_t tile = rng.uniform_index(n + 8);
+    const auto all = random_values(n * dim, 1000 + static_cast<std::uint64_t>(trial));
+    const std::size_t rows = row_end - row_begin;
+
+    std::vector<double> out_scalar(rows * n, -1.0);
+    std::vector<double> out_simd(rows * n, -2.0);
+    ker::distance_rows(ker::Isa::kScalar, all.data(), dim, n, row_begin,
+                       row_end, tile, out_scalar.data());
+    ker::distance_rows(ker::Isa::kSimd, all.data(), dim, n, row_begin,
+                       row_end, tile, out_simd.data());
+    for (std::size_t i = 0; i < out_scalar.size(); ++i) {
+      ASSERT_EQ(out_scalar[i], out_simd[i])
+          << "trial " << trial << " n=" << n << " dim=" << dim
+          << " rows=[" << row_begin << "," << row_end << ") tile=" << tile
+          << " cell " << i;
+    }
+  }
+}
+
+TEST(KernelsDistance, DistanceRowSubrangesBitEqual) {
+  if (!simd_available()) GTEST_SKIP() << "no AVX2 on this host";
+  const std::size_t n = 37;
+  const std::size_t dim = 13;
+  const auto all = random_values(n * dim, 7);
+  const auto a = random_values(dim, 8);
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t j_begin = rng.uniform_index(n + 1);
+    const std::size_t j_end = j_begin + rng.uniform_index(n - j_begin + 1);
+    std::vector<double> row_scalar(n, -1.0);
+    std::vector<double> row_simd(n, -1.0);
+    ker::distance_row(ker::Isa::kScalar, a.data(), all.data(), dim, j_begin,
+                      j_end, row_scalar.data());
+    ker::distance_row(ker::Isa::kSimd, a.data(), all.data(), dim, j_begin,
+                      j_end, row_simd.data());
+    EXPECT_EQ(row_scalar, row_simd)
+        << "range [" << j_begin << "," << j_end << ")";
+  }
+  // Inverted range (module 2's symmetric path issues these for rows
+  // below the current tile): a no-op, no cell may be touched.
+  std::vector<double> row_scalar(n, -7.0), row_simd(n, -7.0);
+  ker::distance_row(ker::Isa::kScalar, a.data(), all.data(), dim, 20, 5,
+                    row_scalar.data());
+  ker::distance_row(ker::Isa::kSimd, a.data(), all.data(), dim, 20, 5,
+                    row_simd.data());
+  EXPECT_EQ(row_scalar, std::vector<double>(n, -7.0));
+  EXPECT_EQ(row_simd, std::vector<double>(n, -7.0));
+}
+
+TEST(KernelsDistance, DistanceRowsMatchesPerPairReference) {
+  const std::size_t n = 19;
+  const std::size_t dim = 6;
+  const auto all = random_values(n * dim, 11);
+  std::vector<double> out(2 * n, 0.0);
+  ker::distance_rows(ker::Isa::kScalar, all.data(), dim, n, 3, 5, 4,
+                     out.data());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ref = std::sqrt(ker::detail::squared_distance_ref(
+          all.data() + (3 + r) * dim, all.data() + j * dim, dim));
+      EXPECT_EQ(out[r * n + j], ref) << "row " << r << " col " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// k-means kernels.
+
+TEST(KernelsKmeans, AssignScalarSimdBitEqualOverRandomShapes) {
+  if (!simd_available()) GTEST_SKIP() << "no AVX2 on this host";
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(50);
+    const std::size_t dim = 1 + rng.uniform_index(40);
+    const std::size_t k = 1 + rng.uniform_index(9);  // includes k = 1
+    const auto pts = random_values(n * dim, 3000 + static_cast<std::uint64_t>(trial));
+    auto cents = random_values(k * dim, 4000 + static_cast<std::uint64_t>(trial));
+    if (k >= 2) {
+      // Duplicate centroid: exact distance ties must break to the lowest
+      // index on both paths.
+      std::copy(cents.begin(),
+                cents.begin() + static_cast<std::ptrdiff_t>(dim),
+                cents.begin() + static_cast<std::ptrdiff_t>((k - 1) * dim));
+    }
+
+    std::vector<std::size_t> assign_scalar(n), assign_simd(n);
+    std::vector<double> sums_scalar(k * dim, 0.0), sums_simd(k * dim, 0.0);
+    std::vector<double> counts_scalar(k, 0.0), counts_simd(k, 0.0);
+    ker::assign_points(ker::Isa::kScalar, pts.data(), n, dim, cents.data(),
+                       k, assign_scalar.data(), sums_scalar.data(),
+                       counts_scalar.data());
+    ker::assign_points(ker::Isa::kSimd, pts.data(), n, dim, cents.data(), k,
+                       assign_simd.data(), sums_simd.data(),
+                       counts_simd.data());
+    ASSERT_EQ(assign_scalar, assign_simd)
+        << "trial " << trial << " n=" << n << " dim=" << dim << " k=" << k;
+    ASSERT_EQ(sums_scalar, sums_simd) << "trial " << trial;
+    ASSERT_EQ(counts_scalar, counts_simd) << "trial " << trial;
+  }
+}
+
+TEST(KernelsKmeans, AssignWithoutAccumulatorsAndNearestCentroidAgree) {
+  const std::size_t n = 23;
+  const std::size_t dim = 7;
+  const std::size_t k = 5;
+  const auto pts = random_values(n * dim, 31);
+  const auto cents = random_values(k * dim, 32);
+  for (const auto isa : {ker::Isa::kScalar, ker::Isa::kSimd}) {
+    if (isa == ker::Isa::kSimd && !simd_available()) continue;
+    std::vector<std::size_t> assignment(n);
+    ker::assign_points(isa, pts.data(), n, dim, cents.data(), k,
+                       assignment.data(), nullptr, nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(assignment[i],
+                ker::nearest_centroid(isa, pts.data() + i * dim,
+                                      cents.data(), k, dim))
+          << "point " << i;
+    }
+  }
+}
+
+TEST(KernelsKmeans, UpdateCentroidsBitEqualAndEmptyClustersStayPut) {
+  if (!simd_available()) GTEST_SKIP() << "no AVX2 on this host";
+  Xoshiro256 rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t k = 1 + rng.uniform_index(8);
+    const std::size_t dim = 1 + rng.uniform_index(30);
+    const auto sums = random_values(k * dim, 5000 + static_cast<std::uint64_t>(trial));
+    std::vector<double> counts(k);
+    for (auto& c : counts) {
+      c = rng.uniform() < 0.3 ? 0.0 : std::floor(rng.uniform(1.0, 20.0));
+    }
+    auto cents_scalar = random_values(k * dim, 6000 + static_cast<std::uint64_t>(trial));
+    auto cents_simd = cents_scalar;
+    const auto before = cents_scalar;
+
+    const double mv_scalar =
+        ker::update_centroids(ker::Isa::kScalar, cents_scalar.data(),
+                              sums.data(), counts.data(), k, dim);
+    const double mv_simd =
+        ker::update_centroids(ker::Isa::kSimd, cents_simd.data(),
+                              sums.data(), counts.data(), k, dim);
+    ASSERT_EQ(cents_scalar, cents_simd) << "trial " << trial;
+    ASSERT_EQ(mv_scalar, mv_simd) << "trial " << trial;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] != 0.0) continue;
+      for (std::size_t j = 0; j < dim; ++j) {
+        EXPECT_EQ(cents_scalar[c * dim + j], before[c * dim + j]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sort kernels.
+
+TEST(KernelsSort, HistogramMatchesReferenceIncludingOutOfRangeAndNaN) {
+  const std::size_t bins = 16;
+  const double lo = 0.0;
+  const double width = 0.5;
+  auto values = random_values(503, 61, -2.0, 10.0);  // spills both ends
+  values.push_back(lo);                              // exactly lo -> bin 0
+  values.push_back(lo + width * static_cast<double>(bins));  // above top
+  values.push_back(std::numeric_limits<double>::quiet_NaN());
+
+  std::vector<std::uint64_t> ref(bins, 0);
+  for (const double v : values) {
+    ++ref[ker::detail::histogram_bin_ref(v, lo, width, bins)];
+  }
+  for (const auto isa : {ker::Isa::kScalar, ker::Isa::kSimd}) {
+    if (isa == ker::Isa::kSimd && !simd_available()) continue;
+    std::vector<std::uint64_t> hist(bins, 0);
+    ker::histogram(isa, values.data(), values.size(), lo, width, bins,
+                   hist.data());
+    EXPECT_EQ(hist, ref) << ker::isa_name(isa);
+  }
+}
+
+TEST(KernelsSort, BucketIndicesMatchesReferenceOnSplitterCollisions) {
+  // Splitter values occur verbatim in the input: v == splitter must land
+  // in the bucket *after* the splitter (upper_bound semantics) on every
+  // path.  NaN compares false with every splitter -> bucket 0.
+  std::vector<double> splitters = {1.0, 2.0, 2.0, 5.0};  // repeated too
+  auto values = random_values(257, 71, 0.0, 6.0);
+  values.insert(values.end(), {1.0, 2.0, 5.0, 0.0, 6.0,
+                               std::numeric_limits<double>::quiet_NaN()});
+
+  std::vector<std::uint32_t> ref(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ref[i] = static_cast<std::uint32_t>(ker::detail::bucket_of_ref(
+        values[i], splitters.data(), splitters.size()));
+  }
+  for (const auto isa : {ker::Isa::kScalar, ker::Isa::kSimd}) {
+    if (isa == ker::Isa::kSimd && !simd_available()) continue;
+    std::vector<std::uint32_t> out(values.size(), 999);
+    ker::bucket_indices(isa, values.data(), values.size(), splitters.data(),
+                        splitters.size(), out.data());
+    EXPECT_EQ(out, ref) << ker::isa_name(isa);
+  }
+}
+
+TEST(KernelsSort, ScalarSimdBitEqualOverRandomShapes) {
+  if (!simd_available()) GTEST_SKIP() << "no AVX2 on this host";
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = rng.uniform_index(200);  // includes n = 0
+    const std::size_t bins = 1 + rng.uniform_index(64);
+    const std::size_t nsplit = rng.uniform_index(12);
+    const auto values = random_values(n, 7000 + static_cast<std::uint64_t>(trial), -1.0, 9.0);
+    std::vector<double> splitters(nsplit);
+    for (std::size_t s = 0; s < nsplit; ++s) {
+      splitters[s] = static_cast<double>(s) * 8.0 /
+                     static_cast<double>(nsplit + 1);
+    }
+
+    std::vector<std::uint64_t> h_scalar(bins, 0), h_simd(bins, 0);
+    ker::histogram(ker::Isa::kScalar, values.data(), n, -1.0, 10.0 / static_cast<double>(bins),
+                   bins, h_scalar.data());
+    ker::histogram(ker::Isa::kSimd, values.data(), n, -1.0, 10.0 / static_cast<double>(bins),
+                   bins, h_simd.data());
+    ASSERT_EQ(h_scalar, h_simd) << "trial " << trial;
+
+    std::vector<std::uint32_t> b_scalar(n), b_simd(n);
+    ker::bucket_indices(ker::Isa::kScalar, values.data(), n,
+                        splitters.data(), nsplit, b_scalar.data());
+    ker::bucket_indices(ker::Isa::kSimd, values.data(), n, splitters.data(),
+                        nsplit, b_simd.data());
+    ASSERT_EQ(b_scalar, b_simd) << "trial " << trial;
+  }
+}

@@ -4,11 +4,15 @@
 // collective forced onto the classic (seed) algorithm.  This pins the
 // "before/after the transport rewrite" contract for Module 2 (distance
 // matrix) and Module 5 (k-means).
+// Since the SIMD kernel dispatch (src/kernels) the same contract covers
+// the compute ISA: forcing --kernel=scalar and --kernel=simd must produce
+// bit-identical module results (the canonical accumulation contract).
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "dataio/dataset.hpp"
+#include "kernels/dispatch.hpp"
 #include "minimpi/runtime.hpp"
 #include "modules/distmatrix/module2.hpp"
 #include "modules/kmeans/module5.hpp"
@@ -17,8 +21,16 @@ namespace mpi = dipdc::minimpi;
 namespace io = dipdc::dataio;
 namespace m2 = dipdc::modules::distmatrix;
 namespace m5 = dipdc::modules::kmeans;
+namespace ker = dipdc::kernels;
 
 namespace {
+
+/// Scalar always; simd too when this host can run it.
+std::vector<ker::Policy> kernel_policies() {
+  std::vector<ker::Policy> policies = {ker::Policy::kScalar};
+  if (ker::simd_supported()) policies.push_back(ker::Policy::kSimd);
+  return policies;
+}
 
 /// The seed's behaviour: no pooling, no zero-copy, no inline storage, and
 /// every collective on its classic algorithm.
@@ -109,6 +121,97 @@ TEST(Determinism, Module5SimTimeAndInertiaAreTransportInvariant) {
       EXPECT_EQ(results[i].sim_time, results[0].sim_time) << "variant " << i;
       EXPECT_EQ(results[i].comm_bytes, results[0].comm_bytes)
           << "variant " << i;
+    }
+  }
+}
+
+TEST(Determinism, Module2ResultsAreKernelIsaInvariant) {
+  // dim % 4 != 0 so the sequential tail runs; one row-wise and one tiled
+  // configuration, plus the symmetric/cyclic extension path.
+  const auto d = io::generate_uniform(97, 17, 0.0, 1.0, 13);
+  struct Shape {
+    std::size_t tile;
+    bool symmetric;
+    m2::RowDistribution dist;
+  };
+  const Shape shapes[] = {
+      {0, false, m2::RowDistribution::kBlock},
+      {24, false, m2::RowDistribution::kBlock},
+      {16, true, m2::RowDistribution::kCyclic},
+  };
+  for (const auto& shape : shapes) {
+    std::vector<m2::Result> results;
+    for (const auto policy : kernel_policies()) {
+      m2::Config cfg;
+      cfg.tile = shape.tile;
+      cfg.symmetric = shape.symmetric;
+      cfg.distribution = shape.dist;
+      cfg.kernel = policy;
+      m2::Result at_root{};
+      mpi::run(4, [&](mpi::Comm& comm) {
+        const auto r = m2::run_distributed(comm, d, cfg);
+        if (comm.rank() == 0) at_root = r;
+      });
+      results.push_back(at_root);
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].checksum, results[0].checksum)
+          << "tile " << shape.tile;
+      EXPECT_EQ(results[i].sim_time, results[0].sim_time)
+          << "tile " << shape.tile;
+    }
+  }
+}
+
+TEST(Determinism, Module2TracedChecksumMatchesDispatchedKernel) {
+  // The cachesim-traced loop nests and the untraced dispatched kernel
+  // follow the same canonical accumulation, so the checksum is identical
+  // (sim_time legitimately differs: tracing measures traffic instead of
+  // estimating it).
+  const auto d = io::generate_uniform(80, 30, 0.0, 1.0, 19);
+  for (const std::size_t tile : {std::size_t{0}, std::size_t{32}}) {
+    double checksum[2] = {0.0, 0.0};
+    for (const bool traced : {false, true}) {
+      m2::Config cfg;
+      cfg.tile = tile;
+      cfg.trace_cache = traced;
+      m2::Result at_root{};
+      mpi::run(3, [&](mpi::Comm& comm) {
+        const auto r = m2::run_distributed(comm, d, cfg);
+        if (comm.rank() == 0) at_root = r;
+      });
+      checksum[traced ? 1 : 0] = at_root.checksum;
+    }
+    EXPECT_EQ(checksum[0], checksum[1]) << "tile " << tile;
+  }
+}
+
+TEST(Determinism, Module5ResultsAreKernelIsaInvariant) {
+  const auto d = io::generate_clusters(1200, 3, 5, 0.4, 0.0, 40.0, 23);
+  for (const auto strategy : {m5::Strategy::kWeightedMeans,
+                              m5::Strategy::kExplicitAssignments}) {
+    for (const auto init : {m5::Init::kFirstK, m5::Init::kPlusPlus}) {
+      std::vector<m5::Result> results;
+      for (const auto policy : kernel_policies()) {
+        m5::Config cfg;
+        cfg.k = 5;
+        cfg.strategy = strategy;
+        cfg.init = init;
+        cfg.kernel = policy;
+        m5::Result at_root{};
+        mpi::run(4, [&](mpi::Comm& comm) {
+          const auto r = m5::distributed(
+              comm, comm.rank() == 0 ? d.data : io::Dataset{}, cfg);
+          if (comm.rank() == 0) at_root = r;
+        });
+        results.push_back(at_root);
+      }
+      for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].centroids, results[0].centroids);
+        EXPECT_EQ(results[i].inertia, results[0].inertia);
+        EXPECT_EQ(results[i].iterations, results[0].iterations);
+        EXPECT_EQ(results[i].sim_time, results[0].sim_time);
+      }
     }
   }
 }

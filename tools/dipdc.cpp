@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "dataio/dataset.hpp"
+#include "kernels/dispatch.hpp"
 #include "minimpi/comm.hpp"
 #include "minimpi/faults.hpp"
 #include "minimpi/runtime.hpp"
@@ -67,6 +68,9 @@ struct Common {
   bool trace_wall = false;
   std::string faults;  // --faults spec, empty = no injection
   std::uint64_t fault_seed = 1;
+  /// --kernel=auto|scalar|simd: compute-kernel ISA for modules 2/3/5
+  /// (results are bit-identical either way; this is a perf knob).
+  dipdc::kernels::Policy kernel = dipdc::kernels::Policy::kAuto;
 
   /// Anything that needs the event recorder armed?
   [[nodiscard]] bool wants_trace() const {
@@ -109,7 +113,14 @@ void maybe_reports(const Common& c, const mpi::RunResult& result) {
                 mpi::transport_report(result.total_stats()).c_str());
   }
   if (c.metrics || !c.metrics_csv.empty()) {
-    const dipdc::obs::Registry reg = mpi::build_metrics(result);
+    dipdc::obs::Registry reg = mpi::build_metrics(result);
+    // Which compute-kernel ISA the run dispatched to (1 = SIMD, 0 =
+    // scalar), so recorded metrics identify the code path they measured.
+    reg.set_gauge("kernel.dispatch",
+                  dipdc::kernels::resolve(c.kernel) ==
+                          dipdc::kernels::Isa::kSimd
+                      ? 1.0
+                      : 0.0);
     if (c.metrics) std::printf("\n%s", reg.report().c_str());
     if (!c.metrics_csv.empty()) write_file(c.metrics_csv, reg.to_csv());
   }
@@ -175,6 +186,7 @@ int run_module2(const ArgParser& args, const Common& c) {
   m2::Config cfg;
   cfg.tile = static_cast<std::size_t>(args.get_int("tile", 0));
   cfg.trace_cache = args.get_bool("trace-cache", false);
+  cfg.kernel = c.kernel;
   const auto d = io::generate_uniform(n, dim, 0.0, 1.0, c.seed);
   m2::Result r;
   const auto result = mpi::run(
@@ -210,6 +222,7 @@ int run_module3(const ArgParser& args, const Common& c) {
                    : m3::SplitterPolicy::kEqualWidth;
   cfg.lo = 0.0;
   cfg.hi = 10.0;
+  cfg.kernel = c.kernel;
   m3::Result r;
   const auto result = mpi::run(
       c.ranks,
@@ -280,6 +293,7 @@ int run_module5(const ArgParser& args, const Common& c) {
   cfg.strategy = args.get("strategy", "weighted") == "explicit"
                      ? m5::Strategy::kExplicitAssignments
                      : m5::Strategy::kWeightedMeans;
+  cfg.kernel = c.kernel;
   const auto data = io::generate_clusters(n, 2, k, 1.0, 0.0, 100.0, c.seed);
   m5::Result r;
   const auto result = mpi::run(
@@ -404,6 +418,11 @@ void usage() {
       "  --faults=SPEC        deterministic fault injection\n"
       "  --fault-seed=N       seed of the per-rank fault streams "
       "(default 1)\n"
+      "  --kernel=P           compute-kernel ISA for modules 2/3/5: "
+      "auto|scalar|simd\n"
+      "                       (default auto; DIPDC_KERNEL env works too; "
+      "results are\n"
+      "                       bit-identical either way)\n"
       "  --help               this summary\n"
       "fault spec: drop=P dup=P delay=P[:S] kill=R[@N] retries=K timeout=S\n"
       "            (comma-separated, e.g. --faults=drop=0.1,retries=4)\n"
@@ -431,7 +450,7 @@ const std::vector<std::string>& known_options() {
       // global
       "ranks", "nodes", "seed", "timeline", "transport-stats", "metrics",
       "metrics-csv", "trace-json", "trace-wall", "faults", "fault-seed",
-      "help",
+      "kernel", "help",
       // module1
       "activity", "iterations", "bytes", "messages",
       // module2
@@ -491,6 +510,12 @@ int main(int argc, char** argv) {
   c.trace_wall = args.get_bool("trace-wall", false);
   c.faults = args.get("faults");
   c.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+  try {
+    c.kernel = dipdc::kernels::parse_policy(args.get("kernel", "auto"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   try {
     const std::string& cmd = args.command();
