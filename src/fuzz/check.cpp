@@ -7,6 +7,8 @@
 #include <set>
 #include <sstream>
 
+#include "minimpi/backend.hpp"
+
 namespace dipdc::fuzz {
 
 namespace {
@@ -311,6 +313,55 @@ CheckResult check(const Program& p, const Expectation& e,
 CheckResult check(const Program& p, const ExecutionOutcome& out) {
   const Expectation e = oracle(p);
   return check(p, e, out);
+}
+
+std::string BackendEquivalence::summary(std::size_t max_lines) const {
+  if (ok) return "ok";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < std::min(failures.size(), max_lines); ++i) {
+    os << failures[i] << "\n";
+  }
+  if (failures.size() > max_lines) {
+    os << "... (" << failures.size() - max_lines << " more)\n";
+  }
+  return os.str();
+}
+
+BackendEquivalence check_across_backends(const Program& p, bool skip_shm) {
+  const Expectation e = oracle(p);
+  const minimpi::FaultOptions& f = p.options.faults;
+  const bool lossy = f.drop_prob > 0.0 || f.dup_prob > 0.0;
+  const bool kills = f.kill_rank >= 0 && f.kill_at_call > 0;
+  const bool compare_digests = !lossy && !kills;
+
+  BackendEquivalence eq;
+  eq.digests.resize(3);
+  std::string threads_digest;
+  for (const minimpi::BackendKind kind :
+       {minimpi::BackendKind::kThreads, minimpi::BackendKind::kShm,
+        minimpi::BackendKind::kTcp}) {
+    if (skip_shm && kind == minimpi::BackendKind::kShm) continue;
+    Program variant = p;
+    variant.options.backend.kind = kind;
+    const ExecutionOutcome out = execute(variant);
+    const CheckResult res = check(variant, e, out);
+    const char* name = minimpi::to_string(kind);
+    for (const std::string& fail : res.failures) {
+      eq.ok = false;
+      eq.failures.push_back(std::string(name) + ": " + fail);
+    }
+    const std::string d = digest(variant, e, out);
+    eq.digests[static_cast<std::size_t>(kind)] = d;
+    if (kind == minimpi::BackendKind::kThreads) {
+      threads_digest = d;
+    } else if (compare_digests && d != threads_digest) {
+      eq.ok = false;
+      eq.failures.push_back(std::string(name) + ": outcome digest " + d +
+                            " differs from threads digest " +
+                            threads_digest);
+    }
+  }
+  return eq;
 }
 
 std::string digest(const Program& p, const Expectation& e,

@@ -194,8 +194,12 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
     env->trace_seq = rec->alloc_seq(world_rank_);
     st.last_tx_seq = env->trace_seq;
   }
+  // Zero-copy borrowing is only sound when the receiver lives in this
+  // address space; across the shm/tcp seam the borrow degrades to a copy
+  // (satellite of the backend work: fail safe, never dangle).
   env->payload =
-      build_payload(data, /*borrow_ok=*/rendezvous,
+      build_payload(data,
+                    /*borrow_ok=*/rendezvous && runtime_->backend_shares_memory(),
                     runtime_->options().transport, runtime_->buffer_pool(),
                     st.stats);
 
@@ -219,13 +223,26 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
                                  runtime_->buffer_pool(), st.stats);
   }
 
-  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  // Simulated-timing fields are computed BEFORE the transport seam so they
+  // travel inside the frame and delivery reconstructs the identical event
+  // on every backend.  No lock needed: st.clock is mutated only by this
+  // thread and the cost model is immutable.
   const double alpha = cost_model().message_time(world_rank_, wdest, 0);
   const double overhead = cost_model().send_overhead();
   env->arrival_head = st.clock + alpha + fault.delay;
   if (fault.delay > 0.0) ++st.stats.fault_delays;
   env->byte_time =
       cost_model().message_time(world_rank_, wdest, data.size()) - alpha;
+  if (dup) {
+    dup->arrival_head = env->arrival_head;
+    dup->byte_time = env->byte_time;
+  }
+  // Cross the transport seam (identity on the threads backend; a serialize/
+  // round-trip/deserialize through the router or relay on shm/tcp).
+  env = runtime_->transport_envelope(std::move(env));
+  if (dup) dup = runtime_->transport_envelope(std::move(dup));
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
   st.stats.transport_bytes_sent += data.size();
   ++st.stats.transport_messages_sent;
   if (!internal) {
@@ -247,8 +264,6 @@ void Comm::send_bytes(std::span<const std::byte> data, int dest, int tag,
   };
   finish_delivery(env);
   if (dup) {
-    dup->arrival_head = env->arrival_head;
-    dup->byte_time = env->byte_time;
     st.stats.transport_bytes_sent += data.size();
     ++st.stats.transport_messages_sent;
     finish_delivery(dup);
@@ -445,16 +460,25 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
                                  runtime_->buffer_pool(), st.stats);
   }
 
-  auto req = std::make_shared<detail::RequestState>();
-  req->kind = detail::RequestState::Kind::kSend;
-  req->envelope = env;
-
-  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  // Timing before the seam, seam before the lock (see send_bytes).
   const double alpha = cost_model().message_time(world_rank_, wdest, 0);
   env->arrival_head = st.clock + alpha + fault.delay;
   if (fault.delay > 0.0) ++st.stats.fault_delays;
   env->byte_time =
       cost_model().message_time(world_rank_, wdest, data.size()) - alpha;
+  if (dup) {
+    dup->arrival_head = env->arrival_head;
+    dup->byte_time = env->byte_time;
+  }
+  env = runtime_->transport_envelope(std::move(env));
+  if (dup) dup = runtime_->transport_envelope(std::move(dup));
+
+  // wait()/test() track the envelope that was actually delivered.
+  auto req = std::make_shared<detail::RequestState>();
+  req->kind = detail::RequestState::Kind::kSend;
+  req->envelope = env;
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
   st.stats.transport_bytes_sent += data.size();
   ++st.stats.transport_messages_sent;
   if (!internal) {
@@ -476,8 +500,6 @@ Request Comm::isend_bytes(std::span<const std::byte> data, int dest, int tag,
   };
   finish_delivery(env);
   if (dup) {
-    dup->arrival_head = env->arrival_head;
-    dup->byte_time = env->byte_time;
     st.stats.transport_bytes_sent += data.size();
     ++st.stats.transport_messages_sent;
     finish_delivery(dup);
@@ -601,12 +623,18 @@ void Comm::send_staged(const detail::StagedBuffer& data, int dest, int tag) {
                                  runtime_->buffer_pool(), st.stats);
   }
 
-  std::unique_lock<std::mutex> lock(runtime_->mutex());
+  // Timing before the seam, seam before the lock (see send_bytes).  A
+  // shared staging buffer crossing the shm/tcp seam is flattened into the
+  // frame by serialization — the refcounted buffer stays valid throughout,
+  // so sharing into the envelope is safe on every backend.
   const double alpha = cost_model().message_time(world_rank_, wdest, 0);
   const double overhead = cost_model().send_overhead();
   env->arrival_head = st.clock + alpha;
   env->byte_time =
       cost_model().message_time(world_rank_, wdest, data.len) - alpha;
+  env = runtime_->transport_envelope(std::move(env));
+
+  std::unique_lock<std::mutex> lock(runtime_->mutex());
   st.stats.transport_bytes_sent += data.len;
   ++st.stats.transport_messages_sent;
   auto pending = runtime_->deliver_locked(env);

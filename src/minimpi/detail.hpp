@@ -64,6 +64,12 @@ class Payload {
   /// True when the bytes live in a shared heap buffer that a receiver can
   /// adopt (refcount) instead of copying.
   [[nodiscard]] bool shareable() const { return storage_ == Storage::kHeap; }
+  /// True when the bytes are a raw span of another rank's stack/heap — only
+  /// valid while that rank stays blocked, and never safe to carry across an
+  /// address-space boundary (Runtime::transport_envelope guards on this).
+  [[nodiscard]] bool is_borrowed() const {
+    return storage_ == Storage::kBorrowed;
+  }
   [[nodiscard]] const Buffer& buffer() const { return heap_; }
   [[nodiscard]] std::size_t buffer_offset() const { return offset_; }
   /// The shared heap range as a StagedBuffer (shareable() only).
@@ -272,6 +278,12 @@ struct RankState {
   /// assert they agree channel by channel.
   std::unordered_map<int, ChannelCount> channel_sent;      // key: dest world
   std::unordered_map<int, ChannelCount> channel_received;  // key: src world
+
+  /// Serialization scratch for the backend seam, reused across sends so
+  /// frame buffers amortise like the envelope pool.  Touched only by the
+  /// owning rank's thread, outside the runtime lock.
+  std::vector<std::byte> backend_tx_frame;
+  std::vector<std::byte> backend_rx_frame;
 
   /// Per-rank fault stream (seeded by Runtime from FaultOptions::seed).
   support::Xoshiro256 fault_rng{0};

@@ -3,10 +3,45 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "perfmodel/machine.hpp"
 
 namespace dipdc::minimpi {
+
+/// Which transport carries envelope frames between ranks (see
+/// minimpi/backend.hpp for the seam itself).
+///
+///  - kThreads: ranks are threads in one address space and envelopes are
+///    handed across by pointer — the seed behaviour, zero overhead.
+///  - kShm: every envelope is serialized into a length-prefixed frame and
+///    round-trips through shared-memory rings serviced by a forked router
+///    *process*, forcing true payload serialization across an address-space
+///    boundary.
+///  - kTcp: frames round-trip through loopback TCP sockets pumped by a
+///    nonblocking relay loop, pushing every payload through the kernel
+///    network stack.
+///
+/// Simulated results are bit-identical across backends: the simulated
+/// timing fields travel inside the frame, and matching/ordering stay above
+/// the seam.  Only the real-world transport of the bytes changes.
+enum class BackendKind { kThreads, kShm, kTcp };
+
+struct BackendOptions {
+  BackendKind kind = BackendKind::kThreads;
+
+  /// Shared-memory backend: ring capacity per rank per direction.  Frames
+  /// larger than the ring stream through it in chunks, so this bounds
+  /// memory, not message size.
+  std::size_t shm_ring_bytes = 1 << 20;
+
+  /// TCP backend: address the relay listens on.  Loopback by default; a
+  /// routable address is the first step towards ranks on other machines.
+  std::string tcp_host = "127.0.0.1";
+  /// TCP backend: relay port; 0 picks an ephemeral port (concurrent worlds
+  /// never collide).
+  std::uint16_t tcp_port = 0;
+};
 
 /// Deterministic fault-injection plan.  Faults are drawn from per-rank
 /// xoshiro256** streams derived from `seed`, so the same (plan, seed,
@@ -126,6 +161,10 @@ struct CollectiveOptions {
 };
 
 struct RuntimeOptions {
+  /// Transport backend carrying envelope frames between ranks.  The
+  /// default (threads) is bit-identical to builds predating the seam.
+  BackendOptions backend{};
+
   /// Messages of at most this many payload bytes are sent eagerly: the
   /// sender buffers and returns immediately (like MPI's eager protocol).
   /// Larger messages use a rendezvous: the sender blocks until the receiver

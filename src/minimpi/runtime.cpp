@@ -65,6 +65,41 @@ Runtime::Runtime(int nranks, RuntimeOptions options)
     rank_states_[static_cast<std::size_t>(r)].fault_rng = support::make_stream(
         options_.faults.seed, static_cast<std::uint64_t>(r));
   }
+  // Build and connect the transport backend before any rank thread exists:
+  // the shm backend forks its router process here, while this process is
+  // still single-threaded (fork + threads is a footgun otherwise).
+  backend_ = detail_backend::make_backend(options_.backend);
+  backend_shares_ = backend_->shares_address_space();
+  backend_->connect(nranks);
+}
+
+Runtime::~Runtime() {
+  try {
+    backend_->finalize();
+  } catch (...) {
+    // Destructor teardown must not throw; the backend already surfaced any
+    // real transport failure to the rank that hit it.
+  }
+}
+
+std::shared_ptr<detail::Envelope> Runtime::transport_envelope(
+    std::shared_ptr<detail::Envelope> env) {
+  if (backend_shares_) return env;
+  DIPDC_REQUIRE(!env->payload.is_borrowed(),
+                "borrowed payload cannot cross a non-shared-memory backend; "
+                "senders must degrade zero-copy to a copy at the seam");
+  // The scratch frames live in the sending rank's state and are only ever
+  // touched by that rank's own thread, outside the runtime lock.
+  detail::RankState& st = rank_state(env->src_world);
+  detail_backend::serialize_envelope(*env, st.backend_tx_frame);
+  backend_->send(env->src_world, st.backend_tx_frame);
+  backend_->recv(env->src_world, st.backend_rx_frame);
+  std::shared_ptr<detail::Envelope> delivered = acquire_envelope();
+  detail_backend::deserialize_envelope(st.backend_rx_frame, *delivered,
+                                       *buffer_pool_);
+  st.stats.backend_frames += 1;
+  st.stats.backend_wire_bytes += st.backend_tx_frame.size();
+  return delivered;
 }
 
 std::shared_ptr<detail::RequestState> Runtime::deliver_locked(

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "minimpi/backend.hpp"
 #include "minimpi/detail.hpp"
 #include "minimpi/options.hpp"
 #include "minimpi/stats.hpp"
@@ -70,6 +71,7 @@ namespace detail_runtime {
 class Runtime {
  public:
   Runtime(int nranks, RuntimeOptions options);
+  ~Runtime();
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -143,6 +145,25 @@ class Runtime {
   /// Reserves `n` consecutive communicator context ids (for split()).
   int allocate_contexts(int n) { return next_context_.fetch_add(n); }
 
+  /// The transport backend carrying envelope frames (see backend.hpp).
+  [[nodiscard]] detail_backend::Backend& backend() { return *backend_; }
+
+  /// True when ranks share one address space (threads backend), so
+  /// envelopes cross by pointer and zero-copy payload handoff is safe.
+  [[nodiscard]] bool backend_shares_memory() const { return backend_shares_; }
+
+  /// Pushes `env` through the transport backend and returns the envelope
+  /// that actually gets delivered.  On the threads backend this is `env`
+  /// itself (no serialization).  On shm/tcp the envelope is serialized,
+  /// round-trips through the foreign transport (router process / loopback
+  /// relay), and comes back as a fresh pooled envelope that owns its
+  /// payload bytes.  Must be called WITHOUT the runtime lock, by the
+  /// sending rank's own thread (it blocks on the backend channel).
+  /// Borrowed payloads are rejected loudly — callers must degrade
+  /// zero-copy to a copy before crossing the seam.
+  [[nodiscard]] std::shared_ptr<detail::Envelope> transport_envelope(
+      std::shared_ptr<detail::Envelope> env);
+
  private:
   struct Waiter {
     int rank;
@@ -169,6 +190,8 @@ class Runtime {
   std::shared_ptr<detail::EnvelopePool> envelope_pool_;
   std::vector<detail::Mailbox> mailboxes_;
   std::vector<detail::RankState> rank_states_;
+  std::unique_ptr<detail_backend::Backend> backend_;
+  bool backend_shares_ = true;
   std::unique_ptr<obs::Recorder> recorder_;  // non-null iff record_trace
   std::atomic<int> next_context_{1};
   std::vector<Waiter*> waiters_;

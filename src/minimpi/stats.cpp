@@ -25,6 +25,8 @@ CommStats& CommStats::operator+=(const CommStats& other) {
   zero_copy_bytes += other.zero_copy_bytes;
   copied_bytes += other.copied_bytes;
   rendezvous_stalls += other.rendezvous_stalls;
+  backend_frames += other.backend_frames;
+  backend_wire_bytes += other.backend_wire_bytes;
   fault_drops += other.fault_drops;
   fault_dups += other.fault_dups;
   fault_delays += other.fault_delays;
@@ -50,6 +52,10 @@ std::string transport_report(const CommStats& stats) {
   os << "  bytes zero-copy: " << stats.zero_copy_bytes
      << ", copied: " << stats.copied_bytes << "\n";
   os << "  rendezvous stalls: " << stats.rendezvous_stalls << "\n";
+  if (stats.backend_frames != 0) {
+    os << "  backend frames: " << stats.backend_frames << ", wire bytes: "
+       << stats.backend_wire_bytes << "\n";
+  }
   if (stats.fault_drops != 0 || stats.fault_dups != 0 ||
       stats.fault_delays != 0 || stats.reliable_retries != 0 ||
       stats.reliable_timeouts != 0 || stats.reliable_duplicates != 0) {
@@ -92,6 +98,10 @@ void register_comm_stats(obs::Registry& reg, const CommStats& stats) {
   reg.set_counter("transport.zero_copy_bytes", stats.zero_copy_bytes);
   reg.set_counter("transport.copied_bytes", stats.copied_bytes);
   reg.set_counter("transport.rendezvous_stalls", stats.rendezvous_stalls);
+  if (stats.backend_frames != 0) {
+    reg.set_counter("transport.backend_frames", stats.backend_frames);
+    reg.set_counter("transport.backend_wire_bytes", stats.backend_wire_bytes);
+  }
   if (stats.fault_drops != 0) reg.set_counter("fault.drops", stats.fault_drops);
   if (stats.fault_dups != 0) reg.set_counter("fault.dups", stats.fault_dups);
   if (stats.fault_delays != 0) {

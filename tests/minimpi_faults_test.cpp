@@ -418,30 +418,49 @@ TEST(SubcommFaults, KillAfterSplitFailsSurvivorsInBothSubcomms) {
   // Rank 3 dies after the split (its 2nd primitive call).  Rank death
   // degrades the whole world, so survivors blocked in either subcomm —
   // including the one rank 3 never joined — must all see RankFailedError.
+  //
+  // This test was the long-standing "passes on rerun" flake in this
+  // binary.  The earlier version raced on thread scheduling twice over:
+  //  (a) it ran a BOUNDED loop of 50 allreduces, silently assuming the
+  //      kill (rank 3's 2nd call) lands before the independent even
+  //      subcomm drains all 50 — on a loaded one-core host ranks 0/1
+  //      could finish first and return cleanly; and
+  //  (b) it counted failures only inside the loop, while the split
+  //      itself sat outside the try — a survivor scheduled late enough
+  //      correctly observes RankFailedError already AT its split call
+  //      and slipped past the counter.
+  // Neither was a runtime bug: every rank always got RankFailedError.
+  // The loop is now unbounded (the even subcomm can never outrun the
+  // kill; a genuine propagation bug shows up as a test timeout, not a
+  // flake) and the counter wraps the whole rank body, so the outcome is
+  // schedule-independent.  Repeated in-process to pin that cheaply.
   mpi::FaultOptions plan;
   plan.kill_rank = 3;
   plan.kill_at_call = 2;
-  std::atomic<int> failures{0};
-  EXPECT_THROW(
-      mpi::run(
-          4,
-          [&failures](mpi::Comm& world) {
-            mpi::Comm sub = world.split(world.rank() / 2, world.rank());
-            try {
-              for (int i = 0; i < 50; ++i) {
-                (void)sub.allreduce_value(i, [](int a, int b) {
-                  return a + b;
-                });
+  for (int rep = 0; rep < 10; ++rep) {
+    SCOPED_TRACE(rep);
+    std::atomic<int> failures{0};
+    EXPECT_THROW(
+        mpi::run(
+            4,
+            [&failures](mpi::Comm& world) {
+              try {
+                mpi::Comm sub = world.split(world.rank() / 2, world.rank());
+                for (int i = 0;; ++i) {
+                  (void)sub.allreduce_value(i, [](int a, int b) {
+                    return a + b;
+                  });
+                }
+              } catch (const mpi::RankFailedError&) {
+                failures.fetch_add(1);
+                throw;
               }
-            } catch (const mpi::RankFailedError&) {
-              failures.fetch_add(1);
-              throw;
-            }
-          },
-          with_faults(plan)),
-      mpi::RankFailedError);
-  // The killed rank observes its own death as RankFailedError too: 4.
-  EXPECT_EQ(failures.load(), 4) << "every rank must fail, none may hang";
+            },
+            with_faults(plan)),
+        mpi::RankFailedError);
+    // The killed rank observes its own death as RankFailedError too: 4.
+    EXPECT_EQ(failures.load(), 4) << "every rank must fail, none may hang";
+  }
 }
 
 TEST(ReliableDelivery, SoleSurvivorSenderTimesOutInsteadOfHanging) {

@@ -22,8 +22,10 @@
 // bit-identical), --metrics (print the unified metrics registry),
 // --metrics-csv=FILE (write the registry as CSV), --faults=<spec>
 // (deterministic fault injection, e.g. "drop=0.1,dup=0.05,kill=3@40,
-// retries=4"; grammar in minimpi/faults.hpp) and --fault-seed=N (seed of
-// the per-rank fault streams).  --help prints the usage summary.
+// retries=4"; grammar in minimpi/faults.hpp), --fault-seed=N (seed of
+// the per-rank fault streams) and --backend=threads|shm|tcp (transport
+// backend; simulated results are bit-identical on all three).  --help
+// prints the usage summary.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -31,6 +33,7 @@
 
 #include "dataio/dataset.hpp"
 #include "kernels/dispatch.hpp"
+#include "minimpi/backend.hpp"
 #include "minimpi/comm.hpp"
 #include "minimpi/faults.hpp"
 #include "minimpi/runtime.hpp"
@@ -68,6 +71,9 @@ struct Common {
   bool trace_wall = false;
   std::string faults;  // --faults spec, empty = no injection
   std::uint64_t fault_seed = 1;
+  /// --backend=threads|shm|tcp: how ranks exchange bytes underneath the
+  /// simulator (results are bit-identical either way; see DESIGN.md).
+  mpi::BackendKind backend = mpi::BackendKind::kThreads;
   /// --kernel=auto|scalar|simd: compute-kernel ISA for modules 2/3/5
   /// (results are bit-identical either way; this is a perf knob).
   dipdc::kernels::Policy kernel = dipdc::kernels::Policy::kAuto;
@@ -81,6 +87,7 @@ struct Common {
 
 mpi::RuntimeOptions options_for(const Common& c) {
   mpi::RuntimeOptions opts;
+  opts.backend.kind = c.backend;
   opts.machine = pm::MachineConfig::monsoon_like(c.nodes);
   opts.record_trace = c.wants_trace();
   opts.trace_wall_time = c.trace_wall;
@@ -418,6 +425,12 @@ void usage() {
       "  --faults=SPEC        deterministic fault injection\n"
       "  --fault-seed=N       seed of the per-rank fault streams "
       "(default 1)\n"
+      "  --backend=B          transport backend: threads|shm|tcp "
+      "(default threads;\n"
+      "                       shm forks a router process, tcp uses loopback "
+      "sockets;\n"
+      "                       simulated results are bit-identical on all "
+      "three)\n"
       "  --kernel=P           compute-kernel ISA for modules 2/3/5: "
       "auto|scalar|simd\n"
       "                       (default auto; DIPDC_KERNEL env works too; "
@@ -450,7 +463,7 @@ const std::vector<std::string>& known_options() {
       // global
       "ranks", "nodes", "seed", "timeline", "transport-stats", "metrics",
       "metrics-csv", "trace-json", "trace-wall", "faults", "fault-seed",
-      "kernel", "help",
+      "backend", "kernel", "help",
       // module1
       "activity", "iterations", "bytes", "messages",
       // module2
@@ -510,6 +523,13 @@ int main(int argc, char** argv) {
   c.trace_wall = args.get_bool("trace-wall", false);
   c.faults = args.get("faults");
   c.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+  const std::string backend_name = args.get("backend", "threads");
+  if (!mpi::parse_backend_kind(backend_name, &c.backend)) {
+    std::fprintf(stderr,
+                 "error: unknown --backend '%s' (threads|shm|tcp)\n",
+                 backend_name.c_str());
+    return 2;
+  }
   try {
     c.kernel = dipdc::kernels::parse_policy(args.get("kernel", "auto"));
   } catch (const std::exception& e) {

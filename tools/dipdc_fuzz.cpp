@@ -18,7 +18,9 @@
 // --faults=auto|none|<spec> (default auto: a random plan is drawn per
 // seed), --fault-seed=F, --shrink=0 (skip minimisation), --out=DIR (where
 // repro artifacts go), --keep-going (do not stop at the first failure),
-// --print (list each failing program), --replay=FILE, --smoke.
+// --print (list each failing program), --replay=FILE, --backend=B (run on
+// the threads/shm/tcp transport), --cross-backend (every seed on all three
+// backends with bit-identical digests), --smoke.
 //
 // Exit codes: 0 all seeds clean, 1 mismatch found (or replay failed),
 // 2 bad command line.
@@ -35,9 +37,11 @@
 #include "fuzz/program.hpp"
 #include "fuzz/seedfile.hpp"
 #include "fuzz/shrink.hpp"
+#include "minimpi/backend.hpp"
 #include "support/args.hpp"
 
 namespace fuzz = dipdc::fuzz;
+namespace mpi = dipdc::minimpi;
 using dipdc::support::ArgParser;
 using dipdc::support::closest_match;
 
@@ -63,6 +67,9 @@ void usage() {
       "  --keep-going      do not stop at the first failure\n"
       "  --print           list each failing (or replayed) program\n"
       "  --replay=FILE     re-run a persisted .seed failure file\n"
+      "  --backend=B       transport backend: threads (default), shm, tcp\n"
+      "  --cross-backend   run every seed on all three backends and require\n"
+      "                    bit-identical digests (overrides --backend)\n"
       "  --smoke           quick PR-gate preset (40 seeds, small programs)\n"
       "  --help            this summary\n"
       "environment:\n"
@@ -82,13 +89,20 @@ struct Config {
   bool print = false;
   std::string out_dir = ".";
   std::string replay_file;
+  mpi::BackendKind backend = mpi::BackendKind::kThreads;
+  bool cross_backend = false;
 };
 
 /// Failure predicate for the shrinker.  Wildcard and fault bugs can be
 /// scheduling-dependent, so a candidate is run a few times and counts as
-/// failing if any run fails.
-bool still_fails(const fuzz::Program& p, int repeats) {
+/// failing if any run fails.  In cross-backend mode the candidate fails if
+/// any backend leg fails (or the digests diverge) in any repeat.
+bool still_fails(const Config& cfg, const fuzz::Program& p, int repeats) {
   for (int i = 0; i < repeats; ++i) {
+    if (cfg.cross_backend) {
+      if (!fuzz::check_across_backends(p).ok) return true;
+      continue;
+    }
     const fuzz::ExecutionOutcome out = fuzz::execute(p);
     if (!fuzz::check(p, out).ok) return true;
   }
@@ -103,22 +117,23 @@ int shrink_repeats(const fuzz::Program& p) {
 /// Shrinks a failing program and writes <out>/repro-<seed>.seed plus
 /// <out>/repro-<seed>.cpp.
 void handle_failure(const Config& cfg, const fuzz::Program& failing,
-                    const fuzz::CheckResult& result) {
+                    const std::string& summary) {
   std::printf("FAIL seed=%llu fault_seed=%llu ranks=%d ops=%zu%s%s\n",
               static_cast<unsigned long long>(failing.seed),
               static_cast<unsigned long long>(failing.fault_seed),
               failing.nranks, failing.op_count(),
               failing.fault_spec.empty() ? "" : " faults=",
               failing.fault_spec.c_str());
-  std::printf("%s", result.summary().c_str());
+  std::printf("%s", summary.c_str());
 
   fuzz::Program minimal = failing;
   bool faults_dropped = false;
   if (cfg.do_shrink) {
     const int repeats = shrink_repeats(failing);
     const fuzz::ShrinkResult shrunk = fuzz::shrink(
-        failing,
-        [&](const fuzz::Program& cand) { return still_fails(cand, repeats); });
+        failing, [&](const fuzz::Program& cand) {
+          return still_fails(cfg, cand, repeats);
+        });
     minimal = shrunk.program;
     faults_dropped = shrunk.faults_dropped;
     std::printf("shrunk: %zu -> %zu ops (%d evaluations)\n",
@@ -145,12 +160,22 @@ void handle_failure(const Config& cfg, const fuzz::Program& failing,
 
 int run_replay(const Config& cfg) {
   const fuzz::SeedSpec spec = fuzz::load_seed(cfg.replay_file);
-  const fuzz::Program p = spec.materialize();
+  fuzz::Program p = spec.materialize();
+  p.options.backend.kind = cfg.backend;
   std::printf("replay %s: seed=%llu ranks=%d ops=%zu%s%s\n",
               cfg.replay_file.c_str(),
               static_cast<unsigned long long>(p.seed), p.nranks, p.op_count(),
               p.fault_spec.empty() ? "" : " faults=", p.fault_spec.c_str());
   if (cfg.print) std::printf("%s", fuzz::describe(p).c_str());
+  if (cfg.cross_backend) {
+    const fuzz::BackendEquivalence eq = fuzz::check_across_backends(p);
+    if (eq.ok) {
+      std::printf("replay PASSED on every backend\n");
+      return 0;
+    }
+    std::printf("replay FAILED (reproduced):\n%s", eq.summary().c_str());
+    return 1;
+  }
   const fuzz::ExecutionOutcome out = fuzz::execute(p);
   const fuzz::CheckResult result = fuzz::check(p, out);
   if (result.ok) {
@@ -167,13 +192,23 @@ int run_fuzz(const Config& cfg) {
   long executed = 0;
   for (long i = 0; i < cfg.seeds; ++i) {
     const std::uint64_t seed = cfg.base_seed + static_cast<std::uint64_t>(i);
-    const fuzz::Program p = fuzz::generate(seed, cfg.gen);
+    fuzz::Program p = fuzz::generate(seed, cfg.gen);
+    p.options.backend.kind = cfg.backend;
+    ++executed;
+    if (cfg.cross_backend) {
+      const fuzz::BackendEquivalence eq = fuzz::check_across_backends(p);
+      if (!eq.ok) {
+        ++failures;
+        handle_failure(cfg, p, eq.summary());
+        if (!cfg.keep_going) break;
+      }
+      continue;
+    }
     const fuzz::ExecutionOutcome out = fuzz::execute(p);
     const fuzz::CheckResult result = fuzz::check(p, out);
-    ++executed;
     if (!result.ok) {
       ++failures;
-      handle_failure(cfg, p, result);
+      handle_failure(cfg, p, result.summary());
       if (!cfg.keep_going) break;
     }
   }
@@ -189,7 +224,7 @@ const std::vector<std::string>& known_options() {
   static const std::vector<std::string> kKnown = {
       "seeds",      "seed",   "ranks",      "ops",  "max-bytes",
       "faults",     "fault-seed", "shrink", "out",  "keep-going",
-      "print",      "replay", "smoke", "help",
+      "print",      "replay", "backend", "cross-backend", "smoke", "help",
   };
   return kKnown;
 }
@@ -252,6 +287,14 @@ int main(int argc, char** argv) {
   cfg.print = args.get_bool("print", false);
   cfg.out_dir = args.get("out", ".");
   cfg.replay_file = args.get("replay");
+  const std::string backend_name = args.get("backend", "threads");
+  if (!mpi::parse_backend_kind(backend_name, &cfg.backend)) {
+    std::fprintf(stderr,
+                 "error: unknown --backend '%s' (threads|shm|tcp)\n",
+                 backend_name.c_str());
+    return 2;
+  }
+  cfg.cross_backend = args.get_bool("cross-backend", false);
 
   try {
     if (!cfg.replay_file.empty()) return run_replay(cfg);
