@@ -1,0 +1,690 @@
+// Elastic, weight-driven distributed container over minimpi.
+//
+// A Container<T> holds a global 1-D array of `total` elements (each element
+// is `stride` consecutive T values) distributed across the ranks of a
+// communicator by a range Partitioning.  Three operations change the
+// distribution, all of them collective:
+//
+//   * repartition()/rebalance(t) — recompute weight-driven cuts from the
+//     measured per-element weights and materialize the transition as an
+//     alltoallv exchange (data and weights move together).  Every rank
+//     derives the cuts independently from the same allgathered weight
+//     vector with pure integer arithmetic, then an allreduce(MIN) over an
+//     FNV hash of the cuts asserts agreement.  When the new cuts equal the
+//     old ones nothing is exchanged, so calling rebalance() repeatedly at a
+//     threshold boundary cannot ping-pong.
+//   * adopt(new_local) — the owner-computes escape hatch: an algorithm that
+//     already exchanged data itself (e.g. a bucket sort) hands the
+//     container its new local slab and the container rebuilds the cuts from
+//     one allgather of the per-rank counts.  Weights reset to 1.
+//
+// Fault tolerance is explicit, not ambient.  checkpoint(blob) snapshots the
+// local slab (plus an opaque, globally replicated blob — iteration state)
+// and mirrors it to the ring buddy (rank+1)%p with two sendrecvs.  After a
+// rank kill the survivors shrink the communicator (Comm::shrink()) and call
+// recover(new_comm): the survivors agree on the newest checkpoint
+// generation that every self ring and the dead rank's buddy ring can serve,
+// gatherv the generation's slabs to the new root (displaced at their old
+// global ranges, so the array reassembles in place), re-cut over the
+// survivors by the checkpointed weights, and scatterv the result.  If no
+// consistent generation exists, a container built by scatter() falls back
+// to the source retained at the old root.  Three snapshot generations are
+// kept because checkpoint generations across ranks can skew by one when a
+// kill interrupts the buddy exchange (see docs/handbook/containers.md for
+// the bound).
+//
+// Checkpoints must be separated by at least one collective on the same
+// communicator (any real iteration loop does this); that is what bounds the
+// generation skew the ring must cover.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "container/partitioning.hpp"
+#include "minimpi/comm.hpp"
+#include "minimpi/error.hpp"
+#include "support/error.hpp"
+
+namespace dipdc::container {
+
+/// Counters a Container accumulates over its lifetime (local view).
+struct ContainerStats {
+  std::uint64_t repartitions = 0;     // exchanges that moved ownership
+  std::uint64_t rebalance_noops = 0;  // repartition calls that kept the cuts
+  std::uint64_t elements_moved = 0;   // local elements that changed owner
+  std::uint64_t checkpoints = 0;
+  std::uint64_t recoveries = 0;
+};
+
+/// FNV-1a over a byte span; used for the cut-agreement allreduce and by the
+/// fuzzer's container digests.
+inline std::uint64_t fnv1a64(std::span<const std::byte> bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <minimpi::Trivial T>
+class Container {
+ public:
+  /// p2p tag reserved for checkpoint/recovery slab traffic; user code on
+  /// the same communicator must not receive with kAnyTag while a
+  /// checkpoint or recovery is in flight.
+  static constexpr int kWireTag = 9931;
+
+  // ---- Construction ------------------------------------------------------
+
+  /// Root-held source, block-scattered.  `total` is the global element
+  /// count (source.size() == total * stride at the root, ignored
+  /// elsewhere).  The root retains the source as the generation-0 recovery
+  /// fallback.  Collective: one scatterv.
+  static Container scatter(minimpi::Comm& comm, std::vector<T> source,
+                           std::size_t total, std::size_t stride) {
+    DIPDC_REQUIRE(stride >= 1, "container stride must be >= 1");
+    Container c;
+    c.comm_ = &comm;
+    c.stride_ = stride;
+    c.from_scatter_ = true;
+    c.part_ = Partitioning::block(total, comm.size());
+    {
+      minimpi::Comm::Phase ph(comm, "partition.distribute");
+      if (comm.rank() == 0) {
+        DIPDC_REQUIRE(source.size() == total * stride,
+                      "scatter: root source size must be total * stride");
+      }
+      const int p = comm.size();
+      std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+      std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        counts[static_cast<std::size_t>(r)] = c.part_.count(r) * stride;
+        displs[static_cast<std::size_t>(r)] = c.part_.begin(r) * stride;
+      }
+      c.data_.resize(c.part_.count(comm.rank()) * stride);
+      comm.scatterv(std::span<const T>(source), counts, displs,
+                    std::span<T>(c.data_), 0);
+    }
+    c.weights_.assign(c.part_.count(comm.rank()), 1.0);
+    if (comm.rank() == 0) c.source_ = std::move(source);
+    return c;
+  }
+
+  /// Zero-communication construction: every rank brings the block-layout
+  /// slab it already holds.  `local` must be exactly the block partition's
+  /// share (the fuzzer depends on this ctor making no calls).
+  static Container from_local(minimpi::Comm& comm, std::size_t total,
+                              std::size_t stride, std::vector<T> local) {
+    DIPDC_REQUIRE(stride >= 1, "container stride must be >= 1");
+    Container c;
+    c.comm_ = &comm;
+    c.stride_ = stride;
+    c.part_ = Partitioning::block(total, comm.size());
+    DIPDC_REQUIRE(local.size() == c.part_.count(comm.rank()) * stride,
+                  "from_local: slab must match the block partitioning");
+    c.data_ = std::move(local);
+    c.weights_.assign(c.part_.count(comm.rank()), 1.0);
+    return c;
+  }
+
+  /// Ranks bring arbitrary-size slabs; the cuts are rebuilt from one
+  /// allgather of the per-rank counts (collective).
+  static Container from_counts(minimpi::Comm& comm, std::size_t stride,
+                               std::vector<T> local) {
+    DIPDC_REQUIRE(stride >= 1, "container stride must be >= 1");
+    DIPDC_REQUIRE(local.size() % stride == 0,
+                  "from_counts: slab must be a whole number of elements");
+    Container c;
+    c.comm_ = &comm;
+    c.stride_ = stride;
+    c.part_ = c.gathered_cuts(comm, local.size() / stride);
+    c.data_ = std::move(local);
+    c.weights_.assign(c.part_.count(comm.rank()), 1.0);
+    return c;
+  }
+
+  Container(Container&&) noexcept = default;
+  Container& operator=(Container&&) noexcept = default;
+
+  // ---- Local view ----------------------------------------------------------
+
+  [[nodiscard]] minimpi::Comm& comm() const { return *comm_; }
+  [[nodiscard]] const Partitioning& partitioning() const { return part_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] std::size_t size() const { return part_.total(); }
+  /// Global index of the first local element.
+  [[nodiscard]] std::size_t global_begin() const {
+    return part_.begin(comm_->rank());
+  }
+  /// Number of local elements (local data holds count()*stride() T values).
+  [[nodiscard]] std::size_t count() const {
+    return part_.count(comm_->rank());
+  }
+  [[nodiscard]] std::vector<T>& local() { return data_; }
+  [[nodiscard]] const std::vector<T>& local() const { return data_; }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+  [[nodiscard]] const ContainerStats& stats() const { return stats_; }
+
+  /// Sets the measured weight of one local element (by local index).
+  void set_weight(std::size_t local_index, double weight) {
+    DIPDC_REQUIRE(local_index < weights_.size(),
+                  "set_weight: local index out of range");
+    weights_[local_index] = weight;
+  }
+
+  /// Replaces all local element weights (size must equal count()).
+  void set_weights(std::span<const double> weights) {
+    DIPDC_REQUIRE(weights.size() == weights_.size(),
+                  "set_weights: need one weight per local element");
+    std::copy(weights.begin(), weights.end(), weights_.begin());
+  }
+
+  // ---- Partition transitions ----------------------------------------------
+
+  /// Recomputes weight-driven cuts and exchanges data to match.  Returns
+  /// true when ownership changed (an exchange happened).  Collective:
+  /// one allgather + one allreduce, plus two alltoallv when data moves.
+  bool repartition() { return repartition_impl(0.0); }
+
+  /// Like repartition(), but only re-cuts when the measured imbalance
+  /// (max part weight / mean part weight) exceeds `threshold`.  Calling it
+  /// again with unchanged weights is always a no-op, so a threshold
+  /// boundary cannot ping-pong.
+  bool rebalance(double threshold) { return repartition_impl(threshold); }
+
+  /// Owner-computes adoption: the algorithm already moved the data; the
+  /// container rebuilds the cuts from the new per-rank counts (one
+  /// allgather) and resets all weights to 1.  The global element count
+  /// must be conserved.
+  void adopt(std::vector<T> new_local) {
+    minimpi::Comm::Phase ph(*comm_, "partition.adopt");
+    DIPDC_REQUIRE(new_local.size() % stride_ == 0,
+                  "adopt: slab must be a whole number of elements");
+    Partitioning next = gathered_cuts(*comm_, new_local.size() / stride_);
+    DIPDC_REQUIRE(next.total() == part_.total(),
+                  "adopt must conserve the global element count");
+    part_ = std::move(next);
+    data_ = std::move(new_local);
+    weights_.assign(part_.count(comm_->rank()), 1.0);
+  }
+
+  // ---- Checkpoint / recover -------------------------------------------------
+
+  /// Snapshots the local slab plus an opaque `blob` (must be identical on
+  /// every rank — replicated iteration state such as the current centroids)
+  /// and mirrors the snapshot to the ring buddy (rank+1)%p.  Collective in
+  /// effect: two sendrecvs around the ring.
+  void checkpoint(std::span<const std::byte> blob) {
+    minimpi::Comm::Phase ph(*comm_, "partition.checkpoint");
+    Snapshot snap;
+    snap.valid = true;
+    snap.generation = next_generation_;
+    snap.cuts = part_.cuts();
+    snap.data = data_;
+    snap.weights = weights_;
+    snap.blob.assign(blob.begin(), blob.end());
+    const int p = comm_->size();
+    WireHeader mine{next_generation_,
+                    static_cast<std::uint64_t>(snap.weights.size()),
+                    static_cast<std::uint64_t>(snap.blob.size()),
+                    static_cast<std::uint64_t>(snap.cuts.size())};
+    const std::vector<std::byte> tx =
+        p > 1 ? pack_snapshot(snap) : std::vector<std::byte>{};
+    // The self snapshot is pushed before any communication: a rank that
+    // has *entered* checkpoint(g) can always serve its own slab at g,
+    // because container state cannot change between here and the rank's
+    // next collective even when the ring exchange below is cut short by a
+    // failure.
+    push_ring(self_, std::move(snap));
+    ++next_generation_;
+    ++stats_.checkpoints;
+    if (p == 1) return;
+    const int to = (comm_->rank() + 1) % p;
+    const int from = (comm_->rank() - 1 + p) % p;
+    WireHeader peer{};
+    comm_->sendrecv(std::span<const WireHeader>(&mine, 1), to, kWireTag,
+                    std::span<WireHeader>(&peer, 1), from, kWireTag);
+    std::vector<std::byte> rx(wire_bytes(peer));
+    // Payload leg as irecv + send + wait: every rank posts its receive
+    // before sending, so the ring cannot deadlock, and a snapshot that
+    // fully arrived before a failure aborted the exchange is salvaged —
+    // recovery can then still serve the sender's slab at this generation.
+    minimpi::Request pr = comm_->irecv(std::span<std::byte>(rx), from,
+                                       kWireTag);
+    try {
+      comm_->send(std::span<const std::byte>(tx), to, kWireTag);
+      comm_->wait(pr);
+    } catch (...) {
+      // Drain or unpost the pending receive before `rx` dies; wait()
+      // either completes it or removes the posted entry when it throws.
+      bool arrived = false;
+      try {
+        comm_->wait(pr);
+        arrived = true;
+      } catch (...) {
+      }
+      if (arrived || comm_->test(pr)) {
+        push_ring(buddy_, unpack_snapshot(peer, rx));
+      }
+      throw;
+    }
+    push_ring(buddy_, unpack_snapshot(peer, rx));
+  }
+
+  /// Shrink-recover protocol: call on every survivor after Comm::shrink(),
+  /// passing the shrunken communicator (which must outlive the container).
+  /// Restores the newest consistent checkpoint generation — or, failing
+  /// that, rebuilds from the root-retained source — re-cut over the
+  /// survivors, and returns the restored checkpoint blob (empty when the
+  /// container was rebuilt from the source and iteration state must
+  /// restart).  Throws RankFailedError when neither path is available.
+  std::vector<std::byte> recover(minimpi::Comm& new_comm) {
+    minimpi::Comm::Phase ph(new_comm, "partition.recover");
+    minimpi::Comm& oc = *comm_;
+    const int old_p = oc.size();
+    const int new_p = new_comm.size();
+    const int dead_world = new_comm.failed_rank();
+    DIPDC_REQUIRE(dead_world >= 0, "recover: no rank has failed");
+    const std::vector<int> old_group = oc.world_group();
+    int dead_old = -1;
+    for (std::size_t i = 0; i < old_group.size(); ++i) {
+      if (old_group[i] == dead_world) dead_old = static_cast<int>(i);
+    }
+    if (dead_old < 0) {
+      throw minimpi::MpiError(
+          "recover: the dead rank is not a member of this container's "
+          "communicator");
+    }
+    const int buddy_old = (dead_old + 1) % old_p;
+
+    // Every survivor advertises the generations its rings can serve; the
+    // decision below is a pure function of the gathered metadata, so all
+    // survivors pick the same generation without a bcast.
+    RecoverMeta mine{};
+    mine.old_rank = oc.rank();
+    for (std::size_t s = 0; s < kRing; ++s) {
+      mine.self_gens[s] =
+          self_[s].valid ? static_cast<std::int64_t>(self_[s].generation) : -1;
+      mine.buddy_gens[s] =
+          buddy_[s].valid ? static_cast<std::int64_t>(buddy_[s].generation)
+                          : -1;
+    }
+    std::vector<RecoverMeta> all(static_cast<std::size_t>(new_p));
+    new_comm.allgather(std::span<const RecoverMeta>(&mine, 1),
+                       std::span<RecoverMeta>(all));
+
+    int holder_new = -1;  // new rank of the dead rank's buddy
+    for (int i = 0; i < new_p; ++i) {
+      if (all[static_cast<std::size_t>(i)].old_rank == buddy_old) {
+        holder_new = i;
+      }
+    }
+    const std::int64_t gen = pick_generation(all, holder_new);
+    ++stats_.recoveries;
+    if (gen >= 0) {
+      restore_from_snapshots(new_comm, all, holder_new, dead_old, gen);
+      std::vector<std::byte> blob =
+          ring_at(self_, gen).blob;  // copy before the rings are cleared
+      finish_recovery(new_comm, static_cast<std::uint64_t>(gen) + 1);
+      return blob;
+    }
+    // Generation-0 fallback: rebuild from the source retained at the old
+    // root — available only for scatter()-built containers whose old root
+    // survived.
+    if (!from_scatter_ || dead_old == 0) {
+      throw minimpi::RankFailedError(
+          "recover: no consistent checkpoint generation and no surviving "
+          "source holder");
+    }
+    int source_new = -1;
+    for (int i = 0; i < new_p; ++i) {
+      if (all[static_cast<std::size_t>(i)].old_rank == 0) source_new = i;
+    }
+    DIPDC_REQUIRE(source_new >= 0, "recover: old root missing from survivors");
+    restore_from_source(new_comm, source_new);
+    finish_recovery(new_comm, 0);
+    return {};
+  }
+
+ private:
+  Container() = default;
+
+  struct WireHeader {
+    std::uint64_t generation = 0;
+    std::uint64_t count = 0;  // elements, not T values
+    std::uint64_t blob_bytes = 0;
+    std::uint64_t ncuts = 0;
+  };
+
+  struct Snapshot {
+    bool valid = false;
+    std::uint64_t generation = 0;
+    std::vector<std::size_t> cuts;
+    std::vector<T> data;
+    std::vector<double> weights;
+    std::vector<std::byte> blob;
+  };
+
+  struct RecoverMeta {
+    int old_rank = -1;
+    std::int64_t self_gens[3] = {-1, -1, -1};
+    std::int64_t buddy_gens[3] = {-1, -1, -1};
+  };
+
+  static constexpr std::size_t kRing = 3;
+
+  bool repartition_impl(double threshold) {
+    minimpi::Comm::Phase ph(*comm_, "partition.repartition");
+    const int p = comm_->size();
+    const int me = comm_->rank();
+    // (1) Everyone learns every element's weight; the recv layout is the
+    // current cuts, which all ranks already share.
+    const std::vector<std::uint64_t> local_q = quantize_weights(weights_);
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      counts[static_cast<std::size_t>(r)] = part_.count(r);
+      displs[static_cast<std::size_t>(r)] = part_.begin(r);
+    }
+    std::vector<std::uint64_t> global_q(part_.total());
+    comm_->allgatherv(std::span<const std::uint64_t>(local_q), counts, displs,
+                      std::span<std::uint64_t>(global_q));
+    // (2) Derive the cuts locally — pure integer arithmetic over identical
+    // input, so every rank lands on the same vector.
+    Partitioning next = part_;
+    if (threshold <= 0.0 || part_.imbalance(global_q) > threshold) {
+      next = Partitioning::from_weights(global_q, p);
+    }
+    // (3) Cheap agreement assertion: MIN-allreduce an FNV hash of the cuts
+    // (MIN rather than XOR so mirrored disagreement cannot cancel out).
+    const auto cut_bytes = std::as_bytes(std::span<const std::size_t>(
+        next.cuts().data(), next.cuts().size()));
+    const std::uint64_t h = fnv1a64(cut_bytes);
+    const std::uint64_t agreed = comm_->allreduce_value(
+        h, [](std::uint64_t a, std::uint64_t b) { return a < b ? a : b; });
+    if (agreed != h) {
+      throw minimpi::MpiError(
+          "repartition: ranks disagree on the new cuts");
+    }
+    // (4) Move only when ownership changed.
+    if (next == part_) {
+      ++stats_.rebalance_noops;
+      return false;
+    }
+    exchange_to(next, me, p);
+    ++stats_.repartitions;
+    return true;
+  }
+
+  void exchange_to(const Partitioning& next, int me, int p) {
+    const std::size_t ob = part_.begin(me), oe = part_.end(me);
+    const std::size_t nb = next.begin(me), ne = next.end(me);
+    const auto sp = static_cast<std::size_t>(p);
+    std::vector<std::size_t> sc(sp), sd(sp), rc(sp), rd(sp);
+    std::vector<std::size_t> scw(sp), sdw(sp), rcw(sp), rdw(sp);
+    for (int r = 0; r < p; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      // To r: my old range ∩ r's new range (overlaps ascend with r, so the
+      // send buffer is naturally laid out in rank order).
+      const std::size_t b = std::max(ob, next.begin(r));
+      const std::size_t e = std::min(oe, next.end(r));
+      scw[ri] = b < e ? e - b : 0;
+      sdw[ri] = (b < e ? b : ob) - ob;
+      sc[ri] = scw[ri] * stride_;
+      sd[ri] = sdw[ri] * stride_;
+      // From r: my new range ∩ r's old range.
+      const std::size_t b2 = std::max(nb, part_.begin(r));
+      const std::size_t e2 = std::min(ne, part_.end(r));
+      rcw[ri] = b2 < e2 ? e2 - b2 : 0;
+      rdw[ri] = (b2 < e2 ? b2 : nb) - nb;
+      rc[ri] = rcw[ri] * stride_;
+      rd[ri] = rdw[ri] * stride_;
+    }
+    std::vector<T> ndata((ne - nb) * stride_);
+    comm_->alltoallv(std::span<const T>(data_), sc, sd, std::span<T>(ndata),
+                     rc, rd);
+    std::vector<double> nweights(ne - nb);
+    comm_->alltoallv(std::span<const double>(weights_), scw, sdw,
+                     std::span<double>(nweights), rcw, rdw);
+    const std::size_t kept =
+        std::min(oe, ne) > std::max(ob, nb) ? std::min(oe, ne) - std::max(ob, nb)
+                                            : 0;
+    stats_.elements_moved += (oe - ob) - kept;
+    data_ = std::move(ndata);
+    weights_ = std::move(nweights);
+    part_ = next;
+  }
+
+  /// Cuts from one allgather of per-rank element counts.
+  Partitioning gathered_cuts(minimpi::Comm& comm, std::uint64_t my_count) {
+    const int p = comm.size();
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(p));
+    comm.allgather(std::span<const std::uint64_t>(&my_count, 1),
+                   std::span<std::uint64_t>(counts));
+    std::vector<std::size_t> cuts(static_cast<std::size_t>(p) + 1, 0);
+    for (int r = 0; r < p; ++r) {
+      cuts[static_cast<std::size_t>(r) + 1] =
+          cuts[static_cast<std::size_t>(r)] +
+          static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+    }
+    return Partitioning::from_cuts(std::move(cuts));
+  }
+
+  // ---- Snapshot ring -------------------------------------------------------
+
+  static void push_ring(std::array<Snapshot, kRing>& ring, Snapshot snap) {
+    ring[2] = std::move(ring[1]);
+    ring[1] = std::move(ring[0]);
+    ring[0] = std::move(snap);
+  }
+
+  const Snapshot& ring_at(const std::array<Snapshot, kRing>& ring,
+                          std::int64_t gen) const {
+    for (const Snapshot& s : ring) {
+      if (s.valid && static_cast<std::int64_t>(s.generation) == gen) return s;
+    }
+    throw minimpi::MpiError("recover: agreed generation missing from ring");
+  }
+
+  std::size_t wire_bytes(const WireHeader& h) const {
+    return static_cast<std::size_t>(h.ncuts) * sizeof(std::size_t) +
+           static_cast<std::size_t>(h.count) * stride_ * sizeof(T) +
+           static_cast<std::size_t>(h.count) * sizeof(double) +
+           static_cast<std::size_t>(h.blob_bytes);
+  }
+
+  std::vector<std::byte> pack_snapshot(const Snapshot& s) const {
+    std::vector<std::byte> out(s.cuts.size() * sizeof(std::size_t) +
+                               s.data.size() * sizeof(T) +
+                               s.weights.size() * sizeof(double) +
+                               s.blob.size());
+    std::byte* w = out.data();
+    auto put = [&w](const void* src, std::size_t n) {
+      if (n > 0) std::memcpy(w, src, n);
+      w += n;
+    };
+    put(s.cuts.data(), s.cuts.size() * sizeof(std::size_t));
+    put(s.data.data(), s.data.size() * sizeof(T));
+    put(s.weights.data(), s.weights.size() * sizeof(double));
+    put(s.blob.data(), s.blob.size());
+    return out;
+  }
+
+  Snapshot unpack_snapshot(const WireHeader& h,
+                           std::span<const std::byte> bytes) const {
+    DIPDC_REQUIRE(bytes.size() == wire_bytes(h),
+                  "checkpoint: buddy payload size mismatch");
+    Snapshot s;
+    s.valid = true;
+    s.generation = h.generation;
+    s.cuts.resize(static_cast<std::size_t>(h.ncuts));
+    s.data.resize(static_cast<std::size_t>(h.count) * stride_);
+    s.weights.resize(static_cast<std::size_t>(h.count));
+    s.blob.resize(static_cast<std::size_t>(h.blob_bytes));
+    const std::byte* r = bytes.data();
+    auto get = [&r](void* dst, std::size_t n) {
+      if (n > 0) std::memcpy(dst, r, n);
+      r += n;
+    };
+    get(s.cuts.data(), s.cuts.size() * sizeof(std::size_t));
+    get(s.data.data(), s.data.size() * sizeof(T));
+    get(s.weights.data(), s.weights.size() * sizeof(double));
+    get(s.blob.data(), s.blob.size());
+    return s;
+  }
+
+  // ---- Recovery ------------------------------------------------------------
+
+  /// Newest generation that every survivor's self ring and the buddy
+  /// holder's buddy ring can serve; -1 when none exists.
+  std::int64_t pick_generation(const std::vector<RecoverMeta>& all,
+                               int holder_new) const {
+    if (holder_new < 0) return -1;  // buddy died too (or old_p == 1)
+    std::int64_t best = -1;
+    const RecoverMeta& holder = all[static_cast<std::size_t>(holder_new)];
+    for (const std::int64_t g : holder.buddy_gens) {
+      if (g < 0 || g <= best) continue;
+      bool ok = true;
+      for (const RecoverMeta& m : all) {
+        bool has = false;
+        for (const std::int64_t sg : m.self_gens) has = has || sg == g;
+        if (!has) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) best = g;
+    }
+    return best;
+  }
+
+  void restore_from_snapshots(minimpi::Comm& nc,
+                              const std::vector<RecoverMeta>& all,
+                              int holder_new, int dead_old,
+                              std::int64_t gen) {
+    const int new_p = nc.size();
+    const int me = nc.rank();
+    const Snapshot& snap = ring_at(self_, gen);
+    // The cuts recorded in any snapshot at `gen` are identical everywhere.
+    const Partitioning old_at_gen = Partitioning::from_cuts(snap.cuts);
+    const std::size_t total = old_at_gen.total();
+    // Gatherv every survivor's snapshot slab to the new root, displaced at
+    // its OLD global range: the global array reassembles in place and only
+    // the dead rank's range is left to fill from the buddy copy.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(new_p));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(new_p));
+    std::vector<std::size_t> wcounts(static_cast<std::size_t>(new_p));
+    std::vector<std::size_t> wdispls(static_cast<std::size_t>(new_p));
+    for (int i = 0; i < new_p; ++i) {
+      const int old_r = all[static_cast<std::size_t>(i)].old_rank;
+      wcounts[static_cast<std::size_t>(i)] = old_at_gen.count(old_r);
+      wdispls[static_cast<std::size_t>(i)] = old_at_gen.begin(old_r);
+      counts[static_cast<std::size_t>(i)] =
+          wcounts[static_cast<std::size_t>(i)] * stride_;
+      displs[static_cast<std::size_t>(i)] =
+          wdispls[static_cast<std::size_t>(i)] * stride_;
+    }
+    std::vector<T> gdata(me == 0 ? total * stride_ : 0);
+    std::vector<double> gweights(me == 0 ? total : 0);
+    nc.gatherv(std::span<const T>(snap.data), counts, displs,
+               std::span<T>(gdata), 0);
+    nc.gatherv(std::span<const double>(snap.weights), wcounts, wdispls,
+               std::span<double>(gweights), 0);
+    // The dead rank's range comes from its buddy's mirrored copy.
+    const std::size_t dead_n = old_at_gen.count(dead_old);
+    if (dead_n > 0) {
+      const std::size_t db = old_at_gen.begin(dead_old);
+      if (me == holder_new) {
+        const Snapshot& bsnap = ring_at(buddy_, gen);
+        DIPDC_REQUIRE(bsnap.weights.size() == dead_n,
+                      "recover: buddy slab size mismatch");
+        if (me == 0) {
+          std::copy(bsnap.data.begin(), bsnap.data.end(),
+                    gdata.begin() + static_cast<std::ptrdiff_t>(db * stride_));
+          std::copy(bsnap.weights.begin(), bsnap.weights.end(),
+                    gweights.begin() + static_cast<std::ptrdiff_t>(db));
+        } else {
+          nc.send(std::span<const T>(bsnap.data), 0, kWireTag);
+          nc.send(std::span<const double>(bsnap.weights), 0, kWireTag);
+        }
+      } else if (me == 0) {
+        nc.recv(std::span<T>(gdata.data() + db * stride_, dead_n * stride_),
+                holder_new, kWireTag);
+        nc.recv(std::span<double>(gweights.data() + db, dead_n), holder_new,
+                kWireTag);
+      }
+    }
+    // Weight-driven cuts over the survivors, decided at the root and
+    // broadcast (only the root holds the reassembled weights).
+    std::vector<std::size_t> ncuts(static_cast<std::size_t>(new_p) + 1, 0);
+    if (me == 0) {
+      ncuts = Partitioning::from_weights(quantize_weights(gweights), new_p)
+                  .cuts();
+    }
+    nc.bcast(std::span<std::size_t>(ncuts), 0);
+    const Partitioning next = Partitioning::from_cuts(std::move(ncuts));
+    for (int i = 0; i < new_p; ++i) {
+      wcounts[static_cast<std::size_t>(i)] = next.count(i);
+      wdispls[static_cast<std::size_t>(i)] = next.begin(i);
+      counts[static_cast<std::size_t>(i)] = next.count(i) * stride_;
+      displs[static_cast<std::size_t>(i)] = next.begin(i) * stride_;
+    }
+    data_.assign(next.count(me) * stride_, T{});
+    weights_.assign(next.count(me), 0.0);
+    nc.scatterv(std::span<const T>(gdata), counts, displs,
+                std::span<T>(data_), 0);
+    nc.scatterv(std::span<const double>(gweights), wcounts, wdispls,
+                std::span<double>(weights_), 0);
+    part_ = next;
+  }
+
+  void restore_from_source(minimpi::Comm& nc, int source_new) {
+    const int new_p = nc.size();
+    const int me = nc.rank();
+    const std::size_t total = part_.total();
+    const Partitioning next = Partitioning::block(total, new_p);
+    std::vector<std::size_t> counts(static_cast<std::size_t>(new_p));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(new_p));
+    for (int i = 0; i < new_p; ++i) {
+      counts[static_cast<std::size_t>(i)] = next.count(i) * stride_;
+      displs[static_cast<std::size_t>(i)] = next.begin(i) * stride_;
+    }
+    data_.assign(next.count(me) * stride_, T{});
+    nc.scatterv(std::span<const T>(source_), counts, displs,
+                std::span<T>(data_), source_new);
+    weights_.assign(next.count(me), 1.0);
+    part_ = next;
+  }
+
+  /// Rebinds the container to the shrunken communicator and drops all
+  /// snapshots — the ring-buddy topology changed, so pre-failure mirrors
+  /// are no longer where recovery would look for them.
+  void finish_recovery(minimpi::Comm& nc, std::uint64_t next_gen) {
+    comm_ = &nc;
+    for (Snapshot& s : self_) s = Snapshot{};
+    for (Snapshot& s : buddy_) s = Snapshot{};
+    next_generation_ = next_gen;
+  }
+
+  minimpi::Comm* comm_ = nullptr;
+  std::size_t stride_ = 1;
+  bool from_scatter_ = false;
+  Partitioning part_;
+  std::vector<T> data_;          // count() * stride() values
+  std::vector<double> weights_;  // count() values
+  std::vector<T> source_;        // scatter(): retained at the (old) root
+  std::array<Snapshot, kRing> self_{};
+  std::array<Snapshot, kRing> buddy_{};  // mirrors of (rank-1+p)%p
+  std::uint64_t next_generation_ = 0;
+  ContainerStats stats_;
+};
+
+}  // namespace dipdc::container

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <sstream>
@@ -368,7 +369,11 @@ std::string digest(const Program& p, const Expectation& e,
                    const ExecutionOutcome& out) {
   std::ostringstream os;
   os << "ran=" << out.ran << ";err=" << fnv1a_str(out.error) << ";";
-  const bool stable_timing = !p.has_any_source_window();
+  // Any-source matches and posted-irecv windows account simulated time in
+  // real-schedule order, so their clocks are not reproducible; everything
+  // else in the digest still is.
+  const bool stable_timing =
+      !p.has_any_source_window() && !p.has_racy_irecv_window();
   if (out.ran) {
     for (int r = 0; r < p.nranks; ++r) {
       const auto& st = out.result.rank_stats[static_cast<std::size_t>(r)];
@@ -422,6 +427,11 @@ std::string digest(const Program& p, const Expectation& e,
   char buf[32];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(fnv1a_str(os.str())));
+  if (std::getenv("DIPDC_FUZZ_DIGEST_DUMP") != nullptr) {
+    std::fprintf(stderr, "DIGEST %s %s\n%s\n",
+                 minimpi::to_string(p.options.backend.kind), buf,
+                 os.str().c_str());
+  }
   return buf;
 }
 

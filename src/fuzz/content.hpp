@@ -7,6 +7,8 @@
 // (`Op::msg`) and one per (event, contributing member) for collectives.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <vector>
@@ -52,6 +54,61 @@ inline std::vector<std::uint8_t> collective_bytes(std::uint64_t seed,
       collective_words(seed, event, member, (n + 7) / 8);
   std::vector<std::uint8_t> out(n);
   if (n > 0) std::memcpy(out.data(), words.data(), n);
+  return out;
+}
+
+/// The value of global element `index` of fuzz container `cid`.  A pure
+/// function of (seed, cid, index): repartitions move elements without
+/// changing them, so any rank's slab after any exchange sequence is exactly
+/// these words at its owned global range.
+inline std::uint64_t container_word(std::uint64_t seed, int cid,
+                                    std::uint64_t index) {
+  support::Xoshiro256 rng = support::make_stream(
+      seed ^ 0xC047ull,
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cid)) << 40) |
+          index);
+  return rng();
+}
+
+/// Rank `rank`'s slab under the equal-count block partitioning of `total`
+/// elements over `parts` ranks (the Container::from_local startup layout:
+/// total/parts each, the first total%parts ranks one extra).
+inline std::vector<std::uint64_t> container_block(std::uint64_t seed, int cid,
+                                                  std::uint64_t total,
+                                                  int parts, int rank) {
+  const std::uint64_t base = total / static_cast<std::uint64_t>(parts);
+  const std::uint64_t extra = total % static_cast<std::uint64_t>(parts);
+  const auto r = static_cast<std::uint64_t>(rank);
+  const std::uint64_t begin = r * base + std::min(r, extra);
+  const std::uint64_t count = base + (r < extra ? 1 : 0);
+  std::vector<std::uint64_t> out(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out[i] = container_word(seed, cid, begin + i);
+  }
+  return out;
+}
+
+/// The 16-byte observation a kContainerRepartition op records: FNV-1a over
+/// the post-exchange cut vector, then over the rank's local slab.  Shared
+/// by the executor (hashing the live container) and the oracle (hashing the
+/// sequentially simulated state).
+inline std::vector<std::uint8_t> container_obs(
+    const std::vector<std::size_t>& cuts,
+    const std::vector<std::uint64_t>& slab) {
+  auto fnv = [](const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+  const std::uint64_t hc = fnv(cuts.data(), cuts.size() * sizeof(std::size_t));
+  const std::uint64_t hs = fnv(slab.data(), slab.size() * sizeof(std::uint64_t));
+  std::vector<std::uint8_t> out(16);
+  std::memcpy(out.data(), &hc, 8);
+  std::memcpy(out.data() + 8, &hs, 8);
   return out;
 }
 

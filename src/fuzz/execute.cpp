@@ -8,6 +8,7 @@
 #include <map>
 #include <span>
 
+#include "container/container.hpp"
 #include "fuzz/content.hpp"
 #include "fuzz/repro_util.hpp"
 #include "minimpi/comm.hpp"
@@ -43,6 +44,7 @@ void run_rank(const Program& p, minimpi::Comm& world, RankInterp& st,
   std::deque<minimpi::Comm> comm_store;
   std::map<int, minimpi::Comm*> comms;
   comms[0] = &world;
+  std::map<int, container::Container<std::uint64_t>> containers;
 
   auto slot_idx = [](int req) { return static_cast<std::size_t>(req); };
 
@@ -153,6 +155,33 @@ void run_rank(const Program& p, minimpi::Comm& world, RankInterp& st,
       case OpKind::kSimAdvance:
         comm.sim_advance(op.amount);
         break;
+      case OpKind::kContainerCreate: {
+        containers.emplace(
+            op.color,
+            container::Container<std::uint64_t>::from_local(
+                comm, op.elems, 1,
+                container_block(p.seed, op.color, op.elems, comm.size(),
+                                comm.rank())));
+        break;
+      }
+      case OpKind::kContainerSetWeight: {
+        // The op is carried by every member; the element's current owner
+        // (wherever earlier repartitions moved it) applies the update.
+        auto& k = containers.at(op.color);
+        const std::uint64_t g = op.msg;
+        if (g >= k.global_begin() && g < k.global_begin() + k.count()) {
+          k.set_weight(static_cast<std::size_t>(g - k.global_begin()),
+                       op.amount);
+        }
+        break;
+      }
+      case OpKind::kContainerRepartition: {
+        auto& k = containers.at(op.color);
+        (void)k.repartition();
+        obs.push_back({op.event, op.kind, -2, -2,
+                       container_obs(k.partitioning().cuts(), k.local())});
+        break;
+      }
       default: {
         // Collectives run through the same helper emitted repros use.
         std::vector<std::uint8_t> result = run_collective(

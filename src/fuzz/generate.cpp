@@ -234,6 +234,12 @@ class Generator {
   }
 
   void emit_event() {
+    // Container events draw first (their own roll, consumed only when the
+    // feature is on, so legacy seeds regenerate bit-identically).
+    if (cfg_.container_ops && rng_.uniform_index(100) < 22) {
+      emit_container();
+      return;
+    }
     // Weighted event-kind draw; a kind that cannot apply (world too small,
     // lossy plan, comm budget) falls through to an exact p2p message.
     const std::size_t roll = rng_.uniform_index(100);
@@ -598,6 +604,49 @@ class Generator {
     }
   }
 
+  void emit_container() {
+    // At most three live containers per program; every op is carried by
+    // every member of the owning comm (create and repartition because they
+    // are collective, set_weight so the owner — wherever the element lives
+    // after earlier repartitions — can apply it without the generator
+    // mirroring the cut evolution).
+    const bool create =
+        containers_.empty() ||
+        (containers_.size() < 3 && rng_.uniform() < 0.3);
+    if (create) {
+      const CommInfo* c = pick_comm(1);
+      DIPDC_REQUIRE(c != nullptr, "world comm always exists");
+      ContainerState st;
+      st.id = next_container_++;
+      st.comm = c->id;
+      st.total = 8 + static_cast<std::uint32_t>(rng_.uniform_index(57));
+      Op op;
+      op.kind = OpKind::kContainerCreate;
+      op.event = event_;
+      op.comm = c->id;
+      op.color = st.id;
+      op.elems = st.total;
+      for (const int w : c->members) ops_of(w).push_back(op);
+      containers_.push_back(st);
+      return;
+    }
+    const ContainerState& st =
+        containers_[rng_.uniform_index(containers_.size())];
+    const CommInfo& c = p_.comm_info(st.comm);
+    Op op;
+    op.event = event_;
+    op.comm = st.comm;
+    op.color = st.id;
+    if (rng_.uniform() < 0.6) {
+      op.kind = OpKind::kContainerSetWeight;
+      op.msg = rng_.uniform_index(st.total);  // global element index
+      op.amount = 0.25 * static_cast<double>(1 + rng_.uniform_index(64));
+    } else {
+      op.kind = OpKind::kContainerRepartition;
+    }
+    for (const int w : c.members) ops_of(w).push_back(op);
+  }
+
   void emit_sim() {
     const int rank =
         static_cast<int>(rng_.uniform_index(static_cast<std::size_t>(
@@ -614,12 +663,20 @@ class Generator {
     ops_of(rank).push_back(op);
   }
 
+  struct ContainerState {
+    int id = 0;
+    int comm = 0;
+    std::uint32_t total = 0;
+  };
+
   GenConfig cfg_;
   support::Xoshiro256 rng_;
   Program p_;
   std::uint32_t event_ = 0;
   std::vector<SlotState> slots_;
   std::vector<PendingWait> pending_;
+  std::vector<ContainerState> containers_;
+  int next_container_ = 1;
 };
 
 }  // namespace

@@ -32,6 +32,10 @@ struct GenConfig {
   std::string fault_spec;
   /// Fault-injection seed; 0 derives one from the program seed.
   std::uint64_t fault_seed = 0;
+  /// Weave elastic-container events (create / set_weight / repartition)
+  /// into the program.  Off by default so pre-container seed files
+  /// regenerate bit-identically; the dipdc-fuzz driver turns it on.
+  bool container_ops = false;
 };
 
 /// Deterministically generates a program: same (seed, cfg) -> same Program.

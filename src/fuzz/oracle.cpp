@@ -1,8 +1,10 @@
 #include "fuzz/oracle.hpp"
 
+#include <map>
 #include <numeric>
 #include <unordered_map>
 
+#include "container/partitioning.hpp"
 #include "fuzz/content.hpp"
 #include "support/error.hpp"
 
@@ -57,6 +59,7 @@ class Oracle {
     const minimpi::FaultOptions& f = p_.options.faults;
     e_.exact_p2p = !(f.drop_prob > 0 || f.dup_prob > 0);
 
+    simulate_containers();
     for (int r = 0; r < p_.nranks; ++r) interpret_rank(r);
 
     if (f.kill_rank >= 0 && f.kill_rank < p_.nranks) {
@@ -214,6 +217,63 @@ class Oracle {
     }
   }
 
+  /// Replays the container ops in global event order against the real
+  /// Partitioning arithmetic, recording each repartition's post-exchange
+  /// cuts and whether data moved.  Container ops are identical on every
+  /// member rank, so events dedupe by id; events are globally ordered, so
+  /// walking them ascending is a valid schedule of the weight evolution
+  /// (the same argument the rest of the oracle rests on).  Weights travel
+  /// with their elements during an exchange, so one global weight vector
+  /// indexed by global element id models every rank at once.
+  void simulate_containers() {
+    std::map<std::uint32_t, const Op*> by_event;
+    for (const auto& rank_ops : p_.ops) {
+      for (const Op& op : rank_ops) {
+        if (op.kind == OpKind::kContainerCreate ||
+            op.kind == OpKind::kContainerSetWeight ||
+            op.kind == OpKind::kContainerRepartition) {
+          by_event.emplace(op.event, &op);
+        }
+      }
+    }
+    struct Sim {
+      container::Partitioning part;
+      std::vector<double> weights;  // global, one per element
+    };
+    std::map<int, Sim> sims;
+    for (const auto& [event, op] : by_event) {
+      switch (op->kind) {
+        case OpKind::kContainerCreate: {
+          const auto parts =
+              static_cast<int>(p_.comm_info(op->comm).members.size());
+          Sim s;
+          s.part = container::Partitioning::block(op->elems, parts);
+          s.weights.assign(op->elems, 1.0);
+          sims[op->color] = std::move(s);
+          break;
+        }
+        case OpKind::kContainerSetWeight:
+          sims.at(op->color).weights[static_cast<std::size_t>(op->msg)] =
+              op->amount;
+          break;
+        case OpKind::kContainerRepartition: {
+          Sim& s = sims.at(op->color);
+          // Quantization is elementwise, so quantizing the global vector
+          // equals the concatenation of the per-rank quantizations the real
+          // repartition allgathers.
+          container::Partitioning next = container::Partitioning::from_weights(
+              container::quantize_weights(s.weights),
+              static_cast<int>(p_.comm_info(op->comm).members.size()));
+          reparts_[event] = {next.cuts(), next != s.part};
+          s.part = std::move(next);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
   void interpret_rank(int rank) {
     const auto r = static_cast<std::size_t>(rank);
     auto& obs = e_.obs[r];
@@ -303,7 +363,37 @@ class Oracle {
         case OpKind::kSplit:
         case OpKind::kSimCompute:
         case OpKind::kSimAdvance:
+        case OpKind::kContainerCreate:     // from_local makes no calls
+        case OpKind::kContainerSetWeight:  // local weight update
           break;  // no count_call, no trace, no observation
+        case OpKind::kContainerRepartition: {
+          // One allgatherv of the weights (counts as kAllgather) plus the
+          // cut-agreement allreduce; the two alltoallv exchanges (data,
+          // then weights) happen only when ownership changed.
+          count(rank, Primitive::kAllgather);
+          count(rank, Primitive::kAllreduce);
+          const RepartExpect& re = reparts_.at(op.event);
+          if (re.moved) count(rank, Primitive::kAlltoallv, 2);
+          int member = -1;
+          for (std::size_t i = 0; i < c.members.size(); ++i) {
+            if (c.members[i] == rank) member = static_cast<int>(i);
+          }
+          DIPDC_REQUIRE(member >= 0, "rank not a member of container comm");
+          const std::size_t b = re.cuts[static_cast<std::size_t>(member)];
+          const std::size_t e = re.cuts[static_cast<std::size_t>(member) + 1];
+          std::vector<std::uint64_t> slab(e - b);
+          for (std::size_t g = b; g < e; ++g) {
+            slab[g - b] = container_word(p_.seed, op.color, g);
+          }
+          ExpectObs ex;
+          ex.event = op.event;
+          ex.kind = op.kind;
+          ex.source = -2;
+          ex.tag = -2;
+          ex.bytes = container_obs(re.cuts, slab);
+          obs.push_back(std::move(ex));
+          break;
+        }
         default: {
           // Collectives.  kAllgatherv counts as Primitive::kAllgather.
           static constexpr std::pair<OpKind, Primitive> kMap[] = {
@@ -349,8 +439,14 @@ class Oracle {
     DIPDC_REQUIRE(slots.empty(), "generated program leaked request slots");
   }
 
+  struct RepartExpect {
+    std::vector<std::size_t> cuts;
+    bool moved = false;
+  };
+
   const Program& p_;
   Expectation e_;
+  std::map<std::uint32_t, RepartExpect> reparts_;  // by event id
 };
 
 }  // namespace

@@ -37,6 +37,9 @@ const char* op_kind_name(OpKind k) {
     case OpKind::kSplit: return "split";
     case OpKind::kSimCompute: return "sim_compute";
     case OpKind::kSimAdvance: return "sim_advance";
+    case OpKind::kContainerCreate: return "container_create";
+    case OpKind::kContainerSetWeight: return "container_set_weight";
+    case OpKind::kContainerRepartition: return "container_repartition";
   }
   return "?";
 }
@@ -60,6 +63,44 @@ bool Program::has_any_source_window() const {
   return false;
 }
 
+bool Program::has_racy_irecv_window() const {
+  for (const auto& rank_ops : ops) {
+    std::set<int> posted;  // request slots holding a posted irecv
+    for (const Op& op : rank_ops) {
+      switch (op.kind) {
+        case OpKind::kIrecv:
+          posted.insert(op.req);
+          // Two posted receives complete in sender real-time order.
+          if (posted.size() > 1) return true;
+          break;
+        case OpKind::kWait:
+          posted.erase(op.req);
+          break;
+        case OpKind::kWaitAll:
+          for (int s = op.req; s < op.req + op.nreq; ++s) posted.erase(s);
+          break;
+        case OpKind::kSend:
+        case OpKind::kSendReliable:
+        case OpKind::kIsend:
+        case OpKind::kSimCompute:
+        case OpKind::kSimAdvance:
+        case OpKind::kContainerCreate:
+        case OpKind::kContainerSetWeight:
+          break;  // no receive-side link accounting at this rank's mailbox
+        default:
+          // Blocking receives, probe, sendrecv, split, collectives and
+          // repartition all serialize the ingress link in program order;
+          // a concurrently posted irecv accounts at sender-timed delivery
+          // instead, so the interleaving (and the simulated clock) depends
+          // on the real schedule.
+          if (!posted.empty()) return true;
+          break;
+      }
+    }
+  }
+  return false;
+}
+
 const CommInfo& Program::comm_info(int id) const {
   for (const CommInfo& c : comms) {
     if (c.id == id) return c;
@@ -73,23 +114,38 @@ Program filter_events(const Program& full,
   // Communicator dependency closure: an event touching comm C requires the
   // whole chain of split events that created C (and C's ancestors).  Build
   // comm -> required split events, then iterate to a fixed point because a
-  // split event itself operates on the parent comm.
+  // split event itself operates on the parent comm.  Container ops have the
+  // analogous dependency on their kContainerCreate event (which in turn
+  // pulls its comm's split chain through the same fixed point).
   std::unordered_set<std::uint32_t> kept(keep.begin(), keep.end());
   bool changed = true;
   while (changed) {
     changed = false;
-    std::unordered_set<int> live_comms;  // comms some kept event touches
+    std::unordered_set<int> live_comms;       // comms some kept event touches
+    std::unordered_set<int> live_containers;  // container ids likewise
     for (const auto& rank_ops : full.ops) {
       for (const Op& op : rank_ops) {
         if (!kept.count(op.event)) continue;
         live_comms.insert(op.comm);
         if (op.kind == OpKind::kSplit) live_comms.insert(op.result_comm);
+        if (op.kind == OpKind::kContainerSetWeight ||
+            op.kind == OpKind::kContainerRepartition) {
+          live_containers.insert(op.color);
+        }
       }
     }
     for (const CommInfo& c : full.comms) {
       if (c.parent < 0 || !live_comms.count(c.id)) continue;
       if (!kept.count(c.created_by)) {
         kept.insert(c.created_by);
+        changed = true;
+      }
+    }
+    for (const auto& rank_ops : full.ops) {
+      for (const Op& op : rank_ops) {
+        if (op.kind != OpKind::kContainerCreate) continue;
+        if (!live_containers.count(op.color) || kept.count(op.event)) continue;
+        kept.insert(op.event);
         changed = true;
       }
     }
@@ -189,6 +245,15 @@ void describe_op(std::ostringstream& os, const Op& op) {
     case OpKind::kSimCompute:
     case OpKind::kSimAdvance:
       os << " amount=" << op.amount;
+      break;
+    case OpKind::kContainerCreate:
+      os << " cid=" << op.color << " total=" << op.elems;
+      break;
+    case OpKind::kContainerSetWeight:
+      os << " cid=" << op.color << " elem=" << op.msg << " w=" << op.amount;
+      break;
+    case OpKind::kContainerRepartition:
+      os << " cid=" << op.color;
       break;
     case OpKind::kBarrier:
       break;
@@ -349,6 +414,24 @@ void emit_rank_body(std::ostringstream& os, const Program& p, int rank) {
       case OpKind::kSimAdvance:
         os << ind << c << "sim_advance(" << op.amount << ");\n";
         break;
+      case OpKind::kContainerCreate:
+        os << ind << "auto k" << op.color
+           << " = container::Container<std::uint64_t>::from_local("
+           << comm_var(op.comm) << ", " << op.elems << ", 1,\n"
+           << ind << "    fuzz::container_block(kSeed, " << op.color << ", "
+           << op.elems << ", " << comm_var(op.comm) << ".size(), "
+           << comm_var(op.comm) << ".rank()));\n";
+        break;
+      case OpKind::kContainerSetWeight:
+        os << ind << "{ const std::size_t g = " << op.msg << "ull;\n"
+           << ind << "  if (g >= k" << op.color << ".global_begin() && g < k"
+           << op.color << ".global_begin() + k" << op.color << ".count())\n"
+           << ind << "    k" << op.color << ".set_weight(g - k" << op.color
+           << ".global_begin(), " << op.amount << "); }\n";
+        break;
+      case OpKind::kContainerRepartition:
+        os << ind << "(void)k" << op.color << ".repartition();\n";
+        break;
     }
   }
 }
@@ -360,9 +443,20 @@ std::string to_cpp(const Program& p) {
   os << "// Auto-generated mpifuzz repro: seed=" << p.seed
      << " fault_seed=" << p.fault_seed << " ranks=" << p.nranks;
   if (!p.fault_spec.empty()) os << " faults=\"" << p.fault_spec << "\"";
+  bool has_container_ops = false;
+  for (const auto& rank_ops : p.ops) {
+    for (const Op& op : rank_ops) {
+      if (op.kind == OpKind::kContainerCreate ||
+          op.kind == OpKind::kContainerSetWeight ||
+          op.kind == OpKind::kContainerRepartition) {
+        has_container_ops = true;
+      }
+    }
+  }
   os << "\n"
      << "// Build inside the dipdc tree and link against minimpi + fuzz.\n"
      << "#include <cstdint>\n#include <span>\n#include <vector>\n\n"
+     << (has_container_ops ? "#include \"container/container.hpp\"\n" : "")
      << "#include \"fuzz/content.hpp\"\n"
      << "#include \"fuzz/repro_util.hpp\"\n"
      << "#include \"minimpi/comm.hpp\"\n"

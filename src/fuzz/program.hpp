@@ -58,6 +58,14 @@ enum class OpKind : std::uint8_t {
   kSplit,
   kSimCompute,
   kSimAdvance,
+  // Elastic container (src/container) driven as first-class ops.  Create is
+  // the zero-communication from_local() constructor, set_weight is a local
+  // weight update (carried by every member; the owner applies it), and
+  // repartition is the weight-driven collective transition: one allgather
+  // plus one allreduce, plus two alltoallv exchanges when the cuts change.
+  kContainerCreate,
+  kContainerSetWeight,
+  kContainerRepartition,
 };
 
 [[nodiscard]] const char* op_kind_name(OpKind k);
@@ -105,7 +113,9 @@ struct Op {
   std::vector<std::uint32_t> counts;   // v-variants: per-member counts
   std::vector<std::uint32_t> counts2;  // alltoallv: this rank's recv counts
 
-  // kSplit.
+  // kSplit.  Container ops reuse `color` as the container id, `elems` as
+  // the global element count (create), `msg` as the global element index
+  // and `amount` as the new weight (set_weight).
   int color = 0;
   int key = 0;
   int result_comm = 0;  // fuzzer-level id of the comm this rank ends up in
@@ -138,6 +148,12 @@ struct Program {
 
   [[nodiscard]] std::size_t op_count() const;
   [[nodiscard]] bool has_any_source_window() const;
+  /// True when some rank runs receive-side communication while an irecv is
+  /// posted (or posts two at once).  The simulated ingress-link accounting
+  /// for a posted irecv happens at sender-timed delivery, so such programs
+  /// have schedule-dependent simulated clocks; the checker leaves their
+  /// clocks out of the outcome digest, like any-source windows.
+  [[nodiscard]] bool has_racy_irecv_window() const;
   [[nodiscard]] const CommInfo& comm_info(int id) const;
 };
 

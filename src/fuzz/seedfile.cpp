@@ -47,6 +47,9 @@ std::string format_seed(const SeedSpec& spec) {
   // Always written: parse_seed must not fall back to GenConfig's default
   // ("auto"), which would turn a fault-free config into a faulty one.
   os << "fault_spec=" << spec.cfg.fault_spec << "\n";
+  // Written only when on: pre-container seed files omit the key and keep
+  // regenerating bit-identically with the flag's false default.
+  if (spec.cfg.container_ops) os << "container_ops=1\n";
   if (!spec.kept.empty()) {
     os << "kept=";
     for (std::size_t i = 0; i < spec.kept.size(); ++i) {
@@ -93,6 +96,8 @@ SeedSpec parse_seed(const std::string& text) {
         spec.cfg.max_bytes = static_cast<std::uint32_t>(std::stoul(value));
       } else if (key == "fault_spec") {
         spec.cfg.fault_spec = value;
+      } else if (key == "container_ops") {
+        spec.cfg.container_ops = value != "0";
       } else if (key == "kept") {
         std::istringstream vs(value);
         std::string item;

@@ -123,6 +123,19 @@ Comm Comm::split(int color, int key) {
   return Comm(runtime_, world_rank_, my_rank, std::move(group), context);
 }
 
+Comm Comm::shrink() {
+  // No count_call / fault_tick: recovery runs after the plan's kill fired,
+  // and the shrink barrier itself must not be killable.
+  const detail_runtime::Runtime::ShrinkResult res =
+      runtime_->failure_shrink(world_rank_);
+  std::vector<int> group = res.survivors;
+  int my_rank = 0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (group[i] == world_rank_) my_rank = static_cast<int>(i);
+  }
+  return Comm(runtime_, world_rank_, my_rank, std::move(group), res.context);
+}
+
 void Comm::barrier() {
   count_call(Primitive::kBarrier);
   count_algo(CollectiveAlgo::kBarrierDissemination);

@@ -62,6 +62,14 @@ class Comm {
   /// The underlying world rank (stable across split()).
   [[nodiscard]] int world_rank() const { return world_rank_; }
 
+  /// World ranks of this communicator's members, in comm-rank order.
+  [[nodiscard]] std::vector<int> world_group() const {
+    if (!group_.empty()) return group_;
+    std::vector<int> g(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) g[static_cast<std::size_t>(r)] = r;
+    return g;
+  }
+
   /// Simulated wall-clock (seconds since the world started), analogous to
   /// MPI_Wtime under the configured machine model.  Shared across all
   /// communicators of this rank.
@@ -273,6 +281,22 @@ class Comm {
   /// non-negative `color` form a new communicator, ordered by (key, rank).
   /// Collective over this communicator.
   [[nodiscard]] Comm split(int color, int key = 0);
+
+  // ---- Shrink-on-failure ---------------------------------------------------
+
+  /// World rank killed by fault injection, or -1.  A rank catching
+  /// RankFailedError uses this to tell "a peer died" (recover) from
+  /// "I am the dead rank" (rethrow).
+  [[nodiscard]] int failed_rank() const { return runtime_->failed_rank(); }
+
+  /// ULFM-style shrink: after catching a RankFailedError caused by a
+  /// fault-injection kill, every surviving rank calls shrink() once and
+  /// receives a fresh communicator over exactly the survivors (ordered by
+  /// world rank).  The agreement barrier purges all pre-failure traffic
+  /// and clears the global abort, so the survivors can keep communicating;
+  /// pre-failure Requests and in-flight messages are invalidated.  The
+  /// dead rank must rethrow instead of calling this.
+  [[nodiscard]] Comm shrink();
 
   template <Trivial T>
   void bcast(std::span<T> data, int root) {

@@ -53,7 +53,8 @@ Runtime::Runtime(int nranks, RuntimeOptions options)
       envelope_pool_(
           std::make_shared<detail::EnvelopePool>(options_.transport.pooling)),
       mailboxes_(static_cast<std::size_t>(nranks)),
-      rank_states_(static_cast<std::size_t>(nranks)) {
+      rank_states_(static_cast<std::size_t>(nranks)),
+      life_(static_cast<std::size_t>(nranks), RankLife::kRunning) {
   DIPDC_REQUIRE(nranks > 0, "world size must be positive");
   if (options_.record_trace) {
     recorder_ = std::make_unique<obs::Recorder>(nranks,
@@ -275,23 +276,101 @@ void Runtime::check_deadlock_locked() {
   throw DeadlockError(abort_reason_);
 }
 
-void Runtime::rank_exited(bool by_exception, const std::string& why) {
+void Runtime::rank_exited(int rank, bool by_exception, const std::string& why) {
   std::lock_guard<std::mutex> lock(mu_);
   --alive_;
-  if (by_exception && !aborted_) {
-    aborted_ = true;
-    abort_reason_ = "a rank aborted with an exception: " + why;
+  const auto idx = static_cast<std::size_t>(rank);
+  const bool was_dead = life_[idx] == RankLife::kDead;
+  if (!was_dead) life_[idx] = RankLife::kExited;
+  // The killed rank's thread unwinds asynchronously — possibly after a
+  // shrink barrier already cleared the global abort.  Its (expected)
+  // RankFailedError must not re-abort the recovered world.
+  if (by_exception && !was_dead) {
+    if (!aborted_) {
+      aborted_ = true;
+      abort_reason_ = "a rank aborted with an exception: " + why;
+    }
+    // A running rank dying of a real exception while survivors sit in the
+    // shrink barrier leaves them waiting for an ack that can never come;
+    // poison the barrier so they unwind instead.
+    if (shrink_acks_ > 0) shrink_poisoned_ = true;
   }
+  maybe_finalize_shrink_locked();
   cv_.notify_all();
 }
 
 void Runtime::note_rank_killed(int rank, const std::string& why) {
   std::lock_guard<std::mutex> lock(mu_);
   if (failed_rank_ < 0) failed_rank_ = rank;
+  life_[static_cast<std::size_t>(rank)] = RankLife::kDead;
   if (!aborted_) {
     aborted_ = true;
+    abort_from_kill_ = true;
     abort_reason_ = why;
   }
+  cv_.notify_all();
+}
+
+Runtime::ShrinkResult Runtime::failure_shrink(int world_rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (failed_rank_ < 0) {
+    throw MpiError(
+        "shrink: no rank has failed — shrink() is only meaningful after a "
+        "RankFailedError");
+  }
+  if (life_[static_cast<std::size_t>(world_rank)] == RankLife::kDead) {
+    throw MpiError("shrink: the dead rank cannot join the survivor set");
+  }
+  if (deadlocked_) throw DeadlockError(abort_reason_);
+  if (shrink_poisoned_) throw AbortError(abort_reason_);
+  const int my_gen = shrink_generation_;
+  ++shrink_acks_;
+  maybe_finalize_shrink_locked();
+  // Survivors park on the raw condition variable, NOT blocking_wait_for:
+  // the global abort flag is still raised (that is the point), and a
+  // parked survivor must not count as a deadlock-detection waiter.
+  while (shrink_generation_ == my_gen) {
+    if (deadlocked_) throw DeadlockError(abort_reason_);
+    if (shrink_poisoned_) throw AbortError(abort_reason_);
+    cv_.wait(lock);
+  }
+  return shrink_last_;
+}
+
+void Runtime::maybe_finalize_shrink_locked() {
+  if (shrink_acks_ == 0 || shrink_poisoned_) return;
+  int running = 0;
+  for (const RankLife l : life_) {
+    if (l == RankLife::kRunning) ++running;
+  }
+  if (shrink_acks_ < running) return;
+  // Last survivor arrived: finalize the epoch.  Purge every mailbox so
+  // pre-failure traffic (including the dead rank's stranded envelopes)
+  // can never match a post-recovery receive; pre-failure Requests are
+  // invalidated by the same stroke.
+  for (detail::Mailbox& mb : mailboxes_) {
+    mb.unexpected = detail::UnexpectedQueue{};
+    mb.posted.clear();
+  }
+  // Clear the abort only if the kill raised it; a deadlock or a real
+  // exception is not recoverable.
+  if (abort_from_kill_ && !deadlocked_) {
+    aborted_ = false;
+    abort_from_kill_ = false;
+    abort_reason_.clear();
+  }
+  shrink_last_.survivors.clear();
+  for (int r = 0; r < nranks_; ++r) {
+    if (life_[static_cast<std::size_t>(r)] == RankLife::kRunning) {
+      shrink_last_.survivors.push_back(r);
+    }
+  }
+  // One context id, allocated once by the finalizer: per-survivor
+  // allocate_contexts calls could not agree (it is an atomic fetch_add).
+  shrink_last_.context = allocate_contexts(1);
+  recovered_ = true;
+  shrink_acks_ = 0;
+  ++shrink_generation_;
   cv_.notify_all();
 }
 
@@ -316,13 +395,13 @@ RunResult run(int nranks, const std::function<void(Comm&)>& fn,
       Comm& comm = *comms[static_cast<std::size_t>(r)];
       try {
         fn(comm);
-        runtime.rank_exited(false, {});
+        runtime.rank_exited(r, false, {});
       } catch (const std::exception& e) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
-        runtime.rank_exited(true, e.what());
+        runtime.rank_exited(r, true, e.what());
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
-        runtime.rank_exited(true, "unknown exception");
+        runtime.rank_exited(r, true, "unknown exception");
       }
     });
   }
@@ -330,16 +409,25 @@ RunResult run(int nranks, const std::function<void(Comm&)>& fn,
 
   // A fault-injection kill is the root cause by definition: the survivors'
   // RankFailedErrors are secondary, so rethrow the dead rank's own error.
+  // Unless the survivors shrank and recovered — then the kill was absorbed
+  // and the dead rank's RankFailedError is the expected casualty, not a
+  // failure of the run.
   const int failed = runtime.failed_rank();
-  if (failed >= 0 && errors[static_cast<std::size_t>(failed)]) {
+  if (failed >= 0 && errors[static_cast<std::size_t>(failed)] &&
+      !runtime.recovered()) {
     std::rethrow_exception(errors[static_cast<std::size_t>(failed)]);
   }
 
   // Prefer the root cause: the first exception that is not the secondary
-  // AbortError raised in ranks unblocked by someone else's failure.
+  // AbortError raised in ranks unblocked by someone else's failure.  In a
+  // recovered run only the dead rank's own error is excused — a survivor
+  // that failed AFTER the shrink (e.g. an unrecoverable container) must
+  // still surface.
   std::exception_ptr first_abort;
-  for (const std::exception_ptr& ep : errors) {
+  for (int r = 0; r < nranks; ++r) {
+    const std::exception_ptr& ep = errors[static_cast<std::size_t>(r)];
     if (!ep) continue;
+    if (runtime.recovered() && r == failed) continue;
     try {
       std::rethrow_exception(ep);
     } catch (const AbortError&) {

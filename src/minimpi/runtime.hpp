@@ -122,7 +122,7 @@ class Runtime {
                                 bool can_timeout);
 
   /// Marks a rank's user function as finished (normally or by exception).
-  void rank_exited(bool by_exception, const std::string& why);
+  void rank_exited(int rank, bool by_exception, const std::string& why);
 
   /// Records a fault-injection kill: every blocked (or later blocking) rank
   /// will be unblocked with RankFailedError naming the dead rank.  Called
@@ -132,6 +132,30 @@ class Runtime {
   /// World rank killed by fault injection, or -1.  Stable once the world
   /// has joined (run() reads it after the threads exit).
   [[nodiscard]] int failed_rank() const { return failed_rank_; }
+
+  /// Lifecycle of one rank as the failure-recovery machinery sees it.
+  enum class RankLife { kRunning, kDead, kExited };
+
+  /// Outcome of one completed shrink barrier (see failure_shrink).
+  struct ShrinkResult {
+    std::vector<int> survivors;  // world ranks still running, ascending
+    int context = 0;             // fresh context id for the shrunken comm
+  };
+
+  /// ULFM-style failure agreement: after a fault-injection kill, every
+  /// surviving (still-running) rank calls this once.  The last arrival
+  /// finalizes the epoch — it purges every mailbox (pre-failure traffic
+  /// must never match post-recovery receives), clears the kill-caused
+  /// global abort so survivors can block again, allocates one fresh
+  /// context id for the shrunken communicator, and publishes the survivor
+  /// set.  Earlier arrivals sleep until the epoch closes.  Throws if no
+  /// rank has failed, or if a survivor dies of a *real* exception while
+  /// the barrier is pending (the agreement can then never complete).
+  ShrinkResult failure_shrink(int world_rank);
+
+  /// True once a shrink barrier completed: run() must not rethrow the
+  /// dead rank's (recovered-from) RankFailedError.  Read after join.
+  [[nodiscard]] bool recovered() const { return recovered_; }
 
   std::mutex& mutex() { return mu_; }
   std::condition_variable& condvar() { return cv_; }
@@ -178,6 +202,11 @@ class Runtime {
   /// none exist flags a deadlock.  Lock must be held.
   void check_deadlock_locked();
 
+  /// Closes a pending shrink barrier when every still-running rank has
+  /// acked (called on each ack and on each rank exit, since a normal exit
+  /// shrinks the running set the barrier is waiting on).  Lock held.
+  void maybe_finalize_shrink_locked();
+
   std::mutex mu_;
   std::condition_variable cv_;
   RuntimeOptions options_;
@@ -199,6 +228,16 @@ class Runtime {
   bool deadlocked_ = false;
   int failed_rank_ = -1;  // rank killed by fault injection, or -1
   std::string abort_reason_;
+
+  // Shrink-on-failure state (all under mu_; recovered_ is additionally
+  // read by run() after the world joined).
+  std::vector<RankLife> life_;
+  bool abort_from_kill_ = false;   // aborted_ was raised by a kill
+  bool recovered_ = false;         // a shrink barrier completed
+  bool shrink_poisoned_ = false;   // a survivor died mid-agreement
+  int shrink_generation_ = 0;
+  int shrink_acks_ = 0;
+  ShrinkResult shrink_last_;
 };
 
 }  // namespace detail_runtime

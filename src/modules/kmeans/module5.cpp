@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <deque>
 #include <limits>
+#include <optional>
 
+#include "container/container.hpp"
 #include "kernels/distance.hpp"
 #include "kernels/kmeans.hpp"
+#include "minimpi/error.hpp"
 #include "minimpi/ops.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -79,6 +84,31 @@ void charge_assignment(mpi::Comm& comm, std::size_t local_points,
   comm.sim_compute(n * static_cast<double>(k) * 3.0 *
                        static_cast<double>(dim),
                    n * static_cast<double>(dim) * sizeof(double));
+}
+
+/// Checkpoint blob for the elastic path: [next iteration | centroids].
+/// Replicated on every rank, so any survivor's copy restores the run.
+std::vector<std::byte> pack_state(std::uint64_t next_iter,
+                                  std::span<const double> centroids) {
+  std::vector<std::byte> blob(sizeof(next_iter) + centroids.size_bytes());
+  std::memcpy(blob.data(), &next_iter, sizeof(next_iter));
+  if (!centroids.empty()) {
+    std::memcpy(blob.data() + sizeof(next_iter), centroids.data(),
+                centroids.size_bytes());
+  }
+  return blob;
+}
+
+bool unpack_state(std::span<const std::byte> blob, std::uint64_t* next_iter,
+                  std::vector<double>* centroids) {
+  if (blob.size() < sizeof(*next_iter)) return false;
+  std::memcpy(next_iter, blob.data(), sizeof(*next_iter));
+  centroids->resize((blob.size() - sizeof(*next_iter)) / sizeof(double));
+  if (!centroids->empty()) {
+    std::memcpy(centroids->data(), blob.data() + sizeof(*next_iter),
+                centroids->size() * sizeof(double));
+  }
+  return true;
 }
 
 }  // namespace
@@ -252,6 +282,237 @@ Result distributed(mpi::Comm& comm, const dataio::Dataset& dataset,
   const std::uint64_t transport_delta =
       comm.stats().transport_bytes_sent - transport_before;
   result.comm_bytes = static_cast<std::uint64_t>(comm.allreduce_value(
+      static_cast<long long>(transport_delta), mpi::ops::Sum{}));
+  return result;
+}
+
+Result elastic(mpi::Comm& world, const dataio::Dataset& dataset,
+               const Config& config, const ElasticConfig& elastic) {
+  namespace box = dipdc::container;
+  const std::size_t k = config.k;
+  const kernels::Isa isa = kernels::resolve(config.kernel);
+  mpi::Comm* comm = &world;
+  // Shrunken communicators must outlive the container (it keeps a pointer
+  // to the communicator it was recovered onto).
+  std::deque<mpi::Comm> shrunk;
+  // World rank of the dataset holder — stable across shrink renumbering.
+  const int data_world = world.world_group()[0];
+  // New-comm rank of the dataset holder, or -1 when it died.
+  const auto data_root_on = [&](mpi::Comm& c) {
+    const std::vector<int> group = c.world_group();
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (group[i] == data_world) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  const double t0 = world.wtime();
+  double comm_marks = 0.0;
+  std::uint64_t transport_before = world.stats().transport_bytes_sent;
+
+  std::optional<box::Container<double>> pts;
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  std::vector<double> centroids;
+  std::uint64_t start_iter = 0;
+  std::vector<std::size_t> assignment;
+  std::vector<std::size_t> prev_assignment;
+  Result result;
+
+  for (;;) {
+    try {
+      if (!pts) {
+        comm->phase_begin("distribute");
+        const double t_comm = comm->wtime();
+        std::size_t shape[2] = {dataset.size(), dataset.dim()};
+        comm->bcast(std::span<std::size_t>(shape, 2), 0);
+        n = shape[0];
+        dim = shape[1];
+        DIPDC_REQUIRE(k > 0 && k <= n, "need 1 <= k <= n");
+        std::vector<double> source;
+        if (comm->rank() == 0) {
+          source.assign(dataset.values().begin(), dataset.values().end());
+        }
+        pts.emplace(box::Container<double>::scatter(*comm, std::move(source),
+                                                    n, dim));
+        centroids.assign(k * dim, 0.0);
+        if (comm->rank() == 0) {
+          centroids = initial_centroids(dataset, config, isa);
+        }
+        comm->bcast(std::span<double>(centroids), 0);
+        comm->phase_end();
+        comm_marks += comm->wtime() - t_comm;
+        pts->checkpoint(pack_state(0, centroids));
+        start_iter = 0;
+        // Byte accounting starts after the one-time distribution, matching
+        // distributed(); recovery traffic after a kill does count.
+        transport_before = comm->stats().transport_bytes_sent;
+      }
+
+      for (std::uint64_t iter = start_iter;
+           iter < static_cast<std::uint64_t>(config.max_iterations); ++iter) {
+        const std::size_t my_n = pts->count();
+        comm->phase_begin("assign");
+        assignment.assign(my_n, 0);
+        std::vector<double> sums(k * dim, 0.0);
+        std::vector<double> member_counts(k, 0.0);
+        kernels::assign_points(isa, pts->local().data(), my_n, dim,
+                               centroids.data(), k, assignment.data(),
+                               sums.data(), member_counts.data());
+        charge_assignment(*comm, my_n, k, dim);
+        comm->phase_end();
+
+        comm->phase_begin("update");
+        const double t_comm = comm->wtime();
+        double movement = 0.0;
+        if (config.strategy == Strategy::kWeightedMeans) {
+          std::vector<double> global_sums(k * dim, 0.0);
+          std::vector<double> global_counts(k, 0.0);
+          comm->allreduce(std::span<const double>(sums),
+                          std::span<double>(global_sums), mpi::ops::Sum{});
+          comm->allreduce(std::span<const double>(member_counts),
+                          std::span<double>(global_counts), mpi::ops::Sum{});
+          movement =
+              kernels::update_centroids(isa, centroids.data(),
+                                        global_sums.data(),
+                                        global_counts.data(), k, dim);
+        } else {
+          // Explicit assignments need the full dataset, which only the
+          // original root holds.
+          const int data_root = data_root_on(*comm);
+          if (data_root < 0) {
+            throw mpi::RankFailedError(
+                "module5 elastic: the dataset holder died; "
+                "explicit-assignments cannot continue");
+          }
+          const box::Partitioning& part = pts->partitioning();
+          const int p = comm->size();
+          std::vector<std::size_t> gcounts(static_cast<std::size_t>(p));
+          std::vector<std::size_t> gdispls(static_cast<std::size_t>(p));
+          for (int i = 0; i < p; ++i) {
+            gcounts[static_cast<std::size_t>(i)] = part.count(i);
+            gdispls[static_cast<std::size_t>(i)] = part.begin(i);
+          }
+          std::vector<std::size_t> all_assignments(
+              comm->rank() == data_root ? n : 0);
+          comm->gatherv(std::span<const std::size_t>(assignment), gcounts,
+                        gdispls, std::span<std::size_t>(all_assignments),
+                        data_root);
+          if (comm->rank() == data_root) {
+            std::vector<double> root_sums(k * dim, 0.0);
+            std::vector<double> root_counts(k, 0.0);
+            for (std::size_t i = 0; i < n; ++i) {
+              const std::size_t c = all_assignments[i];
+              DIPDC_REQUIRE(c < k, "corrupt assignment index");
+              for (std::size_t j = 0; j < dim; ++j) {
+                root_sums[c * dim + j] += dataset.point(i)[j];
+              }
+              root_counts[c] += 1.0;
+            }
+            movement = kernels::update_centroids(isa, centroids.data(),
+                                                 root_sums.data(),
+                                                 root_counts.data(), k, dim);
+          }
+          comm->bcast(std::span<double>(centroids), data_root);
+          movement = comm->bcast_value(movement, data_root);
+        }
+        comm->phase_end();
+        comm_marks += comm->wtime() - t_comm;
+
+        result.iterations = static_cast<int>(iter) + 1;
+
+        // Churn weights feed the next rebalance AND the checkpoint, so a
+        // post-failure re-cut balances by the same measure.
+        std::vector<double> churn(my_n, 2.0);
+        if (prev_assignment.size() == my_n) {
+          for (std::size_t i = 0; i < my_n; ++i) {
+            churn[i] = assignment[i] != prev_assignment[i] ? 2.0 : 1.0;
+          }
+        }
+        pts->set_weights(churn);
+        pts->checkpoint(pack_state(iter + 1, centroids));
+
+        if (movement <= config.tolerance) {
+          result.converged = true;
+          break;
+        }
+        if (elastic.repartition &&
+            pts->rebalance(elastic.imbalance_threshold)) {
+          prev_assignment.clear();  // points moved; churn restarts
+        } else {
+          prev_assignment = assignment;
+        }
+      }
+      break;
+    } catch (const mpi::RankFailedError&) {
+      if (comm->failed_rank() == comm->world_rank()) throw;  // I am the corpse
+      shrunk.push_back(comm->shrink());
+      comm = &shrunk.back();
+      prev_assignment.clear();
+      // A kill during the distribution can strand slower survivors inside
+      // the scatter constructor, so the survivors may disagree on whether
+      // the container exists at all.  Agree first: if any rank missed the
+      // construction, everyone discards it and redistributes from the
+      // dataset holder instead of touching the container's collectives.
+      const bool everyone_has_it =
+          comm->allreduce_value(pts ? 1 : 0, mpi::ops::Min{}) == 1;
+      if (!everyone_has_it) {
+        if (data_root_on(*comm) != 0) {
+          throw mpi::RankFailedError(
+              "module5 elastic: the dataset holder died; "
+              "cannot redistribute the points");
+        }
+        pts.reset();
+        continue;
+      }
+      const std::vector<std::byte> blob = pts->recover(*comm);
+      std::uint64_t next_iter = 0;
+      if (unpack_state(blob, &next_iter, &centroids) &&
+          centroids.size() == k * dim) {
+        start_iter = next_iter;
+      } else {
+        // Rebuilt from the source: iteration state restarts from scratch.
+        const int data_root = data_root_on(*comm);
+        DIPDC_REQUIRE(data_root >= 0,
+                      "module5 elastic: source rebuild without the holder");
+        centroids.assign(k * dim, 0.0);
+        if (comm->rank() == data_root) {
+          centroids = initial_centroids(dataset, config, isa);
+        }
+        comm->bcast(std::span<double>(centroids), data_root);
+        start_iter = 0;
+      }
+    }
+  }
+
+  result.centroids = centroids;
+
+  // Final inertia: recompute the assignment — the last stored one may
+  // predate a rebalance.
+  const std::size_t my_n = pts->count();
+  assignment.assign(my_n, 0);
+  {
+    std::vector<double> dummy_sums(k * dim, 0.0);
+    std::vector<double> dummy_counts(k, 0.0);
+    kernels::assign_points(isa, pts->local().data(), my_n, dim,
+                           centroids.data(), k, assignment.data(),
+                           dummy_sums.data(), dummy_counts.data());
+  }
+  double local_inertia = 0.0;
+  for (std::size_t i = 0; i < my_n; ++i) {
+    local_inertia += kernels::squared_distance(
+        isa, pts->local().data() + i * dim,
+        centroids.data() + assignment[i] * dim, dim);
+  }
+  result.inertia = comm->allreduce_value(local_inertia, mpi::ops::Sum{});
+
+  const double my_total = comm->wtime() - t0;
+  result.sim_time = comm->allreduce_value(my_total, mpi::ops::Max{});
+  result.comm_time = comm_marks;
+  result.compute_time = my_total - comm_marks;
+  const std::uint64_t transport_delta =
+      comm->stats().transport_bytes_sent - transport_before;
+  result.comm_bytes = static_cast<std::uint64_t>(comm->allreduce_value(
       static_cast<long long>(transport_delta), mpi::ops::Sum{}));
   return result;
 }

@@ -74,4 +74,24 @@ Result lloyd_sequential(const dataio::Dataset& dataset, const Config& config);
 Result distributed(minimpi::Comm& comm, const dataio::Dataset& dataset,
                    const Config& config);
 
+/// Elastic-container variant (src/container).
+struct ElasticConfig {
+  /// Rebalance points by measured churn weights (1 + "assignment changed
+  /// this iteration") when the weight imbalance exceeds the threshold.
+  bool repartition = true;
+  double imbalance_threshold = 1.25;
+};
+
+/// k-means with the points held in an elastic container: per-iteration
+/// churn weights drive live rebalancing, every iteration checkpoints
+/// {next iteration, centroids} alongside the point slabs, and a rank kill
+/// is survived — survivors shrink the communicator, restore the newest
+/// consistent checkpoint (or redistribute from the root-retained source
+/// when none exists) and continue iterating.  Centroids match the
+/// no-fault run to floating-point tolerance (summation order changes with
+/// the rank count).  `world` must be the communicator the fault plan
+/// targets, with the dataset on its rank 0.
+Result elastic(minimpi::Comm& world, const dataio::Dataset& dataset,
+               const Config& config, const ElasticConfig& elastic = {});
+
 }  // namespace dipdc::modules::kmeans

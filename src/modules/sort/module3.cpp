@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
+#include <optional>
 
+#include "container/container.hpp"
 #include "kernels/sort.hpp"
+#include "minimpi/error.hpp"
 #include "minimpi/ops.hpp"
 #include "support/error.hpp"
 
@@ -243,6 +247,68 @@ Result distributed_bucket_sort(mpi::Comm& comm, std::vector<double>& local,
 
   local = std::move(bucket);
   return result;
+}
+
+Result elastic_bucket_sort(mpi::Comm& world, std::vector<double> local,
+                           const Config& config,
+                           const ElasticConfig& elastic,
+                           std::vector<double>* sorted_root) {
+  namespace box = dipdc::container;
+  mpi::Comm* comm = &world;
+  // Shrunken communicators must outlive the container (it keeps a pointer
+  // to the communicator it was recovered onto).
+  std::deque<mpi::Comm> shrunk;
+  std::optional<box::Container<double>> keys;
+
+  for (;;) {
+    try {
+      if (!keys) {
+        keys.emplace(
+            box::Container<double>::from_counts(*comm, 1, std::move(local)));
+        // Generation 0 is all recovery ever needs here: the sort's input
+        // is immutable, so survivors restore it and redo the whole sort.
+        keys->checkpoint({});
+      }
+      std::vector<double> work = keys->local();
+      Result result = distributed_bucket_sort(*comm, work, config);
+      // Owner-computes adoption: the exchange already moved the data; the
+      // container relearns the (skewed) cuts from the new counts.
+      keys->adopt(std::move(work));
+      if (elastic.rebalance) {
+        keys->rebalance(elastic.imbalance_threshold);
+        result.local_elements = keys->count();
+        result.imbalance = keys->partitioning().count_imbalance();
+      }
+      if (sorted_root != nullptr) {
+        const box::Partitioning& part = keys->partitioning();
+        const int p = comm->size();
+        std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+        std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+          counts[static_cast<std::size_t>(i)] = part.count(i);
+          displs[static_cast<std::size_t>(i)] = part.begin(i);
+        }
+        std::vector<double> gathered(comm->rank() == 0 ? part.total() : 0);
+        comm->gatherv(std::span<const double>(keys->local()), counts, displs,
+                      std::span<double>(gathered), 0);
+        if (comm->rank() == 0) *sorted_root = std::move(gathered);
+      }
+      return result;
+    } catch (const mpi::RankFailedError&) {
+      if (comm->failed_rank() == comm->world_rank()) throw;  // I am the corpse
+      shrunk.push_back(comm->shrink());
+      comm = &shrunk.back();
+      // A kill during the input snapshot can strand slower survivors
+      // inside the constructor; if any rank missed it, generation 0 is not
+      // ring-wide and the dead rank's input shard is unrecoverable.
+      if (comm->allreduce_value(keys ? 1 : 0, mpi::ops::Min{}) != 1) {
+        throw mpi::RankFailedError(
+            "module3 elastic: a rank died before the input checkpoint "
+            "completed; its keys are lost");
+      }
+      (void)keys->recover(*comm);  // restores the generation-0 input
+    }
+  }
 }
 
 }  // namespace dipdc::modules::distsort

@@ -64,6 +64,29 @@ Result distributed_bucket_sort(minimpi::Comm& comm,
                                std::vector<double>& local,
                                const Config& config);
 
+/// Elastic-container variant (src/container).
+struct ElasticConfig {
+  /// Level the skewed post-exchange distribution with a unit-weight
+  /// repartition (contiguous ranges slide between neighbouring ranks, so
+  /// the global sort order is preserved).
+  bool rebalance = true;
+  /// Rebalance only when max/mean bucket size exceeds this.
+  double imbalance_threshold = 1.10;
+};
+
+/// Bucket sort with the keys held in an elastic container: the bucket
+/// exchange is adopted into the container, rebalancing levels the skew,
+/// and a rank kill is survived — the survivors shrink the communicator,
+/// restore the generation-0 checkpoint of the unsorted input, and redo the
+/// sort on the shrunken world.  The final global sorted sequence is
+/// bit-identical to the no-fault run.  `world` must be the communicator
+/// the fault plan targets; `sorted_root` (optional) receives the full
+/// sorted array on (surviving) rank 0.
+Result elastic_bucket_sort(minimpi::Comm& world, std::vector<double> local,
+                           const Config& config,
+                           const ElasticConfig& elastic = {},
+                           std::vector<double>* sorted_root = nullptr);
+
 /// The splitters (p-1 ascending values) the configuration produces; exposed
 /// for tests and for the bench's explanation output.
 std::vector<double> compute_splitters(minimpi::Comm& comm,

@@ -1,0 +1,330 @@
+// Property suite for the elastic container: weight-driven cuts conserve
+// every element bit-exactly through arbitrary partition transitions, the
+// cut rule is a deterministic pure function of the weights, and
+// threshold-gated rebalancing converges (no ping-pong at the boundary).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "container/container.hpp"
+#include "container/partitioning.hpp"
+#include "minimpi/comm.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace mpi = dipdc::minimpi;
+using dipdc::container::Container;
+using dipdc::container::Partitioning;
+using dipdc::container::quantize_weights;
+
+namespace {
+
+/// Deterministic element payload: a pure function of the global index, so
+/// every rank can predict any slab without communication.
+std::uint64_t element_value(std::size_t global_index) {
+  return 0x9e3779b97f4a7c15ULL * (global_index + 1) ^ 0xc0ffee;
+}
+
+/// Deterministic per-element weight for a given round — identical on every
+/// rank, varied enough to force real cut movement between rounds.
+double weight_value(std::size_t global_index, int round) {
+  const std::uint64_t h =
+      (global_index + 1) * 2654435761ULL + static_cast<std::uint64_t>(round) * 97;
+  return 1.0 + static_cast<double>(h % 1024) / 16.0;
+}
+
+std::vector<std::uint64_t> block_slab(std::size_t total, int parts, int rank) {
+  const Partitioning part = Partitioning::block(total, parts);
+  std::vector<std::uint64_t> slab(part.count(rank));
+  for (std::size_t i = 0; i < slab.size(); ++i) {
+    slab[i] = element_value(part.begin(rank) + i);
+  }
+  return slab;
+}
+
+/// Gathers the container's global array on every rank, in cut order.
+std::vector<std::uint64_t> gather_global(mpi::Comm& comm,
+                                         Container<std::uint64_t>& c) {
+  const Partitioning& part = c.partitioning();
+  const int p = comm.size();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+  std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    counts[static_cast<std::size_t>(r)] = part.count(r) * c.stride();
+    displs[static_cast<std::size_t>(r)] = part.begin(r) * c.stride();
+  }
+  std::vector<std::uint64_t> global(part.total() * c.stride());
+  comm.allgatherv(std::span<const std::uint64_t>(c.local()), counts, displs,
+                  std::span<std::uint64_t>(global));
+  return global;
+}
+
+void set_round_weights(Container<std::uint64_t>& c, int round) {
+  std::vector<double> w(c.count());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = weight_value(c.global_begin() + i, round);
+  }
+  c.set_weights(w);
+}
+
+}  // namespace
+
+// ---- Partitioning ---------------------------------------------------------
+
+TEST(Partitioning, BlockCoversEveryElementExactlyOnce) {
+  for (const std::size_t total : {0UL, 1UL, 7UL, 64UL, 97UL}) {
+    for (int parts = 1; parts <= 9; ++parts) {
+      const Partitioning part = Partitioning::block(total, parts);
+      EXPECT_EQ(part.total(), total);
+      EXPECT_EQ(part.parts(), parts);
+      std::size_t covered = 0;
+      for (int r = 0; r < parts; ++r) {
+        EXPECT_EQ(part.begin(r), covered);
+        covered += part.count(r);
+      }
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(Partitioning, WeightCutsAreMonotoneAndConserve) {
+  for (const std::size_t n : {1UL, 3UL, 50UL, 257UL}) {
+    for (int parts = 1; parts <= 8; ++parts) {
+      std::vector<std::uint64_t> w(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 1 + ((i + 1) * 2654435761ULL) % 5000;
+      }
+      const Partitioning part = Partitioning::from_weights(w, parts);
+      EXPECT_EQ(part.total(), n);
+      const auto& cuts = part.cuts();
+      ASSERT_EQ(cuts.size(), static_cast<std::size_t>(parts) + 1);
+      EXPECT_EQ(cuts.front(), 0u);
+      EXPECT_EQ(cuts.back(), n);
+      for (std::size_t i = 1; i < cuts.size(); ++i) {
+        EXPECT_LE(cuts[i - 1], cuts[i]);
+      }
+    }
+  }
+}
+
+TEST(Partitioning, WeightCutsAreDeterministic) {
+  std::vector<std::uint64_t> w(301);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = 1 + (i * 48271) % 9973;
+  }
+  const Partitioning a = Partitioning::from_weights(w, 7);
+  const Partitioning b = Partitioning::from_weights(w, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Partitioning, OwnerMatchesTheRanges) {
+  std::vector<std::uint64_t> w(120, 1);
+  w[3] = 10'000;  // a hot element skews the cuts
+  const Partitioning part = Partitioning::from_weights(w, 5);
+  for (std::size_t g = 0; g < part.total(); ++g) {
+    const int r = part.owner(g);
+    EXPECT_GE(g, part.begin(r));
+    EXPECT_LT(g, part.end(r));
+  }
+}
+
+TEST(Partitioning, HeavyPrefixShrinksTheFirstPart) {
+  // The first quarter of the elements carries almost all the weight, so
+  // the first part must own far fewer elements than the block layout.
+  const std::size_t n = 400;
+  std::vector<std::uint64_t> w(n, 1);
+  for (std::size_t i = 0; i < n / 4; ++i) w[i] = 1000;
+  const Partitioning part = Partitioning::from_weights(w, 4);
+  EXPECT_LT(part.count(0), n / 4);
+  EXPECT_LT(part.imbalance(w), 1.10);
+}
+
+TEST(Partitioning, QuantizeFloorsAtOne) {
+  const std::vector<double> w = {0.0, 1e-9, 0.5, 1.0, 2.5};
+  const std::vector<std::uint64_t> q = quantize_weights(w, 1024.0);
+  EXPECT_EQ(q[0], 1u);
+  EXPECT_EQ(q[1], 1u);
+  EXPECT_EQ(q[2], 512u);
+  EXPECT_EQ(q[3], 1024u);
+  EXPECT_EQ(q[4], 2560u);
+}
+
+// ---- Container transitions --------------------------------------------------
+
+TEST(Container, RepartitionConservesElementsBitExactly) {
+  for (int p = 2; p <= 8; ++p) {
+    for (const std::size_t total : {5UL, 97UL}) {
+      mpi::run(p, [&](mpi::Comm& comm) {
+        Container<std::uint64_t> c = Container<std::uint64_t>::from_local(
+            comm, total, 1, block_slab(total, comm.size(), comm.rank()));
+        std::vector<std::uint64_t> expected(total);
+        for (std::size_t g = 0; g < total; ++g) expected[g] = element_value(g);
+        for (int round = 0; round < 4; ++round) {
+          set_round_weights(c, round);
+          c.repartition();
+          EXPECT_EQ(c.count(), c.partitioning().count(comm.rank()));
+          EXPECT_EQ(c.local().size(), c.count());
+          EXPECT_EQ(gather_global(comm, c), expected)
+              << "p=" << p << " total=" << total << " round=" << round;
+        }
+      });
+    }
+  }
+}
+
+TEST(Container, StrideMovesWholeElements) {
+  const std::size_t total = 41;
+  const std::size_t stride = 3;
+  mpi::run(5, [&](mpi::Comm& comm) {
+    const Partitioning part = Partitioning::block(total, comm.size());
+    std::vector<std::uint64_t> slab(part.count(comm.rank()) * stride);
+    for (std::size_t i = 0; i < part.count(comm.rank()); ++i) {
+      for (std::size_t k = 0; k < stride; ++k) {
+        slab[i * stride + k] =
+            element_value((part.begin(comm.rank()) + i) * stride + k);
+      }
+    }
+    Container<std::uint64_t> c =
+        Container<std::uint64_t>::from_local(comm, total, stride, slab);
+    set_round_weights(c, 1);
+    c.repartition();
+    // Every element's `stride` values stayed together and in order.
+    std::vector<std::uint64_t> global = gather_global(comm, c);
+    ASSERT_EQ(global.size(), total * stride);
+    for (std::size_t v = 0; v < global.size(); ++v) {
+      EXPECT_EQ(global[v], element_value(v));
+    }
+  });
+}
+
+TEST(Container, TransitionsAreDeterministicForAFixedSeed) {
+  // Two identical runs must produce identical cut sequences and identical
+  // final slabs on every rank.
+  const std::size_t total = 83;
+  auto run_once = [&](std::vector<std::vector<std::size_t>>& cut_log,
+                      std::vector<std::uint64_t>& final_global) {
+    mpi::run(6, [&](mpi::Comm& comm) {
+      Container<std::uint64_t> c = Container<std::uint64_t>::from_local(
+          comm, total, 1, block_slab(total, comm.size(), comm.rank()));
+      for (int round = 0; round < 5; ++round) {
+        set_round_weights(c, round);
+        c.repartition();
+        if (comm.rank() == 0) cut_log.push_back(c.partitioning().cuts());
+      }
+      if (comm.rank() == 0) final_global = gather_global(comm, c);
+      if (comm.rank() != 0) (void)gather_global(comm, c);
+    });
+  };
+  std::vector<std::vector<std::size_t>> cuts_a, cuts_b;
+  std::vector<std::uint64_t> global_a, global_b;
+  run_once(cuts_a, global_a);
+  run_once(cuts_b, global_b);
+  EXPECT_EQ(cuts_a, cuts_b);
+  EXPECT_EQ(global_a, global_b);
+}
+
+TEST(Container, RebalanceAtThresholdDoesNotPingPong) {
+  mpi::run(4, [&](mpi::Comm& comm) {
+    const std::size_t total = 64;
+    Container<std::uint64_t> c = Container<std::uint64_t>::from_local(
+        comm, total, 1, block_slab(total, comm.size(), comm.rank()));
+    set_round_weights(c, 2);
+    // Whatever the first call decides, repeating it with unchanged weights
+    // must be a no-op: the cut rule is a pure function of the weights.
+    (void)c.rebalance(1.05);
+    const std::uint64_t moves_after_first = c.stats().repartitions;
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_FALSE(c.rebalance(1.05));
+    }
+    EXPECT_EQ(c.stats().repartitions, moves_after_first);
+    EXPECT_GE(c.stats().rebalance_noops, 5u);
+  });
+}
+
+TEST(Container, RebalanceBelowThresholdIsANoOp) {
+  mpi::run(4, [&](mpi::Comm& comm) {
+    const std::size_t total = 64;  // divides evenly: imbalance exactly 1.0
+    Container<std::uint64_t> c = Container<std::uint64_t>::from_local(
+        comm, total, 1, block_slab(total, comm.size(), comm.rank()));
+    EXPECT_FALSE(c.rebalance(1.25));  // unit weights, perfectly balanced
+    EXPECT_EQ(c.stats().repartitions, 0u);
+  });
+}
+
+TEST(Container, WeightSkewShiftsElementsAwayFromTheHeavyRank) {
+  mpi::run(4, [&](mpi::Comm& comm) {
+    const std::size_t total = 128;
+    Container<std::uint64_t> c = Container<std::uint64_t>::from_local(
+        comm, total, 1, block_slab(total, comm.size(), comm.rank()));
+    // Rank 0's elements are 100x heavier than everyone else's.
+    std::vector<double> w(c.count(), comm.rank() == 0 ? 100.0 : 1.0);
+    c.set_weights(w);
+    EXPECT_TRUE(c.repartition());
+    EXPECT_LT(c.partitioning().count(0), total / 4);
+  });
+}
+
+TEST(Container, AdoptRebuildsCutsFromTheNewCounts) {
+  mpi::run(3, [&](mpi::Comm& comm) {
+    const std::size_t total = 30;
+    Container<std::uint64_t> c = Container<std::uint64_t>::from_local(
+        comm, total, 1, block_slab(total, comm.size(), comm.rank()));
+    // Simulate an owner-computes exchange: rank 0 ends up with 20 elements,
+    // rank 1 with 10, rank 2 with none — contiguous global ranges.
+    const std::size_t counts[3] = {20, 10, 0};
+    const std::size_t begins[3] = {0, 20, 30};
+    const int me = comm.rank();
+    std::vector<std::uint64_t> mine(counts[me]);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = element_value(begins[me] + i);
+    }
+    c.adopt(mine);
+    EXPECT_EQ(c.partitioning().count(0), 20u);
+    EXPECT_EQ(c.partitioning().count(2), 0u);
+    // Unit weights after adopt: a rebalance levels the counts again.
+    EXPECT_TRUE(c.rebalance(1.05));
+    EXPECT_EQ(c.count(), 10u);
+    std::vector<std::uint64_t> global = gather_global(comm, c);
+    for (std::size_t g = 0; g < total; ++g) {
+      EXPECT_EQ(global[g], element_value(g));
+    }
+  });
+}
+
+TEST(Container, ScatterRoundTripsTheSource) {
+  mpi::run(5, [&](mpi::Comm& comm) {
+    const std::size_t total = 23;
+    std::vector<std::uint64_t> source;
+    if (comm.rank() == 0) {
+      source.resize(total);
+      for (std::size_t g = 0; g < total; ++g) source[g] = element_value(g);
+    }
+    Container<std::uint64_t> c =
+        Container<std::uint64_t>::scatter(comm, source, total, 1);
+    EXPECT_EQ(c.count(), c.partitioning().count(comm.rank()));
+    std::vector<std::uint64_t> global = gather_global(comm, c);
+    for (std::size_t g = 0; g < total; ++g) {
+      EXPECT_EQ(global[g], element_value(g));
+    }
+  });
+}
+
+TEST(Container, CheckpointsAreCheapNoOpsForCorrectness) {
+  // Checkpointing must not perturb the data or the partitioning.
+  mpi::run(4, [&](mpi::Comm& comm) {
+    const std::size_t total = 40;
+    Container<std::uint64_t> c = Container<std::uint64_t>::from_local(
+        comm, total, 1, block_slab(total, comm.size(), comm.rank()));
+    const std::vector<std::uint64_t> before = c.local();
+    const std::uint64_t blob_word = 0xfeedface;
+    c.checkpoint(std::as_bytes(std::span<const std::uint64_t>(&blob_word, 1)));
+    EXPECT_EQ(c.local(), before);
+    set_round_weights(c, 0);
+    c.repartition();
+    c.checkpoint(std::as_bytes(std::span<const std::uint64_t>(&blob_word, 1)));
+    EXPECT_EQ(c.stats().checkpoints, 2u);
+  });
+}

@@ -115,6 +115,93 @@ TEST(FuzzOracle, AgreesWithExecutionAcrossSeeds) {
   }
 }
 
+TEST(FuzzOracle, ContainerProgramsAgreeWithExecutionAcrossSeeds) {
+  // Elastic-container events (create / set_weight / repartition) woven into
+  // otherwise ordinary programs: the oracle's sequential replay of the
+  // weight evolution must predict the exact primitive footprint of every
+  // repartition (allgather + allreduce, alltoallv x2 iff the cuts moved)
+  // and the post-exchange cut/slab digests.
+  fz::GenConfig cfg = small_config();
+  cfg.container_ops = true;
+  std::size_t reparts = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const fz::Program p = fz::generate(seed, cfg);
+    for (const auto& rank_ops : p.ops) {
+      for (const fz::Op& op : rank_ops) {
+        if (op.kind == fz::OpKind::kContainerRepartition) ++reparts;
+      }
+    }
+    const fz::CheckResult r = fz::check(p, fz::execute(p));
+    EXPECT_TRUE(r.ok) << "container seed " << seed << "\n" << r.summary();
+  }
+  EXPECT_GT(reparts, 0u) << "no seed in [1,12] generated a repartition";
+}
+
+TEST(FuzzOracle, ContainerOpsOffRegeneratesLegacyProgramsUnchanged) {
+  // The container roll must consume generator randomness only when the
+  // feature is on, or every checked-in corpus seed would silently describe
+  // a different program.
+  const fz::GenConfig off = small_config();
+  fz::GenConfig defaulted = small_config();
+  defaulted.container_ops = false;
+  for (std::uint64_t seed : {3ull, 19ull, 44ull}) {
+    EXPECT_EQ(fz::describe(fz::generate(seed, off)),
+              fz::describe(fz::generate(seed, defaulted)));
+    const std::string d = fz::describe(fz::generate(seed, off));
+    EXPECT_EQ(d.find("container_"), std::string::npos);
+  }
+}
+
+TEST(FuzzFilter, ClosureRestoresContainerCreateOfKeptEvents) {
+  // Dropping only a container's create event while keeping a set_weight or
+  // repartition on it must pull the create back in, exactly like the split
+  // chain closure.
+  fz::GenConfig cfg = small_config();
+  cfg.container_ops = true;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const fz::Program p = fz::generate(seed, cfg);
+    std::uint32_t create_event = 0;
+    int cid = -1;
+    bool has_dependent = false;
+    for (const auto& rank_ops : p.ops) {
+      for (const fz::Op& op : rank_ops) {
+        if (op.kind == fz::OpKind::kContainerCreate && cid < 0) {
+          create_event = op.event;
+          cid = op.color;
+        } else if (cid >= 0 && op.color == cid &&
+                   (op.kind == fz::OpKind::kContainerSetWeight ||
+                    op.kind == fz::OpKind::kContainerRepartition)) {
+          has_dependent = true;
+        }
+      }
+    }
+    if (cid < 0 || !has_dependent) continue;
+    std::vector<std::uint32_t> all_but_create;
+    for (std::uint32_t e = 0; e < p.num_events; ++e) {
+      if (e != create_event) all_but_create.push_back(e);
+    }
+    const fz::Program f = fz::filter_events(p, all_but_create);
+    EXPECT_TRUE(std::find(f.kept_events.begin(), f.kept_events.end(),
+                          create_event) != f.kept_events.end())
+        << "closure did not restore the creating event (seed " << seed << ")";
+    // The filtered program must still execute and check clean.
+    const fz::CheckResult r = fz::check(f, fz::execute(f));
+    EXPECT_TRUE(r.ok) << r.summary();
+    return;
+  }
+  GTEST_FAIL() << "no seed in [1,50] produced a dependent container op";
+}
+
+TEST(FuzzSeedfile, ContainerFlagSurvivesRoundTrip) {
+  fz::GenConfig cfg = small_config();
+  cfg.container_ops = true;
+  const fz::Program p = fz::generate(8, cfg);
+  const fz::SeedSpec parsed = fz::parse_seed(
+      fz::format_seed(fz::to_seed_spec(p, cfg, /*faults_disabled=*/false)));
+  EXPECT_TRUE(parsed.cfg.container_ops);
+  EXPECT_EQ(fz::describe(p), fz::describe(parsed.materialize()));
+}
+
 TEST(FuzzFilter, ClosureRestoresCreatingSplitOfKeptEvents) {
   // Find a seed whose program splits the world, then drop only the split
   // event while keeping events on the child comm: the dependency closure
@@ -271,6 +358,44 @@ TEST(FuzzProgram, ToCppMentionsEveryRankAndOptions) {
     EXPECT_NE(cpp.find("case " + std::to_string(r) + ":"), std::string::npos)
         << "rank " << r << " missing from emitted repro";
   }
+}
+
+TEST(FuzzProgram, RacyIrecvWindowDetection) {
+  // The digest drops simulated clocks for programs where a posted irecv
+  // overlaps other receive-side communication on the same rank: the link
+  // accounting for the posted receive happens at sender-timed delivery,
+  // so the clock depends on the real schedule.
+  auto make = [](std::initializer_list<fz::OpKind> kinds) {
+    fz::Program p;
+    p.nranks = 1;
+    p.ops.resize(1);
+    int next_req = 0;
+    for (const fz::OpKind k : kinds) {
+      fz::Op op;
+      op.kind = k;
+      if (k == fz::OpKind::kIrecv) op.req = next_req++;
+      if (k == fz::OpKind::kWait) op.req = --next_req;
+      p.ops[0].push_back(op);
+    }
+    return p;
+  };
+  using K = fz::OpKind;
+  // Stable: the lone posted receive overlaps only local / sender-side ops.
+  EXPECT_FALSE(make({K::kIrecv, K::kWait}).has_racy_irecv_window());
+  EXPECT_FALSE(make({K::kIrecv, K::kSend, K::kSimCompute, K::kWait})
+                   .has_racy_irecv_window());
+  EXPECT_FALSE(make({K::kIrecv, K::kContainerSetWeight, K::kWait})
+                   .has_racy_irecv_window());
+  EXPECT_FALSE(make({K::kRecv, K::kBarrier}).has_racy_irecv_window());
+  // Racy: a blocking receive, collective, or repartition inside the
+  // window, or two receives posted at once.
+  EXPECT_TRUE(make({K::kIrecv, K::kRecv, K::kWait}).has_racy_irecv_window());
+  EXPECT_TRUE(
+      make({K::kIrecv, K::kBarrier, K::kWait}).has_racy_irecv_window());
+  EXPECT_TRUE(make({K::kIrecv, K::kContainerRepartition, K::kWait})
+                  .has_racy_irecv_window());
+  EXPECT_TRUE(make({K::kIrecv, K::kIrecv, K::kWait, K::kWait})
+                  .has_racy_irecv_window());
 }
 
 TEST(FuzzDigest, StableAcrossRunsForFaultFreePrograms) {

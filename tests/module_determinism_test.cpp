@@ -7,6 +7,8 @@
 // Since the SIMD kernel dispatch (src/kernels) the same contract covers
 // the compute ISA: forcing --kernel=scalar and --kernel=simd must produce
 // bit-identical module results (the canonical accumulation contract).
+// The backend-forcing boilerplate lives in run_forced.hpp, shared with
+// container_faults_test.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -18,12 +20,18 @@
 #include "minimpi/runtime.hpp"
 #include "modules/distmatrix/module2.hpp"
 #include "modules/kmeans/module5.hpp"
+#include "modules/sort/module3.hpp"
+#include "run_forced.hpp"
 
 namespace mpi = dipdc::minimpi;
 namespace io = dipdc::dataio;
 namespace m2 = dipdc::modules::distmatrix;
+namespace m3 = dipdc::modules::distsort;
 namespace m5 = dipdc::modules::kmeans;
 namespace ker = dipdc::kernels;
+using dipdc::testing::forced;
+using dipdc::testing::other_backends;
+using dipdc::testing::run_forced;
 
 namespace {
 
@@ -61,26 +69,6 @@ std::vector<mpi::RuntimeOptions> transport_variants() {
   return variants;
 }
 
-// The shm backend forks a router process, which ThreadSanitizer does not
-// support; its leg is skipped under TSan (threads and tcp still run).
-#if defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define DIPDC_TSAN 1
-#endif
-#elif defined(__SANITIZE_THREAD__)
-#define DIPDC_TSAN 1
-#endif
-
-/// Backends to compare against the default (threads) run.
-std::vector<mpi::BackendKind> other_backends() {
-  std::vector<mpi::BackendKind> kinds;
-#ifndef DIPDC_TSAN
-  kinds.push_back(mpi::BackendKind::kShm);
-#endif
-  kinds.push_back(mpi::BackendKind::kTcp);
-  return kinds;
-}
-
 }  // namespace
 
 TEST(Determinism, Module2ResultsAreBackendInvariant) {
@@ -92,23 +80,11 @@ TEST(Determinism, Module2ResultsAreBackendInvariant) {
   m2::Config cfg;
   cfg.tile = 24;
 
-  auto run_on = [&](mpi::RuntimeOptions opts) {
-    m2::Result at_root{};
-    mpi::run(
-        4,
-        [&](mpi::Comm& comm) {
-          const auto r = m2::run_distributed(comm, d, cfg);
-          if (comm.rank() == 0) at_root = r;
-        },
-        opts);
-    return at_root;
-  };
+  auto body = [&](mpi::Comm& comm) { return m2::run_distributed(comm, d, cfg); };
 
-  const m2::Result reference = run_on({});
+  const m2::Result reference = run_forced(4, {}, body);
   for (const auto kind : other_backends()) {
-    mpi::RuntimeOptions opts;
-    opts.backend.kind = kind;
-    const m2::Result r = run_on(opts);
+    const m2::Result r = run_forced(4, forced(kind), body);
     const std::string label = mpi::to_string(kind);
     EXPECT_EQ(r.checksum, reference.checksum) << label;
     EXPECT_EQ(r.sim_time, reference.sim_time) << label;
@@ -123,24 +99,14 @@ TEST(Determinism, Module5ResultsAreBackendInvariant) {
   cfg.k = 4;
   cfg.strategy = m5::Strategy::kWeightedMeans;
 
-  auto run_on = [&](mpi::RuntimeOptions opts) {
-    m5::Result at_root{};
-    mpi::run(
-        5,
-        [&](mpi::Comm& comm) {
-          const auto r = m5::distributed(
-              comm, comm.rank() == 0 ? d.data : io::Dataset{}, cfg);
-          if (comm.rank() == 0) at_root = r;
-        },
-        opts);
-    return at_root;
+  auto body = [&](mpi::Comm& comm) {
+    return m5::distributed(comm, comm.rank() == 0 ? d.data : io::Dataset{},
+                           cfg);
   };
 
-  const m5::Result reference = run_on({});
+  const m5::Result reference = run_forced(5, {}, body);
   for (const auto kind : other_backends()) {
-    mpi::RuntimeOptions opts;
-    opts.backend.kind = kind;
-    const m5::Result r = run_on(opts);
+    const m5::Result r = run_forced(5, forced(kind), body);
     const std::string label = mpi::to_string(kind);
     EXPECT_EQ(r.centroids, reference.centroids) << label;
     EXPECT_EQ(r.inertia, reference.inertia) << label;
@@ -150,22 +116,72 @@ TEST(Determinism, Module5ResultsAreBackendInvariant) {
   }
 }
 
+TEST(Determinism, Module3ElasticResultsAreBackendInvariant) {
+  // The elastic container adds weight-driven alltoallv exchanges and ring
+  // checkpoints on top of the plain bucket sort; the sorted array and the
+  // load-balance metrics must still be bit-identical on every backend.
+  m3::Config cfg;
+  cfg.policy = m3::SplitterPolicy::kHistogram;
+
+  auto body = [&](mpi::Comm& comm) {
+    std::vector<double> local(200);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const auto h = (static_cast<std::uint64_t>(comm.rank()) * 7919 + i + 1) *
+                     2654435761ULL;
+      local[i] = static_cast<double>(h % 999983) / 999983.0;
+    }
+    std::vector<double> sorted;
+    const m3::Result r = m3::elastic_bucket_sort(comm, std::move(local), cfg,
+                                                 {}, &sorted);
+    return std::make_pair(r, sorted);
+  };
+
+  const auto reference = run_forced(4, {}, body);
+  ASSERT_TRUE(reference.first.globally_sorted);
+  ASSERT_EQ(reference.second.size(), 200u * 4u);
+  for (const auto kind : other_backends()) {
+    const auto r = run_forced(4, forced(kind), body);
+    const std::string label = mpi::to_string(kind);
+    EXPECT_EQ(r.second, reference.second) << label;
+    EXPECT_EQ(r.first.local_elements, reference.first.local_elements)
+        << label;
+    EXPECT_EQ(r.first.imbalance, reference.first.imbalance) << label;
+  }
+}
+
+TEST(Determinism, Module5ElasticResultsAreBackendInvariant) {
+  // No faults here — just the container-backed iteration with churn-weight
+  // rebalancing: centroids, iterations, and inertia are bit-identical
+  // across backends at a fixed rank count.
+  const auto d = io::generate_clusters(900, 2, 4, 0.35, 0.0, 40.0, 31);
+  m5::Config cfg;
+  cfg.k = 4;
+
+  auto body = [&](mpi::Comm& comm) {
+    return m5::elastic(comm, comm.rank() == 0 ? d.data : io::Dataset{}, cfg);
+  };
+
+  const m5::Result reference = run_forced(4, {}, body);
+  ASSERT_TRUE(reference.converged);
+  for (const auto kind : other_backends()) {
+    const m5::Result r = run_forced(4, forced(kind), body);
+    const std::string label = mpi::to_string(kind);
+    EXPECT_EQ(r.centroids, reference.centroids) << label;
+    EXPECT_EQ(r.inertia, reference.inertia) << label;
+    EXPECT_EQ(r.iterations, reference.iterations) << label;
+  }
+}
+
 TEST(Determinism, Module2SimTimeAndChecksumAreTransportInvariant) {
   const auto d = io::generate_uniform(96, 16, 0.0, 1.0, 11);
   m2::Config cfg;
   cfg.tile = 24;
 
+  auto body = [&](mpi::Comm& comm) { return m2::run_distributed(comm, d, cfg); };
+
   std::vector<m2::Result> results;
   for (const auto& opts : transport_variants()) {
-    m2::Result at_root{};
-    mpi::run(
-        4,
-        [&](mpi::Comm& comm) {
-          const auto r = m2::run_distributed(comm, d, cfg);
-          if (comm.rank() == 0) at_root = r;
-        },
-        opts);
-    results.push_back(at_root);
+    results.push_back(run_forced(4, opts, body));
   }
 
   for (std::size_t i = 1; i < results.size(); ++i) {
@@ -187,18 +203,14 @@ TEST(Determinism, Module5SimTimeAndInertiaAreTransportInvariant) {
     cfg.k = 4;
     cfg.strategy = strategy;
 
+    auto body = [&](mpi::Comm& comm) {
+      return m5::distributed(comm, comm.rank() == 0 ? d.data : io::Dataset{},
+                             cfg);
+    };
+
     std::vector<m5::Result> results;
     for (const auto& opts : transport_variants()) {
-      m5::Result at_root{};
-      mpi::run(
-          5,
-          [&](mpi::Comm& comm) {
-            const auto r = m5::distributed(
-                comm, comm.rank() == 0 ? d.data : io::Dataset{}, cfg);
-            if (comm.rank() == 0) at_root = r;
-          },
-          opts);
-      results.push_back(at_root);
+      results.push_back(run_forced(5, opts, body));
     }
 
     for (std::size_t i = 1; i < results.size(); ++i) {
@@ -236,12 +248,9 @@ TEST(Determinism, Module2ResultsAreKernelIsaInvariant) {
       cfg.symmetric = shape.symmetric;
       cfg.distribution = shape.dist;
       cfg.kernel = policy;
-      m2::Result at_root{};
-      mpi::run(4, [&](mpi::Comm& comm) {
-        const auto r = m2::run_distributed(comm, d, cfg);
-        if (comm.rank() == 0) at_root = r;
-      });
-      results.push_back(at_root);
+      results.push_back(run_forced(4, {}, [&](mpi::Comm& comm) {
+        return m2::run_distributed(comm, d, cfg);
+      }));
     }
     for (std::size_t i = 1; i < results.size(); ++i) {
       EXPECT_EQ(results[i].checksum, results[0].checksum)
@@ -264,10 +273,8 @@ TEST(Determinism, Module2TracedChecksumMatchesDispatchedKernel) {
       m2::Config cfg;
       cfg.tile = tile;
       cfg.trace_cache = traced;
-      m2::Result at_root{};
-      mpi::run(3, [&](mpi::Comm& comm) {
-        const auto r = m2::run_distributed(comm, d, cfg);
-        if (comm.rank() == 0) at_root = r;
+      const m2::Result at_root = run_forced(3, {}, [&](mpi::Comm& comm) {
+        return m2::run_distributed(comm, d, cfg);
       });
       checksum[traced ? 1 : 0] = at_root.checksum;
     }
@@ -287,13 +294,10 @@ TEST(Determinism, Module5ResultsAreKernelIsaInvariant) {
         cfg.strategy = strategy;
         cfg.init = init;
         cfg.kernel = policy;
-        m5::Result at_root{};
-        mpi::run(4, [&](mpi::Comm& comm) {
-          const auto r = m5::distributed(
+        results.push_back(run_forced(4, {}, [&](mpi::Comm& comm) {
+          return m5::distributed(
               comm, comm.rank() == 0 ? d.data : io::Dataset{}, cfg);
-          if (comm.rank() == 0) at_root = r;
-        });
-        results.push_back(at_root);
+        }));
       }
       for (std::size_t i = 1; i < results.size(); ++i) {
         EXPECT_EQ(results[i].centroids, results[0].centroids);

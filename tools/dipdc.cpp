@@ -230,6 +230,8 @@ int run_module3(const ArgParser& args, const Common& c) {
   cfg.lo = 0.0;
   cfg.hi = 10.0;
   cfg.kernel = c.kernel;
+  const bool elastic_on = args.get_bool("repartition", false);
+  const double threshold = args.get_double("imbalance-threshold", 1.10);
   m3::Result r;
   const auto result = mpi::run(
       c.ranks,
@@ -241,7 +243,14 @@ int run_module3(const ArgParser& args, const Common& c) {
           v = exponential ? std::min(rng.exponential(1.0), 9.999)
                           : rng.uniform(0.0, 10.0);
         }
-        const auto res = m3::distributed_bucket_sort(comm, local, cfg);
+        m3::Result res;
+        if (elastic_on) {
+          m3::ElasticConfig ecfg;
+          ecfg.imbalance_threshold = threshold;
+          res = m3::elastic_bucket_sort(comm, std::move(local), cfg, ecfg);
+        } else {
+          res = m3::distributed_bucket_sort(comm, local, cfg);
+        }
         if (comm.rank() == 0) r = res;
       },
       options_for(c));
@@ -301,13 +310,23 @@ int run_module5(const ArgParser& args, const Common& c) {
                      ? m5::Strategy::kExplicitAssignments
                      : m5::Strategy::kWeightedMeans;
   cfg.kernel = c.kernel;
+  const bool elastic_on = args.get_bool("repartition", false);
+  const double threshold = args.get_double("imbalance-threshold", 1.25);
   const auto data = io::generate_clusters(n, 2, k, 1.0, 0.0, 100.0, c.seed);
   m5::Result r;
   const auto result = mpi::run(
       c.ranks,
       [&](mpi::Comm& comm) {
-        const auto res = m5::distributed(
-            comm, comm.rank() == 0 ? data.data : io::Dataset{}, cfg);
+        m5::Result res;
+        if (elastic_on) {
+          m5::ElasticConfig ecfg;
+          ecfg.imbalance_threshold = threshold;
+          res = m5::elastic(comm, comm.rank() == 0 ? data.data : io::Dataset{},
+                            cfg, ecfg);
+        } else {
+          res = m5::distributed(
+              comm, comm.rank() == 0 ? data.data : io::Dataset{}, cfg);
+        }
         if (comm.rank() == 0) r = res;
       },
       options_for(c));
@@ -431,6 +450,14 @@ void usage() {
       "sockets;\n"
       "                       simulated results are bit-identical on all "
       "three)\n"
+      "  --repartition        modules 3/5: run on the elastic container "
+      "(weight-driven\n"
+      "                       rebalancing; with --faults=kill survivors "
+      "shrink and\n"
+      "                       continue on the smaller communicator)\n"
+      "  --imbalance-threshold=X  repartition when max/mean weighted load "
+      "exceeds X\n"
+      "                       (module3 default 1.10, module5 default 1.25)\n"
       "  --kernel=P           compute-kernel ISA for modules 2/3/5: "
       "auto|scalar|simd\n"
       "                       (default auto; DIPDC_KERNEL env works too; "
@@ -463,7 +490,7 @@ const std::vector<std::string>& known_options() {
       // global
       "ranks", "nodes", "seed", "timeline", "transport-stats", "metrics",
       "metrics-csv", "trace-json", "trace-wall", "faults", "fault-seed",
-      "backend", "kernel", "help",
+      "backend", "kernel", "repartition", "imbalance-threshold", "help",
       // module1
       "activity", "iterations", "bytes", "messages",
       // module2

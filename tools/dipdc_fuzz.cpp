@@ -16,7 +16,8 @@
 // Options: --seeds=N (count), --seed=S (base seed), --ranks=R (max world
 // size), --ops=N (target events per program), --max-bytes=B,
 // --faults=auto|none|<spec> (default auto: a random plan is drawn per
-// seed), --fault-seed=F, --shrink=0 (skip minimisation), --out=DIR (where
+// seed), --fault-seed=F, --container=0 (no elastic-container events),
+// --shrink=0 (skip minimisation), --out=DIR (where
 // repro artifacts go), --keep-going (do not stop at the first failure),
 // --print (list each failing program), --replay=FILE, --backend=B (run on
 // the threads/shm/tcp transport), --cross-backend (every seed on all three
@@ -61,6 +62,9 @@ void usage() {
       "                    retries=K timeout=S (comma-separated)\n"
       "  --fault-seed=F    seed of the per-rank fault streams (0 = derive\n"
       "                    from the program seed)\n"
+      "  --container=0     leave elastic-container events (create /\n"
+      "                    set_weight / repartition) out of generated\n"
+      "                    programs (default on)\n"
       "  --shrink=0        skip ddmin minimisation of failing programs\n"
       "  --out=DIR         where repro-<seed>.seed/.cpp artifacts go "
       "(default .)\n"
@@ -223,8 +227,9 @@ int run_fuzz(const Config& cfg) {
 const std::vector<std::string>& known_options() {
   static const std::vector<std::string> kKnown = {
       "seeds",      "seed",   "ranks",      "ops",  "max-bytes",
-      "faults",     "fault-seed", "shrink", "out",  "keep-going",
-      "print",      "replay", "backend", "cross-backend", "smoke", "help",
+      "faults",     "fault-seed", "container", "shrink", "out",
+      "keep-going", "print",  "replay", "backend", "cross-backend",
+      "smoke",      "help",
   };
   return kKnown;
 }
@@ -282,6 +287,7 @@ int main(int argc, char** argv) {
   if (cfg.gen.fault_spec == "none") cfg.gen.fault_spec.clear();
   cfg.gen.fault_seed =
       static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  cfg.gen.container_ops = args.get_bool("container", true);
   cfg.do_shrink = args.get_bool("shrink", true);
   cfg.keep_going = args.get_bool("keep-going", false);
   cfg.print = args.get_bool("print", false);
