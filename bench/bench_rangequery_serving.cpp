@@ -1,0 +1,236 @@
+// Module 4 serving-mode saturation sweep: offered load vs. achieved
+// throughput and tail latency for the sharded range-query service.
+//
+// The sweep drives `serve()` at increasing open-loop rates across a fixed
+// shard layout and reads the two curves every serving chapter is built
+// around (docs/handbook/serving.md):
+//   - below the knee, achieved qps tracks offered qps and the p99 is the
+//     batch-fill wait (latency *falls* as load rises — batches close
+//     sooner);
+//   - past the knee, achieved qps plateaus at the service capacity, the
+//     bounded admission queue fills, arrivals are rejected, and the p99
+//     jumps to the queue-bound ceiling.
+// The knee row is the last level whose achieved rate stays within 95% of
+// the offered rate.
+//
+// A second, wall-clock section times the point-in-rect filter kernel
+// (kernels/filter.hpp) scalar vs. SIMD on one large shard scan — the
+// speedup the AVX2 path buys the shards' inner loop.  Counts must agree
+// exactly (the bit-identity contract); the bench aborts if they differ.
+//
+// Usage: bench_rangequery_serving [--quick] [--out=FILE]
+//   --quick   3 sweep levels, short duration (the CI perf-smoke leg)
+//   --out     also write the results as JSON (BENCH_rangequery_serving.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "kernels/dispatch.hpp"
+#include "kernels/filter.hpp"
+#include "minimpi/runtime.hpp"
+#include "modules/rangequery/serving.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace m4 = dipdc::modules::rangequery;
+namespace kn = dipdc::kernels;
+using namespace dipdc::support;
+
+namespace {
+
+struct Level {
+  double offered_qps = 0.0;
+  m4::ServeResult r;
+};
+
+Level run_level(int ranks, double qps, double duration) {
+  m4::ServeConfig cfg;
+  cfg.qps = qps;
+  cfg.duration = duration;
+  Level level;
+  level.offered_qps = qps;
+  mpi::run(ranks, [&](mpi::Comm& comm) {
+    const auto res = m4::serve(comm, cfg);
+    if (comm.rank() == 0) level.r = res;
+  });
+  return level;
+}
+
+struct KernelTiming {
+  double scalar_seconds = 0.0;
+  double simd_seconds = 0.0;
+  std::uint64_t matches = 0;
+  bool simd_available = false;
+};
+
+/// Times one shard-sized scan (repeated) per ISA, wall clock.  The same
+/// query set runs on both paths and the counts must agree exactly.
+KernelTiming time_filter_kernel(std::size_t n, int repeats) {
+  Xoshiro256 rng(7);
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform(0.0, 100.0);
+    ys[i] = rng.uniform(0.0, 100.0);
+  }
+  KernelTiming t;
+  t.simd_available = kn::simd_supported();
+  const auto time_isa = [&](kn::Isa isa, std::uint64_t* total) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t acc = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const double lo = 10.0 + static_cast<double>(rep % 7);
+      acc += kn::count_in_rect(isa, xs.data(), ys.data(), n, lo, lo,
+                               lo + 30.0, lo + 30.0);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    *total = acc;
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+  std::uint64_t scalar_total = 0;
+  t.scalar_seconds = time_isa(kn::Isa::kScalar, &scalar_total);
+  t.matches = scalar_total;
+  if (t.simd_available) {
+    std::uint64_t simd_total = 0;
+    t.simd_seconds = time_isa(kn::Isa::kSimd, &simd_total);
+    if (simd_total != scalar_total) {
+      std::fprintf(stderr,
+                   "FATAL: scalar/SIMD count mismatch (%llu vs %llu)\n",
+                   static_cast<unsigned long long>(scalar_total),
+                   static_cast<unsigned long long>(simd_total));
+      std::abort();
+    }
+  }
+  return t;
+}
+
+std::string json_escape_free(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int ranks = 5;  // 1 driver + 4 shards
+  const double duration = quick ? 0.05 : 0.2;
+  // Levels bracketing the measured ~125 kq/s capacity of the default
+  // config (50k points over 4 shards, batch 16, pipeline 2).
+  const std::vector<double> levels =
+      quick ? std::vector<double>{50e3, 125e3, 250e3}
+            : std::vector<double>{25e3, 50e3, 75e3, 100e3, 125e3, 150e3,
+                                  200e3, 300e3};
+
+  std::printf("Module 4 serving saturation sweep: %d ranks, "
+              "%s per level\n\n",
+              ranks, seconds(duration).c_str());
+  std::printf("%12s %12s %9s %9s %9s %9s %9s\n", "offered q/s",
+              "achieved q/s", "p50", "p99", "admitted", "rejected",
+              "batches");
+  std::vector<Level> sweep;
+  for (const double qps : levels) {
+    const Level level = run_level(ranks, qps, duration);
+    sweep.push_back(level);
+    std::printf("%12.0f %12.0f %9s %9s %9llu %9llu %9llu\n", qps,
+                level.r.achieved_qps, seconds(level.r.p50_latency).c_str(),
+                seconds(level.r.p99_latency).c_str(),
+                static_cast<unsigned long long>(level.r.admitted),
+                static_cast<unsigned long long>(level.r.rejected),
+                static_cast<unsigned long long>(level.r.batches));
+  }
+
+  std::size_t knee = 0;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (sweep[i].r.achieved_qps >= 0.95 * sweep[i].offered_qps) knee = i;
+  }
+  std::printf("\nknee: achieved tracks offered up to ~%.0f q/s; past it "
+              "the service\nplateaus and the bounded queue converts excess "
+              "arrivals into rejections.\n",
+              sweep[knee].offered_qps);
+
+  const KernelTiming kt =
+      time_filter_kernel(1u << 20, quick ? 8 : 64);
+  std::printf("\npoint-in-rect filter, %u points x %d windows: scalar %s",
+              1u << 20, quick ? 8 : 64, seconds(kt.scalar_seconds).c_str());
+  if (kt.simd_available) {
+    std::printf(", avx2 %s (%.2fx), counts identical\n",
+                seconds(kt.simd_seconds).c_str(),
+                kt.scalar_seconds / kt.simd_seconds);
+  } else {
+    std::printf(" (no AVX2 on this host)\n");
+  }
+
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"rangequery_serving\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"ranks\": %d, \"shards\": %d, "
+                 "\"n_points\": 50000, \"batch\": 16, \"queue_cap\": 256, "
+                 "\"pipeline\": 2, \"duration_s\": %s, \"mix\": "
+                 "\"uniform\"},\n",
+                 ranks, ranks - 1, json_escape_free(duration).c_str());
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const m4::ServeResult& r = sweep[i].r;
+      std::fprintf(
+          f,
+          "    {\"offered_qps\": %s, \"achieved_qps\": %s, "
+          "\"p50_us\": %s, \"p99_us\": %s, \"mean_us\": %s, "
+          "\"offered\": %llu, \"admitted\": %llu, \"rejected\": %llu, "
+          "\"completed\": %llu, \"batches\": %llu, "
+          "\"total_matches\": %llu}%s\n",
+          json_escape_free(sweep[i].offered_qps).c_str(),
+          json_escape_free(r.achieved_qps).c_str(),
+          json_escape_free(r.p50_latency * 1e6).c_str(),
+          json_escape_free(r.p99_latency * 1e6).c_str(),
+          json_escape_free(r.mean_latency * 1e6).c_str(),
+          static_cast<unsigned long long>(r.offered),
+          static_cast<unsigned long long>(r.admitted),
+          static_cast<unsigned long long>(r.rejected),
+          static_cast<unsigned long long>(r.completed),
+          static_cast<unsigned long long>(r.batches),
+          static_cast<unsigned long long>(r.total_matches),
+          i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"knee_offered_qps\": %s,\n",
+                 json_escape_free(sweep[knee].offered_qps).c_str());
+    std::fprintf(f,
+                 "  \"filter_kernel\": {\"n_points\": %u, \"windows\": %d, "
+                 "\"scalar_s\": %s, \"simd_s\": %s, \"speedup\": %s, "
+                 "\"simd_available\": %s, \"counts_identical\": true}\n",
+                 1u << 20, quick ? 8 : 64,
+                 json_escape_free(kt.scalar_seconds).c_str(),
+                 json_escape_free(kt.simd_seconds).c_str(),
+                 json_escape_free(kt.simd_available
+                                      ? kt.scalar_seconds / kt.simd_seconds
+                                      : 0.0)
+                     .c_str(),
+                 kt.simd_available ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+  return 0;
+}

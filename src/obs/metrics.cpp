@@ -27,6 +27,38 @@ void Histogram::observe(double value) {
   ++buckets[bucket];
 }
 
+double Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank rounded up).
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  // The top rank is the observed maximum exactly (nearest-rank p100);
+  // interpolation would report the middle of the max's bucket instead.
+  if (target >= count) return max;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] < std::max<std::uint64_t>(target, 1)) {
+      seen += buckets[i];
+      continue;
+    }
+    // Bucket bounds: bucket 0 is [<1], bucket i >= 1 is [2^(i-1), 2^i),
+    // clamped into [min, max] so sparse tails do not overshoot.
+    double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+    double hi = std::ldexp(1.0, static_cast<int>(i));
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi < lo) return lo;
+    const double within =
+        (static_cast<double>(std::max<std::uint64_t>(target, 1) - seen) -
+         0.5) /
+        static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+  }
+  return max;
+}
+
 Registry::Entry& Registry::entry(std::string_view name, Type type) {
   for (Entry& e : entries_) {
     if (e.name == name) {

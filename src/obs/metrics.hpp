@@ -31,6 +31,16 @@ struct Histogram {
   [[nodiscard]] double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+
+  /// Value at quantile q in [0, 1] estimated from the log2 buckets:
+  /// the target rank is located in its bucket and interpolated linearly
+  /// between the bucket's bounds [2^(i-1), 2^i) — module 4's serving
+  /// report reads its p50/p99 latencies out of this.  The first and
+  /// last populated buckets are clamped to the observed min/max so the
+  /// estimate never leaves the data's range; the top rank (q = 1, or any
+  /// q reaching the last observation) returns the observed max exactly.
+  /// Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 class Registry {

@@ -17,6 +17,7 @@
 #include "kernels/detail/canonical.hpp"
 #include "kernels/dispatch.hpp"
 #include "kernels/distance.hpp"
+#include "kernels/filter.hpp"
 #include "kernels/kmeans.hpp"
 #include "kernels/sort.hpp"
 #include "support/rng.hpp"
@@ -331,5 +332,73 @@ TEST(KernelsSort, ScalarSimdBitEqualOverRandomShapes) {
     ker::bucket_indices(ker::Isa::kSimd, values.data(), n, splitters.data(),
                         nsplit, b_simd.data());
     ASSERT_EQ(b_scalar, b_simd) << "trial " << trial;
+  }
+}
+
+TEST(KernelsFilter, MatchesReferenceIncludingBoundaries) {
+  // Boundary-inclusive points (closed rectangle), points just outside,
+  // NaN coordinates, and a degenerate zero-area window.
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 1.0, 3.0, 0.999, 3.001,
+                                  std::numeric_limits<double>::quiet_NaN(),
+                                  2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0, 3.0, 1.0, 2.0, 2.0, 2.0,
+                                  std::numeric_limits<double>::quiet_NaN()};
+  for (const auto isa : {ker::Isa::kScalar, ker::Isa::kSimd}) {
+    if (isa == ker::Isa::kSimd && !simd_available()) continue;
+    // [1,3]x[1,3]: the five corner/edge/inside points match, the
+    // just-outside and NaN points do not.
+    EXPECT_EQ(ker::count_in_rect(isa, xs.data(), ys.data(), xs.size(), 1.0,
+                                 1.0, 3.0, 3.0),
+              5u)
+        << ker::isa_name(isa);
+    // Zero-area window: only the exact point matches.
+    EXPECT_EQ(ker::count_in_rect(isa, xs.data(), ys.data(), xs.size(), 2.0,
+                                 2.0, 2.0, 2.0),
+              1u)
+        << ker::isa_name(isa);
+    // Inverted (min > max) window matches nothing.
+    EXPECT_EQ(ker::count_in_rect(isa, xs.data(), ys.data(), xs.size(), 3.0,
+                                 3.0, 1.0, 1.0),
+              0u)
+        << ker::isa_name(isa);
+    // NaN bound matches nothing.
+    EXPECT_EQ(ker::count_in_rect(
+                  isa, xs.data(), ys.data(), xs.size(),
+                  std::numeric_limits<double>::quiet_NaN(), 1.0, 3.0, 3.0),
+              0u)
+        << ker::isa_name(isa);
+  }
+}
+
+TEST(KernelsFilter, ScalarSimdBitEqualOverRandomShapes) {
+  if (!simd_available()) GTEST_SKIP() << "no AVX2 on this host";
+  Xoshiro256 rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = rng.uniform_index(300);  // includes n = 0
+    auto xs = random_values(n, 5000 + static_cast<std::uint64_t>(trial),
+                            0.0, 100.0);
+    auto ys = random_values(n, 6000 + static_cast<std::uint64_t>(trial),
+                            0.0, 100.0);
+    if (n > 4) {
+      xs[n / 2] = std::numeric_limits<double>::quiet_NaN();
+      ys[n / 3] = std::numeric_limits<double>::infinity();
+    }
+    const double x0 = rng.uniform(0.0, 100.0);
+    const double y0 = rng.uniform(0.0, 100.0);
+    const double w = rng.uniform(-5.0, 40.0);  // negative = inverted rect
+    std::uint64_t ref = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ref += ker::detail::in_rect_ref(xs[i], ys[i], x0, y0, x0 + w, y0 + w)
+                 ? 1u
+                 : 0u;
+    }
+    EXPECT_EQ(ker::count_in_rect(ker::Isa::kScalar, xs.data(), ys.data(), n,
+                                 x0, y0, x0 + w, y0 + w),
+              ref)
+        << "trial " << trial;
+    EXPECT_EQ(ker::count_in_rect(ker::Isa::kSimd, xs.data(), ys.data(), n,
+                                 x0, y0, x0 + w, y0 + w),
+              ref)
+        << "trial " << trial;
   }
 }

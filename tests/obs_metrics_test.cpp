@@ -79,3 +79,56 @@ TEST(Registry, CsvHasHeaderAndOneRowPerEntry) {
   EXPECT_NE(csv.find("g,gauge,"), std::string::npos);
   EXPECT_NE(csv.find("h,histogram,"), std::string::npos);
 }
+
+TEST(Histogram, QuantileEmptyAndSingle) {
+  obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.observe(100.0);
+  // One observation: every quantile is clamped into [min, max] = [100].
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, QuantileOrderedAndBounded) {
+  obs::Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  // Quantiles are monotone and stay inside the observed range.
+  double prev = h.quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, h.min);
+    EXPECT_LE(v, h.max);
+    prev = v;
+  }
+  // Log2 buckets bound the estimate by a factor of 2: the true p50 of
+  // 1..1000 is 500, whose bucket is [256, 512).
+  EXPECT_GE(h.quantile(0.5), 256.0);
+  EXPECT_LE(h.quantile(0.5), 512.0);
+  // p99 = 990 lives in [512, 1000] after the max clamp.
+  EXPECT_GE(h.quantile(0.99), 512.0);
+  EXPECT_LE(h.quantile(0.99), 1000.0);
+}
+
+TEST(Histogram, QuantileSkewedTail) {
+  // 99 fast observations and one huge outlier: p50 stays in the fast
+  // bucket, p100 is exactly the outlier.
+  obs::Histogram h;
+  for (int i = 0; i < 99; ++i) h.observe(2.5);
+  h.observe(1e6);
+  EXPECT_GE(h.quantile(0.5), 2.0);
+  EXPECT_LE(h.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e6);
+}
+
+TEST(Histogram, QuantileSubUnitBucket) {
+  obs::Histogram h;
+  h.observe(0.25);
+  h.observe(0.5);
+  h.observe(0.75);
+  // All three live in bucket 0 (< 1); clamping keeps the estimate inside
+  // [0.25, 0.75].
+  EXPECT_GE(h.quantile(0.5), 0.25);
+  EXPECT_LE(h.quantile(0.5), 0.75);
+}

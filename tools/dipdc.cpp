@@ -9,6 +9,7 @@
 //   dipdc module2 --ranks=8 --n=1024 --dim=90 --tile=128 --trace-cache
 //   dipdc module3 --ranks=8 --n=100000 --dist=exponential --policy=histogram
 //   dipdc module4 --ranks=16 --engine=rtree --nodes=2
+//   dipdc module4 --ranks=9 --serve --qps=6000 --mix=hotspot
 //   dipdc module5 --ranks=16 --k=32 --strategy=weighted
 //   dipdc module6 --ranks=8 --cells=65536 --overlap
 //   dipdc module7 --ranks=8 --tokens=1000000 --partition=hash
@@ -44,6 +45,7 @@
 #include "modules/kmeans/module5.hpp"
 #include "modules/mapreduce/module7.hpp"
 #include "modules/rangequery/module4.hpp"
+#include "modules/rangequery/serving.hpp"
 #include "modules/sort/module3.hpp"
 #include "modules/stencil/module6.hpp"
 #include "modules/warmup/warmup.hpp"
@@ -265,9 +267,57 @@ int run_module3(const ArgParser& args, const Common& c) {
   return 0;
 }
 
+/// Module 4, serving mode (--serve): the sharded range-query service
+/// under sustained open-loop load (modules/rangequery/serving.hpp).
+int run_module4_serve(const ArgParser& args, const Common& c) {
+  namespace m4 = dipdc::modules::rangequery;
+  m4::ServeConfig cfg;
+  cfg.n_points = static_cast<std::size_t>(args.get_int("n", 50000));
+  cfg.side = args.get_double("side", 4.0);
+  cfg.qps = args.get_double("qps", 4000.0);
+  cfg.duration = args.get_double("duration", 1.0);
+  cfg.mix = m4::parse_mix(args.get("mix", "uniform"));
+  cfg.hot_fraction = args.get_double("hot-fraction", 0.9);
+  cfg.zipf_s = args.get_double("zipf", 1.1);
+  cfg.batch = static_cast<std::size_t>(args.get_int("batch", 16));
+  cfg.queue_cap = static_cast<std::size_t>(args.get_int("queue-cap", 256));
+  cfg.pipeline = static_cast<std::size_t>(args.get_int("pipeline", 2));
+  cfg.grid = static_cast<std::size_t>(args.get_int("grid", 0));
+  cfg.seed = c.seed;
+  cfg.kernel = c.kernel;
+  m4::ServeResult r;
+  const auto result = mpi::run(
+      c.ranks,
+      [&](mpi::Comm& comm) {
+        const auto res = m4::serve(comm, cfg);
+        if (comm.rank() == 0) r = res;
+      },
+      options_for(c));
+  std::printf(
+      "serving (%s mix, %d shards, %dx%d grid): offered %llu q at %.0f "
+      "q/s, admitted %llu, rejected %llu, completed %llu in %llu "
+      "batches\n",
+      m4::mix_name(cfg.mix), r.shards, r.grid_side, r.grid_side,
+      static_cast<unsigned long long>(r.offered), cfg.qps,
+      static_cast<unsigned long long>(r.admitted),
+      static_cast<unsigned long long>(r.rejected),
+      static_cast<unsigned long long>(r.completed),
+      static_cast<unsigned long long>(r.batches));
+  std::printf(
+      "  achieved %.0f q/s, latency p50 %s p99 %s max %s, %llu matches, "
+      "%s entries checked, shard imbalance %.2f\n",
+      r.achieved_qps, seconds(r.p50_latency).c_str(),
+      seconds(r.p99_latency).c_str(), seconds(r.max_latency).c_str(),
+      static_cast<unsigned long long>(r.total_matches),
+      count(r.entries_checked).c_str(), r.shard_imbalance);
+  maybe_reports(c, result);
+  return 0;
+}
+
 int run_module4(const ArgParser& args, const Common& c) {
   namespace m4 = dipdc::modules::rangequery;
   namespace sp = dipdc::spatial;
+  if (args.get_bool("serve", false)) return run_module4_serve(args, c);
   const auto n = static_cast<std::size_t>(args.get_int("n", 50000));
   const auto nq = static_cast<std::size_t>(args.get_int("queries", 512));
   const std::string engine_name = args.get("engine", "brute");
@@ -474,6 +524,15 @@ void usage() {
       "--policy=width|histogram\n"
       "  module4: --n=N(50000) --queries=N(512) "
       "--engine=brute|rtree|quadtree|kdtree\n"
+      "           --serve: sharded serving mode under sustained load; "
+      "rank 0 drives,\n"
+      "           the rest hold grid shards: --qps=Q(4000) "
+      "--duration=S(1.0)\n"
+      "           --mix=uniform|hotspot|zipf --hot-fraction=P(0.9) "
+      "--zipf=S(1.1)\n"
+      "           --batch=N(16) --queue-cap=N(256) --pipeline=N(2) "
+      "--grid=G(auto)\n"
+      "           --side=W(4.0)\n"
       "  module5: --n=N(50000) --k=K(8) --strategy=weighted|explicit\n"
       "  module6: --cells=N(65536) --iterations=N(64) --halo=W(1) "
       "--overlap\n"
@@ -499,6 +558,9 @@ const std::vector<std::string>& known_options() {
       "dist", "policy",
       // module4
       "queries", "engine",
+      // module4 --serve
+      "serve", "qps", "duration", "mix", "hot-fraction", "batch",
+      "queue-cap", "pipeline", "grid", "side",
       // module5
       "k", "strategy",
       // module6
