@@ -1,0 +1,401 @@
+// Streaming out-of-core sweep: modules 2 and 3 in-core vs streamed, with
+// the read / communicate / compute rotation's overlap on and off.
+//
+// Every run records a trace and the reported communication numbers come
+// from obs::critical_path over the simulated timeline — NOT from parsing
+// dipdc-trace output (which rounds to one decimal).  The headline row of
+// the module 2 sweep is the overlap experiment the streaming handbook
+// chapter (docs/handbook/streaming.md) is built around: the same chunks
+// move through the same nonblocking broadcasts either issue-and-wait
+// (overlap off) or hidden behind the previous chunk's compute (overlap
+// on), and the critical-path comm share drops by `m2_overlap_comm_drop`
+// (>= 2x on the shipped configuration).
+//
+// Everything this bench measures is *simulated* time, so the pinned
+// metrics in the JSON are deterministic: the same binary on any machine,
+// any backend, produces bit-identical values.  CI exploits that —
+// tools/bench_diff.py compares a --quick run against the committed
+// BENCH_streaming.json exactly (see .github/workflows/ci.yml, perf-smoke).
+//
+// Usage: bench_streaming [--quick] [--out=FILE]
+//   --quick   headline configuration only (the CI perf-smoke leg)
+//   --out     also write the results as JSON (BENCH_streaming.json)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dataio/chunk.hpp"
+#include "dataio/dataset.hpp"
+#include "minimpi/comm.hpp"
+#include "minimpi/runtime.hpp"
+#include "minimpi/trace.hpp"
+#include "modules/distmatrix/module2.hpp"
+#include "modules/sort/module3.hpp"
+#include "obs/critical_path.hpp"
+
+namespace mpi = dipdc::minimpi;
+namespace io = dipdc::dataio;
+namespace obs = dipdc::obs;
+namespace m2 = dipdc::modules::distmatrix;
+namespace m3 = dipdc::modules::distsort;
+
+namespace {
+
+// The headline configuration runs in BOTH full and quick modes with
+// identical parameters, so the committed full-run JSON and the CI quick
+// run agree exactly on every pinned metric.
+constexpr int kHeadlineRanks = 8;
+constexpr std::size_t kM2Rows = 1024;
+constexpr std::size_t kM2Dim = 90;
+constexpr std::size_t kHeadlineChunkRows = 128;  // 8 chunks
+constexpr std::size_t kM3Keys = 4000;
+constexpr std::size_t kM3ChunkRows = 500;  // 8 chunks
+
+/// Sentinel for "comm share dropped all the way to zero" (a ratio would
+/// divide by zero; JSON has no infinity).
+constexpr double kDropToZero = 1e6;
+
+struct TempPath {
+  explicit TempPath(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempPath() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+/// One traced run distilled: the slowest rank's simulated clock plus the
+/// critical-path attribution of the simulated timeline.
+struct RunMetrics {
+  double sim_time = 0.0;    // max simulated clock across ranks
+  double makespan = 0.0;    // critical-path makespan
+  double comm_s = 0.0;      // seconds attributed to communication
+  double comm_share = 0.0;  // comm_s / makespan
+};
+
+RunMetrics analyze(const mpi::RunResult& rr) {
+  RunMetrics m;
+  m.sim_time = rr.max_sim_time();
+  const obs::Trace trace = mpi::make_trace(rr);
+  const obs::CriticalPath cp = obs::critical_path(trace);
+  m.makespan = cp.makespan;
+  m.comm_s = cp.comm_seconds();
+  m.comm_share = cp.comm_share();
+  return m;
+}
+
+enum class Mode { kInCore, kStream };
+
+const char* mode_name(Mode m) {
+  return m == Mode::kInCore ? "incore" : "stream";
+}
+
+struct M2Row {
+  int ranks = 0;
+  std::size_t chunk_rows = 0;  // 0 for in-core
+  Mode mode = Mode::kInCore;
+  bool overlap = false;
+  RunMetrics rm;
+  double checksum = 0.0;
+};
+
+M2Row run_m2(int ranks, const io::Dataset& d, const std::string& chunk_path,
+             std::size_t chunk_rows, Mode mode, bool overlap) {
+  M2Row row;
+  row.ranks = ranks;
+  row.chunk_rows = mode == Mode::kStream ? chunk_rows : 0;
+  row.mode = mode;
+  row.overlap = overlap;
+  mpi::RuntimeOptions opts;
+  opts.record_trace = true;
+  const m2::Config cfg;  // base configuration: block rows, row-wise
+  const mpi::RunResult rr = mpi::run(
+      ranks,
+      [&](mpi::Comm& comm) {
+        const m2::Result res =
+            mode == Mode::kInCore
+                ? m2::run_distributed(comm, d, cfg)
+                : m2::run_streamed(comm, chunk_path, cfg, {overlap});
+        if (comm.rank() == 0) row.checksum = res.checksum;
+      },
+      opts);
+  row.rm = analyze(rr);
+  return row;
+}
+
+struct M3Row {
+  int ranks = 0;
+  Mode mode = Mode::kInCore;
+  bool overlap = false;
+  RunMetrics rm;
+  std::size_t total_elements = 0;
+  bool sorted = false;
+  /// Concatenation of all ranks' sorted buckets (collected outside the
+  /// traced world so the comparison adds no communication events).
+  std::vector<double> global;
+};
+
+M3Row run_m3(int ranks, const io::Dataset& keys, const std::string& chunk_path,
+             Mode mode, bool overlap) {
+  M3Row row;
+  row.ranks = ranks;
+  row.mode = mode;
+  row.overlap = overlap;
+  mpi::RuntimeOptions opts;
+  opts.record_trace = true;
+  const m3::Config cfg;  // kEqualWidth over [0, 1)
+  std::vector<std::vector<double>> buckets(static_cast<std::size_t>(ranks));
+  const auto shards =
+      io::block_partition(keys.size(), static_cast<std::size_t>(ranks));
+  const mpi::RunResult rr = mpi::run(
+      ranks,
+      [&](mpi::Comm& comm) {
+        const auto r = static_cast<std::size_t>(comm.rank());
+        m3::Result res;
+        if (mode == Mode::kInCore) {
+          const auto [b, e] = shards[r];
+          std::vector<double> local(keys.values().data() + b,
+                                    keys.values().data() + e);
+          res = m3::distributed_bucket_sort(comm, local, cfg);
+          buckets[r] = std::move(local);
+        } else {
+          res = m3::streamed_bucket_sort(comm, chunk_path, cfg, buckets[r],
+                                         {overlap});
+        }
+        if (comm.rank() == 0) {
+          row.total_elements = res.total_elements;
+          row.sorted = res.globally_sorted;
+        }
+      },
+      opts);
+  row.rm = analyze(rr);
+  for (const std::vector<double>& b : buckets) {
+    row.global.insert(row.global.end(), b.begin(), b.end());
+  }
+  return row;
+}
+
+std::string g6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Exact round-trip formatting for the pinned (deterministic) metrics.
+std::string g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void print_m2(const M2Row& r) {
+  std::printf("%6d %7s %10zu %8s %14.6g %14.6g %9.4f%%\n", r.ranks,
+              mode_name(r.mode), r.chunk_rows,
+              r.mode == Mode::kStream ? (r.overlap ? "on" : "off") : "-",
+              r.rm.sim_time * 1e6, r.rm.comm_s * 1e6,
+              100.0 * r.rm.comm_share);
+}
+
+void print_m3(const M3Row& r) {
+  std::printf("%6d %7s %8s %14.6g %14.6g %9.4f%%  %s\n", r.ranks,
+              mode_name(r.mode),
+              r.mode == Mode::kStream ? (r.overlap ? "on" : "off") : "-",
+              r.rm.sim_time * 1e6, r.rm.comm_s * 1e6,
+              100.0 * r.rm.comm_share, r.sorted ? "sorted" : "UNSORTED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // ---- Module 2: distance matrix, in-core vs streamed -------------------
+  const io::Dataset d = io::generate_uniform(kM2Rows, kM2Dim, 0.0, 1.0, 11);
+  TempPath m2_headline("dipdc_bench_m2_headline.bin");
+  io::dataset_to_chunks(d, m2_headline.path, kHeadlineChunkRows);
+
+  std::printf("Module 2 distance matrix, %zu x %zu-d points "
+              "(simulated time; comm = critical-path attribution)\n\n",
+              kM2Rows, kM2Dim);
+  std::printf("%6s %7s %10s %8s %14s %14s %10s\n", "ranks", "mode",
+              "chunk_rows", "overlap", "sim us", "comm us", "comm share");
+
+  std::vector<M2Row> m2_rows;
+  const std::vector<int> rank_levels =
+      quick ? std::vector<int>{kHeadlineRanks} : std::vector<int>{2, 4, 8};
+  const std::vector<std::size_t> chunk_levels =
+      quick ? std::vector<std::size_t>{kHeadlineChunkRows}
+            : std::vector<std::size_t>{64, kHeadlineChunkRows, 256};
+  for (const int ranks : rank_levels) {
+    m2_rows.push_back(run_m2(ranks, d, "", 0, Mode::kInCore, false));
+    print_m2(m2_rows.back());
+    for (const std::size_t chunk_rows : chunk_levels) {
+      TempPath chunks("dipdc_bench_m2_" + std::to_string(chunk_rows) +
+                      ".bin");
+      const std::string& path = chunk_rows == kHeadlineChunkRows
+                                    ? m2_headline.path
+                                    : chunks.path;
+      if (chunk_rows != kHeadlineChunkRows) {
+        io::dataset_to_chunks(d, path, chunk_rows);
+      }
+      for (const bool overlap : {false, true}) {
+        m2_rows.push_back(
+            run_m2(ranks, d, path, chunk_rows, Mode::kStream, overlap));
+        print_m2(m2_rows.back());
+      }
+    }
+  }
+
+  // Headline pair: streamed at the headline configuration, overlap off vs
+  // on.  Same chunks, same collectives; only the issue/wait placement
+  // differs — the share of the critical path spent communicating is the
+  // price of not overlapping.
+  const auto find_m2 = [&](Mode mode, bool overlap) -> const M2Row& {
+    for (const M2Row& r : m2_rows) {
+      if (r.ranks == kHeadlineRanks && r.mode == mode &&
+          (mode == Mode::kInCore ||
+           (r.chunk_rows == kHeadlineChunkRows && r.overlap == overlap))) {
+        return r;
+      }
+    }
+    std::fprintf(stderr, "FATAL: headline configuration missing\n");
+    std::abort();
+  };
+  const M2Row& m2_incore = find_m2(Mode::kInCore, false);
+  const M2Row& m2_off = find_m2(Mode::kStream, false);
+  const M2Row& m2_on = find_m2(Mode::kStream, true);
+  const double drop = m2_on.rm.comm_share > 0.0
+                          ? m2_off.rm.comm_share / m2_on.rm.comm_share
+                          : (m2_off.rm.comm_share > 0.0 ? kDropToZero : 1.0);
+  const bool m2_checksums_equal = m2_incore.checksum == m2_off.checksum &&
+                                  m2_incore.checksum == m2_on.checksum;
+  std::printf("\nheadline (%d ranks, chunk_rows=%zu): overlap cuts the "
+              "critical-path comm share\n%.4f%% -> %.4f%% (%.2fx); "
+              "checksums in-core vs streamed %s\n",
+              kHeadlineRanks, kHeadlineChunkRows,
+              100.0 * m2_off.rm.comm_share, 100.0 * m2_on.rm.comm_share,
+              drop, m2_checksums_equal ? "identical" : "DIFFER");
+  if (!m2_checksums_equal) {
+    std::fprintf(stderr, "FATAL: streamed checksum diverged from in-core\n");
+    return 1;
+  }
+
+  // ---- Module 3: bucket sort, in-core vs streamed -----------------------
+  const io::Dataset keys = io::generate_uniform(kM3Keys, 1, 0.0, 1.0, 7);
+  TempPath m3_chunks("dipdc_bench_m3.bin");
+  io::dataset_to_chunks(keys, m3_chunks.path, kM3ChunkRows);
+
+  std::printf("\nModule 3 bucket sort, %zu keys (chunk_rows=%zu streamed)\n\n",
+              kM3Keys, kM3ChunkRows);
+  std::printf("%6s %7s %8s %14s %14s %10s\n", "ranks", "mode", "overlap",
+              "sim us", "comm us", "comm share");
+  std::vector<M3Row> m3_rows;
+  const std::vector<int> m3_ranks =
+      quick ? std::vector<int>{kHeadlineRanks} : std::vector<int>{4, 8};
+  for (const int ranks : m3_ranks) {
+    m3_rows.push_back(run_m3(ranks, keys, "", Mode::kInCore, false));
+    print_m3(m3_rows.back());
+    for (const bool overlap : {false, true}) {
+      m3_rows.push_back(
+          run_m3(ranks, keys, m3_chunks.path, Mode::kStream, overlap));
+      print_m3(m3_rows.back());
+    }
+  }
+  const auto find_m3 = [&](Mode mode, bool overlap) -> const M3Row& {
+    for (const M3Row& r : m3_rows) {
+      if (r.ranks == kHeadlineRanks && r.mode == mode &&
+          (mode == Mode::kInCore || r.overlap == overlap)) {
+        return r;
+      }
+    }
+    std::fprintf(stderr, "FATAL: headline configuration missing\n");
+    std::abort();
+  };
+  const M3Row& m3_incore = find_m3(Mode::kInCore, false);
+  const M3Row& m3_on = find_m3(Mode::kStream, true);
+  const M3Row& m3_off = find_m3(Mode::kStream, false);
+  const bool m3_buckets_equal = m3_incore.global == m3_on.global &&
+                                m3_incore.global == m3_off.global;
+  std::printf("\nstreamed buckets vs in-core exchange: %s\n",
+              m3_buckets_equal ? "bit-identical" : "DIFFER");
+  if (!m3_buckets_equal || !m3_on.sorted || !m3_off.sorted) {
+    std::fprintf(stderr, "FATAL: streamed sort diverged from in-core\n");
+    return 1;
+  }
+
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"streaming\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"m2_rows\": %zu, \"m2_dim\": %zu, "
+                 "\"m3_keys\": %zu, \"m3_chunk_rows\": %zu, "
+                 "\"headline_ranks\": %d, \"headline_chunk_rows\": %zu, "
+                 "\"quick\": %s},\n",
+                 kM2Rows, kM2Dim, kM3Keys, kM3ChunkRows, kHeadlineRanks,
+                 kHeadlineChunkRows, quick ? "true" : "false");
+    std::fprintf(f, "  \"module2\": [\n");
+    for (std::size_t i = 0; i < m2_rows.size(); ++i) {
+      const M2Row& r = m2_rows[i];
+      std::fprintf(f,
+                   "    {\"ranks\": %d, \"mode\": \"%s\", \"chunk_rows\": "
+                   "%zu, \"overlap\": %s, \"sim_time_s\": %s, "
+                   "\"comm_s\": %s, \"comm_share\": %s}%s\n",
+                   r.ranks, mode_name(r.mode), r.chunk_rows,
+                   r.overlap ? "true" : "false", g6(r.rm.sim_time).c_str(),
+                   g6(r.rm.comm_s).c_str(), g6(r.rm.comm_share).c_str(),
+                   i + 1 < m2_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"module3\": [\n");
+    for (std::size_t i = 0; i < m3_rows.size(); ++i) {
+      const M3Row& r = m3_rows[i];
+      std::fprintf(f,
+                   "    {\"ranks\": %d, \"mode\": \"%s\", \"overlap\": %s, "
+                   "\"sim_time_s\": %s, \"comm_s\": %s, \"comm_share\": "
+                   "%s, \"total_elements\": %zu, \"sorted\": %s}%s\n",
+                   r.ranks, mode_name(r.mode), r.overlap ? "true" : "false",
+                   g6(r.rm.sim_time).c_str(), g6(r.rm.comm_s).c_str(),
+                   g6(r.rm.comm_share).c_str(), r.total_elements,
+                   r.sorted ? "true" : "false",
+                   i + 1 < m3_rows.size() ? "," : "");
+    }
+    // Pinned metrics: all simulated, hence bit-identical on any machine
+    // and backend.  bench_diff.py compares these exactly and requires
+    // m2_overlap_comm_drop >= 2 (the PR's acceptance bar).
+    std::fprintf(f, "  ],\n  \"pinned\": {\n");
+    std::fprintf(f, "    \"m2_checksum\": %s,\n", g17(m2_on.checksum).c_str());
+    std::fprintf(f, "    \"m2_sim_time_stream_overlap_s\": %s,\n",
+                 g17(m2_on.rm.sim_time).c_str());
+    std::fprintf(f, "    \"m2_comm_share_overlap\": %s,\n",
+                 g17(m2_on.rm.comm_share).c_str());
+    std::fprintf(f, "    \"m2_comm_share_no_overlap\": %s,\n",
+                 g17(m2_off.rm.comm_share).c_str());
+    std::fprintf(f, "    \"m2_overlap_comm_drop\": %s,\n", g17(drop).c_str());
+    std::fprintf(f, "    \"m2_stream_matches_incore\": %s,\n",
+                 m2_checksums_equal ? "true" : "false");
+    std::fprintf(f, "    \"m3_sim_time_stream_overlap_s\": %s,\n",
+                 g17(m3_on.rm.sim_time).c_str());
+    std::fprintf(f, "    \"m3_total_elements\": %zu,\n",
+                 m3_on.total_elements);
+    std::fprintf(f, "    \"m3_stream_matches_incore\": %s\n",
+                 m3_buckets_equal ? "true" : "false");
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -1,0 +1,260 @@
+#include "dataio/chunk.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace dipdc::dataio {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'I', 'P', 'D', 'C', 'C', 'H', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+// Fixed-width on-disk header; everything after it is raw doubles.
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t pad;  // keeps the doubles that follow 8-byte aligned
+  std::uint64_t dim;
+  std::uint64_t total_rows;
+  std::uint64_t chunk_rows;
+};
+static_assert(sizeof(Header) == 40, "header layout is part of the format");
+
+std::streamoff chunk_offset(const ChunkFileInfo& info, std::size_t k) {
+  return static_cast<std::streamoff>(
+      sizeof(Header) +
+      k * info.chunk_rows * info.dim * sizeof(double));
+}
+
+void write_header(std::ofstream& out, const ChunkFileInfo& info) {
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.dim = info.dim;
+  h.total_rows = info.total_rows;
+  h.chunk_rows = info.chunk_rows;
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+}
+
+void read_doubles(std::ifstream& in, const std::string& path,
+                  std::streamoff offset, std::vector<double>& out) {
+  in.seekg(offset);
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(out.size() * sizeof(double)));
+  DIPDC_REQUIRE(in.good(), "truncated chunk file: " + path);
+}
+
+}  // namespace
+
+std::size_t ChunkFileInfo::rows_in_chunk(std::size_t k) const {
+  const std::size_t begin = k * chunk_rows;
+  DIPDC_REQUIRE(begin < total_rows || (total_rows == 0 && k == 0),
+                "chunk index out of range");
+  return std::min(chunk_rows, total_rows - begin);
+}
+
+// ---- ChunkWriter -----------------------------------------------------------
+
+ChunkWriter::ChunkWriter(const std::string& path, std::size_t dim,
+                         std::size_t chunk_rows)
+    : out_(path, std::ios::binary), path_(path), dim_(dim),
+      chunk_rows_(chunk_rows) {
+  DIPDC_REQUIRE(dim > 0, "chunk file dimensionality must be positive");
+  DIPDC_REQUIRE(chunk_rows > 0, "chunk_rows must be positive");
+  DIPDC_REQUIRE(out_.good(), "cannot open chunk file for writing: " + path);
+  buffer_.reserve(chunk_rows_ * dim_);
+  write_header(out_, {dim_, 0, chunk_rows_});
+}
+
+ChunkWriter::~ChunkWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor teardown must not throw; close() explicitly to observe
+    // write failures.
+  }
+}
+
+void ChunkWriter::append(std::span<const double> values) {
+  DIPDC_REQUIRE(!closed_, "append on a closed ChunkWriter");
+  DIPDC_REQUIRE(values.size() % dim_ == 0,
+                "append size must be a multiple of the dimensionality");
+  std::size_t taken = 0;
+  while (taken < values.size()) {
+    const std::size_t room = chunk_rows_ * dim_ - buffer_.size();
+    const std::size_t n = std::min(room, values.size() - taken);
+    buffer_.insert(buffer_.end(), values.begin() + static_cast<std::ptrdiff_t>(taken),
+                   values.begin() + static_cast<std::ptrdiff_t>(taken + n));
+    taken += n;
+    if (buffer_.size() == chunk_rows_ * dim_) flush_buffer();
+  }
+}
+
+void ChunkWriter::flush_buffer() {
+  if (buffer_.empty()) return;
+  out_.write(reinterpret_cast<const char*>(buffer_.data()),
+             static_cast<std::streamsize>(buffer_.size() * sizeof(double)));
+  DIPDC_REQUIRE(out_.good(), "error while writing chunk file: " + path_);
+  rows_written_ += buffer_.size() / dim_;
+  buffer_.clear();
+}
+
+void ChunkWriter::close() {
+  if (closed_) return;
+  flush_buffer();
+  // Patch the row count now that it is known; everything else in the
+  // header was final from the start.
+  out_.seekp(0);
+  write_header(out_, {dim_, rows_written_, chunk_rows_});
+  out_.flush();
+  DIPDC_REQUIRE(out_.good(), "error while finalizing chunk file: " + path_);
+  out_.close();
+  closed_ = true;
+}
+
+// ---- ChunkReader -----------------------------------------------------------
+
+ChunkReader::ChunkReader(const std::string& path)
+    : path_(path), in_(path, std::ios::binary),
+      prefetch_in_(path, std::ios::binary) {
+  DIPDC_REQUIRE(in_.good(), "cannot open chunk file for reading: " + path);
+  Header h{};
+  in_.read(reinterpret_cast<char*>(&h), sizeof(h));
+  DIPDC_REQUIRE(in_.good() && std::memcmp(h.magic, kMagic, sizeof(kMagic)) == 0,
+                "not a chunk file: " + path);
+  DIPDC_REQUIRE(h.version == kVersion,
+                "unsupported chunk file version in " + path);
+  DIPDC_REQUIRE(h.dim > 0 && h.chunk_rows > 0,
+                "corrupt chunk file header in " + path);
+  info_ = {static_cast<std::size_t>(h.dim),
+           static_cast<std::size_t>(h.total_rows),
+           static_cast<std::size_t>(h.chunk_rows)};
+}
+
+ChunkReader::~ChunkReader() { join_prefetch(); }
+
+void ChunkReader::read_chunk(std::size_t k, std::vector<double>& out) {
+  DIPDC_REQUIRE(k < num_chunks(), "chunk index out of range");
+  out.resize(info_.rows_in_chunk(k) * info_.dim);
+  read_doubles(in_, path_, chunk_offset(info_, k), out);
+}
+
+void ChunkReader::start_prefetch(std::size_t k) {
+  back_.resize(info_.rows_in_chunk(k) * info_.dim);
+  // The prefetch stream is touched only by this thread until the matching
+  // join_prefetch(); read failures surface there via the stream state.
+  prefetch_ = std::thread([this, k] {
+    prefetch_in_.seekg(chunk_offset(info_, k));
+    prefetch_in_.read(
+        reinterpret_cast<char*>(back_.data()),
+        static_cast<std::streamsize>(back_.size() * sizeof(double)));
+  });
+  inflight_ = true;
+}
+
+void ChunkReader::join_prefetch() {
+  if (prefetch_.joinable()) prefetch_.join();
+  inflight_ = false;
+}
+
+std::size_t ChunkReader::next(std::vector<double>& out) {
+  if (next_chunk_ >= num_chunks()) return num_chunks();
+  const std::size_t k = next_chunk_++;
+  if (inflight_) {
+    join_prefetch();
+    DIPDC_REQUIRE(prefetch_in_.good(), "truncated chunk file: " + path_);
+    out.swap(back_);
+  } else {
+    read_chunk(k, out);  // first call (or first after reset): no read-ahead
+  }
+  if (next_chunk_ < num_chunks()) start_prefetch(next_chunk_);
+  return k;
+}
+
+void ChunkReader::reset() {
+  join_prefetch();
+  prefetch_in_.clear();
+  next_chunk_ = 0;
+}
+
+// ---- Whole-file conveniences ----------------------------------------------
+
+void dataset_to_chunks(const Dataset& dataset, const std::string& path,
+                       std::size_t chunk_rows) {
+  ChunkWriter writer(path, dataset.dim(), chunk_rows);
+  writer.append(dataset.values());
+  writer.close();
+}
+
+Dataset read_chunks(const std::string& path) {
+  ChunkReader reader(path);
+  std::vector<double> values;
+  values.reserve(reader.total_rows() * reader.dim());
+  std::vector<double> chunk;
+  while (reader.next(chunk) < reader.num_chunks()) {
+    values.insert(values.end(), chunk.begin(), chunk.end());
+  }
+  return {reader.dim(), std::move(values)};
+}
+
+// ---- CSV -------------------------------------------------------------------
+
+void parse_csv_row(const std::string& line, std::size_t line_no,
+                   const std::string& path, std::vector<double>& row) {
+  row.clear();
+  const char* p = line.data();
+  const char* const end = p + line.size();
+  while (true) {
+    const char* cell_end = p;
+    while (cell_end != end && *cell_end != ',') ++cell_end;
+    double v = 0.0;
+    const auto [ptr, ec] = std::from_chars(p, cell_end, v);
+    DIPDC_REQUIRE(ec == std::errc{} && ptr == cell_end,
+                  "malformed CSV cell at " + path + ":" +
+                      std::to_string(line_no));
+    row.push_back(v);
+    if (cell_end == end) break;
+    p = cell_end + 1;  // past the comma; an empty trailing cell is an error
+  }
+}
+
+ChunkFileInfo csv_to_chunks(const std::string& csv_path,
+                            const std::string& chunk_path,
+                            std::size_t chunk_rows) {
+  std::ifstream in(csv_path);
+  DIPDC_REQUIRE(in.good(), "cannot open CSV file for reading: " + csv_path);
+  std::string line;
+  std::vector<double> row;
+  std::size_t line_no = 0;
+  std::size_t dim = 0;
+  // The writer is constructed lazily: the dimensionality is whatever the
+  // first non-empty row has, and every later row must match it.
+  std::unique_ptr<ChunkWriter> writer;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    parse_csv_row(line, line_no, csv_path, row);
+    if (dim == 0) {
+      dim = row.size();
+      writer = std::make_unique<ChunkWriter>(chunk_path, dim, chunk_rows);
+    } else {
+      DIPDC_REQUIRE(row.size() == dim,
+                    "ragged CSV row at " + csv_path + ":" +
+                        std::to_string(line_no) + " (got " +
+                        std::to_string(row.size()) + " cells, expected " +
+                        std::to_string(dim) + ")");
+    }
+    writer->append(row);
+  }
+  DIPDC_REQUIRE(dim > 0, "empty CSV file: " + csv_path);
+  writer->close();
+  return {dim, writer->rows_written(), chunk_rows};
+}
+
+}  // namespace dipdc::dataio

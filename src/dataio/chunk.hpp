@@ -1,0 +1,143 @@
+// Chunked on-disk dataset format with double-buffered prefetch.
+//
+// The streamed pipelines in modules 2 and 3 work on datasets larger than
+// RAM: rows live on disk in fixed-size chunks and only O(chunk) of them
+// are resident at a time.  This header provides the format and the two
+// movers:
+//
+//  - ChunkWriter appends rows and flushes a chunk whenever `chunk_rows`
+//    have accumulated (the file stays valid after every flush);
+//  - ChunkReader random-accesses chunks (`read_chunk`) or streams them in
+//    order (`next`), where a background thread reads chunk k+1 from disk
+//    while the caller consumes chunk k — the I/O half of the read /
+//    communicate / compute rotation documented in
+//    docs/handbook/streaming.md.
+//
+// File layout (host-native byte order; this is a single-machine teaching
+// format, not an interchange format):
+//
+//   offset 0: Header { magic "DIPDCCHK", version, dim, total_rows,
+//                      chunk_rows }
+//   then ceil(total_rows / chunk_rows) chunks back to back, chunk k
+//   holding rows [k*chunk_rows, min((k+1)*chunk_rows, total_rows)) as raw
+//   row-major doubles.  Chunk offsets are computable from the header, so
+//   there are no per-chunk headers and any chunk can be seeked directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataio/dataset.hpp"
+
+namespace dipdc::dataio {
+
+/// Shape of a chunk file, as recorded in its header.
+struct ChunkFileInfo {
+  std::size_t dim = 0;
+  std::size_t total_rows = 0;
+  std::size_t chunk_rows = 0;
+
+  [[nodiscard]] std::size_t num_chunks() const {
+    return chunk_rows == 0 ? 0 : (total_rows + chunk_rows - 1) / chunk_rows;
+  }
+  /// Rows in chunk k (the last chunk may be short).
+  [[nodiscard]] std::size_t rows_in_chunk(std::size_t k) const;
+};
+
+/// Appends rows to a chunk file.  The header's row count is patched on
+/// close(), which the destructor calls; a writer abandoned mid-append
+/// still leaves a parseable file covering the rows flushed so far.
+class ChunkWriter {
+ public:
+  ChunkWriter(const std::string& path, std::size_t dim,
+              std::size_t chunk_rows);
+  ~ChunkWriter();
+  ChunkWriter(const ChunkWriter&) = delete;
+  ChunkWriter& operator=(const ChunkWriter&) = delete;
+
+  /// Appends whole rows: `values.size()` must be a multiple of dim.
+  void append(std::span<const double> values);
+  [[nodiscard]] std::size_t rows_written() const { return rows_written_; }
+  /// Flushes the partial chunk and patches the header.  Idempotent.
+  void close();
+
+ private:
+  void flush_buffer();
+
+  std::ofstream out_;
+  std::string path_;
+  std::size_t dim_;
+  std::size_t chunk_rows_;
+  std::size_t rows_written_ = 0;
+  std::vector<double> buffer_;  // < chunk_rows_ * dim_ values pending
+  bool closed_ = false;
+};
+
+/// Reads a chunk file: random access via read_chunk(), or sequential
+/// streaming via next()/reset() with one chunk of read-ahead on a
+/// background thread.  Not thread-safe; one reader per consumer.
+class ChunkReader {
+ public:
+  explicit ChunkReader(const std::string& path);
+  ~ChunkReader();
+  ChunkReader(const ChunkReader&) = delete;
+  ChunkReader& operator=(const ChunkReader&) = delete;
+
+  [[nodiscard]] const ChunkFileInfo& info() const { return info_; }
+  [[nodiscard]] std::size_t dim() const { return info_.dim; }
+  [[nodiscard]] std::size_t total_rows() const { return info_.total_rows; }
+  [[nodiscard]] std::size_t num_chunks() const { return info_.num_chunks(); }
+
+  /// Reads chunk k into `out` (resized to rows_in_chunk(k) * dim).
+  void read_chunk(std::size_t k, std::vector<double>& out);
+
+  /// Streams chunks in order.  Fills `out` with the next chunk and
+  /// returns its index, or returns num_chunks() when exhausted.  After
+  /// handing over chunk k it immediately starts reading chunk k+1 in the
+  /// background, so a caller that computes on `out` between calls overlaps
+  /// that compute with the disk read.
+  std::size_t next(std::vector<double>& out);
+
+  /// Restarts streaming from chunk 0 (discards any read-ahead).
+  void reset();
+
+ private:
+  void start_prefetch(std::size_t k);
+  void join_prefetch();
+
+  ChunkFileInfo info_;
+  std::string path_;
+  std::ifstream in_;           // random-access reads (read_chunk)
+  std::ifstream prefetch_in_;  // owned by the prefetch thread while joined
+  std::thread prefetch_;
+  std::vector<double> back_;   // buffer the prefetch thread fills
+  std::size_t next_chunk_ = 0;
+  bool inflight_ = false;
+};
+
+/// Writes a whole in-core dataset as a chunk file.
+void dataset_to_chunks(const Dataset& dataset, const std::string& path,
+                       std::size_t chunk_rows);
+
+/// Reads a whole chunk file into memory (in-core convenience / tests).
+Dataset read_chunks(const std::string& path);
+
+/// Streaming CSV-to-chunks conversion: O(chunk) resident memory however
+/// large the file.  Malformed input (ragged rows, non-numeric cells) is
+/// reported with its 1-based line number.
+ChunkFileInfo csv_to_chunks(const std::string& csv_path,
+                            const std::string& chunk_path,
+                            std::size_t chunk_rows);
+
+/// Parses one CSV line of doubles into `row` (cleared first).  Errors name
+/// `path` and the 1-based `line_no`.  Shared by read_csv and
+/// csv_to_chunks so both report malformed input identically.
+void parse_csv_row(const std::string& line, std::size_t line_no,
+                   const std::string& path, std::vector<double>& row);
+
+}  // namespace dipdc::dataio

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
-#include <sstream>
 
+#include "dataio/chunk.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -116,22 +116,24 @@ Dataset read_csv(const std::string& path) {
   std::ifstream in(path);
   DIPDC_REQUIRE(in.good(), "cannot open CSV file for reading: " + path);
   std::vector<double> values;
+  std::vector<double> row;  // reused across lines
   std::size_t dim = 0;
+  std::size_t line_no = 0;
   std::string line;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string cell;
-    std::size_t row_dim = 0;
-    while (std::getline(ls, cell, ',')) {
-      values.push_back(std::stod(cell));
-      ++row_dim;
-    }
+    parse_csv_row(line, line_no, path, row);
     if (dim == 0) {
-      dim = row_dim;
+      dim = row.size();
     } else {
-      DIPDC_REQUIRE(row_dim == dim, "ragged CSV row in " + path);
+      DIPDC_REQUIRE(row.size() == dim,
+                    "ragged CSV row at " + path + ":" +
+                        std::to_string(line_no) + " (got " +
+                        std::to_string(row.size()) + " cells, expected " +
+                        std::to_string(dim) + ")");
     }
+    values.insert(values.end(), row.begin(), row.end());
   }
   DIPDC_REQUIRE(dim > 0, "empty CSV file: " + path);
   return {dim, std::move(values)};

@@ -82,6 +82,9 @@ std::vector<std::pair<std::size_t, std::size_t>> block_partition(
     std::size_t n, std::size_t parts);
 
 /// CSV round trip (plain doubles, comma separated, one point per row).
+/// read_csv reports malformed rows with their 1-based line number; for
+/// files too large to hold in memory, convert with csv_to_chunks
+/// (dataio/chunk.hpp) and stream with ChunkReader instead.
 void write_csv(const Dataset& dataset, const std::string& path);
 Dataset read_csv(const std::string& path);
 

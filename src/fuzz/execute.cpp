@@ -20,6 +20,8 @@ namespace dipdc::fuzz {
 // emitted repros don't need program.hpp; keep the two in lockstep.
 static_assert(static_cast<int>(OpKind::kBarrier) == 10 &&
               static_cast<int>(OpKind::kAlltoallv) == 22);
+static_assert(static_cast<int>(OpKind::kIbcast) == 29 &&
+              static_cast<int>(OpKind::kIallgatherv) == 32);
 
 namespace {
 
@@ -31,8 +33,12 @@ struct RankInterp {
   struct SlotMeta {
     bool is_recv = false;
     std::uint32_t event = 0;
+    /// Icollective kind when the slot holds one; kWait = plain p2p slot.
+    OpKind coll = OpKind::kWait;
   };
   std::array<SlotMeta, 16> meta;
+  /// Live buffers of in-flight nonblocking collectives, by slot.
+  std::array<IcollBuffers, 16> coll_bufs;
   /// isend payloads must stay alive until their wait (the transport may
   /// borrow them zero-copy).
   std::deque<std::vector<std::uint8_t>> send_keepalive;
@@ -111,7 +117,10 @@ void run_rank(const Program& p, minimpi::Comm& world, RankInterp& st,
       case OpKind::kWait: {
         const minimpi::Status s = comm.wait(st.reqs[slot_idx(op.req)]);
         const RankInterp::SlotMeta m = st.meta[slot_idx(op.req)];
-        if (m.is_recv) {
+        if (m.coll != OpKind::kWait) {
+          obs.push_back({m.event, m.coll, -2, -2,
+                         st.coll_bufs[slot_idx(op.req)].result()});
+        } else if (m.is_recv) {
           std::vector<std::uint8_t> buf =
               std::move(st.bufs[slot_idx(op.req)]);
           buf.resize(s.bytes);
@@ -124,7 +133,10 @@ void run_rank(const Program& p, minimpi::Comm& world, RankInterp& st,
         for (int r = op.req; r < op.req + op.nreq; ++r) {
           const minimpi::Status s = comm.wait(st.reqs[slot_idx(r)]);
           const RankInterp::SlotMeta m = st.meta[slot_idx(r)];
-          if (m.is_recv) {
+          if (m.coll != OpKind::kWait) {
+            obs.push_back({m.event, m.coll, -2, -2,
+                           st.coll_bufs[slot_idx(r)].result()});
+          } else if (m.is_recv) {
             std::vector<std::uint8_t> buf = std::move(st.bufs[slot_idx(r)]);
             buf.resize(s.bytes);
             obs.push_back(
@@ -180,6 +192,21 @@ void run_rank(const Program& p, minimpi::Comm& world, RankInterp& st,
         (void)k.repartition();
         obs.push_back({op.event, op.kind, -2, -2,
                        container_obs(k.partitioning().cuts(), k.local())});
+        break;
+      }
+      case OpKind::kIbcast:
+      case OpKind::kIreduce:
+      case OpKind::kIallreduce:
+      case OpKind::kIallgatherv: {
+        // Nonblocking collectives issue through the shared helper; the
+        // result observation is emitted when the deferred wait completes.
+        const std::size_t s = slot_idx(op.req);
+        st.coll_bufs[s] = {};
+        st.reqs[s] = issue_icollective(
+            comm, p.seed, static_cast<int>(op.kind), op.event, op.elems,
+            op.elem_size, op.root, static_cast<int>(op.rop), op.counts,
+            st.coll_bufs[s]);
+        st.meta[s] = {false, op.event, op.kind};
         break;
       }
       default: {

@@ -240,6 +240,12 @@ class Generator {
       emit_container();
       return;
     }
+    // Icollective events likewise roll only when the feature is on, after
+    // the container roll so either flag alone reproduces older streams.
+    if (cfg_.icollective_ops && rng_.uniform_index(100) < 20) {
+      emit_icollective();
+      return;
+    }
     // Weighted event-kind draw; a kind that cannot apply (world too small,
     // lossy plan, comm budget) falls through to an exact p2p message.
     const std::size_t roll = rng_.uniform_index(100);
@@ -495,6 +501,60 @@ class Generator {
     }
     for (std::size_t i = 0; i < pc; ++i) {
       ops_of(c->members[i]).push_back(op);
+    }
+  }
+
+  void emit_icollective() {
+    const CommInfo* c = pick_comm(1);
+    DIPDC_REQUIRE(c != nullptr, "world comm always exists");
+    // The issue needs a request slot on every member; if any member is
+    // out, the whole group degrades to a blocking collective (slot
+    // availability is generator state, so the choice is deterministic).
+    for (const int w : c->members) {
+      if (slots_[static_cast<std::size_t>(w)].free.empty()) {
+        emit_collective();
+        return;
+      }
+    }
+    const auto pc = c->members.size();
+    static constexpr OpKind kKinds[] = {
+        OpKind::kIbcast, OpKind::kIreduce, OpKind::kIallreduce,
+        OpKind::kIallgatherv,
+    };
+    Op op;
+    op.kind = kKinds[rng_.uniform_index(std::size(kKinds))];
+    op.event = event_;
+    op.comm = c->id;
+    op.root = static_cast<int>(rng_.uniform_index(pc));
+    op.elem_size = rng_.uniform() < 0.5 ? 1 : 8;
+    op.elems = 1 + static_cast<std::uint32_t>(rng_.uniform_index(64));
+    op.rop = static_cast<ReduceKind>(rng_.uniform_index(4));
+    if (op.kind == OpKind::kIreduce || op.kind == OpKind::kIallreduce) {
+      op.elem_size = 8;  // reductions operate on std::uint64_t
+    }
+    if (op.kind == OpKind::kIallgatherv) {
+      for (std::size_t i = 0; i < pc; ++i) {
+        op.counts.push_back(
+            static_cast<std::uint32_t>(rng_.uniform_index(33)));
+      }
+    }
+    for (std::size_t i = 0; i < pc; ++i) {
+      const int w = c->members[i];
+      Op mine = op;
+      mine.req = alloc_slot(w);
+      ops_of(w).push_back(mine);
+      // iallreduce is the one kind whose non-root completions depend on
+      // another rank's *wait* (comm rank 0's wait combines and fans the
+      // result out), not just on the issues.  Scheduling anything blocking
+      // for comm rank 0 between its issue and its wait could therefore
+      // cycle; pinning that wait to the very next flush keeps the
+      // sequential-schedule deadlock argument intact.  Everything else
+      // completes from the eager issue-time sends alone.
+      if (op.kind == OpKind::kIallreduce && i == 0) {
+        pending_.push_back({w, mine.req, c->id, event_, event_ + 1});
+      } else {
+        defer_wait(w, mine.req, c->id);
+      }
     }
   }
 

@@ -36,6 +36,11 @@ struct GenConfig {
   /// into the program.  Off by default so pre-container seed files
   /// regenerate bit-identically; the dipdc-fuzz driver turns it on.
   bool container_ops = false;
+  /// Weave nonblocking collectives (ibcast / ireduce / iallreduce /
+  /// iallgatherv with deferred waits) into the program.  Same gating
+  /// contract as container_ops: off by default so older seed files
+  /// regenerate bit-identically; the dipdc-fuzz driver turns it on.
+  bool icollective_ops = false;
 };
 
 /// Deterministically generates a program: same (seed, cfg) -> same Program.

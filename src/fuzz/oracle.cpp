@@ -146,6 +146,7 @@ class Oracle {
       case OpKind::kBarrier:
         return {};
       case OpKind::kBcast:
+      case OpKind::kIbcast:
         return content(op.root, nb);
       case OpKind::kScatter:
         return slice(content(op.root, nb * static_cast<std::size_t>(p)),
@@ -170,7 +171,8 @@ class Oracle {
         return out;
       }
       case OpKind::kGatherv:
-      case OpKind::kAllgatherv: {
+      case OpKind::kAllgatherv:
+      case OpKind::kIallgatherv: {
         if (op.kind == OpKind::kGatherv && member != op.root) return {};
         const auto bc = byte_counts(op.counts, op.elem_size);
         std::vector<std::uint8_t> out;
@@ -181,10 +183,12 @@ class Oracle {
         return out;
       }
       case OpKind::kReduce:
+      case OpKind::kIreduce:
         if (member != op.root) return {};
         return reduction_result(op, member, p);
       case OpKind::kAllreduce:
       case OpKind::kScan:
+      case OpKind::kIallreduce:
         return reduction_result(op, member, p);
       case OpKind::kAlltoall: {
         std::vector<std::uint8_t> out;
@@ -392,6 +396,32 @@ class Oracle {
           ex.tag = -2;
           ex.bytes = container_obs(re.cuts, slab);
           obs.push_back(std::move(ex));
+          break;
+        }
+        case OpKind::kIbcast:
+        case OpKind::kIreduce:
+        case OpKind::kIallreduce:
+        case OpKind::kIallgatherv: {
+          // Issue counts the icollective primitive now; the deferred
+          // kWait op counts Primitive::kWait and flushes the expected
+          // result observation, like a deferred irecv.
+          count(rank, op.kind == OpKind::kIbcast    ? Primitive::kIbcast
+                      : op.kind == OpKind::kIreduce ? Primitive::kIreduce
+                      : op.kind == OpKind::kIallreduce
+                          ? Primitive::kIallreduce
+                          : Primitive::kIallgatherv);
+          int member = -1;
+          for (std::size_t i = 0; i < c.members.size(); ++i) {
+            if (c.members[i] == rank) member = static_cast<int>(i);
+          }
+          DIPDC_REQUIRE(member >= 0, "rank not a member of collective comm");
+          ExpectObs ex;
+          ex.event = op.event;
+          ex.kind = op.kind;
+          ex.source = -2;
+          ex.tag = -2;
+          ex.bytes = collective_result(op, member);
+          slots[op.req] = {true, std::move(ex)};
           break;
         }
         default: {

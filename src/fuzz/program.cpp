@@ -40,6 +40,10 @@ const char* op_kind_name(OpKind k) {
     case OpKind::kContainerCreate: return "container_create";
     case OpKind::kContainerSetWeight: return "container_set_weight";
     case OpKind::kContainerRepartition: return "container_repartition";
+    case OpKind::kIbcast: return "ibcast";
+    case OpKind::kIreduce: return "ireduce";
+    case OpKind::kIallreduce: return "iallreduce";
+    case OpKind::kIallgatherv: return "iallgatherv";
   }
   return "?";
 }
@@ -95,6 +99,19 @@ bool Program::has_racy_irecv_window() const {
           // on the real schedule.
           if (!posted.empty()) return true;
           break;
+      }
+    }
+  }
+  return false;
+}
+
+bool Program::has_icollective() const {
+  for (const auto& rank_ops : ops) {
+    for (const Op& op : rank_ops) {
+      if (op.kind == OpKind::kIbcast || op.kind == OpKind::kIreduce ||
+          op.kind == OpKind::kIallreduce ||
+          op.kind == OpKind::kIallgatherv) {
+        return true;
       }
     }
   }
@@ -220,6 +237,21 @@ void describe_op(std::ostringstream& os, const Op& op) {
       os << " root=" << op.root << " elems=" << op.elems << "x"
          << op.elem_size;
       break;
+    case OpKind::kIbcast:
+    case OpKind::kIreduce:
+      os << " root=" << op.root << " elems=" << op.elems << "x"
+         << op.elem_size << " req=" << op.req;
+      break;
+    case OpKind::kIallreduce:
+      os << " elems=" << op.elems << "x" << op.elem_size << " req=" << op.req;
+      break;
+    case OpKind::kIallgatherv:
+      os << " counts=[";
+      for (std::size_t i = 0; i < op.counts.size(); ++i) {
+        os << (i ? "," : "") << op.counts[i];
+      }
+      os << "]x" << op.elem_size << " req=" << op.req;
+      break;
     case OpKind::kScatterv:
     case OpKind::kGatherv:
     case OpKind::kAllgatherv:
@@ -313,11 +345,20 @@ void emit_rank_body(std::ostringstream& os, const Program& p, int rank) {
     return name;
   };
   bool used_req = false;
+  bool used_icoll = false;
   for (const Op& op : p.ops[static_cast<std::size_t>(rank)]) {
     if (op.req >= 0 || op.kind == OpKind::kWaitAll) used_req = true;
+    if (op.kind == OpKind::kIbcast || op.kind == OpKind::kIreduce ||
+        op.kind == OpKind::kIallreduce ||
+        op.kind == OpKind::kIallgatherv) {
+      used_icoll = true;
+    }
   }
   if (used_req) {
     os << ind << "std::vector<minimpi::Request> reqs(16);\n";
+  }
+  if (used_icoll) {
+    os << ind << "std::vector<fuzz::IcollBuffers> ibufs(16);\n";
   }
   for (const Op& op : p.ops[static_cast<std::size_t>(rank)]) {
     const std::string c = comm_var(op.comm) + ".";
@@ -431,6 +472,21 @@ void emit_rank_body(std::ostringstream& os, const Program& p, int rank) {
         break;
       case OpKind::kContainerRepartition:
         os << ind << "(void)k" << op.color << ".repartition();\n";
+        break;
+      case OpKind::kIbcast:
+      case OpKind::kIreduce:
+      case OpKind::kIallreduce:
+      case OpKind::kIallgatherv:
+        // Issue through the shared helper; the deferred kWait above
+        // completes the slot like any other request.
+        os << ind << "reqs[" << op.req << "] = fuzz::issue_icollective("
+           << comm_var(op.comm) << ", kSeed, " << static_cast<int>(op.kind)
+           << ", " << op.event << "ull, " << op.elems << ", " << op.elem_size
+           << ", " << op.root << ", " << static_cast<int>(op.rop) << ", {";
+        for (std::size_t i = 0; i < op.counts.size(); ++i) {
+          os << (i ? "," : "") << op.counts[i];
+        }
+        os << "}, ibufs[" << op.req << "]);\n";
         break;
     }
   }

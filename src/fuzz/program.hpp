@@ -66,6 +66,15 @@ enum class OpKind : std::uint8_t {
   kContainerCreate,
   kContainerSetWeight,
   kContainerRepartition,
+  // Nonblocking collectives: the issue op allocates a request slot on
+  // every member (the whole group falls back to a blocking collective when
+  // any member is out of slots) and the shared event id ties the deferred
+  // per-member kWait ops back to it, exactly like isend/irecv.  The result
+  // observation is emitted at wait time.
+  kIbcast,
+  kIreduce,
+  kIallreduce,
+  kIallgatherv,
 };
 
 [[nodiscard]] const char* op_kind_name(OpKind k);
@@ -154,6 +163,12 @@ struct Program {
   /// have schedule-dependent simulated clocks; the checker leaves their
   /// clocks out of the outcome digest, like any-source windows.
   [[nodiscard]] bool has_racy_irecv_window() const;
+  /// True when the program issues any nonblocking collective.  Their
+  /// internal receives are posted at issue and complete at sender-timed
+  /// delivery (several can be outstanding at once), so simulated clocks
+  /// are schedule-dependent — the checker's digest leaves timing out, the
+  /// same carve-out as racy irecv windows.
+  [[nodiscard]] bool has_icollective() const;
   [[nodiscard]] const CommInfo& comm_info(int id) const;
 };
 

@@ -263,4 +263,83 @@ inline std::vector<std::uint8_t> run_collective(
   }
 }
 
+/// Buffers of one in-flight nonblocking collective.  The issue call wires
+/// the request to spans of these vectors, so the struct must stay alive
+/// until the request is waited; result() then reads the completed receive
+/// buffer back as bytes (empty when this rank gets no result, e.g. an
+/// ireduce non-root).
+struct IcollBuffers {
+  std::vector<std::uint8_t> send8, recv8;    // ibcast / iallgatherv payloads
+  std::vector<std::uint64_t> send64, recv64; // reduction words
+  std::vector<std::size_t> counts, displs;   // iallgatherv geometry
+
+  [[nodiscard]] std::vector<std::uint8_t> result() const {
+    if (!recv64.empty()) return repro_detail::words_to_bytes(recv64);
+    return recv8;
+  }
+};
+
+/// Issues one nonblocking collective described by the fuzz op fields
+/// (`kind` is the integer value of fuzz::OpKind) and returns its Request.
+/// Contribution content follows the same pure functions as run_collective,
+/// so the oracle can predict every rank's completed buffer.
+inline minimpi::Request issue_icollective(
+    minimpi::Comm& comm, std::uint64_t seed, int kind, std::uint64_t event,
+    std::uint32_t elems, int elem_size, int root, int rop,
+    const std::vector<std::uint32_t>& counts, IcollBuffers& bufs) {
+  using repro_detail::prefix_displs;
+  using repro_detail::to_byte_counts;
+  const int r = comm.rank();
+  const std::size_t nb = static_cast<std::size_t>(elems) *
+                         static_cast<std::size_t>(elem_size);
+
+  // kind values follow fuzz::OpKind; keep in sync with program.hpp.
+  enum { kIbcast = 29, kIreduce, kIallreduce, kIallgatherv };
+
+  switch (kind) {
+    case kIbcast: {
+      bufs.recv8 = r == root ? collective_bytes(seed, event, root, nb)
+                             : std::vector<std::uint8_t>(nb);
+      return comm.ibcast(std::span<std::uint8_t>(bufs.recv8), root);
+    }
+    case kIreduce:
+    case kIallreduce: {
+      bufs.send64 = collective_words(seed, event, r, elems);
+      // ireduce non-roots keep recv64 empty so result() reports nothing.
+      if (kind == kIallreduce || r == root) bufs.recv64.resize(elems);
+      auto dispatch = [&](auto op) {
+        if (kind == kIreduce) {
+          return comm.ireduce(std::span<const std::uint64_t>(bufs.send64),
+                              std::span<std::uint64_t>(bufs.recv64), op,
+                              root);
+        }
+        return comm.iallreduce(std::span<const std::uint64_t>(bufs.send64),
+                               std::span<std::uint64_t>(bufs.recv64), op);
+      };
+      switch (rop) {
+        case 0: return dispatch(WrapSum{});
+        case 1: return dispatch(MinOf{});
+        case 2: return dispatch(MaxOf{});
+        default: return dispatch(BitXor{});
+      }
+    }
+    case kIallgatherv: {
+      bufs.counts = to_byte_counts(counts, elem_size);
+      bufs.displs = prefix_displs(bufs.counts);
+      const std::size_t total = std::accumulate(
+          bufs.counts.begin(), bufs.counts.end(), std::size_t{0});
+      bufs.send8 = collective_bytes(seed, event, r,
+                                    bufs.counts[static_cast<std::size_t>(r)]);
+      bufs.recv8.assign(total, 0);
+      return comm.iallgatherv(std::span<const std::uint8_t>(bufs.send8),
+                              std::span<const std::size_t>(bufs.counts),
+                              std::span<const std::size_t>(bufs.displs),
+                              std::span<std::uint8_t>(bufs.recv8));
+    }
+    default:
+      DIPDC_REQUIRE(false, "issue_icollective: not an icollective op kind");
+      return {};
+  }
+}
+
 }  // namespace dipdc::fuzz

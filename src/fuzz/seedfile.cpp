@@ -50,6 +50,7 @@ std::string format_seed(const SeedSpec& spec) {
   // Written only when on: pre-container seed files omit the key and keep
   // regenerating bit-identically with the flag's false default.
   if (spec.cfg.container_ops) os << "container_ops=1\n";
+  if (spec.cfg.icollective_ops) os << "icollective_ops=1\n";
   if (!spec.kept.empty()) {
     os << "kept=";
     for (std::size_t i = 0; i < spec.kept.size(); ++i) {
@@ -98,6 +99,8 @@ SeedSpec parse_seed(const std::string& text) {
         spec.cfg.fault_spec = value;
       } else if (key == "container_ops") {
         spec.cfg.container_ops = value != "0";
+      } else if (key == "icollective_ops") {
+        spec.cfg.icollective_ops = value != "0";
       } else if (key == "kept") {
         std::istringstream vs(value);
         std::string item;

@@ -781,8 +781,54 @@ Status Comm::wait(Request& request) {
   return st;
 }
 
+bool Comm::advance_collective(
+    const std::shared_ptr<detail::CollectiveState>& cs, bool blocking) {
+  if (cs->done) return true;
+  // Complete the posted sub-operations in post order (deterministic clock
+  // adoption).  Non-blocking callers bail out at the first pending one.
+  while (cs->completed < cs->subs.size()) {
+    if (!blocking) {
+      std::unique_lock<std::mutex> lock(runtime_->mutex());
+      const auto& rs = cs->subs[cs->completed];
+      const bool sub_done = rs->kind == detail::RequestState::Kind::kSend
+                                ? (rs->done || rs->envelope->matched)
+                                : rs->done;
+      if (!sub_done) return false;
+    }
+    Request sub(cs->subs[cs->completed]);
+    wait_nocount(sub);
+    ++cs->completed;
+  }
+  // Root-side fan-in: before running `finish`, a non-blocking caller must
+  // prove every lazily ingested message is already queued, so the blocking
+  // receives inside `finish` provably fast-path.
+  if (!blocking && !cs->ingests.empty()) {
+    std::unique_lock<std::mutex> lock(runtime_->mutex());
+    detail::Mailbox& mb = runtime_->mailbox(world_rank_);
+    for (const auto& in : cs->ingests) {
+      if (!mb.unexpected.find(in.source, in.tag, context_,
+                              /*internal=*/true)) {
+        return false;
+      }
+    }
+  }
+  if (cs->finish) {
+    // Cleared only after success: a RankFailedError unwinding out of the
+    // ingestion leaves the request incomplete, so waiting again rethrows
+    // instead of silently succeeding.
+    cs->finish(*this);
+    cs->finish = nullptr;
+  }
+  cs->done = true;
+  return true;
+}
+
 Status Comm::wait_nocount(Request& request) {
   if (!request.valid()) throw MpiError("wait on an empty Request");
+  if (request.coll_ != nullptr) {
+    advance_collective(request.coll_, /*blocking=*/true);
+    return request.coll_->status;
+  }
   auto rs = request.state_;
 
   std::unique_lock<std::mutex> lock(runtime_->mutex());
@@ -839,11 +885,30 @@ std::size_t Comm::wait_any(std::span<Request> requests, Status* status) {
   for (const Request& r : requests) {
     if (!r.valid()) throw MpiError("wait_any on an empty Request");
   }
-  auto request_done = [](const Request& r) {
-    const auto& rs = r.state_;
+  auto sub_done = [](const std::shared_ptr<detail::RequestState>& rs) {
     return rs->kind == detail::RequestState::Kind::kSend
                ? (rs->done || rs->envelope->matched)
                : rs->done;
+  };
+  // Completable without blocking.  For collectives: every remaining sub
+  // done and every lazy ingest already queued (`finish` itself only posts
+  // eager work, so it never blocks once this holds).  Checked under the
+  // runtime lock.
+  auto request_done = [&](const Request& r) {
+    if (r.coll_ == nullptr) return sub_done(r.state_);
+    const detail::CollectiveState& cs = *r.coll_;
+    if (cs.done) return true;
+    for (std::size_t i = cs.completed; i < cs.subs.size(); ++i) {
+      if (!sub_done(cs.subs[i])) return false;
+    }
+    detail::Mailbox& mb = runtime_->mailbox(world_rank_);
+    for (const auto& in : cs.ingests) {
+      if (!mb.unexpected.find(in.source, in.tag, context_,
+                              /*internal=*/true)) {
+        return false;
+      }
+    }
+    return true;
   };
 
   std::size_t which = requests.size();
@@ -870,6 +935,11 @@ std::size_t Comm::wait_any(std::span<Request> requests, Status* status) {
 
 bool Comm::test(Request& request, Status* status) {
   if (!request.valid()) throw MpiError("test on an empty Request");
+  if (request.coll_ != nullptr) {
+    if (!advance_collective(request.coll_, /*blocking=*/false)) return false;
+    if (status != nullptr) *status = request.coll_->status;
+    return true;
+  }
   auto rs = request.state_;
 
   std::unique_lock<std::mutex> lock(runtime_->mutex());

@@ -26,23 +26,35 @@ namespace dipdc::minimpi {
 template <typename T>
 concept Trivial = std::is_trivially_copyable_v<T>;
 
-/// Handle to a pending non-blocking operation.  Complete it with
-/// Comm::wait()/test()/wait_all(); destroying an incomplete Request is
-/// allowed (the transfer still happens, like a forgotten MPI request leak).
+/// Handle to a pending non-blocking operation: a p2p isend/irecv, or a
+/// nonblocking collective (ibcast/ireduce/iallreduce/iallgatherv).
+/// Complete it with Comm::wait()/test()/wait_all()/wait_any(); destroying
+/// an incomplete Request is allowed (the transfer still happens, like a
+/// forgotten MPI request leak), and destroying a completed-but-unwaited
+/// collective request is safe — all pending state is owned by the request
+/// or the mailbox, never borrowed from it.  Collective requests must be
+/// completed on the communicator that issued them.
 class Request {
  public:
   Request() = default;
 
-  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool valid() const {
+    return state_ != nullptr || coll_ != nullptr;
+  }
   /// Receive status; meaningful after wait()/test() returned success.
-  [[nodiscard]] const Status& status() const { return state_->status; }
+  [[nodiscard]] const Status& status() const {
+    return coll_ != nullptr ? coll_->status : state_->status;
+  }
 
  private:
   friend class Comm;
   explicit Request(std::shared_ptr<detail::RequestState> state)
       : state_(std::move(state)) {}
+  explicit Request(std::shared_ptr<detail::CollectiveState> coll)
+      : coll_(std::move(coll)) {}
 
   std::shared_ptr<detail::RequestState> state_;
+  std::shared_ptr<detail::CollectiveState> coll_;
 };
 
 class Comm {
@@ -445,6 +457,80 @@ class Comm {
     trace_end(Primitive::kAlltoallv, -1, 0, send_data.size_bytes(), t0);
   }
 
+  // ---- Nonblocking collectives ---------------------------------------------
+  // Issue returns immediately with a Request that composes with wait()/
+  // test()/wait_all()/wait_any(), including mixed sets with p2p requests.
+  // All ranks must issue the same collectives in the same order on a
+  // communicator (interleaved freely with blocking collectives); buffers
+  // must stay alive until the request completes.  Progress needs no extra
+  // threads: eager internal sends complete at post, posted receives
+  // complete when the sender delivers, and root-side fan-in is ingested by
+  // the completing wait/test.  Results are bit-identical across backends
+  // and runs: reductions always combine in ascending comm-rank order.
+  // That matches the blocking collectives exactly for exact ops (integer,
+  // min/max); floating-point sums can differ from the blocking *tree*
+  // algorithms in the last bits, since trees bracket differently.
+
+  /// Nonblocking broadcast.  The root completes at issue (fan-out is
+  /// eager); non-roots complete when the payload arrives — posting early
+  /// and waiting late is what overlaps the transfer with compute.
+  template <Trivial T>
+  Request ibcast(std::span<T> data, int root) {
+    count_call(Primitive::kIbcast);
+    const TraceStart t0 = trace_begin();
+    Request req = ibcast_bytes(as_writable_bytes(data), root);
+    trace_end(Primitive::kIbcast, root, 0, data.size_bytes(), t0);
+    return req;
+  }
+
+  /// Nonblocking reduce-to-root.  Non-roots complete at issue; the root's
+  /// wait ingests the contributions (ascending comm rank) and combines
+  /// into `recv_data` (ignored on non-roots).
+  template <Trivial T, typename Op>
+  Request ireduce(std::span<const T> send_data, std::span<T> recv_data,
+                  Op op, int root) {
+    count_call(Primitive::kIreduce);
+    const TraceStart t0 = trace_begin();
+    Request req = ireduce_bytes(as_bytes(send_data),
+                                root == rank_ ? as_writable_bytes(recv_data)
+                                              : std::span<std::byte>{},
+                                sizeof(T), make_reduce_fn<T>(op), root);
+    trace_end(Primitive::kIreduce, root, 0, send_data.size_bytes(), t0);
+    return req;
+  }
+
+  /// Nonblocking allreduce (reduce to comm rank 0, broadcast back).  Rank
+  /// 0's wait combines and fans the result out; other ranks complete when
+  /// the result arrives on their pre-posted receive.
+  template <Trivial T, typename Op>
+  Request iallreduce(std::span<const T> send_data, std::span<T> recv_data,
+                     Op op) {
+    count_call(Primitive::kIallreduce);
+    const TraceStart t0 = trace_begin();
+    Request req =
+        iallreduce_bytes(as_bytes(send_data), as_writable_bytes(recv_data),
+                         sizeof(T), make_reduce_fn<T>(op));
+    trace_end(Primitive::kIallreduce, -1, 0, send_data.size_bytes(), t0);
+    return req;
+  }
+
+  /// Nonblocking variable-size allgather: rank i contributes
+  /// recv_counts[i] elements, gathered at displs[i] on every rank.
+  /// Completes when all p-1 incoming slices have landed in `recv_data`.
+  template <Trivial T>
+  Request iallgatherv(std::span<const T> send_data,
+                      std::span<const std::size_t> recv_counts,
+                      std::span<const std::size_t> displs,
+                      std::span<T> recv_data) {
+    count_call(Primitive::kIallgatherv);
+    const TraceStart t0 = trace_begin();
+    Request req =
+        iallgatherv_bytes(as_bytes(send_data), recv_counts, displs,
+                          as_writable_bytes(recv_data), sizeof(T));
+    trace_end(Primitive::kIallgatherv, -1, 0, send_data.size_bytes(), t0);
+    return req;
+  }
+
  private:
   friend RunResult run(int, const std::function<void(Comm&)>&,
                        RuntimeOptions);
@@ -605,6 +691,27 @@ class Comm {
                        std::span<const std::size_t> recv_counts,
                        std::span<const std::size_t> recv_displs,
                        std::size_t elem_size);
+
+  // Nonblocking collectives (icollectives.cpp) and their completion engine
+  // (comm.cpp).  advance_collective() drives a CollectiveState to
+  // completion: waits/checks the posted subs, verifies (non-blocking) or
+  // performs (blocking, via `finish`) the lazy root-side ingestion, and
+  // marks the request done.  Returns false when non-blocking and not yet
+  // completable.
+  Request ibcast_bytes(std::span<std::byte> data, int root);
+  Request ireduce_bytes(std::span<const std::byte> send,
+                        std::span<std::byte> recv, std::size_t elem_size,
+                        ReduceFn op, int root);
+  Request iallreduce_bytes(std::span<const std::byte> send,
+                           std::span<std::byte> recv, std::size_t elem_size,
+                           ReduceFn op);
+  Request iallgatherv_bytes(std::span<const std::byte> send,
+                            std::span<const std::size_t> counts,
+                            std::span<const std::size_t> displs,
+                            std::span<std::byte> recv,
+                            std::size_t elem_size);
+  bool advance_collective(const std::shared_ptr<detail::CollectiveState>& cs,
+                          bool blocking);
 
   // Alternative collective algorithms (collectives.cpp).
   void scatter_tree(std::span<const std::byte> send, std::span<std::byte> recv,

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -22,6 +23,10 @@
 #include "minimpi/trace.hpp"
 #include "minimpi/types.hpp"
 #include "support/rng.hpp"
+
+namespace dipdc::minimpi {
+class Comm;  // CollectiveState::finish runs against the completing Comm
+}  // namespace dipdc::minimpi
 
 namespace dipdc::minimpi::detail {
 
@@ -217,6 +222,42 @@ struct RequestState {
 
   // Send fields.
   std::shared_ptr<Envelope> envelope;
+};
+
+/// State behind a nonblocking-collective Request (ibcast / ireduce /
+/// iallreduce / iallgatherv).  A flat (star) schedule decomposed into three
+/// parts, all created at issue time:
+///
+///  - `subs`: sub-operations posted immediately — eager internal isends
+///    (complete at post) and posted internal irecvs (complete at delivery,
+///    which is what buys compute/communication overlap);
+///  - `ingests`: root-side fan-in messages received *lazily* at completion
+///    time, in list order.  They arrive as unexpected internal messages
+///    while the root computes; deferring the receive keeps the simulated
+///    ingress-link accounting in a receiver-chosen, deterministic order
+///    (posting p-1 concurrent irecvs would make the clocks depend on the
+///    real-time arrival schedule);
+///  - `finish`: deferred local work run once every sub completed — performs
+///    the lazy ingestion (blocking receives that fast-path because test()/
+///    wait_any() only declare completability once every ingest is queued),
+///    combines/copies out, and may post eager follow-up sends.  It must
+///    never block on traffic outside `ingests`, and is cleared only after
+///    it ran to completion so a wait after RankFailedError rethrows instead
+///    of silently succeeding.
+struct CollectiveState {
+  std::vector<std::shared_ptr<RequestState>> subs;
+  /// subs[0..completed) have been waited (clocks adopted).
+  std::size_t completed = 0;
+
+  struct Ingest {
+    int source = 0;  // comm rank
+    int tag = 0;     // collective-internal tag
+  };
+  std::vector<Ingest> ingests;
+
+  std::function<void(Comm&)> finish;
+  bool done = false;
+  Status status{};  // collectives carry no source/tag/bytes
 };
 
 /// Does envelope `e` satisfy posted-receive (or blocking-receive) filters?

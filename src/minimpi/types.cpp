@@ -12,6 +12,7 @@ std::string_view primitive_name(Primitive p) {
       "MPI_Gatherv",   "MPI_Allgather", "MPI_Reduce",  "MPI_Allreduce",
       "MPI_Alltoall",  "MPI_Alltoallv", "MPI_Scan",
       "SendReliable",  "RecvReliable",
+      "MPI_Ibcast",    "MPI_Ireduce",  "MPI_Iallreduce", "MPI_Iallgatherv",
   };
   const auto idx = static_cast<std::size_t>(p);
   return idx < names.size() ? names[idx] : std::string_view{"?"};
@@ -30,6 +31,8 @@ std::string_view collective_algo_name(CollectiveAlgo a) {
           "allreduce/recursive-doubling", "allreduce/rabenseifner",
           "alltoall/pairwise",     "alltoallv/pairwise",
           "scan/linear",
+          "ibcast/linear",         "ireduce/linear",
+          "iallreduce/reduce+bcast", "iallgatherv/linear",
       };
   const auto idx = static_cast<std::size_t>(a);
   return idx < names.size() ? names[idx] : std::string_view{"?"};

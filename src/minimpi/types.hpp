@@ -60,6 +60,13 @@ enum class Primitive : std::size_t {
   kScan,
   kSendReliable,
   kRecvReliable,
+  // Nonblocking collectives (issue side; completion is counted as kWait,
+  // exactly like Isend/Irecv).  Appended after the reliable primitives so
+  // existing trace op codes stay stable.
+  kIbcast,
+  kIreduce,
+  kIallreduce,
+  kIallgatherv,
   kCount,  // sentinel
 };
 
@@ -94,6 +101,13 @@ enum class CollectiveAlgo : std::size_t {
   kAlltoallPairwise,
   kAlltoallvPairwise,
   kScanLinear,
+  // Nonblocking collectives run flat (star) schedules: completion order is
+  // driven by the waiting rank, not a tree, so overlap with compute is
+  // maximal and root-side fan-in stays deterministic.
+  kIbcastLinear,
+  kIreduceLinear,
+  kIallreduceReduceBcast,
+  kIallgathervLinear,
   kCount,  // sentinel
 };
 

@@ -189,4 +189,26 @@ void distance_rows_list(std::span<const double> all, std::size_t dim,
 Result run_distributed(minimpi::Comm& comm, const dataio::Dataset& dataset,
                        const Config& config);
 
+/// Knobs of the out-of-core pipeline (run_streamed).
+struct StreamConfig {
+  /// Overlap the next chunk's broadcast (and the root's disk read-ahead)
+  /// with the current chunk's compute.  Off = issue-and-wait per chunk:
+  /// same data through the same collectives, nothing hidden — the
+  /// baseline the benches compare against.
+  bool overlap = true;
+};
+
+/// Out-of-core distance matrix: the dataset lives in a chunk file
+/// (dataio/chunk.hpp) that only rank 0 opens, and no rank ever holds more
+/// than its own row block plus two chunks of partner points.  Two sweeps
+/// over the file: a streamed Scatterv hands each rank its block rows, then
+/// the chunks stream past every rank as distance partners through the
+/// read / communicate / compute rotation in modules/stream_sweep.hpp.
+/// Results — checksum included — are
+/// bit-identical to run_distributed on the same data, on every backend.
+/// Supports the module's base configuration (block rows, full matrix,
+/// untraced); every rank must pass the same config.
+Result run_streamed(minimpi::Comm& comm, const std::string& chunk_path,
+                    const Config& config, const StreamConfig& stream = {});
+
 }  // namespace dipdc::modules::distmatrix

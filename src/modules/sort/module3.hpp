@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "kernels/dispatch.hpp"
@@ -92,5 +93,29 @@ Result elastic_bucket_sort(minimpi::Comm& world, std::vector<double> local,
 std::vector<double> compute_splitters(minimpi::Comm& comm,
                                       const std::vector<double>& local,
                                       const Config& config);
+
+/// Knobs of the out-of-core pipeline (streamed_bucket_sort).
+struct StreamConfig {
+  /// Overlap the next chunk's broadcast (and the root's disk read-ahead)
+  /// with the current chunk's bucket filter; off = issue-and-wait.
+  bool overlap = true;
+};
+
+/// Out-of-core bucket sort: the keys live in a chunk file (dim-1 rows;
+/// dataio/chunk.hpp) that only rank 0 opens.  Chunks stream past every
+/// rank through the read / communicate / compute rotation
+/// (modules/stream_sweep.hpp); each rank keeps the keys of its own bucket
+/// as they pass and sorts them once the sweep ends, so the exchange
+/// dissolves into the stream — no Alltoallv, no rank ever holds more than
+/// its bucket plus two chunks.  Requires kEqualWidth splitters (the data-
+/// dependent policies need a look at the data before it streams).  On
+/// return `sorted` holds this rank's sorted bucket, bit-identical to what
+/// distributed_bucket_sort leaves on this rank for the same file split
+/// any which way across ranks.  Every rank must pass the same config.
+Result streamed_bucket_sort(minimpi::Comm& comm,
+                            const std::string& chunk_path,
+                            const Config& config,
+                            std::vector<double>& sorted,
+                            const StreamConfig& stream = {});
 
 }  // namespace dipdc::modules::distsort

@@ -2,12 +2,27 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <numeric>
+#include <string>
 
+#include "dataio/chunk.hpp"
 #include "dataio/dataset.hpp"
 #include "support/error.hpp"
 
 namespace io = dipdc::dataio;
+
+namespace {
+
+/// Temp-file path that cleans up after itself.
+struct TempPath {
+  explicit TempPath(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempPath() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+}  // namespace
 
 TEST(Dataset, ShapeAndAccess) {
   io::Dataset d(3, {1, 2, 3, 4, 5, 6});
@@ -107,5 +122,146 @@ TEST(Csv, RoundTripPreservesValues) {
 
 TEST(Csv, MissingFileThrows) {
   EXPECT_THROW(io::read_csv("/nonexistent/definitely/not/here.csv"),
+               dipdc::support::PreconditionError);
+}
+
+TEST(Csv, MalformedRowsReportLineNumbers) {
+  TempPath tmp("dipdc_csv_malformed.csv");
+  {
+    std::ofstream out(tmp.path);
+    out << "1.0,2.0\n"
+        << "3.0,4.0\n"
+        << "5.0,oops\n";
+  }
+  try {
+    io::read_csv(tmp.path);
+    FAIL() << "expected PreconditionError";
+  } catch (const dipdc::support::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find(":3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Csv, RaggedRowsReportLineNumbers) {
+  TempPath tmp("dipdc_csv_ragged.csv");
+  {
+    std::ofstream out(tmp.path);
+    out << "1.0,2.0\n"
+        << "\n"  // blank lines are skipped but still counted
+        << "3.0,4.0,5.0\n";
+  }
+  try {
+    io::read_csv(tmp.path);
+    FAIL() << "expected PreconditionError";
+  } catch (const dipdc::support::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":3"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 2"), std::string::npos) << what;
+  }
+}
+
+// ---- Chunk files -----------------------------------------------------------
+
+TEST(Chunks, RoundTripWithPartialLastChunk) {
+  const auto original = io::generate_uniform(103, 7, -1.0, 1.0, 11);
+  TempPath tmp("dipdc_chunks_roundtrip.bin");
+  io::dataset_to_chunks(original, tmp.path, /*chunk_rows=*/16);
+
+  io::ChunkReader reader(tmp.path);
+  EXPECT_EQ(reader.dim(), 7u);
+  EXPECT_EQ(reader.total_rows(), 103u);
+  EXPECT_EQ(reader.num_chunks(), 7u);  // 6 full + 1 short
+  EXPECT_EQ(reader.info().rows_in_chunk(6), 103u - 6u * 16u);
+
+  const auto loaded = io::read_chunks(tmp.path);
+  ASSERT_EQ(loaded.size(), original.size());
+  ASSERT_EQ(loaded.dim(), original.dim());
+  for (std::size_t i = 0; i < original.values().size(); ++i) {
+    EXPECT_EQ(loaded.values()[i], original.values()[i]);
+  }
+}
+
+TEST(Chunks, StreamingMatchesRandomAccessAndResets) {
+  const auto original = io::generate_uniform(64, 3, 0.0, 5.0, 23);
+  TempPath tmp("dipdc_chunks_stream.bin");
+  io::dataset_to_chunks(original, tmp.path, /*chunk_rows=*/10);
+
+  io::ChunkReader reader(tmp.path);
+  for (int pass = 0; pass < 2; ++pass) {  // second pass exercises reset()
+    std::vector<double> streamed, direct;
+    std::size_t seen = 0;
+    while (true) {
+      const std::size_t k = reader.next(streamed);
+      if (k == reader.num_chunks()) break;
+      EXPECT_EQ(k, seen++);
+      reader.read_chunk(k, direct);
+      ASSERT_EQ(streamed.size(), direct.size());
+      EXPECT_EQ(streamed, direct);
+    }
+    EXPECT_EQ(seen, reader.num_chunks());
+    reader.reset();
+  }
+}
+
+TEST(Chunks, WriterAcceptsArbitraryRowBatches) {
+  TempPath tmp("dipdc_chunks_batches.bin");
+  {
+    io::ChunkWriter writer(tmp.path, /*dim=*/2, /*chunk_rows=*/4);
+    // Batches smaller and larger than a chunk, never aligned to one.
+    std::vector<double> one = {1, 2};
+    std::vector<double> five = {3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    std::vector<double> three = {13, 14, 15, 16, 17, 18};
+    writer.append(one);
+    writer.append(five);
+    writer.append(three);
+    EXPECT_THROW(writer.append(std::vector<double>{99}),  // half a row
+                 dipdc::support::PreconditionError);
+    writer.close();
+    EXPECT_EQ(writer.rows_written(), 9u);
+  }
+  const auto loaded = io::read_chunks(tmp.path);
+  EXPECT_EQ(loaded.size(), 9u);
+  for (std::size_t i = 0; i < 18; ++i) {
+    EXPECT_EQ(loaded.values()[i], static_cast<double>(i + 1));
+  }
+}
+
+TEST(Chunks, CsvConversionMatchesReadCsv) {
+  const auto original = io::generate_uniform(41, 4, -3.0, 3.0, 9);
+  TempPath csv("dipdc_chunks_from_csv.csv");
+  TempPath bin("dipdc_chunks_from_csv.bin");
+  io::write_csv(original, csv.path);
+
+  const io::ChunkFileInfo info =
+      io::csv_to_chunks(csv.path, bin.path, /*chunk_rows=*/8);
+  EXPECT_EQ(info.dim, 4u);
+  EXPECT_EQ(info.total_rows, 41u);
+  EXPECT_EQ(info.num_chunks(), 6u);
+
+  const auto via_csv = io::read_csv(csv.path);
+  const auto via_chunks = io::read_chunks(bin.path);
+  ASSERT_EQ(via_chunks.size(), via_csv.size());
+  for (std::size_t i = 0; i < via_csv.values().size(); ++i) {
+    EXPECT_EQ(via_chunks.values()[i], via_csv.values()[i]);
+  }
+}
+
+TEST(Chunks, RejectsCorruptHeaderAndTruncation) {
+  TempPath tmp("dipdc_chunks_bad.bin");
+  {
+    std::ofstream out(tmp.path, std::ios::binary);
+    out << "this is not a chunk file";
+  }
+  EXPECT_THROW(io::ChunkReader reader(tmp.path),
+               dipdc::support::PreconditionError);
+
+  // Valid header, missing payload bytes.
+  const auto original = io::generate_uniform(20, 2, 0.0, 1.0, 4);
+  io::dataset_to_chunks(original, tmp.path, 8);
+  const auto full = std::filesystem::file_size(tmp.path);
+  std::filesystem::resize_file(tmp.path, full - 16);
+  io::ChunkReader reader(tmp.path);
+  std::vector<double> chunk;
+  EXPECT_THROW(reader.read_chunk(2, chunk),
                dipdc::support::PreconditionError);
 }

@@ -137,6 +137,90 @@ TEST(FuzzOracle, ContainerProgramsAgreeWithExecutionAcrossSeeds) {
   EXPECT_GT(reparts, 0u) << "no seed in [1,12] generated a repartition";
 }
 
+TEST(FuzzOracle, IcollectiveProgramsAgreeWithExecutionAcrossSeeds) {
+  // Nonblocking collectives (issue + deferred wait) woven into ordinary
+  // programs: the oracle must predict the issue-time primitive counts, the
+  // kWait counts, and the exact bytes every member's completed buffer
+  // holds at wait time — under fault-free and auto-drawn fault plans.
+  fz::GenConfig cfg = small_config();
+  cfg.icollective_ops = true;
+  std::size_t issues = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    fz::GenConfig c = cfg;
+    if (seed % 3 == 0) c.fault_spec = "auto";
+    const fz::Program p = fz::generate(seed, c);
+    for (const auto& rank_ops : p.ops) {
+      for (const fz::Op& op : rank_ops) {
+        if (op.kind == fz::OpKind::kIbcast ||
+            op.kind == fz::OpKind::kIreduce ||
+            op.kind == fz::OpKind::kIallreduce ||
+            op.kind == fz::OpKind::kIallgatherv) {
+          ++issues;
+        }
+      }
+    }
+    const fz::CheckResult r = fz::check(p, fz::execute(p));
+    EXPECT_TRUE(r.ok) << "icollective seed " << seed << "\n" << r.summary();
+  }
+  EXPECT_GT(issues, 0u) << "no seed in [1,12] generated an icollective";
+}
+
+TEST(FuzzOracle, IcollectiveOpsOffRegeneratesLegacyProgramsUnchanged) {
+  // Like the container roll, the icollective roll must consume generator
+  // randomness only when the feature is on, so pre-icollective corpus
+  // seeds keep regenerating bit-identically.
+  const fz::GenConfig off = small_config();
+  fz::GenConfig defaulted = small_config();
+  defaulted.icollective_ops = false;
+  for (std::uint64_t seed : {3ull, 19ull, 44ull}) {
+    EXPECT_EQ(fz::describe(fz::generate(seed, off)),
+              fz::describe(fz::generate(seed, defaulted)));
+    const std::string d = fz::describe(fz::generate(seed, off));
+    EXPECT_EQ(d.find("ibcast"), std::string::npos);
+    EXPECT_EQ(d.find("ireduce"), std::string::npos);
+    EXPECT_EQ(d.find("iallreduce"), std::string::npos);
+    EXPECT_EQ(d.find("iallgatherv"), std::string::npos);
+  }
+}
+
+TEST(FuzzGenerate, IallreduceRootWaitIsPinnedToNextFlush) {
+  // iallreduce completions on non-roots depend on comm rank 0 executing
+  // its wait (the fan-out happens there), so the generator must never
+  // schedule another blocking op for comm rank 0 between its issue and
+  // its wait — the deferred wait is pinned to the very next event.
+  fz::GenConfig cfg = small_config();
+  cfg.icollective_ops = true;
+  std::size_t checked = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const fz::Program p = fz::generate(seed, cfg);
+    for (const auto& rank_ops : p.ops) {
+      for (std::size_t i = 0; i < rank_ops.size(); ++i) {
+        const fz::Op& op = rank_ops[i];
+        if (op.kind != fz::OpKind::kIallreduce) continue;
+        const auto& members = p.comm_info(op.comm).members;
+        const int world = members.front();  // comm rank 0
+        if (&rank_ops != &p.ops[static_cast<std::size_t>(world)]) continue;
+        // Only other deferred waits (all on earlier requests, which
+        // cannot block on this rank's future ops) may precede the
+        // matching wait in comm rank 0's op list.
+        bool found = false;
+        for (std::size_t j = i + 1; j < rank_ops.size(); ++j) {
+          const fz::Op& next = rank_ops[j];
+          ASSERT_EQ(next.kind, fz::OpKind::kWait)
+              << "blocking op before comm rank 0's iallreduce wait";
+          if (next.event == op.event && next.req == op.req) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u) << "no seed in [1,20] generated an iallreduce";
+}
+
 TEST(FuzzOracle, ContainerOpsOffRegeneratesLegacyProgramsUnchanged) {
   // The container roll must consume generator randomness only when the
   // feature is on, or every checked-in corpus seed would silently describe
@@ -190,6 +274,16 @@ TEST(FuzzFilter, ClosureRestoresContainerCreateOfKeptEvents) {
     return;
   }
   GTEST_FAIL() << "no seed in [1,50] produced a dependent container op";
+}
+
+TEST(FuzzSeedfile, IcollectiveFlagSurvivesRoundTrip) {
+  fz::GenConfig cfg = small_config();
+  cfg.icollective_ops = true;
+  const fz::Program p = fz::generate(8, cfg);
+  const fz::SeedSpec parsed = fz::parse_seed(
+      fz::format_seed(fz::to_seed_spec(p, cfg, /*faults_disabled=*/false)));
+  EXPECT_TRUE(parsed.cfg.icollective_ops);
+  EXPECT_EQ(fz::describe(p), fz::describe(parsed.materialize()));
 }
 
 TEST(FuzzSeedfile, ContainerFlagSurvivesRoundTrip) {

@@ -1,0 +1,399 @@
+// Nonblocking collectives: results match the blocking collectives, requests
+// compose with wait/test/wait_any (including mixed p2p sets), issue-before-
+// wait pipelines overlap, and edge cases (already-complete, destroyed
+// unwaited, wait after rank failure) behave per the documented contract.
+// Backend bit-identity for the streamed module pipelines built on these
+// lives in module_determinism_test; this file pins the primitive layer.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/error.hpp"
+#include "minimpi/faults.hpp"
+#include "minimpi/ops.hpp"
+#include "minimpi/runtime.hpp"
+#include "run_forced.hpp"
+
+namespace mpi = dipdc::minimpi;
+
+class ICollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ICollectiveSweep, IbcastFromEveryRoot) {
+  const int p = GetParam();
+  mpi::run(p, [p](mpi::Comm& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<int> data(64, comm.rank() == root ? root + 1000 : -1);
+      mpi::Request req = comm.ibcast(std::span<int>(data), root);
+      comm.wait(req);
+      for (const int v : data) EXPECT_EQ(v, root + 1000);
+    }
+  });
+}
+
+TEST_P(ICollectiveSweep, IbcastRootMayReuseBufferAfterIssue) {
+  const int p = GetParam();
+  mpi::run(p, [](mpi::Comm& comm) {
+    std::vector<int> data(32, comm.rank() == 0 ? 7 : -1);
+    mpi::Request req = comm.ibcast(std::span<int>(data), 0);
+    // Fan-out stages a copy: clobbering the root's buffer after issue must
+    // not corrupt what the other ranks receive.
+    if (comm.rank() == 0) std::fill(data.begin(), data.end(), -99);
+    comm.wait(req);
+    if (comm.rank() != 0) {
+      for (const int v : data) EXPECT_EQ(v, 7);
+    }
+  });
+}
+
+TEST_P(ICollectiveSweep, IreduceMatchesBlockingReduce) {
+  const int p = GetParam();
+  mpi::run(p, [p](mpi::Comm& comm) {
+    std::vector<double> send(48);
+    for (std::size_t i = 0; i < send.size(); ++i) {
+      send[i] = static_cast<double>(comm.rank() + 1) * 0.5 +
+                static_cast<double>(i) * 0.001;
+    }
+    std::vector<double> blocking(send.size(), 0.0);
+    std::vector<double> nonblocking(send.size(), 0.0);
+    comm.reduce(std::span<const double>(send), std::span<double>(blocking),
+                mpi::ops::Sum{}, 0);
+    mpi::Request req =
+        comm.ireduce(std::span<const double>(send),
+                     std::span<double>(nonblocking), mpi::ops::Sum{}, 0);
+    comm.wait(req);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < send.size(); ++i) {
+        // The nonblocking fold is linear ascending; the blocking reduce
+        // may bracket as a tree, so fp results agree only up to rounding.
+        EXPECT_DOUBLE_EQ(blocking[i], nonblocking[i])
+            << "i=" << i << " p=" << p;
+      }
+    }
+  });
+}
+
+TEST_P(ICollectiveSweep, IreduceFromNonzeroRoot) {
+  const int p = GetParam();
+  mpi::run(p, [p](mpi::Comm& comm) {
+    const int root = p - 1;
+    std::vector<std::uint64_t> send(16, 1u << comm.rank());
+    std::vector<std::uint64_t> recv(16, 0);
+    mpi::Request req =
+        comm.ireduce(std::span<const std::uint64_t>(send),
+                     std::span<std::uint64_t>(recv), mpi::ops::Sum{}, root);
+    comm.wait(req);
+    if (comm.rank() == root) {
+      const std::uint64_t expect = (1u << p) - 1;  // sum of 2^r over ranks
+      for (const std::uint64_t v : recv) EXPECT_EQ(v, expect);
+    }
+  });
+}
+
+TEST_P(ICollectiveSweep, IallreduceMatchesBlockingAllreduce) {
+  const int p = GetParam();
+  mpi::run(p, [](mpi::Comm& comm) {
+    std::vector<double> send(40);
+    for (std::size_t i = 0; i < send.size(); ++i) {
+      send[i] = 1.0 / static_cast<double>(comm.rank() + 2) +
+                static_cast<double>(i);
+    }
+    std::vector<double> blocking(send.size(), 0.0);
+    std::vector<double> nonblocking(send.size(), 0.0);
+    comm.allreduce(std::span<const double>(send), std::span<double>(blocking),
+                   mpi::ops::Sum{});
+    mpi::Request req = comm.iallreduce(std::span<const double>(send),
+                                       std::span<double>(nonblocking),
+                                       mpi::ops::Sum{});
+    comm.wait(req);
+    for (std::size_t i = 0; i < send.size(); ++i) {
+      EXPECT_DOUBLE_EQ(blocking[i], nonblocking[i]) << "i=" << i;
+    }
+  });
+}
+
+TEST_P(ICollectiveSweep, IallgathervConcatenatesInRankOrder) {
+  const int p = GetParam();
+  mpi::run(p, [p](mpi::Comm& comm) {
+    // Rank r contributes r+1 elements — exercises uneven counts.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+    std::size_t total = 0;
+    for (int r = 0; r < p; ++r) {
+      const auto nr = static_cast<std::size_t>(r);
+      counts[nr] = nr + 1;
+      displs[nr] = total;
+      total += counts[nr];
+    }
+    const auto me = static_cast<std::size_t>(comm.rank());
+    std::vector<int> send(counts[me]);
+    for (std::size_t i = 0; i < send.size(); ++i) {
+      send[i] = comm.rank() * 100 + static_cast<int>(i);
+    }
+    std::vector<int> recv(total, -1);
+    mpi::Request req = comm.iallgatherv(
+        std::span<const int>(send), std::span<const std::size_t>(counts),
+        std::span<const std::size_t>(displs), std::span<int>(recv));
+    comm.wait(req);
+    for (int r = 0; r < p; ++r) {
+      const auto nr = static_cast<std::size_t>(r);
+      for (std::size_t i = 0; i < counts[nr]; ++i) {
+        EXPECT_EQ(recv[displs[nr] + i], r * 100 + static_cast<int>(i));
+      }
+    }
+  });
+}
+
+TEST_P(ICollectiveSweep, PipelinedIbcastsCompleteInIssueOrder) {
+  const int p = GetParam();
+  mpi::run(p, [](mpi::Comm& comm) {
+    // The streamed-module pattern: several broadcasts in flight at once,
+    // waited oldest-first while "compute" happens between issues.
+    constexpr int kDepth = 4;
+    std::array<std::vector<int>, kDepth> bufs;
+    std::array<mpi::Request, kDepth> reqs;
+    for (int k = 0; k < kDepth; ++k) {
+      bufs[static_cast<std::size_t>(k)]
+          .assign(128, comm.rank() == 0 ? 10 * k : -1);
+      reqs[static_cast<std::size_t>(k)] =
+          comm.ibcast(std::span<int>(bufs[static_cast<std::size_t>(k)]), 0);
+    }
+    for (int k = 0; k < kDepth; ++k) {
+      comm.wait(reqs[static_cast<std::size_t>(k)]);
+      for (const int v : bufs[static_cast<std::size_t>(k)]) {
+        EXPECT_EQ(v, 10 * k);
+      }
+    }
+  });
+}
+
+TEST_P(ICollectiveSweep, InterleavesWithBlockingCollectives) {
+  const int p = GetParam();
+  mpi::run(p, [p](mpi::Comm& comm) {
+    std::vector<int> a(16, comm.rank() == 0 ? 1 : -1);
+    mpi::Request req = comm.ibcast(std::span<int>(a), 0);
+    // A blocking collective issued while the nonblocking one is in flight
+    // must not steal its payload (tags are unique per invocation).
+    std::vector<int> b(16, comm.rank() == p - 1 ? 2 : -1);
+    comm.bcast(std::span<int>(b), p - 1);
+    comm.wait(req);
+    for (const int v : a) EXPECT_EQ(v, 1);
+    for (const int v : b) EXPECT_EQ(v, 2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, ICollectiveSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+// ---- Request composition edge cases ---------------------------------------
+
+TEST(ICollectiveRequests, TestPollsToCompletionWithoutBlocking) {
+  mpi::run(4, [](mpi::Comm& comm) {
+    std::vector<double> send(8, static_cast<double>(comm.rank()));
+    std::vector<double> recv(8, 0.0);
+    mpi::Request req = comm.iallreduce(
+        std::span<const double>(send), std::span<double>(recv),
+        mpi::ops::Sum{});
+    mpi::Status st;
+    while (!comm.test(req, &st)) {
+      // Non-zero ranks cannot complete until rank 0's own poll runs the
+      // combine-and-fan-out, so spin on wall-clock, not simulated, time.
+      std::this_thread::yield();
+    }
+    for (const double v : recv) EXPECT_DOUBLE_EQ(v, 0.0 + 1.0 + 2.0 + 3.0);
+    // test() on an already-complete request stays true and cheap.
+    EXPECT_TRUE(comm.test(req));
+    EXPECT_TRUE(comm.test(req));
+  });
+}
+
+TEST(ICollectiveRequests, WaitAnyOnAlreadyCompleteCollective) {
+  mpi::run(2, [](mpi::Comm& comm) {
+    std::vector<int> data(4, comm.rank() == 0 ? 5 : -1);
+    std::vector<mpi::Request> reqs;
+    reqs.push_back(comm.ibcast(std::span<int>(data), 0));
+    comm.wait(reqs[0]);
+    // Completed requests stay selectable: wait_any must return instead of
+    // blocking for a second completion that will never come.
+    const std::size_t which = comm.wait_any(std::span<mpi::Request>(reqs));
+    EXPECT_EQ(which, 0u);
+    for (const int v : data) EXPECT_EQ(v, 5);
+  });
+}
+
+TEST(ICollectiveRequests, WaitAnyOnMixedP2PAndCollectiveSet) {
+  mpi::run(2, [](mpi::Comm& comm) {
+    std::vector<int> bc(8, comm.rank() == 0 ? 3 : -1);
+    std::vector<int> p2p(8, -1);
+    std::vector<mpi::Request> reqs;
+    if (comm.rank() == 0) {
+      std::vector<int> payload(8, 42);
+      comm.send(std::span<const int>(payload), 1, 77);
+      reqs.push_back(comm.ibcast(std::span<int>(bc), 0));
+      comm.wait_all(std::span<mpi::Request>(reqs));
+    } else {
+      reqs.push_back(comm.irecv(std::span<int>(p2p), 0, 77));
+      reqs.push_back(comm.ibcast(std::span<int>(bc), 0));
+      // wait_any picks either kind; the caller then retires the other
+      // explicitly (completed requests stay selectable, as with p2p-only
+      // sets).
+      const std::size_t which = comm.wait_any(std::span<mpi::Request>(reqs));
+      ASSERT_LT(which, 2u);
+      comm.wait(reqs[which == 0 ? 1 : 0]);
+      for (const int v : p2p) EXPECT_EQ(v, 42);
+      for (const int v : bc) EXPECT_EQ(v, 3);
+    }
+  });
+}
+
+TEST(ICollectiveRequests, DestroyingCompletedUnwaitedRequestIsSafe) {
+  // Issue on all ranks, synchronize so every transfer has landed, then
+  // drop the requests without ever waiting.  Nothing may leak, dangle, or
+  // trip teardown: root-side fan-in stays in mailbox-owned envelopes and
+  // the runtime clears leftover unexpected messages at join.
+  mpi::run(4, [](mpi::Comm& comm) {
+    std::vector<std::uint64_t> send(16, 1);
+    std::vector<std::uint64_t> recv(16, 0);
+    {
+      mpi::Request r1 = comm.ibcast(std::span<std::uint64_t>(send), 0);
+      mpi::Request r2 =
+          comm.ireduce(std::span<const std::uint64_t>(send),
+                       std::span<std::uint64_t>(recv), mpi::ops::Sum{}, 0);
+      comm.barrier();  // everything eager has been delivered by now
+      // r1, r2 destroyed here, unwaited.
+    }
+    comm.barrier();
+  });
+}
+
+TEST(ICollectiveRequests, ValidationFailuresThrowAtIssue) {
+  EXPECT_THROW(mpi::run(2,
+                        [](mpi::Comm& comm) {
+                          std::vector<int> v(4), out(3);  // size mismatch
+                          comm.ireduce(std::span<const int>(v),
+                                       std::span<int>(out), mpi::ops::Sum{},
+                                       0);
+                        }),
+               mpi::MpiError);
+  EXPECT_THROW(mpi::run(2,
+                        [](mpi::Comm& comm) {
+                          std::vector<int> v(4);
+                          comm.ibcast(std::span<int>(v), 5);  // bad root
+                        }),
+               mpi::MpiError);
+  EXPECT_THROW(
+      mpi::run(2,
+               [](mpi::Comm& comm) {
+                 std::vector<int> send(4), recv(8);
+                 std::vector<std::size_t> counts = {4, 4};  // short displs
+                 std::vector<std::size_t> displs = {0};
+                 comm.iallgatherv(std::span<const int>(send),
+                                  std::span<const std::size_t>(counts),
+                                  std::span<const std::size_t>(displs),
+                                  std::span<int>(recv));
+               }),
+      mpi::MpiError);
+}
+
+TEST(ICollectiveRequests, WaitAfterRankFailureRethrows) {
+  mpi::FaultOptions plan;
+  plan.kill_rank = 1;
+  plan.kill_at_call = 1;  // rank 1 dies at its first primitive call
+  mpi::RuntimeOptions opts;
+  opts.faults = plan;
+  std::atomic<int> rethrew{0};
+
+  try {
+    mpi::run(
+        3,
+        [&rethrew](mpi::Comm& comm) {
+          std::vector<std::uint64_t> send(8, 1);
+          std::vector<std::uint64_t> recv(8, 0);
+          mpi::Request req = comm.iallreduce(
+              std::span<const std::uint64_t>(send),
+              std::span<std::uint64_t>(recv), mpi::ops::Sum{});
+          try {
+            comm.wait(req);
+          } catch (const mpi::RankFailedError&) {
+            // The request stays failed, not silently complete: waiting
+            // again must surface the same error, never return stale data.
+            EXPECT_THROW(comm.wait(req), mpi::RankFailedError);
+            rethrew.fetch_add(1);
+            throw;
+          }
+        },
+        opts);
+    FAIL() << "expected RankFailedError";
+  } catch (const mpi::RankFailedError&) {
+  }
+  EXPECT_GT(rethrew.load(), 0);
+}
+
+// ---- Accounting and backend identity ---------------------------------------
+
+TEST(ICollectiveStats, FanOutMovesExactlyPMinusOnePayloads) {
+  const auto result = mpi::run(4, [](mpi::Comm& comm) {
+    std::vector<double> data(512, 1.0);
+    mpi::Request req = comm.ibcast(std::span<double>(data), 0);
+    comm.wait(req);
+  });
+  const auto total = result.total_stats();
+  EXPECT_EQ(total.p2p_messages_sent, 0u);  // internal, not user p2p
+  EXPECT_EQ(total.transport_bytes_sent, 3u * 512u * sizeof(double));
+}
+
+TEST(ICollectiveStats, ResultsAndClocksIdenticalAcrossBackends) {
+  namespace dt = dipdc::testing;
+  struct Capture {
+    std::vector<double> reduced;
+    std::vector<int> gathered;
+    double clock = 0.0;
+    bool operator==(const Capture&) const = default;
+  };
+  auto program = [](mpi::Comm& comm) {
+    const int p = comm.size();
+    Capture out;
+    std::vector<double> send(64);
+    for (std::size_t i = 0; i < send.size(); ++i) {
+      send[i] = static_cast<double>(comm.rank()) + 0.25 * static_cast<double>(i);
+    }
+    out.reduced.assign(send.size(), 0.0);
+    mpi::Request r1 = comm.iallreduce(std::span<const double>(send),
+                                      std::span<double>(out.reduced),
+                                      mpi::ops::Sum{});
+    comm.wait(r1);
+    // Clock is pinned here: through the allreduce each receive side has at
+    // most one outstanding posted receive, so completion times are
+    // schedule-independent.  iallgatherv posts p-1 concurrent receives,
+    // whose *clocks* legitimately depend on physical arrival order (the
+    // data below stays exact either way), so sample before issuing it.
+    out.clock = comm.wtime();
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p), 8);
+    std::vector<std::size_t> displs(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      displs[static_cast<std::size_t>(r)] = static_cast<std::size_t>(r) * 8;
+    }
+    std::vector<int> mine(8, comm.rank());
+    out.gathered.assign(static_cast<std::size_t>(p) * 8, -1);
+    mpi::Request r2 = comm.iallgatherv(
+        std::span<const int>(mine), std::span<const std::size_t>(counts),
+        std::span<const std::size_t>(displs), std::span<int>(out.gathered));
+    comm.wait(r2);
+    return out;
+  };
+  const Capture base =
+      dt::run_forced(4, dt::forced(mpi::BackendKind::kThreads), program);
+  EXPECT_GT(base.clock, 0.0);
+  for (const mpi::BackendKind kind : dt::other_backends()) {
+    const Capture got = dt::run_forced(4, dt::forced(kind), program);
+    EXPECT_TRUE(got == base)
+        << "backend " << static_cast<int>(kind)
+        << " diverged (clock " << got.clock << " vs " << base.clock << ")";
+  }
+}

@@ -11,9 +11,14 @@
 // container_faults_test.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "dataio/chunk.hpp"
 #include "dataio/dataset.hpp"
 #include "kernels/dispatch.hpp"
 #include "minimpi/backend.hpp"
@@ -305,6 +310,177 @@ TEST(Determinism, Module5ResultsAreKernelIsaInvariant) {
         EXPECT_EQ(results[i].iterations, results[0].iterations);
         EXPECT_EQ(results[i].sim_time, results[0].sim_time);
       }
+    }
+  }
+}
+
+// ---- Streamed (out-of-core) pipelines --------------------------------------
+//
+// The streamed variants move the dataset chunk-by-chunk through
+// nonblocking broadcasts with the disk read and the compute overlapped.
+// The contract: identical *results* to the in-core runs (checksums,
+// sorted buckets), and identical results AND simulated clocks across
+// backends and across overlap on/off.  Datasets are >= 4x the chunk
+// budget so the rotation actually cycles.
+
+namespace {
+
+/// Temp-file path that cleans up after itself.
+struct TempPath {
+  explicit TempPath(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempPath() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+}  // namespace
+
+TEST(Streaming, Module2StreamedChecksumMatchesInCore) {
+  const auto d = io::generate_uniform(97, 16, 0.0, 1.0, 11);  // 5 chunks
+  TempPath chunks("dipdc_m2_stream_incore.bin");
+  io::dataset_to_chunks(d, chunks.path, /*chunk_rows=*/20);
+
+  const m2::Config cfg;  // base configuration: block rows, row-wise
+  const m2::Result incore = run_forced(4, {}, [&](mpi::Comm& comm) {
+    return m2::run_distributed(comm, d, cfg);
+  });
+  for (const bool overlap : {true, false}) {
+    const m2::Result streamed = run_forced(4, {}, [&](mpi::Comm& comm) {
+      return m2::run_streamed(comm, chunks.path, cfg, {overlap});
+    });
+    EXPECT_EQ(streamed.checksum, incore.checksum) << "overlap=" << overlap;
+    EXPECT_EQ(streamed.n, incore.n);
+    EXPECT_EQ(streamed.dim, incore.dim);
+  }
+}
+
+TEST(Streaming, Module2StreamedResultsAreBackendInvariant) {
+  const auto d = io::generate_uniform(96, 8, -1.0, 1.0, 29);
+  TempPath chunks("dipdc_m2_stream_backend.bin");
+  io::dataset_to_chunks(d, chunks.path, /*chunk_rows=*/16);  // 6 chunks
+  const m2::Config cfg;
+
+  for (const bool overlap : {true, false}) {
+    auto body = [&](mpi::Comm& comm) {
+      return m2::run_streamed(comm, chunks.path, cfg, {overlap});
+    };
+    const m2::Result reference = run_forced(4, {}, body);
+    EXPECT_GT(reference.sim_time, 0.0);
+    for (const auto kind : other_backends()) {
+      const m2::Result r = run_forced(4, forced(kind), body);
+      const std::string label =
+          std::string(mpi::to_string(kind)) +
+          (overlap ? "/overlap" : "/no-overlap");
+      EXPECT_EQ(r.checksum, reference.checksum) << label;
+      EXPECT_EQ(r.sim_time, reference.sim_time) << label;
+      EXPECT_EQ(r.compute_time, reference.compute_time) << label;
+      EXPECT_EQ(r.comm_time, reference.comm_time) << label;
+    }
+  }
+}
+
+TEST(Streaming, Module2OverlapDoesNotChangeSimResults) {
+  // Overlap hides transfers behind compute, so sim_time may legitimately
+  // drop — but the computed matrix (checksum) must not move at all.
+  const auto d = io::generate_uniform(80, 8, 0.0, 2.0, 31);
+  TempPath chunks("dipdc_m2_stream_overlap.bin");
+  io::dataset_to_chunks(d, chunks.path, /*chunk_rows=*/16);
+  const m2::Config cfg;
+  const m2::Result with = run_forced(3, {}, [&](mpi::Comm& comm) {
+    return m2::run_streamed(comm, chunks.path, cfg, {true});
+  });
+  const m2::Result without = run_forced(3, {}, [&](mpi::Comm& comm) {
+    return m2::run_streamed(comm, chunks.path, cfg, {false});
+  });
+  EXPECT_EQ(with.checksum, without.checksum);
+  EXPECT_LE(with.sim_time, without.sim_time);
+}
+
+TEST(Streaming, Module3StreamedBucketsMatchInCore) {
+  const auto keys = io::generate_uniform(4003, 1, 0.0, 1.0, 7);
+  TempPath chunks("dipdc_m3_stream_incore.bin");
+  io::dataset_to_chunks(keys, chunks.path, /*chunk_rows=*/512);  // 8 chunks
+
+  m3::Config cfg;  // kEqualWidth over [0, 1)
+  struct Capture {
+    std::vector<double> gathered;  // rank-0 gatherv of all sorted buckets
+    bool sorted = false;
+    bool operator==(const Capture&) const = default;
+  };
+  // In-core reference: the same keys, block-scattered across ranks as
+  // their "already distributed" local shards.
+  auto gather_sorted = [](mpi::Comm& comm, std::vector<double>& mine,
+                          bool ok) {
+    Capture out;
+    out.sorted = ok;
+    const auto np = static_cast<std::size_t>(comm.size());
+    const auto count = static_cast<std::size_t>(mine.size());
+    std::vector<std::size_t> counts(np);
+    comm.allgather(std::span<const std::size_t>(&count, 1),
+                   std::span<std::size_t>(counts));
+    std::vector<std::size_t> displs(np, 0);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < np; ++i) {
+      displs[i] = total;
+      total += counts[i];
+    }
+    out.gathered.resize(comm.rank() == 0 ? total : 0);
+    comm.gatherv(std::span<const double>(mine),
+                 std::span<const std::size_t>(counts),
+                 std::span<const std::size_t>(displs),
+                 std::span<double>(out.gathered), 0);
+    return out;
+  };
+  const Capture incore = run_forced(4, {}, [&](mpi::Comm& comm) {
+    const auto parts = io::block_partition(
+        keys.size(), static_cast<std::size_t>(comm.size()));
+    const auto [b, e] = parts[static_cast<std::size_t>(comm.rank())];
+    std::vector<double> local(keys.values().begin() + static_cast<std::ptrdiff_t>(b * 1),
+                              keys.values().begin() + static_cast<std::ptrdiff_t>(e * 1));
+    const m3::Result res = m3::distributed_bucket_sort(comm, local, cfg);
+    return gather_sorted(comm, local, res.globally_sorted);
+  });
+  ASSERT_TRUE(incore.sorted);
+
+  for (const bool overlap : {true, false}) {
+    const Capture streamed = run_forced(4, {}, [&](mpi::Comm& comm) {
+      std::vector<double> mine;
+      const m3::Result res =
+          m3::streamed_bucket_sort(comm, chunks.path, cfg, mine, {overlap});
+      return gather_sorted(comm, mine, res.globally_sorted);
+    });
+    EXPECT_TRUE(streamed.sorted) << "overlap=" << overlap;
+    EXPECT_TRUE(streamed == incore) << "overlap=" << overlap;
+  }
+}
+
+TEST(Streaming, Module3StreamedResultsAreBackendInvariant) {
+  const auto keys = io::generate_exponential(3000, 1, 2.0, 13);
+  TempPath chunks("dipdc_m3_stream_backend.bin");
+  io::dataset_to_chunks(keys, chunks.path, /*chunk_rows=*/400);
+  m3::Config cfg;
+  cfg.hi = 8.0;  // clamp the exponential tail into the top bucket
+
+  for (const bool overlap : {true, false}) {
+    auto body = [&](mpi::Comm& comm) {
+      std::vector<double> mine;
+      m3::Result res =
+          m3::streamed_bucket_sort(comm, chunks.path, cfg, mine, {overlap});
+      return res;
+    };
+    const m3::Result reference = run_forced(4, {}, body);
+    EXPECT_TRUE(reference.globally_sorted);
+    EXPECT_GT(reference.sim_time, 0.0);
+    for (const auto kind : other_backends()) {
+      const m3::Result r = run_forced(4, forced(kind), body);
+      const std::string label =
+          std::string(mpi::to_string(kind)) +
+          (overlap ? "/overlap" : "/no-overlap");
+      EXPECT_EQ(r.sim_time, reference.sim_time) << label;
+      EXPECT_EQ(r.local_elements, reference.local_elements) << label;
+      EXPECT_EQ(r.imbalance, reference.imbalance) << label;
+      EXPECT_EQ(r.exchange_time, reference.exchange_time) << label;
+      EXPECT_EQ(r.sort_time, reference.sort_time) << label;
     }
   }
 }

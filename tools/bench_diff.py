@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files on pinned metrics; fail on regressions.
+
+CI runs a fresh benchmark (usually a --quick run) and diffs it against the
+baseline committed at the repo root.  Metrics that come from the simulated
+timeline are deterministic — the same binary on any machine produces
+bit-identical values — so those are compared exactly (the default);
+wall-clock metrics get a tolerance.
+
+Usage:
+    bench_diff.py BASELINE CURRENT [options]
+
+Options:
+    --metric PATH[:DIR[:TOL]]   Compare the value at PATH in both files.
+        PATH  dot-separated keys into the JSON ('pinned.m2_checksum';
+              integer segments index arrays: 'module2.0.sim_time_s').
+        DIR   which direction is better, one of
+                equal   any change beyond TOL is a failure (default)
+                higher  only a drop beyond TOL is a failure
+                lower   only a rise beyond TOL is a failure
+        TOL   allowed relative change in percent (default 0 — exact).
+    --require PATH:OP:VALUE     Assert the CURRENT value alone, no
+        baseline needed.  OP is one of ge, gt, le, lt, eq, true, false
+        ('pinned.m2_overlap_comm_drop:ge:2').
+    --default-tol PCT           Tolerance used when no --metric is given
+        and every shared numeric leaf under 'pinned' is compared
+        (default 0).
+
+With no --metric arguments, every key under the 'pinned' object of the
+baseline is compared in 'equal' mode; a pinned key missing from CURRENT is
+a failure.
+
+Exit status: 0 all checks pass, 1 any regression or violated requirement,
+2 usage or file errors.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def lookup(doc, path):
+    """Walks PATH into `doc`; returns (found, value)."""
+    node = doc
+    for part in path.split("."):
+        if isinstance(node, list):
+            try:
+                node = node[int(part)]
+            except (ValueError, IndexError):
+                return False, None
+        elif isinstance(node, dict) and part in node:
+            node = node[part]
+        else:
+            return False, None
+    return True, node
+
+
+def rel_change(base, cur):
+    """Relative change of `cur` vs `base`, signed; inf when base == 0."""
+    if base == cur:
+        return 0.0
+    if base == 0:
+        return math.inf
+    return (cur - base) / abs(base)
+
+
+def check_metric(base_doc, cur_doc, path, direction, tol_pct):
+    ok_b, base = lookup(base_doc, path)
+    ok_c, cur = lookup(cur_doc, path)
+    if not ok_b:
+        return False, f"{path}: missing from baseline"
+    if not ok_c:
+        return False, f"{path}: missing from current"
+    if isinstance(base, bool) or isinstance(cur, bool) or \
+            not isinstance(base, (int, float)) or \
+            not isinstance(cur, (int, float)):
+        ok = base == cur
+        return ok, f"{path}: {base!r} -> {cur!r}" + \
+            ("" if ok else "  (non-numeric values must match)")
+    change = rel_change(base, cur)
+    pct = change * 100.0
+    tol = tol_pct / 100.0
+    if direction == "equal":
+        bad = abs(change) > tol
+    elif direction == "higher":  # higher is better: a drop is a regression
+        bad = change < -tol
+    else:  # lower is better: a rise is a regression
+        bad = change > tol
+    detail = (f"{path}: {base:g} -> {cur:g} ({pct:+.3g}%, "
+              f"{direction}, tol {tol_pct:g}%)")
+    return not bad, detail
+
+
+def check_require(cur_doc, path, op, value):
+    ok_c, cur = lookup(cur_doc, path)
+    if not ok_c:
+        return False, f"{path}: missing from current"
+    if op in ("true", "false"):
+        want = op == "true"
+        ok = cur is want
+        return ok, f"{path}: {cur!r} (require {op})"
+    try:
+        threshold = float(value)
+    except ValueError:
+        return False, f"{path}: bad required value {value!r}"
+    if isinstance(cur, bool) or not isinstance(cur, (int, float)):
+        return False, f"{path}: {cur!r} is not numeric (require {op} {value})"
+    ops = {
+        "ge": cur >= threshold,
+        "gt": cur > threshold,
+        "le": cur <= threshold,
+        "lt": cur < threshold,
+        "eq": cur == threshold,
+    }
+    if op not in ops:
+        return False, f"{path}: unknown require op {op!r}"
+    return ops[op], f"{path}: {cur:g} (require {op} {threshold:g})"
+
+
+def parse_metric_spec(spec):
+    parts = spec.split(":")
+    path = parts[0]
+    direction = parts[1] if len(parts) > 1 and parts[1] else "equal"
+    if direction not in ("equal", "higher", "lower"):
+        raise ValueError(f"bad direction {direction!r} in --metric {spec!r}")
+    tol = float(parts[2]) if len(parts) > 2 else 0.0
+    if len(parts) > 3:
+        raise ValueError(f"too many fields in --metric {spec!r}")
+    return path, direction, tol
+
+
+def parse_require_spec(spec):
+    parts = spec.split(":")
+    if len(parts) == 2 and parts[1] in ("true", "false"):
+        return parts[0], parts[1], ""
+    if len(parts) != 3:
+        raise ValueError(f"--require needs PATH:OP:VALUE, got {spec!r}")
+    return parts[0], parts[1], parts[2]
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], add_help=True)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--metric", action="append", default=[],
+                    metavar="PATH[:DIR[:TOL]]")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="PATH:OP:VALUE")
+    ap.add_argument("--default-tol", type=float, default=0.0, metavar="PCT")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.baseline) as f:
+            base_doc = json.load(f)
+        with open(args.current) as f:
+            cur_doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+
+    try:
+        metrics = [parse_metric_spec(s) for s in args.metric]
+        requires = [parse_require_spec(s) for s in args.require]
+    except ValueError as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+
+    if not metrics:
+        found, pinned = lookup(base_doc, "pinned")
+        if not found or not isinstance(pinned, dict):
+            print("bench_diff: no --metric given and baseline has no "
+                  "'pinned' object", file=sys.stderr)
+            return 2
+        metrics = [(f"pinned.{k}", "equal", args.default_tol)
+                   for k in pinned]
+
+    failures = 0
+    for path, direction, tol in metrics:
+        ok, detail = check_metric(base_doc, cur_doc, path, direction, tol)
+        print(f"{'ok  ' if ok else 'FAIL'}  {detail}")
+        failures += 0 if ok else 1
+    for path, op, value in requires:
+        ok, detail = check_require(cur_doc, path, op, value)
+        print(f"{'ok  ' if ok else 'FAIL'}  {detail}")
+        failures += 0 if ok else 1
+
+    total = len(metrics) + len(requires)
+    print(f"bench_diff: {total - failures}/{total} checks passed"
+          + (f", {failures} FAILED" if failures else ""))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

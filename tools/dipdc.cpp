@@ -29,9 +29,11 @@
 // prints the usage summary.
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "dataio/chunk.hpp"
 #include "dataio/dataset.hpp"
 #include "kernels/dispatch.hpp"
 #include "minimpi/backend.hpp"
@@ -99,6 +101,39 @@ mpi::RuntimeOptions options_for(const Common& c) {
   }
   return opts;
 }
+
+/// The out-of-core knobs shared by modules 2 and 3: --stream switches a
+/// module to its chunk-file pipeline, --chunk-rows sizes the chunks, and
+/// --no-overlap degrades the rotation to issue-and-wait (the baseline the
+/// overlap speedup is measured against).
+struct StreamArgs {
+  bool stream = false;
+  std::size_t chunk_rows = 256;
+  bool overlap = true;
+};
+
+StreamArgs stream_args(const ArgParser& args) {
+  StreamArgs s;
+  s.stream = args.get_bool("stream", false);
+  s.chunk_rows = static_cast<std::size_t>(args.get_int("chunk-rows", 256));
+  s.overlap = !args.get_bool("no-overlap", false);
+  return s;
+}
+
+/// Spills `d` to a chunk file in the temp dir; removed on destruction.
+struct SpilledDataset {
+  SpilledDataset(const io::Dataset& d, std::size_t chunk_rows,
+                 std::uint64_t seed)
+      : path((std::filesystem::temp_directory_path() /
+              ("dipdc_stream_" + std::to_string(seed) + "_" +
+               std::to_string(d.size()) + "x" + std::to_string(d.dim()) +
+               ".chunks"))
+                 .string()) {
+    io::dataset_to_chunks(d, path, chunk_rows);
+  }
+  ~SpilledDataset() { std::remove(path.c_str()); }
+  std::string path;
+};
 
 /// Writes `text` to `path` ("-" = stdout); returns false on I/O failure.
 bool write_file(const std::string& path, const std::string& text) {
@@ -197,17 +232,34 @@ int run_module2(const ArgParser& args, const Common& c) {
   cfg.trace_cache = args.get_bool("trace-cache", false);
   cfg.kernel = c.kernel;
   const auto d = io::generate_uniform(n, dim, 0.0, 1.0, c.seed);
+  const StreamArgs s = stream_args(args);
   m2::Result r;
-  const auto result = mpi::run(
-      c.ranks,
-      [&](mpi::Comm& comm) {
-        const auto res = m2::run_distributed(
-            comm, comm.rank() == 0 ? d : io::Dataset{}, cfg);
-        if (comm.rank() == 0) r = res;
-      },
-      options_for(c));
+  mpi::RunResult result;
+  if (s.stream) {
+    const SpilledDataset spill(d, s.chunk_rows, c.seed);
+    result = mpi::run(
+        c.ranks,
+        [&](mpi::Comm& comm) {
+          const auto res =
+              m2::run_streamed(comm, spill.path, cfg, {s.overlap});
+          if (comm.rank() == 0) r = res;
+        },
+        options_for(c));
+  } else {
+    result = mpi::run(
+        c.ranks,
+        [&](mpi::Comm& comm) {
+          const auto res = m2::run_distributed(
+              comm, comm.rank() == 0 ? d : io::Dataset{}, cfg);
+          if (comm.rank() == 0) r = res;
+        },
+        options_for(c));
+  }
   const std::string kernel =
-      cfg.tile == 0 ? "row-wise" : "tiled T=" + std::to_string(cfg.tile);
+      s.stream ? "streamed C=" + std::to_string(s.chunk_rows) +
+                     (s.overlap ? "" : " no-overlap")
+      : cfg.tile == 0 ? "row-wise"
+                      : "tiled T=" + std::to_string(cfg.tile);
   std::printf("distance matrix %zux%zu (%zu-D), %s: sim time %s, "
               "checksum %.3e\n",
               n, n, dim, kernel.c_str(), seconds(r.sim_time).c_str(),
@@ -234,31 +286,65 @@ int run_module3(const ArgParser& args, const Common& c) {
   cfg.kernel = c.kernel;
   const bool elastic_on = args.get_bool("repartition", false);
   const double threshold = args.get_double("imbalance-threshold", 1.10);
+  const StreamArgs s = stream_args(args);
   m3::Result r;
-  const auto result = mpi::run(
-      c.ranks,
-      [&](mpi::Comm& comm) {
-        auto rng = make_stream(c.seed,
-                               static_cast<std::uint64_t>(comm.rank()));
-        std::vector<double> local(n);
-        for (auto& v : local) {
-          v = exponential ? std::min(rng.exponential(1.0), 9.999)
-                          : rng.uniform(0.0, 10.0);
-        }
-        m3::Result res;
-        if (elastic_on) {
-          m3::ElasticConfig ecfg;
-          ecfg.imbalance_threshold = threshold;
-          res = m3::elastic_bucket_sort(comm, std::move(local), cfg, ecfg);
-        } else {
-          res = m3::distributed_bucket_sort(comm, local, cfg);
-        }
-        if (comm.rank() == 0) r = res;
-      },
-      options_for(c));
-  std::printf("bucket sort, %zu %s keys/rank, %s splitters: sorted=%s "
+  mpi::RunResult result;
+  if (s.stream) {
+    if (cfg.policy != m3::SplitterPolicy::kEqualWidth) {
+      std::fprintf(stderr,
+                   "error: --stream needs --policy=width (equal-width "
+                   "splitters are the only data-independent policy)\n");
+      return 2;
+    }
+    // The same keys the in-core run would generate, spilled rank-major
+    // into a chunk file: the streamed sort buckets the identical multiset.
+    std::vector<double> keys;
+    keys.reserve(n * static_cast<std::size_t>(c.ranks));
+    for (int rank = 0; rank < c.ranks; ++rank) {
+      auto rng = make_stream(c.seed, static_cast<std::uint64_t>(rank));
+      for (std::size_t i = 0; i < n; ++i) {
+        keys.push_back(exponential ? std::min(rng.exponential(1.0), 9.999)
+                                   : rng.uniform(0.0, 10.0));
+      }
+    }
+    const SpilledDataset spill(io::Dataset(1, std::move(keys)), s.chunk_rows,
+                               c.seed);
+    result = mpi::run(
+        c.ranks,
+        [&](mpi::Comm& comm) {
+          std::vector<double> sorted;
+          const auto res = m3::streamed_bucket_sort(comm, spill.path, cfg,
+                                                    sorted, {s.overlap});
+          if (comm.rank() == 0) r = res;
+        },
+        options_for(c));
+  } else {
+    result = mpi::run(
+        c.ranks,
+        [&](mpi::Comm& comm) {
+          auto rng = make_stream(c.seed,
+                                 static_cast<std::uint64_t>(comm.rank()));
+          std::vector<double> local(n);
+          for (auto& v : local) {
+            v = exponential ? std::min(rng.exponential(1.0), 9.999)
+                            : rng.uniform(0.0, 10.0);
+          }
+          m3::Result res;
+          if (elastic_on) {
+            m3::ElasticConfig ecfg;
+            ecfg.imbalance_threshold = threshold;
+            res = m3::elastic_bucket_sort(comm, std::move(local), cfg, ecfg);
+          } else {
+            res = m3::distributed_bucket_sort(comm, local, cfg);
+          }
+          if (comm.rank() == 0) r = res;
+        },
+        options_for(c));
+  }
+  std::printf("bucket sort, %zu %s keys/rank%s, %s splitters: sorted=%s "
               "imbalance=%.2f sim time %s\n",
               n, exponential ? "exponential" : "uniform",
+              s.stream ? " (streamed)" : "",
               cfg.policy == m3::SplitterPolicy::kHistogram ? "histogram"
                                                            : "equal-width",
               r.globally_sorted ? "yes" : "NO", r.imbalance,
@@ -522,6 +608,12 @@ void usage() {
       "  module2: --n=N(1024) --dim=D(90) --tile=T(0) --trace-cache\n"
       "  module3: --n=N(100000) --dist=uniform|exponential "
       "--policy=width|histogram\n"
+      "  modules 2/3 out-of-core (dataset spilled to a chunk file; only "
+      "rank 0\n"
+      "           touches the disk, chunks stream through nonblocking "
+      "broadcasts):\n"
+      "           --stream --chunk-rows=N(256) --no-overlap (issue-and-wait "
+      "baseline)\n"
       "  module4: --n=N(50000) --queries=N(512) "
       "--engine=brute|rtree|quadtree|kdtree\n"
       "           --serve: sharded serving mode under sustained load; "
@@ -554,6 +646,8 @@ const std::vector<std::string>& known_options() {
       "activity", "iterations", "bytes", "messages",
       // module2
       "n", "dim", "tile", "trace-cache",
+      // modules 2/3 out-of-core
+      "stream", "chunk-rows", "no-overlap",
       // module3
       "dist", "policy",
       // module4

@@ -17,6 +17,7 @@
 // size), --ops=N (target events per program), --max-bytes=B,
 // --faults=auto|none|<spec> (default auto: a random plan is drawn per
 // seed), --fault-seed=F, --container=0 (no elastic-container events),
+// --icollectives=0 (no nonblocking-collective events),
 // --shrink=0 (skip minimisation), --out=DIR (where
 // repro artifacts go), --keep-going (do not stop at the first failure),
 // --print (list each failing program), --replay=FILE, --backend=B (run on
@@ -65,6 +66,10 @@ void usage() {
       "  --container=0     leave elastic-container events (create /\n"
       "                    set_weight / repartition) out of generated\n"
       "                    programs (default on)\n"
+      "  --icollectives=0  leave nonblocking-collective events (ibcast /\n"
+      "                    ireduce / iallreduce / iallgatherv with\n"
+      "                    deferred waits) out of generated programs\n"
+      "                    (default on)\n"
       "  --shrink=0        skip ddmin minimisation of failing programs\n"
       "  --out=DIR         where repro-<seed>.seed/.cpp artifacts go "
       "(default .)\n"
@@ -227,7 +232,8 @@ int run_fuzz(const Config& cfg) {
 const std::vector<std::string>& known_options() {
   static const std::vector<std::string> kKnown = {
       "seeds",      "seed",   "ranks",      "ops",  "max-bytes",
-      "faults",     "fault-seed", "container", "shrink", "out",
+      "faults",     "fault-seed", "container", "icollectives", "shrink",
+      "out",
       "keep-going", "print",  "replay", "backend", "cross-backend",
       "smoke",      "help",
   };
@@ -288,6 +294,7 @@ int main(int argc, char** argv) {
   cfg.gen.fault_seed =
       static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
   cfg.gen.container_ops = args.get_bool("container", true);
+  cfg.gen.icollective_ops = args.get_bool("icollectives", true);
   cfg.do_shrink = args.get_bool("shrink", true);
   cfg.keep_going = args.get_bool("keep-going", false);
   cfg.print = args.get_bool("print", false);
